@@ -1,0 +1,301 @@
+package rfprism_test
+
+// Benchmark harness: one benchmark per table/figure of the paper's
+// evaluation (§VI). Each benchmark runs a reduced version of the
+// corresponding campaign and reports the headline metric alongside
+// the paper's value via b.ReportMetric, so `go test -bench` output is
+// directly comparable with EXPERIMENTS.md. Full-size runs live behind
+// `go run ./cmd/rfprism -fig <n>`.
+
+import (
+	"testing"
+
+	"rfprism"
+	"rfprism/internal/core"
+	"rfprism/internal/exp"
+	"rfprism/internal/geom"
+	"rfprism/internal/rf"
+	"rfprism/internal/sim"
+)
+
+// benchCfg returns a deterministic campaign config per benchmark.
+func benchCfg(seed int64) exp.Config {
+	return exp.Config{Seed: seed, CalWindows: 2}
+}
+
+// BenchmarkFig04PropagationSlope regenerates Fig. 4: phase-vs-
+// frequency slope at three distances. Metric: slope error vs the
+// analytic 4πd/c at 2.5 m, in percent.
+func BenchmarkFig04PropagationSlope(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := exp.RunFig4(benchCfg(100 + int64(i)))
+		if err != nil {
+			b.Fatal(err)
+		}
+		s := r.Series[len(r.Series)-1]
+		want := rf.PropagationSlope(2.5)
+		relErr := (s.Line.K - want) / want * 100
+		if relErr < 0 {
+			relErr = -relErr
+		}
+		b.ReportMetric(relErr, "slope-err-%")
+	}
+}
+
+// BenchmarkFig05OrientationIntercept regenerates Fig. 5: rotating the
+// tag shifts the intercept, not the slope. Metric: max slope change
+// across rotations in percent (paper: identical slopes).
+func BenchmarkFig05OrientationIntercept(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := exp.RunFig5(benchCfg(200 + int64(i)))
+		if err != nil {
+			b.Fatal(err)
+		}
+		ref := r.Series[0].Line.K
+		var worst float64
+		for _, s := range r.Series[1:] {
+			rel := (s.Line.K - ref) / ref * 100
+			if rel < 0 {
+				rel = -rel
+			}
+			if rel > worst {
+				worst = rel
+			}
+		}
+		b.ReportMetric(worst, "slope-drift-%")
+	}
+}
+
+// BenchmarkFig06MaterialSlope regenerates Fig. 6: distinct material
+// slopes at a fixed distance. Metric: glass-vs-wood slope difference
+// in rad/MHz (must be clearly nonzero).
+func BenchmarkFig06MaterialSlope(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := exp.RunFig6(benchCfg(300 + int64(i)))
+		if err != nil {
+			b.Fatal(err)
+		}
+		diff := (r.Series[1].Line.K - r.Series[0].Line.K) * 1e6
+		b.ReportMetric(diff, "glass-wood-rad/MHz")
+	}
+}
+
+// BenchmarkFig08Localization regenerates Fig. 8 (reduced): mean
+// localization error across orientations. Paper: 7.61 cm.
+func BenchmarkFig08Localization(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		c, err := exp.RunLocCampaign(benchCfg(400+int64(i)), 1, 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(exp.Fig8(c).OverallCM, "loc-err-cm")
+	}
+}
+
+// BenchmarkFig09Orientation regenerates Fig. 9 (reduced): mean
+// orientation error. Paper: 9.83°.
+func BenchmarkFig09Orientation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		c, err := exp.RunLocCampaign(benchCfg(500+int64(i)), 1, 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(exp.Fig9(c).OverallDeg, "orient-err-deg")
+	}
+}
+
+// benchMatSpec is the reduced material campaign for benchmarks.
+var benchMatSpec = exp.MatSpec{FixedTrials: 10, MovedTrials0: 16, MovedTrials90: 8}
+
+// BenchmarkFig10MaterialAccuracy regenerates Fig. 10 (reduced):
+// decision-tree material identification accuracy. Paper: 87.9%.
+func BenchmarkFig10MaterialAccuracy(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		c, err := exp.RunMatCampaign(benchCfg(600+int64(i)), benchMatSpec)
+		if err != nil {
+			b.Fatal(err)
+		}
+		r, err := exp.RunFig10And11(c)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(r.OverallAcc*100, "acc-%")
+	}
+}
+
+// BenchmarkFig11Confusion regenerates Fig. 11 (reduced): worst
+// per-class recall of the confusion matrix. Paper: ≥85% every class.
+func BenchmarkFig11Confusion(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		c, err := exp.RunMatCampaign(benchCfg(700+int64(i)), benchMatSpec)
+		if err != nil {
+			b.Fatal(err)
+		}
+		r, err := exp.RunFig10And11(c)
+		if err != nil {
+			b.Fatal(err)
+		}
+		worst := 1.0
+		for _, v := range r.Confusion.PerClass() {
+			if v < worst {
+				worst = v
+			}
+		}
+		b.ReportMetric(worst*100, "worst-class-%")
+	}
+}
+
+// BenchmarkFig12Multipath regenerates Fig. 12 (reduced): the
+// localization penalty of multipath without suppression. Paper:
+// 7.61 → 14.82 cm.
+func BenchmarkFig12Multipath(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := exp.RunFig12(benchCfg(800+int64(i)), 1,
+			exp.MatSpec{MovedTrials0: 8, MovedTrials90: 4})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(r.LocCM[0], "clean-cm")
+		b.ReportMetric(r.LocCM[1], "suppressed-cm")
+		b.ReportMetric(r.LocCM[2], "unsuppressed-cm")
+	}
+}
+
+// BenchmarkFig13Classifiers regenerates Fig. 13 (reduced): the three
+// classifiers on the same features. Paper: 75.6 / 83.5 / 87.9%.
+func BenchmarkFig13Classifiers(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		c, err := exp.RunMatCampaign(benchCfg(900+int64(i)), benchMatSpec)
+		if err != nil {
+			b.Fatal(err)
+		}
+		r, err := exp.RunFig13(c)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(r.KNNAcc*100, "knn-%")
+		b.ReportMetric(r.SVMAcc*100, "svm-%")
+		b.ReportMetric(r.TreeAcc*100, "tree-%")
+	}
+}
+
+// BenchmarkFig14To16VsMobiTagbot regenerates case study 1 (reduced):
+// RF-Prism vs MobiTagbot mean error under the varying-everything
+// setup. Paper: 7.61 vs 24.94 cm.
+func BenchmarkFig14To16VsMobiTagbot(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := exp.RunCaseStudy1(benchCfg(1000+int64(i)), 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		setup := "orientation+material vary (Fig.16)"
+		var pm, mm float64
+		for _, v := range r.Prism[setup] {
+			pm += v
+		}
+		pm /= float64(len(r.Prism[setup]))
+		for _, v := range r.Mobi[setup] {
+			mm += v
+		}
+		mm /= float64(len(r.Mobi[setup]))
+		b.ReportMetric(pm, "rfprism-cm")
+		b.ReportMetric(mm, "mobitagbot-cm")
+	}
+}
+
+// BenchmarkFig17To20VsTagtag regenerates case study 2 (reduced):
+// RF-Prism vs Tagtag overall accuracy with varying distance. Paper:
+// 88.0% vs 80.7%.
+func BenchmarkFig17To20VsTagtag(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := exp.RunCaseStudy2(benchCfg(1100+int64(i)),
+			exp.MatSpec{FixedTrials: 16, MovedTrials0: 12, MovedTrials90: 8})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(r.PrismOverall["varying d (Fig.18)"]*100, "rfprism-%")
+		b.ReportMetric(r.TagtagOverall["varying d (Fig.18)"]*100, "tagtag-%")
+	}
+}
+
+// BenchmarkLatencyPipeline regenerates the §VI-C latency table:
+// per-window processing time (paper: < 0.06 s on an i5-8600).
+func BenchmarkLatencyPipeline(b *testing.B) {
+	scene, err := sim.NewScene(sim.PaperAntennas2D(nil), rf.CleanSpace(), sim.DefaultConfig(), 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sys, err := rfprism.NewSystem(rfprism.DeploymentFromSim(scene.Antennas), rfprism.Bounds2D(sim.PaperRegion()))
+	if err != nil {
+		b.Fatal(err)
+	}
+	tag := scene.NewTag("bench")
+	none, err := rf.MaterialByName("none")
+	if err != nil {
+		b.Fatal(err)
+	}
+	win := scene.CollectWindow(tag, scene.Place(geom.Vec3{X: 0.8, Y: 1.3}, 0.4, none))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sys.ProcessWindow(win); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkLatencySolverOnly isolates the disentangler from the
+// preprocessing (ablation support for the latency table).
+func BenchmarkLatencySolverOnly(b *testing.B) {
+	scene, err := sim.NewScene(sim.PaperAntennas2D(nil), rf.CleanSpace(), sim.DefaultConfig(), 2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sys, err := rfprism.NewSystem(rfprism.DeploymentFromSim(scene.Antennas), rfprism.Bounds2D(sim.PaperRegion()))
+	if err != nil {
+		b.Fatal(err)
+	}
+	tag := scene.NewTag("bench")
+	none, err := rf.MaterialByName("none")
+	if err != nil {
+		b.Fatal(err)
+	}
+	win := scene.CollectWindow(tag, scene.Place(geom.Vec3{X: 0.8, Y: 1.3}, 0.4, none))
+	res, err := sys.ProcessWindow(win)
+	if err != nil {
+		b.Fatal(err)
+	}
+	// Rebuild observations once; time only core.Solve2D.
+	obs := make([]core.Observation, 0, 3)
+	for i, ant := range scene.Antennas {
+		obs = append(obs, core.Observation{
+			ID: ant.ID, Pos: ant.Pos, Frame: ant.Frame(), Line: res.Lines[i],
+		})
+	}
+	bounds := rfprism.Bounds2D(sim.PaperRegion())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.Solve2D(obs, bounds, core.Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationFinePhase quantifies what the wrapped intercept
+// equations buy (DESIGN.md §5): localization error with and without
+// the joint fine-phase stage.
+func BenchmarkAblationFinePhase(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := exp.RunAblations(benchCfg(1200+int64(i)), 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, v := range r.Variants {
+			switch v.Name {
+			case "full system":
+				b.ReportMetric(v.LocCM.Mean, "full-cm")
+			case "no fine-phase (slope-only)":
+				b.ReportMetric(v.LocCM.Mean, "slope-only-cm")
+			}
+		}
+	}
+}

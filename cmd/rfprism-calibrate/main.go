@@ -1,0 +1,94 @@
+// Command rfprism-calibrate demonstrates the two calibration
+// procedures of the paper: the pre-deployment antenna correction
+// (§IV-C) and the per-tag device calibration (§V-B). It deploys a
+// simulated testbed with random hardware offsets, calibrates, and
+// prints the recovered corrections next to the simulator's hidden
+// ground truth.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+
+	"rfprism"
+	"rfprism/internal/geom"
+	"rfprism/internal/rf"
+	"rfprism/internal/sim"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "rfprism-calibrate:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("rfprism-calibrate", flag.ContinueOnError)
+	seed := fs.Int64("seed", 7, "simulation seed")
+	windows := fs.Int("windows", 5, "calibration windows to average")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	hwRng := rand.New(rand.NewSource(*seed))
+	ants := sim.PaperAntennas2D(hwRng)
+	scene, err := sim.NewScene(ants, rf.CleanSpace(), sim.DefaultConfig(), *seed+1)
+	if err != nil {
+		return err
+	}
+	sys, err := rfprism.NewSystem(rfprism.DeploymentFromSim(ants), rfprism.Bounds2D(sim.PaperRegion()))
+	if err != nil {
+		return err
+	}
+	tag := scene.NewTag("cal-demo")
+	none, err := rf.MaterialByName("none")
+	if err != nil {
+		return err
+	}
+	calPos := geom.Vec3{X: 1.0, Y: 1.5}
+	placement := scene.Place(calPos, 0, none)
+
+	var win []sim.Reading
+	for i := 0; i < *windows; i++ {
+		win = append(win, scene.CollectWindow(tag, placement)...)
+	}
+	if err := sys.CalibrateAntennas(win, calPos, 0); err != nil {
+		return fmt.Errorf("antenna calibration: %w", err)
+	}
+	cal := sys.AntennaCalibration()
+	fmt.Println("Antenna calibration (recovered vs hidden hardware truth):")
+	fmt.Printf("%-8s %-14s %-14s %-12s %-12s\n", "antenna", "DK (rad/Hz)", "true Kr+Kd", "DB (rad)", "note")
+	for _, a := range ants {
+		truth := a.HardwareOffset.Kd + tag.Diversity.Kd
+		fmt.Printf("%-8d %-14.3e %-14.3e %-12.4f %s\n",
+			a.ID, cal.DK[a.ID], truth, cal.DB[a.ID],
+			"(DB also absorbs the cal tag's phase)")
+	}
+
+	var tagWin []sim.Reading
+	for i := 0; i < *windows; i++ {
+		tagWin = append(tagWin, scene.CollectWindow(tag, placement)...)
+	}
+	if err := sys.CalibrateTag(tag.EPC, tagWin, calPos, 0); err != nil {
+		return fmt.Errorf("tag calibration: %w", err)
+	}
+	tc, _ := sys.TagCalibration(tag.EPC)
+	fmt.Printf("\nTag calibration for %s: Kd=%.3e rad/Hz, Bd0=%.4f rad, %d usable channels\n",
+		tc.EPC, tc.Kd, tc.Bd0, countUsable(tc.PerChannel))
+	fmt.Println("(after antenna calibration the per-tag line is near zero by construction;")
+	fmt.Println(" for any *other* tag it captures that tag's manufacturing diversity)")
+	return nil
+}
+
+func countUsable(perChannel []float64) int {
+	n := 0
+	for _, v := range perChannel {
+		if v == v { // not NaN
+			n++
+		}
+	}
+	return n
+}

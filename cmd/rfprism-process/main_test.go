@@ -1,0 +1,54 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"rfprism/internal/geom"
+	"rfprism/internal/rf"
+	"rfprism/internal/sim"
+)
+
+func TestRunProcessesTrace(t *testing.T) {
+	// Build a trace the same way rfprism-sim does.
+	out := filepath.Join(t.TempDir(), "trace.json")
+	scene, err := sim.NewScene(sim.PaperAntennas2D(nil), rf.CleanSpace(), sim.DefaultConfig(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	none, err := rf.MaterialByName("none")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tag := scene.NewTag("t")
+	pos := geom.Vec3{X: 0.8, Y: 1.4}
+	traces := []sim.Trace{{
+		Seed: 1, Env: "clean", Pos: pos, AlphaDeg: 0, Material: "none",
+		Readings: scene.CollectWindow(tag, scene.Place(pos, 0, none)),
+	}}
+	f, err := os.Create(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sim.WriteTraces(f, traces); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	if err := run([]string{out}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunRequiresArg(t *testing.T) {
+	if err := run(nil); err == nil {
+		t.Fatal("missing file must error")
+	}
+}
+
+func TestRunMissingFile(t *testing.T) {
+	if err := run([]string{"/definitely/missing.json"}); err == nil {
+		t.Fatal("missing file must error")
+	}
+}

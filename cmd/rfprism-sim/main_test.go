@@ -1,0 +1,48 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"rfprism/internal/rf"
+	"rfprism/internal/sim"
+)
+
+func TestRunWritesTrace(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "trace.json")
+	err := run([]string{"-x", "0.9", "-y", "1.3", "-alpha", "45", "-material", "glass", "-windows", "2", "-o", out})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	traces, err := sim.ReadTraces(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(traces) != 2 {
+		t.Fatalf("wrote %d traces, want 2", len(traces))
+	}
+	if traces[0].Material != "glass" || traces[0].AlphaDeg != 45 {
+		t.Fatalf("metadata wrong: %+v", traces[0])
+	}
+	if len(traces[0].Readings) < rf.NumChannels {
+		t.Fatalf("only %d readings", len(traces[0].Readings))
+	}
+}
+
+func TestRunRejectsBadMaterial(t *testing.T) {
+	if err := run([]string{"-material", "mithril"}); err == nil {
+		t.Fatal("unknown material must error")
+	}
+}
+
+func TestRunRejectsBadFlag(t *testing.T) {
+	if err := run([]string{"-definitely-not-a-flag"}); err == nil {
+		t.Fatal("bad flag must error")
+	}
+}

@@ -1,0 +1,132 @@
+// Command rfprism regenerates the paper's tables and figures from the
+// bundled testbed simulator. Each experiment prints the same rows or
+// series the paper reports, with the paper's numbers alongside.
+//
+// Usage:
+//
+//	rfprism -fig 8            # one experiment (4,5,6,8,9,10,11,12,13,14,17,20 …)
+//	rfprism -fig all          # everything (long)
+//	rfprism -fig latency      # §VI-C latency table
+//	rfprism -fig ablation     # DESIGN.md §5 ablations
+//	rfprism -quick            # reduced trial counts
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"rfprism/internal/exp"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "rfprism:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("rfprism", flag.ContinueOnError)
+	fig := fs.String("fig", "", "experiment to run: 4,5,6,8,9,10,11,12,13,14,17,20,latency,ablation,mobility,3d,all")
+	seed := fs.Int64("seed", 42, "campaign seed")
+	quick := fs.Bool("quick", false, "reduced trial counts (~4x faster)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *fig == "" {
+		fs.Usage()
+		return fmt.Errorf("missing -fig")
+	}
+	cfg := exp.Config{Seed: *seed}
+
+	locReps, matReps := 3, 2
+	spec := exp.MatSpec{FixedTrials: 40, MovedTrials0: 60, MovedTrials90: 30}
+	mpSpec := exp.MatSpec{FixedTrials: 0, MovedTrials0: 30, MovedTrials90: 14}
+	csReps := 3
+	if *quick {
+		locReps, matReps = 1, 1
+		spec = exp.MatSpec{FixedTrials: 16, MovedTrials0: 24, MovedTrials90: 12}
+		mpSpec = exp.MatSpec{FixedTrials: 0, MovedTrials0: 14, MovedTrials90: 6}
+		csReps = 1
+	}
+
+	runOne := func(name string) error {
+		switch name {
+		case "4":
+			return show(exp.RunFig4(cfg))
+		case "5":
+			return show(exp.RunFig5(cfg))
+		case "6":
+			return show(exp.RunFig6(cfg))
+		case "8", "9":
+			c, err := exp.RunLocCampaign(cfg, locReps, matReps)
+			if err != nil {
+				return err
+			}
+			if name == "8" {
+				fmt.Println(exp.Fig8(c))
+			} else {
+				fmt.Println(exp.Fig9(c))
+			}
+			fmt.Printf("(rejected windows: %d)\n", c.Rejected)
+			return nil
+		case "10", "11", "13":
+			c, err := exp.RunMatCampaign(cfg, spec)
+			if err != nil {
+				return err
+			}
+			if name == "13" {
+				return show(exp.RunFig13(c))
+			}
+			return show(exp.RunFig10And11(c))
+		case "12":
+			return show(exp.RunFig12(cfg, locReps, mpSpec))
+		case "14", "15", "16":
+			r, err := exp.RunCaseStudy1(cfg, csReps)
+			if err != nil {
+				return err
+			}
+			fmt.Println(r)
+			return nil
+		case "17", "18", "19", "20":
+			return show(exp.RunCaseStudy2(cfg, spec))
+		case "latency":
+			return show(exp.RunLatency(cfg, 10))
+		case "ablation":
+			return show(exp.RunAblations(cfg, locReps))
+		case "3d":
+			return show(exp.RunStudy3D(cfg, 24))
+		case "mobility":
+			st, mv, err := exp.MobilityLinearity(cfg, 0.3)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("Error-detector premise (Sec. V-C): static resid %.3f rad, moving (0.3 m/s) resid %.3f rad\n", st, mv)
+			return nil
+		default:
+			return fmt.Errorf("unknown experiment %q", name)
+		}
+	}
+
+	if *fig == "all" {
+		for _, name := range []string{"4", "5", "6", "mobility", "8", "9", "10", "13", "12", "14", "17", "latency", "ablation", "3d"} {
+			fmt.Printf("=== experiment %s ===\n", name)
+			if err := runOne(name); err != nil {
+				return fmt.Errorf("experiment %s: %w", name, err)
+			}
+			fmt.Println()
+		}
+		return nil
+	}
+	return runOne(*fig)
+}
+
+// show prints a Stringer result unless the run failed.
+func show[T fmt.Stringer](r T, err error) error {
+	if err != nil {
+		return err
+	}
+	fmt.Println(r)
+	return nil
+}

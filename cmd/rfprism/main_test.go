@@ -1,0 +1,21 @@
+package main
+
+import "testing"
+
+func TestRunValidation(t *testing.T) {
+	if err := run(nil); err == nil {
+		t.Fatal("missing -fig must error")
+	}
+	if err := run([]string{"-fig", "nonsense"}); err == nil {
+		t.Fatal("unknown experiment must error")
+	}
+}
+
+func TestRunMobilityExperiment(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a simulation")
+	}
+	if err := run([]string{"-fig", "mobility", "-seed", "3"}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,53 @@
+// Opt-in diagnostic (RFPRISM_TUNE=1): 3D accuracy statistics over
+// random states.
+package rfprism
+
+import (
+	"math/rand"
+	"os"
+	"testing"
+
+	"rfprism/internal/core"
+	"rfprism/internal/geom"
+	"rfprism/internal/mathx"
+	"rfprism/internal/rf"
+	"rfprism/internal/sim"
+)
+
+func TestDiag3DStats(t *testing.T) {
+	if os.Getenv("RFPRISM_TUNE") == "" {
+		t.Skip("set RFPRISM_TUNE=1")
+	}
+	hwRng := rand.New(rand.NewSource(41))
+	scene, _ := sim.NewScene(sim.PaperAntennas3D(hwRng), rf.CleanSpace(), sim.DefaultConfig(), 42)
+	bounds := Bounds2D(sim.PaperRegion())
+	bounds.ZMin, bounds.ZMax = 0, 0.8
+	sys, _ := NewSystem(DeploymentFromSim(scene.Antennas), bounds, WithMode3D())
+	tag := scene.NewTag("t")
+	none, _ := rf.MaterialByName("none")
+	calPos := geom.Vec3{X: 1.0, Y: 1.5}
+	var calWin []sim.Reading
+	for i := 0; i < 5; i++ {
+		calWin = append(calWin, scene.CollectWindow(tag, scene.Place(calPos, 0, none))...)
+	}
+	if err := sys.CalibrateAntennas(calWin, calPos, 0); err != nil {
+		t.Fatal(err)
+	}
+	rng := scene.Rand()
+	var posErrs, polErrs []float64
+	for i := 0; i < 16; i++ {
+		truth := geom.Vec3{X: 0.3 + rng.Float64()*1.4, Y: 0.8 + rng.Float64()*1.2, Z: rng.Float64() * 0.6}
+		az, el := rng.Float64()*2*3.14159, (rng.Float64()-0.5)*3.14159*0.8
+		pl := sim.Static{Pos: truth, Polarization: rf.TagPolarization3D(az, el), Material: none, Attach: rf.Attach(none, rf.AttachmentJitter{}, nil)}
+		res, err := sys.ProcessWindow(scene.CollectWindow(tag, pl))
+		if err != nil {
+			continue
+		}
+		est := res.Estimate
+		posErrs = append(posErrs, 100*est.Pos.Dist(truth))
+		polErrs = append(polErrs, mathx.Deg(core.PolarizationError(est.Azimuth, est.Elevation, az, el)))
+	}
+	t.Logf("3D n=%d: pos mean %.1fcm p90 %.1fcm | pol mean %.1f° median %.1f° p90 %.1f°",
+		len(posErrs), mathx.Mean(posErrs), mathx.Percentile(posErrs, 90),
+		mathx.Mean(polErrs), mathx.Median(polErrs), mathx.Percentile(polErrs, 90))
+}

@@ -1,0 +1,69 @@
+package rfprism
+
+import (
+	"testing"
+
+	"rfprism/internal/geom"
+	"rfprism/internal/rf"
+)
+
+// TestPipelineDeterministic: the entire stack — simulation,
+// preprocessing, fitting, solving — must be a pure function of the
+// seed. Reproducibility is what makes EXPERIMENTS.md meaningful.
+func TestPipelineDeterministic(t *testing.T) {
+	runOnce := func() Estimate {
+		scene, sys := newTestScene(t, rf.CleanSpace(), 99)
+		tag := scene.NewTag("det")
+		none, err := rf.MaterialByName("none")
+		if err != nil {
+			t.Fatal(err)
+		}
+		calPos := geom.Vec3{X: 1.0, Y: 1.5}
+		if err := sys.CalibrateAntennas(scene.CollectWindow(tag, scene.Place(calPos, 0, none)), calPos, 0); err != nil {
+			t.Fatal(err)
+		}
+		res, err := sys.ProcessWindow(scene.CollectWindow(tag, scene.Place(geom.Vec3{X: 0.9, Y: 1.1}, 0.8, none)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Estimate
+	}
+	a, b := runOnce(), runOnce()
+	if a != b {
+		t.Fatalf("pipeline not deterministic:\n%+v\n%+v", a, b)
+	}
+}
+
+// TestResultLinesAreCalibrated: the lines in a Result must already
+// carry the antenna correction — feature extraction and baselines
+// assume it (regression guard against double or missing subtraction).
+func TestResultLinesAreCalibrated(t *testing.T) {
+	scene, sys := newTestScene(t, rf.CleanSpace(), 100)
+	tag := scene.NewTag("cal-check")
+	none, err := rf.MaterialByName("none")
+	if err != nil {
+		t.Fatal(err)
+	}
+	calPos := geom.Vec3{X: 1.0, Y: 1.5}
+	if err := sys.CalibrateAntennas(scene.CollectWindow(tag, scene.Place(calPos, 0, none)), calPos, 0); err != nil {
+		t.Fatal(err)
+	}
+	cal := sys.AntennaCalibration()
+	// Make the correction visibly nonzero by injecting a fake offset.
+	cal.DK[0] += 5e-9
+	cal.DB[0] += 0.5
+
+	pos := geom.Vec3{X: 0.8, Y: 1.3}
+	win := scene.CollectWindow(tag, scene.Place(pos, 0, none))
+	res, err := sys.ProcessWindow(win)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Antenna 0's calibrated slope must now be biased by −5e-9
+	// relative to the true propagation slope.
+	d := scene.Antennas[0].Pos.Dist(pos)
+	got := res.Lines[0].K - rf.PropagationSlope(d)
+	if got > -3e-9 {
+		t.Fatalf("injected DK not applied to result line: resid %g", got)
+	}
+}

@@ -1,0 +1,85 @@
+package rfprism
+
+import (
+	"math"
+	"testing"
+
+	"rfprism/internal/core"
+	"rfprism/internal/fit"
+	"rfprism/internal/geom"
+	"rfprism/internal/mathx"
+	"rfprism/internal/preprocess"
+	"rfprism/internal/rf"
+	"rfprism/internal/sim"
+)
+
+// TestDiagSlopeAccuracy checks, stage by stage, how well the slope of
+// each antenna's line reflects the true distance in a noiseless-ish
+// clean scene. It is a development diagnostic kept as a regression
+// test on the physics/fit chain.
+func TestDiagSlopeAccuracy(t *testing.T) {
+	cfg := sim.DefaultConfig()
+	cfg.PhaseNoiseStd = 0.001
+	cfg.PiFlipProb = 0
+	cfg.DropProb = 0
+	cfg.InterferenceProb = 0
+	ants := sim.PaperAntennas2D(nil) // ideal hardware
+	scene, err := sim.NewScene(ants, rf.CleanSpace(), cfg, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tag := sim.Tag{EPC: "ideal"} // zero diversity
+	truth := geom.Vec3{X: 0.7, Y: 1.2}
+	none, _ := rf.MaterialByName("none")
+	pl := sim.Static{Pos: truth, Polarization: rf.TagPolarization2D(mathx.Rad(60)), Material: none, Attach: rf.Attach(none, rf.AttachmentJitter{}, nil)}
+	win := scene.CollectWindow(tag, pl)
+
+	spectra, err := preprocess.BuildSpectra(win, preprocess.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	obs := make([]core.Observation, 0, 3)
+	for i, sp := range spectra {
+		line, err := fit.FitLineRobust(sp.Freqs(), sp.Phases(), sp.RSSIs(), fit.RobustOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		d := ants[i].Pos.Dist(truth)
+		dEst := rf.DistanceFromSlope(line.K)
+		t.Logf("ant %d: d=%.4f dEst=%.4f err=%.4f sigmaK=%.3g residStd=%.4f used=%d",
+			i, d, dEst, dEst-d, line.SigmaK, line.ResidStd, line.NumUsed)
+		if math.Abs(dEst-d) > 0.03 {
+			t.Errorf("ant %d slope distance error %.3f m with near-zero noise", i, dEst-d)
+		}
+		// Check intercept: should equal prop(f0)+orient mod 2π.
+		frame := ants[i].Frame()
+		expB := mathx.Wrap2Pi(rf.PropagationPhase(d, rf.CenterFrequencyHz) + rf.OrientationPhase(frame, pl.Polarization))
+		gotB := mathx.Wrap2Pi(line.B0)
+		if db := math.Abs(mathx.WrapPi(gotB - expB)); db > 0.05 {
+			t.Errorf("ant %d intercept error %.3f rad", i, db)
+		}
+		obs = append(obs, core.Observation{ID: ants[i].ID, Pos: ants[i].Pos, Frame: frame, Line: line})
+	}
+
+	bounds := Bounds2D(sim.PaperRegion())
+	estA, err := core.Solve2D(obs, bounds, core.Options{DisableFinePhase: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("slope-only pos (%.3f, %.3f) err %.4f", estA.Pos.X, estA.Pos.Y,
+		math.Hypot(estA.Pos.X-truth.X, estA.Pos.Y-truth.Y))
+
+	est, err := core.Solve2D(obs, bounds, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	locErr := math.Hypot(est.Pos.X-truth.X, est.Pos.Y-truth.Y)
+	t.Logf("joint pos (%.3f, %.3f) err %.4f alpha %.1f° cost %.3g",
+		est.Pos.X, est.Pos.Y, locErr, mathx.Deg(est.Alpha), est.Cost)
+	if locErr > 0.02 {
+		t.Errorf("joint localization error %.4f m with near-zero noise", locErr)
+	}
+	if oe := math.Abs(mathx.AngDiffPeriod(est.Alpha, mathx.Rad(60), math.Pi)); mathx.Deg(oe) > 3 {
+		t.Errorf("orientation error %.2f° with near-zero noise", mathx.Deg(oe))
+	}
+}

@@ -1,0 +1,175 @@
+// Chemlab is the paper's §I motivating scenario: inventory management
+// in a chemical lab. Bottles with different contents share shelf
+// positions over time, so neither "where is the alcohol?" nor "what
+// is at slot 3?" can be answered by a system that senses only one
+// factor. RF-Prism answers both from the same hop rounds.
+//
+// The example trains a material classifier from labeled windows, then
+// audits a shelf of unlabeled bottles: for every bottle it reports
+// the slot it sits in and the liquid it contains.
+package main
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+
+	"rfprism"
+	"rfprism/internal/classify"
+	"rfprism/internal/geom"
+	"rfprism/internal/rf"
+	"rfprism/internal/sim"
+)
+
+// slot positions on the virtual shelf (the working plane).
+var slots = []geom.Vec3{
+	{X: 0.4, Y: 0.9}, {X: 0.9, Y: 0.9}, {X: 1.4, Y: 0.9},
+	{X: 0.4, Y: 1.7}, {X: 0.9, Y: 1.7}, {X: 1.4, Y: 1.7},
+}
+
+var liquids = []string{"water", "milk", "oil", "alcohol"}
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "chemlab:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	hwRng := rand.New(rand.NewSource(21))
+	scene, err := sim.NewScene(sim.PaperAntennas2D(hwRng), rf.CleanSpace(), sim.DefaultConfig(), 22)
+	if err != nil {
+		return err
+	}
+	sys, err := rfprism.NewSystem(rfprism.DeploymentFromSim(scene.Antennas), rfprism.Bounds2D(sim.PaperRegion()))
+	if err != nil {
+		return err
+	}
+	tag := scene.NewTag("lab-tag")
+	none, err := rf.MaterialByName("none")
+	if err != nil {
+		return err
+	}
+	calPos := geom.Vec3{X: 1.0, Y: 1.5}
+	var calWin, tagWin []sim.Reading
+	for i := 0; i < 5; i++ {
+		calWin = append(calWin, scene.CollectWindow(tag, scene.Place(calPos, 0, none))...)
+		tagWin = append(tagWin, scene.CollectWindow(tag, scene.Place(calPos, 0, none))...)
+	}
+	if err := sys.CalibrateAntennas(calWin, calPos, 0); err != nil {
+		return err
+	}
+	if err := sys.CalibrateTag(tag.EPC, tagWin, calPos, 0); err != nil {
+		return err
+	}
+
+	// Train the liquid classifier from labeled bottles at random
+	// shelf positions (16 windows per liquid).
+	rng := scene.Rand()
+	train := classify.Dataset{}
+	fmt.Println("training liquid classifier...")
+	for label, name := range liquids {
+		m, err := rf.MaterialByName(name)
+		if err != nil {
+			return err
+		}
+		for i := 0; i < 16; i++ {
+			slot := slots[rng.Intn(len(slots))]
+			res, err := sys.ProcessWindow(scene.CollectWindow(tag, scene.Place(slot, rng.Float64()*3.14, m)))
+			if err != nil {
+				continue
+			}
+			feats, err := sys.MaterialFeatures(tag.EPC, res)
+			if err != nil {
+				continue
+			}
+			train.X = append(train.X, feats)
+			train.Y = append(train.Y, label)
+		}
+	}
+	tree := &classify.Tree{MaxDepth: 12, MinLeaf: 2}
+	if err := tree.Fit(train); err != nil {
+		return err
+	}
+
+	// Audit a shuffled shelf in ONE inventory round: four bottles,
+	// each with its own tag, share the reader's slots (framed slotted
+	// ALOHA); the window is split by EPC and every bottle is
+	// disentangled independently. Nobody tells the system which bottle
+	// went where or what it contains.
+	fmt.Println("\nauditing shelf in one inventory pass (hidden truth in brackets):")
+	perm := rng.Perm(len(slots))
+	type bottle struct {
+		tag     sim.Tag
+		slotIdx int
+		truth   string
+	}
+	var bottles []bottle
+	var tracked []sim.TrackedTag
+	for i := 0; i < 4; i++ {
+		truthLiquid := liquids[i%len(liquids)]
+		m, err := rf.MaterialByName(truthLiquid)
+		if err != nil {
+			return err
+		}
+		bt := scene.NewTag(fmt.Sprintf("bottle-%d", i))
+		// Each bottle's tag gets its one-time device calibration.
+		calWin := scene.CollectWindow(bt, scene.Place(calPos, 0, none))
+		if err := sys.CalibrateTag(bt.EPC, calWin, calPos, 0); err != nil {
+			return err
+		}
+		bottles = append(bottles, bottle{tag: bt, slotIdx: perm[i], truth: truthLiquid})
+		tracked = append(tracked, sim.TrackedTag{
+			Tag:    bt,
+			Motion: scene.Place(slots[perm[i]], rng.Float64()*3.14, m),
+		})
+	}
+	// Three hop rounds (~30 s of reader time): the slots are shared
+	// by four tags, so one round alone leaves each channel with too
+	// few reads per tag for clean material features.
+	var window []sim.Reading
+	for round := 0; round < 3; round++ {
+		w, err := scene.CollectInventoryWindow(tracked)
+		if err != nil {
+			return err
+		}
+		window = append(window, w...)
+	}
+	byEPC := sim.SplitByEPC(window)
+	correct := 0
+	for i, b := range bottles {
+		res, err := sys.ProcessWindow(byEPC[b.tag.EPC])
+		if err != nil {
+			fmt.Printf("  bottle %d: window rejected (%v)\n", i, err)
+			continue
+		}
+		feats, err := sys.MaterialFeatures(b.tag.EPC, res)
+		if err != nil {
+			return err
+		}
+		pred, err := tree.Predict(feats)
+		if err != nil {
+			return err
+		}
+		nearest := nearestSlot(res.Estimate.Pos)
+		if liquids[pred] == b.truth && nearest == b.slotIdx {
+			correct++
+		}
+		fmt.Printf("  bottle %d: slot %d, %-8s  [truth: slot %d, %s]\n",
+			i, nearest, liquids[pred], b.slotIdx, b.truth)
+	}
+	fmt.Printf("\n%d/4 bottles fully identified (slot AND content) from one inventory pass\n", correct)
+	return nil
+}
+
+// nearestSlot snaps an estimated position to the closest shelf slot.
+func nearestSlot(p geom.Vec3) int {
+	best, bestD := 0, p.Dist(slots[0])
+	for i, s := range slots[1:] {
+		if d := p.Dist(s); d < bestD {
+			best, bestD = i+1, d
+		}
+	}
+	return best
+}

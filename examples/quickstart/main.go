@@ -1,0 +1,81 @@
+// Quickstart: deploy the paper's three-antenna testbed, calibrate,
+// read one tagged object and print everything RF-Prism disentangles
+// from a single hop round — location, orientation and the material
+// parameters (k_t, b_t).
+package main
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+
+	"rfprism"
+	"rfprism/internal/geom"
+	"rfprism/internal/mathx"
+	"rfprism/internal/rf"
+	"rfprism/internal/sim"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "quickstart:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	// 1. Deploy: three circularly-polarized antennas facing a
+	//    2 m x 2 m working region (random hardware offsets, as in any
+	//    real deployment).
+	hwRng := rand.New(rand.NewSource(1))
+	scene, err := sim.NewScene(sim.PaperAntennas2D(hwRng), rf.CleanSpace(), sim.DefaultConfig(), 2)
+	if err != nil {
+		return err
+	}
+	sys, err := rfprism.NewSystem(rfprism.DeploymentFromSim(scene.Antennas), rfprism.Bounds2D(sim.PaperRegion()))
+	if err != nil {
+		return err
+	}
+
+	// 2. Calibrate once (Sec. IV-C): a bare tag at a surveyed pose.
+	tag := scene.NewTag("E280-1160-6000-0207-23AA-4312")
+	none, err := rf.MaterialByName("none")
+	if err != nil {
+		return err
+	}
+	calPos := geom.Vec3{X: 1.0, Y: 1.5}
+	var calWin []sim.Reading
+	for i := 0; i < 5; i++ {
+		calWin = append(calWin, scene.CollectWindow(tag, scene.Place(calPos, 0, none))...)
+	}
+	if err := sys.CalibrateAntennas(calWin, calPos, 0); err != nil {
+		return err
+	}
+
+	// 3. Sense: the tag is now on a water bottle somewhere in the
+	//    region, rotated 60 degrees.
+	water, err := rf.MaterialByName("water")
+	if err != nil {
+		return err
+	}
+	truth := geom.Vec3{X: 0.7, Y: 1.2}
+	window := scene.CollectWindow(tag, scene.Place(truth, mathx.Rad(60), water))
+
+	res, err := sys.ProcessWindow(window)
+	if err != nil {
+		return err
+	}
+	est := res.Estimate
+	fmt.Printf("tag %s:\n", tag.EPC)
+	fmt.Printf("  position    (%.2f, %.2f) m   [truth (%.2f, %.2f), error %.1f cm]\n",
+		est.Pos.X, est.Pos.Y, truth.X, truth.Y, 100*est.Pos.Dist(truth))
+	fmt.Printf("  orientation %.1f deg          [truth 60.0]\n", mathx.Deg(est.Alpha))
+	fmt.Printf("  material    kt=%.2e rad/Hz, bt=%.2f rad (feed these to a trained classifier)\n",
+		est.Kt, est.Bt0)
+	fmt.Printf("  solver cost %.3g; per-antenna line residuals:", est.Cost)
+	for _, l := range res.Lines {
+		fmt.Printf(" %.3f", l.ResidStd)
+	}
+	fmt.Println(" rad")
+	return nil
+}

@@ -1,0 +1,62 @@
+// Opt-in smoke runner (RFPRISM_TUNE=1): prints the reduced-size
+// figures for quick shape checks while tuning.
+package rfprism_test
+
+import (
+	"os"
+	"testing"
+
+	"rfprism/internal/exp"
+)
+
+func TestSmokeExperiments(t *testing.T) {
+	if os.Getenv("RFPRISM_TUNE") == "" {
+		t.Skip("set RFPRISM_TUNE=1 to run")
+	}
+	cfg := exp.Config{Seed: 11}
+
+	f4, err := exp.RunFig4(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log("\n" + f4.String())
+	f5, err := exp.RunFig5(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log("\n" + f5.String())
+	f6, err := exp.RunFig6(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log("\n" + f6.String())
+
+	camp, err := exp.RunLocCampaign(cfg, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log("\n" + exp.Fig8(camp).String())
+	t.Log("\n" + exp.Fig9(camp).String())
+}
+
+func TestSmokeMaterial(t *testing.T) {
+	if os.Getenv("RFPRISM_TUNE") == "" {
+		t.Skip("set RFPRISM_TUNE=1 to run")
+	}
+	cfg := exp.Config{Seed: 12}
+	spec := exp.MatSpec{FixedTrials: 16, MovedTrials0: 40, MovedTrials90: 20}
+	c, err := exp.RunMatCampaign(cfg, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f10, err := exp.RunFig10And11(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log("\n" + f10.String())
+	f13, err := exp.RunFig13(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log("\n" + f13.String())
+}

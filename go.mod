@@ -1,0 +1,3 @@
+module rfprism
+
+go 1.22

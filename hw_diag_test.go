@@ -1,0 +1,56 @@
+// Opt-in diagnostic (RFPRISM_TUNE=1): accuracy with fully random
+// hardware offsets through the calibration path.
+package rfprism
+
+import (
+	"math"
+	"math/rand"
+	"os"
+	"testing"
+
+	"rfprism/internal/geom"
+	"rfprism/internal/mathx"
+	"rfprism/internal/rf"
+	"rfprism/internal/sim"
+)
+
+// TestDiagRandomHardware checks the full calibration path with random
+// per-antenna hardware offsets (the realistic deployment).
+func TestDiagRandomHardware(t *testing.T) {
+	if os.Getenv("RFPRISM_TUNE") == "" {
+		t.Skip("set RFPRISM_TUNE=1 to run")
+	}
+	hwRng := rand.New(rand.NewSource(99))
+	scene, err := sim.NewScene(sim.PaperAntennas2D(hwRng), rf.CleanSpace(), sim.DefaultConfig(), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := NewSystem(DeploymentFromSim(scene.Antennas), Bounds2D(sim.PaperRegion()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tag := scene.NewTag("hw")
+	none, _ := rf.MaterialByName("none")
+	calPos := geom.Vec3{X: 1.0, Y: 1.5}
+	pl := scene.Place(calPos, 0, none)
+	var calWin []sim.Reading
+	for k := 0; k < 5; k++ {
+		calWin = append(calWin, scene.CollectWindow(tag, pl)...)
+	}
+	if err := sys.CalibrateAntennas(calWin, calPos, 0); err != nil {
+		t.Fatal(err)
+	}
+	var locErrs, orientErrs []float64
+	for i, p := range sim.PaperRegion().GridPoints(5, 5) {
+		alpha := mathx.Rad(float64((i * 30) % 180))
+		res, err := sys.ProcessWindow(scene.CollectWindow(tag, scene.Place(p, alpha, none)))
+		if err != nil {
+			continue
+		}
+		locErrs = append(locErrs, math.Hypot(res.Estimate.Pos.X-p.X, res.Estimate.Pos.Y-p.Y))
+		orientErrs = append(orientErrs, mathx.Deg(math.Abs(mathx.AngDiffPeriod(res.Estimate.Alpha, alpha, math.Pi))))
+	}
+	t.Logf("random hw: n=%d loc mean %.1fcm p90 %.1fcm | orient mean %.1f° p90 %.1f°",
+		len(locErrs), mathx.Mean(locErrs)*100, mathx.Percentile(locErrs, 90)*100,
+		mathx.Mean(orientErrs), mathx.Percentile(orientErrs, 90))
+}

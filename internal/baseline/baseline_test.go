@@ -1,0 +1,226 @@
+package baseline
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"rfprism/internal/core"
+	"rfprism/internal/fit"
+	"rfprism/internal/geom"
+	"rfprism/internal/mathx"
+	"rfprism/internal/preprocess"
+	"rfprism/internal/rf"
+)
+
+var (
+	bAnts = []geom.Vec3{
+		{X: 0.5, Y: 0, Z: 1.0},
+		{X: 1.0, Y: 0, Z: 1.5},
+		{X: 1.5, Y: 0, Z: 1.2},
+	}
+	bBounds = core.Bounds{XMin: 0, XMax: 2, YMin: 0.5, YMax: 2.5}
+)
+
+// synthObs builds observations with the given extra slope offset
+// (material/device kt) and intercept offset per antenna.
+func synthObs(pos geom.Vec3, kt float64, orientPhases []float64) []core.Observation {
+	obs := make([]core.Observation, len(bAnts))
+	for i, a := range bAnts {
+		d := a.Dist(pos)
+		extra := 0.0
+		if orientPhases != nil {
+			extra = orientPhases[i]
+		}
+		obs[i] = core.Observation{
+			ID:  i,
+			Pos: a,
+			Line: fit.Line{
+				K:      rf.PropagationSlope(d) + kt,
+				B0:     mathx.Wrap2Pi(rf.PropagationPhase(d, rf.CenterFrequencyHz) + extra),
+				SigmaK: 4e-10,
+			},
+		}
+	}
+	return obs
+}
+
+func TestMobiTagbotLocatesCleanTag(t *testing.T) {
+	m := &MobiTagbot{Bounds: bBounds}
+	truth := geom.Vec3{X: 0.8, Y: 1.4}
+	pos, err := m.Locate(synthObs(truth, 0, nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := math.Hypot(pos.X-truth.X, pos.Y-truth.Y); d > 0.05 {
+		t.Fatalf("clean localization error %.3f m", d)
+	}
+}
+
+func TestMobiTagbotMaterialBias(t *testing.T) {
+	// A material slope kt reads as extra distance: the error must
+	// grow roughly like c·kt/(4π) — the paper's Fig. 16 mechanism.
+	m := &MobiTagbot{Bounds: bBounds, DisableFine: true}
+	truth := geom.Vec3{X: 1.0, Y: 1.2}
+	clean, err := m.Locate(synthObs(truth, 0, nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	kt := 1.5e-8
+	biased, err := m.Locate(synthObs(truth, kt, nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cleanErr := math.Hypot(clean.X-truth.X, clean.Y-truth.Y)
+	biasedErr := math.Hypot(biased.X-truth.X, biased.Y-truth.Y)
+	expected := rf.DistanceFromSlope(kt) // ≈ 36 cm
+	if biasedErr < cleanErr+expected/3 {
+		t.Fatalf("material bias too small: clean %.3f vs biased %.3f (expected ≈%.2f)",
+			cleanErr, biasedErr, expected)
+	}
+}
+
+func TestMobiTagbotOrientationContamination(t *testing.T) {
+	// Different per-antenna orientation phases contaminate the fine
+	// refinement (Fig. 15): error grows versus the aligned case.
+	truth := geom.Vec3{X: 1.0, Y: 1.5}
+	m := &MobiTagbot{Bounds: bBounds}
+	aligned, err := m.Locate(synthObs(truth, 0, []float64{1.0, 1.0, 1.0}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	skewed, err := m.Locate(synthObs(truth, 0, []float64{0.3, 1.2, 2.4}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	alignedErr := math.Hypot(aligned.X-truth.X, aligned.Y-truth.Y)
+	skewedErr := math.Hypot(skewed.X-truth.X, skewed.Y-truth.Y)
+	if skewedErr <= alignedErr {
+		t.Fatalf("orientation skew did not degrade: %.4f vs %.4f", alignedErr, skewedErr)
+	}
+}
+
+func TestMobiTagbotTooFewAntennas(t *testing.T) {
+	m := &MobiTagbot{Bounds: bBounds}
+	if _, err := m.Locate(nil); err == nil {
+		t.Fatal("no observations must error")
+	}
+	obs := synthObs(geom.Vec3{X: 1, Y: 1}, 0, nil)
+	if _, err := m.Locate(obs[:1]); err == nil {
+		t.Fatal("one observation must error")
+	}
+}
+
+// synthSpectrum builds a Tagtag input spectrum with a given device
+// curve on top of propagation at distance d, reported with the RSSI
+// of material loss lossDB.
+func synthSpectrum(d float64, deviceAt func(f float64) float64, lossDB float64) preprocess.Spectrum {
+	sp := preprocess.Spectrum{Antenna: 0}
+	for ch := 0; ch < rf.NumChannels; ch++ {
+		f, _ := rf.ChannelFreq(ch)
+		sp.Samples = append(sp.Samples, preprocess.ChannelSample{
+			Channel: ch,
+			FreqHz:  f,
+			Phase:   rf.PropagationPhase(d, f) + deviceAt(f),
+			RSSI:    rf.RSSI(d, -48, lossDB),
+			Count:   4,
+		})
+	}
+	return sp
+}
+
+func TestTagtagCurveRemovesConstantOffsets(t *testing.T) {
+	tt := &Tagtag{RefRSSIDBm: -48}
+	dev := func(f float64) float64 { return 0.3 * math.Sin((f-902e6)/4e6) }
+	a := tt.Curve(synthSpectrum(1.4, dev, 0))
+	b := tt.Curve(synthSpectrum(1.4, func(f float64) float64 { return dev(f) + 1.7 }, 0))
+	for i := range a {
+		if math.Abs(mathx.WrapPi(a[i]-b[i])) > 0.02 {
+			t.Fatalf("constant offset leaked into the curve at %d: %g vs %g", i, a[i], b[i])
+		}
+	}
+}
+
+func TestTagtagDistanceCompensation(t *testing.T) {
+	// With no material loss, the RSS distance is right and curves at
+	// different distances must look alike.
+	tt := &Tagtag{RefRSSIDBm: -48}
+	dev := func(f float64) float64 { return 0.25 * math.Cos((f-902e6)/5e6) }
+	a := tt.Curve(synthSpectrum(1.0, dev, 0))
+	b := tt.Curve(synthSpectrum(2.0, dev, 0))
+	var maxDiff float64
+	for i := range a {
+		if d := math.Abs(mathx.WrapPi(a[i] - b[i])); d > maxDiff {
+			maxDiff = d
+		}
+	}
+	if maxDiff > 0.05 {
+		t.Fatalf("curves diverge by %.2f rad despite correct RSS compensation", maxDiff)
+	}
+}
+
+func TestTagtagLossBreaksCompensation(t *testing.T) {
+	// Material loss biases the RSS distance, so curves at different
+	// distances drift apart — the weakness Fig. 18 exposes.
+	tt := &Tagtag{RefRSSIDBm: -48}
+	dev := func(f float64) float64 { return 0.25 * math.Cos((f-902e6)/5e6) }
+	const lossDB = 6
+	a := tt.Curve(synthSpectrum(1.0, dev, lossDB))
+	b := tt.Curve(synthSpectrum(2.0, dev, lossDB))
+	var maxDiff float64
+	for i := range a {
+		if d := math.Abs(mathx.WrapPi(a[i] - b[i])); d > maxDiff {
+			maxDiff = d
+		}
+	}
+	// 6 dB of loss inflates the RSS distances by 41%, which leaves a
+	// ±0.2 rad residual tilt across the band after centering.
+	if maxDiff < 0.15 {
+		t.Fatalf("loss-biased curves too similar (%.2f rad) — compensation should fail", maxDiff)
+	}
+}
+
+func TestTagtagTrainClassify(t *testing.T) {
+	tt := &Tagtag{RefRSSIDBm: -48, Window: 5}
+	rng := rand.New(rand.NewSource(3))
+	devFor := func(class int) func(f float64) float64 {
+		return func(f float64) float64 {
+			return 0.4 * math.Sin((f-902e6)/4e6+float64(class)*1.3)
+		}
+	}
+	var curves [][]float64
+	var labels []int
+	for c := 0; c < 3; c++ {
+		for i := 0; i < 10; i++ {
+			d := 1.0 + rng.Float64()*0.2
+			curves = append(curves, tt.Curve(synthSpectrum(d, devFor(c), 0)))
+			labels = append(labels, c)
+		}
+	}
+	if err := tt.Train(curves, labels); err != nil {
+		t.Fatal(err)
+	}
+	for c := 0; c < 3; c++ {
+		got, err := tt.Classify(tt.Curve(synthSpectrum(1.1, devFor(c), 0)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != c {
+			t.Fatalf("class %d misclassified as %d", c, got)
+		}
+	}
+}
+
+func TestFillGaps(t *testing.T) {
+	curve := []float64{0, 0, 2, 0, 0, 5, 0}
+	filled := []bool{false, false, true, false, false, true, false}
+	fillGaps(curve, filled)
+	want := []float64{2, 2, 2, 3, 4, 5, 5}
+	for i := range want {
+		if math.Abs(curve[i]-want[i]) > 1e-12 {
+			t.Fatalf("fillGaps = %v, want %v", curve, want)
+		}
+	}
+	// All-empty input must not panic.
+	fillGaps([]float64{0, 0}, []bool{false, false})
+}

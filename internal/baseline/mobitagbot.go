@@ -1,0 +1,133 @@
+// Package baseline re-implements the two state-of-the-art systems the
+// paper compares against (§VI-B): MobiTagbot, a two-antenna
+// multi-channel localization method that cannot cancel the
+// orientation/device/material phase offsets, and Tagtag, a material
+// identifier that compensates propagation with coarse RSS readings.
+package baseline
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"rfprism/internal/core"
+	"rfprism/internal/geom"
+	"rfprism/internal/mathx"
+	"rfprism/internal/rf"
+)
+
+// ErrTooFewAntennasForBaseline is returned when fewer than two
+// antennas are observed.
+var ErrTooFewAntennasForBaseline = errors.New("baseline: MobiTagbot needs two antennas")
+
+// MobiTagbot is the localization baseline: it leverages the
+// multi-channel slope exactly like RF-Prism but treats the phase line
+// as pure propagation — the material/device slope k_t becomes a
+// distance bias, and the orientation term contaminates its
+// fine-phase refinement. This is the behaviour the paper's case
+// study 1 (Figs. 14–16) characterizes.
+type MobiTagbot struct {
+	// Bounds is the search region.
+	Bounds core.Bounds
+	// FineWeight enables the sub-wavelength refinement using the
+	// intercepts treated as a common offset plus propagation
+	// (default on). The refinement is what orientation variation
+	// corrupts.
+	DisableFine bool
+	// TetherSigma is the allowed refinement displacement scale in
+	// meters (default 0.06).
+	TetherSigma float64
+}
+
+// Locate estimates the 2D tag position from the first and last
+// observation (MobiTagbot uses two antennas).
+func (m *MobiTagbot) Locate(obs []core.Observation) (geom.Vec3, error) {
+	if len(obs) < 2 {
+		return geom.Vec3{}, fmt.Errorf("%w: have %d", ErrTooFewAntennasForBaseline, len(obs))
+	}
+	pair := []core.Observation{obs[0], obs[len(obs)-1]}
+	dists := make([]float64, len(pair))
+	for i, o := range pair {
+		dists[i] = rf.DistanceFromSlope(o.Line.K)
+	}
+	// Coarse fix: least-squares range intersection over the region.
+	cost := func(x, y float64) float64 {
+		var c float64
+		p := geom.Vec3{X: x, Y: y}
+		for i, o := range pair {
+			d := o.Pos.Dist(p) - dists[i]
+			c += d * d
+		}
+		return c
+	}
+	best := math.Inf(1)
+	var bx, by float64
+	for x := m.Bounds.XMin; x <= m.Bounds.XMax+1e-9; x += 0.04 {
+		for y := m.Bounds.YMin; y <= m.Bounds.YMax+1e-9; y += 0.04 {
+			if c := cost(x, y); c < best {
+				best, bx, by = c, x, y
+			}
+		}
+	}
+	refined, _ := mathx.NelderMead(func(v []float64) float64 {
+		return cost(clampRange(v[0], m.Bounds.XMin, m.Bounds.XMax), clampRange(v[1], m.Bounds.YMin, m.Bounds.YMax))
+	}, []float64{bx, by}, 0.04, 200)
+	pos := geom.Vec3{
+		X: clampRange(refined[0], m.Bounds.XMin, m.Bounds.XMax),
+		Y: clampRange(refined[1], m.Bounds.YMin, m.Bounds.YMax),
+	}
+	if m.DisableFine {
+		return pos, nil
+	}
+	return m.refineFine(pair, pos), nil
+}
+
+// refineFine is MobiTagbot's sub-wavelength step: it fits the
+// intercepts as propagation plus one common offset. Because the
+// per-antenna orientation phases differ, orientation variation leaks
+// into the refined position — MobiTagbot "considers the
+// orientation/material-dependent phase change as random noise".
+func (m *MobiTagbot) refineFine(pair []core.Observation, coarse geom.Vec3) geom.Vec3 {
+	tether := m.TetherSigma
+	if tether <= 0 {
+		tether = 0.06
+	}
+	obj := func(v []float64) float64 {
+		p := geom.Vec3{X: v[0], Y: v[1]}
+		// Common offset profiled circularly.
+		var s, c float64
+		res := make([]float64, len(pair))
+		for i, o := range pair {
+			prop := rf.PropagationPhase(o.Pos.Dist(p), rf.CenterFrequencyHz)
+			res[i] = o.Line.B0 - prop
+			s += math.Sin(res[i])
+			c += math.Cos(res[i])
+		}
+		mu := math.Atan2(s, c)
+		var cost float64
+		for _, r := range res {
+			d := mathx.WrapPi(r - mu)
+			cost += d * d
+		}
+		dx := (v[0] - coarse.X) / tether
+		dy := (v[1] - coarse.Y) / tether
+		// The tether plays the role of MobiTagbot's coarse prior: the
+		// refinement must stay near the slope fix.
+		return cost + 0.05*(dx*dx+dy*dy)
+	}
+	refined, _ := mathx.NelderMead(obj, []float64{coarse.X, coarse.Y}, 0.03, 200)
+	return geom.Vec3{
+		X: clampRange(refined[0], m.Bounds.XMin, m.Bounds.XMax),
+		Y: clampRange(refined[1], m.Bounds.YMin, m.Bounds.YMax),
+	}
+}
+
+func clampRange(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}

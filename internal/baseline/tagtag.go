@@ -1,0 +1,107 @@
+package baseline
+
+import (
+	"fmt"
+	"math"
+
+	"rfprism/internal/classify"
+	"rfprism/internal/mathx"
+	"rfprism/internal/preprocess"
+	"rfprism/internal/rf"
+)
+
+// Tagtag is the material-identification baseline: it removes the
+// propagation component with a coarse RSS-derived distance estimate,
+// cancels orientation/device offsets by mean-centering the curve
+// (channel hopping makes them a constant), and classifies the
+// resulting phase-vs-channel curve with DTW nearest neighbor.
+//
+// Its weakness, which the paper's case study 2 (Figs. 17–20)
+// characterizes, is the RSS distance estimate: material attenuation
+// biases RSS, so when the tag-antenna distance varies between
+// training and test, the residual propagation tilt varies too and the
+// curves drift apart.
+type Tagtag struct {
+	// RefRSSIDBm is the reference backscatter RSSI at 1 m used to
+	// invert RSS into distance.
+	RefRSSIDBm float64
+	// Window is the DTW band half-width (default 5 channels).
+	Window int
+
+	nn classify.DTWNN
+}
+
+// Curve extracts Tagtag's feature curve from one antenna's spectrum:
+// phase minus RSS-estimated propagation, circularly mean-centered,
+// sampled on all 50 channels (missing channels are interpolated).
+func (t *Tagtag) Curve(sp preprocess.Spectrum) []float64 {
+	dHat := rf.DistanceFromRSSI(sp.MeanRSSI(), t.RefRSSIDBm)
+	// Residual per channel, wrapped.
+	res := make([]float64, 0, len(sp.Samples))
+	chIdx := make([]int, 0, len(sp.Samples))
+	for _, s := range sp.Samples {
+		r := s.Phase - rf.PropagationPhase(dHat, s.FreqHz)
+		res = append(res, r)
+		chIdx = append(chIdx, s.Channel)
+	}
+	// Mean-center circularly: constant offsets (orientation, device
+	// intercept) vanish; only the curve shape remains.
+	var sSin, sCos float64
+	for _, r := range res {
+		sSin += math.Sin(r)
+		sCos += math.Cos(r)
+	}
+	mu := math.Atan2(sSin, sCos)
+	curve := make([]float64, rf.NumChannels)
+	filled := make([]bool, rf.NumChannels)
+	for i, r := range res {
+		if chIdx[i] >= 0 && chIdx[i] < rf.NumChannels {
+			curve[chIdx[i]] = mathx.WrapPi(r - mu)
+			filled[chIdx[i]] = true
+		}
+	}
+	fillGaps(curve, filled)
+	return curve
+}
+
+// fillGaps linearly interpolates unfilled channels from their
+// neighbors (edges copy the nearest filled value).
+func fillGaps(curve []float64, filled []bool) {
+	n := len(curve)
+	prev := -1
+	for i := 0; i < n; i++ {
+		if !filled[i] {
+			continue
+		}
+		if prev < 0 {
+			for j := 0; j < i; j++ {
+				curve[j] = curve[i]
+			}
+		} else {
+			for j := prev + 1; j < i; j++ {
+				f := float64(j-prev) / float64(i-prev)
+				curve[j] = curve[prev]*(1-f) + curve[i]*f
+			}
+		}
+		prev = i
+	}
+	if prev >= 0 {
+		for j := prev + 1; j < n; j++ {
+			curve[j] = curve[prev]
+		}
+	}
+}
+
+// Train fits the DTW nearest-neighbor model on labeled curves.
+func (t *Tagtag) Train(curves [][]float64, labels []int) error {
+	t.nn = classify.DTWNN{Window: t.Window}
+	if err := t.nn.Fit(classify.Dataset{X: curves, Y: labels}); err != nil {
+		return fmt.Errorf("tagtag: %w", err)
+	}
+	return nil
+}
+
+// Classify predicts the material label of a curve.
+func (t *Tagtag) Classify(curve []float64) (int, error) {
+	return t.nn.Predict(curve)
+}

@@ -1,0 +1,224 @@
+// Package classify provides the from-scratch classifiers RF-Prism's
+// material identification is evaluated with (§V-B, Fig. 13): K-nearest
+// neighbors, a linear support vector machine, and a CART decision
+// tree, plus the dynamic-time-warping distance the Tagtag baseline
+// uses. Only the standard library is used.
+package classify
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// ErrNotTrained is returned when Predict is called before Fit.
+var ErrNotTrained = errors.New("classify: model not trained")
+
+// Dataset is a labeled feature matrix.
+type Dataset struct {
+	X [][]float64
+	Y []int
+}
+
+// Validate checks the dataset's shape.
+func (d Dataset) Validate() error {
+	if len(d.X) != len(d.Y) {
+		return fmt.Errorf("classify: %d feature rows vs %d labels", len(d.X), len(d.Y))
+	}
+	if len(d.X) == 0 {
+		return errors.New("classify: empty dataset")
+	}
+	dim := len(d.X[0])
+	for i, row := range d.X {
+		if len(row) != dim {
+			return fmt.Errorf("classify: row %d has %d features, want %d", i, len(row), dim)
+		}
+	}
+	return nil
+}
+
+// NumClasses returns 1 + the maximum label.
+func (d Dataset) NumClasses() int {
+	max := -1
+	for _, y := range d.Y {
+		if y > max {
+			max = y
+		}
+	}
+	return max + 1
+}
+
+// Classifier is the common interface of all models in this package.
+type Classifier interface {
+	// Fit trains the model on the dataset.
+	Fit(d Dataset) error
+	// Predict returns the predicted label of one feature vector.
+	Predict(x []float64) (int, error)
+}
+
+// Standardizer z-scores features using statistics captured at fit
+// time. Distance- and margin-based models (KNN, SVM) need it because
+// the material feature vector mixes rad/Hz slopes (~1e-8) with radian
+// intercepts (~1).
+type Standardizer struct {
+	Mean, Std []float64
+}
+
+// FitStandardizer computes per-dimension statistics.
+func FitStandardizer(x [][]float64) Standardizer {
+	if len(x) == 0 {
+		return Standardizer{}
+	}
+	dim := len(x[0])
+	mean := make([]float64, dim)
+	std := make([]float64, dim)
+	for _, row := range x {
+		for j, v := range row {
+			mean[j] += v
+		}
+	}
+	for j := range mean {
+		mean[j] /= float64(len(x))
+	}
+	for _, row := range x {
+		for j, v := range row {
+			d := v - mean[j]
+			std[j] += d * d
+		}
+	}
+	for j := range std {
+		std[j] = math.Sqrt(std[j] / float64(len(x)))
+		if std[j] < 1e-12 {
+			std[j] = 1
+		}
+	}
+	return Standardizer{Mean: mean, Std: std}
+}
+
+// Apply z-scores one vector (allocating a new slice).
+func (s Standardizer) Apply(x []float64) []float64 {
+	if len(s.Mean) == 0 {
+		return append([]float64(nil), x...)
+	}
+	out := make([]float64, len(x))
+	for j, v := range x {
+		out[j] = (v - s.Mean[j]) / s.Std[j]
+	}
+	return out
+}
+
+// --- KNN ---
+
+// KNN is a brute-force K-nearest-neighbors classifier with optional
+// feature standardization.
+type KNN struct {
+	// K is the neighbor count (default 5).
+	K int
+	// Standardize z-scores features before distance computation.
+	Standardize bool
+
+	trained bool
+	std     Standardizer
+	x       [][]float64
+	y       []int
+}
+
+var _ Classifier = (*KNN)(nil)
+
+// Fit stores the (optionally standardized) training set.
+func (k *KNN) Fit(d Dataset) error {
+	if err := d.Validate(); err != nil {
+		return err
+	}
+	if k.K <= 0 {
+		k.K = 5
+	}
+	if k.Standardize {
+		k.std = FitStandardizer(d.X)
+	} else {
+		k.std = Standardizer{}
+	}
+	k.x = make([][]float64, len(d.X))
+	for i, row := range d.X {
+		k.x[i] = k.std.Apply(row)
+	}
+	k.y = append([]int(nil), d.Y...)
+	k.trained = true
+	return nil
+}
+
+// Predict votes among the K nearest training points.
+func (k *KNN) Predict(x []float64) (int, error) {
+	if !k.trained {
+		return 0, ErrNotTrained
+	}
+	q := k.std.Apply(x)
+	type cand struct {
+		dist  float64
+		label int
+	}
+	cands := make([]cand, len(k.x))
+	for i, row := range k.x {
+		var s float64
+		for j, v := range row {
+			d := q[j] - v
+			s += d * d
+		}
+		cands[i] = cand{dist: s, label: k.y[i]}
+	}
+	sort.Slice(cands, func(a, b int) bool { return cands[a].dist < cands[b].dist })
+	n := k.K
+	if n > len(cands) {
+		n = len(cands)
+	}
+	votes := make(map[int]int)
+	bestLabel, bestVotes := 0, -1
+	for i := 0; i < n; i++ {
+		votes[cands[i].label]++
+		if votes[cands[i].label] > bestVotes {
+			bestVotes = votes[cands[i].label]
+			bestLabel = cands[i].label
+		}
+	}
+	return bestLabel, nil
+}
+
+// Accuracy scores a classifier on a labeled set.
+func Accuracy(c Classifier, d Dataset) (float64, error) {
+	if err := d.Validate(); err != nil {
+		return 0, err
+	}
+	correct := 0
+	for i, row := range d.X {
+		p, err := c.Predict(row)
+		if err != nil {
+			return 0, err
+		}
+		if p == d.Y[i] {
+			correct++
+		}
+	}
+	return float64(correct) / float64(len(d.X)), nil
+}
+
+// ConfusionMatrix returns counts[true][predicted] over a labeled set.
+func ConfusionMatrix(c Classifier, d Dataset, numClasses int) ([][]int, error) {
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	m := make([][]int, numClasses)
+	for i := range m {
+		m[i] = make([]int, numClasses)
+	}
+	for i, row := range d.X {
+		p, err := c.Predict(row)
+		if err != nil {
+			return nil, err
+		}
+		if d.Y[i] >= 0 && d.Y[i] < numClasses && p >= 0 && p < numClasses {
+			m[d.Y[i]][p]++
+		}
+	}
+	return m, nil
+}

@@ -1,0 +1,284 @@
+package classify
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// blobs builds an easily separable 2D dataset with k Gaussian blobs.
+func blobs(rng *rand.Rand, k, perClass int, spread float64) Dataset {
+	d := Dataset{}
+	for c := 0; c < k; c++ {
+		cx := float64(c) * 4
+		cy := float64(c%2) * 4
+		for i := 0; i < perClass; i++ {
+			d.X = append(d.X, []float64{
+				cx + rng.NormFloat64()*spread,
+				cy + rng.NormFloat64()*spread,
+			})
+			d.Y = append(d.Y, c)
+		}
+	}
+	return d
+}
+
+func TestDatasetValidate(t *testing.T) {
+	if err := (Dataset{X: [][]float64{{1}}, Y: []int{0, 1}}).Validate(); err == nil {
+		t.Fatal("row/label mismatch must error")
+	}
+	if err := (Dataset{}).Validate(); err == nil {
+		t.Fatal("empty must error")
+	}
+	if err := (Dataset{X: [][]float64{{1, 2}, {3}}, Y: []int{0, 1}}).Validate(); err == nil {
+		t.Fatal("ragged rows must error")
+	}
+	if (Dataset{X: [][]float64{{1}}, Y: []int{4}}).NumClasses() != 5 {
+		t.Fatal("NumClasses")
+	}
+}
+
+func TestStandardizer(t *testing.T) {
+	x := [][]float64{{1, 100}, {3, 300}}
+	s := FitStandardizer(x)
+	a := s.Apply([]float64{2, 200})
+	if math.Abs(a[0]) > 1e-12 || math.Abs(a[1]) > 1e-12 {
+		t.Fatalf("mean not removed: %v", a)
+	}
+	b := s.Apply([]float64{3, 300})
+	if math.Abs(b[0]-b[1]) > 1e-9 {
+		t.Fatalf("scales not equalized: %v", b)
+	}
+	// Constant dimension must not divide by zero.
+	s2 := FitStandardizer([][]float64{{5}, {5}})
+	if v := s2.Apply([]float64{5}); math.IsNaN(v[0]) || math.IsInf(v[0], 0) {
+		t.Fatalf("constant dim: %v", v)
+	}
+	// Empty standardizer copies.
+	e := Standardizer{}
+	in := []float64{1, 2}
+	out := e.Apply(in)
+	out[0] = 9
+	if in[0] == 9 {
+		t.Fatal("Apply aliased its input")
+	}
+}
+
+func TestKNNSeparable(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	train := blobs(rng, 4, 30, 0.3)
+	test := blobs(rng, 4, 10, 0.3)
+	knn := &KNN{K: 3, Standardize: true}
+	if err := knn.Fit(train); err != nil {
+		t.Fatal(err)
+	}
+	acc, err := Accuracy(knn, test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc < 0.95 {
+		t.Fatalf("KNN accuracy %g on separable blobs", acc)
+	}
+}
+
+func TestKNNNotTrained(t *testing.T) {
+	var knn KNN
+	if _, err := knn.Predict([]float64{1}); !errors.Is(err, ErrNotTrained) {
+		t.Fatalf("want ErrNotTrained, got %v", err)
+	}
+}
+
+func TestKNNKLargerThanData(t *testing.T) {
+	knn := &KNN{K: 50}
+	if err := knn.Fit(Dataset{X: [][]float64{{0}, {1}, {2}}, Y: []int{0, 0, 1}}); err != nil {
+		t.Fatal(err)
+	}
+	p, err := knn.Predict([]float64{0.1})
+	if err != nil || p != 0 {
+		t.Fatalf("K>n: %d, %v", p, err)
+	}
+}
+
+func TestKNNMajorityVote(t *testing.T) {
+	knn := &KNN{K: 3}
+	d := Dataset{
+		X: [][]float64{{0}, {0.1}, {0.2}, {5}},
+		Y: []int{1, 1, 0, 0},
+	}
+	if err := knn.Fit(d); err != nil {
+		t.Fatal(err)
+	}
+	p, err := knn.Predict([]float64{0.05})
+	if err != nil || p != 1 {
+		t.Fatalf("majority vote = %d, %v", p, err)
+	}
+}
+
+func TestSVMSeparable(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	train := blobs(rng, 3, 60, 0.4)
+	test := blobs(rng, 3, 20, 0.4)
+	svm := &SVM{Seed: 1}
+	if err := svm.Fit(train); err != nil {
+		t.Fatal(err)
+	}
+	acc, err := Accuracy(svm, test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc < 0.9 {
+		t.Fatalf("SVM accuracy %g on separable blobs", acc)
+	}
+}
+
+func TestSVMDeterministicBySeed(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	train := blobs(rng, 2, 40, 0.5)
+	mk := func() []int {
+		svm := &SVM{Seed: 9}
+		if err := svm.Fit(train); err != nil {
+			t.Fatal(err)
+		}
+		var out []int
+		for _, x := range train.X {
+			p, _ := svm.Predict(x)
+			out = append(out, p)
+		}
+		return out
+	}
+	a, b := mk(), mk()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("SVM not deterministic for a fixed seed")
+		}
+	}
+}
+
+func TestSVMNotTrained(t *testing.T) {
+	var svm SVM
+	if _, err := svm.Predict([]float64{1}); !errors.Is(err, ErrNotTrained) {
+		t.Fatal(err)
+	}
+}
+
+func TestTreeXOR(t *testing.T) {
+	// XOR is not linearly separable; the tree must still nail it.
+	d := Dataset{}
+	rng := rand.New(rand.NewSource(4))
+	for i := 0; i < 200; i++ {
+		x := float64(rng.Intn(2))
+		y := float64(rng.Intn(2))
+		d.X = append(d.X, []float64{x + rng.NormFloat64()*0.1, y + rng.NormFloat64()*0.1})
+		d.Y = append(d.Y, int(x)^int(y))
+	}
+	tree := &Tree{}
+	if err := tree.Fit(d); err != nil {
+		t.Fatal(err)
+	}
+	acc, err := Accuracy(tree, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc < 0.97 {
+		t.Fatalf("tree accuracy %g on XOR", acc)
+	}
+	if tree.Depth() < 2 {
+		t.Fatalf("XOR needs depth >= 2, got %d", tree.Depth())
+	}
+}
+
+func TestTreePureLeaf(t *testing.T) {
+	tree := &Tree{}
+	d := Dataset{X: [][]float64{{1}, {2}, {3}}, Y: []int{2, 2, 2}}
+	if err := tree.Fit(d); err != nil {
+		t.Fatal(err)
+	}
+	if p, _ := tree.Predict([]float64{99}); p != 2 {
+		t.Fatalf("pure dataset prediction = %d", p)
+	}
+	if tree.Depth() != 0 {
+		t.Fatalf("pure dataset must be a single leaf, depth %d", tree.Depth())
+	}
+}
+
+func TestTreeMaxDepth(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	d := blobs(rng, 4, 50, 1.5)
+	tree := &Tree{MaxDepth: 2}
+	if err := tree.Fit(d); err != nil {
+		t.Fatal(err)
+	}
+	if tree.Depth() > 2 {
+		t.Fatalf("depth %d exceeds MaxDepth 2", tree.Depth())
+	}
+}
+
+func TestTreeNotTrained(t *testing.T) {
+	var tree Tree
+	if _, err := tree.Predict([]float64{1}); !errors.Is(err, ErrNotTrained) {
+		t.Fatal(err)
+	}
+}
+
+func TestConfusionMatrix(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	train := blobs(rng, 3, 40, 0.3)
+	tree := &Tree{}
+	if err := tree.Fit(train); err != nil {
+		t.Fatal(err)
+	}
+	m, err := ConfusionMatrix(tree, train, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var diag, total int
+	for i := range m {
+		for j := range m[i] {
+			total += m[i][j]
+			if i == j {
+				diag += m[i][j]
+			}
+		}
+	}
+	if total != len(train.X) {
+		t.Fatalf("confusion total %d, want %d", total, len(train.X))
+	}
+	if float64(diag)/float64(total) < 0.95 {
+		t.Fatalf("training confusion too off-diagonal: %d/%d", diag, total)
+	}
+}
+
+// TestClassifiersAgreeOnTrivialProblem: all three classifiers must
+// perfectly learn a 1D threshold problem.
+func TestClassifiersAgreeOnTrivialProblem(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		d := Dataset{}
+		for i := 0; i < 60; i++ {
+			v := rng.Float64()*2 - 1
+			label := 0
+			if v > 0 {
+				label = 1
+			}
+			d.X = append(d.X, []float64{v})
+			d.Y = append(d.Y, label)
+		}
+		for _, c := range []Classifier{&KNN{K: 1}, &SVM{Seed: seed}, &Tree{}} {
+			if err := c.Fit(d); err != nil {
+				return false
+			}
+			if p, err := c.Predict([]float64{0.8}); err != nil || p != 1 {
+				return false
+			}
+			if p, err := c.Predict([]float64{-0.8}); err != nil || p != 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,119 @@
+package classify
+
+import (
+	"errors"
+	"math"
+)
+
+// DTW computes the dynamic-time-warping distance between two
+// sequences with a Sakoe–Chiba band constraint. The Tagtag baseline
+// classifies material phase curves with 1-NN under this distance.
+func DTW(a, b []float64, window int) float64 {
+	n, m := len(a), len(b)
+	if n == 0 || m == 0 {
+		return math.Inf(1)
+	}
+	if window <= 0 {
+		window = max(n, m)
+	}
+	if w := abs(n - m); window < w {
+		window = w
+	}
+	const inf = math.MaxFloat64
+	prev := make([]float64, m+1)
+	cur := make([]float64, m+1)
+	for j := range prev {
+		prev[j] = inf
+	}
+	prev[0] = 0
+	for i := 1; i <= n; i++ {
+		for j := range cur {
+			cur[j] = inf
+		}
+		lo := max(1, i-window)
+		hi := min(m, i+window)
+		for j := lo; j <= hi; j++ {
+			d := a[i-1] - b[j-1]
+			c := d * d
+			best := prev[j] // insertion
+			if prev[j-1] < best {
+				best = prev[j-1] // match
+			}
+			if cur[j-1] < best {
+				best = cur[j-1] // deletion
+			}
+			cur[j] = c + best
+		}
+		prev, cur = cur, prev
+	}
+	return math.Sqrt(prev[m])
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// DTWNN is a 1-nearest-neighbor classifier under the DTW distance —
+// the classification engine of the Tagtag baseline.
+type DTWNN struct {
+	// Window is the Sakoe–Chiba band half-width (default 5).
+	Window int
+
+	trained bool
+	x       [][]float64
+	y       []int
+}
+
+var _ Classifier = (*DTWNN)(nil)
+
+// Fit stores the training curves.
+func (c *DTWNN) Fit(d Dataset) error {
+	if err := d.Validate(); err != nil {
+		return err
+	}
+	if c.Window <= 0 {
+		c.Window = 5
+	}
+	c.x = make([][]float64, len(d.X))
+	for i, row := range d.X {
+		c.x[i] = append([]float64(nil), row...)
+	}
+	c.y = append([]int(nil), d.Y...)
+	c.trained = true
+	return nil
+}
+
+// Predict returns the label of the DTW-nearest training curve.
+func (c *DTWNN) Predict(x []float64) (int, error) {
+	if !c.trained {
+		return 0, ErrNotTrained
+	}
+	if len(c.x) == 0 {
+		return 0, errors.New("classify: empty DTW training set")
+	}
+	best, bestDist := 0, math.Inf(1)
+	for i, row := range c.x {
+		d := DTW(x, row, c.Window)
+		if d < bestDist {
+			best, bestDist = c.y[i], d
+		}
+	}
+	return best, nil
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

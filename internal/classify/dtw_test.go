@@ -1,0 +1,131 @@
+package classify
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestDTWIdentity(t *testing.T) {
+	a := []float64{1, 2, 3, 2, 1}
+	if d := DTW(a, a, 0); d != 0 {
+		t.Fatalf("DTW(a,a) = %g", d)
+	}
+}
+
+func TestDTWSymmetry(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := make([]float64, 5+rng.Intn(10))
+		b := make([]float64, 5+rng.Intn(10))
+		for i := range a {
+			a[i] = rng.NormFloat64()
+		}
+		for i := range b {
+			b[i] = rng.NormFloat64()
+		}
+		return math.Abs(DTW(a, b, 0)-DTW(b, a, 0)) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDTWNonNegative(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := make([]float64, 3+rng.Intn(8))
+		b := make([]float64, 3+rng.Intn(8))
+		for i := range a {
+			a[i] = rng.NormFloat64()
+		}
+		for i := range b {
+			b[i] = rng.NormFloat64()
+		}
+		return DTW(a, b, 3) >= 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDTWWarpsShifts(t *testing.T) {
+	// A time-shifted copy must be much closer under DTW than under a
+	// rigid Euclidean distance.
+	n := 40
+	a := make([]float64, n)
+	b := make([]float64, n)
+	for i := range a {
+		a[i] = math.Sin(float64(i) * 0.4)
+		b[i] = math.Sin(float64(i)*0.4 - 0.8) // shifted by 2 samples
+	}
+	var euclid float64
+	for i := range a {
+		d := a[i] - b[i]
+		euclid += d * d
+	}
+	euclid = math.Sqrt(euclid)
+	if dtw := DTW(a, b, 5); dtw > euclid/2 {
+		t.Fatalf("DTW %g did not absorb the shift (euclid %g)", dtw, euclid)
+	}
+}
+
+func TestDTWEmpty(t *testing.T) {
+	if !math.IsInf(DTW(nil, []float64{1}, 0), 1) {
+		t.Fatal("empty sequence must give +inf")
+	}
+}
+
+func TestDTWDifferentLengths(t *testing.T) {
+	a := []float64{0, 1, 2, 3}
+	b := []float64{0, 0.5, 1, 1.5, 2, 2.5, 3}
+	if d := DTW(a, b, 2); math.IsInf(d, 0) || d < 0 {
+		t.Fatalf("different lengths: %g", d)
+	}
+}
+
+func TestDTWNNClassifier(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	mkCurve := func(class int) []float64 {
+		out := make([]float64, 30)
+		for i := range out {
+			base := math.Sin(float64(i)*0.3 + float64(class)*1.5)
+			out[i] = base + rng.NormFloat64()*0.1
+		}
+		return out
+	}
+	d := Dataset{}
+	for c := 0; c < 3; c++ {
+		for i := 0; i < 15; i++ {
+			d.X = append(d.X, mkCurve(c))
+			d.Y = append(d.Y, c)
+		}
+	}
+	nn := &DTWNN{Window: 4}
+	if err := nn.Fit(d); err != nil {
+		t.Fatal(err)
+	}
+	correct := 0
+	const trials = 30
+	for i := 0; i < trials; i++ {
+		c := i % 3
+		p, err := nn.Predict(mkCurve(c))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p == c {
+			correct++
+		}
+	}
+	if correct < trials*9/10 {
+		t.Fatalf("DTW-NN got %d/%d", correct, trials)
+	}
+}
+
+func TestDTWNNNotTrained(t *testing.T) {
+	var nn DTWNN
+	if _, err := nn.Predict([]float64{1}); err == nil {
+		t.Fatal("untrained DTWNN must error")
+	}
+}

@@ -1,0 +1,114 @@
+package classify
+
+import (
+	"math/rand"
+)
+
+// SVM is a multi-class linear support vector machine trained
+// one-vs-rest with the Pegasos primal sub-gradient algorithm
+// (Shalev-Shwartz et al.). Features are always standardized.
+type SVM struct {
+	// Lambda is the regularization strength (default 1e-3).
+	Lambda float64
+	// Epochs is the number of passes over the data (default 40).
+	Epochs int
+	// Seed drives the sampling order for reproducibility.
+	Seed int64
+
+	trained bool
+	std     Standardizer
+	weights [][]float64 // per class, length dim+1 (bias last)
+}
+
+var _ Classifier = (*SVM)(nil)
+
+// Fit trains one binary Pegasos SVM per class.
+func (s *SVM) Fit(d Dataset) error {
+	if err := d.Validate(); err != nil {
+		return err
+	}
+	if s.Lambda <= 0 {
+		s.Lambda = 1e-3
+	}
+	if s.Epochs <= 0 {
+		s.Epochs = 40
+	}
+	s.std = FitStandardizer(d.X)
+	x := make([][]float64, len(d.X))
+	for i, row := range d.X {
+		x[i] = s.std.Apply(row)
+	}
+	numClasses := d.NumClasses()
+	dim := len(x[0])
+	s.weights = make([][]float64, numClasses)
+	rng := rand.New(rand.NewSource(s.Seed + 1))
+	for c := 0; c < numClasses; c++ {
+		s.weights[c] = s.trainBinary(x, d.Y, c, dim, rng)
+	}
+	s.trained = true
+	return nil
+}
+
+// trainBinary runs Pegasos for class c vs rest, returning the weight
+// vector with the bias appended.
+func (s *SVM) trainBinary(x [][]float64, y []int, c, dim int, rng *rand.Rand) []float64 {
+	w := make([]float64, dim+1)
+	t := 0
+	n := len(x)
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	for epoch := 0; epoch < s.Epochs; epoch++ {
+		rng.Shuffle(n, func(i, j int) { order[i], order[j] = order[j], order[i] })
+		for _, i := range order {
+			t++
+			eta := 1 / (s.Lambda * float64(t))
+			label := -1.0
+			if y[i] == c {
+				label = 1
+			}
+			margin := w[dim] // bias
+			for j, v := range x[i] {
+				margin += w[j] * v
+			}
+			margin *= label
+			// Regularization shrink (weights only, not bias).
+			shrink := 1 - eta*s.Lambda
+			if shrink < 0 {
+				shrink = 0
+			}
+			for j := 0; j < dim; j++ {
+				w[j] *= shrink
+			}
+			if margin < 1 {
+				for j, v := range x[i] {
+					w[j] += eta * label * v
+				}
+				w[dim] += eta * label
+			}
+		}
+	}
+	return w
+}
+
+// Predict returns the class with the highest decision value.
+func (s *SVM) Predict(x []float64) (int, error) {
+	if !s.trained {
+		return 0, ErrNotTrained
+	}
+	q := s.std.Apply(x)
+	best, bestScore := 0, 0.0
+	for c, w := range s.weights {
+		score := w[len(w)-1]
+		for j, v := range q {
+			if j < len(w)-1 {
+				score += w[j] * v
+			}
+		}
+		if c == 0 || score > bestScore {
+			best, bestScore = c, score
+		}
+	}
+	return best, nil
+}

@@ -1,0 +1,589 @@
+// Package core implements RF-Prism's phase disentangling: the
+// multi-frequency multi-antenna model of §IV and its solver, which
+// separates one hop round of phase readings into the propagation,
+// orientation and material components, yielding simultaneous
+// localization, orientation sensing and material parameters.
+//
+// The solver follows the paper's two observations per antenna — the
+// slope k_i and intercept b_i of the phase-vs-frequency line (Eq. 7)
+// — and solves the 2N-equation system in two stages:
+//
+//  1. a slope-only grid search localizes the tag coarsely (the slopes
+//     are wrap-free, so this stage has no ambiguity), and
+//  2. a joint Levenberg–Marquardt multistart refines all unknowns
+//     (x, y, α, k_t, b_t) against both the slope equations and the
+//     *wrapped* intercept equations.
+//
+// The intercepts carry sub-wavelength information (ψ changes by 2π
+// per λ/2 of distance), which is why the joint stage both sharpens the
+// position to the nearest phase-consistent basin and recovers the
+// orientation: a basin error displaces distance by exactly λ/2, i.e.
+// shifts the intercept residual by exactly 2π — leaving orientation
+// estimation unaffected.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"rfprism/internal/fit"
+	"rfprism/internal/geom"
+	"rfprism/internal/mathx"
+	"rfprism/internal/rf"
+)
+
+// ErrTooFewAntennas is returned when fewer antennas than the model
+// needs are observed (3 for 2D, 4 for 3D).
+var ErrTooFewAntennas = errors.New("core: too few antennas")
+
+// Observation is the per-antenna input to the disentangler: the
+// antenna's surveyed geometry and the fitted phase-vs-frequency line
+// of the current window. Freqs/Phases optionally carry the surviving
+// channel samples for the per-channel maximum-likelihood polish.
+type Observation struct {
+	ID     int
+	Pos    geom.Vec3
+	Frame  geom.Frame
+	Line   fit.Line
+	Freqs  []float64
+	Phases []float64
+}
+
+// Bounds is the rectangular (2D) or box (3D) search region for the
+// tag position.
+type Bounds struct {
+	XMin, XMax float64
+	YMin, YMax float64
+	ZMin, ZMax float64 // used by Solve3D only
+}
+
+// Estimate is the disentangled state of one tag window.
+type Estimate struct {
+	// Pos is the tag position (Z = 0 for Solve2D).
+	Pos geom.Vec3
+	// Alpha is the in-plane polarization angle in [0, π) (2D).
+	Alpha float64
+	// Azimuth and Elevation describe the 3D polarization (Solve3D).
+	Azimuth, Elevation float64
+	// Kt is the residual slope common to all antennas: the material
+	// slope k_t (plus per-tag diversity until tag calibration).
+	Kt float64
+	// Bt0 is the residual band-center intercept: the material
+	// intercept b_t (plus per-tag diversity), in [0, 2π).
+	Bt0 float64
+	// Cost is the weighted joint residual at the solution; a
+	// solution-quality indicator comparable across windows.
+	Cost float64
+}
+
+// Options tunes the solver. The zero value uses defaults.
+type Options struct {
+	// GridStep is the coarse position search step in meters.
+	// Default 0.05.
+	GridStep float64
+	// SigmaB is the assumed intercept model error (rad) weighting
+	// the wrapped intercept equations against the slope equations.
+	// Default 0.04.
+	SigmaB float64
+	// DisableFinePhase turns the joint intercept refinement off,
+	// reducing the solver to the slope-only stage plus a detached
+	// orientation fit — the ablation showing what the wrapped
+	// intercept equations buy.
+	DisableFinePhase bool
+	// MLPolish additionally refines against the raw per-channel
+	// phases (requires Freqs/Phases in the observations). Off by
+	// default; exposed for the ablation benches.
+	MLPolish bool
+	// NoKtPrior disables the weak physical prior on the common
+	// slope offset k_t. The prior (rf.KtPhysicalMean ± Sigma)
+	// suppresses the radial position/k_t near-ambiguity at the far
+	// edge of the region; disabling it is an ablation.
+	NoKtPrior bool
+	// KtPriorMean/KtPriorSigma override the default k_t prior.
+	KtPriorMean, KtPriorSigma float64
+}
+
+func (o *Options) defaults() {
+	if o.GridStep <= 0 {
+		o.GridStep = 0.05
+	}
+	if o.SigmaB <= 0 {
+		o.SigmaB = 0.04
+	}
+	if o.KtPriorSigma <= 0 {
+		o.KtPriorMean = rf.KtPhysicalMean
+		o.KtPriorSigma = rf.KtPhysicalSigma
+	}
+	if o.NoKtPrior {
+		o.KtPriorSigma = 0
+	}
+}
+
+// AntennaCal holds the per-antenna hardware corrections of §IV-C,
+// relative to the first antenna: after subtraction every antenna has
+// the same effective reader phase, which the model absorbs into
+// (k_t, b_t).
+type AntennaCal struct {
+	// DK and DB are per-antenna slope (rad/Hz) and band-center
+	// intercept (rad) corrections, keyed by antenna ID.
+	DK map[int]float64
+	DB map[int]float64
+}
+
+// Apply returns a copy of obs with the calibration subtracted.
+func (c AntennaCal) Apply(obs []Observation) []Observation {
+	if c.DK == nil && c.DB == nil {
+		return obs
+	}
+	out := make([]Observation, len(obs))
+	copy(out, obs)
+	for i := range out {
+		out[i].Line.K -= c.DK[out[i].ID]
+		out[i].Line.B0 -= c.DB[out[i].ID]
+		if len(out[i].Phases) > 0 {
+			ph := make([]float64, len(out[i].Phases))
+			for j, p := range out[i].Phases {
+				ph[j] = p - c.DK[out[i].ID]*(out[i].Freqs[j]-rf.CenterFrequencyHz) - c.DB[out[i].ID]
+			}
+			out[i].Phases = ph
+		}
+	}
+	return out
+}
+
+// CalibrateAntennas derives the per-antenna corrections from a
+// calibration window: a bare tag at a known position with known
+// in-plane polarization angle (the paper's pre-deployment procedure,
+// §IV-C). The correction is absolute — it removes each port's full
+// hardware line (plus the calibration tag's own diversity, which
+// simply re-references every other tag's k_t/b_t). Keeping the
+// corrected k_t small is what makes the physical k_t prior in the
+// solver meaningful.
+func CalibrateAntennas(obs []Observation, truthPos geom.Vec3, truthAlpha float64) (AntennaCal, error) {
+	if len(obs) == 0 {
+		return AntennaCal{}, fmt.Errorf("core: calibration needs observations")
+	}
+	w := rf.TagPolarization2D(truthAlpha)
+	dk := make(map[int]float64, len(obs))
+	db := make(map[int]float64, len(obs))
+	for _, o := range obs {
+		d := o.Pos.Dist(truthPos)
+		expK := rf.PropagationSlope(d)
+		expB := mathx.Wrap2Pi(rf.PropagationPhase(d, rf.CenterFrequencyHz) + rf.OrientationPhase(o.Frame, w))
+		residK := o.Line.K - expK
+		residB := mathx.WrapPi(o.Line.B0 - expB)
+		dk[o.ID] = residK
+		db[o.ID] = residB
+	}
+	return AntennaCal{DK: dk, DB: db}, nil
+}
+
+// slopeCost evaluates the stage-1 objective at position p: the
+// weighted variance of e_i = k_i − 4π·d_i/c across antennas (the
+// common offset k_t is profiled out). It returns the cost and the
+// profiled k_t.
+// ktPrior is the (mean, 1/σ²) of the k_t prior; wp = 0 disables it.
+type ktPrior struct {
+	mean, wp float64
+}
+
+func (o Options) prior() ktPrior {
+	if o.KtPriorSigma <= 0 {
+		return ktPrior{}
+	}
+	return ktPrior{mean: o.KtPriorMean, wp: 1 / (o.KtPriorSigma * o.KtPriorSigma)}
+}
+
+func slopeCost(obs []Observation, p geom.Vec3, prior ktPrior) (cost, kt float64) {
+	var sw, swe float64
+	es := make([]float64, len(obs))
+	ws := make([]float64, len(obs))
+	for i, o := range obs {
+		d := o.Pos.Dist(p)
+		e := o.Line.K - rf.PropagationSlope(d)
+		w := 1.0
+		if o.Line.SigmaK > 0 {
+			w = 1 / (o.Line.SigmaK * o.Line.SigmaK)
+		}
+		es[i], ws[i] = e, w
+		sw += w
+		swe += w * e
+	}
+	// The common offset k_t is profiled analytically, shrunk toward
+	// the physical prior when one is configured.
+	kt = (swe + prior.mean*prior.wp) / (sw + prior.wp)
+	for i := range es {
+		d := es[i] - kt
+		cost += ws[i] * d * d
+	}
+	dp := kt - prior.mean
+	cost += prior.wp * dp * dp
+	return cost / sw, kt
+}
+
+// orientCost evaluates the detached orientation objective at
+// polarization vector w given residual intercepts psi: the circular
+// variance of ψ_i − θorient_i(w). It returns the cost and the
+// profiled b_t (circular mean of the residuals).
+func orientCost(obs []Observation, psi []float64, w geom.Vec3) (cost, bt0 float64) {
+	var s, c float64
+	for i, o := range obs {
+		r := psi[i] - rf.OrientationPhase(o.Frame, w)
+		s += math.Sin(r)
+		c += math.Cos(r)
+	}
+	n := float64(len(obs))
+	resultant := math.Hypot(s/n, c/n)
+	return 1 - resultant, mathx.Wrap2Pi(math.Atan2(s, c))
+}
+
+// adaptiveSigmaB widens the assumed intercept error to the median
+// per-antenna fit residual when that exceeds the configured floor.
+func adaptiveSigmaB(obs []Observation, floor float64) float64 {
+	resids := make([]float64, 0, len(obs))
+	for _, o := range obs {
+		resids = append(resids, o.Line.ResidStd)
+	}
+	if m := mathx.Median(resids); m > floor {
+		return m
+	}
+	return floor
+}
+
+// jointCost2D is the full 2N-equation objective of Eq. (7) at
+// parameter vector p = (x, y, α, k_t, b_t): weighted slope residuals
+// plus weighted *wrapped* intercept residuals.
+func jointCost2D(obs []Observation, p []float64, sigmaB float64, prior ktPrior) float64 {
+	pos := geom.Vec3{X: p[0], Y: p[1]}
+	w := rf.TagPolarization2D(p[2])
+	kt, bt0 := p[3], p[4]
+	var cost float64
+	for _, o := range obs {
+		d := o.Pos.Dist(pos)
+		rk := o.Line.K - rf.PropagationSlope(d) - kt
+		wk := 1.0
+		if o.Line.SigmaK > 0 {
+			wk = 1 / (o.Line.SigmaK * o.Line.SigmaK)
+		}
+		pred := rf.PropagationPhase(d, rf.CenterFrequencyHz) + rf.OrientationPhase(o.Frame, w) + bt0
+		rb := mathx.WrapPi(o.Line.B0 - pred)
+		cost += wk*rk*rk + rb*rb/(sigmaB*sigmaB)
+	}
+	dp := kt - prior.mean
+	cost += prior.wp * dp * dp
+	return cost
+}
+
+// Solve2D disentangles a window observed by ≥3 antennas for a tag on
+// the z = 0 working plane with in-plane polarization. It implements
+// Eq. (7): position and material slope from the per-antenna slopes,
+// orientation and material intercept from the per-antenna intercepts.
+func Solve2D(obs []Observation, bounds Bounds, opts Options) (Estimate, error) {
+	opts.defaults()
+	if len(obs) < 3 {
+		return Estimate{}, fmt.Errorf("%w: have %d, need 3 for 2D", ErrTooFewAntennas, len(obs))
+	}
+
+	// Scale the intercept weight by the observed fit quality: under
+	// multipath the per-antenna residuals inflate, the intercepts are
+	// no longer trustworthy to σ_B, and over-weighting them makes the
+	// joint stage jump to far wrong wrap basins.
+	opts.SigmaB = adaptiveSigmaB(obs, opts.SigmaB)
+
+	// Stage 1: wrap-free coarse position from the slopes alone.
+	posA := gridSearch2D(obs, bounds, opts.GridStep, opts.prior())
+	posA = refinePos2D(obs, posA, bounds, opts.GridStep, opts.prior())
+
+	if opts.DisableFinePhase {
+		return solveDetached2D(obs, posA, opts), nil
+	}
+
+	// Stage 2: joint multistart over position offsets (to cover the
+	// λ/2 wrap basins around the coarse fix) and orientation starts.
+	best := Estimate{Cost: math.Inf(1)}
+	for _, dx := range jointOffsets {
+		for _, dy := range jointOffsets {
+			x0 := clamp(posA.X+dx, bounds.XMin, bounds.XMax)
+			y0 := clamp(posA.Y+dy, bounds.YMin, bounds.YMax)
+			_, kt0 := slopeCost(obs, geom.Vec3{X: x0, Y: y0}, opts.prior())
+			for a := 0; a < 6; a++ {
+				alpha0 := float64(a) * math.Pi / 6
+				// Profile bt0 at the start for a good basin entry.
+				psi := makePsi(obs, geom.Vec3{X: x0, Y: y0})
+				_, bt0 := orientCost(obs, psi, rf.TagPolarization2D(alpha0))
+				p0 := []float64{x0, y0, alpha0, kt0, bt0}
+				cand := runJoint2D(obs, p0, bounds, opts)
+				if cand.Cost < best.Cost {
+					best = cand
+				}
+			}
+		}
+	}
+	best = refineAlpha2D(obs, best, opts)
+	// Final fine simplex from the winning candidate: the coarse
+	// multistart runs are iteration-capped and can stall a few
+	// millimeters short of the minimum.
+	if fine := runJoint2DFine(obs, best, bounds, opts); fine.Cost < best.Cost {
+		best = fine
+	}
+	best = refineAlpha2D(obs, best, opts)
+	if opts.MLPolish {
+		best = polish2D(obs, best, bounds)
+		best = refineAlpha2D(obs, best, opts)
+	}
+	return best, nil
+}
+
+// runJoint2DFine is a tighter, longer simplex pass around an
+// already-good candidate.
+func runJoint2DFine(obs []Observation, est Estimate, bounds Bounds, opts Options) Estimate {
+	obj := func(p []float64) float64 {
+		q := []float64{
+			clamp(p[0], bounds.XMin, bounds.XMax),
+			clamp(p[1], bounds.YMin, bounds.YMax),
+			p[2], p[3], p[4],
+		}
+		return jointCost2D(obs, q, opts.SigmaB, opts.prior())
+	}
+	p0 := []float64{est.Pos.X, est.Pos.Y, est.Alpha, est.Kt, est.Bt0}
+	p, cost := mathx.NelderMead(obj, p0, 0.004, 500)
+	return Estimate{
+		Pos:   geom.Vec3{X: clamp(p[0], bounds.XMin, bounds.XMax), Y: clamp(p[1], bounds.YMin, bounds.YMax)},
+		Alpha: normalizeAlpha(p[2]),
+		Kt:    p[3],
+		Bt0:   mathx.Wrap2Pi(p[4]),
+		Cost:  cost,
+	}
+}
+
+// refineAlpha2D re-estimates the orientation with a dense grid at the
+// solved position: the joint simplex can stall in a local minimum of
+// the angle-doubled orientation response, and a 1-degree grid over
+// [0, pi) is cheap insurance. The result is kept only if it lowers
+// the joint cost.
+func refineAlpha2D(obs []Observation, est Estimate, opts Options) Estimate {
+	psi := makePsi(obs, est.Pos)
+	bestA, bestC := est.Alpha, math.Inf(1)
+	for a := 0.0; a < math.Pi; a += mathx.Rad(1) {
+		c, _ := orientCost(obs, psi, rf.TagPolarization2D(a))
+		if c < bestC {
+			bestC, bestA = c, a
+		}
+	}
+	alpha := refineAngle(func(a float64) float64 {
+		c, _ := orientCost(obs, psi, rf.TagPolarization2D(a))
+		return c
+	}, bestA, mathx.Rad(1))
+	_, bt0 := orientCost(obs, psi, rf.TagPolarization2D(alpha))
+	cand := []float64{est.Pos.X, est.Pos.Y, alpha, est.Kt, bt0}
+	if c := jointCost2D(obs, cand, opts.SigmaB, opts.prior()); c < est.Cost {
+		est.Alpha = normalizeAlpha(alpha)
+		est.Bt0 = bt0
+		est.Cost = c
+	}
+	return est
+}
+
+// refineAngle golden-sections a 1D angular objective around a coarse
+// minimum.
+func refineAngle(f func(float64) float64, center, halfWidth float64) float64 {
+	const phi = 0.6180339887498949
+	a, b := center-halfWidth, center+halfWidth
+	c := b - phi*(b-a)
+	d := a + phi*(b-a)
+	fc, fd := f(c), f(d)
+	for i := 0; i < 40 && (b-a) > 1e-6; i++ {
+		if fc < fd {
+			b, d, fd = d, c, fc
+			c = b - phi*(b-a)
+			fc = f(c)
+		} else {
+			a, c, fc = c, d, fd
+			d = a + phi*(b-a)
+			fd = f(d)
+		}
+	}
+	return (a + b) / 2
+}
+
+// jointOffsets covers the wrap basins around the slope-only fix in
+// each axis: ±24 cm at 8 cm (≈λ/4) steps. At the far corners of the
+// region the slope-only fix can be 20+ cm off, so the multistart must
+// reach past one basin.
+var jointOffsets = []float64{-0.24, -0.16, -0.08, 0, 0.08, 0.16, 0.24}
+
+func makePsi(obs []Observation, pos geom.Vec3) []float64 {
+	psi := make([]float64, len(obs))
+	for i, o := range obs {
+		prop := rf.PropagationPhase(o.Pos.Dist(pos), rf.CenterFrequencyHz)
+		psi[i] = mathx.Wrap2Pi(o.Line.B0 - prop)
+	}
+	return psi
+}
+
+// runJoint2D runs a damped Nelder–Mead + LM refinement of the joint
+// objective from p0 and packages the result.
+func runJoint2D(obs []Observation, p0 []float64, bounds Bounds, opts Options) Estimate {
+	obj := func(p []float64) float64 {
+		q := []float64{
+			clamp(p[0], bounds.XMin, bounds.XMax),
+			clamp(p[1], bounds.YMin, bounds.YMax),
+			p[2], p[3], p[4],
+		}
+		return jointCost2D(obs, q, opts.SigmaB, opts.prior())
+	}
+	p, cost := mathx.NelderMead(obj, p0, 0.02, 200)
+	return Estimate{
+		Pos:   geom.Vec3{X: clamp(p[0], bounds.XMin, bounds.XMax), Y: clamp(p[1], bounds.YMin, bounds.YMax)},
+		Alpha: normalizeAlpha(p[2]),
+		Kt:    p[3],
+		Bt0:   mathx.Wrap2Pi(p[4]),
+		Cost:  cost,
+	}
+}
+
+// solveDetached2D is the fine-phase-off ablation: slope-only position
+// plus an orientation fit against the (position-error-contaminated)
+// intercept residuals.
+func solveDetached2D(obs []Observation, pos geom.Vec3, opts Options) Estimate {
+	costK, kt := slopeCost(obs, pos, opts.prior())
+	psi := makePsi(obs, pos)
+	bestA, bestCost := 0.0, math.Inf(1)
+	for a := 0.0; a < math.Pi; a += mathx.Rad(1) {
+		c, _ := orientCost(obs, psi, rf.TagPolarization2D(a))
+		if c < bestCost {
+			bestCost, bestA = c, a
+		}
+	}
+	_, bt0 := orientCost(obs, psi, rf.TagPolarization2D(bestA))
+	return Estimate{
+		Pos:   pos,
+		Alpha: normalizeAlpha(bestA),
+		Kt:    kt,
+		Bt0:   bt0,
+		Cost:  costK + bestCost,
+	}
+}
+
+// gridSearch2D scans the bounds for the minimum slope cost.
+func gridSearch2D(obs []Observation, bounds Bounds, step float64, prior ktPrior) geom.Vec3 {
+	best := math.Inf(1)
+	var bestPos geom.Vec3
+	for x := bounds.XMin; x <= bounds.XMax+1e-9; x += step {
+		for y := bounds.YMin; y <= bounds.YMax+1e-9; y += step {
+			p := geom.Vec3{X: x, Y: y}
+			c, _ := slopeCost(obs, p, prior)
+			if c < best {
+				best, bestPos = c, p
+			}
+		}
+	}
+	return bestPos
+}
+
+func refinePos2D(obs []Observation, start geom.Vec3, bounds Bounds, scale float64, prior ktPrior) geom.Vec3 {
+	refined, _ := mathx.NelderMead(func(v []float64) float64 {
+		x := clamp(v[0], bounds.XMin, bounds.XMax)
+		y := clamp(v[1], bounds.YMin, bounds.YMax)
+		c, _ := slopeCost(obs, geom.Vec3{X: x, Y: y}, prior)
+		return c
+	}, []float64{start.X, start.Y}, scale, 300)
+	return geom.Vec3{
+		X: clamp(refined[0], bounds.XMin, bounds.XMax),
+		Y: clamp(refined[1], bounds.YMin, bounds.YMax),
+	}
+}
+
+// polish2D jointly refines all five unknowns against the raw
+// per-channel phases with wrapped residuals — the maximum-likelihood
+// finish documented in DESIGN.md §5 (ablation: MLPolish).
+func polish2D(obs []Observation, est Estimate, bounds Bounds) Estimate {
+	var n int
+	for _, o := range obs {
+		n += len(o.Freqs)
+	}
+	if n < 10 {
+		return est
+	}
+	prob := mathx.LMProblem{
+		NumResiduals: n + len(obs),
+		NumParams:    5,
+		Step:         []float64{1e-4, 1e-4, 1e-4, 1e-11, 1e-4},
+		Residuals: func(p, out []float64) {
+			pos := geom.Vec3{X: p[0], Y: p[1]}
+			w := rf.TagPolarization2D(p[2])
+			kt, bt0 := p[3], p[4]
+			idx := 0
+			for _, o := range obs {
+				d := o.Pos.Dist(pos)
+				orient := rf.OrientationPhase(o.Frame, w)
+				for j, f := range o.Freqs {
+					pred := rf.PropagationPhase(d, f) + orient + kt*(f-rf.CenterFrequencyHz) + bt0
+					out[idx] = mathx.WrapPi(o.Phases[j] - pred)
+					idx++
+				}
+				// Slope anchor keeps the polish in the right basin.
+				out[idx] = (o.Line.K - rf.PropagationSlope(d) - kt) * 2e7
+				idx++
+			}
+		},
+	}
+	p0 := []float64{est.Pos.X, est.Pos.Y, est.Alpha, est.Kt, est.Bt0}
+	res, err := mathx.LevenbergMarquardt(prob, p0, mathx.LMOptions{MaxIterations: 60})
+	if err != nil && !errors.Is(err, mathx.ErrNoConvergence) {
+		return est
+	}
+	x := clamp(res.Params[0], bounds.XMin, bounds.XMax)
+	y := clamp(res.Params[1], bounds.YMin, bounds.YMax)
+	// Reject a polish that wandered to another wrap basin.
+	if math.Hypot(x-est.Pos.X, y-est.Pos.Y) > 0.12 {
+		return est
+	}
+	est.Pos = geom.Vec3{X: x, Y: y}
+	est.Alpha = normalizeAlpha(res.Params[2])
+	est.Kt = res.Params[3]
+	est.Bt0 = mathx.Wrap2Pi(res.Params[4])
+	return est
+}
+
+// normalizeAlpha maps an in-plane polarization angle to [0, π): a
+// dipole is symmetric under 180° rotation.
+func normalizeAlpha(a float64) float64 {
+	a = math.Mod(a, math.Pi)
+	if a < 0 {
+		a += math.Pi
+	}
+	return a
+}
+
+func clamp(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// Test hooks: exported thin wrappers used by the root-package
+// diagnostics to probe the internal objectives.
+
+// SlopeCostForTest exposes slopeCost for diagnostics.
+func SlopeCostForTest(obs []Observation, p geom.Vec3) (float64, float64) {
+	return slopeCost(obs, p, ktPrior{})
+}
+
+// MakePsiForTest exposes makePsi for diagnostics.
+func MakePsiForTest(obs []Observation, p geom.Vec3) []float64 { return makePsi(obs, p) }
+
+// OrientCostForTest exposes orientCost for diagnostics.
+func OrientCostForTest(obs []Observation, psi []float64, w geom.Vec3) (float64, float64) {
+	return orientCost(obs, psi, w)
+}
+
+// JointCost2DForTest exposes jointCost2D for diagnostics.
+func JointCost2DForTest(obs []Observation, p []float64, sigmaB float64) float64 {
+	return jointCost2D(obs, p, sigmaB, ktPrior{})
+}

@@ -1,0 +1,235 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"rfprism/internal/geom"
+	"rfprism/internal/mathx"
+	"rfprism/internal/rf"
+)
+
+// Solve3D disentangles a window observed by ≥4 antennas for a tag
+// anywhere in the bounds box with arbitrary 3D polarization — the
+// seven-unknown extension the paper describes in §IV-C and lists as
+// future work in §VII (four antennas suffice: 8 equations, 7
+// unknowns).
+func Solve3D(obs []Observation, bounds Bounds, opts Options) (Estimate, error) {
+	opts.defaults()
+	if len(obs) < 4 {
+		return Estimate{}, fmt.Errorf("%w: have %d, need 4 for 3D", ErrTooFewAntennas, len(obs))
+	}
+	if bounds.ZMax < bounds.ZMin {
+		return Estimate{}, fmt.Errorf("core: invalid z bounds [%g, %g]", bounds.ZMin, bounds.ZMax)
+	}
+
+	opts.SigmaB = adaptiveSigmaB(obs, opts.SigmaB)
+
+	// Stage 1: wrap-free coarse position from the slopes.
+	posA := gridSearch3D(obs, bounds, opts.GridStep*2, opts.prior())
+	posA = refinePos3D(obs, posA, bounds, opts.GridStep*2, opts.prior())
+
+	if opts.DisableFinePhase {
+		return solveDetached3D(obs, posA, opts.prior()), nil
+	}
+
+	// Stage 2: joint multistart over wrap-basin position offsets and
+	// polarization starts.
+	offsets := []float64{-0.11, 0, 0.11}
+	azStarts := 6
+	elStarts := []float64{-mathx.Rad(45), 0, mathx.Rad(45)}
+	best := Estimate{Cost: math.Inf(1)}
+	for _, dx := range offsets {
+		for _, dy := range offsets {
+			for _, dz := range offsets {
+				x0 := clamp(posA.X+dx, bounds.XMin, bounds.XMax)
+				y0 := clamp(posA.Y+dy, bounds.YMin, bounds.YMax)
+				z0 := clamp(posA.Z+dz, bounds.ZMin, bounds.ZMax)
+				start := geom.Vec3{X: x0, Y: y0, Z: z0}
+				_, kt0 := slopeCost(obs, start, opts.prior())
+				psi := makePsi(obs, start)
+				for a := 0; a < azStarts; a++ {
+					az0 := float64(a) * math.Pi / float64(azStarts)
+					for _, el0 := range elStarts {
+						_, bt0 := orientCost(obs, psi, rf.TagPolarization3D(az0, el0))
+						p0 := []float64{x0, y0, z0, az0, el0, kt0, bt0}
+						cand := runJoint3D(obs, p0, bounds, opts)
+						if cand.Cost < best.Cost {
+							best = cand
+						}
+					}
+				}
+			}
+		}
+	}
+	best = refinePolar3D(obs, best, opts)
+	return best, nil
+}
+
+// refinePolar3D re-estimates the 3D polarization with a dense grid at
+// the solved position (the joint simplex can stall in a local minimum
+// of the angle-doubled response), keeping the result only when it
+// lowers the joint cost.
+func refinePolar3D(obs []Observation, est Estimate, opts Options) Estimate {
+	psi := makePsi(obs, est.Pos)
+	step := mathx.Rad(2)
+	bestAz, bestEl, bestC := est.Azimuth, est.Elevation, math.Inf(1)
+	for az := 0.0; az < 2*math.Pi; az += step {
+		for el := -math.Pi / 2; el <= math.Pi/2; el += step {
+			c, _ := orientCost(obs, psi, rf.TagPolarization3D(az, el))
+			if c < bestC {
+				bestC, bestAz, bestEl = c, az, el
+			}
+		}
+	}
+	angles, _ := mathx.NelderMead(func(v []float64) float64 {
+		c, _ := orientCost(obs, psi, rf.TagPolarization3D(v[0], v[1]))
+		return c
+	}, []float64{bestAz, bestEl}, step, 200)
+	_, bt0 := orientCost(obs, psi, rf.TagPolarization3D(angles[0], angles[1]))
+	cand := []float64{est.Pos.X, est.Pos.Y, est.Pos.Z, angles[0], angles[1], est.Kt, bt0}
+	if c := jointCost3D(obs, cand, opts.SigmaB, opts.prior()); c < est.Cost {
+		est.Azimuth, est.Elevation = normalizePolar3D(angles[0], angles[1])
+		est.Bt0 = mathx.Wrap2Pi(bt0)
+		est.Cost = c
+	}
+	return est
+}
+
+// jointCost3D is the 2N-equation objective at parameter vector
+// p = (x, y, z, azimuth, elevation, k_t, b_t).
+func jointCost3D(obs []Observation, p []float64, sigmaB float64, prior ktPrior) float64 {
+	pos := geom.Vec3{X: p[0], Y: p[1], Z: p[2]}
+	w := rf.TagPolarization3D(p[3], p[4])
+	kt, bt0 := p[5], p[6]
+	var cost float64
+	for _, o := range obs {
+		d := o.Pos.Dist(pos)
+		rk := o.Line.K - rf.PropagationSlope(d) - kt
+		wk := 1.0
+		if o.Line.SigmaK > 0 {
+			wk = 1 / (o.Line.SigmaK * o.Line.SigmaK)
+		}
+		pred := rf.PropagationPhase(d, rf.CenterFrequencyHz) + rf.OrientationPhase(o.Frame, w) + bt0
+		rb := mathx.WrapPi(o.Line.B0 - pred)
+		cost += wk*rk*rk + rb*rb/(sigmaB*sigmaB)
+	}
+	dp := kt - prior.mean
+	cost += prior.wp * dp * dp
+	return cost
+}
+
+func runJoint3D(obs []Observation, p0 []float64, bounds Bounds, opts Options) Estimate {
+	obj := func(p []float64) float64 {
+		q := []float64{
+			clamp(p[0], bounds.XMin, bounds.XMax),
+			clamp(p[1], bounds.YMin, bounds.YMax),
+			clamp(p[2], bounds.ZMin, bounds.ZMax),
+			p[3], p[4], p[5], p[6],
+		}
+		return jointCost3D(obs, q, opts.SigmaB, opts.prior())
+	}
+	p, cost := mathx.NelderMead(obj, p0, 0.02, 600)
+	az, el := normalizePolar3D(p[3], p[4])
+	return Estimate{
+		Pos: geom.Vec3{
+			X: clamp(p[0], bounds.XMin, bounds.XMax),
+			Y: clamp(p[1], bounds.YMin, bounds.YMax),
+			Z: clamp(p[2], bounds.ZMin, bounds.ZMax),
+		},
+		Azimuth:   az,
+		Elevation: el,
+		Kt:        p[5],
+		Bt0:       mathx.Wrap2Pi(p[6]),
+		Cost:      cost,
+	}
+}
+
+func solveDetached3D(obs []Observation, pos geom.Vec3, prior ktPrior) Estimate {
+	costK, kt := slopeCost(obs, pos, prior)
+	psi := makePsi(obs, pos)
+	best := math.Inf(1)
+	var bestAz, bestEl float64
+	step := mathx.Rad(5)
+	for az := 0.0; az < math.Pi; az += step {
+		for el := -math.Pi / 2; el <= math.Pi/2; el += step {
+			c, _ := orientCost(obs, psi, rf.TagPolarization3D(az, el))
+			if c < best {
+				best, bestAz, bestEl = c, az, el
+			}
+		}
+	}
+	_, bt0 := orientCost(obs, psi, rf.TagPolarization3D(bestAz, bestEl))
+	return Estimate{
+		Pos:       pos,
+		Azimuth:   bestAz,
+		Elevation: bestEl,
+		Kt:        kt,
+		Bt0:       bt0,
+		Cost:      costK + best,
+	}
+}
+
+func gridSearch3D(obs []Observation, bounds Bounds, step float64, prior ktPrior) geom.Vec3 {
+	best := math.Inf(1)
+	var bestPos geom.Vec3
+	for x := bounds.XMin; x <= bounds.XMax+1e-9; x += step {
+		for y := bounds.YMin; y <= bounds.YMax+1e-9; y += step {
+			for z := bounds.ZMin; z <= bounds.ZMax+1e-9; z += step {
+				p := geom.Vec3{X: x, Y: y, Z: z}
+				c, _ := slopeCost(obs, p, prior)
+				if c < best {
+					best, bestPos = c, p
+				}
+			}
+		}
+	}
+	return bestPos
+}
+
+func refinePos3D(obs []Observation, start geom.Vec3, bounds Bounds, scale float64, prior ktPrior) geom.Vec3 {
+	refined, _ := mathx.NelderMead(func(v []float64) float64 {
+		p := geom.Vec3{
+			X: clamp(v[0], bounds.XMin, bounds.XMax),
+			Y: clamp(v[1], bounds.YMin, bounds.YMax),
+			Z: clamp(v[2], bounds.ZMin, bounds.ZMax),
+		}
+		c, _ := slopeCost(obs, p, prior)
+		return c
+	}, []float64{start.X, start.Y, start.Z}, scale, 400)
+	return geom.Vec3{
+		X: clamp(refined[0], bounds.XMin, bounds.XMax),
+		Y: clamp(refined[1], bounds.YMin, bounds.YMax),
+		Z: clamp(refined[2], bounds.ZMin, bounds.ZMax),
+	}
+}
+
+// normalizePolar3D maps a polarization direction to its canonical
+// representative (a dipole and its negation are the same
+// polarization): the hemisphere with z ≥ 0, ties broken toward
+// y ≥ 0 then x ≥ 0.
+func normalizePolar3D(az, el float64) (float64, float64) {
+	v := rf.TagPolarization3D(az, el)
+	if v.Z < 0 || (v.Z == 0 && v.Y < 0) || (v.Z == 0 && v.Y == 0 && v.X < 0) {
+		v = v.Scale(-1)
+	}
+	return v.Spherical()
+}
+
+// PolarizationError returns the angular error (radians, in [0, π/2])
+// between two dipole polarization directions, accounting for the 180°
+// ambiguity.
+func PolarizationError(az1, el1, az2, el2 float64) float64 {
+	a := rf.TagPolarization3D(az1, el1)
+	b := rf.TagPolarization3D(az2, el2)
+	d := math.Abs(a.Dot(b))
+	if d > 1 {
+		d = 1
+	}
+	return math.Acos(d)
+}
+
+// JointCost3DForTest exposes jointCost3D for diagnostics.
+func JointCost3DForTest(obs []Observation, p []float64, sigmaB float64) float64 {
+	return jointCost3D(obs, p, sigmaB, ktPrior{})
+}

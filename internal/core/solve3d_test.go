@@ -1,0 +1,116 @@
+package core
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"rfprism/internal/fit"
+	"rfprism/internal/geom"
+	"rfprism/internal/mathx"
+	"rfprism/internal/rf"
+)
+
+var (
+	testAnts3D = []geom.Vec3{
+		{X: 0.5, Y: 0, Z: 1.0},
+		{X: 1.0, Y: 0, Z: 1.5},
+		{X: 1.5, Y: 0, Z: 1.2},
+		{X: 1.0, Y: 2.8, Z: 1.8},
+	}
+	testAims3D = []geom.Vec3{
+		{X: 1.9, Y: 1.3, Z: 0},
+		{X: 1.0, Y: 1.7, Z: 0},
+		{X: 0.1, Y: 1.3, Z: 0},
+		{X: 1.45, Y: 1.05, Z: 0},
+	}
+	testBounds3D = Bounds{XMin: 0, XMax: 2, YMin: 0.5, YMax: 2.5, ZMin: 0, ZMax: 0.8}
+)
+
+func synthObs3D(pos geom.Vec3, w geom.Vec3, kt, bt0 float64) []Observation {
+	obs := make([]Observation, len(testAnts3D))
+	for i := range testAnts3D {
+		frame := geom.NewFrame(testAims3D[i].Sub(testAnts3D[i]).Unit())
+		d := testAnts3D[i].Dist(pos)
+		obs[i] = Observation{
+			ID:    i,
+			Pos:   testAnts3D[i],
+			Frame: frame,
+			Line: fit.Line{
+				K:      rf.PropagationSlope(d) + kt,
+				B0:     mathx.Wrap2Pi(rf.PropagationPhase(d, rf.CenterFrequencyHz) + rf.OrientationPhase(frame, w) + bt0),
+				SigmaK: 4e-10,
+			},
+		}
+	}
+	return obs
+}
+
+func TestSolve3DNoiseless(t *testing.T) {
+	cases := []struct {
+		pos    geom.Vec3
+		az, el float64
+	}{
+		{geom.Vec3{X: 0.8, Y: 1.3, Z: 0.35}, mathx.Rad(40), mathx.Rad(25)},
+		{geom.Vec3{X: 1.3, Y: 1.8, Z: 0.1}, mathx.Rad(120), mathx.Rad(-15)},
+		{geom.Vec3{X: 1.0, Y: 1.0, Z: 0.6}, 0, 0},
+	}
+	for _, c := range cases {
+		w := rf.TagPolarization3D(c.az, c.el)
+		obs := synthObs3D(c.pos, w, 0.7e-8, 2.5)
+		est, err := Solve3D(obs, testBounds3D, Options{})
+		if err != nil {
+			t.Fatalf("%+v: %v", c, err)
+		}
+		if d := est.Pos.Dist(c.pos); d > 0.03 {
+			t.Errorf("%+v: position error %.3f m", c, d)
+		}
+		if pe := PolarizationError(est.Azimuth, est.Elevation, c.az, c.el); mathx.Deg(pe) > 5 {
+			t.Errorf("%+v: polarization error %.1f°", c, mathx.Deg(pe))
+		}
+	}
+}
+
+func TestSolve3DTooFewAntennas(t *testing.T) {
+	obs := synthObs3D(geom.Vec3{X: 1, Y: 1, Z: 0.2}, rf.TagPolarization3D(0, 0), 0, 0)
+	if _, err := Solve3D(obs[:3], testBounds3D, Options{}); !errors.Is(err, ErrTooFewAntennas) {
+		t.Fatalf("want ErrTooFewAntennas, got %v", err)
+	}
+}
+
+func TestSolve3DInvalidBounds(t *testing.T) {
+	obs := synthObs3D(geom.Vec3{X: 1, Y: 1, Z: 0.2}, rf.TagPolarization3D(0, 0), 0, 0)
+	bad := testBounds3D
+	bad.ZMin, bad.ZMax = 1, 0
+	if _, err := Solve3D(obs, bad, Options{}); err == nil {
+		t.Fatal("inverted z bounds must error")
+	}
+}
+
+func TestPolarizationError(t *testing.T) {
+	// Same dipole through the 180° ambiguity: zero error.
+	if e := PolarizationError(0.3, 0.2, 0.3+math.Pi, -0.2); e > 1e-9 {
+		t.Fatalf("antipodal error = %g", e)
+	}
+	// Orthogonal dipoles: π/2.
+	if e := PolarizationError(0, 0, math.Pi/2, 0); math.Abs(e-math.Pi/2) > 1e-9 {
+		t.Fatalf("orthogonal error = %g", e)
+	}
+}
+
+func TestNormalizePolar3DCanonical(t *testing.T) {
+	// Any direction and its negation must normalize identically.
+	for _, c := range []struct{ az, el float64 }{
+		{0.5, 0.3}, {2.5, -0.7}, {-1.2, 0.1},
+	} {
+		az1, el1 := normalizePolar3D(c.az, c.el)
+		az2, el2 := normalizePolar3D(c.az+math.Pi, -c.el)
+		if math.Abs(mathx.WrapPi(az1-az2)) > 1e-9 || math.Abs(el1-el2) > 1e-9 {
+			t.Errorf("(%g,%g): canonical forms differ: (%g,%g) vs (%g,%g)",
+				c.az, c.el, az1, el1, az2, el2)
+		}
+		if el1 < 0 {
+			t.Errorf("canonical elevation negative: %g", el1)
+		}
+	}
+}

@@ -1,0 +1,189 @@
+// Package eval provides the metrics and plain-text renderers the
+// experiment harness uses to regenerate the paper's tables and
+// figures: error statistics, empirical CDFs, confusion matrices and
+// aligned-column tables.
+package eval
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"rfprism/internal/mathx"
+)
+
+// ErrorStats summarizes an error sample.
+type ErrorStats struct {
+	N                 int
+	Mean, Std, Median float64
+	P90, Max          float64
+}
+
+// Summarize computes ErrorStats over a sample.
+func Summarize(errs []float64) ErrorStats {
+	return ErrorStats{
+		N:      len(errs),
+		Mean:   mathx.Mean(errs),
+		Std:    mathx.Std(errs),
+		Median: mathx.Median(errs),
+		P90:    mathx.Percentile(errs, 90),
+		Max:    mathx.Percentile(errs, 100),
+	}
+}
+
+// String renders the stats compactly.
+func (s ErrorStats) String() string {
+	return fmt.Sprintf("n=%d mean=%.3f std=%.3f median=%.3f p90=%.3f max=%.3f",
+		s.N, s.Mean, s.Std, s.Median, s.P90, s.Max)
+}
+
+// CDFSeries renders an empirical CDF as (x, P) rows for a figure.
+type CDFSeries struct {
+	Label  string
+	Sample []float64
+}
+
+// Rows returns the CDF evaluated at n evenly spaced sample points.
+func (c CDFSeries) Rows(n int) [][2]float64 {
+	if len(c.Sample) == 0 || n <= 0 {
+		return nil
+	}
+	sorted := append([]float64(nil), c.Sample...)
+	sort.Float64s(sorted)
+	out := make([][2]float64, 0, n)
+	max := sorted[len(sorted)-1]
+	for i := 1; i <= n; i++ {
+		x := max * float64(i) / float64(n)
+		cdf := mathx.NewCDF(sorted)
+		out = append(out, [2]float64{x, cdf.P(x)})
+	}
+	return out
+}
+
+// Confusion is a labeled confusion matrix.
+type Confusion struct {
+	Labels []string
+	Counts [][]int
+}
+
+// Accuracy returns overall accuracy.
+func (c Confusion) Accuracy() float64 {
+	var correct, total int
+	for i, row := range c.Counts {
+		for j, n := range row {
+			total += n
+			if i == j {
+				correct += n
+			}
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(correct) / float64(total)
+}
+
+// PerClass returns the per-class recall (the diagonal of the
+// row-normalized matrix — what the paper's Fig. 11 shows).
+func (c Confusion) PerClass() []float64 {
+	out := make([]float64, len(c.Counts))
+	for i, row := range c.Counts {
+		var total int
+		for _, n := range row {
+			total += n
+		}
+		if total > 0 {
+			out[i] = float64(row[i]) / float64(total)
+		}
+	}
+	return out
+}
+
+// String renders the row-normalized matrix like the paper's Fig. 11.
+func (c Confusion) String() string {
+	var b strings.Builder
+	width := 9
+	fmt.Fprintf(&b, "%*s", width, "")
+	for _, l := range c.Labels {
+		fmt.Fprintf(&b, "%*s", width, truncate(l, width-1))
+	}
+	b.WriteByte('\n')
+	for i, row := range c.Counts {
+		fmt.Fprintf(&b, "%*s", width, truncate(c.Labels[i], width-1))
+		var total int
+		for _, n := range row {
+			total += n
+		}
+		for _, n := range row {
+			frac := 0.0
+			if total > 0 {
+				frac = float64(n) / float64(total)
+			}
+			fmt.Fprintf(&b, "%*.2f", width, frac)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+func truncate(s string, n int) string {
+	if len(s) <= n {
+		return s
+	}
+	return s[:n]
+}
+
+// Table renders aligned columns for experiment output.
+type Table struct {
+	Header []string
+	Rows   [][]string
+}
+
+// AddRow appends a row of formatted cells.
+func (t *Table) AddRow(cells ...string) {
+	t.Rows = append(t.Rows, cells)
+}
+
+// String renders the table with aligned columns.
+func (t Table) String() string {
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[min(i, len(widths)-1)], c)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Header)
+	for i, w := range widths {
+		if i > 0 {
+			b.WriteString("  ")
+		}
+		b.WriteString(strings.Repeat("-", w))
+	}
+	b.WriteByte('\n')
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,95 @@
+package eval
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3, 4, 5})
+	if s.N != 5 || s.Mean != 3 || s.Median != 3 || s.Max != 5 {
+		t.Fatalf("Summarize = %+v", s)
+	}
+	if !strings.Contains(s.String(), "mean=3.000") {
+		t.Errorf("String() = %q", s.String())
+	}
+	empty := Summarize(nil)
+	if empty.N != 0 || empty.Mean != 0 {
+		t.Fatalf("empty Summarize = %+v", empty)
+	}
+}
+
+func TestCDFSeriesRows(t *testing.T) {
+	c := CDFSeries{Label: "x", Sample: []float64{1, 2, 3, 4}}
+	rows := c.Rows(4)
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	// Monotone non-decreasing P, ending at 1.
+	prev := -1.0
+	for _, r := range rows {
+		if r[1] < prev {
+			t.Fatalf("CDF not monotone: %v", rows)
+		}
+		prev = r[1]
+	}
+	if rows[len(rows)-1][1] != 1 {
+		t.Fatalf("CDF does not reach 1: %v", rows)
+	}
+	if (CDFSeries{}).Rows(5) != nil {
+		t.Error("empty sample must give nil rows")
+	}
+}
+
+func testConfusion() Confusion {
+	return Confusion{
+		Labels: []string{"a", "b"},
+		Counts: [][]int{{8, 2}, {1, 9}},
+	}
+}
+
+func TestConfusionAccuracy(t *testing.T) {
+	c := testConfusion()
+	if acc := c.Accuracy(); math.Abs(acc-0.85) > 1e-12 {
+		t.Fatalf("Accuracy = %g", acc)
+	}
+	pc := c.PerClass()
+	if math.Abs(pc[0]-0.8) > 1e-12 || math.Abs(pc[1]-0.9) > 1e-12 {
+		t.Fatalf("PerClass = %v", pc)
+	}
+	if (Confusion{}).Accuracy() != 0 {
+		t.Error("empty confusion accuracy")
+	}
+}
+
+func TestConfusionString(t *testing.T) {
+	s := testConfusion().String()
+	if !strings.Contains(s, "0.80") || !strings.Contains(s, "0.90") {
+		t.Fatalf("rendered matrix missing normalized values:\n%s", s)
+	}
+	if !strings.Contains(s, "a") || !strings.Contains(s, "b") {
+		t.Fatalf("rendered matrix missing labels:\n%s", s)
+	}
+}
+
+func TestTableAlignment(t *testing.T) {
+	tab := Table{Header: []string{"name", "value"}}
+	tab.AddRow("x", "1.0")
+	tab.AddRow("longer-name", "2.0")
+	out := tab.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("table has %d lines:\n%s", len(lines), out)
+	}
+	// Separator must be dashes.
+	if !strings.HasPrefix(lines[1], "----") {
+		t.Fatalf("missing separator:\n%s", out)
+	}
+	// Columns must be visually aligned: "value" column starts at the
+	// same offset in header and rows.
+	idx := strings.Index(lines[0], "value")
+	if !strings.HasPrefix(lines[2][idx:], "1.0") && !strings.HasPrefix(lines[3][idx:], "2.0") {
+		t.Fatalf("columns not aligned:\n%s", out)
+	}
+}

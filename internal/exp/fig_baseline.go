@@ -1,0 +1,263 @@
+package exp
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"rfprism/internal/baseline"
+	"rfprism/internal/classify"
+	"rfprism/internal/core"
+	"rfprism/internal/eval"
+	"rfprism/internal/fit"
+	"rfprism/internal/mathx"
+	"rfprism/internal/preprocess"
+	"rfprism/internal/rf"
+	"rfprism/internal/sim"
+)
+
+// CaseStudy1Result compares RF-Prism and MobiTagbot localization
+// under the three setups of Figs. 14–16: fixed orientation+material,
+// varying orientation, varying orientation+material.
+type CaseStudy1Result struct {
+	// Samples hold the per-setup error samples in cm.
+	Prism, Mobi map[string][]float64
+}
+
+// caseStudy1Setups are the three setups in figure order.
+var caseStudy1Setups = []string{"fixed (Fig.14)", "orientation varies (Fig.15)", "orientation+material vary (Fig.16)"}
+
+// RunCaseStudy1 runs reps trials per grid position per setup.
+func RunCaseStudy1(cfg Config, reps int) (*CaseStudy1Result, error) {
+	s, err := NewSetup(cfg)
+	if err != nil {
+		return nil, err
+	}
+	mobi := &baseline.MobiTagbot{Bounds: rfBounds(s)}
+	none, err := rf.MaterialByName("none")
+	if err != nil {
+		return nil, err
+	}
+	mats := rf.EvaluationMaterials()
+	out := &CaseStudy1Result{
+		Prism: make(map[string][]float64),
+		Mobi:  make(map[string][]float64),
+	}
+	rng := s.Scene.Rand()
+	for si, setup := range caseStudy1Setups {
+		for _, pos := range s.GridPositions() {
+			for r := 0; r < reps; r++ {
+				alpha := 0.0
+				m := none
+				if si >= 1 {
+					alpha = mathx.Rad(float64(PaperDegrees[rng.Intn(len(PaperDegrees))]))
+				}
+				if si >= 2 {
+					m = mats[rng.Intn(len(mats))]
+				}
+				win := s.Window(pos, alpha, m)
+				res, err := s.Sys.ProcessWindow(win)
+				if err != nil {
+					continue
+				}
+				est := res.Estimate
+				out.Prism[setup] = append(out.Prism[setup],
+					100*math.Hypot(est.Pos.X-pos.X, est.Pos.Y-pos.Y))
+				// MobiTagbot consumes the same window through its own
+				// two-antenna pipeline (antenna hardware calibrated the
+				// same way — it also calibrates its reader).
+				obs, err := observationsFor(s, win)
+				if err != nil {
+					continue
+				}
+				mp, err := mobi.Locate(obs)
+				if err != nil {
+					continue
+				}
+				out.Mobi[setup] = append(out.Mobi[setup],
+					100*math.Hypot(mp.X-pos.X, mp.Y-pos.Y))
+			}
+		}
+	}
+	return out, nil
+}
+
+func rfBounds(s *Setup) core.Bounds {
+	return core.Bounds{
+		XMin: s.Region.XMin, XMax: s.Region.XMax,
+		YMin: s.Region.YMin, YMax: s.Region.YMax,
+	}
+}
+
+// observationsFor rebuilds calibrated per-antenna observations from a
+// raw window (shared by the baselines, which consume the same fits).
+func observationsFor(s *Setup, win []sim.Reading) ([]core.Observation, error) {
+	spectra, err := preprocess.BuildSpectra(win, preprocess.Options{})
+	if err != nil {
+		return nil, err
+	}
+	cal := s.Sys.AntennaCalibration()
+	obs := make([]core.Observation, 0, len(spectra))
+	for i, sp := range spectra {
+		line, err := fit.FitLineRobust(sp.Freqs(), sp.Phases(), sp.RSSIs(), fit.RobustOptions{})
+		if err != nil {
+			return nil, err
+		}
+		ant := s.Scene.Antennas[i]
+		obs = append(obs, core.Observation{
+			ID:    ant.ID,
+			Pos:   ant.Pos,
+			Frame: ant.Frame(),
+			Line:  line,
+		})
+	}
+	return cal.Apply(obs), nil
+}
+
+// String renders the three CDF summaries (mean/std like the paper's
+// Fig. 14–16 annotations).
+func (r *CaseStudy1Result) String() string {
+	var b strings.Builder
+	b.WriteString("Case study 1: localization vs MobiTagbot (cm)\n")
+	t := eval.Table{Header: []string{"setup", "RF-Prism mean", "std", "MobiTagbot mean", "std", "paper (P/M)"}}
+	paper := []string{"7.33 / 8.25", "7.34 / 9.95", "7.61 / 24.94"}
+	for i, setup := range caseStudy1Setups {
+		p := eval.Summarize(r.Prism[setup])
+		m := eval.Summarize(r.Mobi[setup])
+		t.AddRow(setup,
+			fmt.Sprintf("%.2f", p.Mean), fmt.Sprintf("%.2f", p.Std),
+			fmt.Sprintf("%.2f", m.Mean), fmt.Sprintf("%.2f", m.Std),
+			paper[i])
+	}
+	b.WriteString(t.String())
+	return b.String()
+}
+
+// CDF returns the empirical CDF series of one system/setup, for
+// regenerating the figure curves.
+func (r *CaseStudy1Result) CDF(system, setup string) eval.CDFSeries {
+	var sample []float64
+	switch system {
+	case "rfprism":
+		sample = r.Prism[setup]
+	case "mobitagbot":
+		sample = r.Mobi[setup]
+	}
+	return eval.CDFSeries{Label: system + " " + setup, Sample: sample}
+}
+
+// CaseStudy2Result compares RF-Prism and Tagtag material
+// identification per material under the three setups of Figs. 17–19,
+// summarized in Fig. 20.
+type CaseStudy2Result struct {
+	Materials []string
+	// PerMaterial[setup][material] accuracy for each system.
+	Prism, Tagtag map[string]map[string]float64
+	// Overall[setup] accuracy for each system (Fig. 20).
+	PrismOverall, TagtagOverall map[string]float64
+}
+
+// caseStudy2Setups are the three setups in figure order.
+var caseStudy2Setups = []string{"fixed d+o (Fig.17)", "varying d (Fig.18)", "varying d+o (Fig.19)"}
+
+// RunCaseStudy2 runs the material campaign and evaluates both systems
+// under the three setups: training always happens at the fixed
+// position with 0° orientation.
+func RunCaseStudy2(cfg Config, spec MatSpec) (*CaseStudy2Result, error) {
+	c, err := RunMatCampaign(cfg, spec)
+	if err != nil {
+		return nil, err
+	}
+	train, fixedTest := split(c.Fixed)
+
+	tree := NewPaperTree()
+	if err := tree.Fit(featureSet(train)); err != nil {
+		return nil, err
+	}
+	tagtag := classify.DTWNN{Window: 5}
+	if err := tagtag.Fit(curveSet(train)); err != nil {
+		return nil, err
+	}
+
+	out := &CaseStudy2Result{
+		Materials:     c.Materials,
+		Prism:         make(map[string]map[string]float64),
+		Tagtag:        make(map[string]map[string]float64),
+		PrismOverall:  make(map[string]float64),
+		TagtagOverall: make(map[string]float64),
+	}
+	testSets := map[string][]*MatTrial{
+		caseStudy2Setups[0]: fixedTest,
+		caseStudy2Setups[1]: c.Moved0,
+		caseStudy2Setups[2]: c.Moved90,
+	}
+	for setup, trials := range testSets {
+		pAcc, tAcc, pOverall, tOverall := scoreBoth(tree, &tagtag, trials, c.Materials)
+		out.Prism[setup] = pAcc
+		out.Tagtag[setup] = tAcc
+		out.PrismOverall[setup] = pOverall
+		out.TagtagOverall[setup] = tOverall
+	}
+	return out, nil
+}
+
+func scoreBoth(tree classify.Classifier, tagtag classify.Classifier, trials []*MatTrial, materials []string) (map[string]float64, map[string]float64, float64, float64) {
+	type bucket struct{ pc, tc, n int }
+	buckets := make(map[string]*bucket)
+	var pAll, tAll, n int
+	for _, t := range trials {
+		b := buckets[t.Material]
+		if b == nil {
+			b = &bucket{}
+			buckets[t.Material] = b
+		}
+		b.n++
+		n++
+		if pred, err := tree.Predict(t.Features); err == nil && pred == t.Label {
+			b.pc++
+			pAll++
+		}
+		if pred, err := tagtag.Predict(t.Curve); err == nil && pred == t.Label {
+			b.tc++
+			tAll++
+		}
+	}
+	pAcc := make(map[string]float64, len(materials))
+	tAcc := make(map[string]float64, len(materials))
+	for _, m := range materials {
+		if b := buckets[m]; b != nil && b.n > 0 {
+			pAcc[m] = float64(b.pc) / float64(b.n)
+			tAcc[m] = float64(b.tc) / float64(b.n)
+		}
+	}
+	if n == 0 {
+		return pAcc, tAcc, 0, 0
+	}
+	return pAcc, tAcc, float64(pAll) / float64(n), float64(tAll) / float64(n)
+}
+
+// String renders Figs. 17–20.
+func (r *CaseStudy2Result) String() string {
+	var b strings.Builder
+	for _, setup := range caseStudy2Setups {
+		fmt.Fprintf(&b, "Material identification, %s\n", setup)
+		t := eval.Table{Header: []string{"material", "RF-Prism", "Tagtag"}}
+		for _, m := range r.Materials {
+			t.AddRow(m,
+				fmt.Sprintf("%.1f%%", r.Prism[setup][m]*100),
+				fmt.Sprintf("%.1f%%", r.Tagtag[setup][m]*100))
+		}
+		b.WriteString(t.String())
+	}
+	b.WriteString("Fig. 20: overall accuracy\n")
+	t := eval.Table{Header: []string{"setup", "RF-Prism", "Tagtag", "paper (P/T)"}}
+	paper := []string{"88.1% / 85.0%", "88.0% / 80.7%", "~88% / ~81%"}
+	for i, setup := range caseStudy2Setups {
+		t.AddRow(setup,
+			fmt.Sprintf("%.1f%%", r.PrismOverall[setup]*100),
+			fmt.Sprintf("%.1f%%", r.TagtagOverall[setup]*100),
+			paper[i])
+	}
+	b.WriteString(t.String())
+	return b.String()
+}

@@ -1,0 +1,181 @@
+package exp
+
+import (
+	"fmt"
+	"strings"
+
+	"rfprism/internal/eval"
+	"rfprism/internal/geom"
+	"rfprism/internal/mathx"
+	"rfprism/internal/rf"
+)
+
+// LocCampaignResult holds the raw trials of the localization and
+// orientation campaign (§VI-B: tags at 25 known positions rotated
+// through six degrees; plus one material sweep at 0°), from which
+// Figs. 8 and 9 aggregate.
+type LocCampaignResult struct {
+	// DegreeTrials are the orientation-sweep trials (neutral mount).
+	DegreeTrials []*Trial
+	// MaterialTrials are the 0° material-sweep trials.
+	MaterialTrials []*Trial
+	// Rejected counts windows discarded by the error detector.
+	Rejected int
+}
+
+// RunLocCampaign runs the localization campaign with reps repetitions
+// per (position, degree) — the paper uses 5 — and matReps repetitions
+// per (position, material).
+func RunLocCampaign(cfg Config, reps, matReps int) (*LocCampaignResult, error) {
+	s, err := NewSetup(cfg)
+	if err != nil {
+		return nil, err
+	}
+	none, err := rf.MaterialByName("none")
+	if err != nil {
+		return nil, err
+	}
+	out := &LocCampaignResult{}
+	for _, pos := range s.GridPositions() {
+		for _, deg := range PaperDegrees {
+			for r := 0; r < reps; r++ {
+				tr, err := s.RunTrial(pos, mathx.Rad(float64(deg)), none)
+				if err != nil {
+					out.Rejected++
+					continue
+				}
+				out.DegreeTrials = append(out.DegreeTrials, tr)
+			}
+		}
+	}
+	for _, m := range rf.EvaluationMaterials() {
+		for _, pos := range s.GridPositions() {
+			for r := 0; r < matReps; r++ {
+				tr, err := s.RunTrial(pos, 0, m)
+				if err != nil {
+					out.Rejected++
+					continue
+				}
+				out.MaterialTrials = append(out.MaterialTrials, tr)
+			}
+		}
+	}
+	return out, nil
+}
+
+// degreeOf recovers the ground-truth degree bucket of a trial.
+func degreeOf(tr *Trial) int {
+	return int(mathx.Deg(tr.Alpha) + 0.5)
+}
+
+// Fig8Result aggregates localization error by orientation and by
+// material (paper: 7.61 cm mean across degrees; 7.48 cm across
+// materials, metal and conductive liquids slightly worse).
+type Fig8Result struct {
+	ByDegree   map[int]eval.ErrorStats
+	ByMaterial map[string]eval.ErrorStats
+	OverallCM  float64
+}
+
+// Fig8 aggregates the campaign into the paper's Fig. 8.
+func Fig8(c *LocCampaignResult) *Fig8Result {
+	r := &Fig8Result{
+		ByDegree:   make(map[int]eval.ErrorStats),
+		ByMaterial: make(map[string]eval.ErrorStats),
+	}
+	byDeg := make(map[int][]float64)
+	var all []float64
+	for _, tr := range c.DegreeTrials {
+		byDeg[degreeOf(tr)] = append(byDeg[degreeOf(tr)], tr.LocErrM*100)
+		all = append(all, tr.LocErrM*100)
+	}
+	for deg, errs := range byDeg {
+		r.ByDegree[deg] = eval.Summarize(errs)
+	}
+	byMat := make(map[string][]float64)
+	for _, tr := range c.MaterialTrials {
+		byMat[tr.Material] = append(byMat[tr.Material], tr.LocErrM*100)
+	}
+	for m, errs := range byMat {
+		r.ByMaterial[m] = eval.Summarize(errs)
+	}
+	r.OverallCM = mathx.Mean(all)
+	return r
+}
+
+// String renders Fig. 8 as two tables.
+func (r *Fig8Result) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Fig. 8: localization error (cm); overall mean %.2f cm (paper: 7.61 cm)\n", r.OverallCM)
+	t1 := eval.Table{Header: []string{"degree", "mean", "median", "p90"}}
+	for _, deg := range PaperDegrees {
+		s := r.ByDegree[deg]
+		t1.AddRow(fmt.Sprintf("%d", deg), fmt.Sprintf("%.2f", s.Mean),
+			fmt.Sprintf("%.2f", s.Median), fmt.Sprintf("%.2f", s.P90))
+	}
+	b.WriteString(t1.String())
+	t2 := eval.Table{Header: []string{"material", "mean", "median", "p90"}}
+	for _, m := range rf.EvaluationMaterials() {
+		s := r.ByMaterial[m.Name]
+		t2.AddRow(m.Name, fmt.Sprintf("%.2f", s.Mean),
+			fmt.Sprintf("%.2f", s.Median), fmt.Sprintf("%.2f", s.P90))
+	}
+	b.WriteString(t2.String())
+	return b.String()
+}
+
+// Fig9Result aggregates orientation error by distance region and by
+// material (paper: 8.59°/10.40°/10.50° near/medium/far; 9.83°
+// overall).
+type Fig9Result struct {
+	ByRegion   map[geom.Region]eval.ErrorStats
+	ByMaterial map[string]eval.ErrorStats
+	OverallDeg float64
+}
+
+// Fig9 aggregates the campaign into the paper's Fig. 9.
+func Fig9(c *LocCampaignResult) *Fig9Result {
+	r := &Fig9Result{
+		ByRegion:   make(map[geom.Region]eval.ErrorStats),
+		ByMaterial: make(map[string]eval.ErrorStats),
+	}
+	byRegion := make(map[geom.Region][]float64)
+	var all []float64
+	for _, tr := range c.DegreeTrials {
+		byRegion[tr.Region] = append(byRegion[tr.Region], tr.OrientErrDeg)
+		all = append(all, tr.OrientErrDeg)
+	}
+	for reg, errs := range byRegion {
+		r.ByRegion[reg] = eval.Summarize(errs)
+	}
+	byMat := make(map[string][]float64)
+	for _, tr := range c.MaterialTrials {
+		byMat[tr.Material] = append(byMat[tr.Material], tr.OrientErrDeg)
+	}
+	for m, errs := range byMat {
+		r.ByMaterial[m] = eval.Summarize(errs)
+	}
+	r.OverallDeg = mathx.Mean(all)
+	return r
+}
+
+// String renders Fig. 9 as two tables.
+func (r *Fig9Result) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Fig. 9: orientation error (deg); overall mean %.2f deg (paper: 9.83 deg)\n", r.OverallDeg)
+	t1 := eval.Table{Header: []string{"region", "mean", "median", "p90"}}
+	for _, reg := range []geom.Region{geom.RegionNear, geom.RegionMedium, geom.RegionFar} {
+		s := r.ByRegion[reg]
+		t1.AddRow(reg.String(), fmt.Sprintf("%.2f", s.Mean),
+			fmt.Sprintf("%.2f", s.Median), fmt.Sprintf("%.2f", s.P90))
+	}
+	b.WriteString(t1.String())
+	t2 := eval.Table{Header: []string{"material", "mean", "median", "p90"}}
+	for _, m := range rf.EvaluationMaterials() {
+		s := r.ByMaterial[m.Name]
+		t2.AddRow(m.Name, fmt.Sprintf("%.2f", s.Mean),
+			fmt.Sprintf("%.2f", s.Median), fmt.Sprintf("%.2f", s.P90))
+	}
+	b.WriteString(t2.String())
+	return b.String()
+}

@@ -1,0 +1,177 @@
+package exp
+
+import (
+	"fmt"
+	"strings"
+
+	"rfprism/internal/eval"
+	"rfprism/internal/fit"
+	"rfprism/internal/geom"
+	"rfprism/internal/mathx"
+	"rfprism/internal/preprocess"
+	"rfprism/internal/rf"
+	"rfprism/internal/sim"
+)
+
+// PhaseSeries is one unwrapped phase-vs-frequency curve with its fit,
+// as plotted in the paper's Figs. 4–6.
+type PhaseSeries struct {
+	Label  string
+	Freqs  []float64
+	Phases []float64
+	Line   fit.Line
+}
+
+// PhaseFigResult is the output of the Fig. 4/5/6 verification
+// experiments.
+type PhaseFigResult struct {
+	Title  string
+	Series []PhaseSeries
+}
+
+// String renders the fitted slopes and intercepts per series.
+func (r *PhaseFigResult) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", r.Title)
+	tab := eval.Table{Header: []string{"series", "slope k (rad/MHz)", "intercept b0 (rad)", "resid std (rad)"}}
+	for _, s := range r.Series {
+		tab.AddRow(s.Label,
+			fmt.Sprintf("%.4f", s.Line.K*1e6),
+			fmt.Sprintf("%.3f", mathx.Wrap2Pi(s.Line.B0)),
+			fmt.Sprintf("%.4f", s.Line.ResidStd))
+	}
+	b.WriteString(tab.String())
+	return b.String()
+}
+
+// collectSeries collects one window for the given placement and
+// returns the first antenna's unwrapped spectrum with its line fit.
+func collectSeries(s *Setup, label string, pos geom.Vec3, alpha float64, m rf.Material) (PhaseSeries, error) {
+	win := s.Window(pos, alpha, m)
+	spectra, err := preprocess.BuildSpectra(win, preprocess.Options{})
+	if err != nil {
+		return PhaseSeries{}, err
+	}
+	sp := spectra[0]
+	line, err := fit.FitLineRobust(sp.Freqs(), sp.Phases(), sp.RSSIs(), fit.RobustOptions{})
+	if err != nil {
+		return PhaseSeries{}, err
+	}
+	return PhaseSeries{Label: label, Freqs: sp.Freqs(), Phases: sp.Phases(), Line: line}, nil
+}
+
+// RunFig4 reproduces Fig. 4 (θprop vs f): the phase line at three
+// antenna-tag distances with other factors constant. The slopes must
+// be distinct and proportional to distance.
+func RunFig4(cfg Config) (*PhaseFigResult, error) {
+	s, err := NewSetup(cfg)
+	if err != nil {
+		return nil, err
+	}
+	glass, err := rf.MaterialByName("glass")
+	if err != nil {
+		return nil, err
+	}
+	res := &PhaseFigResult{Title: "Fig. 4: theta_prop vs frequency (distance sweep, glass, 0 deg)"}
+	// Direct line from antenna 0 outward; distances measured from
+	// antenna 0 like the paper's d.
+	ant := s.Scene.Antennas[0]
+	for _, d := range []float64{0.5, 1.5, 2.5} {
+		dir := geom.Vec3{X: 0.3, Y: 1.0, Z: (0 - ant.Pos.Z)}.Unit()
+		pos := ant.Pos.Add(dir.Scale(d))
+		pos.Z = 0 // keep the tag on the working plane
+		series, err := collectSeries(s, fmt.Sprintf("%.1fm + glass", d), pos, 0, glass)
+		if err != nil {
+			return nil, err
+		}
+		res.Series = append(res.Series, series)
+	}
+	return res, nil
+}
+
+// RunFig5 reproduces Fig. 5 (θorient vs f): rotating the tag shifts
+// the line vertically but leaves the slope unchanged.
+func RunFig5(cfg Config) (*PhaseFigResult, error) {
+	s, err := NewSetup(cfg)
+	if err != nil {
+		return nil, err
+	}
+	glass, err := rf.MaterialByName("glass")
+	if err != nil {
+		return nil, err
+	}
+	res := &PhaseFigResult{Title: "Fig. 5: theta_orient vs frequency (orientation sweep, fixed position)"}
+	pos := geom.Vec3{X: 1.0, Y: 1.5}
+	for _, deg := range []float64{0, 30, 45} {
+		series, err := collectSeries(s, fmt.Sprintf("%.0f degree", deg), pos, mathx.Rad(deg), glass)
+		if err != nil {
+			return nil, err
+		}
+		res.Series = append(res.Series, series)
+	}
+	return res, nil
+}
+
+// RunFig6 reproduces Fig. 6 (θdevice vs f): changing the attached
+// material changes both the slope and the intercept of the line.
+func RunFig6(cfg Config) (*PhaseFigResult, error) {
+	s, err := NewSetup(cfg)
+	if err != nil {
+		return nil, err
+	}
+	res := &PhaseFigResult{Title: "Fig. 6: theta_device vs frequency (material sweep, 1.5 m, 0 deg)"}
+	pos := geom.Vec3{X: 1.0, Y: 1.3}
+	for _, name := range []string{"wood", "glass", "plastic"} {
+		m, err := rf.MaterialByName(name)
+		if err != nil {
+			return nil, err
+		}
+		series, err := collectSeries(s, "1.5m + "+name, pos, 0, m)
+		if err != nil {
+			return nil, err
+		}
+		res.Series = append(res.Series, series)
+	}
+	return res, nil
+}
+
+// MobilityLinearity demonstrates the error-detector premise (§V-C): a
+// static tag produces a linear spectrum, a moving tag does not. It
+// returns the robust-fit residual std for both cases.
+func MobilityLinearity(cfg Config, speed float64) (staticResid, movingResid float64, err error) {
+	s, err := NewSetup(cfg)
+	if err != nil {
+		return 0, 0, err
+	}
+	none, err := rf.MaterialByName("none")
+	if err != nil {
+		return 0, 0, err
+	}
+	pos := geom.Vec3{X: 0.8, Y: 1.4}
+	resid := func(motion sim.Motion) (float64, error) {
+		win := s.Scene.CollectWindow(s.Tag, motion)
+		spectra, err := preprocess.BuildSpectra(win, preprocess.Options{})
+		if err != nil {
+			return 0, err
+		}
+		line, err := fit.FitLine(spectra[0].Freqs(), spectra[0].Phases())
+		if err != nil {
+			return 0, err
+		}
+		return line.ResidStd, nil
+	}
+	static := s.Scene.Place(pos, 0, none)
+	staticResid, err = resid(static)
+	if err != nil {
+		return 0, 0, err
+	}
+	moving := sim.LinearMotion{
+		Start:    sim.Placement(static),
+		Velocity: geom.Vec3{X: speed, Y: speed / 2},
+	}
+	movingResid, err = resid(moving)
+	if err != nil {
+		return 0, 0, err
+	}
+	return staticResid, movingResid, nil
+}

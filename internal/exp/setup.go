@@ -1,0 +1,195 @@
+// Package exp implements the paper's measurement campaigns (§VI-B):
+// one runner per figure/table of the evaluation, shared between the
+// rfprism CLI, the benchmark suite and EXPERIMENTS.md. Every runner is
+// deterministic given its seed.
+package exp
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"rfprism"
+	"rfprism/internal/geom"
+	"rfprism/internal/mathx"
+	"rfprism/internal/rf"
+	"rfprism/internal/sim"
+)
+
+// Region thresholds (meters of mean tag-antenna distance) splitting
+// the working area into the paper's near/medium/far buckets.
+const (
+	NearMax   = 1.75
+	MediumMax = 2.15
+)
+
+// Config parameterizes a campaign.
+type Config struct {
+	// Seed drives all randomness (hardware offsets, noise, jitter).
+	Seed int64
+	// Env is the propagation environment (default clean space).
+	Env *rf.Environment
+	// Sim overrides the reader configuration.
+	Sim *sim.Config
+	// SysOpts are extra System options (e.g. disable suppression).
+	SysOpts []rfprism.Option
+	// CalWindows is the number of averaged calibration windows
+	// (default 5).
+	CalWindows int
+}
+
+func (c Config) env() rf.Environment {
+	if c.Env == nil {
+		return rf.CleanSpace()
+	}
+	return *c.Env
+}
+
+func (c Config) simConfig() sim.Config {
+	if c.Sim == nil {
+		return sim.DefaultConfig()
+	}
+	return *c.Sim
+}
+
+// Setup is a deployed-and-calibrated testbed ready to run trials.
+type Setup struct {
+	Scene  *sim.Scene
+	Sys    *rfprism.System
+	Tag    sim.Tag
+	Region sim.WorkingRegion
+	// CalPos/CalAlpha are the surveyed calibration pose.
+	CalPos   geom.Vec3
+	CalAlpha float64
+}
+
+// NewSetup deploys the paper's three-antenna testbed with random
+// hardware offsets, builds the sensing system and runs the antenna
+// calibration (§IV-C) and the tag calibration (§V-B).
+func NewSetup(cfg Config) (*Setup, error) {
+	if cfg.CalWindows <= 0 {
+		cfg.CalWindows = 5
+	}
+	// Antenna hardware offsets come from a seed-derived RNG so the
+	// whole campaign is a function of one seed.
+	hwRng := rand.New(rand.NewSource(cfg.Seed))
+	ants := sim.PaperAntennas2D(hwRng)
+	scene, err := sim.NewScene(ants, cfg.env(), cfg.simConfig(), cfg.Seed+1)
+	if err != nil {
+		return nil, fmt.Errorf("exp: scene: %w", err)
+	}
+	// The sensing side works from the *surveyed* geometry: antenna
+	// coordinates and directions measured by hand during deployment.
+	surveyed := sim.PerturbSurvey(scene.Antennas, hwRng, 0.006, 0.02)
+	sys, err := rfprism.NewSystem(rfprism.DeploymentFromSim(surveyed),
+		rfprism.Bounds2D(sim.PaperRegion()), cfg.SysOpts...)
+	if err != nil {
+		return nil, fmt.Errorf("exp: system: %w", err)
+	}
+	s := &Setup{
+		Scene:    scene,
+		Sys:      sys,
+		Tag:      scene.NewTag("exp-tag"),
+		Region:   sim.PaperRegion(),
+		CalPos:   geom.Vec3{X: 1.0, Y: 1.5},
+		CalAlpha: 0,
+	}
+	if err := s.recalibrate(cfg.CalWindows); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// recalibrate runs the antenna and tag calibrations.
+func (s *Setup) recalibrate(windows int) error {
+	none, err := rf.MaterialByName("none")
+	if err != nil {
+		return err
+	}
+	pl := sim.Static{
+		Pos:          s.CalPos,
+		Polarization: rf.TagPolarization2D(s.CalAlpha),
+		Material:     none,
+		Attach:       rf.Attach(none, rf.AttachmentJitter{}, nil),
+	}
+	var win []sim.Reading
+	for i := 0; i < windows; i++ {
+		win = append(win, s.Scene.CollectWindow(s.Tag, pl)...)
+	}
+	if err := s.Sys.CalibrateAntennas(win, s.CalPos, s.CalAlpha); err != nil {
+		return fmt.Errorf("exp: antenna calibration: %w", err)
+	}
+	var tagWin []sim.Reading
+	for i := 0; i < windows; i++ {
+		tagWin = append(tagWin, s.Scene.CollectWindow(s.Tag, pl)...)
+	}
+	if err := s.Sys.CalibrateTag(s.Tag.EPC, tagWin, s.CalPos, s.CalAlpha); err != nil {
+		return fmt.Errorf("exp: tag calibration: %w", err)
+	}
+	return nil
+}
+
+// Window collects one hop round with the tag at pos, in-plane
+// polarization alpha, attached to material m (with placement jitter).
+func (s *Setup) Window(pos geom.Vec3, alpha float64, m rf.Material) []sim.Reading {
+	return s.Scene.CollectWindow(s.Tag, s.Scene.Place(pos, alpha, m))
+}
+
+// Trial is one processed measurement with its ground truth.
+type Trial struct {
+	Pos      geom.Vec3
+	Alpha    float64
+	Material string
+	Result   *rfprism.Result
+	// LocErrM is the 2D localization error in meters.
+	LocErrM float64
+	// OrientErrDeg is the orientation error in degrees (mod 180°).
+	OrientErrDeg float64
+	// Region is the near/medium/far bucket of the true position.
+	Region geom.Region
+}
+
+// RunTrial collects and processes one window, returning the trial or
+// an error (e.g. the detector rejected the window).
+func (s *Setup) RunTrial(pos geom.Vec3, alpha float64, m rf.Material) (*Trial, error) {
+	res, err := s.Sys.ProcessWindow(s.Window(pos, alpha, m))
+	if err != nil {
+		return nil, err
+	}
+	est := res.Estimate
+	return &Trial{
+		Pos:          pos,
+		Alpha:        alpha,
+		Material:     m.Name,
+		Result:       res,
+		LocErrM:      math.Hypot(est.Pos.X-pos.X, est.Pos.Y-pos.Y),
+		OrientErrDeg: mathx.Deg(math.Abs(mathx.AngDiffPeriod(est.Alpha, alpha, math.Pi))),
+		Region:       s.RegionOf(pos),
+	}, nil
+}
+
+// RegionOf buckets a position into near/medium/far by mean antenna
+// distance.
+func (s *Setup) RegionOf(pos geom.Vec3) geom.Region {
+	return geom.ClassifyRegion(sim.MeanAntennaDistance(s.Scene.Antennas, pos), NearMax, MediumMax)
+}
+
+// GridPositions returns the paper's 25 ground-truth points.
+func (s *Setup) GridPositions() []geom.Vec3 {
+	return s.Region.GridPoints(5, 5)
+}
+
+// RandomPosition draws a uniform position inside the working region
+// (inset 10% from its border).
+func (s *Setup) RandomPosition() geom.Vec3 {
+	rng := s.Scene.Rand()
+	insetX := (s.Region.XMax - s.Region.XMin) * 0.1
+	insetY := (s.Region.YMax - s.Region.YMin) * 0.1
+	return geom.Vec3{
+		X: s.Region.XMin + insetX + rng.Float64()*(s.Region.XMax-s.Region.XMin-2*insetX),
+		Y: s.Region.YMin + insetY + rng.Float64()*(s.Region.YMax-s.Region.YMin-2*insetY),
+	}
+}
+
+// PaperDegrees are the tag rotations of the localization campaign.
+var PaperDegrees = []int{0, 30, 60, 90, 120, 150}

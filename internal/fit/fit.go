@@ -1,0 +1,371 @@
+// Package fit provides the per-antenna phase-vs-frequency line fits at
+// the heart of RF-Prism's multi-frequency model (Eq. 6), the robust
+// channel-selection variant that suppresses multipath (§V-D), and the
+// linearity test behind the mobility error detector (§V-C).
+package fit
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"rfprism/internal/mathx"
+	"rfprism/internal/rf"
+)
+
+// ErrTooFewChannels is returned when fewer channels survive than a
+// line fit needs.
+var ErrTooFewChannels = errors.New("fit: too few channels")
+
+// Line is a fitted phase-vs-frequency line in the centered
+// parameterization θ(f) = K·(f − f₀) + B0 with f₀ = band center
+// (see DESIGN.md §2 for why the centered intercept is used instead of
+// the paper's f = 0 intercept).
+type Line struct {
+	// K is the slope in rad/Hz (the paper's k).
+	K float64
+	// B0 is the phase at the band center in rad. Because the input
+	// spectrum carries an arbitrary 2π offset from unwrapping, B0 is
+	// meaningful modulo 2π only.
+	B0 float64
+	// SigmaK and SigmaB0 are the one-sigma parameter uncertainties.
+	SigmaK, SigmaB0 float64
+	// ResidStd is the standard deviation of the fit residuals (rad).
+	ResidStd float64
+	// Used flags which input samples were kept by the robust fit.
+	Used []bool
+	// NumUsed is the number of samples kept.
+	NumUsed int
+}
+
+// Residuals returns the signed residuals of the fit for all inputs
+// (including rejected ones).
+func (l Line) Residuals(freqs, phases []float64) []float64 {
+	out := make([]float64, len(freqs))
+	for i := range freqs {
+		out[i] = phases[i] - (l.K*(freqs[i]-rf.CenterFrequencyHz) + l.B0)
+	}
+	return out
+}
+
+// FitLine performs an ordinary least-squares fit of unwrapped phases
+// against frequency with parameter covariance. freqs and phases must
+// have equal length ≥ 3.
+func FitLine(freqs, phases []float64) (Line, error) {
+	mask := make([]bool, len(freqs))
+	for i := range mask {
+		mask[i] = true
+	}
+	return fitMasked(freqs, phases, mask)
+}
+
+func fitMasked(freqs, phases []float64, mask []bool) (Line, error) {
+	if len(freqs) != len(phases) {
+		return Line{}, fmt.Errorf("fit: %d freqs vs %d phases", len(freqs), len(phases))
+	}
+	n := 0
+	var sx, sy float64
+	for i := range freqs {
+		if !mask[i] {
+			continue
+		}
+		n++
+		sx += freqs[i] - rf.CenterFrequencyHz
+		sy += phases[i]
+	}
+	if n < 3 {
+		return Line{}, ErrTooFewChannels
+	}
+	mx := sx / float64(n)
+	my := sy / float64(n)
+	var sxx, sxy float64
+	for i := range freqs {
+		if !mask[i] {
+			continue
+		}
+		dx := (freqs[i] - rf.CenterFrequencyHz) - mx
+		sxx += dx * dx
+		sxy += dx * (phases[i] - my)
+	}
+	if sxx <= 0 {
+		return Line{}, fmt.Errorf("fit: degenerate frequency spread")
+	}
+	k := sxy / sxx
+	// Intercept at the centered origin (f = f₀, i.e. x = 0).
+	b0 := my - k*mx
+
+	var rss float64
+	for i := range freqs {
+		if !mask[i] {
+			continue
+		}
+		x := freqs[i] - rf.CenterFrequencyHz
+		r := phases[i] - (k*x + b0)
+		rss += r * r
+	}
+	dof := float64(n - 2)
+	if dof < 1 {
+		dof = 1
+	}
+	sigma2 := rss / dof
+	line := Line{
+		K:        k,
+		B0:       b0,
+		SigmaK:   math.Sqrt(sigma2 / sxx),
+		SigmaB0:  math.Sqrt(sigma2 * (1/float64(n) + mx*mx/sxx)),
+		ResidStd: math.Sqrt(sigma2),
+		Used:     append([]bool(nil), mask...),
+		NumUsed:  n,
+	}
+	return line, nil
+}
+
+// FitLineWeighted performs a weighted least-squares line fit with
+// per-channel weights (e.g. linear RSSI power: fade channels carry
+// proportionally larger phase deviations, so power weighting is the
+// soft form of the paper's §V-D channel selection).
+func FitLineWeighted(freqs, phases, weights []float64) (Line, error) {
+	if len(freqs) != len(phases) || len(freqs) != len(weights) {
+		return Line{}, fmt.Errorf("fit: mismatched lengths %d/%d/%d", len(freqs), len(phases), len(weights))
+	}
+	var sw, sx, sy float64
+	n := 0
+	for i := range freqs {
+		w := weights[i]
+		if w <= 0 {
+			continue
+		}
+		n++
+		sw += w
+		sx += w * (freqs[i] - rf.CenterFrequencyHz)
+		sy += w * phases[i]
+	}
+	if n < 3 || sw <= 0 {
+		return Line{}, ErrTooFewChannels
+	}
+	mx := sx / sw
+	my := sy / sw
+	var sxx, sxy float64
+	for i := range freqs {
+		w := weights[i]
+		if w <= 0 {
+			continue
+		}
+		dx := (freqs[i] - rf.CenterFrequencyHz) - mx
+		sxx += w * dx * dx
+		sxy += w * dx * (phases[i] - my)
+	}
+	if sxx <= 0 {
+		return Line{}, fmt.Errorf("fit: degenerate frequency spread")
+	}
+	k := sxy / sxx
+	b0 := my - k*mx
+	var rss, wsum float64
+	used := make([]bool, len(freqs))
+	for i := range freqs {
+		w := weights[i]
+		if w <= 0 {
+			continue
+		}
+		used[i] = true
+		x := freqs[i] - rf.CenterFrequencyHz
+		r := phases[i] - (k*x + b0)
+		rss += w * r * r
+		wsum += w
+	}
+	sigma2 := rss / wsum * float64(n) / math.Max(float64(n-2), 1)
+	return Line{
+		K:        k,
+		B0:       b0,
+		SigmaK:   math.Sqrt(sigma2 / sxx * wsum / float64(n)),
+		SigmaB0:  math.Sqrt(sigma2 * (1/float64(n) + mx*mx/sxx*wsum/float64(n))),
+		ResidStd: math.Sqrt(sigma2),
+		Used:     used,
+		NumUsed:  n,
+	}, nil
+}
+
+// PowerWeights converts per-channel RSSI (dBm) into linear power
+// weights normalized to a unit median.
+func PowerWeights(rssi []float64) []float64 {
+	out := make([]float64, len(rssi))
+	if len(rssi) == 0 {
+		return out
+	}
+	med := mathx.Median(rssi)
+	for i, r := range rssi {
+		out[i] = math.Pow(10, (r-med)/10)
+	}
+	return out
+}
+
+// RobustOptions tunes the channel-selection fit (§V-D).
+type RobustOptions struct {
+	// FadeDropDB drops channels whose RSSI sits this far below the
+	// window's median RSSI before fitting: multipath corrupts the
+	// phase exactly where destructive superposition also depresses
+	// the amplitude, so the fade depth marks the "affected"
+	// frequencies. Default 3 dB.
+	FadeDropDB float64
+	// MaxResid is the absolute residual (rad, after median centering)
+	// beyond which a surviving channel is discarded as an outlier
+	// (transient interference, residual fades). Default 0.22 rad.
+	MaxResid float64
+	// MaxIterations bounds the trim-refit loop. Default 3.
+	MaxIterations int
+	// MinChannels is the minimum channels that must survive.
+	// Default 12 ("more than enough for a linear fitting" — §V-D).
+	MinChannels int
+}
+
+func (o *RobustOptions) defaults() {
+	if o.FadeDropDB <= 0 {
+		o.FadeDropDB = 3
+	}
+	if o.MaxResid <= 0 {
+		o.MaxResid = 0.22
+	}
+	if o.MaxIterations <= 0 {
+		o.MaxIterations = 3
+	}
+	if o.MinChannels <= 0 {
+		o.MinChannels = 12
+	}
+}
+
+// FadeMask flags the channels whose RSSI is within dropBelowDB of the
+// median RSSI (true = keep). A nil rssi keeps everything.
+func FadeMask(rssi []float64, dropBelowDB float64) []bool {
+	mask := make([]bool, len(rssi))
+	if len(rssi) == 0 {
+		return mask
+	}
+	med := mathx.Median(rssi)
+	for i, r := range rssi {
+		mask[i] = r >= med-dropBelowDB
+	}
+	return mask
+}
+
+// FitLineRobust fits a line with the channel selection of §V-D:
+// channels in amplitude fades (RSSI far below the window median) are
+// dropped first — multipath corrupts phase exactly where it also
+// depresses amplitude — and any surviving channel whose
+// median-centered residual exceeds an absolute ceiling is trimmed.
+// rssi may be nil (no fade information). It returns ErrTooFewChannels
+// when fewer than MinChannels survive.
+func FitLineRobust(freqs, phases []float64, rssi []float64, opts RobustOptions) (Line, error) {
+	opts.defaults()
+	if len(freqs) != len(phases) {
+		return Line{}, fmt.Errorf("fit: %d freqs vs %d phases", len(freqs), len(phases))
+	}
+	mask := make([]bool, len(freqs))
+	for i := range mask {
+		mask[i] = true
+	}
+	if len(rssi) == len(freqs) {
+		fade := FadeMask(rssi, opts.FadeDropDB)
+		n := 0
+		for i := range mask {
+			mask[i] = fade[i]
+			if mask[i] {
+				n++
+			}
+		}
+		if n < opts.MinChannels {
+			// Fades everywhere: fall back to all channels and let the
+			// residual trim (and ultimately the error detector) decide.
+			for i := range mask {
+				mask[i] = true
+			}
+		}
+	}
+	line, err := fitMasked(freqs, phases, mask)
+	if err != nil {
+		return Line{}, err
+	}
+	for iter := 0; iter < opts.MaxIterations; iter++ {
+		res := line.Residuals(freqs, phases)
+		var kept []float64
+		for i, r := range res {
+			if mask[i] {
+				kept = append(kept, r)
+			}
+		}
+		// Center on the median: outliers drag the fitted intercept, so
+		// the inlier residuals sit at a common offset rather than zero.
+		med := mathx.Median(kept)
+		changed := false
+		nextCount := 0
+		next := make([]bool, len(mask))
+		for i := range mask {
+			keep := mask[i] && math.Abs(res[i]-med) <= opts.MaxResid
+			next[i] = keep
+			if keep {
+				nextCount++
+			}
+			if keep != mask[i] {
+				changed = true
+			}
+		}
+		if nextCount < opts.MinChannels || !changed {
+			break
+		}
+		mask = next
+		line, err = fitMasked(freqs, phases, mask)
+		if err != nil {
+			return Line{}, err
+		}
+	}
+	if line.NumUsed < opts.MinChannels {
+		return line, ErrTooFewChannels
+	}
+	return line, nil
+}
+
+// LinearityReport is the outcome of the mobility/error detector.
+type LinearityReport struct {
+	// Linear is true when the spectrum is consistent with a static
+	// tag (phase linear in frequency after channel selection).
+	Linear bool
+	// ResidStd is the robust-fit residual standard deviation (rad).
+	ResidStd float64
+	// KeptFraction is the share of channels surviving selection.
+	KeptFraction float64
+}
+
+// DetectorOptions tunes the error detector (§V-C).
+type DetectorOptions struct {
+	// MaxResidStd is the residual std (rad) above which the window
+	// is declared non-linear (moving/rotating tag). Default 0.25.
+	MaxResidStd float64
+	// MinKeptFraction is the minimum share of channels that must fit
+	// the line. A mobile tag breaks the line everywhere, so little
+	// survives selection. Default 0.5.
+	MinKeptFraction float64
+}
+
+func (o *DetectorOptions) defaults() {
+	if o.MaxResidStd <= 0 {
+		o.MaxResidStd = 0.25
+	}
+	if o.MinKeptFraction <= 0 {
+		o.MinKeptFraction = 0.5
+	}
+}
+
+// CheckLinearity runs the error detector on a fitted spectrum: a
+// static tag yields a clean line (§V-C); a tag that moved or rotated
+// during the hop round does not, and its window must be discarded.
+func CheckLinearity(line Line, total int, opts DetectorOptions) LinearityReport {
+	opts.defaults()
+	frac := 0.0
+	if total > 0 {
+		frac = float64(line.NumUsed) / float64(total)
+	}
+	return LinearityReport{
+		Linear:       line.ResidStd <= opts.MaxResidStd && frac >= opts.MinKeptFraction,
+		ResidStd:     line.ResidStd,
+		KeptFraction: frac,
+	}
+}

@@ -1,0 +1,245 @@
+package fit
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"rfprism/internal/rf"
+)
+
+func line(k, b0 float64) (freqs, phases []float64) {
+	freqs = rf.Channels()
+	phases = make([]float64, len(freqs))
+	for i, f := range freqs {
+		phases[i] = k*(f-rf.CenterFrequencyHz) + b0
+	}
+	return freqs, phases
+}
+
+func TestFitLineExact(t *testing.T) {
+	k, b0 := 7.3e-8, 2.1
+	freqs, phases := line(k, b0)
+	l, err := FitLine(freqs, phases)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(l.K-k) > 1e-15 || math.Abs(l.B0-b0) > 1e-9 {
+		t.Fatalf("fit (%g, %g), want (%g, %g)", l.K, l.B0, k, b0)
+	}
+	if l.ResidStd > 1e-9 || l.NumUsed != rf.NumChannels {
+		t.Fatalf("resid %g used %d", l.ResidStd, l.NumUsed)
+	}
+}
+
+func TestFitLineValidation(t *testing.T) {
+	if _, err := FitLine([]float64{1, 2}, []float64{1}); err == nil {
+		t.Fatal("length mismatch must error")
+	}
+	if _, err := FitLine([]float64{1, 2}, []float64{1, 2}); !errors.Is(err, ErrTooFewChannels) {
+		t.Fatalf("want ErrTooFewChannels, got %v", err)
+	}
+	if _, err := FitLine([]float64{915e6, 915e6, 915e6}, []float64{1, 2, 3}); err == nil {
+		t.Fatal("degenerate frequency spread must error")
+	}
+}
+
+// TestFitLineCovariance: the reported SigmaK must match the Monte
+// Carlo spread of the estimator.
+func TestFitLineCovariance(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	const k, b0, noise = 5e-8, 1.0, 0.05
+	var ks []float64
+	var sigmaK float64
+	for trial := 0; trial < 300; trial++ {
+		freqs, phases := line(k, b0)
+		for i := range phases {
+			phases[i] += rng.NormFloat64() * noise
+		}
+		l, err := FitLine(freqs, phases)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ks = append(ks, l.K)
+		sigmaK = l.SigmaK
+	}
+	var mean, varK float64
+	for _, v := range ks {
+		mean += v
+	}
+	mean /= float64(len(ks))
+	for _, v := range ks {
+		varK += (v - mean) * (v - mean)
+	}
+	empirical := math.Sqrt(varK / float64(len(ks)-1))
+	if ratio := empirical / sigmaK; ratio < 0.7 || ratio > 1.4 {
+		t.Fatalf("SigmaK %g vs empirical %g (ratio %.2f)", sigmaK, empirical, ratio)
+	}
+}
+
+func TestFitLineRobustRejectsOutliers(t *testing.T) {
+	k, b0 := 6e-8, 0.4
+	freqs, phases := line(k, b0)
+	// Corrupt 8 channels severely (multipath-affected frequencies).
+	rng := rand.New(rand.NewSource(9))
+	corrupted := map[int]bool{}
+	for len(corrupted) < 8 {
+		corrupted[rng.Intn(len(phases))] = true
+	}
+	for i := range corrupted {
+		phases[i] += 1.5
+	}
+	plain, err := FitLine(freqs, phases)
+	if err != nil {
+		t.Fatal(err)
+	}
+	robust, err := FitLineRobust(freqs, phases, nil, RobustOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(robust.K-k) > math.Abs(plain.K-k)/2 {
+		t.Fatalf("robust slope error %g not clearly better than plain %g",
+			robust.K-k, plain.K-k)
+	}
+	if math.Abs(robust.K-k) > 2e-10 {
+		t.Fatalf("robust slope error still %g", robust.K-k)
+	}
+	// The corrupted channels must be the ones dropped.
+	for i, used := range robust.Used {
+		if corrupted[i] && used {
+			t.Errorf("corrupted channel %d was kept", i)
+		}
+	}
+}
+
+func TestFitLineRobustTooFewSurvivors(t *testing.T) {
+	// With most channels corrupted randomly there is no clean line;
+	// the fit must either keep enough channels or error — it must
+	// not return a fit claiming fewer than MinChannels.
+	rng := rand.New(rand.NewSource(10))
+	freqs, phases := line(5e-8, 0)
+	for i := range phases {
+		phases[i] += rng.Float64() * 6
+	}
+	l, err := FitLineRobust(freqs, phases, nil, RobustOptions{})
+	if err == nil && l.NumUsed < 12 {
+		t.Fatalf("fit kept %d channels without erroring", l.NumUsed)
+	}
+}
+
+func TestFitLineRobustFadeMask(t *testing.T) {
+	// Channels in deep RSSI fades must be excluded before fitting,
+	// even when their phase deviation would survive residual trimming.
+	k, b0 := 6e-8, 0.4
+	freqs, phases := line(k, b0)
+	rssi := make([]float64, len(freqs))
+	for i := range rssi {
+		rssi[i] = -50
+	}
+	// Corrupt five consecutive channels moderately (0.18 rad — below
+	// the 0.22 rad residual ceiling) and mark them as faded.
+	for i := 20; i < 25; i++ {
+		phases[i] += 0.18
+		rssi[i] = -58
+	}
+	l, err := FitLineRobust(freqs, phases, rssi, RobustOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 20; i < 25; i++ {
+		if l.Used[i] {
+			t.Fatalf("faded channel %d was kept", i)
+		}
+	}
+	if math.Abs(l.K-k) > 1e-10 {
+		t.Fatalf("slope error %g after fade masking", l.K-k)
+	}
+}
+
+func TestFadeMask(t *testing.T) {
+	rssi := []float64{-50, -50, -50.5, -56, -49.5}
+	mask := FadeMask(rssi, 3)
+	want := []bool{true, true, true, false, true}
+	for i := range want {
+		if mask[i] != want[i] {
+			t.Fatalf("FadeMask = %v, want %v", mask, want)
+		}
+	}
+	if len(FadeMask(nil, 3)) != 0 {
+		t.Fatal("empty input")
+	}
+}
+
+func TestFitLineRobustCleanDataKeepsEverything(t *testing.T) {
+	freqs, phases := line(4e-8, 1)
+	rng := rand.New(rand.NewSource(11))
+	for i := range phases {
+		phases[i] += rng.NormFloat64() * 0.01
+	}
+	l, err := FitLineRobust(freqs, phases, nil, RobustOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.NumUsed < rf.NumChannels-3 {
+		t.Fatalf("over-pruned clean data: kept %d", l.NumUsed)
+	}
+}
+
+func TestResiduals(t *testing.T) {
+	freqs, phases := line(3e-8, 0.5)
+	l, err := FitLine(freqs, phases)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range l.Residuals(freqs, phases) {
+		if math.Abs(r) > 1e-9 {
+			t.Fatalf("residual %d = %g on exact data", i, r)
+		}
+	}
+}
+
+func TestCheckLinearity(t *testing.T) {
+	rep := CheckLinearity(Line{ResidStd: 0.05, NumUsed: 48}, 50, DetectorOptions{})
+	if !rep.Linear {
+		t.Fatalf("clean fit flagged: %+v", rep)
+	}
+	rep = CheckLinearity(Line{ResidStd: 0.9, NumUsed: 48}, 50, DetectorOptions{})
+	if rep.Linear {
+		t.Fatal("high-residual fit passed")
+	}
+	rep = CheckLinearity(Line{ResidStd: 0.05, NumUsed: 15}, 50, DetectorOptions{})
+	if rep.Linear {
+		t.Fatal("mostly-rejected fit passed")
+	}
+	rep = CheckLinearity(Line{ResidStd: 0.05, NumUsed: 10}, 0, DetectorOptions{})
+	if rep.Linear {
+		t.Fatal("zero-total fit passed")
+	}
+}
+
+// TestFitLineShiftInvariance: adding a constant to all phases must
+// shift B0 by that constant and leave K untouched.
+func TestFitLineShiftInvariance(t *testing.T) {
+	f := func(shift float64) bool {
+		if math.IsNaN(shift) || math.Abs(shift) > 1e6 {
+			return true
+		}
+		freqs, phases := line(5.5e-8, 1)
+		shifted := make([]float64, len(phases))
+		for i := range phases {
+			shifted[i] = phases[i] + shift
+		}
+		l1, err1 := FitLine(freqs, phases)
+		l2, err2 := FitLine(freqs, shifted)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return math.Abs(l1.K-l2.K) < 1e-15 &&
+			math.Abs((l2.B0-l1.B0)-shift) < 1e-6*math.Max(1, math.Abs(shift))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

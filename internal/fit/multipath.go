@@ -1,0 +1,200 @@
+package fit
+
+import (
+	"math"
+
+	"rfprism/internal/mathx"
+	"rfprism/internal/rf"
+)
+
+// Multipath-aware spectral fit.
+//
+// A delayed multipath component with excess round-trip path L adds a
+// deviation ≈ A·cos(2πfL/c) + B·sin(2πfL/c) to the phase spectrum
+// (first order in the component's relative amplitude). Over the
+// 24.5 MHz band such a deviation is *smooth*, so residual-threshold
+// channel selection cannot separate it from the line — but its shape
+// is known, so it can be estimated and removed. MultipathOptions
+// configures the estimator; FitLineMultipath performs up to MaxEchoes
+// rounds of (line + echo) joint fitting with the echo's delay found
+// by grid search, which realizes the *intent* of the paper's §V-D
+// suppression (recover the clean line) in a way that works for
+// physically smooth deviations. Channels whose final residual still
+// exceeds ResidualTol are dropped exactly like §V-D outliers.
+type MultipathOptions struct {
+	// MinPathM/MaxPathM bound the excess round-trip path grid (m).
+	// The minimum keeps the hypothesized sinusoid above one full
+	// period across the 24.5 MHz band (L ≥ c/B ≈ 12 m); shorter
+	// delays are indistinguishable from the line itself and removing
+	// them would steal its slope. Defaults 14 and 60.
+	MinPathM, MaxPathM float64
+	// StepM is the grid resolution (m). Default 0.25.
+	StepM float64
+	// MaxEchoes is the number of echo components removed (including
+	// harmonics and intermodulation of physical echoes). Default 5.
+	MaxEchoes int
+	// MinImprovement is the relative RSS reduction an echo must
+	// achieve to be accepted. Default 0.1.
+	MinImprovement float64
+	// ResidualTol drops channels whose residual after echo removal
+	// still exceeds this (rad). Default 0.22.
+	ResidualTol float64
+	// MinChannels is the minimum surviving channels. Default 12.
+	MinChannels int
+}
+
+func (o *MultipathOptions) defaults() {
+	if o.MinPathM <= 0 {
+		o.MinPathM = 14
+	}
+	if o.MaxPathM <= 0 {
+		o.MaxPathM = 60
+	}
+	if o.StepM <= 0 {
+		o.StepM = 0.25
+	}
+	if o.MaxEchoes <= 0 {
+		o.MaxEchoes = 5
+	}
+	if o.MinImprovement <= 0 {
+		o.MinImprovement = 0.1
+	}
+	if o.ResidualTol <= 0 {
+		o.ResidualTol = 0.22
+	}
+	if o.MinChannels <= 0 {
+		o.MinChannels = 12
+	}
+}
+
+// FitLineMultipath fits the phase-vs-frequency line while estimating
+// and removing delayed-echo deviations (§V-D realized as model-based
+// suppression; see the package comment above). The two dominant echo
+// delays are found by an exhaustive joint grid search — greedy
+// one-at-a-time matching pursuit is unstable when two strong echoes
+// beat against each other — and the line is estimated simultaneously
+// so the echoes cannot absorb slope. Channels whose final residual
+// still exceeds ResidualTol are dropped exactly like §V-D outliers.
+func FitLineMultipath(freqs, phases []float64, opts MultipathOptions) (Line, error) {
+	opts.defaults()
+	line, err := FitLine(freqs, phases)
+	if err != nil {
+		return Line{}, err
+	}
+	// Skip the echo search entirely on already-clean spectra.
+	if line.ResidStd < 0.05 {
+		return finalTrim(freqs, phases, line, opts)
+	}
+
+	var rss0 float64
+	for _, r := range line.Residuals(freqs, phases) {
+		rss0 += r * r
+	}
+	// Coarse joint search over one or two echo delays.
+	coarse := opts.StepM * 4
+	bestL1, bestL2, bestRSS := 0.0, 0.0, math.Inf(1)
+	for l1 := opts.MinPathM; l1 <= opts.MaxPathM; l1 += coarse {
+		for l2 := l1 + coarse; l2 <= opts.MaxPathM+1e-9; l2 += coarse {
+			if rss := echoRSS(freqs, phases, l1, l2); rss < bestRSS {
+				bestRSS, bestL1, bestL2 = rss, l1, l2
+			}
+		}
+	}
+	// Local refinement around the coarse optimum.
+	for l1 := bestL1 - coarse; l1 <= bestL1+coarse; l1 += opts.StepM {
+		for l2 := bestL2 - coarse; l2 <= bestL2+coarse; l2 += opts.StepM {
+			if l1 < opts.MinPathM || l2 <= l1 {
+				continue
+			}
+			if rss := echoRSS(freqs, phases, l1, l2); rss < bestRSS {
+				bestRSS, bestL1, bestL2 = rss, l1, l2
+			}
+		}
+	}
+	if bestRSS > rss0*(1-opts.MinImprovement) {
+		// No echo structure worth removing.
+		return finalTrim(freqs, phases, line, opts)
+	}
+	cleaned, err := removeEchoes(freqs, phases, bestL1, bestL2)
+	if err != nil {
+		return finalTrim(freqs, phases, line, opts)
+	}
+	line, err = FitLine(freqs, cleaned)
+	if err != nil {
+		return Line{}, err
+	}
+	return finalTrim(freqs, cleaned, line, opts)
+}
+
+// finalTrim drops channels whose (median-centered) residual exceeds
+// ResidualTol and refits, mirroring §V-D's outlier rejection.
+func finalTrim(freqs, phases []float64, line Line, opts MultipathOptions) (Line, error) {
+	res := line.Residuals(freqs, phases)
+	med := mathx.Median(res)
+	mask := make([]bool, len(freqs))
+	n := 0
+	for i, r := range res {
+		if math.Abs(r-med) <= opts.ResidualTol {
+			mask[i] = true
+			n++
+		}
+	}
+	if n < opts.MinChannels {
+		return line, ErrTooFewChannels
+	}
+	final, err := fitMasked(freqs, phases, mask)
+	if err != nil {
+		return Line{}, err
+	}
+	return final, nil
+}
+
+// echoDesign builds the joint [x, 1, cosw1, sinw1, cosw2, sinw2]
+// design matrix for the given echo delays.
+func echoDesign(freqs []float64, l1, l2 float64) *mathx.Mat {
+	const xScale = 1.25e7
+	design := mathx.NewMat(len(freqs), 6)
+	for i, f := range freqs {
+		w1 := 2 * math.Pi * f * l1 / rf.SpeedOfLight
+		w2 := 2 * math.Pi * f * l2 / rf.SpeedOfLight
+		design.Set(i, 0, (f-rf.CenterFrequencyHz)/xScale)
+		design.Set(i, 1, 1)
+		design.Set(i, 2, math.Cos(w1))
+		design.Set(i, 3, math.Sin(w1))
+		design.Set(i, 4, math.Cos(w2))
+		design.Set(i, 5, math.Sin(w2))
+	}
+	return design
+}
+
+// echoRSS returns the joint line+two-echo least-squares RSS.
+func echoRSS(freqs, phases []float64, l1, l2 float64) float64 {
+	_, rss, err := mathx.LeastSquares(echoDesign(freqs, l1, l2), phases)
+	if err != nil {
+		return math.Inf(1)
+	}
+	return rss
+}
+
+// removeEchoes subtracts the jointly fitted echo components (leaving
+// the line part untouched).
+func removeEchoes(freqs, phases []float64, l1, l2 float64) ([]float64, error) {
+	design := echoDesign(freqs, l1, l2)
+	sol, _, err := mathx.LeastSquares(design, phases)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]float64, len(phases))
+	for i, f := range freqs {
+		w1 := 2 * math.Pi * f * l1 / rf.SpeedOfLight
+		w2 := 2 * math.Pi * f * l2 / rf.SpeedOfLight
+		out[i] = phases[i] - sol[2]*math.Cos(w1) - sol[3]*math.Sin(w1) -
+			sol[4]*math.Cos(w2) - sol[5]*math.Sin(w2)
+	}
+	return out, nil
+}
+
+// fitMaskedPhases is fitMasked on an alternative phase slice.
+func fitMaskedPhases(freqs, phases []float64, mask []bool) (Line, error) {
+	return fitMasked(freqs, phases, mask)
+}

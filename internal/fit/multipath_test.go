@@ -1,0 +1,34 @@
+package fit
+
+import (
+	"math"
+	"testing"
+
+	"rfprism/internal/rf"
+)
+
+// TestMultipathFitRemovesStaticEcho is the FitLineMultipath
+// regression: a single static long-delay echo must be identified and
+// removed almost exactly.
+func TestMultipathFitRemovesStaticEcho(t *testing.T) {
+	k, b0 := 6e-8, 0.4
+	freqs, phases := line(k, b0)
+	const L, amp = 16.5, 0.4
+	for i, f := range freqs {
+		w := 2 * math.Pi * f * (2*1.7 + L) / rf.SpeedOfLight
+		phases[i] += amp * math.Sin(w)
+	}
+	plain, _ := FitLine(freqs, phases)
+	mp, err := FitLineMultipath(freqs, phases, MultipathOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plainErr := math.Abs(rf.DistanceFromSlope(plain.K) - rf.DistanceFromSlope(k))
+	mpErr := math.Abs(rf.DistanceFromSlope(mp.K) - rf.DistanceFromSlope(k))
+	if mpErr > 0.005 {
+		t.Fatalf("echo removal left %.1f cm of slope bias", mpErr*100)
+	}
+	if mpErr > plainErr {
+		t.Fatalf("echo removal made the fit worse: %.4f vs %.4f m", mpErr, plainErr)
+	}
+}

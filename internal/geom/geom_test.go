@@ -1,0 +1,157 @@
+package geom
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestVec2Ops(t *testing.T) {
+	a := Vec2{3, 4}
+	b := Vec2{1, -2}
+	if got := a.Add(b); got != (Vec2{4, 2}) {
+		t.Errorf("Add = %v", got)
+	}
+	if got := a.Sub(b); got != (Vec2{2, 6}) {
+		t.Errorf("Sub = %v", got)
+	}
+	if got := a.Scale(2); got != (Vec2{6, 8}) {
+		t.Errorf("Scale = %v", got)
+	}
+	if got := a.Dot(b); got != -5 {
+		t.Errorf("Dot = %g", got)
+	}
+	if got := a.Norm(); got != 5 {
+		t.Errorf("Norm = %g", got)
+	}
+	if got := a.Dist(b); math.Abs(got-math.Sqrt(4+36)) > 1e-12 {
+		t.Errorf("Dist = %g", got)
+	}
+	if got := (Vec2{}).Unit(); got != (Vec2{}) {
+		t.Errorf("zero Unit = %v", got)
+	}
+}
+
+func TestVec2Angle(t *testing.T) {
+	for _, deg := range []float64{0, 30, 90, 179, -45} {
+		rad := deg * math.Pi / 180
+		v := FromAngle(rad)
+		if math.Abs(v.Norm()-1) > 1e-12 {
+			t.Fatalf("FromAngle(%g) not unit", deg)
+		}
+		if got := v.Angle(); math.Abs(got-rad) > 1e-12 {
+			t.Fatalf("Angle round trip %g -> %g", rad, got)
+		}
+	}
+}
+
+func TestVec3Ops(t *testing.T) {
+	a := Vec3{1, 2, 3}
+	b := Vec3{4, 5, 6}
+	if got := a.Cross(b); got != (Vec3{-3, 6, -3}) {
+		t.Errorf("Cross = %v", got)
+	}
+	if got := a.Dot(b); got != 32 {
+		t.Errorf("Dot = %g", got)
+	}
+	if got := a.Sub(b).Norm(); math.Abs(got-math.Sqrt(27)) > 1e-12 {
+		t.Errorf("Sub/Norm = %g", got)
+	}
+	if got := (Vec3{}).Unit(); got != (Vec3{}) {
+		t.Errorf("zero Unit = %v", got)
+	}
+}
+
+func TestCrossOrthogonalProperty(t *testing.T) {
+	f := func(ax, ay, az, bx, by, bz float64) bool {
+		bound := func(v float64) bool { return math.IsNaN(v) || math.Abs(v) > 1e6 }
+		if bound(ax) || bound(ay) || bound(az) || bound(bx) || bound(by) || bound(bz) {
+			return true
+		}
+		a := Vec3{ax, ay, az}
+		b := Vec3{bx, by, bz}
+		c := a.Cross(b)
+		scale := math.Max(a.Norm()*b.Norm(), 1)
+		return math.Abs(c.Dot(a)) < 1e-6*scale && math.Abs(c.Dot(b)) < 1e-6*scale
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSphericalRoundTrip(t *testing.T) {
+	f := func(az, el float64) bool {
+		if math.IsNaN(az) || math.IsNaN(el) {
+			return true
+		}
+		az = math.Mod(az, math.Pi) // stay away from the ±π seam
+		el = math.Mod(el, math.Pi/2) * 0.99
+		v := FromSpherical(az, el)
+		if math.Abs(v.Norm()-1) > 1e-9 {
+			return false
+		}
+		gotAz, gotEl := v.Spherical()
+		return math.Abs(math.Atan2(math.Sin(gotAz-az), math.Cos(gotAz-az))) < 1e-9 &&
+			math.Abs(gotEl-el) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNewFrameOrthonormal(t *testing.T) {
+	f := func(x, y, z float64) bool {
+		if math.IsNaN(x) || math.IsNaN(y) || math.IsNaN(z) {
+			return true
+		}
+		b := Vec3{x, y, z}
+		if b.Norm() < 1e-6 || b.Norm() > 1e6 {
+			return true
+		}
+		fr := NewFrame(b)
+		ok := func(v float64) bool { return math.Abs(v) < 1e-9 }
+		return math.Abs(fr.U.Norm()-1) < 1e-9 &&
+			math.Abs(fr.V.Norm()-1) < 1e-9 &&
+			math.Abs(fr.W.Norm()-1) < 1e-9 &&
+			ok(fr.U.Dot(fr.V)) && ok(fr.U.Dot(fr.W)) && ok(fr.V.Dot(fr.W)) &&
+			// Right-handed: U×V = W.
+			fr.U.Cross(fr.V).Sub(fr.W).Norm() < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNewFrameVerticalBoresight(t *testing.T) {
+	fr := NewFrame(Vec3{0, 0, 1})
+	if math.Abs(fr.U.Norm()-1) > 1e-9 || math.Abs(fr.U.Dot(fr.W)) > 1e-9 {
+		t.Fatalf("vertical boresight frame broken: %+v", fr)
+	}
+}
+
+func TestNewFrameUHorizontal(t *testing.T) {
+	// For a non-vertical boresight, U must lie in the ground plane.
+	fr := NewFrame(Vec3{1, 2, -0.5})
+	if math.Abs(fr.U.Z) > 1e-12 {
+		t.Fatalf("U not horizontal: %+v", fr.U)
+	}
+}
+
+func TestRegion(t *testing.T) {
+	if RegionNear.String() != "near" || RegionMedium.String() != "medium" ||
+		RegionFar.String() != "far" || Region(0).String() != "unknown" {
+		t.Error("Region strings wrong")
+	}
+	if ClassifyRegion(1.0, 1.5, 2.0) != RegionNear {
+		t.Error("near classification")
+	}
+	if ClassifyRegion(1.7, 1.5, 2.0) != RegionMedium {
+		t.Error("medium classification")
+	}
+	if ClassifyRegion(2.5, 1.5, 2.0) != RegionFar {
+		t.Error("far classification")
+	}
+	if ClassifyRegion(1.5, 1.5, 2.0) != RegionNear {
+		t.Error("boundary belongs to near")
+	}
+}

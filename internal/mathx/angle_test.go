@@ -1,0 +1,174 @@
+package mathx
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestWrap2Pi(t *testing.T) {
+	cases := []struct{ in, want float64 }{
+		{0, 0},
+		{1, 1},
+		{2 * math.Pi, 0},
+		{-1, 2*math.Pi - 1},
+		{7, 7 - 2*math.Pi},
+		{-4 * math.Pi, 0},
+		{5 * math.Pi, math.Pi},
+	}
+	for _, c := range cases {
+		if got := Wrap2Pi(c.in); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("Wrap2Pi(%g) = %g, want %g", c.in, got, c.want)
+		}
+	}
+}
+
+func TestWrapPi(t *testing.T) {
+	cases := []struct{ in, want float64 }{
+		{0, 0},
+		{math.Pi, math.Pi},
+		{-math.Pi, math.Pi},
+		{3 * math.Pi / 2, -math.Pi / 2},
+		{2 * math.Pi, 0},
+		{-0.1, -0.1},
+	}
+	for _, c := range cases {
+		if got := WrapPi(c.in); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("WrapPi(%g) = %g, want %g", c.in, got, c.want)
+		}
+	}
+}
+
+func TestWrapPropertyRanges(t *testing.T) {
+	f := func(x float64) bool {
+		if math.IsNaN(x) || math.IsInf(x, 0) || math.Abs(x) > 1e12 {
+			return true
+		}
+		w2 := Wrap2Pi(x)
+		wp := WrapPi(x)
+		if w2 < 0 || w2 >= 2*math.Pi {
+			return false
+		}
+		if wp <= -math.Pi || wp > math.Pi {
+			return false
+		}
+		// Both must be congruent to x modulo 2π.
+		return math.Abs(WrapPi(w2-x)) < 1e-6 && math.Abs(WrapPi(wp-x)) < 1e-6
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAngDiff(t *testing.T) {
+	if got := AngDiff(0.1, 2*math.Pi-0.1); math.Abs(got-0.2) > 1e-12 {
+		t.Errorf("AngDiff across wrap = %g, want 0.2", got)
+	}
+	if got := AngDiff(1, 2); math.Abs(got+1) > 1e-12 {
+		t.Errorf("AngDiff(1,2) = %g, want -1", got)
+	}
+}
+
+func TestAngDiffPeriod(t *testing.T) {
+	// Dipole angles alias every π.
+	if got := AngDiffPeriod(0.05, math.Pi-0.05, math.Pi); math.Abs(got-0.1) > 1e-12 {
+		t.Errorf("AngDiffPeriod = %g, want 0.1", got)
+	}
+	if got := AngDiffPeriod(3, 0, math.Pi); math.Abs(got-(3-math.Pi)) > 1e-12 {
+		t.Errorf("AngDiffPeriod(3,0,π) = %g, want %g", got, 3-math.Pi)
+	}
+}
+
+func TestAngDiffPeriodProperty(t *testing.T) {
+	f := func(a, b float64) bool {
+		if math.IsNaN(a) || math.IsNaN(b) || math.Abs(a) > 1e6 || math.Abs(b) > 1e6 {
+			return true
+		}
+		d := AngDiffPeriod(a, b, math.Pi)
+		if d <= -math.Pi/2-1e-9 || d > math.Pi/2+1e-9 {
+			return false
+		}
+		// a-b-d must be a multiple of π.
+		k := (a - b - d) / math.Pi
+		return math.Abs(k-math.Round(k)) < 1e-6
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestUnwrap(t *testing.T) {
+	// A steadily increasing phase wrapped into [0, 2π) must unwrap to
+	// a line (up to the initial offset).
+	n := 100
+	truth := make([]float64, n)
+	wrapped := make([]float64, n)
+	for i := range truth {
+		truth[i] = 0.3 + 0.5*float64(i)
+		wrapped[i] = Wrap2Pi(truth[i])
+	}
+	got := Unwrap(wrapped)
+	for i := range got {
+		if math.Abs(got[i]-truth[i]) > 1e-9 {
+			t.Fatalf("Unwrap[%d] = %g, want %g", i, got[i], truth[i])
+		}
+	}
+}
+
+func TestUnwrapEmptyAndSingle(t *testing.T) {
+	if got := Unwrap(nil); len(got) != 0 {
+		t.Errorf("Unwrap(nil) = %v", got)
+	}
+	if got := Unwrap([]float64{1.5}); len(got) != 1 || got[0] != 1.5 {
+		t.Errorf("Unwrap single = %v", got)
+	}
+}
+
+func TestUnwrapHalfPi(t *testing.T) {
+	// A slowly increasing phase with a π flip in the middle must come
+	// back smooth.
+	in := []float64{0.1, 0.2, 0.3 + math.Pi, 0.4, 0.5}
+	got := UnwrapHalfPi(in)
+	for i := 1; i < len(got); i++ {
+		if d := math.Abs(got[i] - got[i-1]); d > 0.5 {
+			t.Fatalf("UnwrapHalfPi left a jump of %g at %d: %v", d, i, got)
+		}
+	}
+}
+
+func TestCircMean(t *testing.T) {
+	// Angles straddling the wrap point.
+	m := CircMean([]float64{2*math.Pi - 0.1, 0.1})
+	if math.Abs(WrapPi(m)) > 1e-9 {
+		t.Errorf("CircMean straddling wrap = %g, want 0", m)
+	}
+	if got := CircMean(nil); got != 0 {
+		t.Errorf("CircMean(nil) = %g", got)
+	}
+	if got := CircMean([]float64{1.25}); math.Abs(got-1.25) > 1e-12 {
+		t.Errorf("CircMean single = %g", got)
+	}
+}
+
+func TestCircStd(t *testing.T) {
+	tight := CircStd([]float64{1.0, 1.01, 0.99, 1.0})
+	loose := CircStd([]float64{0, 1, 2, 3, 4, 5})
+	if tight >= loose {
+		t.Errorf("CircStd tight %g >= loose %g", tight, loose)
+	}
+	if got := CircStd([]float64{1}); got != 0 {
+		t.Errorf("CircStd single = %g", got)
+	}
+}
+
+func TestDegRadRoundTrip(t *testing.T) {
+	f := func(x float64) bool {
+		if math.IsNaN(x) || math.Abs(x) > 1e9 {
+			return true
+		}
+		return math.Abs(Deg(Rad(x))-x) < 1e-9*math.Max(1, math.Abs(x))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

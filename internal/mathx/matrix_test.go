@@ -1,0 +1,256 @@
+package mathx
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestMatBasics(t *testing.T) {
+	m := NewMat(2, 3)
+	m.Set(0, 0, 1)
+	m.Set(1, 2, 5)
+	m.Add(1, 2, 1)
+	if m.At(0, 0) != 1 || m.At(1, 2) != 6 {
+		t.Fatalf("At/Set/Add broken: %+v", m)
+	}
+	tr := m.T()
+	if tr.Rows != 3 || tr.Cols != 2 || tr.At(2, 1) != 6 {
+		t.Fatalf("transpose broken: %+v", tr)
+	}
+	c := m.Clone()
+	c.Set(0, 0, 9)
+	if m.At(0, 0) != 1 {
+		t.Fatal("Clone aliases the original")
+	}
+}
+
+func TestMatFromRows(t *testing.T) {
+	m, err := MatFromRows([][]float64{{1, 2}, {3, 4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.At(1, 0) != 3 {
+		t.Fatalf("MatFromRows content wrong: %+v", m)
+	}
+	if _, err := MatFromRows([][]float64{{1, 2}, {3}}); err == nil {
+		t.Fatal("ragged rows must error")
+	}
+	if m, err := MatFromRows(nil); err != nil || m.Rows != 0 {
+		t.Fatalf("empty input: %v %+v", err, m)
+	}
+}
+
+func TestMulAndMulVec(t *testing.T) {
+	a, _ := MatFromRows([][]float64{{1, 2}, {3, 4}})
+	b, _ := MatFromRows([][]float64{{5, 6}, {7, 8}})
+	c, err := a.Mul(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := [][]float64{{19, 22}, {43, 50}}
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 2; j++ {
+			if c.At(i, j) != want[i][j] {
+				t.Fatalf("Mul = %+v", c)
+			}
+		}
+	}
+	v, err := a.MulVec([]float64{1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v[0] != 3 || v[1] != 7 {
+		t.Fatalf("MulVec = %v", v)
+	}
+	if _, err := a.Mul(NewMat(3, 3)); err == nil {
+		t.Fatal("dimension mismatch must error")
+	}
+	if _, err := a.MulVec([]float64{1}); err == nil {
+		t.Fatal("vector length mismatch must error")
+	}
+}
+
+func TestSolveLUKnown(t *testing.T) {
+	a, _ := MatFromRows([][]float64{
+		{2, 1, -1},
+		{-3, -1, 2},
+		{-2, 1, 2},
+	})
+	x, err := SolveLU(a, []float64{8, -11, -3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{2, 3, -1}
+	for i := range want {
+		if math.Abs(x[i]-want[i]) > 1e-10 {
+			t.Fatalf("SolveLU = %v, want %v", x, want)
+		}
+	}
+}
+
+func TestSolveLUSingular(t *testing.T) {
+	a, _ := MatFromRows([][]float64{{1, 2}, {2, 4}})
+	if _, err := SolveLU(a, []float64{1, 2}); !errors.Is(err, ErrSingular) {
+		t.Fatalf("want ErrSingular, got %v", err)
+	}
+}
+
+func TestSolveLUErrors(t *testing.T) {
+	if _, err := SolveLU(NewMat(2, 3), []float64{1, 2}); err == nil {
+		t.Fatal("non-square must error")
+	}
+	if _, err := SolveLU(NewMat(2, 2), []float64{1}); err == nil {
+		t.Fatal("rhs length mismatch must error")
+	}
+}
+
+// TestSolveLUProperty: for random well-conditioned systems,
+// a·x must reproduce b.
+func TestSolveLUProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + rng.Intn(6)
+		a := NewMat(n, n)
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				a.Set(i, j, rng.NormFloat64())
+			}
+			a.Add(i, i, float64(n)) // diagonally dominant
+		}
+		b := make([]float64, n)
+		for i := range b {
+			b[i] = rng.NormFloat64()
+		}
+		x, err := SolveLU(a, b)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		ax, err := a.MulVec(x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range b {
+			if math.Abs(ax[i]-b[i]) > 1e-8 {
+				t.Fatalf("trial %d: residual %g", trial, ax[i]-b[i])
+			}
+		}
+	}
+}
+
+func TestSolveCholeskyMatchesLU(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 100; trial++ {
+		n := 1 + rng.Intn(5)
+		// SPD matrix: GᵀG + I.
+		g := NewMat(n, n)
+		for i := range g.Data {
+			g.Data[i] = rng.NormFloat64()
+		}
+		gt := g.T()
+		a, err := gt.Mul(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < n; i++ {
+			a.Add(i, i, 1)
+		}
+		b := make([]float64, n)
+		for i := range b {
+			b[i] = rng.NormFloat64()
+		}
+		x1, err := SolveCholesky(a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		x2, err := SolveLU(a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range x1 {
+			if math.Abs(x1[i]-x2[i]) > 1e-8 {
+				t.Fatalf("trial %d: Cholesky %v vs LU %v", trial, x1, x2)
+			}
+		}
+	}
+}
+
+func TestSolveCholeskyRejectsIndefinite(t *testing.T) {
+	a, _ := MatFromRows([][]float64{{0, 1}, {1, 0}})
+	if _, err := SolveCholesky(a, []float64{1, 1}); !errors.Is(err, ErrSingular) {
+		t.Fatalf("want ErrSingular, got %v", err)
+	}
+}
+
+func TestLeastSquaresExact(t *testing.T) {
+	// Overdetermined but consistent system: y = 2x + 1 sampled 10x.
+	a := NewMat(10, 2)
+	b := make([]float64, 10)
+	for i := 0; i < 10; i++ {
+		x := float64(i)
+		a.Set(i, 0, x)
+		a.Set(i, 1, 1)
+		b[i] = 2*x + 1
+	}
+	sol, rss, err := LeastSquares(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(sol[0]-2) > 1e-8 || math.Abs(sol[1]-1) > 1e-8 {
+		t.Fatalf("LeastSquares = %v", sol)
+	}
+	if rss > 1e-12 {
+		t.Fatalf("rss = %g, want ~0", rss)
+	}
+}
+
+func TestLeastSquaresUnderdetermined(t *testing.T) {
+	if _, _, err := LeastSquares(NewMat(2, 3), []float64{1, 2}); err == nil {
+		t.Fatal("underdetermined must error")
+	}
+}
+
+// TestLeastSquaresResidualOrthogonality: the residual of an LSQ
+// solution must be orthogonal to the column space.
+func TestLeastSquaresResidualOrthogonality(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m, n := 8, 3
+		a := NewMat(m, n)
+		for i := range a.Data {
+			a.Data[i] = rng.NormFloat64()
+		}
+		b := make([]float64, m)
+		for i := range b {
+			b[i] = rng.NormFloat64()
+		}
+		x, _, err := LeastSquares(a, b)
+		if err != nil {
+			return false
+		}
+		pred, err := a.MulVec(x)
+		if err != nil {
+			return false
+		}
+		res := make([]float64, m)
+		for i := range res {
+			res[i] = b[i] - pred[i]
+		}
+		at := a.T()
+		proj, err := at.MulVec(res)
+		if err != nil {
+			return false
+		}
+		for _, p := range proj {
+			if math.Abs(p) > 1e-6 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

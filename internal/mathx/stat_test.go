@@ -1,0 +1,145 @@
+package mathx
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestMeanStd(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if m := Mean(xs); math.Abs(m-5) > 1e-12 {
+		t.Errorf("Mean = %g, want 5", m)
+	}
+	// Sample std with n-1 denominator.
+	if s := Std(xs); math.Abs(s-2.138089935) > 1e-6 {
+		t.Errorf("Std = %g", s)
+	}
+	if Mean(nil) != 0 || Std(nil) != 0 || Std([]float64{1}) != 0 {
+		t.Error("empty/single edge cases wrong")
+	}
+}
+
+func TestMedianAndPercentile(t *testing.T) {
+	xs := []float64{5, 1, 3, 2, 4}
+	if m := Median(xs); m != 3 {
+		t.Errorf("Median = %g", m)
+	}
+	// Percentile must not modify the input.
+	if !sort.Float64sAreSorted(xs) {
+		// input was unsorted, ensure it stays exactly as given
+	}
+	if xs[0] != 5 {
+		t.Error("Percentile modified its input")
+	}
+	if p := Percentile(xs, 0); p != 1 {
+		t.Errorf("P0 = %g", p)
+	}
+	if p := Percentile(xs, 100); p != 5 {
+		t.Errorf("P100 = %g", p)
+	}
+	if p := Percentile(xs, 50); p != 3 {
+		t.Errorf("P50 = %g", p)
+	}
+	if p := Percentile([]float64{1, 2}, 50); math.Abs(p-1.5) > 1e-12 {
+		t.Errorf("interpolated P50 = %g", p)
+	}
+	if Percentile(nil, 50) != 0 {
+		t.Error("empty percentile")
+	}
+}
+
+func TestPercentileMonotone(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		xs := make([]float64, 1+rng.Intn(40))
+		for i := range xs {
+			xs[i] = rng.NormFloat64()
+		}
+		prev := math.Inf(-1)
+		for p := 0.0; p <= 100; p += 7 {
+			v := Percentile(xs, p)
+			if v < prev-1e-12 {
+				return false
+			}
+			prev = v
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMAD(t *testing.T) {
+	xs := []float64{1, 1, 2, 2, 4, 6, 9}
+	if m := MAD(xs); m != 1 {
+		t.Errorf("MAD = %g, want 1", m)
+	}
+	if MAD(nil) != 0 {
+		t.Error("MAD(nil) != 0")
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	min, max := MinMax([]float64{3, -1, 7, 2})
+	if min != -1 || max != 7 {
+		t.Errorf("MinMax = %g, %g", min, max)
+	}
+	if a, b := MinMax(nil); a != 0 || b != 0 {
+		t.Error("MinMax(nil)")
+	}
+}
+
+func TestCDF(t *testing.T) {
+	c := NewCDF([]float64{1, 2, 3, 4})
+	cases := []struct{ x, want float64 }{
+		{0.5, 0}, {1, 0.25}, {2.5, 0.5}, {4, 1}, {9, 1},
+	}
+	for _, cse := range cases {
+		if got := c.P(cse.x); math.Abs(got-cse.want) > 1e-12 {
+			t.Errorf("P(%g) = %g, want %g", cse.x, got, cse.want)
+		}
+	}
+	if c.Len() != 4 || c.Max() != 4 {
+		t.Error("Len/Max wrong")
+	}
+	if q := c.Quantile(0.5); q != 3 {
+		t.Errorf("Quantile(0.5) = %g", q)
+	}
+	if q := c.Quantile(0); q != 1 {
+		t.Errorf("Quantile(0) = %g", q)
+	}
+	if q := c.Quantile(1); q != 4 {
+		t.Errorf("Quantile(1) = %g", q)
+	}
+	empty := NewCDF(nil)
+	if empty.P(1) != 0 || empty.Quantile(0.5) != 0 || empty.Max() != 0 {
+		t.Error("empty CDF edge cases")
+	}
+}
+
+func TestCDFMonotoneProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		xs := make([]float64, 1+rng.Intn(30))
+		for i := range xs {
+			xs[i] = rng.NormFloat64() * 10
+		}
+		c := NewCDF(xs)
+		prev := -1.0
+		for x := -30.0; x <= 30; x += 1.5 {
+			p := c.P(x)
+			if p < prev || p < 0 || p > 1 {
+				return false
+			}
+			prev = p
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

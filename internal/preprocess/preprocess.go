@@ -1,0 +1,234 @@
+// Package preprocess turns raw reader reports into per-antenna phase
+// spectra: it resolves the reader's π sign ambiguity inside each
+// channel dwell, rejects transient interference outliers, averages
+// repeated reads circularly, and unwraps the per-channel phases across
+// the frequency band (the paper's "signal pre-processing module").
+package preprocess
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"rfprism/internal/mathx"
+	"rfprism/internal/sim"
+)
+
+// ChannelSample is the aggregated measurement of one channel through
+// one antenna.
+type ChannelSample struct {
+	Channel int
+	FreqHz  float64
+	// Phase is the per-dwell aggregated phase. In a Spectrum the
+	// value is unwrapped across channels (so it can exceed [0, 2π)).
+	Phase float64
+	// RSSI is the mean RSSI of the dwell in dBm.
+	RSSI float64
+	// Spread is the post-alignment standard deviation of the reads
+	// (rad) — a per-channel quality indicator.
+	Spread float64
+	// Count is the number of reads aggregated.
+	Count int
+}
+
+// Spectrum is the unwrapped phase-vs-frequency curve of one antenna
+// over one collection window.
+type Spectrum struct {
+	Antenna int
+	Samples []ChannelSample // ascending channel order
+}
+
+// Freqs returns the sample frequencies in Hz.
+func (s Spectrum) Freqs() []float64 {
+	out := make([]float64, len(s.Samples))
+	for i, c := range s.Samples {
+		out[i] = c.FreqHz
+	}
+	return out
+}
+
+// Phases returns the unwrapped sample phases in rad.
+func (s Spectrum) Phases() []float64 {
+	out := make([]float64, len(s.Samples))
+	for i, c := range s.Samples {
+		out[i] = c.Phase
+	}
+	return out
+}
+
+// RSSIs returns the per-channel RSSI values in dBm.
+func (s Spectrum) RSSIs() []float64 {
+	out := make([]float64, len(s.Samples))
+	for i, c := range s.Samples {
+		out[i] = c.RSSI
+	}
+	return out
+}
+
+// MeanRSSI returns the mean RSSI across channels.
+func (s Spectrum) MeanRSSI() float64 {
+	if len(s.Samples) == 0 {
+		return 0
+	}
+	var t float64
+	for _, c := range s.Samples {
+		t += c.RSSI
+	}
+	return t / float64(len(s.Samples))
+}
+
+// Options tunes the preprocessing stage. The zero value is usable.
+type Options struct {
+	// OutlierThreshold is the residual (rad) beyond which an
+	// individual read inside a dwell is discarded as interference.
+	// Default 0.6 rad.
+	OutlierThreshold float64
+	// MinReads is the minimum surviving reads a dwell needs to
+	// produce a sample. Default 2.
+	MinReads int
+}
+
+func (o *Options) defaults() {
+	if o.OutlierThreshold <= 0 {
+		o.OutlierThreshold = 0.6
+	}
+	if o.MinReads <= 0 {
+		o.MinReads = 2
+	}
+}
+
+// BuildSpectra groups raw readings by antenna, aggregates each channel
+// dwell and unwraps across channels. Antennas with fewer than 10
+// usable channels are dropped. The result is sorted by antenna ID.
+func BuildSpectra(readings []sim.Reading, opts Options) ([]Spectrum, error) {
+	opts.defaults()
+	if len(readings) == 0 {
+		return nil, fmt.Errorf("preprocess: no readings")
+	}
+	type key struct{ ant, ch int }
+	byDwell := make(map[key][]sim.Reading)
+	antennas := make(map[int]bool)
+	for _, r := range readings {
+		byDwell[key{r.Antenna, r.Channel}] = append(byDwell[key{r.Antenna, r.Channel}], r)
+		antennas[r.Antenna] = true
+	}
+	antIDs := make([]int, 0, len(antennas))
+	for id := range antennas {
+		antIDs = append(antIDs, id)
+	}
+	sort.Ints(antIDs)
+
+	out := make([]Spectrum, 0, len(antIDs))
+	for _, ant := range antIDs {
+		var samples []ChannelSample
+		for ch := 0; ch < 64; ch++ {
+			reads := byDwell[key{ant, ch}]
+			if len(reads) == 0 {
+				continue
+			}
+			s, ok := aggregateDwell(reads, opts)
+			if ok {
+				samples = append(samples, s)
+			}
+		}
+		if len(samples) < 10 {
+			continue
+		}
+		unwrapAcrossChannels(samples)
+		out = append(out, Spectrum{Antenna: ant, Samples: samples})
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("preprocess: no antenna produced a usable spectrum")
+	}
+	return out, nil
+}
+
+// aggregateDwell resolves π flips, trims interference outliers and
+// circularly averages the reads of one dwell.
+func aggregateDwell(reads []sim.Reading, opts Options) (ChannelSample, bool) {
+	phases := make([]float64, len(reads))
+	for i, r := range reads {
+		phases[i] = r.Phase
+	}
+	// Align every read to the first one modulo π: each raw phase is
+	// shifted by the multiple of π that brings it within ±π/2 of the
+	// reference, collapsing the reader's sign ambiguity.
+	ref := phases[0]
+	aligned := make([]float64, len(phases))
+	for i, p := range phases {
+		k := math.Round((ref - p) / math.Pi)
+		aligned[i] = p + k*math.Pi
+	}
+	// Robust pass: discard reads far from the median (transient
+	// interference), then average.
+	med := mathx.Median(aligned)
+	kept := aligned[:0]
+	keptIdx := make([]int, 0, len(aligned))
+	for i, p := range aligned {
+		if math.Abs(mathx.WrapPi(p-med)) <= opts.OutlierThreshold {
+			kept = append(kept, p)
+			keptIdx = append(keptIdx, i)
+		}
+	}
+	if len(kept) < opts.MinReads {
+		return ChannelSample{}, false
+	}
+	mean := mathx.Mean(kept)
+	spread := mathx.Std(kept)
+
+	// Majority vote on the absolute branch: the aligned mean is
+	// either the true phase or true+π. Count raw reads supporting
+	// each candidate; flips are a minority, so majority wins.
+	support := 0
+	for _, i := range keptIdx {
+		if math.Abs(mathx.WrapPi(reads[i].Phase-mean)) < math.Pi/2 {
+			support++
+		}
+	}
+	if support*2 < len(keptIdx) {
+		mean += math.Pi
+	}
+
+	var rssi float64
+	for _, i := range keptIdx {
+		rssi += reads[i].RSSI
+	}
+	rssi /= float64(len(keptIdx))
+
+	return ChannelSample{
+		Channel: reads[0].Channel,
+		FreqHz:  reads[0].FreqHz,
+		Phase:   mathx.Wrap2Pi(mean),
+		RSSI:    rssi,
+		Spread:  spread,
+		Count:   len(kept),
+	}, true
+}
+
+// unwrapAcrossChannels removes 2π folds between adjacent channel
+// samples in place. Genuine phase steps between 500 kHz-spaced
+// channels are far below π, so nearest-fold continuity is safe.
+//
+// Channels aggregated from very few reads cannot resolve the reader's
+// π sign ambiguity reliably by majority vote (a 1–1 tie is a coin
+// flip), so for those the branch is additionally repaired by
+// continuity: if flipping by π brings the sample closer to its
+// predecessor, it was mis-branched. Channels with enough reads keep
+// their absolute majority branch, which stops a mis-branched run from
+// cascading through the whole band.
+func unwrapAcrossChannels(samples []ChannelSample) {
+	const reliableCount = 4
+	for i := 1; i < len(samples); i++ {
+		prev := samples[i-1].Phase
+		p := samples[i].Phase
+		if samples[i].Count < reliableCount {
+			// Choose among p + kπ the value closest to the previous
+			// channel (branch repair + fold correction in one step).
+			k := math.Round((prev - p) / math.Pi)
+			samples[i].Phase = p + k*math.Pi
+			continue
+		}
+		k := math.Round((prev - p) / (2 * math.Pi))
+		samples[i].Phase = p + k*2*math.Pi
+	}
+}

@@ -1,0 +1,189 @@
+package preprocess
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"rfprism/internal/mathx"
+	"rfprism/internal/rf"
+	"rfprism/internal/sim"
+)
+
+// synthWindow builds raw readings for one antenna from a phase
+// function of frequency, with reads-per-dwell copies, optional π
+// flips and outliers driven by rng.
+func synthWindow(phaseAt func(f float64) float64, reads int, flipProb, outlierProb float64, rng *rand.Rand) []sim.Reading {
+	var out []sim.Reading
+	for ch := 0; ch < rf.NumChannels; ch++ {
+		f, _ := rf.ChannelFreq(ch)
+		for r := 0; r < reads; r++ {
+			p := phaseAt(f)
+			if rng != nil && rng.Float64() < flipProb {
+				p += math.Pi
+			}
+			if rng != nil && rng.Float64() < outlierProb {
+				p = rng.Float64() * 2 * math.Pi
+			}
+			out = append(out, sim.Reading{
+				Antenna: 0, Channel: ch, FreqHz: f,
+				Phase: mathx.Wrap2Pi(p), RSSI: -50,
+			})
+		}
+	}
+	return out
+}
+
+func TestBuildSpectraCleanLine(t *testing.T) {
+	k := 6e-8 // rad/Hz
+	phaseAt := func(f float64) float64 { return k*(f-rf.CenterFrequencyHz) + 1.2 }
+	win := synthWindow(phaseAt, 6, 0, 0, nil)
+	spectra, err := BuildSpectra(win, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(spectra) != 1 || len(spectra[0].Samples) != rf.NumChannels {
+		t.Fatalf("spectra shape: %d antennas, %d samples", len(spectra), len(spectra[0].Samples))
+	}
+	// The unwrapped phases must match the synthetic line up to one
+	// global 2π offset.
+	ph := spectra[0].Phases()
+	off := ph[0] - phaseAt(spectra[0].Samples[0].FreqHz)
+	if k2 := math.Round(off/(2*math.Pi)) * 2 * math.Pi; math.Abs(off-k2) > 1e-9 {
+		t.Fatalf("offset %g not a 2π multiple", off)
+	}
+	for i, s := range spectra[0].Samples {
+		want := phaseAt(s.FreqHz) + off
+		if math.Abs(ph[i]-want) > 1e-9 {
+			t.Fatalf("channel %d: %g, want %g", i, ph[i], want)
+		}
+	}
+}
+
+func TestBuildSpectraResolvesPiFlips(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	phaseAt := func(f float64) float64 { return 5e-8*(f-rf.CenterFrequencyHz) + 0.7 }
+	win := synthWindow(phaseAt, 12, 0.15, 0, rng)
+	spectra, err := BuildSpectra(win, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ph := spectra[0].Phases()
+	off := ph[0] - phaseAt(spectra[0].Samples[0].FreqHz)
+	for i, s := range spectra[0].Samples {
+		if math.Abs(ph[i]-phaseAt(s.FreqHz)-off) > 0.05 {
+			t.Fatalf("π flips leaked into channel %d: err %g", i, ph[i]-phaseAt(s.FreqHz)-off)
+		}
+	}
+}
+
+func TestBuildSpectraRejectsInterference(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	phaseAt := func(f float64) float64 { return 4e-8 * (f - rf.CenterFrequencyHz) }
+	win := synthWindow(phaseAt, 12, 0, 0.1, rng)
+	spectra, err := BuildSpectra(win, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ph := spectra[0].Phases()
+	off := ph[0] - phaseAt(spectra[0].Samples[0].FreqHz)
+	bad := 0
+	for i, s := range spectra[0].Samples {
+		if math.Abs(ph[i]-phaseAt(s.FreqHz)-off) > 0.1 {
+			bad++
+			_ = i
+		}
+	}
+	if bad > 2 {
+		t.Fatalf("%d channels corrupted by interference outliers", bad)
+	}
+}
+
+func TestBuildSpectraEmpty(t *testing.T) {
+	if _, err := BuildSpectra(nil, Options{}); err == nil {
+		t.Fatal("empty input must error")
+	}
+}
+
+func TestBuildSpectraDropsSparseAntennas(t *testing.T) {
+	// An antenna with only a handful of channels must be dropped.
+	var win []sim.Reading
+	for ch := 0; ch < 5; ch++ {
+		f, _ := rf.ChannelFreq(ch)
+		for r := 0; r < 4; r++ {
+			win = append(win, sim.Reading{Antenna: 3, Channel: ch, FreqHz: f, Phase: 1})
+		}
+	}
+	if _, err := BuildSpectra(win, Options{}); err == nil {
+		t.Fatal("an all-sparse window must error")
+	}
+}
+
+func TestBuildSpectraMultipleAntennasSorted(t *testing.T) {
+	phaseAt := func(f float64) float64 { return 3e-8 * (f - rf.CenterFrequencyHz) }
+	win := synthWindow(phaseAt, 4, 0, 0, nil)
+	// Duplicate onto antenna 2 and 1 (insertion order scrambled).
+	n := len(win)
+	for i := 0; i < n; i++ {
+		r := win[i]
+		r.Antenna = 2
+		win = append(win, r)
+	}
+	for i := 0; i < n; i++ {
+		r := win[i]
+		r.Antenna = 1
+		win = append(win, r)
+	}
+	spectra, err := BuildSpectra(win, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(spectra) != 3 {
+		t.Fatalf("want 3 spectra, got %d", len(spectra))
+	}
+	for i, sp := range spectra {
+		if sp.Antenna != i {
+			t.Fatalf("spectra not sorted by antenna: %v", []int{spectra[0].Antenna, spectra[1].Antenna, spectra[2].Antenna})
+		}
+	}
+}
+
+func TestSpectrumAccessors(t *testing.T) {
+	sp := Spectrum{Antenna: 0, Samples: []ChannelSample{
+		{Channel: 0, FreqHz: 903e6, Phase: 1, RSSI: -50},
+		{Channel: 1, FreqHz: 903.5e6, Phase: 2, RSSI: -52},
+	}}
+	if f := sp.Freqs(); f[1] != 903.5e6 {
+		t.Error("Freqs")
+	}
+	if p := sp.Phases(); p[0] != 1 {
+		t.Error("Phases")
+	}
+	if r := sp.MeanRSSI(); r != -51 {
+		t.Errorf("MeanRSSI = %g", r)
+	}
+	if (Spectrum{}).MeanRSSI() != 0 {
+		t.Error("empty MeanRSSI")
+	}
+}
+
+func TestAggregateMinReads(t *testing.T) {
+	// A dwell with a single read must be rejected under MinReads 2.
+	f, _ := rf.ChannelFreq(0)
+	win := []sim.Reading{{Antenna: 0, Channel: 0, FreqHz: f, Phase: 1}}
+	for ch := 1; ch < 20; ch++ {
+		fc, _ := rf.ChannelFreq(ch)
+		for r := 0; r < 3; r++ {
+			win = append(win, sim.Reading{Antenna: 0, Channel: ch, FreqHz: fc, Phase: 1})
+		}
+	}
+	spectra, err := BuildSpectra(win, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range spectra[0].Samples {
+		if s.Channel == 0 {
+			t.Fatal("single-read dwell survived MinReads")
+		}
+	}
+}

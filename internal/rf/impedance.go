@@ -1,0 +1,179 @@
+package rf
+
+import (
+	"math"
+	"math/rand"
+)
+
+// Impedance phase model.
+//
+// When a passive tag is attached to an object, the object's
+// permittivity and conductivity detune the tag antenna: its impedance
+// shifts, which rotates the phase of the backscatter reflection
+// coefficient. Across the narrow 902–928 MHz band the rotation is
+// very nearly linear in frequency (the paper's Eq. (5) and Fig. 6):
+//
+//	θdevice(f) = k_t·f + b_t  (mod 2π)
+//
+// We parameterize the line around the band center f₀ (see DESIGN.md §2
+// for why the centered form is the numerically sane one) and add a
+// small smooth frequency-selective ripple whose shape is a continuous
+// function of the material's electromagnetic properties, so that
+// similar materials produce similar 50-channel signatures.
+
+// ktScale converts the material polarizability to a phase-vs-frequency
+// slope contribution; the spread across materials matches the several
+// radians over the band seen in the paper's Fig. 6.
+const (
+	ktPolarizScale = 1.5e-8 // rad/Hz per unit polarizability
+	ktConductScale = 2.5e-9 // rad/Hz per unit conductivity factor
+	btPolarizScale = 5.0    // rad per unit polarizability
+	btConductScale = 2.0    // rad per unit conductivity factor
+)
+
+// KtPhysicalMean and KtPhysicalSigma summarize the physically
+// plausible range of the common slope offset k_t (material slope plus
+// residual tag diversity) that the solver may assume as a weak prior:
+// materials span [0, ~2e-8] rad/Hz with this model.
+const (
+	KtPhysicalMean  = 1.0e-8
+	KtPhysicalSigma = 1.5e-8
+)
+
+// MaterialSignature is the noiseless device-phase line a material
+// imprints on an attached tag, centered at CenterFrequencyHz.
+type MaterialSignature struct {
+	// Kt is the material slope k_t in rad/Hz (Eq. 5).
+	Kt float64
+	// Bt0 is the material intercept at the band center, in rad.
+	Bt0 float64
+	// ripple parameters (amplitudes in rad, periods in Hz, phases in
+	// rad); see Ripple.
+	rippleAmp1, ripplePeriod1, ripplePhase1 float64
+	rippleAmp2, ripplePeriod2, ripplePhase2 float64
+}
+
+// SignatureOf derives the device-phase signature of a material from
+// its electromagnetic properties. The mapping is deterministic and
+// continuous: nearby (εr, σ) pairs yield nearby signatures.
+func SignatureOf(m Material) MaterialSignature {
+	cm := m.polarizability()
+	cf := m.conductivityFactor()
+	// Ripple amplitudes scale with polarizability so the bare tag
+	// ("none", cm = 0) has a perfectly straight device line.
+	gate := cm
+	if gate > 1 {
+		gate = 1
+	}
+	return MaterialSignature{
+		Kt:  ktPolarizScale*cm + ktConductScale*cf,
+		Bt0: btPolarizScale*cm + btConductScale*cf,
+
+		rippleAmp1:    gate * (0.18 + 0.20*cf),
+		ripplePeriod1: (8 + 10*cm) * 1e6,
+		ripplePhase1:  7*cm + 3*cf,
+
+		rippleAmp2:    gate * (0.11 + 0.12*cm),
+		ripplePeriod2: (17 + 6*cf) * 1e6,
+		ripplePhase2:  2.5*cm + 5*cf,
+	}
+}
+
+// Ripple returns the frequency-selective deviation from the straight
+// line at frequency f, in radians. It models the residual
+// frequency-selective fading the paper compensates with the
+// θmaterial(f) feature terms (Eq. 9).
+func (s MaterialSignature) Ripple(f float64) float64 {
+	df := f - CenterFrequencyHz
+	return s.rippleAmp1*math.Sin(2*math.Pi*df/s.ripplePeriod1+s.ripplePhase1) +
+		s.rippleAmp2*math.Sin(2*math.Pi*df/s.ripplePeriod2+s.ripplePhase2)
+}
+
+// Phase returns the noiseless device phase contribution at frequency
+// f: the centered line plus ripple (not wrapped).
+func (s MaterialSignature) Phase(f float64) float64 {
+	return s.Kt*(f-CenterFrequencyHz) + s.Bt0 + s.Ripple(f)
+}
+
+// Attachment represents one physical placement of a tag onto an
+// object. Each placement perturbs the coupling (air gap, adhesive
+// pressure, exact position on the object), which jitters the
+// effective signature — this placement-to-placement variability is
+// what makes material classification a statistical problem rather
+// than a table lookup.
+type Attachment struct {
+	Sig MaterialSignature
+}
+
+// AttachmentJitter controls the placement-to-placement variability.
+type AttachmentJitter struct {
+	// CouplingStd is the std-dev of the multiplicative jitter on the
+	// signature strength (dimensionless, around 1).
+	CouplingStd float64
+	// PhaseStd is the std-dev of the additive intercept jitter (rad).
+	PhaseStd float64
+}
+
+// DefaultAttachmentJitter reflects hand-placed paper-substrate tags.
+func DefaultAttachmentJitter() AttachmentJitter {
+	return AttachmentJitter{CouplingStd: 0.10, PhaseStd: 0.18}
+}
+
+// Attach creates a jittered placement of a tag on the material using
+// the provided RNG. A nil rng yields the noiseless signature.
+func Attach(m Material, jitter AttachmentJitter, rng *rand.Rand) Attachment {
+	sig := SignatureOf(m)
+	if rng == nil {
+		return Attachment{Sig: sig}
+	}
+	coupling := 1 + rng.NormFloat64()*jitter.CouplingStd
+	sig.Kt *= coupling
+	sig.Bt0 = sig.Bt0*coupling + rng.NormFloat64()*jitter.PhaseStd
+	sig.rippleAmp1 *= coupling
+	sig.rippleAmp2 *= coupling
+	sig.ripplePhase1 += rng.NormFloat64() * jitter.PhaseStd
+	sig.ripplePhase2 += rng.NormFloat64() * jitter.PhaseStd
+	return Attachment{Sig: sig}
+}
+
+// TagDiversity is the per-tag manufacturing offset θ_device0 of §V-B:
+// a constant line per reader-tag pair, removable by the paper's
+// one-time calibration.
+type TagDiversity struct {
+	// Kd is the per-tag slope offset in rad/Hz.
+	Kd float64
+	// Bd0 is the per-tag intercept at band center in rad.
+	Bd0 float64
+}
+
+// NewTagDiversity draws a random per-tag hardware offset. The slope
+// spread is small (sub-centimeter-equivalent): tag ICs of one product
+// line are well matched; the intercept is essentially arbitrary.
+func NewTagDiversity(rng *rand.Rand) TagDiversity {
+	if rng == nil {
+		return TagDiversity{}
+	}
+	return TagDiversity{
+		Kd:  rng.NormFloat64() * 0.25e-8,
+		Bd0: rng.Float64() * 2 * math.Pi,
+	}
+}
+
+// Phase returns the per-tag hardware phase at frequency f.
+func (t TagDiversity) Phase(f float64) float64 {
+	return t.Kd*(f-CenterFrequencyHz) + t.Bd0
+}
+
+// NewReaderOffset draws a random per-antenna-port hardware offset.
+// The slope spread is dominated by cable-length differences (a one
+// meter cable difference contributes ≈3e-8 rad/Hz), which is why the
+// paper requires the pre-deployment antenna calibration (§IV-C).
+func NewReaderOffset(rng *rand.Rand) TagDiversity {
+	if rng == nil {
+		return TagDiversity{}
+	}
+	return TagDiversity{
+		Kd:  rng.NormFloat64() * 3e-8,
+		Bd0: rng.Float64() * 2 * math.Pi,
+	}
+}

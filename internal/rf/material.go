@@ -1,0 +1,97 @@
+package rf
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Material describes the electromagnetic properties of an object a tag
+// can be attached to. The tag-impedance phase model (impedance.go)
+// derives the paper's (k_t, b_t) signature and the frequency-selective
+// ripple from these properties, so electromagnetically similar
+// materials (water vs. skim milk) produce similar signatures — the
+// property behind the paper's Fig. 11 confusion structure.
+type Material struct {
+	// Name is the identifier used throughout the evaluation
+	// ("wood", "water", ...).
+	Name string
+	// Permittivity is the real relative permittivity εr at 915 MHz.
+	Permittivity float64
+	// Conductivity is the conductivity σ in S/m at 915 MHz.
+	Conductivity float64
+	// LossDB is the extra one-way link attenuation the object causes.
+	LossDB float64
+	// NoiseBoost scales the reader phase-noise when the tag is on
+	// this object (conductors reflect and bury the backscatter; the
+	// paper observes higher errors for metal and conductive liquids).
+	NoiseBoost float64
+	// Conductor marks metals, whose polarization factor saturates
+	// beyond the dielectric Clausius–Mossotti limit.
+	Conductor bool
+}
+
+// polarizability maps permittivity to the Clausius–Mossotti factor
+// (εr−1)/(εr+2) ∈ [0, 1); conductors saturate above the dielectric
+// limit because the impedance shift is dominated by image currents.
+func (m Material) polarizability() float64 {
+	if m.Conductor {
+		return 1.15
+	}
+	return (m.Permittivity - 1) / (m.Permittivity + 2)
+}
+
+// conductivityFactor maps conductivity to a bounded [0,1) factor.
+func (m Material) conductivityFactor() float64 {
+	return math.Tanh(m.Conductivity / 0.5)
+}
+
+// The eight materials of the paper's evaluation (§VI-B): four solids
+// and four liquids, chosen for their distinct conductivities. Values
+// are representative 915 MHz properties.
+var builtinMaterials = []Material{
+	{Name: "none", Permittivity: 1.0, Conductivity: 0, LossDB: 0, NoiseBoost: 1.0},
+	{Name: "wood", Permittivity: 2.1, Conductivity: 0.012, LossDB: 1.0, NoiseBoost: 1.0},
+	{Name: "plastic", Permittivity: 2.6, Conductivity: 0.0008, LossDB: 0.5, NoiseBoost: 1.0},
+	{Name: "glass", Permittivity: 5.7, Conductivity: 0.003, LossDB: 1.5, NoiseBoost: 1.05},
+	{Name: "metal", Permittivity: 1.0, Conductivity: 1e7, LossDB: 4.0, NoiseBoost: 1.45, Conductor: true},
+	{Name: "water", Permittivity: 78, Conductivity: 0.18, LossDB: 3.0, NoiseBoost: 1.25},
+	{Name: "milk", Permittivity: 71, Conductivity: 0.30, LossDB: 3.0, NoiseBoost: 1.25},
+	{Name: "oil", Permittivity: 3.0, Conductivity: 0.0015, LossDB: 0.8, NoiseBoost: 1.05},
+	{Name: "alcohol", Permittivity: 28, Conductivity: 0.09, LossDB: 2.5, NoiseBoost: 1.2},
+}
+
+// MaterialByName returns the built-in material with the given name.
+func MaterialByName(name string) (Material, error) {
+	for _, m := range builtinMaterials {
+		if m.Name == name {
+			return m, nil
+		}
+	}
+	return Material{}, fmt.Errorf("rf: unknown material %q", name)
+}
+
+// EvaluationMaterials returns the eight materials of the paper's
+// evaluation in its canonical order (wood, plastic, glass, metal,
+// water, milk, oil, alcohol).
+func EvaluationMaterials() []Material {
+	names := []string{"wood", "plastic", "glass", "metal", "water", "milk", "oil", "alcohol"}
+	out := make([]Material, 0, len(names))
+	for _, n := range names {
+		m, err := MaterialByName(n)
+		if err != nil {
+			continue // unreachable for built-in names
+		}
+		out = append(out, m)
+	}
+	return out
+}
+
+// AllMaterials returns every built-in material sorted by name
+// (including "none", the bare calibration state).
+func AllMaterials() []Material {
+	out := make([]Material, len(builtinMaterials))
+	copy(out, builtinMaterials)
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}

@@ -1,0 +1,169 @@
+package rf
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestMaterialByName(t *testing.T) {
+	m, err := MaterialByName("water")
+	if err != nil || m.Name != "water" {
+		t.Fatalf("water lookup: %+v, %v", m, err)
+	}
+	if _, err := MaterialByName("unobtainium"); err == nil {
+		t.Fatal("unknown material must error")
+	}
+}
+
+func TestEvaluationMaterials(t *testing.T) {
+	mats := EvaluationMaterials()
+	if len(mats) != 8 {
+		t.Fatalf("want the paper's 8 materials, got %d", len(mats))
+	}
+	want := []string{"wood", "plastic", "glass", "metal", "water", "milk", "oil", "alcohol"}
+	for i, m := range mats {
+		if m.Name != want[i] {
+			t.Errorf("material %d = %s, want %s", i, m.Name, want[i])
+		}
+	}
+}
+
+func TestAllMaterialsSortedAndIncludesNone(t *testing.T) {
+	all := AllMaterials()
+	foundNone := false
+	for i, m := range all {
+		if m.Name == "none" {
+			foundNone = true
+		}
+		if i > 0 && all[i-1].Name > m.Name {
+			t.Fatalf("not sorted at %d", i)
+		}
+	}
+	if !foundNone {
+		t.Fatal("'none' missing from AllMaterials")
+	}
+}
+
+func TestSignatureContinuity(t *testing.T) {
+	// Electromagnetically similar materials must yield similar
+	// signatures (water vs milk), dissimilar ones must not (wood vs
+	// water) — the property behind the paper's Fig. 11 confusion
+	// structure.
+	sig := func(name string) MaterialSignature {
+		m, err := MaterialByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return SignatureOf(m)
+	}
+	dist := func(a, b MaterialSignature) float64 {
+		return math.Abs(a.Bt0-b.Bt0) + math.Abs(a.Kt-b.Kt)*5e7
+	}
+	waterMilk := dist(sig("water"), sig("milk"))
+	woodWater := dist(sig("wood"), sig("water"))
+	if waterMilk >= woodWater {
+		t.Fatalf("water-milk distance %g >= wood-water %g", waterMilk, woodWater)
+	}
+}
+
+func TestSignatureBareTagIsClean(t *testing.T) {
+	none, err := MaterialByName("none")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sig := SignatureOf(none)
+	if sig.Kt != 0 || sig.Bt0 != 0 {
+		t.Fatalf("bare tag signature not zero: %+v", sig)
+	}
+	for _, f := range Channels() {
+		if sig.Ripple(f) != 0 {
+			t.Fatalf("bare tag has ripple at %g", f)
+		}
+	}
+}
+
+func TestSignatureKtOrdering(t *testing.T) {
+	// Higher-permittivity materials must produce larger kt (the
+	// distinct slopes of the paper's Fig. 6).
+	kt := func(name string) float64 {
+		m, _ := MaterialByName(name)
+		return SignatureOf(m).Kt
+	}
+	if !(kt("wood") < kt("glass") && kt("glass") < kt("water")) {
+		t.Fatalf("kt ordering broken: wood %g glass %g water %g",
+			kt("wood"), kt("glass"), kt("water"))
+	}
+	if kt("metal") <= kt("glass") {
+		t.Fatal("metal kt must exceed dielectrics")
+	}
+}
+
+func TestSignaturePhaseIsLinePlusRipple(t *testing.T) {
+	m, _ := MaterialByName("glass")
+	sig := SignatureOf(m)
+	for _, f := range []float64{905e6, 915e6, 925e6} {
+		want := sig.Kt*(f-CenterFrequencyHz) + sig.Bt0 + sig.Ripple(f)
+		if got := sig.Phase(f); math.Abs(got-want) > 1e-12 {
+			t.Fatalf("Phase(%g) = %g, want %g", f, got, want)
+		}
+	}
+}
+
+func TestAttachJitter(t *testing.T) {
+	m, _ := MaterialByName("water")
+	base := SignatureOf(m)
+
+	// nil RNG → exact signature.
+	if got := Attach(m, DefaultAttachmentJitter(), nil); got.Sig != base {
+		t.Fatal("nil rng must return the noiseless signature")
+	}
+	// Jittered placements differ from each other but stay close.
+	rng := rand.New(rand.NewSource(5))
+	a := Attach(m, DefaultAttachmentJitter(), rng)
+	b := Attach(m, DefaultAttachmentJitter(), rng)
+	if a.Sig == b.Sig {
+		t.Fatal("two placements must differ")
+	}
+	if rel := math.Abs(a.Sig.Kt-base.Kt) / base.Kt; rel > 0.5 {
+		t.Fatalf("jittered Kt off by %.0f%%", rel*100)
+	}
+	if math.Abs(a.Sig.Bt0-base.Bt0) > 2 {
+		t.Fatalf("jittered Bt0 too far: %g vs %g", a.Sig.Bt0, base.Bt0)
+	}
+}
+
+func TestTagDiversityDeterministicPerSeed(t *testing.T) {
+	a := NewTagDiversity(rand.New(rand.NewSource(9)))
+	b := NewTagDiversity(rand.New(rand.NewSource(9)))
+	if a != b {
+		t.Fatal("same seed must give the same diversity")
+	}
+	if z := NewTagDiversity(nil); z != (TagDiversity{}) {
+		t.Fatal("nil rng must give zero diversity")
+	}
+}
+
+func TestReaderOffsetLargerThanTagDiversity(t *testing.T) {
+	// Cable-dominated reader offsets must dwarf per-tag IC matching;
+	// otherwise the antenna calibration (§IV-C) would be pointless.
+	rng := rand.New(rand.NewSource(10))
+	var sumTag, sumReader float64
+	for i := 0; i < 200; i++ {
+		sumTag += math.Abs(NewTagDiversity(rng).Kd)
+		sumReader += math.Abs(NewReaderOffset(rng).Kd)
+	}
+	if sumReader < 3*sumTag {
+		t.Fatalf("reader offsets (%g) not clearly larger than tag diversity (%g)", sumReader, sumTag)
+	}
+}
+
+func TestTagDiversityPhaseLine(t *testing.T) {
+	d := TagDiversity{Kd: 1e-9, Bd0: 0.5}
+	if got := d.Phase(CenterFrequencyHz); got != 0.5 {
+		t.Fatalf("Phase at center = %g", got)
+	}
+	if got := d.Phase(CenterFrequencyHz + 1e6); math.Abs(got-0.5-1e-3) > 1e-12 {
+		t.Fatalf("Phase slope wrong: %g", got)
+	}
+}

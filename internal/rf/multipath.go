@@ -1,0 +1,190 @@
+package rf
+
+import (
+	"math"
+	"math/cmplx"
+
+	"rfprism/internal/geom"
+)
+
+// Reflector is a specular multipath source modeled by the image
+// method: the reflected path antenna→reflector→tag behaves like a
+// direct path from the antenna's mirror image, with an amplitude
+// reflection coefficient and the conventional π phase shift.
+type Reflector struct {
+	// Plane point and unit normal defining the reflecting surface.
+	Point  geom.Vec3
+	Normal geom.Vec3
+	// Coefficient is the amplitude reflection coefficient in [0, 1].
+	Coefficient float64
+}
+
+// mirror returns p mirrored across the reflector plane.
+func (r Reflector) mirror(p geom.Vec3) geom.Vec3 {
+	n := r.Normal.Unit()
+	d := p.Sub(r.Point).Dot(n)
+	return p.Sub(n.Scale(2 * d))
+}
+
+// PathLength returns the one-way length of the reflected path from a
+// to b via the reflector.
+func (r Reflector) PathLength(a, b geom.Vec3) float64 {
+	return r.mirror(a).Dist(b)
+}
+
+// Echo is a long-delay multipath component: the aggregate of
+// multi-bounce propagation in a cluttered room (metal shelving,
+// trolleys). Unlike a first-order Reflector its amplitude is not tied
+// to the image distance — multiple bounces between large surfaces
+// keep appreciable energy at long excess delays. Long delays are what
+// make the per-channel deviation *frequency-selective within the
+// 24.5 MHz band*: an echo with excess path L adds a component with
+// period c/L in frequency, so some channels land near destructive
+// fades and deviate strongly while the rest stay clean — exactly the
+// structure the paper's channel selection (§V-D) exploits.
+type Echo struct {
+	// ExtraPathM is the excess round-trip path length vs LOS (m).
+	ExtraPathM float64
+	// Amp is the round-trip amplitude relative to the LOS component.
+	Amp float64
+	// SwayM and SwayHz describe slow motion of the scattering
+	// environment (people shifting their weight, swinging doors): the
+	// excess path oscillates by ±SwayM meters at SwayHz. Because the
+	// reader visits channels sequentially (200 ms per dwell), each
+	// channel samples a different multipath realization — some land
+	// on destructive alignments and deviate strongly while others
+	// stay clean, the exact structure §V-D's channel selection
+	// exploits.
+	SwayM, SwayHz float64
+	// SwayPhase is the motion's phase offset at t = 0 (rad).
+	SwayPhase float64
+}
+
+// pathAt returns the echo's excess path at time t (seconds).
+func (e Echo) pathAt(tSec float64) float64 {
+	if e.SwayM == 0 || e.SwayHz == 0 {
+		return e.ExtraPathM
+	}
+	return e.ExtraPathM + e.SwayM*math.Sin(2*math.Pi*e.SwayHz*tSec+e.SwayPhase)
+}
+
+// Environment describes the propagation environment of a scene: the
+// set of first-order reflectors and long-delay echoes. An empty
+// environment is the paper's "clean space".
+type Environment struct {
+	Reflectors []Reflector
+	Echoes     []Echo
+}
+
+// CleanSpace returns an environment with no multipath.
+func CleanSpace() Environment { return Environment{} }
+
+// LabMultipath returns an environment resembling the paper's
+// multipath setup: cartons and people around the working region plus
+// room surfaces, with LOS still dominant ("the LOS propagation is
+// still guaranteed", §VI). The mix matters: nearby weak scatterers
+// add slowly-varying deviations (slope bias), while the farther
+// strong surfaces produce path differences of several meters whose
+// deviations oscillate within the 24.5 MHz band — the per-channel
+// outliers the channel selection (§V-D) can identify and drop.
+func LabMultipath() Environment {
+	return Environment{
+		Reflectors: []Reflector{
+			// A carton stack near the left edge of the region and a
+			// person to the right: weak first-order scatterers whose
+			// deviation varies slowly over the band (a residual slope
+			// bias suppression cannot fully remove).
+			{Point: geom.Vec3{X: -1.2}, Normal: geom.Vec3{X: 1}, Coefficient: 0.06},
+			{Point: geom.Vec3{X: 3.4}, Normal: geom.Vec3{X: -1}, Coefficient: 0.05},
+		},
+		Echoes: []Echo{
+			// A reverberation tail of multi-bounce components off the
+			// room's surfaces: individually weak (LOS stays dominant,
+			// §VI), but their wide delay spread makes the aggregate
+			// deviation frequency-selective within the band — where
+			// several align, a channel sees a deep fade (low RSSI) and
+			// a large phase excursion, which is what the channel
+			// selection (§V-D) detects and drops.
+			{ExtraPathM: 18.0, Amp: 0.13, SwayM: 0.12, SwayHz: 0.45, SwayPhase: 0.7},
+			{ExtraPathM: 26.5, Amp: 0.12, SwayM: 0.16, SwayHz: 0.31, SwayPhase: 2.1},
+			{ExtraPathM: 33.0, Amp: 0.11, SwayM: 0.10, SwayHz: 0.58, SwayPhase: 4.4},
+			{ExtraPathM: 41.0, Amp: 0.10, SwayM: 0.14, SwayHz: 0.39, SwayPhase: 1.3},
+			{ExtraPathM: 49.5, Amp: 0.12, SwayM: 0.11, SwayHz: 0.52, SwayPhase: 5.6},
+			{ExtraPathM: 58.0, Amp: 0.09, SwayM: 0.15, SwayHz: 0.27, SwayPhase: 3.0},
+			{ExtraPathM: 71.0, Amp: 0.10, SwayM: 0.09, SwayHz: 0.63, SwayPhase: 0.2},
+			{ExtraPathM: 87.0, Amp: 0.08, SwayM: 0.13, SwayHz: 0.35, SwayPhase: 5.1},
+		},
+	}
+}
+
+// ChannelResponse is ChannelResponseAt at t = 0.
+func (e Environment) ChannelResponse(antenna, tag geom.Vec3, f float64) complex128 {
+	return e.ChannelResponseAt(antenna, tag, f, 0)
+}
+
+// ChannelResponseAt returns the complex baseband channel gain for the
+// round trip antenna→tag→antenna at frequency f and time tSec,
+// combining the LOS path with every reflected path and the (possibly
+// time-varying) reverberation tail. The LOS amplitude is normalized
+// to 1; reflected paths are attenuated by their reflection
+// coefficient and their extra spreading loss.
+//
+// The phase of the returned value is the propagation phase the reader
+// observes; with an empty environment it equals exactly −θprop(d, f).
+func (e Environment) ChannelResponseAt(antenna, tag geom.Vec3, f float64, tSec float64) complex128 {
+	dLOS := antenna.Dist(tag)
+	if dLOS < 1e-9 {
+		dLOS = 1e-9
+	}
+	// One-way complex gains: LOS plus each reflection.
+	type path struct {
+		length float64
+		amp    float64
+		flip   bool // π reflection phase
+	}
+	paths := make([]path, 0, 1+len(e.Reflectors))
+	paths = append(paths, path{length: dLOS, amp: 1})
+	for _, r := range e.Reflectors {
+		l := r.PathLength(antenna, tag)
+		if l < dLOS {
+			continue // non-physical (image inside the region)
+		}
+		// Field amplitude relative to LOS: reflection coefficient
+		// times the extra spreading loss of the longer path (field
+		// decays as 1/r, so the ratio is dLOS/l).
+		amp := r.Coefficient * (dLOS / l)
+		paths = append(paths, path{length: l, amp: amp, flip: true})
+	}
+	// Round-trip gain is the square of the one-way sum (reciprocity:
+	// the same paths apply on the downlink and the uplink).
+	var oneWay complex128
+	k := 2 * math.Pi * f / SpeedOfLight
+	for _, p := range paths {
+		ph := -k * p.length
+		if p.flip {
+			ph += math.Pi
+		}
+		oneWay += complex(p.amp, 0) * cmplx.Exp(complex(0, ph))
+	}
+	h := oneWay * oneWay
+	// Long-delay reverberation, relative to the round-trip LOS.
+	for _, echo := range e.Echoes {
+		ph := -k * (2*dLOS + echo.pathAt(tSec))
+		h += complex(echo.Amp, 0) * cmplx.Exp(complex(0, ph))
+	}
+	return h
+}
+
+// PropagationObservation is PropagationObservationAt at t = 0.
+func (e Environment) PropagationObservation(antenna, tag geom.Vec3, f float64) (phase, relPower float64) {
+	return e.PropagationObservationAt(antenna, tag, f, 0)
+}
+
+// PropagationObservationAt is the multipath-aware propagation phase
+// and the relative power (linear, LOS≡1) at frequency f and time t.
+func (e Environment) PropagationObservationAt(antenna, tag geom.Vec3, f float64, tSec float64) (phase, relPower float64) {
+	h := e.ChannelResponseAt(antenna, tag, f, tSec)
+	// The reader measures the conjugate rotation: θprop grows with
+	// distance while arg(h) decreases, so negate.
+	return -cmplx.Phase(h), cmplx.Abs(h)
+}

@@ -1,0 +1,108 @@
+package rf
+
+import (
+	"math"
+	"testing"
+
+	"rfprism/internal/geom"
+)
+
+func TestCleanSpaceExactPropagation(t *testing.T) {
+	env := CleanSpace()
+	ant := geom.Vec3{X: 0, Y: 0, Z: 1}
+	tag := geom.Vec3{X: 1, Y: 1.5, Z: 0}
+	d := ant.Dist(tag)
+	for _, f := range []float64{903e6, 915e6, 927e6} {
+		phase, power := env.PropagationObservation(ant, tag, f)
+		want := math.Mod(PropagationPhase(d, f), 2*math.Pi)
+		diff := math.Mod(phase-want+3*math.Pi, 2*math.Pi) - math.Pi
+		if math.Abs(diff) > 1e-9 {
+			t.Fatalf("f=%g: phase %g, want %g (mod 2π)", f, phase, want)
+		}
+		if math.Abs(power-1) > 1e-9 {
+			t.Fatalf("LOS-only power = %g, want 1", power)
+		}
+	}
+}
+
+func TestReflectorMirror(t *testing.T) {
+	r := Reflector{Point: geom.Vec3{Z: -1}, Normal: geom.Vec3{Z: 1}, Coefficient: 0.3}
+	// Path a→floor→b must equal |mirror(a) − b|.
+	a := geom.Vec3{X: 0, Y: 0, Z: 1}
+	b := geom.Vec3{X: 2, Y: 0, Z: 1}
+	want := math.Sqrt(4 + 16) // mirror(a) at z=-3, dz=4, dx=2
+	if got := r.PathLength(a, b); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("PathLength = %g, want %g", got, want)
+	}
+}
+
+func TestMultipathPerturbsPhaseNonlinearly(t *testing.T) {
+	ant := geom.Vec3{X: 1.0, Y: 0, Z: 1.5}
+	tag := geom.Vec3{X: 0.5, Y: 1.8, Z: 0}
+	clean := CleanSpace()
+	lab := LabMultipath()
+	// Collect per-channel phase deviations from the LOS-only value.
+	var devs []float64
+	for _, f := range Channels() {
+		pClean, _ := clean.PropagationObservation(ant, tag, f)
+		pLab, _ := lab.PropagationObservation(ant, tag, f)
+		d := math.Mod(pLab-pClean+3*math.Pi, 2*math.Pi) - math.Pi
+		devs = append(devs, d)
+	}
+	// Multipath must actually perturb the phase...
+	var maxDev float64
+	for _, d := range devs {
+		if math.Abs(d) > maxDev {
+			maxDev = math.Abs(d)
+		}
+	}
+	if maxDev < 0.02 {
+		t.Fatalf("multipath deviation too small: %g", maxDev)
+	}
+	// ...and the perturbation must vary across channels (the
+	// frequency-selective signature channel selection exploits).
+	var min, max float64 = devs[0], devs[0]
+	for _, d := range devs {
+		if d < min {
+			min = d
+		}
+		if d > max {
+			max = d
+		}
+	}
+	if max-min < 0.01 {
+		t.Fatalf("multipath deviation flat across channels: spread %g", max-min)
+	}
+}
+
+func TestMultipathLOSDominant(t *testing.T) {
+	// The lab environment must keep LOS dominant (§VI: "LOS
+	// propagation is still guaranteed"): power stays within a few dB
+	// of the LOS-only value.
+	ant := geom.Vec3{X: 1.0, Y: 0, Z: 1.5}
+	lab := LabMultipath()
+	for _, tag := range []geom.Vec3{{X: 0.3, Y: 0.8}, {X: 1.7, Y: 2.2}, {X: 1.0, Y: 1.5}} {
+		for _, f := range []float64{903e6, 915e6, 927e6} {
+			_, power := lab.PropagationObservation(ant, tag, f)
+			if power < 0.25 || power > 4 {
+				t.Fatalf("tag %v f %g: relative power %g outside LOS-dominant range", tag, f, power)
+			}
+		}
+	}
+}
+
+func TestReflectorBehindIsIgnored(t *testing.T) {
+	// An image path shorter than LOS is non-physical and must be
+	// skipped rather than poison the response.
+	env := Environment{Reflectors: []Reflector{{
+		Point:       geom.Vec3{Y: 1},
+		Normal:      geom.Vec3{Y: 1},
+		Coefficient: 0.9,
+	}}}
+	ant := geom.Vec3{Y: 0.9, Z: 0}
+	tag := geom.Vec3{Y: 1.1, Z: 0}
+	phase, power := env.PropagationObservation(ant, tag, 915e6)
+	if math.IsNaN(phase) || math.IsNaN(power) {
+		t.Fatal("NaN from degenerate reflector")
+	}
+}

@@ -1,0 +1,111 @@
+package rf
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"rfprism/internal/geom"
+)
+
+func TestOrientationPhaseAngleDoubling(t *testing.T) {
+	// For a boresight along +Y the frame is U = (−1,0,0)... use a
+	// constructed frame instead: U = X, V = Z, W = Y. A tag vector in
+	// the U-V plane at angle φ from U must give θorient = 2φ mod 2π.
+	frame := geom.Frame{U: geom.Vec3{X: 1}, V: geom.Vec3{Z: 1}, W: geom.Vec3{Y: 1}}
+	for _, phiDeg := range []float64{0, 10, 45, 80, 90, 135, 179} {
+		phi := phiDeg * math.Pi / 180
+		w := frame.U.Scale(math.Cos(phi)).Add(frame.V.Scale(math.Sin(phi)))
+		got := OrientationPhase(frame, w)
+		want := math.Mod(2*phi, 2*math.Pi)
+		if diff := math.Abs(math.Mod(got-want+3*math.Pi, 2*math.Pi) - math.Pi); diff > 1e-9 {
+			t.Errorf("phi=%g°: θorient = %g, want %g", phiDeg, got, want)
+		}
+	}
+}
+
+func TestOrientationPhaseFrequencyIndependent(t *testing.T) {
+	// Eq. (4) has no frequency term — the paper's Fig. 5 observation.
+	// (The function signature makes this structural; this test pins
+	// the sign convention instead: rotating the tag by Δφ in-plane
+	// shifts θorient by 2Δφ.)
+	frame := geom.NewFrame(geom.Vec3{X: 0.2, Y: 1, Z: -0.5})
+	w1 := TagPolarization2D(0.3)
+	w2 := TagPolarization2D(0.3 + 0.1)
+	d1 := OrientationPhase(frame, w1)
+	d2 := OrientationPhase(frame, w2)
+	if math.Abs(d1-d2) < 1e-6 {
+		t.Error("rotating the tag did not change θorient")
+	}
+}
+
+func TestOrientationPhaseDipoleSymmetry(t *testing.T) {
+	// w and −w are the same dipole: θorient must be identical.
+	f := func(az, el, bx, by, bz float64) bool {
+		if math.IsNaN(az) || math.IsNaN(el) || math.IsNaN(bx) || math.IsNaN(by) || math.IsNaN(bz) {
+			return true
+		}
+		b := geom.Vec3{X: bx, Y: by, Z: bz}
+		if b.Norm() < 1e-3 || b.Norm() > 1e3 {
+			return true
+		}
+		frame := geom.NewFrame(b)
+		w := geom.FromSpherical(az, el)
+		p1 := OrientationPhase(frame, w)
+		p2 := OrientationPhase(frame, w.Scale(-1))
+		d := math.Mod(p1-p2+3*math.Pi, 2*math.Pi) - math.Pi
+		return math.Abs(d) < 1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestOrientationPhaseRange(t *testing.T) {
+	f := func(alpha float64) bool {
+		if math.IsNaN(alpha) {
+			return true
+		}
+		frame := geom.NewFrame(geom.Vec3{X: 0.5, Y: 1.5, Z: -1.2})
+		p := OrientationPhase(frame, TagPolarization2D(alpha))
+		return p >= 0 && p < 2*math.Pi
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestOrientationPhaseBoresightDegenerate(t *testing.T) {
+	frame := geom.NewFrame(geom.Vec3{Y: 1})
+	if got := OrientationPhase(frame, geom.Vec3{Y: 1}); got != 0 {
+		t.Errorf("boresight-aligned tag: θorient = %g, want 0 by convention", got)
+	}
+}
+
+func TestPolarizationLossDB(t *testing.T) {
+	frame := geom.Frame{U: geom.Vec3{X: 1}, V: geom.Vec3{Z: 1}, W: geom.Vec3{Y: 1}}
+	// Perfect in-plane: the CP→LP floor of 3 dB.
+	if got := PolarizationLossDB(frame, geom.Vec3{X: 1}); math.Abs(got-3) > 1e-9 {
+		t.Errorf("in-plane loss = %g, want 3", got)
+	}
+	// Leaning out of the plane must cost more.
+	leaning := geom.Vec3{X: 0.5, Y: 0.866, Z: 0}
+	if got := PolarizationLossDB(frame, leaning); got <= 3 {
+		t.Errorf("out-of-plane loss = %g, want > 3", got)
+	}
+	// Boresight-aligned: huge but finite.
+	if got := PolarizationLossDB(frame, geom.Vec3{Y: 1}); math.IsInf(got, 0) || got < 60 {
+		t.Errorf("degenerate loss = %g", got)
+	}
+}
+
+func TestTagPolarization(t *testing.T) {
+	w := TagPolarization2D(math.Pi / 2)
+	if math.Abs(w.Y-1) > 1e-12 || math.Abs(w.X) > 1e-12 || w.Z != 0 {
+		t.Errorf("TagPolarization2D(π/2) = %v", w)
+	}
+	w3 := TagPolarization3D(0, math.Pi/2)
+	if math.Abs(w3.Z-1) > 1e-12 {
+		t.Errorf("TagPolarization3D(0, π/2) = %v", w3)
+	}
+}

@@ -1,0 +1,147 @@
+package rf
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestChannelFreq(t *testing.T) {
+	f0, err := ChannelFreq(0)
+	if err != nil || f0 != 902.75e6 {
+		t.Fatalf("channel 0: %g, %v", f0, err)
+	}
+	fLast, err := ChannelFreq(NumChannels - 1)
+	if err != nil || fLast != 927.25e6 {
+		t.Fatalf("channel 49: %g, %v", fLast, err)
+	}
+	if _, err := ChannelFreq(-1); err == nil {
+		t.Error("negative channel must error")
+	}
+	if _, err := ChannelFreq(NumChannels); err == nil {
+		t.Error("out-of-range channel must error")
+	}
+}
+
+func TestChannels(t *testing.T) {
+	chs := Channels()
+	if len(chs) != NumChannels {
+		t.Fatalf("len = %d", len(chs))
+	}
+	for i := 1; i < len(chs); i++ {
+		if math.Abs(chs[i]-chs[i-1]-ChannelSpacingHz) > 1e-6 {
+			t.Fatalf("spacing at %d: %g", i, chs[i]-chs[i-1])
+		}
+	}
+	// The band must stay inside the 902–928 MHz ISM band.
+	if chs[0] < 902e6 || chs[len(chs)-1] > 928e6 {
+		t.Fatalf("band [%g, %g] outside ISM", chs[0], chs[len(chs)-1])
+	}
+	// Freshly allocated each call.
+	chs[0] = 0
+	if Channels()[0] == 0 {
+		t.Error("Channels aliases internal state")
+	}
+}
+
+func TestPropagationPhaseSlopeInverse(t *testing.T) {
+	f := func(d float64) bool {
+		if math.IsNaN(d) || d < 0 || d > 100 {
+			return true
+		}
+		k := PropagationSlope(d)
+		return math.Abs(DistanceFromSlope(k)-d) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropagationPhaseLinearInFreq(t *testing.T) {
+	// θprop(f) must be linear in f with slope 4πd/c.
+	d := 1.7
+	f1, f2 := 905e6, 925e6
+	slope := (PropagationPhase(d, f2) - PropagationPhase(d, f1)) / (f2 - f1)
+	if math.Abs(slope-PropagationSlope(d)) > 1e-15 {
+		t.Fatalf("slope %g vs %g", slope, PropagationSlope(d))
+	}
+}
+
+func TestPropagationRoundTrip(t *testing.T) {
+	// One wavelength of distance is 4π of round-trip phase... i.e.
+	// λ/2 of distance is exactly 2π.
+	f := 915e6
+	lambda := Wavelength(f)
+	dphi := PropagationPhase(lambda/2, f)
+	if math.Abs(dphi-2*math.Pi) > 1e-9 {
+		t.Fatalf("λ/2 phase = %g, want 2π", dphi)
+	}
+}
+
+func TestQuantizePhase(t *testing.T) {
+	f := func(theta float64) bool {
+		if math.IsNaN(theta) || math.Abs(theta) > 1e9 {
+			return true
+		}
+		q := QuantizePhase(theta)
+		if q < 0 || q >= 2*math.Pi {
+			return false
+		}
+		// Quantization error is at most half a quantum (mod 2π).
+		diff := math.Mod(q-theta, 2*math.Pi)
+		if diff > math.Pi {
+			diff -= 2 * math.Pi
+		} else if diff < -math.Pi {
+			diff += 2 * math.Pi
+		}
+		return math.Abs(diff) <= PhaseQuantum/2+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuantizeRSSI(t *testing.T) {
+	if got := QuantizeRSSI(-53.26); got != -53.5 {
+		t.Errorf("QuantizeRSSI = %g", got)
+	}
+	if got := QuantizeRSSI(-53.24); got != -53.0 {
+		t.Errorf("QuantizeRSSI = %g", got)
+	}
+}
+
+func TestRSSIMonotone(t *testing.T) {
+	// RSSI must decrease with distance and with material loss.
+	if RSSI(1, -48, 0) <= RSSI(2, -48, 0) {
+		t.Error("RSSI not decreasing with distance")
+	}
+	if RSSI(1, -48, 0) <= RSSI(1, -48, 3) {
+		t.Error("RSSI not decreasing with loss")
+	}
+	if RSSI(1, -48, 0) != -48 {
+		t.Errorf("reference RSSI at 1 m = %g", RSSI(1, -48, 0))
+	}
+}
+
+func TestDistanceFromRSSIInverse(t *testing.T) {
+	f := func(d float64) bool {
+		if math.IsNaN(d) || d < 0.1 || d > 10 {
+			return true
+		}
+		rssi := RSSI(d, -48, 0)
+		return math.Abs(DistanceFromRSSI(rssi, -48)-d) < 1e-9*d
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDistanceFromRSSIMaterialBias(t *testing.T) {
+	// Material loss must bias the RSS-derived distance upward — the
+	// Tagtag weakness the paper exploits.
+	d := 1.5
+	biased := DistanceFromRSSI(RSSI(d, -48, 6), -48)
+	if biased <= d {
+		t.Fatalf("loss did not inflate RSS distance: %g <= %g", biased, d)
+	}
+}

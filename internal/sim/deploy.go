@@ -1,0 +1,153 @@
+package sim
+
+import (
+	"math/rand"
+
+	"rfprism/internal/geom"
+	"rfprism/internal/rf"
+)
+
+// Deployment geometry of the paper's experimental setup (Fig. 7):
+// three antennas 0.5 m apart facing a 2 m × 2 m working region. Tags
+// lie on the working plane (z = 0); the antennas are mounted at 1.2 m
+// height, tilted down toward the region so their polarization frames
+// differ — the property that lets the multi-antenna model separate
+// orientation from the material intercept (§IV-C).
+
+// Antenna aim points. Aiming each antenna at a slightly different
+// spot in the region (as in the paper's Fig. 7, where the antennas
+// are individually tilted) breaks the mirror symmetry of the
+// deployment: with symmetric boresights the polarization angles α and
+// 180°−α produce identical inter-antenna orientation-phase
+// differences and cannot be told apart.
+var aimPoints = []geom.Vec3{
+	{X: 1.9, Y: 1.3, Z: 0},
+	{X: 1.0, Y: 1.7, Z: 0},
+	{X: 0.1, Y: 1.3, Z: 0},
+	{X: 1.45, Y: 1.05, Z: 0},
+}
+
+// WorkingRegion describes the rectangular tag area of the deployment.
+type WorkingRegion struct {
+	XMin, XMax float64
+	YMin, YMax float64
+}
+
+// PaperRegion is the 2 m × 2 m working region of Fig. 7, offset from
+// the antenna line.
+func PaperRegion() WorkingRegion {
+	return WorkingRegion{XMin: 0, XMax: 2, YMin: 0.5, YMax: 2.5}
+}
+
+// Contains reports whether (x, y) lies in the region.
+func (w WorkingRegion) Contains(x, y float64) bool {
+	return x >= w.XMin && x <= w.XMax && y >= w.YMin && y <= w.YMax
+}
+
+// GridPoints returns an nx×ny grid of test positions inside the
+// region, inset from the border — the paper's 25 ground-truth points
+// use nx = ny = 5.
+func (w WorkingRegion) GridPoints(nx, ny int) []geom.Vec3 {
+	if nx < 1 || ny < 1 {
+		return nil
+	}
+	insetX := (w.XMax - w.XMin) * 0.1
+	insetY := (w.YMax - w.YMin) * 0.1
+	pts := make([]geom.Vec3, 0, nx*ny)
+	for iy := 0; iy < ny; iy++ {
+		for ix := 0; ix < nx; ix++ {
+			var fx, fy float64
+			if nx > 1 {
+				fx = float64(ix) / float64(nx-1)
+			}
+			if ny > 1 {
+				fy = float64(iy) / float64(ny-1)
+			}
+			pts = append(pts, geom.Vec3{
+				X: w.XMin + insetX + fx*(w.XMax-w.XMin-2*insetX),
+				Y: w.YMin + insetY + fy*(w.YMax-w.YMin-2*insetY),
+				Z: 0,
+			})
+		}
+	}
+	return pts
+}
+
+// newAntenna creates an antenna at pos aimed at its designated aim
+// point, with hardware offsets drawn from rng (nil → ideal hardware).
+func newAntenna(id int, pos geom.Vec3, rng *rand.Rand) Antenna {
+	aim := aimPoints[id%len(aimPoints)]
+	return Antenna{
+		ID:             id,
+		Pos:            pos,
+		Boresight:      aim.Sub(pos).Unit(),
+		HardwareOffset: rf.NewReaderOffset(rng),
+	}
+}
+
+// PaperAntennas2D returns the paper's three-antenna 2D deployment:
+// antennas 0.5 m apart on the y = 0 line at 1.2 m height. Hardware
+// offsets are drawn from rng; pass nil for ideal (pre-calibrated)
+// hardware.
+func PaperAntennas2D(rng *rand.Rand) []Antenna {
+	return []Antenna{
+		newAntenna(0, geom.Vec3{X: 0.5, Y: 0, Z: 1.0}, rng),
+		newAntenna(1, geom.Vec3{X: 1.0, Y: 0, Z: 1.5}, rng),
+		newAntenna(2, geom.Vec3{X: 1.5, Y: 0, Z: 1.2}, rng),
+	}
+}
+
+// PaperAntennas3D returns the four-antenna 3D deployment (§VII): the
+// 2D layout plus a fourth antenna mounted higher and off-axis so the
+// z coordinate becomes observable.
+func PaperAntennas3D(rng *rand.Rand) []Antenna {
+	ants := PaperAntennas2D(rng)
+	ants = append(ants, newAntenna(3, geom.Vec3{X: 1.0, Y: 2.8, Z: 1.8}, rng))
+	return ants
+}
+
+// PerturbSurvey returns a copy of the antennas with their *surveyed*
+// geometry perturbed: the coordinates and directions of the antennas
+// are "measured during the deployment" (§III) with tape-measure
+// accuracy, so the sensing side works from a slightly wrong geometry.
+// posStd is the per-axis position error (m); dirStd the boresight
+// angular error (rad).
+func PerturbSurvey(ants []Antenna, rng *rand.Rand, posStd, dirStd float64) []Antenna {
+	out := make([]Antenna, len(ants))
+	copy(out, ants)
+	if rng == nil {
+		return out
+	}
+	for i := range out {
+		out[i].Pos = out[i].Pos.Add(geom.Vec3{
+			X: rng.NormFloat64() * posStd,
+			Y: rng.NormFloat64() * posStd,
+			Z: rng.NormFloat64() * posStd,
+		})
+		// Rotate the boresight by a small random tilt.
+		b := out[i].Boresight.Unit()
+		perp1 := geom.Vec3{Z: 1}.Cross(b)
+		if perp1.Norm() < 1e-9 {
+			perp1 = geom.Vec3{X: 1}
+		}
+		perp1 = perp1.Unit()
+		perp2 := b.Cross(perp1).Unit()
+		out[i].Boresight = b.
+			Add(perp1.Scale(rng.NormFloat64() * dirStd)).
+			Add(perp2.Scale(rng.NormFloat64() * dirStd)).Unit()
+	}
+	return out
+}
+
+// MeanAntennaDistance returns the mean distance from p to the
+// antennas — the quantity the paper buckets into near/medium/far.
+func MeanAntennaDistance(ants []Antenna, p geom.Vec3) float64 {
+	if len(ants) == 0 {
+		return 0
+	}
+	var s float64
+	for _, a := range ants {
+		s += a.Pos.Dist(p)
+	}
+	return s / float64(len(ants))
+}

@@ -1,0 +1,169 @@
+package sim
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"rfprism/internal/geom"
+	"rfprism/internal/mathx"
+	"rfprism/internal/rf"
+)
+
+func TestPaperRegionContains(t *testing.T) {
+	r := PaperRegion()
+	if !r.Contains(1, 1.5) {
+		t.Error("center must be inside")
+	}
+	if r.Contains(-0.1, 1) || r.Contains(1, 3) {
+		t.Error("outside points reported inside")
+	}
+	if r.XMax-r.XMin != 2 || r.YMax-r.YMin != 2 {
+		t.Errorf("not a 2x2 region: %+v", r)
+	}
+}
+
+func TestGridPoints(t *testing.T) {
+	r := PaperRegion()
+	pts := r.GridPoints(5, 5)
+	if len(pts) != 25 {
+		t.Fatalf("want the paper's 25 points, got %d", len(pts))
+	}
+	for _, p := range pts {
+		if !r.Contains(p.X, p.Y) {
+			t.Fatalf("grid point %v outside region", p)
+		}
+		if p.Z != 0 {
+			t.Fatalf("grid point %v off the working plane", p)
+		}
+	}
+	if got := r.GridPoints(0, 5); got != nil {
+		t.Error("degenerate grid must be nil")
+	}
+	if got := r.GridPoints(1, 1); len(got) != 1 {
+		t.Error("1x1 grid")
+	}
+}
+
+func TestPaperAntennas2D(t *testing.T) {
+	ants := PaperAntennas2D(nil)
+	if len(ants) != 3 {
+		t.Fatalf("2D deployment needs 3 antennas, got %d", len(ants))
+	}
+	for i, a := range ants {
+		if a.ID != i {
+			t.Errorf("antenna %d has ID %d", i, a.ID)
+		}
+		if a.HardwareOffset != (rf.TagDiversity{}) {
+			t.Errorf("nil rng must give ideal hardware")
+		}
+		if math.Abs(a.Boresight.Norm()-1) > 1e-9 {
+			t.Errorf("boresight not unit: %v", a.Boresight)
+		}
+		// All face into the region (positive y component).
+		if a.Boresight.Y <= 0 {
+			t.Errorf("antenna %d faces away from the region", i)
+		}
+	}
+	// 0.5 m spacing along the antenna line (the paper's layout).
+	if d := ants[1].Pos.X - ants[0].Pos.X; math.Abs(d-0.5) > 1e-9 {
+		t.Errorf("antenna spacing %g, want 0.5", d)
+	}
+}
+
+func TestPaperAntennas3D(t *testing.T) {
+	ants := PaperAntennas3D(nil)
+	if len(ants) != 4 {
+		t.Fatalf("3D deployment needs 4 antennas, got %d", len(ants))
+	}
+}
+
+func TestOrientationDiversity(t *testing.T) {
+	// The deployment must not be mirror-degenerate: distinct in-plane
+	// polarization angles must produce distinct inter-antenna
+	// orientation-phase difference patterns (see deploy.go comment).
+	ants := PaperAntennas2D(nil)
+	diffs := func(alpha float64) [2]float64 {
+		w := rf.TagPolarization2D(alpha)
+		t0 := rf.OrientationPhase(ants[0].Frame(), w)
+		return [2]float64{
+			mathx.WrapPi(rf.OrientationPhase(ants[1].Frame(), w) - t0),
+			mathx.WrapPi(rf.OrientationPhase(ants[2].Frame(), w) - t0),
+		}
+	}
+	worst := math.Inf(1)
+	for a := 0; a < 180; a += 5 {
+		da := diffs(mathx.Rad(float64(a)))
+		for b := a + 20; b < a+160; b += 5 {
+			db := diffs(mathx.Rad(float64(b)))
+			d := math.Hypot(mathx.WrapPi(da[0]-db[0]), mathx.WrapPi(da[1]-db[1]))
+			if d < worst {
+				worst = d
+			}
+		}
+	}
+	if worst < 0.05 {
+		t.Fatalf("orientation margin %.4f rad — deployment is mirror-degenerate", worst)
+	}
+}
+
+func TestPerturbSurvey(t *testing.T) {
+	ants := PaperAntennas2D(nil)
+	same := PerturbSurvey(ants, nil, 0.01, 0.02)
+	for i := range ants {
+		if same[i].Pos != ants[i].Pos {
+			t.Fatal("nil rng must not perturb")
+		}
+	}
+	rng := rand.New(rand.NewSource(6))
+	pert := PerturbSurvey(ants, rng, 0.01, 0.02)
+	for i := range ants {
+		d := pert[i].Pos.Dist(ants[i].Pos)
+		if d == 0 {
+			t.Fatalf("antenna %d not perturbed", i)
+		}
+		if d > 0.1 {
+			t.Fatalf("antenna %d perturbed by %g m", i, d)
+		}
+		if math.Abs(pert[i].Boresight.Norm()-1) > 1e-9 {
+			t.Fatalf("perturbed boresight not unit")
+		}
+		ang := math.Acos(clampDot(pert[i].Boresight.Dot(ants[i].Boresight)))
+		if ang > 0.2 {
+			t.Fatalf("boresight rotated by %g rad", ang)
+		}
+	}
+	// The original slice must be untouched.
+	orig := PaperAntennas2D(nil)
+	for i := range ants {
+		if ants[i].Pos != orig[i].Pos {
+			t.Fatal("PerturbSurvey mutated its input")
+		}
+	}
+}
+
+func clampDot(v float64) float64 {
+	if v > 1 {
+		return 1
+	}
+	if v < -1 {
+		return -1
+	}
+	return v
+}
+
+func TestMeanAntennaDistance(t *testing.T) {
+	ants := PaperAntennas2D(nil)
+	p := geom.Vec3{X: 1, Y: 1.5}
+	var want float64
+	for _, a := range ants {
+		want += a.Pos.Dist(p)
+	}
+	want /= 3
+	if got := MeanAntennaDistance(ants, p); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("MeanAntennaDistance = %g, want %g", got, want)
+	}
+	if MeanAntennaDistance(nil, p) != 0 {
+		t.Fatal("empty antennas")
+	}
+}

@@ -1,0 +1,66 @@
+package sim
+
+import (
+	"testing"
+
+	"rfprism/internal/geom"
+	"rfprism/internal/rf"
+)
+
+func TestSlottedALOHAEfficiency(t *testing.T) {
+	if e := slottedALOHAEfficiency(1); e != 1 {
+		t.Fatalf("single tag efficiency %g", e)
+	}
+	prev := 1.0
+	for _, n := range []int{2, 4, 8, 32, 128} {
+		e := slottedALOHAEfficiency(n)
+		if e <= 0 || e > prev+1e-9 {
+			t.Fatalf("efficiency not decreasing: n=%d e=%g prev=%g", n, e, prev)
+		}
+		prev = e
+	}
+	// Large populations approach the slotted-ALOHA limit 1/e.
+	if e := slottedALOHAEfficiency(1024); e < 0.3 || e > 0.45 {
+		t.Fatalf("asymptotic efficiency %g, want ≈1/e", e)
+	}
+}
+
+func TestCollectInventoryWindow(t *testing.T) {
+	s := testScene(t, 21)
+	none := mustMaterial(t, "none")
+	var tags []TrackedTag
+	positions := []geom.Vec3{{X: 0.5, Y: 1.0}, {X: 1.0, Y: 1.5}, {X: 1.5, Y: 2.0}}
+	for i, p := range positions {
+		tag := s.NewTag(string(rune('A' + i)))
+		tags = append(tags, TrackedTag{Tag: tag, Motion: s.Place(p, 0, none)})
+	}
+	win, err := s.CollectInventoryWindow(tags)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byEPC := SplitByEPC(win)
+	if len(byEPC) != 3 {
+		t.Fatalf("saw %d EPCs, want 3", len(byEPC))
+	}
+	// Each tag must be read on most channels despite sharing slots.
+	for epc, reads := range byEPC {
+		chans := map[int]bool{}
+		for _, r := range reads {
+			chans[r.Channel] = true
+			if r.EPC != epc {
+				t.Fatal("SplitByEPC mixed tags")
+			}
+		}
+		if len(chans) < rf.NumChannels*5/10 {
+			t.Fatalf("tag %s seen on only %d channels", epc, len(chans))
+		}
+	}
+	// The shared budget must be below the single-tag rate.
+	single := s.CollectWindow(tags[0].Tag, tags[0].Motion)
+	if len(win) >= len(single)*3 {
+		t.Fatalf("inventory produced %d reads vs %d single-tag — no collision cost", len(win), len(single))
+	}
+	if _, err := s.CollectInventoryWindow(nil); err == nil {
+		t.Fatal("empty population must error")
+	}
+}

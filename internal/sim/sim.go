@@ -1,0 +1,260 @@
+// Package sim is the measurement-campaign simulator that substitutes
+// for the paper's ImpinJ Speedway R420 testbed (DESIGN.md §2). It
+// reproduces the reader's frequency-hopping schedule, per-channel
+// dwell, phase/RSSI quantization, per-antenna hardware offsets,
+// per-tag manufacturing diversity, additive phase noise, occasional
+// π-flip reporting artifacts, dropped reads and transient
+// interference, over a configurable propagation environment.
+package sim
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+
+	"rfprism/internal/geom"
+	"rfprism/internal/rf"
+)
+
+// Antenna is one reader antenna port: a circularly-polarized antenna
+// at a surveyed position with a surveyed boresight, plus the constant
+// hardware phase offset of its RF chain (cable length + feed network),
+// which the paper removes with the one-time antenna calibration
+// (§IV-C).
+type Antenna struct {
+	ID        int
+	Pos       geom.Vec3
+	Boresight geom.Vec3
+	// HardwareOffset is the per-port reader phase line θreader
+	// (constant per deployment, frequency-linear like a cable delay).
+	HardwareOffset rf.TagDiversity
+}
+
+// Frame returns the antenna's polarization frame.
+func (a Antenna) Frame() geom.Frame { return geom.NewFrame(a.Boresight) }
+
+// Tag is one passive RFID tag with its manufacturing phase diversity.
+type Tag struct {
+	EPC       string
+	Diversity rf.TagDiversity
+}
+
+// Placement is the full physical state of a tagged target at one
+// instant: where the tag is, how it is polarized, and what it is
+// attached to.
+type Placement struct {
+	Pos          geom.Vec3
+	Polarization geom.Vec3
+	Material     rf.Material
+	Attach       rf.Attachment
+}
+
+// Motion yields the placement of a target as a function of time
+// within a collection window. Static targets use Static.
+type Motion interface {
+	At(t time.Duration) Placement
+}
+
+// Static is a Motion that never moves.
+type Static Placement
+
+// At implements Motion.
+func (s Static) At(time.Duration) Placement { return Placement(s) }
+
+var _ Motion = Static{}
+
+// LinearMotion moves the tag at constant velocity while rotating its
+// polarization at a constant angular rate — the mobility case the
+// error detector (§V-C) must reject.
+type LinearMotion struct {
+	Start       Placement
+	Velocity    geom.Vec3 // m/s
+	AngularRate float64   // rad/s, in-plane polarization rotation
+}
+
+// At implements Motion.
+func (l LinearMotion) At(t time.Duration) Placement {
+	sec := t.Seconds()
+	p := l.Start
+	p.Pos = p.Pos.Add(l.Velocity.Scale(sec))
+	if l.AngularRate != 0 {
+		alpha := math.Atan2(p.Polarization.Y, p.Polarization.X) + l.AngularRate*sec
+		p.Polarization = rf.TagPolarization2D(alpha)
+	}
+	return p
+}
+
+var _ Motion = LinearMotion{}
+
+// Config holds the reader and noise parameters of a campaign.
+type Config struct {
+	// PhaseNoiseStd is the per-read additive phase noise in radians
+	// (scaled by the material's NoiseBoost).
+	PhaseNoiseStd float64
+	// ReadsPerDwell is the number of tag reads per channel dwell.
+	ReadsPerDwell int
+	// DwellTime is the per-channel dwell (200 ms on the R420).
+	DwellTime time.Duration
+	// PiFlipProb is the probability that a read reports phase+π (the
+	// reader's sign ambiguity artifact corrected in preprocessing).
+	PiFlipProb float64
+	// DropProb is the probability a read is lost entirely.
+	DropProb float64
+	// InterferenceProb is the probability a read is replaced by a
+	// uniformly random phase (transient external RF interference).
+	InterferenceProb float64
+	// RSSINoiseStdDB is the per-read RSSI noise in dB.
+	RSSINoiseStdDB float64
+	// RefRSSIDBm is the backscatter RSSI at 1 m with no material.
+	RefRSSIDBm float64
+}
+
+// DefaultConfig returns parameters representative of an R420 reading
+// Alien Gen2 tags in a lab.
+func DefaultConfig() Config {
+	return Config{
+		PhaseNoiseStd:    0.05,
+		ReadsPerDwell:    16,
+		DwellTime:        200 * time.Millisecond,
+		PiFlipProb:       0.06,
+		DropProb:         0.02,
+		InterferenceProb: 0.004,
+		RSSINoiseStdDB:   0.8,
+		RefRSSIDBm:       -48,
+	}
+}
+
+// Reading is one raw phase/RSSI report from the reader: exactly the
+// tuple the ImpinJ Octane SDK exposes per tag read.
+type Reading struct {
+	EPC     string        `json:"epc,omitempty"`
+	Antenna int           `json:"antenna"`
+	Channel int           `json:"channel"`
+	FreqHz  float64       `json:"freqHz"`
+	Phase   float64       `json:"phase"` // wrapped to [0, 2π), quantized
+	RSSI    float64       `json:"rssi"`  // dBm, quantized
+	T       time.Duration `json:"t"`     // offset within the window
+}
+
+// Scene is a deployed sensing setup: antennas, environment, reader
+// configuration and the RNG driving all stochastic effects.
+type Scene struct {
+	Antennas []Antenna
+	Env      rf.Environment
+	Cfg      Config
+	rng      *rand.Rand
+}
+
+// NewScene builds a scene. The antennas slice is copied. seed makes
+// every campaign reproducible.
+func NewScene(antennas []Antenna, env rf.Environment, cfg Config, seed int64) (*Scene, error) {
+	if len(antennas) == 0 {
+		return nil, fmt.Errorf("sim: scene needs at least one antenna")
+	}
+	if cfg.ReadsPerDwell <= 0 {
+		return nil, fmt.Errorf("sim: ReadsPerDwell must be positive, got %d", cfg.ReadsPerDwell)
+	}
+	ants := make([]Antenna, len(antennas))
+	copy(ants, antennas)
+	return &Scene{
+		Antennas: ants,
+		Env:      env,
+		Cfg:      cfg,
+		rng:      rand.New(rand.NewSource(seed)),
+	}, nil
+}
+
+// Rand exposes the scene RNG so campaign drivers can derive per-trial
+// randomness (tag diversity, attachment jitter) from the same seed.
+func (s *Scene) Rand() *rand.Rand { return s.rng }
+
+// CollectWindow runs one full hop round over all 50 channels, reading
+// the tag through every antenna during each dwell, and returns the raw
+// readings. The target's placement is sampled at each read time, so a
+// moving target yields readings that mix distances and orientations —
+// the situation the error detector must catch.
+func (s *Scene) CollectWindow(tag Tag, motion Motion) []Reading {
+	out := make([]Reading, 0, rf.NumChannels*len(s.Antennas)*s.Cfg.ReadsPerDwell)
+	readGap := s.Cfg.DwellTime / time.Duration(s.Cfg.ReadsPerDwell+1)
+	for ch := 0; ch < rf.NumChannels; ch++ {
+		f, err := rf.ChannelFreq(ch)
+		if err != nil {
+			continue // unreachable: ch is in range by construction
+		}
+		dwellStart := time.Duration(ch) * s.Cfg.DwellTime
+		for r := 0; r < s.Cfg.ReadsPerDwell; r++ {
+			t := dwellStart + time.Duration(r+1)*readGap
+			pl := motion.At(t)
+			for _, ant := range s.Antennas {
+				if s.rng.Float64() < s.Cfg.DropProb {
+					continue
+				}
+				rd, ok := s.read(ant, tag, pl, ch, f, t)
+				if ok {
+					out = append(out, rd)
+				}
+			}
+		}
+	}
+	return out
+}
+
+// read produces a single reading of the tag through one antenna.
+func (s *Scene) read(ant Antenna, tag Tag, pl Placement, ch int, f float64, t time.Duration) (Reading, bool) {
+	d := ant.Pos.Dist(pl.Pos)
+	if d < 1e-6 {
+		return Reading{}, false
+	}
+	frame := ant.Frame()
+
+	propPhase, relPower := s.Env.PropagationObservationAt(ant.Pos, pl.Pos, f, t.Seconds())
+	orient := rf.OrientationPhase(frame, pl.Polarization)
+	device := pl.Attach.Sig.Phase(f) + tag.Diversity.Phase(f) + ant.HardwareOffset.Phase(f)
+
+	noiseStd := s.Cfg.PhaseNoiseStd * pl.Material.NoiseBoost
+	theta := propPhase + orient + device + s.rng.NormFloat64()*noiseStd
+
+	if s.rng.Float64() < s.Cfg.InterferenceProb {
+		theta = s.rng.Float64() * 2 * math.Pi
+	}
+	if s.rng.Float64() < s.Cfg.PiFlipProb {
+		theta += math.Pi
+	}
+
+	polLoss := rf.PolarizationLossDB(frame, pl.Polarization)
+	rssi := rf.RSSI(d, s.Cfg.RefRSSIDBm, pl.Material.LossDB+polLoss)
+	if relPower > 0 {
+		rssi += 10 * math.Log10(relPower)
+	}
+	rssi += s.rng.NormFloat64() * s.Cfg.RSSINoiseStdDB
+
+	return Reading{
+		EPC:     tag.EPC,
+		Antenna: ant.ID,
+		Channel: ch,
+		FreqHz:  f,
+		Phase:   rf.QuantizePhase(theta),
+		RSSI:    rf.QuantizeRSSI(rssi),
+		T:       t,
+	}, true
+}
+
+// NewTag mints a tag with random manufacturing diversity drawn from
+// the scene RNG.
+func (s *Scene) NewTag(epc string) Tag {
+	return Tag{EPC: epc, Diversity: rf.NewTagDiversity(s.rng)}
+}
+
+// Place is a convenience constructor for a static 2D placement: a tag
+// on the working plane at (x, y, z) with in-plane polarization angle
+// alpha, attached to material (with placement jitter drawn from the
+// scene RNG).
+func (s *Scene) Place(pos geom.Vec3, alpha float64, m rf.Material) Static {
+	return Static{
+		Pos:          pos,
+		Polarization: rf.TagPolarization2D(alpha),
+		Material:     m,
+		Attach:       rf.Attach(m, rf.DefaultAttachmentJitter(), s.rng),
+	}
+}

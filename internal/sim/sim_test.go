@@ -1,0 +1,224 @@
+package sim
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"rfprism/internal/geom"
+	"rfprism/internal/rf"
+)
+
+func testScene(t *testing.T, seed int64) *Scene {
+	t.Helper()
+	s, err := NewScene(PaperAntennas2D(nil), rf.CleanSpace(), DefaultConfig(), seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func mustMaterial(t *testing.T, name string) rf.Material {
+	t.Helper()
+	m, err := rf.MaterialByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestNewSceneValidation(t *testing.T) {
+	if _, err := NewScene(nil, rf.CleanSpace(), DefaultConfig(), 1); err == nil {
+		t.Fatal("no antennas must error")
+	}
+	cfg := DefaultConfig()
+	cfg.ReadsPerDwell = 0
+	if _, err := NewScene(PaperAntennas2D(nil), rf.CleanSpace(), cfg, 1); err == nil {
+		t.Fatal("zero reads per dwell must error")
+	}
+}
+
+func TestCollectWindowShape(t *testing.T) {
+	s := testScene(t, 1)
+	tag := s.NewTag("t1")
+	win := s.CollectWindow(tag, s.Place(geom.Vec3{X: 1, Y: 1.5}, 0, mustMaterial(t, "none")))
+
+	expected := rf.NumChannels * len(s.Antennas) * s.Cfg.ReadsPerDwell
+	// Drops remove ~2%; everything else must be there.
+	if len(win) < expected*9/10 || len(win) > expected {
+		t.Fatalf("window size %d, expected ≈%d", len(win), expected)
+	}
+	channels := make(map[int]bool)
+	antennas := make(map[int]bool)
+	for _, r := range win {
+		if r.Phase < 0 || r.Phase >= 2*math.Pi {
+			t.Fatalf("phase %g out of range", r.Phase)
+		}
+		if r.Channel < 0 || r.Channel >= rf.NumChannels {
+			t.Fatalf("channel %d out of range", r.Channel)
+		}
+		f, err := rf.ChannelFreq(r.Channel)
+		if err != nil || f != r.FreqHz {
+			t.Fatalf("freq %g does not match channel %d", r.FreqHz, r.Channel)
+		}
+		if r.RSSI > -20 || r.RSSI < -110 {
+			t.Fatalf("implausible RSSI %g", r.RSSI)
+		}
+		channels[r.Channel] = true
+		antennas[r.Antenna] = true
+	}
+	if len(channels) != rf.NumChannels {
+		t.Fatalf("only %d channels seen", len(channels))
+	}
+	if len(antennas) != len(s.Antennas) {
+		t.Fatalf("only %d antennas seen", len(antennas))
+	}
+}
+
+func TestCollectWindowDeterministicBySeed(t *testing.T) {
+	mk := func() []Reading {
+		s := testScene(t, 77)
+		tag := s.NewTag("t")
+		return s.CollectWindow(tag, s.Place(geom.Vec3{X: 0.8, Y: 1.2}, 0.5, mustMaterial(t, "glass")))
+	}
+	a, b := mk(), mk()
+	if len(a) != len(b) {
+		t.Fatalf("lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("reading %d differs: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestWindowTiming(t *testing.T) {
+	s := testScene(t, 2)
+	tag := s.NewTag("t")
+	win := s.CollectWindow(tag, s.Place(geom.Vec3{X: 1, Y: 1.5}, 0, mustMaterial(t, "none")))
+	total := time.Duration(rf.NumChannels) * s.Cfg.DwellTime
+	for _, r := range win {
+		if r.T < 0 || r.T > total {
+			t.Fatalf("read time %v outside the hop round (%v)", r.T, total)
+		}
+		// Reads of channel c must happen during dwell c.
+		dwellStart := time.Duration(r.Channel) * s.Cfg.DwellTime
+		if r.T < dwellStart || r.T > dwellStart+s.Cfg.DwellTime {
+			t.Fatalf("read at %v outside dwell %d", r.T, r.Channel)
+		}
+	}
+}
+
+func TestDistanceAffectsPhaseSlope(t *testing.T) {
+	// The core premise (Fig. 4): farther tags produce steeper
+	// phase-vs-frequency lines. Compare mean per-channel phase
+	// increments at two distances using a noiseless configuration.
+	cfg := DefaultConfig()
+	cfg.PhaseNoiseStd = 1e-6
+	cfg.PiFlipProb = 0
+	cfg.DropProb = 0
+	cfg.InterferenceProb = 0
+	s, err := NewScene(PaperAntennas2D(nil), rf.CleanSpace(), cfg, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tag := Tag{EPC: "ideal"}
+	slope := func(y float64) float64 {
+		pl := Static{
+			Pos:          geom.Vec3{X: 1, Y: y},
+			Polarization: rf.TagPolarization2D(0),
+			Material:     mustMaterial(t, "none"),
+		}
+		win := s.CollectWindow(tag, pl)
+		// Average phase per channel for antenna 0, then unwrap and
+		// take the end-to-end slope.
+		perCh := make(map[int][]float64)
+		for _, r := range win {
+			if r.Antenna == 0 {
+				perCh[r.Channel] = append(perCh[r.Channel], r.Phase)
+			}
+		}
+		prev, unwrapped := 0.0, 0.0
+		first := true
+		var start, end float64
+		for ch := 0; ch < rf.NumChannels; ch++ {
+			ph := perCh[ch][0]
+			if first {
+				unwrapped = ph
+				first = false
+				start = unwrapped
+			} else {
+				k := math.Round((prev - ph) / (2 * math.Pi))
+				unwrapped = ph + k*2*math.Pi
+			}
+			prev = unwrapped
+			end = unwrapped
+		}
+		return end - start
+	}
+	near, far := slope(0.8), slope(2.2)
+	if far <= near {
+		t.Fatalf("phase growth near %g >= far %g", near, far)
+	}
+}
+
+func TestMobilityBreaksLinearity(t *testing.T) {
+	s := testScene(t, 4)
+	static := s.Place(geom.Vec3{X: 0.8, Y: 1.3}, 0, mustMaterial(t, "none"))
+	moving := LinearMotion{Start: Placement(static), Velocity: geom.Vec3{X: 0.3}}
+	// The linearity check itself lives in the fit package; here we
+	// assert the simulator produces different placements over the
+	// window for a moving target.
+	start := moving.At(0)
+	end := moving.At(10 * time.Second)
+	if start.Pos == end.Pos {
+		t.Fatal("LinearMotion did not move the tag")
+	}
+	if d := start.Pos.Dist(end.Pos); math.Abs(d-3.0) > 1e-9 {
+		t.Fatalf("moved %g m in 10 s at 0.3 m/s", d)
+	}
+}
+
+func TestLinearMotionRotation(t *testing.T) {
+	start := Placement{
+		Pos:          geom.Vec3{X: 1, Y: 1},
+		Polarization: rf.TagPolarization2D(0),
+	}
+	m := LinearMotion{Start: start, AngularRate: math.Pi / 2}
+	p := m.At(1 * time.Second)
+	wantAlpha := math.Pi / 2
+	got := math.Atan2(p.Polarization.Y, p.Polarization.X)
+	if math.Abs(got-wantAlpha) > 1e-9 {
+		t.Fatalf("rotated to %g, want %g", got, wantAlpha)
+	}
+}
+
+func TestMaterialAffectsRSSI(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.RSSINoiseStdDB = 0
+	cfg.PhaseNoiseStd = 1e-6
+	cfg.DropProb = 0
+	cfg.PiFlipProb = 0
+	cfg.InterferenceProb = 0
+	s, err := NewScene(PaperAntennas2D(nil), rf.CleanSpace(), cfg, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tag := Tag{EPC: "t"}
+	meanRSSI := func(name string) float64 {
+		pl := Static{
+			Pos:          geom.Vec3{X: 1, Y: 1.5},
+			Polarization: rf.TagPolarization2D(0),
+			Material:     mustMaterial(t, name),
+		}
+		win := s.CollectWindow(tag, pl)
+		var sum float64
+		for _, r := range win {
+			sum += r.RSSI
+		}
+		return sum / float64(len(win))
+	}
+	if none, metal := meanRSSI("none"), meanRSSI("metal"); metal >= none-2 {
+		t.Fatalf("metal RSSI %g not clearly below bare %g", metal, none)
+	}
+}

@@ -1,0 +1,48 @@
+package sim
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"rfprism/internal/geom"
+)
+
+// Trace is the JSON envelope of one recorded collection window: the
+// raw reader tuples plus the ground truth the simulator knows. It is
+// the interchange format between cmd/rfprism-sim (producer) and
+// cmd/rfprism-process (consumer), and doubles as a fixture format for
+// offline regression data.
+type Trace struct {
+	Window   int       `json:"window"`
+	Seed     int64     `json:"seed"`
+	Env      string    `json:"env"`
+	Pos      geom.Vec3 `json:"pos"`
+	AlphaDeg float64   `json:"alphaDeg"`
+	Material string    `json:"material"`
+	Readings []Reading `json:"readings"`
+}
+
+// WriteTraces encodes traces as indented JSON.
+func WriteTraces(w io.Writer, traces []Trace) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	if err := enc.Encode(traces); err != nil {
+		return fmt.Errorf("sim: encode traces: %w", err)
+	}
+	return nil
+}
+
+// ReadTraces decodes a trace file produced by WriteTraces.
+func ReadTraces(r io.Reader) ([]Trace, error) {
+	var traces []Trace
+	if err := json.NewDecoder(r).Decode(&traces); err != nil {
+		return nil, fmt.Errorf("sim: decode traces: %w", err)
+	}
+	for i, tr := range traces {
+		if len(tr.Readings) == 0 {
+			return nil, fmt.Errorf("sim: trace %d has no readings", i)
+		}
+	}
+	return traces, nil
+}

@@ -1,0 +1,52 @@
+package sim
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"rfprism/internal/geom"
+)
+
+func TestTraceRoundTrip(t *testing.T) {
+	s := testScene(t, 12)
+	tag := s.NewTag("trace")
+	win := s.CollectWindow(tag, s.Place(geom.Vec3{X: 1.1, Y: 1.6}, 0.4, mustMaterial(t, "oil")))
+	in := []Trace{{
+		Window:   0,
+		Seed:     12,
+		Env:      "clean",
+		Pos:      geom.Vec3{X: 1.1, Y: 1.6},
+		AlphaDeg: 22.9,
+		Material: "oil",
+		Readings: win,
+	}}
+	var buf bytes.Buffer
+	if err := WriteTraces(&buf, in); err != nil {
+		t.Fatal(err)
+	}
+	out, err := ReadTraces(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 1 || out[0].Material != "oil" || out[0].Seed != 12 {
+		t.Fatalf("metadata lost: %+v", out[0])
+	}
+	if len(out[0].Readings) != len(win) {
+		t.Fatalf("readings lost: %d vs %d", len(out[0].Readings), len(win))
+	}
+	for i := range win {
+		if out[0].Readings[i] != win[i] {
+			t.Fatalf("reading %d corrupted", i)
+		}
+	}
+}
+
+func TestReadTracesRejectsGarbage(t *testing.T) {
+	if _, err := ReadTraces(strings.NewReader("not json")); err == nil {
+		t.Fatal("garbage must error")
+	}
+	if _, err := ReadTraces(strings.NewReader(`[{"window":0,"readings":[]}]`)); err == nil {
+		t.Fatal("empty readings must error")
+	}
+}

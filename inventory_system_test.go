@@ -1,0 +1,59 @@
+package rfprism
+
+import (
+	"math"
+	"testing"
+
+	"rfprism/internal/geom"
+	"rfprism/internal/rf"
+	"rfprism/internal/sim"
+)
+
+// TestMultiTagInventoryPipeline runs a full shelf audit in one
+// inventory round: several tags share the reader's slots, the window
+// is split by EPC and each tag is disentangled independently.
+func TestMultiTagInventoryPipeline(t *testing.T) {
+	scene, sys := newTestScene(t, rf.CleanSpace(), 23)
+	none, err := rf.MaterialByName("none")
+	if err != nil {
+		t.Fatal(err)
+	}
+	calPos := geom.Vec3{X: 1.0, Y: 1.5}
+
+	positions := []geom.Vec3{{X: 0.5, Y: 1.0}, {X: 1.2, Y: 1.4}, {X: 1.6, Y: 1.9}}
+	var tracked []sim.TrackedTag
+	var tags []sim.Tag
+	for i, p := range positions {
+		tag := scene.NewTag("shelf-" + string(rune('A'+i)))
+		tags = append(tags, tag)
+		tracked = append(tracked, sim.TrackedTag{Tag: tag, Motion: scene.Place(p, 0.3*float64(i), none)})
+	}
+	// Antenna calibration with the first tag.
+	var calWin []sim.Reading
+	for i := 0; i < 3; i++ {
+		calWin = append(calWin, scene.CollectWindow(tags[0], scene.Place(calPos, 0, none))...)
+	}
+	if err := sys.CalibrateAntennas(calWin, calPos, 0); err != nil {
+		t.Fatal(err)
+	}
+
+	win, err := scene.CollectInventoryWindow(tracked)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byEPC := sim.SplitByEPC(win)
+	if len(byEPC) != len(tracked) {
+		t.Fatalf("inventory saw %d tags, want %d", len(byEPC), len(tracked))
+	}
+	for i, tr := range tracked {
+		res, err := sys.ProcessWindow(byEPC[tr.Tag.EPC])
+		if err != nil {
+			t.Fatalf("tag %s: %v", tr.Tag.EPC, err)
+		}
+		est := res.Estimate
+		locErr := math.Hypot(est.Pos.X-positions[i].X, est.Pos.Y-positions[i].Y)
+		if locErr > 0.35 {
+			t.Errorf("tag %s localization error %.1f cm with shared slots", tr.Tag.EPC, locErr*100)
+		}
+	}
+}

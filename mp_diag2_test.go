@@ -1,0 +1,63 @@
+// Opt-in diagnostic (RFPRISM_TUNE=1): per-antenna slope bias under
+// the multipath environment, with and without channel selection.
+package rfprism
+
+import (
+	"math"
+	"os"
+	"testing"
+
+	"rfprism/internal/fit"
+	"rfprism/internal/geom"
+	"rfprism/internal/mathx"
+	"rfprism/internal/rf"
+)
+
+func measureEnvOpts(t *testing.T, env rf.Environment, opts fit.RobustOptions) (plainCM, mpCM float64) {
+	ant := geom.Vec3{X: 1.0, Y: 0, Z: 1.5}
+	var biasPlain, biasMP []float64
+	for _, tag := range []geom.Vec3{{X: 0.3, Y: 0.8}, {X: 1.0, Y: 1.5}, {X: 1.7, Y: 2.2}, {X: 0.5, Y: 1.9}, {X: 1.5, Y: 1.0}} {
+		d := ant.Dist(tag)
+		freqs := rf.Channels()
+		phases := make([]float64, len(freqs))
+		rssis := make([]float64, len(freqs))
+		prev := 0.0
+		for i, f := range freqs {
+			p, pow := env.PropagationObservationAt(ant, tag, f, float64(i)*0.2)
+			if i > 0 {
+				k := math.Round((prev - p) / (2 * math.Pi))
+				p += k * 2 * math.Pi
+			}
+			phases[i] = p
+			prev = p
+			rssis[i] = rf.RSSI(d, -48, 0) + 10*math.Log10(pow)
+		}
+		plain, err := fit.FitLine(freqs, phases)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mp, err := fit.FitLineRobust(freqs, phases, rssis, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		biasPlain = append(biasPlain, math.Abs(rf.DistanceFromSlope(plain.K)-d)*100)
+		biasMP = append(biasMP, math.Abs(rf.DistanceFromSlope(mp.K)-d)*100)
+	}
+	return mathx.Mean(biasPlain), mathx.Mean(biasMP)
+}
+
+func TestDiagMultipathBreakdown(t *testing.T) {
+	if os.Getenv("RFPRISM_TUNE") == "" {
+		t.Skip("set RFPRISM_TUNE=1")
+	}
+	for _, o := range []fit.RobustOptions{
+		{},
+		{MaxResid: 0.18},
+		{MaxResid: 0.15},
+		{MaxResid: 0.15, FadeDropDB: 2.5},
+		{MaxResid: 0.12, FadeDropDB: 2},
+	} {
+		p, m := measureEnvOpts(t, rf.LabMultipath(), o)
+		t.Logf("opts %+v: plain %.1fcm selected %.1fcm", o, p, m)
+	}
+}

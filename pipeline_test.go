@@ -1,0 +1,62 @@
+package rfprism
+
+import (
+	"math"
+	"testing"
+
+	"rfprism/internal/geom"
+	"rfprism/internal/mathx"
+	"rfprism/internal/rf"
+	"rfprism/internal/sim"
+)
+
+// newTestScene builds a scene with the paper's 2D deployment. The
+// hardware RNG seeds per-antenna offsets and per-tag diversity so the
+// calibration path is exercised.
+func newTestScene(t *testing.T, env rf.Environment, seed int64) (*sim.Scene, *System) {
+	t.Helper()
+	scene, err := sim.NewScene(sim.PaperAntennas2D(nil), env, sim.DefaultConfig(), seed)
+	if err != nil {
+		t.Fatalf("NewScene: %v", err)
+	}
+	sys, err := NewSystem(DeploymentFromSim(scene.Antennas), Bounds2D(sim.PaperRegion()))
+	if err != nil {
+		t.Fatalf("NewSystem: %v", err)
+	}
+	return scene, sys
+}
+
+func TestPipelineCleanSpaceRecoversState(t *testing.T) {
+	scene, sys := newTestScene(t, rf.CleanSpace(), 1)
+	tag := scene.NewTag("epc-1")
+
+	// Antenna calibration with a bare tag at a known point.
+	calPos := geom.Vec3{X: 1.0, Y: 1.5}
+	none, err := rf.MaterialByName("none")
+	if err != nil {
+		t.Fatal(err)
+	}
+	calWin := scene.CollectWindow(tag, scene.Place(calPos, 0, none))
+	if err := sys.CalibrateAntennas(calWin, calPos, 0); err != nil {
+		t.Fatalf("CalibrateAntennas: %v", err)
+	}
+
+	truth := geom.Vec3{X: 0.7, Y: 1.2}
+	alpha := mathx.Rad(60)
+	win := scene.CollectWindow(tag, scene.Place(truth, alpha, none))
+	res, err := sys.ProcessWindow(win)
+	if err != nil {
+		t.Fatalf("ProcessWindow: %v", err)
+	}
+	est := res.Estimate
+	locErr := math.Hypot(est.Pos.X-truth.X, est.Pos.Y-truth.Y)
+	t.Logf("loc err %.3fm, alpha est %.1f° (truth %.1f°), kt %.3g, bt %.3f",
+		locErr, mathx.Deg(est.Alpha), mathx.Deg(alpha), est.Kt, est.Bt0)
+	if locErr > 0.20 {
+		t.Errorf("localization error %.3f m too large", locErr)
+	}
+	orientErr := math.Abs(mathx.AngDiffPeriod(est.Alpha, alpha, math.Pi))
+	if mathx.Deg(orientErr) > 25 {
+		t.Errorf("orientation error %.1f° too large", mathx.Deg(orientErr))
+	}
+}

@@ -1,0 +1,452 @@
+// Package rfprism is a Go reproduction of "RF-Prism: Versatile
+// RFID-based Sensing through Phase Disentangling" (ICDCS 2021).
+//
+// RF-Prism disentangles the phase of a backscattered RFID signal into
+// its propagation, orientation and material components by combining
+// frequency diversity (the reader's 50-channel hop sequence) with
+// spatial diversity (3–4 antennas), enabling simultaneous
+// calibration-free localization, orientation sensing and material
+// identification from a single hop round of phase readings.
+//
+// The high-level entry point is System: configure it with the
+// deployment geometry, feed it the raw readings of one hop round
+// (from the bundled testbed simulator or any source producing the
+// same tuples), and receive the disentangled estimate.
+//
+//	ants := sim.PaperAntennas2D(nil)
+//	sys, _ := rfprism.NewSystem(rfprism.DeploymentFromSim(ants), rfprism.Bounds2D(sim.PaperRegion()))
+//	res, err := sys.ProcessWindow(readings)
+//	// res.Estimate.Pos, res.Estimate.Alpha, res.Estimate.Kt, ...
+package rfprism
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"rfprism/internal/core"
+	"rfprism/internal/fit"
+	"rfprism/internal/geom"
+	"rfprism/internal/mathx"
+	"rfprism/internal/preprocess"
+	"rfprism/internal/rf"
+	"rfprism/internal/sim"
+)
+
+// ErrWindowRejected is returned by ProcessWindow when the error
+// detector (§V-C) flags the window as collected from a moving or
+// rotating tag (or as too corrupted to trust).
+var ErrWindowRejected = errors.New("rfprism: window rejected by error detector")
+
+// AntennaGeometry is the surveyed geometry of one reader antenna.
+type AntennaGeometry struct {
+	ID        int
+	Pos       geom.Vec3
+	Boresight geom.Vec3
+}
+
+// DeploymentFromSim converts simulator antennas to their surveyed
+// geometry (what the sensing side is allowed to know: positions and
+// directions, not hardware offsets).
+func DeploymentFromSim(ants []sim.Antenna) []AntennaGeometry {
+	out := make([]AntennaGeometry, len(ants))
+	for i, a := range ants {
+		out[i] = AntennaGeometry{ID: a.ID, Pos: a.Pos, Boresight: a.Boresight}
+	}
+	return out
+}
+
+// Bounds re-exports the solver search bounds.
+type Bounds = core.Bounds
+
+// Bounds2D builds solver bounds from a working region.
+func Bounds2D(r sim.WorkingRegion) Bounds {
+	return Bounds{XMin: r.XMin, XMax: r.XMax, YMin: r.YMin, YMax: r.YMax}
+}
+
+// Estimate re-exports the disentangled state of one window.
+type Estimate = core.Estimate
+
+// Result is the full output of processing one window.
+type Result struct {
+	// Estimate is the disentangled tag state.
+	Estimate Estimate
+	// Lines are the per-antenna phase-vs-frequency fits, in the
+	// order of the system's antennas.
+	Lines []fit.Line
+	// Linearity are the per-antenna error-detector reports.
+	Linearity []fit.LinearityReport
+	// Spectra are the preprocessed per-antenna spectra.
+	Spectra []preprocess.Spectrum
+}
+
+// Option configures a System.
+type Option func(*System)
+
+// WithMode3D switches the solver to the four-antenna 3D model; the
+// bounds must then include a Z range.
+func WithMode3D() Option {
+	return func(s *System) { s.mode3D = true }
+}
+
+// WithSolverOptions overrides the disentangler options.
+func WithSolverOptions(o core.Options) Option {
+	return func(s *System) { s.solver = o }
+}
+
+// WithDetectorOptions overrides the error-detector thresholds.
+func WithDetectorOptions(o fit.DetectorOptions) Option {
+	return func(s *System) { s.detector = o }
+}
+
+// WithRobustOptions overrides the outlier-trimming fit used by the
+// calibration paths.
+func WithRobustOptions(o fit.RobustOptions) Option {
+	return func(s *System) { s.robust = o }
+}
+
+// WithMultipathOptions overrides the model-based multipath
+// suppression fit (implies WithModelSuppression).
+func WithMultipathOptions(o fit.MultipathOptions) Option {
+	return func(s *System) { s.multipath = o; s.modelSuppression = true }
+}
+
+// WithModelSuppression replaces the default §V-D channel selection
+// (RSSI fade masking + absolute residual trimming) with the
+// model-based echo-removal fit — effective against *static*
+// long-delay multipath, see fit.FitLineMultipath.
+func WithModelSuppression() Option {
+	return func(s *System) { s.modelSuppression = true }
+}
+
+// WithoutChannelSelection disables the multipath suppression (§V-D),
+// fitting all channels — the "Multipath" bar of Fig. 12.
+func WithoutChannelSelection() Option {
+	return func(s *System) { s.noSelection = true }
+}
+
+// WithoutErrorDetector disables the mobility error detector (§V-C).
+func WithoutErrorDetector() Option {
+	return func(s *System) { s.noDetector = true }
+}
+
+// System is a deployed RF-Prism instance: geometry, calibration state
+// and solver configuration.
+type System struct {
+	antennas         []AntennaGeometry
+	bounds           Bounds
+	mode3D           bool
+	solver           core.Options
+	detector         fit.DetectorOptions
+	robust           fit.RobustOptions
+	multipath        fit.MultipathOptions
+	modelSuppression bool
+	noSelection      bool
+	noDetector       bool
+
+	antennaCal core.AntennaCal
+	tagCals    map[string]TagCal
+}
+
+// NewSystem builds a System for the given deployment. 2D needs ≥3
+// antennas; 3D (WithMode3D) needs ≥4.
+func NewSystem(antennas []AntennaGeometry, bounds Bounds, opts ...Option) (*System, error) {
+	s := &System{
+		antennas: append([]AntennaGeometry(nil), antennas...),
+		bounds:   bounds,
+		tagCals:  make(map[string]TagCal),
+	}
+	for _, o := range opts {
+		o(s)
+	}
+	need := 3
+	if s.mode3D {
+		need = 4
+	}
+	if len(s.antennas) < need {
+		return nil, fmt.Errorf("rfprism: %d antennas configured, need %d", len(s.antennas), need)
+	}
+	return s, nil
+}
+
+// observe preprocesses a window and fits each antenna's line,
+// returning the observations and the detector reports.
+func (s *System) observe(readings []sim.Reading) ([]core.Observation, []fit.LinearityReport, []preprocess.Spectrum, error) {
+	spectra, err := preprocess.BuildSpectra(readings, preprocess.Options{})
+	if err != nil {
+		return nil, nil, nil, fmt.Errorf("rfprism: preprocess: %w", err)
+	}
+	byID := make(map[int]preprocess.Spectrum, len(spectra))
+	for _, sp := range spectra {
+		byID[sp.Antenna] = sp
+	}
+	obs := make([]core.Observation, 0, len(s.antennas))
+	reports := make([]fit.LinearityReport, 0, len(s.antennas))
+	outSpectra := make([]preprocess.Spectrum, 0, len(s.antennas))
+	for _, ant := range s.antennas {
+		sp, ok := byID[ant.ID]
+		if !ok {
+			return nil, nil, nil, fmt.Errorf("rfprism: antenna %d produced no spectrum", ant.ID)
+		}
+		freqs, phases := sp.Freqs(), sp.Phases()
+		var line fit.Line
+		switch {
+		case s.noSelection:
+			line, err = fit.FitLine(freqs, phases)
+		case s.modelSuppression:
+			line, err = fit.FitLineMultipath(freqs, phases, s.multipath)
+		default:
+			line, err = fit.FitLineRobust(freqs, phases, sp.RSSIs(), s.robust)
+		}
+		if errors.Is(err, fit.ErrTooFewChannels) {
+			return nil, nil, nil, fmt.Errorf("%w: antenna %d has no clean channel consensus", ErrWindowRejected, ant.ID)
+		}
+		if err != nil {
+			return nil, nil, nil, fmt.Errorf("rfprism: antenna %d fit: %w", ant.ID, err)
+		}
+		reports = append(reports, fit.CheckLinearity(line, len(freqs), s.detector))
+		usedF, usedP := usedSamples(line, freqs, phases)
+		obs = append(obs, core.Observation{
+			ID:     ant.ID,
+			Pos:    ant.Pos,
+			Frame:  geom.NewFrame(ant.Boresight),
+			Line:   line,
+			Freqs:  usedF,
+			Phases: usedP,
+		})
+		outSpectra = append(outSpectra, sp)
+	}
+	return obs, reports, outSpectra, nil
+}
+
+func usedSamples(line fit.Line, freqs, phases []float64) ([]float64, []float64) {
+	f := make([]float64, 0, len(freqs))
+	p := make([]float64, 0, len(phases))
+	for i := range freqs {
+		if i < len(line.Used) && line.Used[i] {
+			f = append(f, freqs[i])
+			p = append(p, phases[i])
+		}
+	}
+	return f, p
+}
+
+// ProcessWindow runs the full RF-Prism pipeline on the raw readings
+// of one hop round: preprocessing, per-antenna robust line fitting,
+// the error detector, antenna-offset correction and the phase
+// disentangler. It returns ErrWindowRejected (wrapped) when the
+// window fails the error detector.
+func (s *System) ProcessWindow(readings []sim.Reading) (*Result, error) {
+	obs, reports, spectra, err := s.observe(readings)
+	if err != nil {
+		return nil, err
+	}
+	if !s.noDetector {
+		for i, rep := range reports {
+			if !rep.Linear {
+				return nil, fmt.Errorf("%w: antenna %d resid %.3f rad, kept %.0f%%",
+					ErrWindowRejected, obs[i].ID, rep.ResidStd, rep.KeptFraction*100)
+			}
+		}
+	}
+	obs = s.antennaCal.Apply(obs)
+
+	var est Estimate
+	if s.mode3D {
+		est, err = core.Solve3D(obs, s.bounds, s.solver)
+	} else {
+		est, err = core.Solve2D(obs, s.bounds, s.solver)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("rfprism: solve: %w", err)
+	}
+	lines := make([]fit.Line, len(obs))
+	for i, o := range obs {
+		lines[i] = o.Line
+	}
+	return &Result{Estimate: est, Lines: lines, Linearity: reports, Spectra: spectra}, nil
+}
+
+// CalibrateAntennas performs the pre-deployment antenna correction of
+// §IV-C from a window collected with a bare tag at a known position
+// and known polarization angle. Subsequent ProcessWindow calls apply
+// the correction automatically.
+func (s *System) CalibrateAntennas(readings []sim.Reading, truthPos geom.Vec3, truthAlpha float64) error {
+	obs, _, _, err := s.observe(readings)
+	if err != nil {
+		return err
+	}
+	cal, err := core.CalibrateAntennas(obs, truthPos, truthAlpha)
+	if err != nil {
+		return err
+	}
+	s.antennaCal = cal
+	return nil
+}
+
+// TagCal is the per-tag device calibration of §V-B: the reader-tag
+// pair's own phase line θ_device0, measured once with the bare tag at
+// a known position/orientation and subtracted from every subsequent
+// material measurement.
+type TagCal struct {
+	EPC string
+	// Kd and Bd0 are the fitted per-tag line (slope rad/Hz,
+	// band-center intercept rad).
+	Kd, Bd0 float64
+	// PerChannel is θ_device0 per channel (wrapped), NaN where the
+	// calibration window had no usable sample.
+	PerChannel []float64
+}
+
+// CalibrateTag measures and stores a tag's device calibration from a
+// bare-tag window at a known position and polarization angle. It must
+// run after CalibrateAntennas.
+func (s *System) CalibrateTag(epc string, readings []sim.Reading, truthPos geom.Vec3, truthAlpha float64) error {
+	obs, _, _, err := s.observe(readings)
+	if err != nil {
+		return err
+	}
+	obs = s.antennaCal.Apply(obs)
+	dev := s.devicePhases(obs, truthPos, truthAlpha)
+	// Fit the per-tag line on the unwrapped usable channels.
+	var freqs, phases []float64
+	chs := rf.Channels()
+	for ch, v := range dev {
+		if !math.IsNaN(v) {
+			freqs = append(freqs, chs[ch])
+			phases = append(phases, v)
+		}
+	}
+	if len(freqs) < 10 {
+		return fmt.Errorf("rfprism: tag calibration has only %d usable channels", len(freqs))
+	}
+	phases = mathx.Unwrap(phases)
+	line, err := fit.FitLineRobust(freqs, phases, nil, s.robust)
+	if err != nil {
+		return fmt.Errorf("rfprism: tag calibration fit: %w", err)
+	}
+	s.tagCals[epc] = TagCal{EPC: epc, Kd: line.K, Bd0: mathx.Wrap2Pi(line.B0), PerChannel: dev}
+	return nil
+}
+
+// AntennaCalibration returns the current antenna correction (§IV-C);
+// baselines consuming the same windows reuse it.
+func (s *System) AntennaCalibration() core.AntennaCal { return s.antennaCal }
+
+// TagCalibration returns the stored calibration for a tag.
+func (s *System) TagCalibration(epc string) (TagCal, bool) {
+	c, ok := s.tagCals[epc]
+	return c, ok
+}
+
+// devicePhases computes the per-channel device phase (wrapped): the
+// observed phase minus the propagation and orientation components at
+// the given tag state, circularly averaged across antennas.
+func (s *System) devicePhases(obs []core.Observation, pos geom.Vec3, alpha float64) []float64 {
+	w := rf.TagPolarization2D(alpha)
+	sums := make([]complex128, rf.NumChannels)
+	for _, o := range obs {
+		d := o.Pos.Dist(pos)
+		orient := rf.OrientationPhase(o.Frame, w)
+		for j, f := range o.Freqs {
+			ch := int(math.Round((f - rf.FirstChannelHz) / rf.ChannelSpacingHz))
+			if ch < 0 || ch >= rf.NumChannels {
+				continue
+			}
+			dev := o.Phases[j] - rf.PropagationPhase(d, f) - orient
+			sums[ch] += complex(math.Cos(dev), math.Sin(dev))
+		}
+	}
+	out := make([]float64, rf.NumChannels)
+	for ch := range out {
+		if sums[ch] == 0 {
+			out[ch] = math.NaN()
+			continue
+		}
+		out[ch] = mathx.Wrap2Pi(math.Atan2(imag(sums[ch]), real(sums[ch])))
+	}
+	return out
+}
+
+// FeatureDim is the dimensionality of the material feature vector
+// F = (k_t, b_t, θmaterial(f₁)...θmaterial(f₅₀)) — Eq. (9).
+const FeatureDim = 2 + rf.NumChannels
+
+// MaterialFeatures extracts the 52-dimensional material feature
+// vector of Eq. (9) from a processed window, compensating the per-tag
+// device diversity with the stored calibration. The per-channel terms
+// are the frequency-selective residuals of θmaterial(f) after
+// removing the window's own fitted line: the paper uses the raw
+// θdevice(f) − θdevice0(f) differences, but those carry the window's
+// position-estimate error as a common-mode offset (38 rad/m at f₀);
+// the line-residual form keeps exactly the frequency-selective
+// information Eq. (9) adds while being immune to that error (see
+// DESIGN.md §2).
+func (s *System) MaterialFeatures(epc string, res *Result) ([]float64, error) {
+	cal, ok := s.tagCals[epc]
+	if !ok {
+		return nil, fmt.Errorf("rfprism: tag %q has no calibration", epc)
+	}
+	obs, _, _, err := s.resultObservations(res)
+	if err != nil {
+		return nil, err
+	}
+	est := res.Estimate
+	dev := s.devicePhases(obs, est.Pos, est.Alpha)
+
+	ktFeat := est.Kt - cal.Kd
+	btFeat := mathx.Wrap2Pi(est.Bt0 - cal.Bd0)
+	features := make([]float64, FeatureDim)
+	features[0] = ktFeat
+	features[1] = btFeat
+	chs := rf.Channels()
+	for ch := 0; ch < rf.NumChannels; ch++ {
+		if math.IsNaN(dev[ch]) || math.IsNaN(cal.PerChannel[ch]) {
+			features[2+ch] = 0
+			continue
+		}
+		mat := mathx.WrapPi(dev[ch] - cal.PerChannel[ch] - ktFeat*(chs[ch]-rf.CenterFrequencyHz) - btFeat)
+		features[2+ch] = mat
+	}
+	return features, nil
+}
+
+// resultObservations rebuilds calibrated observations from a stored
+// result's spectra (used by feature extraction, which needs the
+// per-channel phases).
+func (s *System) resultObservations(res *Result) ([]core.Observation, []fit.LinearityReport, []preprocess.Spectrum, error) {
+	obs := make([]core.Observation, 0, len(s.antennas))
+	for i, ant := range s.antennas {
+		if i >= len(res.Spectra) || i >= len(res.Lines) {
+			return nil, nil, nil, fmt.Errorf("rfprism: result missing spectra for antenna %d", ant.ID)
+		}
+		sp := res.Spectra[i]
+		freqs, phases := sp.Freqs(), sp.Phases()
+		usedF, usedP := usedSamples(res.Lines[i], freqs, phases)
+		obs = append(obs, core.Observation{
+			ID:     ant.ID,
+			Pos:    ant.Pos,
+			Frame:  geom.NewFrame(ant.Boresight),
+			Line:   res.Lines[i],
+			Freqs:  usedF,
+			Phases: usedP,
+		})
+	}
+	// Lines in a Result are already calibrated, but the spectra are
+	// raw: re-apply the per-channel part of the antenna correction.
+	calObs := make([]core.Observation, len(obs))
+	copy(calObs, obs)
+	for i := range calObs {
+		dk := s.antennaCal.DK[calObs[i].ID]
+		db := s.antennaCal.DB[calObs[i].ID]
+		if dk == 0 && db == 0 {
+			continue
+		}
+		ph := make([]float64, len(calObs[i].Phases))
+		for j, p := range calObs[i].Phases {
+			ph[j] = p - dk*(calObs[i].Freqs[j]-rf.CenterFrequencyHz) - db
+		}
+		calObs[i].Phases = ph
+	}
+	return calObs, nil, nil, nil
+}

@@ -1,0 +1,59 @@
+package rfprism
+
+import (
+	"math/rand"
+	"testing"
+
+	"rfprism/internal/core"
+	"rfprism/internal/geom"
+	"rfprism/internal/mathx"
+	"rfprism/internal/rf"
+	"rfprism/internal/sim"
+)
+
+// TestSystem3DWithCalibration is the 3D-mode regression: random
+// hardware offsets, full calibration path, one representative state.
+func TestSystem3DWithCalibration(t *testing.T) {
+	hwRng := rand.New(rand.NewSource(41))
+	scene, _ := sim.NewScene(sim.PaperAntennas3D(hwRng), rf.CleanSpace(), sim.DefaultConfig(), 42)
+	bounds := Bounds2D(sim.PaperRegion())
+	bounds.ZMin, bounds.ZMax = 0, 0.8
+	sys, _ := NewSystem(DeploymentFromSim(scene.Antennas), bounds, WithMode3D())
+	tag := scene.NewTag("t")
+	none, _ := rf.MaterialByName("none")
+	calPos := geom.Vec3{X: 1.0, Y: 1.5}
+	var calWin []sim.Reading
+	for i := 0; i < 5; i++ {
+		calWin = append(calWin, scene.CollectWindow(tag, scene.Place(calPos, 0, none))...)
+	}
+	if err := sys.CalibrateAntennas(calWin, calPos, 0); err != nil {
+		t.Fatal(err)
+	}
+	// The calibration must recover each port's hidden hardware slope
+	// (plus the calibration tag's own diversity) to within the fit
+	// noise.
+	cal := sys.AntennaCalibration()
+	for id := 0; id < 4; id++ {
+		truthK := scene.Antennas[id].HardwareOffset.Kd + tag.Diversity.Kd
+		if err := cal.DK[id] - truthK; err > 1e-9 || err < -1e-9 {
+			t.Errorf("antenna %d: recovered DK %.3e vs hidden %.3e", id, cal.DK[id], truthK)
+		}
+	}
+	truth := geom.Vec3{X: 1.0, Y: 1.4, Z: 0.2}
+	az, el := mathx.Rad(40), mathx.Rad(25)
+	pl := sim.Static{Pos: truth, Polarization: rf.TagPolarization3D(az, el), Material: none, Attach: rf.Attach(none, rf.AttachmentJitter{}, nil)}
+	res, err := sys.ProcessWindow(scene.CollectWindow(tag, pl))
+	if err != nil {
+		t.Fatal(err)
+	}
+	est := res.Estimate
+	posErr := est.Pos.Dist(truth)
+	polErr := mathx.Deg(core.PolarizationError(est.Azimuth, est.Elevation, az, el))
+	t.Logf("3D: posErr %.1f cm, polErr %.1f deg, cost %.3g", 100*posErr, polErr, est.Cost)
+	if posErr > 0.12 {
+		t.Errorf("3D position error %.1f cm too large", 100*posErr)
+	}
+	if polErr > 45 {
+		t.Errorf("3D polarization error %.1f deg too large", polErr)
+	}
+}

@@ -1,0 +1,198 @@
+package rfprism
+
+import (
+	"encoding/json"
+	"errors"
+	"math"
+	"testing"
+
+	"rfprism/internal/geom"
+	"rfprism/internal/mathx"
+	"rfprism/internal/rf"
+	"rfprism/internal/sim"
+)
+
+func TestNewSystemValidation(t *testing.T) {
+	ants := DeploymentFromSim(sim.PaperAntennas2D(nil))
+	if _, err := NewSystem(ants[:2], Bounds2D(sim.PaperRegion())); err == nil {
+		t.Fatal("2 antennas must error in 2D mode")
+	}
+	if _, err := NewSystem(ants, Bounds2D(sim.PaperRegion()), WithMode3D()); err == nil {
+		t.Fatal("3 antennas must error in 3D mode")
+	}
+	if _, err := NewSystem(ants, Bounds2D(sim.PaperRegion())); err != nil {
+		t.Fatalf("valid 2D system: %v", err)
+	}
+}
+
+func TestProcessWindowEmptyInput(t *testing.T) {
+	_, sys := newTestScene(t, rf.CleanSpace(), 3)
+	if _, err := sys.ProcessWindow(nil); err == nil {
+		t.Fatal("empty window must error")
+	}
+}
+
+func TestProcessWindowRejectsMovingTag(t *testing.T) {
+	scene, sys := newTestScene(t, rf.CleanSpace(), 4)
+	tag := scene.NewTag("mv")
+	none, err := rf.MaterialByName("none")
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := scene.Place(geom.Vec3{X: 0.5, Y: 1.0}, 0, none)
+	motion := sim.LinearMotion{Start: sim.Placement(start), Velocity: geom.Vec3{X: 0.25}}
+	_, err = sys.ProcessWindow(scene.CollectWindow(tag, motion))
+	if !errors.Is(err, ErrWindowRejected) {
+		t.Fatalf("want ErrWindowRejected, got %v", err)
+	}
+}
+
+func TestProcessWindowWithoutDetectorAcceptsMovingTag(t *testing.T) {
+	scene, err := sim.NewScene(sim.PaperAntennas2D(nil), rf.CleanSpace(), sim.DefaultConfig(), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := NewSystem(DeploymentFromSim(scene.Antennas), Bounds2D(sim.PaperRegion()),
+		WithoutErrorDetector())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tag := scene.NewTag("mv")
+	none, err := rf.MaterialByName("none")
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := scene.Place(geom.Vec3{X: 0.5, Y: 1.0}, 0, none)
+	motion := sim.LinearMotion{Start: sim.Placement(start), Velocity: geom.Vec3{X: 0.25}}
+	if _, err := sys.ProcessWindow(scene.CollectWindow(tag, motion)); err != nil {
+		t.Fatalf("detector disabled but window rejected: %v", err)
+	}
+}
+
+func TestMaterialFeaturesRequireCalibration(t *testing.T) {
+	scene, sys := newTestScene(t, rf.CleanSpace(), 6)
+	tag := scene.NewTag("m")
+	water, err := rf.MaterialByName("water")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sys.ProcessWindow(scene.CollectWindow(tag, scene.Place(geom.Vec3{X: 1, Y: 1.4}, 0, water)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.MaterialFeatures(tag.EPC, res); err == nil {
+		t.Fatal("features without tag calibration must error")
+	}
+}
+
+func TestMaterialFeaturesSeparateMaterials(t *testing.T) {
+	scene, sys := newTestScene(t, rf.CleanSpace(), 7)
+	tag := scene.NewTag("m")
+	none, err := rf.MaterialByName("none")
+	if err != nil {
+		t.Fatal(err)
+	}
+	calPos := geom.Vec3{X: 1.0, Y: 1.5}
+	var calWin, tagWin []sim.Reading
+	for i := 0; i < 3; i++ {
+		pl := scene.Place(calPos, 0, none)
+		calWin = append(calWin, scene.CollectWindow(tag, pl)...)
+		tagWin = append(tagWin, scene.CollectWindow(tag, pl)...)
+	}
+	if err := sys.CalibrateAntennas(calWin, calPos, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.CalibrateTag(tag.EPC, tagWin, calPos, 0); err != nil {
+		t.Fatal(err)
+	}
+	featFor := func(name string) []float64 {
+		m, err := rf.MaterialByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := sys.ProcessWindow(scene.CollectWindow(tag, scene.Place(geom.Vec3{X: 0.9, Y: 1.2}, 0, m)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		f, err := sys.MaterialFeatures(tag.EPC, res)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(f) != FeatureDim {
+			t.Fatalf("feature dim %d, want %d", len(f), FeatureDim)
+		}
+		return f
+	}
+	wood := featFor("wood")
+	water := featFor("water")
+	bare := featFor("none")
+	// The bt feature (index 1) must separate wood from water far more
+	// than bare-tag noise.
+	bareBt := math.Abs(mathx.WrapPi(bare[1]))
+	sep := math.Abs(mathx.WrapPi(wood[1] - water[1]))
+	if sep < 5*bareBt && sep < 1.0 {
+		t.Fatalf("wood-water bt separation %.3f vs bare noise %.3f", sep, bareBt)
+	}
+	// Bare tag features must be near zero (the calibration removed
+	// the tag's own line).
+	if bareBt > 0.3 {
+		t.Fatalf("bare-tag bt feature %.3f, want ~0", bareBt)
+	}
+}
+
+func TestTagCalibrationStored(t *testing.T) {
+	scene, sys := newTestScene(t, rf.CleanSpace(), 8)
+	tag := scene.NewTag("store")
+	none, err := rf.MaterialByName("none")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := sys.TagCalibration(tag.EPC); ok {
+		t.Fatal("calibration present before CalibrateTag")
+	}
+	calPos := geom.Vec3{X: 1.0, Y: 1.5}
+	win := scene.CollectWindow(tag, scene.Place(calPos, 0, none))
+	if err := sys.CalibrateTag(tag.EPC, win, calPos, 0); err != nil {
+		t.Fatal(err)
+	}
+	cal, ok := sys.TagCalibration(tag.EPC)
+	if !ok || cal.EPC != tag.EPC || len(cal.PerChannel) != rf.NumChannels {
+		t.Fatalf("stored calibration: %+v ok=%v", cal, ok)
+	}
+}
+
+func TestReadingJSONRoundTrip(t *testing.T) {
+	// The trace format of cmd/rfprism-sim must survive a round trip.
+	in := sim.Reading{Antenna: 2, Channel: 17, FreqHz: 911.25e6, Phase: 1.234, RSSI: -55.5, T: 1234567}
+	data, err := json.Marshal(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out sim.Reading
+	if err := json.Unmarshal(data, &out); err != nil {
+		t.Fatal(err)
+	}
+	if in != out {
+		t.Fatalf("round trip: %+v vs %+v", in, out)
+	}
+}
+
+func TestDeploymentFromSim(t *testing.T) {
+	ants := sim.PaperAntennas2D(nil)
+	dep := DeploymentFromSim(ants)
+	if len(dep) != len(ants) {
+		t.Fatal("length mismatch")
+	}
+	for i := range dep {
+		if dep[i].ID != ants[i].ID || dep[i].Pos != ants[i].Pos || dep[i].Boresight != ants[i].Boresight {
+			t.Fatalf("antenna %d geometry mismatch", i)
+		}
+	}
+}
+
+func TestBounds2D(t *testing.T) {
+	b := Bounds2D(sim.PaperRegion())
+	if b.XMin != 0 || b.XMax != 2 || b.YMin != 0.5 || b.YMax != 2.5 {
+		t.Fatalf("Bounds2D = %+v", b)
+	}
+}

@@ -1,0 +1,73 @@
+// Opt-in calibration diagnostic (RFPRISM_TUNE=1): sweeps the 25 grid
+// positions and reports localization/orientation statistics — the tool
+// used to tune the simulator noise model against the paper's numbers.
+package rfprism
+
+import (
+	"fmt"
+	"math"
+	"os"
+	"testing"
+
+	"rfprism/internal/geom"
+	"rfprism/internal/mathx"
+	"rfprism/internal/rf"
+	"rfprism/internal/sim"
+)
+
+// TestTuneAccuracy sweeps random placements and reports mean errors.
+// It is a slow calibration diagnostic; run with RFPRISM_TUNE=1.
+func TestTuneAccuracy(t *testing.T) {
+	if os.Getenv("RFPRISM_TUNE") == "" {
+		t.Skip("set RFPRISM_TUNE=1 to run the tuning sweep")
+	}
+	seed := int64(42)
+	if v := os.Getenv("RFPRISM_SEED"); v != "" {
+		fmt.Sscanf(v, "%d", &seed)
+	}
+	scene, sys := newTestScene(t, rf.CleanSpace(), seed)
+	tag := scene.NewTag("tune")
+	none, _ := rf.MaterialByName("none")
+
+	if os.Getenv("RFPRISM_NOCAL") == "" {
+		calPos := geom.Vec3{X: 1.0, Y: 1.5}
+		pl := scene.Place(calPos, 0, none)
+		var calWin []sim.Reading
+		for k := 0; k < 5; k++ {
+			calWin = append(calWin, scene.CollectWindow(tag, pl)...)
+		}
+		if err := sys.CalibrateAntennas(calWin, calPos, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	region := sim.PaperRegion()
+	pts := region.GridPoints(5, 5)
+	var locErrs, orientErrs []float64
+	rejected := 0
+	for i, p := range pts {
+		alpha := mathx.Rad(float64((i * 30) % 180))
+		res, err := sys.ProcessWindow(scene.CollectWindow(tag, scene.Place(p, alpha, none)))
+		if err != nil {
+			rejected++
+			continue
+		}
+		est := res.Estimate
+		le := math.Hypot(est.Pos.X-p.X, est.Pos.Y-p.Y)
+		oe := math.Abs(mathx.AngDiffPeriod(est.Alpha, alpha, math.Pi))
+		t.Logf("pt (%.2f,%.2f) a=%3.0f°: loc %.1fcm orient %.1f° cost %.3g",
+			p.X, p.Y, mathx.Deg(alpha), le*100, mathx.Deg(oe), est.Cost)
+		locErrs = append(locErrs, le)
+		orientErrs = append(orientErrs, oe)
+	}
+	t.Logf("n=%d rejected=%d", len(locErrs), rejected)
+	t.Logf("loc: mean %.1fcm p50 %.1fcm p90 %.1fcm max %.1fcm",
+		mathx.Mean(locErrs)*100, mathx.Median(locErrs)*100,
+		mathx.Percentile(locErrs, 90)*100, mathx.Percentile(locErrs, 100)*100)
+	var degs []float64
+	for _, o := range orientErrs {
+		degs = append(degs, mathx.Deg(o))
+	}
+	t.Logf("orient: mean %.1f° p50 %.1f° p90 %.1f°",
+		mathx.Mean(degs), mathx.Median(degs), mathx.Percentile(degs, 90))
+}
