@@ -1,0 +1,138 @@
+package rfprism
+
+import (
+	"context"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"rfprism/internal/sim"
+)
+
+// Window is one hop round of raw readings queued for batch
+// processing. Tag optionally carries a caller-side identifier (e.g.
+// the EPC) that is echoed back in the WindowResult.
+type Window struct {
+	Tag      string
+	Readings []sim.Reading
+}
+
+// WindowResult is the outcome of one batched window. Exactly one of
+// Result/Err is set: a window the error detector rejects carries
+// ErrWindowRejected (wrapped) in Err without affecting its neighbors.
+type WindowResult struct {
+	// Index is the window's position in the input batch (or arrival
+	// order for ProcessStream).
+	Index  int
+	Tag    string
+	Result *Result
+	Err    error
+}
+
+// WithParallelism bounds the worker count of ProcessWindows and
+// ProcessStream: 0 (the default) uses GOMAXPROCS, 1 forces serial
+// processing.
+func WithParallelism(n int) Option {
+	return func(s *System) { s.parallelism = n }
+}
+
+func (s *System) workers() int {
+	if s.parallelism > 0 {
+		return s.parallelism
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// ProcessWindows runs ProcessWindow over every window of the batch on
+// a bounded worker pool and returns one WindowResult per input, in
+// input order. Windows are independent, so failures are captured
+// per-window: a rejected or malformed window does not fail the batch.
+// When ctx is cancelled, windows not yet started complete immediately
+// with Err = ctx.Err(); windows already in flight finish normally.
+//
+// The System must not be recalibrated concurrently with a batch.
+func (s *System) ProcessWindows(ctx context.Context, windows []Window) []WindowResult {
+	out := make([]WindowResult, len(windows))
+	workers := s.workers()
+	if workers > len(windows) {
+		workers = len(windows)
+	}
+	if workers <= 1 {
+		for i, w := range windows {
+			out[i] = s.processOne(ctx, i, w)
+		}
+		return out
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for k := 0; k < workers; k++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(windows) {
+					return
+				}
+				out[i] = s.processOne(ctx, i, windows[i])
+			}
+		}()
+	}
+	wg.Wait()
+	return out
+}
+
+func (s *System) processOne(ctx context.Context, i int, w Window) WindowResult {
+	if err := ctx.Err(); err != nil {
+		return WindowResult{Index: i, Tag: w.Tag, Err: err}
+	}
+	res, err := s.ProcessWindow(w.Readings)
+	return WindowResult{Index: i, Tag: w.Tag, Result: res, Err: err}
+}
+
+// ProcessStream processes windows as they arrive on in, emitting one
+// WindowResult per window on the returned channel in arrival order
+// (later windows may finish solving first; emission is reordered).
+// At most the configured parallelism windows are in flight at once.
+// The output channel closes after the last result once in closes, or
+// early when ctx is cancelled — remaining queued windows are then
+// drained and reported with Err = ctx.Err().
+func (s *System) ProcessStream(ctx context.Context, in <-chan Window) <-chan WindowResult {
+	out := make(chan WindowResult)
+	workers := s.workers()
+	sem := make(chan struct{}, workers)
+	// pending carries one single-use result slot per window, in
+	// arrival order; the emitter drains it in the same order, which
+	// makes the output order-preserving regardless of solve timing.
+	pending := make(chan chan WindowResult, workers)
+	go func() {
+		defer close(pending)
+		idx := 0
+		for w := range in {
+			slot := make(chan WindowResult, 1)
+			pending <- slot
+			sem <- struct{}{}
+			go func(i int, w Window) {
+				defer func() { <-sem }()
+				slot <- s.processOne(ctx, i, w)
+			}(idx, w)
+			idx++
+		}
+	}()
+	go func() {
+		defer close(out)
+		for slot := range pending {
+			r := <-slot
+			select {
+			case out <- r:
+			case <-ctx.Done():
+				// Receiver gone: drain remaining slots so the
+				// dispatcher and workers can exit.
+				for range pending {
+				}
+				return
+			}
+		}
+	}()
+	return out
+}

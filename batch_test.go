@@ -1,0 +1,181 @@
+package rfprism
+
+import (
+	"context"
+	"errors"
+	"math"
+	"testing"
+
+	"rfprism/internal/geom"
+	"rfprism/internal/rf"
+	"rfprism/internal/sim"
+)
+
+// collectBatchWindows builds a deterministic mixed batch: several
+// clean windows at distinct poses plus one corrupted window (index 2)
+// that the error detector must reject.
+func collectBatchWindows(t *testing.T, scene *sim.Scene, tag sim.Tag) []Window {
+	t.Helper()
+	none, err := rf.MaterialByName("none")
+	if err != nil {
+		t.Fatal(err)
+	}
+	poses := []struct {
+		pos   geom.Vec3
+		alpha float64
+	}{
+		{geom.Vec3{X: 0.7, Y: 1.2}, 0.5},
+		{geom.Vec3{X: 1.3, Y: 1.8}, 1.1},
+		{geom.Vec3{X: 1.0, Y: 1.5}, 0.0}, // corrupted below
+		{geom.Vec3{X: 0.5, Y: 2.0}, 2.0},
+		{geom.Vec3{X: 1.6, Y: 1.1}, 0.9},
+		{geom.Vec3{X: 0.9, Y: 2.3}, 1.7},
+	}
+	wins := make([]Window, len(poses))
+	for i, p := range poses {
+		readings := scene.CollectWindow(tag, scene.Place(p.pos, p.alpha, none))
+		if i == 2 {
+			// Deterministically scramble the phases: a tag that moved
+			// mid-window leaves no phase-frequency line to fit.
+			for j := range readings {
+				readings[j].Phase = math.Mod(readings[j].Phase+3*math.Sin(float64(j)*12.9898)+7, 2*math.Pi)
+			}
+		}
+		wins[i] = Window{Tag: "batch-tag", Readings: readings}
+	}
+	return wins
+}
+
+// TestProcessWindowsMatchesSerial: the batch API must preserve input
+// order, produce bit-identical estimates to per-window serial calls,
+// and capture the rejected window's error without failing the batch.
+func TestProcessWindowsMatchesSerial(t *testing.T) {
+	scene, sys := newTestScene(t, rf.CleanSpace(), 77)
+	tag := scene.NewTag("batch")
+	wins := collectBatchWindows(t, scene, tag)
+
+	results := sys.ProcessWindows(context.Background(), wins)
+	if len(results) != len(wins) {
+		t.Fatalf("got %d results for %d windows", len(results), len(wins))
+	}
+	for i, r := range results {
+		if r.Index != i {
+			t.Errorf("result %d carries index %d", i, r.Index)
+		}
+		if r.Tag != "batch-tag" {
+			t.Errorf("result %d lost its tag: %q", i, r.Tag)
+		}
+		serialRes, serialErr := sys.ProcessWindow(wins[i].Readings)
+		if i == 2 {
+			if !errors.Is(r.Err, ErrWindowRejected) {
+				t.Errorf("corrupted window: want ErrWindowRejected, got %v", r.Err)
+			}
+			if serialErr == nil {
+				t.Errorf("serial path accepted the corrupted window")
+			}
+			continue
+		}
+		if r.Err != nil {
+			t.Errorf("window %d: unexpected error %v", i, r.Err)
+			continue
+		}
+		if serialErr != nil {
+			t.Fatalf("serial window %d: %v", i, serialErr)
+		}
+		if r.Result.Estimate != serialRes.Estimate {
+			t.Errorf("window %d: batch and serial estimates differ:\n%+v\n%+v",
+				i, r.Result.Estimate, serialRes.Estimate)
+		}
+	}
+}
+
+// TestProcessWindowsParallelismInvariant: worker count must not
+// change results.
+func TestProcessWindowsParallelismInvariant(t *testing.T) {
+	scene, err := sim.NewScene(sim.PaperAntennas2D(nil), rf.CleanSpace(), sim.DefaultConfig(), 78)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mkSys := func(par int) *System {
+		sys, err := NewSystem(DeploymentFromSim(scene.Antennas), Bounds2D(sim.PaperRegion()), WithParallelism(par))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return sys
+	}
+	tag := scene.NewTag("batch-par")
+	wins := collectBatchWindows(t, scene, tag)
+	serial := mkSys(1).ProcessWindows(context.Background(), wins)
+	parallel := mkSys(4).ProcessWindows(context.Background(), wins)
+	for i := range wins {
+		if (serial[i].Err == nil) != (parallel[i].Err == nil) {
+			t.Fatalf("window %d: error mismatch: %v vs %v", i, serial[i].Err, parallel[i].Err)
+		}
+		if serial[i].Err == nil && serial[i].Result.Estimate != parallel[i].Result.Estimate {
+			t.Errorf("window %d: estimates differ across parallelism", i)
+		}
+	}
+}
+
+// TestProcessWindowsCancelled: a cancelled context fails fast with
+// per-window context errors instead of hanging or panicking.
+func TestProcessWindowsCancelled(t *testing.T) {
+	scene, sys := newTestScene(t, rf.CleanSpace(), 79)
+	tag := scene.NewTag("batch-cancel")
+	wins := collectBatchWindows(t, scene, tag)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	results := sys.ProcessWindows(ctx, wins)
+	if len(results) != len(wins) {
+		t.Fatalf("got %d results for %d windows", len(results), len(wins))
+	}
+	for i, r := range results {
+		if !errors.Is(r.Err, context.Canceled) {
+			t.Errorf("window %d: want context.Canceled, got %v", i, r.Err)
+		}
+	}
+}
+
+// TestProcessWindowsEmpty: an empty batch is a no-op, not a hang.
+func TestProcessWindowsEmpty(t *testing.T) {
+	_, sys := newTestScene(t, rf.CleanSpace(), 80)
+	if got := sys.ProcessWindows(context.Background(), nil); len(got) != 0 {
+		t.Fatalf("empty batch returned %d results", len(got))
+	}
+}
+
+// TestProcessStreamPreservesOrder: results come out in arrival order
+// with sequential indices even though solves overlap, and the output
+// channel closes after the input does.
+func TestProcessStreamPreservesOrder(t *testing.T) {
+	scene, sys := newTestScene(t, rf.CleanSpace(), 81)
+	tag := scene.NewTag("batch-stream")
+	wins := collectBatchWindows(t, scene, tag)
+
+	in := make(chan Window)
+	go func() {
+		defer close(in)
+		for _, w := range wins {
+			in <- w
+		}
+	}()
+	var results []WindowResult
+	for r := range sys.ProcessStream(context.Background(), in) {
+		results = append(results, r)
+	}
+	if len(results) != len(wins) {
+		t.Fatalf("got %d results for %d windows", len(results), len(wins))
+	}
+	for i, r := range results {
+		if r.Index != i {
+			t.Fatalf("stream emitted index %d at position %d", r.Index, i)
+		}
+		if i == 2 {
+			if !errors.Is(r.Err, ErrWindowRejected) {
+				t.Errorf("corrupted window: want ErrWindowRejected, got %v", r.Err)
+			}
+		} else if r.Err != nil {
+			t.Errorf("window %d: unexpected error %v", i, r.Err)
+		}
+	}
+}

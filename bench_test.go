@@ -27,6 +27,7 @@ func benchCfg(seed int64) exp.Config {
 // frequency slope at three distances. Metric: slope error vs the
 // analytic 4πd/c at 2.5 m, in percent.
 func BenchmarkFig04PropagationSlope(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		r, err := exp.RunFig4(benchCfg(100 + int64(i)))
 		if err != nil {
@@ -46,6 +47,7 @@ func BenchmarkFig04PropagationSlope(b *testing.B) {
 // tag shifts the intercept, not the slope. Metric: max slope change
 // across rotations in percent (paper: identical slopes).
 func BenchmarkFig05OrientationIntercept(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		r, err := exp.RunFig5(benchCfg(200 + int64(i)))
 		if err != nil {
@@ -70,6 +72,7 @@ func BenchmarkFig05OrientationIntercept(b *testing.B) {
 // slopes at a fixed distance. Metric: glass-vs-wood slope difference
 // in rad/MHz (must be clearly nonzero).
 func BenchmarkFig06MaterialSlope(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		r, err := exp.RunFig6(benchCfg(300 + int64(i)))
 		if err != nil {
@@ -83,6 +86,7 @@ func BenchmarkFig06MaterialSlope(b *testing.B) {
 // BenchmarkFig08Localization regenerates Fig. 8 (reduced): mean
 // localization error across orientations. Paper: 7.61 cm.
 func BenchmarkFig08Localization(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		c, err := exp.RunLocCampaign(benchCfg(400+int64(i)), 1, 0)
 		if err != nil {
@@ -95,6 +99,7 @@ func BenchmarkFig08Localization(b *testing.B) {
 // BenchmarkFig09Orientation regenerates Fig. 9 (reduced): mean
 // orientation error. Paper: 9.83°.
 func BenchmarkFig09Orientation(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		c, err := exp.RunLocCampaign(benchCfg(500+int64(i)), 1, 0)
 		if err != nil {
@@ -110,6 +115,7 @@ var benchMatSpec = exp.MatSpec{FixedTrials: 10, MovedTrials0: 16, MovedTrials90:
 // BenchmarkFig10MaterialAccuracy regenerates Fig. 10 (reduced):
 // decision-tree material identification accuracy. Paper: 87.9%.
 func BenchmarkFig10MaterialAccuracy(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		c, err := exp.RunMatCampaign(benchCfg(600+int64(i)), benchMatSpec)
 		if err != nil {
@@ -126,6 +132,7 @@ func BenchmarkFig10MaterialAccuracy(b *testing.B) {
 // BenchmarkFig11Confusion regenerates Fig. 11 (reduced): worst
 // per-class recall of the confusion matrix. Paper: ≥85% every class.
 func BenchmarkFig11Confusion(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		c, err := exp.RunMatCampaign(benchCfg(700+int64(i)), benchMatSpec)
 		if err != nil {
@@ -149,6 +156,7 @@ func BenchmarkFig11Confusion(b *testing.B) {
 // localization penalty of multipath without suppression. Paper:
 // 7.61 → 14.82 cm.
 func BenchmarkFig12Multipath(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		r, err := exp.RunFig12(benchCfg(800+int64(i)), 1,
 			exp.MatSpec{MovedTrials0: 8, MovedTrials90: 4})
@@ -164,6 +172,7 @@ func BenchmarkFig12Multipath(b *testing.B) {
 // BenchmarkFig13Classifiers regenerates Fig. 13 (reduced): the three
 // classifiers on the same features. Paper: 75.6 / 83.5 / 87.9%.
 func BenchmarkFig13Classifiers(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		c, err := exp.RunMatCampaign(benchCfg(900+int64(i)), benchMatSpec)
 		if err != nil {
@@ -183,6 +192,7 @@ func BenchmarkFig13Classifiers(b *testing.B) {
 // RF-Prism vs MobiTagbot mean error under the varying-everything
 // setup. Paper: 7.61 vs 24.94 cm.
 func BenchmarkFig14To16VsMobiTagbot(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		r, err := exp.RunCaseStudy1(benchCfg(1000+int64(i)), 1)
 		if err != nil {
@@ -207,6 +217,7 @@ func BenchmarkFig14To16VsMobiTagbot(b *testing.B) {
 // RF-Prism vs Tagtag overall accuracy with varying distance. Paper:
 // 88.0% vs 80.7%.
 func BenchmarkFig17To20VsTagtag(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		r, err := exp.RunCaseStudy2(benchCfg(1100+int64(i)),
 			exp.MatSpec{FixedTrials: 16, MovedTrials0: 12, MovedTrials90: 8})
@@ -221,6 +232,7 @@ func BenchmarkFig17To20VsTagtag(b *testing.B) {
 // BenchmarkLatencyPipeline regenerates the §VI-C latency table:
 // per-window processing time (paper: < 0.06 s on an i5-8600).
 func BenchmarkLatencyPipeline(b *testing.B) {
+	b.ReportAllocs()
 	scene, err := sim.NewScene(sim.PaperAntennas2D(nil), rf.CleanSpace(), sim.DefaultConfig(), 1)
 	if err != nil {
 		b.Fatal(err)
@@ -246,6 +258,7 @@ func BenchmarkLatencyPipeline(b *testing.B) {
 // BenchmarkLatencySolverOnly isolates the disentangler from the
 // preprocessing (ablation support for the latency table).
 func BenchmarkLatencySolverOnly(b *testing.B) {
+	b.ReportAllocs()
 	scene, err := sim.NewScene(sim.PaperAntennas2D(nil), rf.CleanSpace(), sim.DefaultConfig(), 2)
 	if err != nil {
 		b.Fatal(err)
@@ -284,6 +297,7 @@ func BenchmarkLatencySolverOnly(b *testing.B) {
 // equations buy (DESIGN.md §5): localization error with and without
 // the joint fine-phase stage.
 func BenchmarkAblationFinePhase(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		r, err := exp.RunAblations(benchCfg(1200+int64(i)), 1)
 		if err != nil {

@@ -1,0 +1,244 @@
+// Command rfprism-bench measures the disentangling pipeline's solver
+// latency and batch throughput at parallelism 1 vs GOMAXPROCS and
+// writes the result as JSON (default BENCH_solver.json), giving every
+// future performance PR a recorded trajectory to beat.
+//
+// Usage:
+//
+//	go run ./cmd/rfprism-bench [-out BENCH_solver.json] [-benchtime 1s]
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"rfprism"
+	"rfprism/internal/core"
+	"rfprism/internal/geom"
+	"rfprism/internal/rf"
+	"rfprism/internal/sim"
+)
+
+type benchRecord struct {
+	Name          string  `json:"name"`
+	Parallelism   int     `json:"parallelism"`
+	NsPerOp       int64   `json:"ns_per_op"`
+	AllocsPerOp   int64   `json:"allocs_per_op"`
+	BytesPerOp    int64   `json:"bytes_per_op"`
+	WindowsPerSec float64 `json:"windows_per_sec,omitempty"`
+}
+
+type benchReport struct {
+	Generated   string        `json:"generated"`
+	GoVersion   string        `json:"go_version"`
+	NumCPU      int           `json:"num_cpu"`
+	GoMaxProcs  int           `json:"go_max_procs"`
+	Benchtime   string        `json:"benchtime"`
+	Benchmarks  []benchRecord `json:"benchmarks"`
+	SpeedupNote string        `json:"speedup_note"`
+}
+
+func main() {
+	testing.Init()
+	out := flag.String("out", "BENCH_solver.json", "output JSON path")
+	benchtime := flag.Duration("benchtime", time.Second, "minimum measuring time per benchmark")
+	flag.Parse()
+	// testing.Benchmark honors the -test.benchtime flag value.
+	if err := flag.Lookup("test.benchtime").Value.Set(benchtime.String()); err != nil {
+		log.Fatal(err)
+	}
+
+	obs2d, bounds2d, err := fittedObs2D()
+	if err != nil {
+		log.Fatal(err)
+	}
+	obs3d, bounds3d, err := fittedObs3D()
+	if err != nil {
+		log.Fatal(err)
+	}
+	scene, wins, err := batchWindows()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	report := benchReport{
+		Generated:  time.Now().UTC().Format(time.RFC3339),
+		GoVersion:  runtime.Version(),
+		NumCPU:     runtime.NumCPU(),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		Benchtime:  benchtime.String(),
+		SpeedupNote: "parallel speedup requires a multi-core runner; " +
+			"on a single-core host the parallelism=N rows equal the serial rows",
+	}
+
+	pars := []int{1, runtime.GOMAXPROCS(0)}
+	if pars[1] == 1 {
+		// Still record an explicit parallel configuration so the
+		// worker-pool overhead is visible even on one core.
+		pars[1] = 2
+	}
+	for _, par := range pars {
+		par := par
+		r := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := core.Solve2D(obs2d, bounds2d, core.Options{Parallelism: par}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		report.Benchmarks = append(report.Benchmarks, record("Solve2D", par, r, 0))
+	}
+	for _, par := range pars {
+		par := par
+		r := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := core.Solve3D(obs3d, bounds3d, core.Options{Parallelism: par}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		report.Benchmarks = append(report.Benchmarks, record("Solve3D", par, r, 0))
+	}
+	for _, par := range pars {
+		par := par
+		sys, err := rfprism.NewSystem(rfprism.DeploymentFromSim(scene.Antennas),
+			rfprism.Bounds2D(sim.PaperRegion()), rfprism.WithParallelism(par))
+		if err != nil {
+			log.Fatal(err)
+		}
+		r := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				for _, res := range sys.ProcessWindows(context.Background(), wins) {
+					if res.Err != nil {
+						b.Fatal(res.Err)
+					}
+				}
+			}
+		})
+		report.Benchmarks = append(report.Benchmarks, record("ProcessWindowsBatch", par, r, len(wins)))
+	}
+
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		log.Fatal(err)
+	}
+	for _, b := range report.Benchmarks {
+		fmt.Printf("%-22s parallelism=%-2d %12d ns/op %8d allocs/op", b.Name, b.Parallelism, b.NsPerOp, b.AllocsPerOp)
+		if b.WindowsPerSec > 0 {
+			fmt.Printf(" %10.1f windows/sec", b.WindowsPerSec)
+		}
+		fmt.Println()
+	}
+	fmt.Printf("wrote %s\n", *out)
+}
+
+func record(name string, par int, r testing.BenchmarkResult, windows int) benchRecord {
+	rec := benchRecord{
+		Name:        name,
+		Parallelism: par,
+		NsPerOp:     r.NsPerOp(),
+		AllocsPerOp: r.AllocsPerOp(),
+		BytesPerOp:  r.AllocedBytesPerOp(),
+	}
+	if windows > 0 && r.T > 0 {
+		rec.WindowsPerSec = float64(windows) * float64(r.N) / r.T.Seconds()
+	}
+	return rec
+}
+
+// fittedObs2D runs one simulated window through the pipeline
+// front-end to obtain a realistic fitted observation set.
+func fittedObs2D() ([]core.Observation, core.Bounds, error) {
+	scene, err := sim.NewScene(sim.PaperAntennas2D(nil), rf.CleanSpace(), sim.DefaultConfig(), 11)
+	if err != nil {
+		return nil, core.Bounds{}, err
+	}
+	bounds := rfprism.Bounds2D(sim.PaperRegion())
+	sys, err := rfprism.NewSystem(rfprism.DeploymentFromSim(scene.Antennas), bounds)
+	if err != nil {
+		return nil, core.Bounds{}, err
+	}
+	none, err := rf.MaterialByName("none")
+	if err != nil {
+		return nil, core.Bounds{}, err
+	}
+	tag := scene.NewTag("bench2d")
+	res, err := sys.ProcessWindow(scene.CollectWindow(tag, scene.Place(geom.Vec3{X: 0.8, Y: 1.3}, 0.4, none)))
+	if err != nil {
+		return nil, core.Bounds{}, err
+	}
+	obs := make([]core.Observation, 0, len(scene.Antennas))
+	for i, ant := range scene.Antennas {
+		obs = append(obs, core.Observation{
+			ID: ant.ID, Pos: ant.Pos, Frame: ant.Frame(), Line: res.Lines[i],
+		})
+	}
+	return obs, bounds, nil
+}
+
+func fittedObs3D() ([]core.Observation, core.Bounds, error) {
+	scene, err := sim.NewScene(sim.PaperAntennas3D(nil), rf.CleanSpace(), sim.DefaultConfig(), 12)
+	if err != nil {
+		return nil, core.Bounds{}, err
+	}
+	bounds := rfprism.Bounds2D(sim.PaperRegion())
+	bounds.ZMin, bounds.ZMax = 0, 0.8
+	sys, err := rfprism.NewSystem(rfprism.DeploymentFromSim(scene.Antennas), bounds, rfprism.WithMode3D())
+	if err != nil {
+		return nil, core.Bounds{}, err
+	}
+	none, err := rf.MaterialByName("none")
+	if err != nil {
+		return nil, core.Bounds{}, err
+	}
+	tag := scene.NewTag("bench3d")
+	pl := sim.Static{
+		Pos:          geom.Vec3{X: 0.9, Y: 1.4, Z: 0.3},
+		Polarization: rf.TagPolarization3D(0.7, 0.3),
+		Material:     none,
+		Attach:       rf.Attach(none, rf.AttachmentJitter{}, nil),
+	}
+	res, err := sys.ProcessWindow(scene.CollectWindow(tag, pl))
+	if err != nil {
+		return nil, core.Bounds{}, err
+	}
+	obs := make([]core.Observation, 0, len(scene.Antennas))
+	for i, ant := range scene.Antennas {
+		obs = append(obs, core.Observation{
+			ID: ant.ID, Pos: ant.Pos, Frame: ant.Frame(), Line: res.Lines[i],
+		})
+	}
+	return obs, bounds, nil
+}
+
+func batchWindows() (*sim.Scene, []rfprism.Window, error) {
+	scene, err := sim.NewScene(sim.PaperAntennas2D(nil), rf.CleanSpace(), sim.DefaultConfig(), 13)
+	if err != nil {
+		return nil, nil, err
+	}
+	none, err := rf.MaterialByName("none")
+	if err != nil {
+		return nil, nil, err
+	}
+	tag := scene.NewTag("bench-batch")
+	wins := make([]rfprism.Window, 16)
+	for i := range wins {
+		pos := geom.Vec3{X: 0.4 + 0.08*float64(i), Y: 1.0 + 0.07*float64(i)}
+		wins[i] = rfprism.Window{Readings: scene.CollectWindow(tag, scene.Place(pos, 0.3, none))}
+	}
+	return scene, wins, nil
+}

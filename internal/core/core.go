@@ -102,6 +102,13 @@ type Options struct {
 	NoKtPrior bool
 	// KtPriorMean/KtPriorSigma override the default k_t prior.
 	KtPriorMean, KtPriorSigma float64
+	// Parallelism bounds the solver's worker count for the grid
+	// search and the joint multistart: 0 uses GOMAXPROCS, 1 forces
+	// the serial path. Parallel and serial runs produce bit-identical
+	// estimates (each start is an independent optimizer run and the
+	// reduction is deterministic: min cost, ties to the lowest start
+	// index).
+	Parallelism int
 }
 
 func (o *Options) defaults() {
@@ -132,6 +139,9 @@ type AntennaCal struct {
 }
 
 // Apply returns a copy of obs with the calibration subtracted.
+// Antennas whose corrections are both zero keep their phase slices
+// as-is (subtracting zero is a no-op), so fully-zero calibrations
+// allocate nothing beyond the observation copy.
 func (c AntennaCal) Apply(obs []Observation) []Observation {
 	if c.DK == nil && c.DB == nil {
 		return obs
@@ -139,12 +149,16 @@ func (c AntennaCal) Apply(obs []Observation) []Observation {
 	out := make([]Observation, len(obs))
 	copy(out, obs)
 	for i := range out {
-		out[i].Line.K -= c.DK[out[i].ID]
-		out[i].Line.B0 -= c.DB[out[i].ID]
+		dk, db := c.DK[out[i].ID], c.DB[out[i].ID]
+		if dk == 0 && db == 0 {
+			continue
+		}
+		out[i].Line.K -= dk
+		out[i].Line.B0 -= db
 		if len(out[i].Phases) > 0 {
 			ph := make([]float64, len(out[i].Phases))
 			for j, p := range out[i].Phases {
-				ph[j] = p - c.DK[out[i].ID]*(out[i].Freqs[j]-rf.CenterFrequencyHz) - c.DB[out[i].ID]
+				ph[j] = p - dk*(out[i].Freqs[j]-rf.CenterFrequencyHz) - db
 			}
 			out[i].Phases = ph
 		}
@@ -196,26 +210,32 @@ func (o Options) prior() ktPrior {
 }
 
 func slopeCost(obs []Observation, p geom.Vec3, prior ktPrior) (cost, kt float64) {
+	// Two passes over the (3–4) observations, recomputing the residual
+	// in the second: cheaper than heap-allocating scratch slices in
+	// what is the innermost loop of the grid search.
 	var sw, swe float64
-	es := make([]float64, len(obs))
-	ws := make([]float64, len(obs))
-	for i, o := range obs {
+	for _, o := range obs {
 		d := o.Pos.Dist(p)
 		e := o.Line.K - rf.PropagationSlope(d)
 		w := 1.0
 		if o.Line.SigmaK > 0 {
 			w = 1 / (o.Line.SigmaK * o.Line.SigmaK)
 		}
-		es[i], ws[i] = e, w
 		sw += w
 		swe += w * e
 	}
 	// The common offset k_t is profiled analytically, shrunk toward
 	// the physical prior when one is configured.
 	kt = (swe + prior.mean*prior.wp) / (sw + prior.wp)
-	for i := range es {
-		d := es[i] - kt
-		cost += ws[i] * d * d
+	for _, o := range obs {
+		d := o.Pos.Dist(p)
+		e := o.Line.K - rf.PropagationSlope(d)
+		w := 1.0
+		if o.Line.SigmaK > 0 {
+			w = 1 / (o.Line.SigmaK * o.Line.SigmaK)
+		}
+		r := e - kt
+		cost += w * r * r
 	}
 	dp := kt - prior.mean
 	cost += prior.wp * dp * dp
@@ -292,7 +312,7 @@ func Solve2D(obs []Observation, bounds Bounds, opts Options) (Estimate, error) {
 	opts.SigmaB = adaptiveSigmaB(obs, opts.SigmaB)
 
 	// Stage 1: wrap-free coarse position from the slopes alone.
-	posA := gridSearch2D(obs, bounds, opts.GridStep, opts.prior())
+	posA := gridSearch2D(obs, bounds, opts.GridStep, opts.prior(), opts.Parallelism)
 	posA = refinePos2D(obs, posA, bounds, opts.GridStep, opts.prior())
 
 	if opts.DisableFinePhase {
@@ -301,25 +321,32 @@ func Solve2D(obs []Observation, bounds Bounds, opts Options) (Estimate, error) {
 
 	// Stage 2: joint multistart over position offsets (to cover the
 	// λ/2 wrap basins around the coarse fix) and orientation starts.
-	best := Estimate{Cost: math.Inf(1)}
+	// Every start is an independent optimizer run, so the 294 starts
+	// fan out across the worker pool; the reduction keeps the
+	// lowest-cost candidate with ties broken toward the lowest start
+	// index, which is exactly what the serial scan produced.
+	starts := make([][]float64, 0, len(jointOffsets)*len(jointOffsets)*6)
 	for _, dx := range jointOffsets {
 		for _, dy := range jointOffsets {
 			x0 := clamp(posA.X+dx, bounds.XMin, bounds.XMax)
 			y0 := clamp(posA.Y+dy, bounds.YMin, bounds.YMax)
 			_, kt0 := slopeCost(obs, geom.Vec3{X: x0, Y: y0}, opts.prior())
+			// Profile bt0 at each start for a good basin entry; psi
+			// depends only on the position, so compute it once per
+			// offset rather than per orientation start.
+			psi := makePsi(obs, geom.Vec3{X: x0, Y: y0})
 			for a := 0; a < 6; a++ {
 				alpha0 := float64(a) * math.Pi / 6
-				// Profile bt0 at the start for a good basin entry.
-				psi := makePsi(obs, geom.Vec3{X: x0, Y: y0})
 				_, bt0 := orientCost(obs, psi, rf.TagPolarization2D(alpha0))
-				p0 := []float64{x0, y0, alpha0, kt0, bt0}
-				cand := runJoint2D(obs, p0, bounds, opts)
-				if cand.Cost < best.Cost {
-					best = cand
-				}
+				starts = append(starts, []float64{x0, y0, alpha0, kt0, bt0})
 			}
 		}
 	}
+	cands := make([]Estimate, len(starts))
+	parallelFor(len(starts), workerCount(opts.Parallelism, len(starts)), func(i int) {
+		cands[i] = runJoint2D(obs, starts[i], bounds, opts)
+	})
+	best := reduceMinCost(cands)
 	best = refineAlpha2D(obs, best, opts)
 	// Final fine simplex from the winning candidate: the coarse
 	// multistart runs are iteration-capped and can stall a few
@@ -338,13 +365,13 @@ func Solve2D(obs []Observation, bounds Bounds, opts Options) (Estimate, error) {
 // runJoint2DFine is a tighter, longer simplex pass around an
 // already-good candidate.
 func runJoint2DFine(obs []Observation, est Estimate, bounds Bounds, opts Options) Estimate {
+	q := make([]float64, 5)
+	prior := opts.prior()
 	obj := func(p []float64) float64 {
-		q := []float64{
-			clamp(p[0], bounds.XMin, bounds.XMax),
-			clamp(p[1], bounds.YMin, bounds.YMax),
-			p[2], p[3], p[4],
-		}
-		return jointCost2D(obs, q, opts.SigmaB, opts.prior())
+		q[0] = clamp(p[0], bounds.XMin, bounds.XMax)
+		q[1] = clamp(p[1], bounds.YMin, bounds.YMax)
+		q[2], q[3], q[4] = p[2], p[3], p[4]
+		return jointCost2D(obs, q, opts.SigmaB, prior)
 	}
 	p0 := []float64{est.Pos.X, est.Pos.Y, est.Alpha, est.Kt, est.Bt0}
 	p, cost := mathx.NelderMead(obj, p0, 0.004, 500)
@@ -423,15 +450,17 @@ func makePsi(obs []Observation, pos geom.Vec3) []float64 {
 }
 
 // runJoint2D runs a damped Nelder–Mead + LM refinement of the joint
-// objective from p0 and packages the result.
+// objective from p0 and packages the result. The clamp buffer q is
+// reused across the hundreds of objective evaluations of one start;
+// each start owns its buffer, so concurrent starts never share state.
 func runJoint2D(obs []Observation, p0 []float64, bounds Bounds, opts Options) Estimate {
+	q := make([]float64, 5)
+	prior := opts.prior()
 	obj := func(p []float64) float64 {
-		q := []float64{
-			clamp(p[0], bounds.XMin, bounds.XMax),
-			clamp(p[1], bounds.YMin, bounds.YMax),
-			p[2], p[3], p[4],
-		}
-		return jointCost2D(obs, q, opts.SigmaB, opts.prior())
+		q[0] = clamp(p[0], bounds.XMin, bounds.XMax)
+		q[1] = clamp(p[1], bounds.YMin, bounds.YMax)
+		q[2], q[3], q[4] = p[2], p[3], p[4]
+		return jointCost2D(obs, q, opts.SigmaB, prior)
 	}
 	p, cost := mathx.NelderMead(obj, p0, 0.02, 200)
 	return Estimate{
@@ -466,17 +495,45 @@ func solveDetached2D(obs []Observation, pos geom.Vec3, opts Options) Estimate {
 	}
 }
 
-// gridSearch2D scans the bounds for the minimum slope cost.
-func gridSearch2D(obs []Observation, bounds Bounds, step float64, prior ktPrior) geom.Vec3 {
+// gridAxis reproduces the solver's historical scan sequence
+// lo, lo+step, ... — by accumulation, not multiplication, so the
+// parallel row sharding visits bit-identical coordinates.
+func gridAxis(lo, hi, step float64) []float64 {
+	var out []float64
+	for v := lo; v <= hi+1e-9; v += step {
+		out = append(out, v)
+	}
+	return out
+}
+
+// gridSearch2D scans the bounds for the minimum slope cost. The scan
+// is sharded by row (fixed x) across the worker pool; each row
+// records its own first-minimum and the rows are reduced in scan
+// order, which keeps the result identical to the serial raster scan.
+func gridSearch2D(obs []Observation, bounds Bounds, step float64, prior ktPrior, parallelism int) geom.Vec3 {
+	xs := gridAxis(bounds.XMin, bounds.XMax, step)
+	ys := gridAxis(bounds.YMin, bounds.YMax, step)
+	type rowBest struct {
+		cost float64
+		pos  geom.Vec3
+	}
+	rows := make([]rowBest, len(xs))
+	parallelFor(len(xs), workerCount(parallelism, len(xs)), func(i int) {
+		rb := rowBest{cost: math.Inf(1)}
+		for _, y := range ys {
+			p := geom.Vec3{X: xs[i], Y: y}
+			c, _ := slopeCost(obs, p, prior)
+			if c < rb.cost {
+				rb = rowBest{cost: c, pos: p}
+			}
+		}
+		rows[i] = rb
+	})
 	best := math.Inf(1)
 	var bestPos geom.Vec3
-	for x := bounds.XMin; x <= bounds.XMax+1e-9; x += step {
-		for y := bounds.YMin; y <= bounds.YMax+1e-9; y += step {
-			p := geom.Vec3{X: x, Y: y}
-			c, _ := slopeCost(obs, p, prior)
-			if c < best {
-				best, bestPos = c, p
-			}
+	for _, rb := range rows {
+		if rb.cost < best {
+			best, bestPos = rb.cost, rb.pos
 		}
 	}
 	return bestPos

@@ -1,0 +1,71 @@
+package core
+
+import (
+	"math"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// reduceMinCost returns the lowest-cost candidate, breaking ties
+// toward the lowest index. Scanning in index order with a strict
+// comparison reproduces exactly what the serial multistart loop kept,
+// so parallel and serial solves agree bit-for-bit.
+func reduceMinCost(cands []Estimate) Estimate {
+	best := Estimate{Cost: math.Inf(1)}
+	for _, c := range cands {
+		if c.Cost < best.Cost {
+			best = c
+		}
+	}
+	return best
+}
+
+// workerCount resolves an Options.Parallelism value: 0 means one
+// worker per GOMAXPROCS, anything below 1 is clamped to serial, and n
+// is never larger than the number of work items.
+func workerCount(parallelism, items int) int {
+	w := parallelism
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > items {
+		w = items
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// parallelFor runs fn(i) for every i in [0, n) across the given number
+// of workers. Work is handed out through an atomic counter, so the
+// assignment of indices to goroutines is dynamic — callers must make
+// fn(i) independent of execution order and write results into
+// index-addressed slots to stay deterministic. With workers <= 1 the
+// loop runs inline on the calling goroutine (the serial path: no
+// goroutines, no synchronization).
+func parallelFor(n, workers int, fn func(i int)) {
+	if workers <= 1 || n <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}

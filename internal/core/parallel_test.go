@@ -1,0 +1,125 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"rfprism/internal/geom"
+	"rfprism/internal/mathx"
+	"rfprism/internal/rf"
+)
+
+// TestSolve2DParallelMatchesSerial: the parallel multistart must be a
+// pure reimplementation of the serial scan — byte-identical Estimates,
+// not merely close ones. Each start is an independent optimizer run
+// and the reduction is (cost, start index)-deterministic, so any
+// difference is a scheduling leak.
+func TestSolve2DParallelMatchesSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 4; trial++ {
+		pos := geom.Vec3{
+			X: 0.2 + rng.Float64()*1.6,
+			Y: 0.6 + rng.Float64()*1.8,
+		}
+		alpha := rng.Float64() * 3.14
+		kt := rng.Float64() * 2e-8
+		bt0 := rng.Float64() * 6.28
+		obs := synthObs(testAnts, testAims, pos, alpha, kt, bt0)
+		for _, opts := range []Options{
+			{},
+			{NoKtPrior: true},
+			{DisableFinePhase: true},
+		} {
+			serialOpts, parOpts := opts, opts
+			serialOpts.Parallelism = 1
+			parOpts.Parallelism = 8
+			serial, err := Solve2D(obs, testBounds, serialOpts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			par, err := Solve2D(obs, testBounds, parOpts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if serial != par {
+				t.Errorf("trial %d opts %+v: serial and parallel estimates differ:\n%+v\n%+v",
+					trial, opts, serial, par)
+			}
+		}
+	}
+}
+
+// TestSolve3DParallelMatchesSerial: same bit-for-bit contract for the
+// seven-unknown solver.
+func TestSolve3DParallelMatchesSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	for trial := 0; trial < 3; trial++ {
+		pos := geom.Vec3{
+			X: 0.3 + rng.Float64()*1.4,
+			Y: 0.8 + rng.Float64()*1.2,
+			Z: rng.Float64() * 0.6,
+		}
+		az := rng.Float64() * 6.28
+		el := (rng.Float64() - 0.5) * 1.8
+		obs := synthObs3D(pos, rf.TagPolarization3D(az, el), 0.7e-8, 2.5)
+		serial, err := Solve3D(obs, testBounds3D, Options{Parallelism: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		par, err := Solve3D(obs, testBounds3D, Options{Parallelism: 8})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if serial != par {
+			t.Errorf("trial %d: serial and parallel estimates differ:\n%+v\n%+v", trial, serial, par)
+		}
+	}
+}
+
+// TestGridSearchParallelMatchesSerial pins the row-sharded grid scan
+// to the serial raster scan (first minimum in scan order wins).
+func TestGridSearchParallelMatchesSerial(t *testing.T) {
+	obs := synthObs(testAnts, testAims, geom.Vec3{X: 1.1, Y: 1.7}, mathx.Rad(30), 1e-8, 1)
+	serial := gridSearch2D(obs, testBounds, 0.05, ktPrior{}, 1)
+	par := gridSearch2D(obs, testBounds, 0.05, ktPrior{}, 8)
+	if serial != par {
+		t.Fatalf("grid scan differs: serial %+v parallel %+v", serial, par)
+	}
+	obs3 := synthObs3D(geom.Vec3{X: 1.0, Y: 1.4, Z: 0.3}, rf.TagPolarization3D(1, 0.4), 0.5e-8, 2)
+	serial3 := gridSearch3D(obs3, testBounds3D, 0.1, ktPrior{}, 1)
+	par3 := gridSearch3D(obs3, testBounds3D, 0.1, ktPrior{}, 8)
+	if serial3 != par3 {
+		t.Fatalf("3D grid scan differs: serial %+v parallel %+v", serial3, par3)
+	}
+}
+
+// TestParallelForCoversAllIndices: the dynamic work counter must hand
+// out every index exactly once at any worker count.
+func TestParallelForCoversAllIndices(t *testing.T) {
+	for _, workers := range []int{1, 2, 3, 8, 17} {
+		const n = 100
+		hits := make([]int, n)
+		parallelFor(n, workers, func(i int) { hits[i]++ })
+		for i, h := range hits {
+			if h != 1 {
+				t.Fatalf("workers=%d: index %d visited %d times", workers, i, h)
+			}
+		}
+	}
+}
+
+// TestWorkerCount pins the Parallelism resolution rules.
+func TestWorkerCount(t *testing.T) {
+	if got := workerCount(1, 100); got != 1 {
+		t.Fatalf("parallelism 1 → %d workers", got)
+	}
+	if got := workerCount(4, 2); got != 2 {
+		t.Fatalf("4 workers over 2 items → %d", got)
+	}
+	if got := workerCount(0, 100); got < 1 {
+		t.Fatalf("GOMAXPROCS default → %d", got)
+	}
+	if got := workerCount(-3, 100); got < 1 {
+		t.Fatalf("negative parallelism → %d", got)
+	}
+}

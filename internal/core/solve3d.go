@@ -26,7 +26,7 @@ func Solve3D(obs []Observation, bounds Bounds, opts Options) (Estimate, error) {
 	opts.SigmaB = adaptiveSigmaB(obs, opts.SigmaB)
 
 	// Stage 1: wrap-free coarse position from the slopes.
-	posA := gridSearch3D(obs, bounds, opts.GridStep*2, opts.prior())
+	posA := gridSearch3D(obs, bounds, opts.GridStep*2, opts.prior(), opts.Parallelism)
 	posA = refinePos3D(obs, posA, bounds, opts.GridStep*2, opts.prior())
 
 	if opts.DisableFinePhase {
@@ -34,11 +34,13 @@ func Solve3D(obs []Observation, bounds Bounds, opts Options) (Estimate, error) {
 	}
 
 	// Stage 2: joint multistart over wrap-basin position offsets and
-	// polarization starts.
+	// polarization starts. As in Solve2D, the starts are independent
+	// optimizer runs fanned out across the worker pool and reduced
+	// deterministically (min cost, ties to the lowest start index).
 	offsets := []float64{-0.11, 0, 0.11}
 	azStarts := 6
 	elStarts := []float64{-mathx.Rad(45), 0, mathx.Rad(45)}
-	best := Estimate{Cost: math.Inf(1)}
+	starts := make([][]float64, 0, len(offsets)*len(offsets)*len(offsets)*azStarts*len(elStarts))
 	for _, dx := range offsets {
 		for _, dy := range offsets {
 			for _, dz := range offsets {
@@ -52,16 +54,17 @@ func Solve3D(obs []Observation, bounds Bounds, opts Options) (Estimate, error) {
 					az0 := float64(a) * math.Pi / float64(azStarts)
 					for _, el0 := range elStarts {
 						_, bt0 := orientCost(obs, psi, rf.TagPolarization3D(az0, el0))
-						p0 := []float64{x0, y0, z0, az0, el0, kt0, bt0}
-						cand := runJoint3D(obs, p0, bounds, opts)
-						if cand.Cost < best.Cost {
-							best = cand
-						}
+						starts = append(starts, []float64{x0, y0, z0, az0, el0, kt0, bt0})
 					}
 				}
 			}
 		}
 	}
+	cands := make([]Estimate, len(starts))
+	parallelFor(len(starts), workerCount(opts.Parallelism, len(starts)), func(i int) {
+		cands[i] = runJoint3D(obs, starts[i], bounds, opts)
+	})
+	best := reduceMinCost(cands)
 	best = refinePolar3D(obs, best, opts)
 	return best, nil
 }
@@ -120,14 +123,16 @@ func jointCost3D(obs []Observation, p []float64, sigmaB float64, prior ktPrior) 
 }
 
 func runJoint3D(obs []Observation, p0 []float64, bounds Bounds, opts Options) Estimate {
+	// Per-start clamp buffer, reused across this start's objective
+	// evaluations (concurrent starts each own theirs).
+	q := make([]float64, 7)
+	prior := opts.prior()
 	obj := func(p []float64) float64 {
-		q := []float64{
-			clamp(p[0], bounds.XMin, bounds.XMax),
-			clamp(p[1], bounds.YMin, bounds.YMax),
-			clamp(p[2], bounds.ZMin, bounds.ZMax),
-			p[3], p[4], p[5], p[6],
-		}
-		return jointCost3D(obs, q, opts.SigmaB, opts.prior())
+		q[0] = clamp(p[0], bounds.XMin, bounds.XMax)
+		q[1] = clamp(p[1], bounds.YMin, bounds.YMax)
+		q[2] = clamp(p[2], bounds.ZMin, bounds.ZMax)
+		q[3], q[4], q[5], q[6] = p[3], p[4], p[5], p[6]
+		return jointCost3D(obs, q, opts.SigmaB, prior)
 	}
 	p, cost := mathx.NelderMead(obj, p0, 0.02, 600)
 	az, el := normalizePolar3D(p[3], p[4])
@@ -170,18 +175,36 @@ func solveDetached3D(obs []Observation, pos geom.Vec3, prior ktPrior) Estimate {
 	}
 }
 
-func gridSearch3D(obs []Observation, bounds Bounds, step float64, prior ktPrior) geom.Vec3 {
-	best := math.Inf(1)
-	var bestPos geom.Vec3
-	for x := bounds.XMin; x <= bounds.XMax+1e-9; x += step {
-		for y := bounds.YMin; y <= bounds.YMax+1e-9; y += step {
-			for z := bounds.ZMin; z <= bounds.ZMax+1e-9; z += step {
-				p := geom.Vec3{X: x, Y: y, Z: z}
+// gridSearch3D scans the bounds box for the minimum slope cost,
+// sharded by x-slab across the worker pool with the same
+// order-preserving reduction as gridSearch2D.
+func gridSearch3D(obs []Observation, bounds Bounds, step float64, prior ktPrior, parallelism int) geom.Vec3 {
+	xs := gridAxis(bounds.XMin, bounds.XMax, step)
+	ys := gridAxis(bounds.YMin, bounds.YMax, step)
+	zs := gridAxis(bounds.ZMin, bounds.ZMax, step)
+	type rowBest struct {
+		cost float64
+		pos  geom.Vec3
+	}
+	rows := make([]rowBest, len(xs))
+	parallelFor(len(xs), workerCount(parallelism, len(xs)), func(i int) {
+		rb := rowBest{cost: math.Inf(1)}
+		for _, y := range ys {
+			for _, z := range zs {
+				p := geom.Vec3{X: xs[i], Y: y, Z: z}
 				c, _ := slopeCost(obs, p, prior)
-				if c < best {
-					best, bestPos = c, p
+				if c < rb.cost {
+					rb = rowBest{cost: c, pos: p}
 				}
 			}
+		}
+		rows[i] = rb
+	})
+	best := math.Inf(1)
+	var bestPos geom.Vec3
+	for _, rb := range rows {
+		if rb.cost < best {
+			best, bestPos = rb.cost, rb.pos
 		}
 	}
 	return bestPos

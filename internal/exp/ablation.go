@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -66,23 +67,29 @@ func RunAblations(cfg Config, reps int) (*AblationSuiteResult, error) {
 		var locErrs, orientErrs []float64
 		rejected := 0
 		rng := s.Scene.Rand()
+		// Collect serially (alpha draws and window synthesis share the
+		// scene RNG; channel subsampling is applied at collect time),
+		// then disentangle the batch on the worker pool.
+		var specs []TrialSpec
 		for _, pos := range s.GridPositions() {
 			for r := 0; r < reps; r++ {
 				alpha := mathx.Rad(float64(PaperDegrees[rng.Intn(len(PaperDegrees))]))
-				win := s.Window(pos, alpha, none)
+				sp := s.CollectTrial(pos, alpha, none)
 				if v.channels > 0 {
-					win = subsampleChannels(win, v.channels)
+					sp.Readings = subsampleChannels(sp.Readings, v.channels)
 				}
-				res, err := s.Sys.ProcessWindow(win)
-				if err != nil {
-					rejected++
-					continue
-				}
-				est := res.Estimate
-				locErrs = append(locErrs, 100*est.Pos.Dist(pos))
-				orientErrs = append(orientErrs,
-					mathx.Deg(abs(mathx.AngDiffPeriod(est.Alpha, alpha, mathx.Rad(180)))))
+				specs = append(specs, sp)
 			}
+		}
+		for i, o := range s.ProcessTrials(context.Background(), specs) {
+			if o.Err != nil {
+				rejected++
+				continue
+			}
+			est := o.Trial.Result.Estimate
+			locErrs = append(locErrs, 100*est.Pos.Dist(specs[i].Pos))
+			orientErrs = append(orientErrs,
+				mathx.Deg(abs(mathx.AngDiffPeriod(est.Alpha, specs[i].Alpha, mathx.Rad(180)))))
 		}
 		out.Variants = append(out.Variants, AblationResult{
 			Name:      v.name,

@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -25,7 +26,9 @@ type LocCampaignResult struct {
 
 // RunLocCampaign runs the localization campaign with reps repetitions
 // per (position, degree) — the paper uses 5 — and matReps repetitions
-// per (position, material).
+// per (position, material). Windows are collected serially (the
+// campaign is a pure function of its seed) and disentangled in a
+// parallel batch.
 func RunLocCampaign(cfg Config, reps, matReps int) (*LocCampaignResult, error) {
 	s, err := NewSetup(cfg)
 	if err != nil {
@@ -36,29 +39,35 @@ func RunLocCampaign(cfg Config, reps, matReps int) (*LocCampaignResult, error) {
 		return nil, err
 	}
 	out := &LocCampaignResult{}
+	var degSpecs []TrialSpec
 	for _, pos := range s.GridPositions() {
 		for _, deg := range PaperDegrees {
 			for r := 0; r < reps; r++ {
-				tr, err := s.RunTrial(pos, mathx.Rad(float64(deg)), none)
-				if err != nil {
-					out.Rejected++
-					continue
-				}
-				out.DegreeTrials = append(out.DegreeTrials, tr)
+				degSpecs = append(degSpecs, s.CollectTrial(pos, mathx.Rad(float64(deg)), none))
 			}
 		}
 	}
+	var matSpecs []TrialSpec
 	for _, m := range rf.EvaluationMaterials() {
 		for _, pos := range s.GridPositions() {
 			for r := 0; r < matReps; r++ {
-				tr, err := s.RunTrial(pos, 0, m)
-				if err != nil {
-					out.Rejected++
-					continue
-				}
-				out.MaterialTrials = append(out.MaterialTrials, tr)
+				matSpecs = append(matSpecs, s.CollectTrial(pos, 0, m))
 			}
 		}
+	}
+	for _, o := range s.ProcessTrials(context.Background(), degSpecs) {
+		if o.Err != nil {
+			out.Rejected++
+			continue
+		}
+		out.DegreeTrials = append(out.DegreeTrials, o.Trial)
+	}
+	for _, o := range s.ProcessTrials(context.Background(), matSpecs) {
+		if o.Err != nil {
+			out.Rejected++
+			continue
+		}
+		out.MaterialTrials = append(out.MaterialTrials, o.Trial)
 	}
 	return out, nil
 }

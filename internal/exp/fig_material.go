@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -67,44 +68,54 @@ func RunMatCampaign(cfg Config, spec MatSpec) (*MatCampaignResult, error) {
 	}
 	fixedPos := geom.Vec3{X: 1.0, Y: 1.3}
 
-	collect := func(label int, m rf.Material, pos geom.Vec3, deg int) *MatTrial {
-		tr, err := s.RunTrial(pos, mathx.Rad(float64(deg)), m)
-		if err != nil {
-			out.Rejected++
-			return nil
-		}
-		feats, err := s.Sys.MaterialFeatures(s.Tag.EPC, tr.Result)
-		if err != nil {
-			out.Rejected++
-			return nil
-		}
-		return &MatTrial{
-			Label:    label,
-			Material: m.Name,
-			Degree:   deg,
-			Region:   s.RegionOf(pos),
-			Features: feats,
-			Curve:    tagtag.Curve(tr.Result.Spectra[0]),
-		}
+	// Collection stays serial and in the original trial order: the
+	// random-position draws and the window synthesis share the scene's
+	// RNG stream, so this interleaving is what the seed reproduces.
+	type matSpec struct {
+		TrialSpec
+		label  int
+		deg    int
+		bucket *[]*MatTrial
 	}
-
+	var specs []matSpec
 	for label, m := range mats {
 		for i := 0; i < spec.FixedTrials; i++ {
-			if t := collect(label, m, fixedPos, 0); t != nil {
-				out.Fixed = append(out.Fixed, t)
-			}
+			specs = append(specs, matSpec{s.CollectTrial(fixedPos, 0, m), label, 0, &out.Fixed})
 		}
 		for i := 0; i < spec.MovedTrials0; i++ {
-			if t := collect(label, m, s.RandomPosition(), 0); t != nil {
-				out.Moved0 = append(out.Moved0, t)
-			}
+			specs = append(specs, matSpec{s.CollectTrial(s.RandomPosition(), 0, m), label, 0, &out.Moved0})
 		}
 		for i := 0; i < spec.MovedTrials90; i++ {
 			deg := 90
-			if t := collect(label, m, s.RandomPosition(), deg); t != nil {
-				out.Moved90 = append(out.Moved90, t)
-			}
+			specs = append(specs, matSpec{s.CollectTrial(s.RandomPosition(), mathx.Rad(float64(deg)), m), label, deg, &out.Moved90})
 		}
+	}
+
+	// Disentangling fans out across the worker pool; feature
+	// extraction walks the order-preserving results.
+	plain := make([]TrialSpec, len(specs))
+	for i := range specs {
+		plain[i] = specs[i].TrialSpec
+	}
+	for i, o := range s.ProcessTrials(context.Background(), plain) {
+		if o.Err != nil {
+			out.Rejected++
+			continue
+		}
+		feats, err := s.Sys.MaterialFeatures(s.Tag.EPC, o.Trial.Result)
+		if err != nil {
+			out.Rejected++
+			continue
+		}
+		sp := specs[i]
+		*sp.bucket = append(*sp.bucket, &MatTrial{
+			Label:    sp.label,
+			Material: sp.Material.Name,
+			Degree:   sp.deg,
+			Region:   s.RegionOf(sp.Pos),
+			Features: feats,
+			Curve:    tagtag.Curve(o.Trial.Result.Spectra[0]),
+		})
 	}
 	return out, nil
 }

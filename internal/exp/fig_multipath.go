@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -57,17 +58,22 @@ func RunFig12(cfg Config, reps int, spec MatSpec) (*Fig12Result, error) {
 		var locErrs, orientErrs []float64
 		rejected := 0
 		rng := s.Scene.Rand()
+		// Serial collection (the alpha draws and window synthesis share
+		// the scene RNG), parallel disentangling.
+		var specs []TrialSpec
 		for _, pos := range s.GridPositions() {
 			for r := 0; r < reps; r++ {
 				alpha := mathx.Rad(float64(PaperDegrees[rng.Intn(len(PaperDegrees))]))
-				tr, err := s.RunTrial(pos, alpha, none)
-				if err != nil {
-					rejected++
-					continue
-				}
-				locErrs = append(locErrs, tr.LocErrM*100)
-				orientErrs = append(orientErrs, tr.OrientErrDeg)
+				specs = append(specs, s.CollectTrial(pos, alpha, none))
 			}
+		}
+		for _, o := range s.ProcessTrials(context.Background(), specs) {
+			if o.Err != nil {
+				rejected++
+				continue
+			}
+			locErrs = append(locErrs, o.Trial.LocErrM*100)
+			orientErrs = append(orientErrs, o.Trial.OrientErrDeg)
 		}
 
 		matCampaign, err := RunMatCampaign(scCfg, spec)

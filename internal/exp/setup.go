@@ -5,6 +5,7 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -156,6 +157,10 @@ func (s *Setup) RunTrial(pos geom.Vec3, alpha float64, m rf.Material) (*Trial, e
 	if err != nil {
 		return nil, err
 	}
+	return s.makeTrial(pos, alpha, m, res), nil
+}
+
+func (s *Setup) makeTrial(pos geom.Vec3, alpha float64, m rf.Material, res *rfprism.Result) *Trial {
 	est := res.Estimate
 	return &Trial{
 		Pos:          pos,
@@ -165,7 +170,53 @@ func (s *Setup) RunTrial(pos geom.Vec3, alpha float64, m rf.Material) (*Trial, e
 		LocErrM:      math.Hypot(est.Pos.X-pos.X, est.Pos.Y-pos.Y),
 		OrientErrDeg: mathx.Deg(math.Abs(mathx.AngDiffPeriod(est.Alpha, alpha, math.Pi))),
 		Region:       s.RegionOf(pos),
-	}, nil
+	}
+}
+
+// TrialSpec is one collected-but-unprocessed campaign measurement:
+// the ground truth plus the window's raw readings.
+type TrialSpec struct {
+	Pos      geom.Vec3
+	Alpha    float64
+	Material rf.Material
+	Readings []sim.Reading
+}
+
+// CollectTrial synthesizes the window for one trial *now* — window
+// collection consumes the scene's single RNG stream, so campaigns
+// must collect serially, in trial order, to stay a pure function of
+// their seed — and returns the spec for later batch processing.
+func (s *Setup) CollectTrial(pos geom.Vec3, alpha float64, m rf.Material) TrialSpec {
+	return TrialSpec{Pos: pos, Alpha: alpha, Material: m, Readings: s.Window(pos, alpha, m)}
+}
+
+// TrialOutcome pairs a processed spec's Trial with its per-window
+// error; exactly one of the two is set.
+type TrialOutcome struct {
+	Trial *Trial
+	Err   error
+}
+
+// ProcessTrials disentangles already-collected trials through the
+// system's bounded worker pool (rfprism.System.ProcessWindows).
+// Outcomes are in spec order; a rejected window surfaces in its
+// outcome's Err without affecting the rest of the batch.
+func (s *Setup) ProcessTrials(ctx context.Context, specs []TrialSpec) []TrialOutcome {
+	wins := make([]rfprism.Window, len(specs))
+	for i, sp := range specs {
+		wins[i] = rfprism.Window{Readings: sp.Readings}
+	}
+	results := s.Sys.ProcessWindows(ctx, wins)
+	out := make([]TrialOutcome, len(specs))
+	for i, r := range results {
+		if r.Err != nil {
+			out[i] = TrialOutcome{Err: r.Err}
+			continue
+		}
+		sp := specs[i]
+		out[i] = TrialOutcome{Trial: s.makeTrial(sp.Pos, sp.Alpha, sp.Material, r.Result)}
+	}
+	return out
 }
 
 // RegionOf buckets a position into near/medium/far by mean antenna

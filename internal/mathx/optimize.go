@@ -237,6 +237,7 @@ func NelderMead(f func([]float64) float64, x0 []float64, scale float64, maxIter 
 	}
 	centroid := make([]float64, n)
 	trial := make([]float64, n)
+	expand := make([]float64, n)
 	for iter := 0; iter < maxIter; iter++ {
 		order()
 		if math.Abs(vals[n]-vals[0]) < 1e-14*(math.Abs(vals[0])+1e-14) {
@@ -261,13 +262,12 @@ func NelderMead(f func([]float64) float64, x0 []float64, scale float64, maxIter 
 		switch {
 		case fr < vals[0]:
 			// Expansion.
-			exp := make([]float64, n)
 			for j := 0; j < n; j++ {
-				exp[j] = centroid[j] + gamma*(trial[j]-centroid[j])
+				expand[j] = centroid[j] + gamma*(trial[j]-centroid[j])
 			}
-			fe := f(exp)
+			fe := f(expand)
 			if fe < fr {
-				copy(pts[n], exp)
+				copy(pts[n], expand)
 				vals[n] = fe
 			} else {
 				copy(pts[n], trial)

@@ -49,14 +49,30 @@ func ChannelFreq(ch int) (float64, error) {
 	return FirstChannelHz + float64(ch)*ChannelSpacingHz, nil
 }
 
-// Channels returns the center frequencies of all hopping channels in
-// ascending order. The slice is freshly allocated on every call.
-func Channels() []float64 {
-	out := make([]float64, NumChannels)
+// channelTable is the memoized channel plan. It is computed once at
+// package init; all hot paths read it through ChannelTable.
+var channelTable = func() [NumChannels]float64 {
+	var out [NumChannels]float64
 	for i := range out {
 		out[i] = FirstChannelHz + float64(i)*ChannelSpacingHz
 	}
 	return out
+}()
+
+// Channels returns the center frequencies of all hopping channels in
+// ascending order. The slice is freshly allocated on every call, so
+// callers may mutate it; allocation-sensitive loops should use
+// ChannelTable instead.
+func Channels() []float64 {
+	out := channelTable
+	return out[:]
+}
+
+// ChannelTable returns the shared channel-frequency table without
+// allocating. The returned slice is read-only: callers must not
+// modify it (use Channels for a private copy).
+func ChannelTable() []float64 {
+	return channelTable[:]
 }
 
 // Wavelength returns the free-space wavelength at frequency f (Hz).

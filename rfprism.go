@@ -143,6 +143,7 @@ type System struct {
 	modelSuppression bool
 	noSelection      bool
 	noDetector       bool
+	parallelism      int
 
 	antennaCal core.AntennaCal
 	tagCals    map[string]TagCal
@@ -236,6 +237,10 @@ func usedSamples(line fit.Line, freqs, phases []float64) ([]float64, []float64) 
 // the error detector, antenna-offset correction and the phase
 // disentangler. It returns ErrWindowRejected (wrapped) when the
 // window fails the error detector.
+//
+// ProcessWindow only reads System state, so it is safe to call
+// concurrently (ProcessWindows does) as long as the calibration
+// methods are not running at the same time.
 func (s *System) ProcessWindow(readings []sim.Reading) (*Result, error) {
 	obs, reports, spectra, err := s.observe(readings)
 	if err != nil {
@@ -308,9 +313,11 @@ func (s *System) CalibrateTag(epc string, readings []sim.Reading, truthPos geom.
 	}
 	obs = s.antennaCal.Apply(obs)
 	dev := s.devicePhases(obs, truthPos, truthAlpha)
-	// Fit the per-tag line on the unwrapped usable channels.
+	// Fit the per-tag line on the unwrapped usable channels. The
+	// channel table is shared and read-only; it is indexed, never
+	// mutated, here.
 	var freqs, phases []float64
-	chs := rf.Channels()
+	chs := rf.ChannelTable()
 	for ch, v := range dev {
 		if !math.IsNaN(v) {
 			freqs = append(freqs, chs[ch])
@@ -387,7 +394,7 @@ func (s *System) MaterialFeatures(epc string, res *Result) ([]float64, error) {
 	if !ok {
 		return nil, fmt.Errorf("rfprism: tag %q has no calibration", epc)
 	}
-	obs, _, _, err := s.resultObservations(res)
+	obs, err := s.resultObservations(res)
 	if err != nil {
 		return nil, err
 	}
@@ -399,7 +406,7 @@ func (s *System) MaterialFeatures(epc string, res *Result) ([]float64, error) {
 	features := make([]float64, FeatureDim)
 	features[0] = ktFeat
 	features[1] = btFeat
-	chs := rf.Channels()
+	chs := rf.ChannelTable()
 	for ch := 0; ch < rf.NumChannels; ch++ {
 		if math.IsNaN(dev[ch]) || math.IsNaN(cal.PerChannel[ch]) {
 			features[2+ch] = 0
@@ -414,11 +421,11 @@ func (s *System) MaterialFeatures(epc string, res *Result) ([]float64, error) {
 // resultObservations rebuilds calibrated observations from a stored
 // result's spectra (used by feature extraction, which needs the
 // per-channel phases).
-func (s *System) resultObservations(res *Result) ([]core.Observation, []fit.LinearityReport, []preprocess.Spectrum, error) {
+func (s *System) resultObservations(res *Result) ([]core.Observation, error) {
 	obs := make([]core.Observation, 0, len(s.antennas))
 	for i, ant := range s.antennas {
 		if i >= len(res.Spectra) || i >= len(res.Lines) {
-			return nil, nil, nil, fmt.Errorf("rfprism: result missing spectra for antenna %d", ant.ID)
+			return nil, fmt.Errorf("rfprism: result missing spectra for antenna %d", ant.ID)
 		}
 		sp := res.Spectra[i]
 		freqs, phases := sp.Freqs(), sp.Phases()
@@ -448,5 +455,5 @@ func (s *System) resultObservations(res *Result) ([]core.Observation, []fit.Line
 		}
 		calObs[i].Phases = ph
 	}
-	return calObs, nil, nil, nil
+	return calObs, nil
 }

@@ -1,0 +1,160 @@
+package rfprism_test
+
+// Solver and batch throughput benchmarks: the speedup trajectory of
+// the concurrent disentangling pipeline. Run with -cpu to compare
+// serial vs parallel on multi-core machines; cmd/rfprism-bench emits
+// the same measurements as BENCH_solver.json for the repo record.
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"testing"
+
+	"rfprism"
+	"rfprism/internal/core"
+	"rfprism/internal/geom"
+	"rfprism/internal/rf"
+	"rfprism/internal/sim"
+)
+
+// benchObs2D builds a fixed, fitted observation set by running one
+// simulated window through the pipeline front-end.
+func benchObs2D(b *testing.B) ([]core.Observation, core.Bounds) {
+	b.Helper()
+	scene, err := sim.NewScene(sim.PaperAntennas2D(nil), rf.CleanSpace(), sim.DefaultConfig(), 11)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sys, err := rfprism.NewSystem(rfprism.DeploymentFromSim(scene.Antennas), rfprism.Bounds2D(sim.PaperRegion()))
+	if err != nil {
+		b.Fatal(err)
+	}
+	tag := scene.NewTag("bench2d")
+	none, err := rf.MaterialByName("none")
+	if err != nil {
+		b.Fatal(err)
+	}
+	win := scene.CollectWindow(tag, scene.Place(geom.Vec3{X: 0.8, Y: 1.3}, 0.4, none))
+	res, err := sys.ProcessWindow(win)
+	if err != nil {
+		b.Fatal(err)
+	}
+	obs := make([]core.Observation, 0, len(scene.Antennas))
+	for i, ant := range scene.Antennas {
+		obs = append(obs, core.Observation{
+			ID: ant.ID, Pos: ant.Pos, Frame: ant.Frame(), Line: res.Lines[i],
+		})
+	}
+	return obs, rfprism.Bounds2D(sim.PaperRegion())
+}
+
+// BenchmarkSolve2D measures the 2D disentangler at parallelism 1 and
+// GOMAXPROCS.
+func BenchmarkSolve2D(b *testing.B) {
+	obs, bounds := benchObs2D(b)
+	for _, par := range []int{1, runtime.GOMAXPROCS(0)} {
+		b.Run(fmt.Sprintf("parallelism=%d", par), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := core.Solve2D(obs, bounds, core.Options{Parallelism: par}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func benchObs3D(b *testing.B) ([]core.Observation, core.Bounds) {
+	b.Helper()
+	scene, err := sim.NewScene(sim.PaperAntennas3D(nil), rf.CleanSpace(), sim.DefaultConfig(), 12)
+	if err != nil {
+		b.Fatal(err)
+	}
+	bounds := rfprism.Bounds2D(sim.PaperRegion())
+	bounds.ZMin, bounds.ZMax = 0, 0.8
+	sys, err := rfprism.NewSystem(rfprism.DeploymentFromSim(scene.Antennas), bounds, rfprism.WithMode3D())
+	if err != nil {
+		b.Fatal(err)
+	}
+	tag := scene.NewTag("bench3d")
+	none, err := rf.MaterialByName("none")
+	if err != nil {
+		b.Fatal(err)
+	}
+	pl := sim.Static{
+		Pos:          geom.Vec3{X: 0.9, Y: 1.4, Z: 0.3},
+		Polarization: rf.TagPolarization3D(0.7, 0.3),
+		Material:     none,
+		Attach:       rf.Attach(none, rf.AttachmentJitter{}, nil),
+	}
+	res, err := sys.ProcessWindow(scene.CollectWindow(tag, pl))
+	if err != nil {
+		b.Fatal(err)
+	}
+	obs := make([]core.Observation, 0, len(scene.Antennas))
+	for i, ant := range scene.Antennas {
+		obs = append(obs, core.Observation{
+			ID: ant.ID, Pos: ant.Pos, Frame: ant.Frame(), Line: res.Lines[i],
+		})
+	}
+	return obs, bounds
+}
+
+// BenchmarkSolve3D measures the seven-unknown solver at parallelism 1
+// and GOMAXPROCS.
+func BenchmarkSolve3D(b *testing.B) {
+	obs, bounds := benchObs3D(b)
+	for _, par := range []int{1, runtime.GOMAXPROCS(0)} {
+		b.Run(fmt.Sprintf("parallelism=%d", par), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := core.Solve3D(obs, bounds, core.Options{Parallelism: par}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkProcessWindowsBatch measures end-to-end batch throughput
+// (windows/sec) with a serial-loop baseline and the pooled batch API.
+func BenchmarkProcessWindowsBatch(b *testing.B) {
+	scene, err := sim.NewScene(sim.PaperAntennas2D(nil), rf.CleanSpace(), sim.DefaultConfig(), 13)
+	if err != nil {
+		b.Fatal(err)
+	}
+	tag := scene.NewTag("bench-batch")
+	none, err := rf.MaterialByName("none")
+	if err != nil {
+		b.Fatal(err)
+	}
+	const nWindows = 16
+	wins := make([]rfprism.Window, nWindows)
+	for i := range wins {
+		pos := geom.Vec3{X: 0.4 + 0.08*float64(i), Y: 1.0 + 0.07*float64(i)}
+		wins[i] = rfprism.Window{Readings: scene.CollectWindow(tag, scene.Place(pos, 0.3, none))}
+	}
+	for _, par := range []int{1, runtime.GOMAXPROCS(0)} {
+		b.Run(fmt.Sprintf("parallelism=%d", par), func(b *testing.B) {
+			sys, err := rfprism.NewSystem(rfprism.DeploymentFromSim(scene.Antennas),
+				rfprism.Bounds2D(sim.PaperRegion()), rfprism.WithParallelism(par))
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				results := sys.ProcessWindows(context.Background(), wins)
+				for _, r := range results {
+					if r.Err != nil {
+						b.Fatal(r.Err)
+					}
+				}
+			}
+			b.StopTimer()
+			winPerSec := float64(nWindows) * float64(b.N) / b.Elapsed().Seconds()
+			b.ReportMetric(winPerSec, "windows/sec")
+		})
+	}
+}
