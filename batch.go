@@ -2,9 +2,11 @@ package rfprism
 
 import (
 	"context"
+	"errors"
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"rfprism/internal/sim"
 )
@@ -12,9 +14,16 @@ import (
 // Window is one hop round of raw readings queued for batch
 // processing. Tag optionally carries a caller-side identifier (e.g.
 // the EPC) that is echoed back in the WindowResult.
+//
+// Collect optionally supplies fresh readings: when set, it is called
+// for the initial collection if Readings is nil, and again for every
+// retry of a transient fault (WithWindowRetry). It may be invoked
+// from worker goroutines, so it must be safe for concurrent use with
+// itself — sim.FaultInjector.Source qualifies.
 type Window struct {
 	Tag      string
 	Readings []sim.Reading
+	Collect  func() ([]sim.Reading, error)
 }
 
 // WindowResult is the outcome of one batched window. Exactly one of
@@ -29,6 +38,20 @@ type WindowResult struct {
 	Err    error
 }
 
+// Health returns the window's degradation report from whichever side
+// of the outcome carries it (the Result on success, the WindowError
+// on failure), or nil when the window never reached the pipeline
+// (e.g. cancelled before start).
+func (r WindowResult) Health() *Health {
+	if r.Result != nil && r.Result.Health != nil {
+		return r.Result.Health
+	}
+	if h, ok := HealthFromError(r.Err); ok {
+		return h
+	}
+	return nil
+}
+
 // WithParallelism bounds the worker count of ProcessWindows and
 // ProcessStream: 0 (the default) uses GOMAXPROCS, 1 forces serial
 // processing.
@@ -41,6 +64,43 @@ func (s *System) workers() int {
 		return s.parallelism
 	}
 	return runtime.GOMAXPROCS(0)
+}
+
+// WithWindowRetry makes ProcessWindows and ProcessStream re-collect
+// and re-process windows that fail with a transient fault
+// (ErrWindowRejected and its causes) up to attempts times in total,
+// sleeping backoff, 2×backoff, 4×backoff, … (capped at 8×backoff)
+// between attempts. Retries need fresh data to have any point —
+// re-processing identical readings is deterministic — so only windows
+// with a Collect source are retried. The zero configuration (attempts
+// ≤ 1) disables retrying.
+func WithWindowRetry(attempts int, backoff time.Duration) Option {
+	return func(s *System) {
+		s.retryAttempts = attempts
+		s.retryBackoff = backoff
+	}
+}
+
+// retryable reports whether a processing failure is worth a fresh
+// collection: rejection-class faults (mobility, silent antennas, too
+// few clean channels) are transient in a live deployment, while
+// configuration errors are not.
+func retryable(err error) bool {
+	return errors.Is(err, ErrWindowRejected) || errors.Is(err, ErrAntennaSilent)
+}
+
+// retryDelay returns the bounded-exponential pause before retry
+// attempt a (a = 1 is the first retry).
+func (s *System) retryDelay(a int) time.Duration {
+	d := s.retryBackoff
+	if d <= 0 {
+		return 0
+	}
+	shift := a - 1
+	if shift > 3 {
+		shift = 3 // cap at 8× the base backoff
+	}
+	return d << shift
 }
 
 // ProcessWindows runs ProcessWindow over every window of the batch on
@@ -83,17 +143,78 @@ func (s *System) ProcessWindows(ctx context.Context, windows []Window) []WindowR
 }
 
 func (s *System) processOne(ctx context.Context, i int, w Window) WindowResult {
-	if err := ctx.Err(); err != nil {
-		return WindowResult{Index: i, Tag: w.Tag, Err: err}
+	attempts := s.retryAttempts
+	if attempts < 1 || w.Collect == nil {
+		attempts = 1
 	}
-	res, err := s.ProcessWindow(w.Readings)
+	var res *Result
+	var err error
+	for a := 1; a <= attempts; a++ {
+		if cerr := ctx.Err(); cerr != nil {
+			if err != nil {
+				// Cancelled mid-retry: the window's own failure is the
+				// more useful report.
+				break
+			}
+			return WindowResult{Index: i, Tag: w.Tag, Err: cerr}
+		}
+		if a > 1 {
+			if !sleepCtx(ctx, s.retryDelay(a-1)) {
+				break
+			}
+		}
+		readings := w.Readings
+		if w.Collect != nil && (a > 1 || readings == nil) {
+			readings, err = w.Collect()
+			if err != nil {
+				continue
+			}
+		}
+		res, err = s.ProcessWindow(readings)
+		if err == nil || !retryable(err) {
+			recordAttempts(res, err, a)
+			return WindowResult{Index: i, Tag: w.Tag, Result: res, Err: err}
+		}
+	}
+	// Retry exhaustion (or cancellation mid-retry): surface the last
+	// observed error.
+	recordAttempts(res, err, attempts)
 	return WindowResult{Index: i, Tag: w.Tag, Result: res, Err: err}
+}
+
+// recordAttempts stamps the consumed attempt count into whichever
+// Health report the outcome carries.
+func recordAttempts(res *Result, err error, attempts int) {
+	if res != nil && res.Health != nil {
+		res.Health.Attempts = attempts
+	}
+	if h, ok := HealthFromError(err); ok {
+		h.Attempts = attempts
+	}
+}
+
+// sleepCtx pauses for d unless ctx is cancelled first; it reports
+// whether the full pause elapsed.
+func sleepCtx(ctx context.Context, d time.Duration) bool {
+	if d <= 0 {
+		return ctx.Err() == nil
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return true
+	case <-ctx.Done():
+		return false
+	}
 }
 
 // ProcessStream processes windows as they arrive on in, emitting one
 // WindowResult per window on the returned channel in arrival order
 // (later windows may finish solving first; emission is reordered).
 // At most the configured parallelism windows are in flight at once.
+// Windows carrying a Collect source are retried on transient faults
+// per WithWindowRetry; retry exhaustion surfaces the last error.
 // The output channel closes after the last result once in closes, or
 // early when ctx is cancelled — remaining queued windows are then
 // drained and reported with Err = ctx.Err().

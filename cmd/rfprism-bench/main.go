@@ -67,6 +67,10 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	degScene, degWins, err := degradedWindows()
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	report := benchReport{
 		Generated:  time.Now().UTC().Format(time.RFC3339),
@@ -126,6 +130,31 @@ func main() {
 			}
 		})
 		report.Benchmarks = append(report.Benchmarks, record("ProcessWindowsBatch", par, r, len(wins)))
+	}
+	// Degraded mode: the same batch path with one dead antenna out of
+	// four plus burst loss, so regressions in the fault-tolerant slow
+	// path (subset health accounting, per-antenna shedding) are visible.
+	for _, par := range pars {
+		par := par
+		sys, err := rfprism.NewSystem(rfprism.DeploymentFromSim(degScene.Antennas),
+			rfprism.Bounds2D(sim.PaperRegion()), rfprism.WithParallelism(par))
+		if err != nil {
+			log.Fatal(err)
+		}
+		r := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				for _, res := range sys.ProcessWindows(context.Background(), degWins) {
+					if res.Err != nil {
+						b.Fatal(res.Err)
+					}
+					if h := res.Result.Health; h == nil || !h.Degraded {
+						b.Fatal("degraded batch not flagged degraded")
+					}
+				}
+			}
+		})
+		report.Benchmarks = append(report.Benchmarks, record("ProcessWindowsDegraded", par, r, len(degWins)))
 	}
 
 	data, err := json.MarshalIndent(report, "", "  ")
@@ -239,6 +268,35 @@ func batchWindows() (*sim.Scene, []rfprism.Window, error) {
 	for i := range wins {
 		pos := geom.Vec3{X: 0.4 + 0.08*float64(i), Y: 1.0 + 0.07*float64(i)}
 		wins[i] = rfprism.Window{Readings: scene.CollectWindow(tag, scene.Place(pos, 0.3, none))}
+	}
+	return scene, wins, nil
+}
+
+// degradedWindows collects a batch through a fault injector killing
+// one antenna of the four-antenna redundant deployment and eating 10%
+// of the readings in bursts, so the batch exercises the degraded
+// (subset-solving) path end to end.
+func degradedWindows() (*sim.Scene, []rfprism.Window, error) {
+	scene, err := sim.NewScene(sim.PaperAntennas2DRedundant(nil), rf.CleanSpace(), sim.DefaultConfig(), 14)
+	if err != nil {
+		return nil, nil, err
+	}
+	fi, err := sim.NewFaultInjector(scene, sim.FaultConfig{
+		DeadAntennas:  []int{3},
+		BurstLossProb: sim.BurstLossEntryProb(0.10, 20),
+	}, 15)
+	if err != nil {
+		return nil, nil, err
+	}
+	none, err := rf.MaterialByName("none")
+	if err != nil {
+		return nil, nil, err
+	}
+	tag := scene.NewTag("bench-degraded")
+	wins := make([]rfprism.Window, 16)
+	for i := range wins {
+		pos := geom.Vec3{X: 0.4 + 0.08*float64(i), Y: 1.0 + 0.07*float64(i)}
+		wins[i] = rfprism.Window{Readings: fi.CollectWindow(tag, scene.Place(pos, 0.3, none))}
 	}
 	return scene, wins, nil
 }

@@ -28,7 +28,7 @@ func main() {
 
 func run(args []string) error {
 	fs := flag.NewFlagSet("rfprism", flag.ContinueOnError)
-	fig := fs.String("fig", "", "experiment to run: 4,5,6,8,9,10,11,12,13,14,17,20,latency,ablation,mobility,3d,all")
+	fig := fs.String("fig", "", "experiment to run: 4,5,6,8,9,10,11,12,13,14,17,20,latency,ablation,mobility,faults,3d,all")
 	seed := fs.Int64("seed", 42, "campaign seed")
 	quick := fs.Bool("quick", false, "reduced trial counts (~4x faster)")
 	if err := fs.Parse(args); err != nil {
@@ -97,6 +97,12 @@ func run(args []string) error {
 			return show(exp.RunAblations(cfg, locReps))
 		case "3d":
 			return show(exp.RunStudy3D(cfg, 24))
+		case "faults":
+			fspec := exp.DefaultFaultSweepSpec()
+			if !*quick {
+				fspec.Grid, fspec.Reps = 5, 2
+			}
+			return show(exp.RunFaultSweep(cfg, fspec))
 		case "mobility":
 			st, mv, err := exp.MobilityLinearity(cfg, 0.3)
 			if err != nil {

@@ -1,0 +1,277 @@
+package rfprism
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"testing"
+	"time"
+
+	"rfprism/internal/geom"
+	"rfprism/internal/rf"
+	"rfprism/internal/sim"
+)
+
+// newRedundantScene deploys the four-antenna redundant 2D testbed and
+// calibrates the system against the clean scene.
+func newRedundantScene(t *testing.T, seed int64) (*sim.Scene, *System, sim.Tag) {
+	t.Helper()
+	scene, err := sim.NewScene(sim.PaperAntennas2DRedundant(nil), rf.CleanSpace(), sim.DefaultConfig(), seed)
+	if err != nil {
+		t.Fatalf("NewScene: %v", err)
+	}
+	sys, err := NewSystem(DeploymentFromSim(scene.Antennas), Bounds2D(sim.PaperRegion()))
+	if err != nil {
+		t.Fatalf("NewSystem: %v", err)
+	}
+	tag := scene.NewTag("degraded")
+	none, err := rf.MaterialByName("none")
+	if err != nil {
+		t.Fatal(err)
+	}
+	calPos := geom.Vec3{X: 1.0, Y: 1.5}
+	if err := sys.CalibrateAntennas(scene.CollectWindow(tag, scene.Place(calPos, 0, none)), calPos, 0); err != nil {
+		t.Fatalf("CalibrateAntennas: %v", err)
+	}
+	return scene, sys, tag
+}
+
+func faultedWindow(t *testing.T, scene *sim.Scene, tag sim.Tag, pos geom.Vec3, cfg sim.FaultConfig) []sim.Reading {
+	t.Helper()
+	fi, err := sim.NewFaultInjector(scene, cfg, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	none, err := rf.MaterialByName("none")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fi.CollectWindow(tag, scene.Place(pos, 0.5, none))
+}
+
+// TestDegradedOneDeadAntennaStillLocalizes: with one of four antennas
+// dead the 2D solve must proceed on the surviving three and say so in
+// its Health report.
+func TestDegradedOneDeadAntennaStillLocalizes(t *testing.T) {
+	scene, sys, tag := newRedundantScene(t, 61)
+	pos := geom.Vec3{X: 0.9, Y: 1.2}
+	win := faultedWindow(t, scene, tag, pos, sim.FaultConfig{DeadAntennas: []int{0}})
+	res, err := sys.ProcessWindow(win)
+	if err != nil {
+		t.Fatalf("one dead antenna must not reject the window: %v", err)
+	}
+	if res.Health == nil {
+		t.Fatal("Result without Health report")
+	}
+	if !res.Health.Degraded {
+		t.Fatal("subset solution not flagged degraded")
+	}
+	if got := res.Health.UsedAntennas(); len(got) != 3 {
+		t.Fatalf("used antennas %v, want 3 survivors", got)
+	}
+	e := res.Health.entry(0)
+	if e == nil || e.Used || e.Reason != DropSilent {
+		t.Fatalf("dead antenna 0 reported as %+v, want silent drop", e)
+	}
+	if len(res.Lines) != 3 || len(res.Linearity) != 3 || len(res.Spectra) != 3 {
+		t.Fatalf("result slices not aligned with survivors: %d/%d/%d lines/reports/spectra",
+			len(res.Lines), len(res.Linearity), len(res.Spectra))
+	}
+	if d := math.Hypot(res.Estimate.Pos.X-pos.X, res.Estimate.Pos.Y-pos.Y); d > 0.3 {
+		t.Fatalf("degraded localization off by %.2f m", d)
+	}
+}
+
+// TestDegradedTwoDeadAntennasReject: two dead antennas leave fewer
+// than the 2D minimum of three; the window must be rejected with the
+// typed chain and a populated Health report.
+func TestDegradedTwoDeadAntennasReject(t *testing.T) {
+	scene, sys, tag := newRedundantScene(t, 62)
+	win := faultedWindow(t, scene, tag, geom.Vec3{X: 1.1, Y: 1.3},
+		sim.FaultConfig{DeadAntennas: []int{1, 3}})
+	_, err := sys.ProcessWindow(win)
+	if err == nil {
+		t.Fatal("two dead antennas must reject the window")
+	}
+	if !errors.Is(err, ErrWindowRejected) {
+		t.Fatalf("error %v not ErrWindowRejected", err)
+	}
+	if !errors.Is(err, ErrAntennaSilent) {
+		t.Fatalf("error %v does not carry ErrAntennaSilent", err)
+	}
+	h, ok := HealthFromError(err)
+	if !ok {
+		t.Fatalf("rejection without Health report: %v", err)
+	}
+	if got := h.DroppedAntennas(); len(got) != 2 {
+		t.Fatalf("dropped antennas %v, want the two dead ones", got)
+	}
+	for _, id := range []int{1, 3} {
+		if e := h.entry(id); e == nil || e.Reason != DropSilent {
+			t.Fatalf("antenna %d not reported silent: %+v", id, e)
+		}
+	}
+}
+
+// TestHealthCleanWindowNotDegraded: a clean window on the redundant
+// deployment uses all four antennas and is not flagged.
+func TestHealthCleanWindowNotDegraded(t *testing.T) {
+	scene, sys, tag := newRedundantScene(t, 63)
+	none, err := rf.MaterialByName("none")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sys.ProcessWindow(scene.CollectWindow(tag, scene.Place(geom.Vec3{X: 1, Y: 1.1}, 0.2, none)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Health == nil || res.Health.Degraded {
+		t.Fatalf("clean window misreported: %+v", res.Health)
+	}
+	if got := res.Health.UsedAntennas(); len(got) != 4 {
+		t.Fatalf("used antennas %v, want all 4", got)
+	}
+}
+
+// TestRetryRecoversTransientFault: a window whose first collections
+// are fatally degraded but whose later ones are clean must succeed
+// through the retry loop, with the consumed attempts recorded.
+func TestRetryRecoversTransientFault(t *testing.T) {
+	scene, sys, tag := newRedundantScene(t, 64)
+	WithWindowRetry(3, time.Microsecond)(sys)
+	none, err := rf.MaterialByName("none")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl := scene.Place(geom.Vec3{X: 0.9, Y: 1.4}, 0.3, none)
+	fi, err := sim.NewFaultInjector(scene, sim.FaultConfig{DeadAntennas: []int{0, 2}}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	calls := 0
+	collect := func() ([]sim.Reading, error) {
+		calls++
+		if calls <= 2 {
+			return fi.CollectWindow(tag, pl), nil // 2 dead antennas: rejected
+		}
+		return scene.CollectWindow(tag, pl), nil
+	}
+	out := sys.ProcessWindows(context.Background(), []Window{{Collect: collect}})
+	if len(out) != 1 {
+		t.Fatalf("%d results", len(out))
+	}
+	r := out[0]
+	if r.Err != nil {
+		t.Fatalf("retry did not recover: %v", r.Err)
+	}
+	if calls != 3 {
+		t.Fatalf("collected %d times, want 3", calls)
+	}
+	h := r.Health()
+	if h == nil || h.Attempts != 3 {
+		t.Fatalf("attempts not recorded: %+v", h)
+	}
+}
+
+// TestRetryExhaustionSurfacesLastError: a persistently fatal fault
+// must exhaust the retry budget and surface the last window error,
+// Health included.
+func TestRetryExhaustionSurfacesLastError(t *testing.T) {
+	scene, sys, tag := newRedundantScene(t, 65)
+	WithWindowRetry(3, time.Microsecond)(sys)
+	none, err := rf.MaterialByName("none")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl := scene.Place(geom.Vec3{X: 1.0, Y: 1.2}, 0, none)
+	fi, err := sim.NewFaultInjector(scene, sim.FaultConfig{DeadAntennas: []int{0, 1}}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	calls := 0
+	in := make(chan Window, 1)
+	in <- Window{Collect: func() ([]sim.Reading, error) {
+		calls++
+		return fi.CollectWindow(tag, pl), nil
+	}}
+	close(in)
+	var got []WindowResult
+	for r := range sys.ProcessStream(context.Background(), in) {
+		got = append(got, r)
+	}
+	if len(got) != 1 {
+		t.Fatalf("%d results", len(got))
+	}
+	r := got[0]
+	if r.Err == nil {
+		t.Fatal("persistent fault must fail")
+	}
+	if calls != 3 {
+		t.Fatalf("collected %d times, want the full retry budget of 3", calls)
+	}
+	if !errors.Is(r.Err, ErrWindowRejected) || !errors.Is(r.Err, ErrAntennaSilent) {
+		t.Fatalf("wrong error chain: %v", r.Err)
+	}
+	h := r.Health()
+	if h == nil || h.Attempts != 3 {
+		t.Fatalf("attempts not recorded on failure: %+v", h)
+	}
+}
+
+// TestRetryNotTriggeredForNonRetryable: collection-level hard errors
+// (not rejection-class) must not consume retries.
+func TestRetryNotTriggeredForNonRetryable(t *testing.T) {
+	_, sys, _ := newRedundantScene(t, 66)
+	WithWindowRetry(5, time.Microsecond)(sys)
+	calls := 0
+	boom := fmt.Errorf("reader unplugged")
+	out := sys.ProcessWindows(context.Background(), []Window{{Collect: func() ([]sim.Reading, error) {
+		calls++
+		return nil, boom
+	}}})
+	if out[0].Err == nil {
+		t.Fatal("collect error swallowed")
+	}
+	// A failing Collect is transient by nature: it consumes the budget.
+	if calls != 5 {
+		t.Fatalf("collected %d times, want 5", calls)
+	}
+
+	// A window with readings but no Collect source must never retry.
+	scene2, sys2, tag2 := newRedundantScene(t, 67)
+	WithWindowRetry(5, time.Microsecond)(sys2)
+	fi, err := sim.NewFaultInjector(scene2, sim.FaultConfig{DeadAntennas: []int{0, 1}}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	none, err := rf.MaterialByName("none")
+	if err != nil {
+		t.Fatal(err)
+	}
+	win := fi.CollectWindow(tag2, scene2.Place(geom.Vec3{X: 1, Y: 1.2}, 0, none))
+	res := sys2.ProcessWindows(context.Background(), []Window{{Readings: win}})
+	if res[0].Err == nil {
+		t.Fatal("fatally degraded window must fail")
+	}
+	if h := res[0].Health(); h == nil || h.Attempts != 1 {
+		t.Fatalf("Collect-less window retried: %+v", h)
+	}
+}
+
+// TestCalibrationRejectsDegradedWindow: calibration needs every
+// deployed antenna; a silent one must be a typed error.
+func TestCalibrationRejectsDegradedWindow(t *testing.T) {
+	scene, _, tag := newRedundantScene(t, 68)
+	sys, err := NewSystem(DeploymentFromSim(scene.Antennas), Bounds2D(sim.PaperRegion()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	calPos := geom.Vec3{X: 1.0, Y: 1.5}
+	win := faultedWindow(t, scene, tag, calPos, sim.FaultConfig{DeadAntennas: []int{2}})
+	if err := sys.CalibrateAntennas(win, calPos, 0); err == nil {
+		t.Fatal("calibration accepted a degraded window")
+	} else if !errors.Is(err, ErrAntennaSilent) {
+		t.Fatalf("calibration error %v not typed ErrAntennaSilent", err)
+	}
+}

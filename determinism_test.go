@@ -5,6 +5,7 @@ import (
 
 	"rfprism/internal/geom"
 	"rfprism/internal/rf"
+	"rfprism/internal/sim"
 )
 
 // TestPipelineDeterministic: the entire stack — simulation,
@@ -31,6 +32,55 @@ func TestPipelineDeterministic(t *testing.T) {
 	a, b := runOnce(), runOnce()
 	if a != b {
 		t.Fatalf("pipeline not deterministic:\n%+v\n%+v", a, b)
+	}
+}
+
+// TestFaultedPipelineDeterministic: the fault-injection layer must
+// preserve the pure-function-of-the-seed property — the same (scene
+// seed, fault seed, fault config) yields the identical degraded
+// estimate and Health report.
+func TestFaultedPipelineDeterministic(t *testing.T) {
+	runOnce := func() (Estimate, string) {
+		scene, err := sim.NewScene(sim.PaperAntennas2DRedundant(nil), rf.CleanSpace(), sim.DefaultConfig(), 101)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sys, err := NewSystem(DeploymentFromSim(scene.Antennas), Bounds2D(sim.PaperRegion()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		tag := scene.NewTag("det-fault")
+		none, err := rf.MaterialByName("none")
+		if err != nil {
+			t.Fatal(err)
+		}
+		calPos := geom.Vec3{X: 1.0, Y: 1.5}
+		if err := sys.CalibrateAntennas(scene.CollectWindow(tag, scene.Place(calPos, 0, none)), calPos, 0); err != nil {
+			t.Fatal(err)
+		}
+		fi, err := sim.NewFaultInjector(scene, sim.FaultConfig{
+			DeadAntennas:  []int{3},
+			BurstLossProb: sim.BurstLossEntryProb(0.1, 20),
+		}, 77)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := sys.ProcessWindow(fi.CollectWindow(tag, scene.Place(geom.Vec3{X: 0.9, Y: 1.1}, 0.8, none)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Estimate, res.Health.String()
+	}
+	estA, healthA := runOnce()
+	estB, healthB := runOnce()
+	if estA != estB {
+		t.Fatalf("faulted pipeline not deterministic:\n%+v\n%+v", estA, estB)
+	}
+	if healthA != healthB {
+		t.Fatalf("health reports differ:\n%s\n%s", healthA, healthB)
+	}
+	if healthA == "" || healthA == "health{degraded=false}" {
+		t.Fatalf("dead antenna not reflected in health: %s", healthA)
 	}
 }
 

@@ -1,0 +1,186 @@
+package rfprism
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+)
+
+// ErrAntennaSilent is the typed cause for an antenna that produced no
+// usable spectrum in a window (dead port, total read loss). It is
+// wrapped under ErrWindowRejected when silent antennas leave too few
+// survivors to solve; callers branch with errors.Is instead of string
+// matching.
+var ErrAntennaSilent = errors.New("rfprism: antenna produced no spectrum")
+
+// ErrAntennaFit is the typed cause for an antenna whose spectrum was
+// present but whose line fit failed (degenerate frequency spread, no
+// clean channel consensus).
+var ErrAntennaFit = errors.New("rfprism: antenna line fit failed")
+
+// DropReason explains why an antenna did not contribute to a window's
+// solution.
+type DropReason int
+
+const (
+	// DropNone marks an antenna that contributed to the solution.
+	DropNone DropReason = iota
+	// DropSilent marks an antenna with no usable spectrum
+	// (ErrAntennaSilent).
+	DropSilent
+	// DropFit marks an antenna whose line fit failed (ErrAntennaFit).
+	DropFit
+	// DropDetector marks an antenna rejected by the error detector
+	// (non-linear spectrum) while enough clean antennas remained.
+	DropDetector
+)
+
+// String names the reason for logs and reports.
+func (r DropReason) String() string {
+	switch r {
+	case DropNone:
+		return "used"
+	case DropSilent:
+		return "silent"
+	case DropFit:
+		return "fit-failed"
+	case DropDetector:
+		return "detector"
+	default:
+		return fmt.Sprintf("reason(%d)", int(r))
+	}
+}
+
+// AntennaHealth is the per-antenna slice of a window's Health report.
+type AntennaHealth struct {
+	// ID is the antenna's deployment ID.
+	ID int
+	// Used reports whether the antenna contributed to the solution.
+	Used bool
+	// Reason explains a dropped antenna (DropNone when used).
+	Reason DropReason
+	// ChannelsKept is the number of channels surviving the §V-D
+	// selection of this antenna's fit (0 for silent antennas).
+	ChannelsKept int
+	// ChannelsTotal is the number of channels the antenna's spectrum
+	// offered before selection.
+	ChannelsTotal int
+	// ResidStd is the error detector's fit residual std (rad).
+	ResidStd float64
+	// KeptFraction is the detector's surviving-channel share.
+	KeptFraction float64
+}
+
+// Health is the per-window degradation report: which deployed
+// antennas contributed, why the others did not, and how hard the
+// pipeline had to work for the answer. Every Result carries one, and
+// rejected windows carry one inside their WindowError, so operators
+// can always tell a healthy deployment from one running on its spare
+// antenna.
+type Health struct {
+	// Antennas has one entry per deployed antenna, in deployment
+	// order.
+	Antennas []AntennaHealth
+	// Degraded is true when at least one deployed antenna was dropped
+	// (the solution, if any, came from a subset).
+	Degraded bool
+	// Attempts is the number of processing attempts this window
+	// consumed (> 1 when the batch layer retried a transient fault;
+	// 0 means the window never reached the retry-aware path).
+	Attempts int
+}
+
+// UsedAntennas returns the IDs of the antennas that contributed.
+func (h *Health) UsedAntennas() []int {
+	var out []int
+	for _, a := range h.Antennas {
+		if a.Used {
+			out = append(out, a.ID)
+		}
+	}
+	return out
+}
+
+// DroppedAntennas returns the IDs of the antennas that did not
+// contribute.
+func (h *Health) DroppedAntennas() []int {
+	var out []int
+	for _, a := range h.Antennas {
+		if !a.Used {
+			out = append(out, a.ID)
+		}
+	}
+	return out
+}
+
+// String renders a compact one-line report.
+func (h *Health) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "health{degraded=%v", h.Degraded)
+	if h.Attempts > 1 {
+		fmt.Fprintf(&b, " attempts=%d", h.Attempts)
+	}
+	for _, a := range h.Antennas {
+		fmt.Fprintf(&b, " ant%d=%s(%d/%d ch, resid %.3f)",
+			a.ID, a.Reason, a.ChannelsKept, a.ChannelsTotal, a.ResidStd)
+	}
+	b.WriteString("}")
+	return b.String()
+}
+
+// newHealth starts a report with every deployed antenna marked silent;
+// observe upgrades entries as spectra and fits materialize.
+func newHealth(antennas []AntennaGeometry) *Health {
+	h := &Health{Antennas: make([]AntennaHealth, len(antennas))}
+	for i, a := range antennas {
+		h.Antennas[i] = AntennaHealth{ID: a.ID, Reason: DropSilent}
+	}
+	return h
+}
+
+// entry returns the report slot of antenna id.
+func (h *Health) entry(id int) *AntennaHealth {
+	for i := range h.Antennas {
+		if h.Antennas[i].ID == id {
+			return &h.Antennas[i]
+		}
+	}
+	return nil
+}
+
+// finalize recomputes the Degraded flag from the per-antenna slots.
+func (h *Health) finalize() {
+	h.Degraded = false
+	for _, a := range h.Antennas {
+		if !a.Used {
+			h.Degraded = true
+			return
+		}
+	}
+}
+
+// WindowError is the failure report of a window that could not be
+// solved: the causal chain (ErrWindowRejected, ErrAntennaSilent, ...)
+// plus the Health snapshot describing what every antenna contributed
+// before the window was given up on. errors.Is/As see through it.
+type WindowError struct {
+	// Health is the per-antenna report at the point of failure.
+	Health *Health
+	err    error
+}
+
+// Error implements error.
+func (e *WindowError) Error() string { return e.err.Error() }
+
+// Unwrap exposes the causal chain to errors.Is/As.
+func (e *WindowError) Unwrap() error { return e.err }
+
+// HealthFromError extracts the Health report from a processing error,
+// if it carries one (all rejection paths of ProcessWindow do).
+func HealthFromError(err error) (*Health, bool) {
+	var we *WindowError
+	if errors.As(err, &we) && we.Health != nil {
+		return we.Health, true
+	}
+	return nil, false
+}

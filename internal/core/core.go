@@ -37,6 +37,18 @@ import (
 // needs are observed (3 for 2D, 4 for 3D).
 var ErrTooFewAntennas = errors.New("core: too few antennas")
 
+// MinAntennas returns the observation count the solver model needs:
+// 3 for the 2D model, 4 for the 3D model. Deployments with more
+// antennas than this are redundant — the solvers accept any subset of
+// at least this size, which is what lets the pipeline keep running
+// when antennas die (degraded mode, DESIGN.md §7).
+func MinAntennas(mode3D bool) int {
+	if mode3D {
+		return 4
+	}
+	return 3
+}
+
 // Observation is the per-antenna input to the disentangler: the
 // antenna's surveyed geometry and the fitted phase-vs-frequency line
 // of the current window. Freqs/Phases optionally carry the surviving
@@ -301,7 +313,7 @@ func jointCost2D(obs []Observation, p []float64, sigmaB float64, prior ktPrior) 
 // orientation and material intercept from the per-antenna intercepts.
 func Solve2D(obs []Observation, bounds Bounds, opts Options) (Estimate, error) {
 	opts.defaults()
-	if len(obs) < 3 {
+	if len(obs) < MinAntennas(false) {
 		return Estimate{}, fmt.Errorf("%w: have %d, need 3 for 2D", ErrTooFewAntennas, len(obs))
 	}
 

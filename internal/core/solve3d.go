@@ -16,7 +16,7 @@ import (
 // unknowns).
 func Solve3D(obs []Observation, bounds Bounds, opts Options) (Estimate, error) {
 	opts.defaults()
-	if len(obs) < 4 {
+	if len(obs) < MinAntennas(true) {
 		return Estimate{}, fmt.Errorf("%w: have %d, need 4 for 3D", ErrTooFewAntennas, len(obs))
 	}
 	if bounds.ZMax < bounds.ZMin {

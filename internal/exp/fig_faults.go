@@ -1,0 +1,205 @@
+package exp
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"strings"
+	"time"
+
+	"rfprism"
+	"rfprism/internal/eval"
+	"rfprism/internal/geom"
+	"rfprism/internal/mathx"
+	"rfprism/internal/rf"
+	"rfprism/internal/sim"
+)
+
+// Fault-sweep campaign (DESIGN.md §7): the same grid of ground-truth
+// positions is measured twice on a four-antenna redundant 2D
+// deployment — once clean, once through a seeded sim.FaultInjector —
+// and the two error distributions are compared. The campaign proves
+// the degraded-mode claim: with one dead antenna and burst reading
+// loss the pipeline keeps localizing from the surviving subset, no
+// window hard-fails without a Health report, and the median error
+// stays within a small factor of the fault-free baseline.
+
+// FaultSweepSpec parameterizes the fault sweep.
+type FaultSweepSpec struct {
+	// Grid is the side of the Grid×Grid ground-truth position grid
+	// (default 3).
+	Grid int
+	// Reps is the number of windows per position (default 2).
+	Reps int
+	// Faults is the injected fault profile.
+	Faults sim.FaultConfig
+	// FaultSeed drives the injector RNG (default 1234).
+	FaultSeed int64
+	// RetryAttempts bounds the per-window retry of transient faults
+	// (default 3).
+	RetryAttempts int
+}
+
+func (s *FaultSweepSpec) defaults() {
+	if s.Grid <= 0 {
+		s.Grid = 3
+	}
+	if s.Reps <= 0 {
+		s.Reps = 2
+	}
+	if s.FaultSeed == 0 {
+		s.FaultSeed = 1234
+	}
+	if s.RetryAttempts <= 0 {
+		s.RetryAttempts = 3
+	}
+}
+
+// DefaultFaultSweepSpec is the acceptance profile: one dead antenna
+// out of four plus 10% burst reading loss.
+func DefaultFaultSweepSpec() FaultSweepSpec {
+	return FaultSweepSpec{
+		Faults: sim.FaultConfig{
+			DeadAntennas:  []int{3},
+			BurstLossProb: sim.BurstLossEntryProb(0.10, 20),
+			MeanBurstLen:  20,
+		},
+	}
+}
+
+// FaultSweepResult summarizes the paired clean/faulted campaign.
+type FaultSweepResult struct {
+	// Baseline and Faulted are the localization error stats (cm) of
+	// the clean and the fault-injected passes.
+	Baseline, Faulted eval.ErrorStats
+	// Windows is the number of faulted windows attempted.
+	Windows int
+	// Solved counts faulted windows that produced an estimate.
+	Solved int
+	// Degraded counts solved windows whose Health is degraded (the
+	// estimate came from an antenna subset).
+	Degraded int
+	// Rejected counts faulted windows that still failed after
+	// retries.
+	Rejected int
+	// Retried counts faulted windows that consumed more than one
+	// attempt.
+	Retried int
+	// MissingHealth counts failures without a Health report — the
+	// hard-fail class the degraded pipeline is meant to eliminate;
+	// must be zero.
+	MissingHealth int
+	// Stats are the injector's materialized fault counters.
+	Stats sim.FaultStats
+}
+
+// RunFaultSweep runs the paired clean/faulted campaign. The
+// deployment is the 2D layout plus one redundant antenna
+// (sim.PaperAntennas2DRedundant) so a single dead antenna leaves the
+// 2D minimum of three.
+func RunFaultSweep(cfg Config, spec FaultSweepSpec) (*FaultSweepResult, error) {
+	spec.defaults()
+	if cfg.Deploy == nil {
+		cfg.Deploy = sim.PaperAntennas2DRedundant
+	}
+	cfg.SysOpts = append(append([]rfprism.Option(nil), cfg.SysOpts...),
+		rfprism.WithWindowRetry(spec.RetryAttempts, time.Millisecond))
+	s, err := NewSetup(cfg)
+	if err != nil {
+		return nil, err
+	}
+	none, err := rf.MaterialByName("none")
+	if err != nil {
+		return nil, err
+	}
+	positions := s.Region.GridPoints(spec.Grid, spec.Grid)
+
+	// Clean pass: the fault-free baseline on the same deployment and
+	// calibration.
+	var specs []TrialSpec
+	for _, pos := range positions {
+		for r := 0; r < spec.Reps; r++ {
+			alpha := mathx.Rad(float64(30 * r))
+			specs = append(specs, s.CollectTrial(pos, alpha, none))
+		}
+	}
+	out := &FaultSweepResult{}
+	var baseErrs []float64
+	for _, o := range s.ProcessTrials(context.Background(), specs) {
+		if o.Err != nil {
+			continue
+		}
+		baseErrs = append(baseErrs, o.Trial.LocErrM*100)
+	}
+	if len(baseErrs) == 0 {
+		return nil, fmt.Errorf("exp: fault sweep: no clean baseline window solved")
+	}
+	out.Baseline = eval.Summarize(baseErrs)
+
+	// Faulted pass: same positions through the injector. Initial
+	// windows are collected serially, in trial order, so the campaign
+	// stays a pure function of its seed at any parallelism; Collect is
+	// only the *retry* source, whose rare re-collections the injector
+	// serializes for the concurrent workers.
+	fi, err := sim.NewFaultInjector(s.Scene, spec.Faults, spec.FaultSeed)
+	if err != nil {
+		return nil, err
+	}
+	wins := make([]rfprism.Window, 0, len(positions)*spec.Reps)
+	truths := make([]geom.Vec3, 0, len(positions)*spec.Reps)
+	for _, pos := range positions {
+		for r := 0; r < spec.Reps; r++ {
+			alpha := mathx.Rad(float64(30 * r))
+			pl := s.Scene.Place(pos, alpha, none)
+			wins = append(wins, rfprism.Window{
+				Readings: fi.CollectWindow(s.Tag, pl),
+				Collect:  fi.Source(s.Tag, pl),
+			})
+			truths = append(truths, pos)
+		}
+	}
+	out.Windows = len(wins)
+	var faultErrs []float64
+	for i, r := range s.Sys.ProcessWindows(context.Background(), wins) {
+		health := r.Health()
+		if health != nil && health.Attempts > 1 {
+			out.Retried++
+		}
+		if r.Err != nil {
+			out.Rejected++
+			if health == nil {
+				out.MissingHealth++
+			}
+			continue
+		}
+		out.Solved++
+		if health != nil && health.Degraded {
+			out.Degraded++
+		}
+		est := r.Result.Estimate
+		faultErrs = append(faultErrs,
+			100*math.Hypot(est.Pos.X-truths[i].X, est.Pos.Y-truths[i].Y))
+	}
+	if len(faultErrs) > 0 {
+		out.Faulted = eval.Summarize(faultErrs)
+	}
+	out.Stats = fi.Stats()
+	return out, nil
+}
+
+// String renders the sweep as a table plus the fault ledger.
+func (r *FaultSweepResult) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Fault sweep: dead antenna + burst loss on the redundant 2D deployment\n")
+	t := eval.Table{Header: []string{"pass", "mean cm", "median cm", "p90 cm"}}
+	t.AddRow("clean", fmt.Sprintf("%.2f", r.Baseline.Mean),
+		fmt.Sprintf("%.2f", r.Baseline.Median), fmt.Sprintf("%.2f", r.Baseline.P90))
+	t.AddRow("faulted", fmt.Sprintf("%.2f", r.Faulted.Mean),
+		fmt.Sprintf("%.2f", r.Faulted.Median), fmt.Sprintf("%.2f", r.Faulted.P90))
+	b.WriteString(t.String())
+	fmt.Fprintf(&b, "windows %d: solved %d (degraded %d), rejected %d, retried %d, missing-health %d\n",
+		r.Windows, r.Solved, r.Degraded, r.Rejected, r.Retried, r.MissingHealth)
+	fmt.Fprintf(&b, "injected: %d silenced antenna-windows, %d burst-lost readings, %d restarts\n",
+		r.Stats.SilencedAntennaWindows, r.Stats.BurstLostReadings, r.Stats.Restarts)
+	return b.String()
+}

@@ -1,0 +1,55 @@
+package exp
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestFaultSweepAcceptance is the ISSUE acceptance criterion for the
+// degraded pipeline: with one dead antenna out of four and 10% burst
+// reading loss, every window still produces either an estimate or a
+// Health-carrying rejection, and the median localization error stays
+// within 2× of the fault-free baseline.
+func TestFaultSweepAcceptance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("paired campaign too slow for -short")
+	}
+	r, err := RunFaultSweep(Config{Seed: 42}, DefaultFaultSweepSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Windows == 0 {
+		t.Fatal("no faulted windows attempted")
+	}
+	if r.MissingHealth != 0 {
+		t.Fatalf("%d windows hard-failed without a Health report", r.MissingHealth)
+	}
+	if r.Rejected != 0 {
+		t.Fatalf("%d windows rejected despite degraded mode", r.Rejected)
+	}
+	if r.Solved != r.Windows {
+		t.Fatalf("solved %d of %d windows", r.Solved, r.Windows)
+	}
+	if r.Degraded == 0 {
+		t.Fatal("dead antenna injected but no window reported degraded")
+	}
+	if r.Stats.SilencedAntennaWindows == 0 || r.Stats.BurstLostReadings == 0 {
+		t.Fatalf("faults not materialized: %+v", r.Stats)
+	}
+	if r.Faulted.Median > 2*r.Baseline.Median {
+		t.Fatalf("faulted median %.2f cm exceeds 2x baseline %.2f cm",
+			r.Faulted.Median, r.Baseline.Median)
+	}
+	if !strings.Contains(r.String(), "Fault sweep") {
+		t.Error("renderer missing title")
+	}
+}
+
+// TestFaultSweepRejectsBadProfile covers the config validation path.
+func TestFaultSweepRejectsBadProfile(t *testing.T) {
+	spec := DefaultFaultSweepSpec()
+	spec.Faults.BurstLossProb = 1.5
+	if _, err := RunFaultSweep(Config{Seed: 1, CalWindows: 1}, spec); err == nil {
+		t.Fatal("invalid fault profile accepted")
+	}
+}

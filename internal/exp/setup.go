@@ -37,6 +37,10 @@ type Config struct {
 	// CalWindows is the number of averaged calibration windows
 	// (default 5).
 	CalWindows int
+	// Deploy overrides the antenna deployment builder (default
+	// sim.PaperAntennas2D); the rng draws the per-antenna hardware
+	// offsets. The fault sweep uses sim.PaperAntennas2DRedundant.
+	Deploy func(*rand.Rand) []sim.Antenna
 }
 
 func (c Config) env() rf.Environment {
@@ -74,7 +78,11 @@ func NewSetup(cfg Config) (*Setup, error) {
 	// Antenna hardware offsets come from a seed-derived RNG so the
 	// whole campaign is a function of one seed.
 	hwRng := rand.New(rand.NewSource(cfg.Seed))
-	ants := sim.PaperAntennas2D(hwRng)
+	deploy := cfg.Deploy
+	if deploy == nil {
+		deploy = sim.PaperAntennas2D
+	}
+	ants := deploy(hwRng)
 	scene, err := sim.NewScene(ants, cfg.env(), cfg.simConfig(), cfg.Seed+1)
 	if err != nil {
 		return nil, fmt.Errorf("exp: scene: %w", err)

@@ -17,6 +17,25 @@ import (
 // line fit needs.
 var ErrTooFewChannels = errors.New("fit: too few channels")
 
+// finite reports whether x is a usable sample value. Readers under
+// fault (spikes, deep fades, parse glitches) can surface NaN or ±Inf
+// phases; every fit treats such samples as absent rather than letting
+// them poison the sums.
+func finite(x float64) bool {
+	return !math.IsNaN(x) && !math.IsInf(x, 0)
+}
+
+// checkFinite rejects a fitted line whose parameters overflowed:
+// finite but astronomically large inputs can drive the accumulated
+// sums past the float64 range without any single sample being
+// non-finite.
+func checkFinite(l Line) (Line, error) {
+	if !finite(l.K) || !finite(l.B0) || !finite(l.SigmaK) || !finite(l.SigmaB0) || !finite(l.ResidStd) {
+		return Line{}, fmt.Errorf("fit: numeric overflow")
+	}
+	return l, nil
+}
+
 // Line is a fitted phase-vs-frequency line in the centered
 // parameterization θ(f) = K·(f − f₀) + B0 with f₀ = band center
 // (see DESIGN.md §2 for why the centered intercept is used instead of
@@ -63,10 +82,13 @@ func fitMasked(freqs, phases []float64, mask []bool) (Line, error) {
 	if len(freqs) != len(phases) {
 		return Line{}, fmt.Errorf("fit: %d freqs vs %d phases", len(freqs), len(phases))
 	}
+	use := func(i int) bool {
+		return mask[i] && finite(freqs[i]) && finite(phases[i])
+	}
 	n := 0
 	var sx, sy float64
 	for i := range freqs {
-		if !mask[i] {
+		if !use(i) {
 			continue
 		}
 		n++
@@ -80,7 +102,7 @@ func fitMasked(freqs, phases []float64, mask []bool) (Line, error) {
 	my := sy / float64(n)
 	var sxx, sxy float64
 	for i := range freqs {
-		if !mask[i] {
+		if !use(i) {
 			continue
 		}
 		dx := (freqs[i] - rf.CenterFrequencyHz) - mx
@@ -95,10 +117,12 @@ func fitMasked(freqs, phases []float64, mask []bool) (Line, error) {
 	b0 := my - k*mx
 
 	var rss float64
+	used := make([]bool, len(freqs))
 	for i := range freqs {
-		if !mask[i] {
+		if !use(i) {
 			continue
 		}
+		used[i] = true
 		x := freqs[i] - rf.CenterFrequencyHz
 		r := phases[i] - (k*x + b0)
 		rss += r * r
@@ -114,10 +138,10 @@ func fitMasked(freqs, phases []float64, mask []bool) (Line, error) {
 		SigmaK:   math.Sqrt(sigma2 / sxx),
 		SigmaB0:  math.Sqrt(sigma2 * (1/float64(n) + mx*mx/sxx)),
 		ResidStd: math.Sqrt(sigma2),
-		Used:     append([]bool(nil), mask...),
+		Used:     used,
 		NumUsed:  n,
 	}
-	return line, nil
+	return checkFinite(line)
 }
 
 // FitLineWeighted performs a weighted least-squares line fit with
@@ -128,13 +152,16 @@ func FitLineWeighted(freqs, phases, weights []float64) (Line, error) {
 	if len(freqs) != len(phases) || len(freqs) != len(weights) {
 		return Line{}, fmt.Errorf("fit: mismatched lengths %d/%d/%d", len(freqs), len(phases), len(weights))
 	}
+	use := func(i int) bool {
+		return weights[i] > 0 && finite(weights[i]) && finite(freqs[i]) && finite(phases[i])
+	}
 	var sw, sx, sy float64
 	n := 0
 	for i := range freqs {
-		w := weights[i]
-		if w <= 0 {
+		if !use(i) {
 			continue
 		}
+		w := weights[i]
 		n++
 		sw += w
 		sx += w * (freqs[i] - rf.CenterFrequencyHz)
@@ -147,10 +174,10 @@ func FitLineWeighted(freqs, phases, weights []float64) (Line, error) {
 	my := sy / sw
 	var sxx, sxy float64
 	for i := range freqs {
-		w := weights[i]
-		if w <= 0 {
+		if !use(i) {
 			continue
 		}
+		w := weights[i]
 		dx := (freqs[i] - rf.CenterFrequencyHz) - mx
 		sxx += w * dx * dx
 		sxy += w * dx * (phases[i] - my)
@@ -163,10 +190,10 @@ func FitLineWeighted(freqs, phases, weights []float64) (Line, error) {
 	var rss, wsum float64
 	used := make([]bool, len(freqs))
 	for i := range freqs {
-		w := weights[i]
-		if w <= 0 {
+		if !use(i) {
 			continue
 		}
+		w := weights[i]
 		used[i] = true
 		x := freqs[i] - rf.CenterFrequencyHz
 		r := phases[i] - (k*x + b0)
@@ -174,7 +201,7 @@ func FitLineWeighted(freqs, phases, weights []float64) (Line, error) {
 		wsum += w
 	}
 	sigma2 := rss / wsum * float64(n) / math.Max(float64(n-2), 1)
-	return Line{
+	return checkFinite(Line{
 		K:        k,
 		B0:       b0,
 		SigmaK:   math.Sqrt(sigma2 / sxx * wsum / float64(n)),
@@ -182,7 +209,7 @@ func FitLineWeighted(freqs, phases, weights []float64) (Line, error) {
 		ResidStd: math.Sqrt(sigma2),
 		Used:     used,
 		NumUsed:  n,
-	}, nil
+	})
 }
 
 // PowerWeights converts per-channel RSSI (dBm) into linear power

@@ -1,0 +1,114 @@
+package fit
+
+import (
+	"encoding/binary"
+	"errors"
+	"math"
+	"testing"
+)
+
+// decodeTriples splits fuzz bytes into parallel freq/phase/RSSI
+// samples, 24 raw float64 bytes per channel.
+func decodeTriples(data []byte) (freqs, phases, rssi []float64) {
+	for len(data) >= 24 {
+		freqs = append(freqs, math.Float64frombits(binary.LittleEndian.Uint64(data[0:])))
+		phases = append(phases, math.Float64frombits(binary.LittleEndian.Uint64(data[8:])))
+		rssi = append(rssi, math.Float64frombits(binary.LittleEndian.Uint64(data[16:])))
+		data = data[24:]
+	}
+	return
+}
+
+func encodeTriples(freqs, phases, rssi []float64) []byte {
+	out := make([]byte, 0, len(freqs)*24)
+	var buf [24]byte
+	for i := range freqs {
+		binary.LittleEndian.PutUint64(buf[0:], math.Float64bits(freqs[i]))
+		binary.LittleEndian.PutUint64(buf[8:], math.Float64bits(phases[i]))
+		binary.LittleEndian.PutUint64(buf[16:], math.Float64bits(rssi[i]))
+		out = append(out, buf[:]...)
+	}
+	return out
+}
+
+func seedSpectrum(n int, corrupt func(i int, f, p, r *float64)) []byte {
+	freqs := make([]float64, n)
+	phases := make([]float64, n)
+	rssi := make([]float64, n)
+	for i := 0; i < n; i++ {
+		freqs[i] = 920e6 + float64(i)*500e3
+		phases[i] = 2 + 0.04*float64(i)
+		rssi[i] = -55
+		if corrupt != nil {
+			corrupt(i, &freqs[i], &phases[i], &rssi[i])
+		}
+	}
+	return encodeTriples(freqs, phases, rssi)
+}
+
+// FuzzFitLineRobust drives the §V-D channel-selection fit with hostile
+// spectra: NaN/Inf phases, duplicate frequencies, overflow-scale
+// values, empty and tiny inputs. The fit must never panic, and a nil
+// error implies finite parameters with at least MinChannels survivors.
+func FuzzFitLineRobust(f *testing.F) {
+	f.Add([]byte{}, true)
+	f.Add(seedSpectrum(16, nil), true)
+	f.Add(seedSpectrum(2, nil), false)
+	f.Add(seedSpectrum(16, func(i int, fr, p, r *float64) {
+		if i%3 == 0 {
+			*p = math.NaN()
+		}
+	}), true)
+	f.Add(seedSpectrum(16, func(i int, fr, p, r *float64) {
+		if i%2 == 0 {
+			*p = math.Inf(1)
+		}
+		*r = math.NaN()
+	}), true)
+	f.Add(seedSpectrum(16, func(i int, fr, p, r *float64) {
+		*fr = 920e6 // all channels on one frequency: degenerate spread
+	}), true)
+	f.Add(seedSpectrum(16, func(i int, fr, p, r *float64) {
+		*p = 1e308 // overflow-scale but finite
+		*r = 300
+	}), true)
+	f.Fuzz(func(t *testing.T, data []byte, withRSSI bool) {
+		freqs, phases, rssi := decodeTriples(data)
+		if !withRSSI {
+			rssi = nil
+		}
+		opts := RobustOptions{}
+		line, err := FitLineRobust(freqs, phases, rssi, opts)
+		if err == nil {
+			opts.defaults()
+			if line.NumUsed < opts.MinChannels {
+				t.Fatalf("nil error with %d channels (< %d)", line.NumUsed, opts.MinChannels)
+			}
+			for _, v := range []float64{line.K, line.B0, line.SigmaK, line.SigmaB0, line.ResidStd} {
+				if math.IsNaN(v) || math.IsInf(v, 0) {
+					t.Fatalf("nil error with non-finite parameters %+v", line)
+				}
+			}
+			if len(line.Used) != len(freqs) {
+				t.Fatalf("Used length %d for %d inputs", len(line.Used), len(freqs))
+			}
+		} else if !errors.Is(err, ErrTooFewChannels) && line.NumUsed != 0 && err.Error() == "" {
+			t.Fatal("empty error message")
+		}
+
+		// The plain and weighted fits must share the no-panic and
+		// finite-on-success guarantees.
+		if l, err := FitLine(freqs, phases); err == nil {
+			if math.IsNaN(l.K) || math.IsInf(l.K, 0) || math.IsNaN(l.B0) || math.IsInf(l.B0, 0) {
+				t.Fatalf("FitLine: nil error with non-finite line %+v", l)
+			}
+		}
+		if withRSSI {
+			if l, err := FitLineWeighted(freqs, phases, PowerWeights(rssi)); err == nil {
+				if math.IsNaN(l.K) || math.IsInf(l.K, 0) || math.IsNaN(l.B0) || math.IsInf(l.B0, 0) {
+					t.Fatalf("FitLineWeighted: nil error with non-finite line %+v", l)
+				}
+			}
+		}
+	})
+}

@@ -1,0 +1,125 @@
+package preprocess
+
+import (
+	"encoding/binary"
+	"math"
+	"testing"
+
+	"rfprism/internal/sim"
+)
+
+// fuzzRecordLen is the wire size of one fuzzed reading: antenna byte,
+// channel byte, then phase/freq/RSSI as raw float64 bits (so NaN, ±Inf
+// and subnormals are all reachable).
+const fuzzRecordLen = 2 + 3*8
+
+func decodeReadings(data []byte) []sim.Reading {
+	var out []sim.Reading
+	for len(data) >= fuzzRecordLen {
+		out = append(out, sim.Reading{
+			Antenna: int(data[0] % 8),
+			Channel: int(int8(data[1])), // negative channels included
+			Phase:   math.Float64frombits(binary.LittleEndian.Uint64(data[2:])),
+			FreqHz:  math.Float64frombits(binary.LittleEndian.Uint64(data[10:])),
+			RSSI:    math.Float64frombits(binary.LittleEndian.Uint64(data[18:])),
+		})
+		data = data[fuzzRecordLen:]
+	}
+	return out
+}
+
+func encodeReadings(readings []sim.Reading) []byte {
+	out := make([]byte, 0, len(readings)*fuzzRecordLen)
+	var buf [fuzzRecordLen]byte
+	for _, r := range readings {
+		buf[0] = byte(r.Antenna)
+		buf[1] = byte(r.Channel)
+		binary.LittleEndian.PutUint64(buf[2:], math.Float64bits(r.Phase))
+		binary.LittleEndian.PutUint64(buf[10:], math.Float64bits(r.FreqHz))
+		binary.LittleEndian.PutUint64(buf[18:], math.Float64bits(r.RSSI))
+		out = append(out, buf[:]...)
+	}
+	return out
+}
+
+// seedWindow synthesizes a plausible clean window: reps reads on each
+// of nch channels of one antenna, phases on a gentle line.
+func seedWindow(nch, reps int, corrupt func(i int, r *sim.Reading)) []byte {
+	var rs []sim.Reading
+	i := 0
+	for ch := 0; ch < nch; ch++ {
+		for k := 0; k < reps; k++ {
+			r := sim.Reading{
+				Antenna: 1,
+				Channel: ch,
+				FreqHz:  920e6 + float64(ch)*500e3,
+				Phase:   math.Mod(0.3+0.05*float64(ch), 2*math.Pi),
+				RSSI:    -55,
+			}
+			if corrupt != nil {
+				corrupt(i, &r)
+			}
+			rs = append(rs, r)
+			i++
+		}
+	}
+	return encodeReadings(rs)
+}
+
+// FuzzBuildSpectra feeds hostile reading lists — NaN/Inf phases and
+// frequencies, duplicate and negative channels, empty and one-sample
+// antennas — through the preprocessing stage. The stage must never
+// panic: it either errors or returns well-formed finite spectra.
+func FuzzBuildSpectra(f *testing.F) {
+	f.Add([]byte{})
+	f.Add(seedWindow(16, 3, nil))
+	f.Add(seedWindow(16, 1, nil)) // below MinReads everywhere
+	f.Add(seedWindow(16, 3, func(i int, r *sim.Reading) {
+		if i%3 == 0 {
+			r.Phase = math.NaN()
+		}
+	}))
+	f.Add(seedWindow(16, 3, func(i int, r *sim.Reading) {
+		if i%4 == 0 {
+			r.Phase = math.Inf(1)
+		}
+		if i%5 == 0 {
+			r.FreqHz = math.Inf(-1)
+		}
+	}))
+	f.Add(seedWindow(16, 3, func(i int, r *sim.Reading) {
+		r.Channel = i % 2 // everything collapsed onto two channels
+	}))
+	f.Add(seedWindow(12, 2, func(i int, r *sim.Reading) {
+		r.RSSI = math.NaN()
+	}))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		readings := decodeReadings(data)
+		spectra, err := BuildSpectra(readings, Options{})
+		if err != nil {
+			return
+		}
+		if len(spectra) == 0 {
+			t.Fatal("nil error but no spectra")
+		}
+		for _, s := range spectra {
+			if len(s.Samples) < 10 {
+				t.Fatalf("antenna %d kept with %d samples", s.Antenna, len(s.Samples))
+			}
+			for i, c := range s.Samples {
+				if math.IsNaN(c.Phase) || math.IsInf(c.Phase, 0) {
+					t.Fatalf("antenna %d channel %d: non-finite phase %v", s.Antenna, c.Channel, c.Phase)
+				}
+				if math.IsNaN(c.FreqHz) || math.IsInf(c.FreqHz, 0) {
+					t.Fatalf("antenna %d channel %d: non-finite freq %v", s.Antenna, c.Channel, c.FreqHz)
+				}
+				if i > 0 && s.Samples[i-1].Channel >= c.Channel {
+					t.Fatalf("antenna %d: channels not strictly ascending", s.Antenna)
+				}
+				if c.Count < 2 {
+					t.Fatalf("antenna %d channel %d: %d reads below MinReads", s.Antenna, c.Channel, c.Count)
+				}
+			}
+		}
+	})
+}

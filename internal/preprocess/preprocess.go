@@ -143,9 +143,27 @@ func BuildSpectra(readings []sim.Reading, opts Options) ([]Spectrum, error) {
 	return out, nil
 }
 
+// finite reports whether x is a usable measurement value. A faulted
+// reader can surface NaN/±Inf phases or frequencies; such reads are
+// dropped before any arithmetic touches them.
+func finite(x float64) bool {
+	return !math.IsNaN(x) && !math.IsInf(x, 0)
+}
+
 // aggregateDwell resolves π flips, trims interference outliers and
-// circularly averages the reads of one dwell.
+// circularly averages the reads of one dwell. Reads carrying
+// non-finite phase, frequency or RSSI are discarded up front.
 func aggregateDwell(reads []sim.Reading, opts Options) (ChannelSample, bool) {
+	fin := make([]sim.Reading, 0, len(reads))
+	for _, r := range reads {
+		if finite(r.Phase) && finite(r.FreqHz) && finite(r.RSSI) {
+			fin = append(fin, r)
+		}
+	}
+	if len(fin) < opts.MinReads {
+		return ChannelSample{}, false
+	}
+	reads = fin
 	phases := make([]float64, len(reads))
 	for i, r := range reads {
 		phases[i] = r.Phase

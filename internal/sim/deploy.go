@@ -97,6 +97,19 @@ func PaperAntennas2D(rng *rand.Rand) []Antenna {
 	}
 }
 
+// PaperAntennas2DRedundant returns the 2D deployment plus one
+// redundant fourth antenna on the same mounting line. Three antennas
+// are the 2D minimum, so this layout tolerates a single antenna
+// failure: the degraded pipeline keeps localizing from the surviving
+// three (DESIGN.md §7). The spare sits *inside* the array aperture —
+// it adds redundancy, not reach — so losing any one antenna leaves a
+// subset whose geometry is close to the full layout's.
+func PaperAntennas2DRedundant(rng *rand.Rand) []Antenna {
+	ants := PaperAntennas2D(rng)
+	ants = append(ants, newAntenna(3, geom.Vec3{X: 1.25, Y: 0, Z: 1.35}, rng))
+	return ants
+}
+
 // PaperAntennas3D returns the four-antenna 3D deployment (§VII): the
 // 2D layout plus a fourth antenna mounted higher and off-axis so the
 // z coordinate becomes observable.

@@ -1,0 +1,210 @@
+package sim
+
+import (
+	"math"
+	"reflect"
+	"testing"
+	"time"
+
+	"rfprism/internal/geom"
+)
+
+func collectFaulted(t *testing.T, sceneSeed, faultSeed int64, cfg FaultConfig) []Reading {
+	t.Helper()
+	s := testScene(t, sceneSeed)
+	fi, err := NewFaultInjector(s, cfg, faultSeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tag := s.NewTag("fault-tag")
+	return fi.CollectWindow(tag, s.Place(geom.Vec3{X: 1, Y: 1.5}, 0.4, mustMaterial(t, "none")))
+}
+
+// TestZeroConfigInjectorTransparent: with a zero fault profile the
+// injector must be a byte-identical passthrough of the wrapped scene,
+// whatever the fault seed — the property that lets campaigns swap the
+// injector in unconditionally.
+func TestZeroConfigInjectorTransparent(t *testing.T) {
+	for _, faultSeed := range []int64{0, 1, 77, -3, 123456789} {
+		clean := func() []Reading {
+			s := testScene(t, 11)
+			tag := s.NewTag("fault-tag")
+			return s.CollectWindow(tag, s.Place(geom.Vec3{X: 1, Y: 1.5}, 0.4, mustMaterial(t, "none")))
+		}()
+		faulted := collectFaulted(t, 11, faultSeed, FaultConfig{})
+		if !reflect.DeepEqual(clean, faulted) {
+			t.Fatalf("fault seed %d: zero-config injector altered the window (%d vs %d readings)",
+				faultSeed, len(clean), len(faulted))
+		}
+	}
+}
+
+// TestInjectorDeterministic: equal (scene seed, fault seed, config)
+// must materialize the identical faulted window; a different fault
+// seed must not.
+func TestInjectorDeterministic(t *testing.T) {
+	cfg := FaultConfig{
+		DeadAntennas:      []int{2},
+		ChannelBlacklist:  []int{5, 6},
+		BurstLossProb:     BurstLossEntryProb(0.1, 10),
+		MeanBurstLen:      10,
+		PhaseSpikeProb:    0.01,
+		ChannelFadeProb:   0.1,
+		ReaderRestartProb: 1,
+	}
+	a := collectFaulted(t, 11, 42, cfg)
+	b := collectFaulted(t, 11, 42, cfg)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same seeds and config produced different faulted windows")
+	}
+	c := collectFaulted(t, 11, 43, cfg)
+	if reflect.DeepEqual(a, c) {
+		t.Fatal("different fault seeds produced identical faulted windows")
+	}
+}
+
+// TestInjectorFaultSemantics: each fault class materializes as
+// documented — dead antennas vanish, blacklisted channels vanish,
+// fades depress RSSI, and the stats ledger accounts for the losses.
+func TestInjectorFaultSemantics(t *testing.T) {
+	s := testScene(t, 21)
+	tag := s.NewTag("fault-tag")
+	pl := s.Place(geom.Vec3{X: 1, Y: 1.2}, 0, mustMaterial(t, "none"))
+	fi, err := NewFaultInjector(s, FaultConfig{
+		DeadAntennas:     []int{1},
+		ChannelBlacklist: []int{0, 1, 2},
+	}, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	win := fi.CollectWindow(tag, pl)
+	if len(win) == 0 {
+		t.Fatal("everything dropped")
+	}
+	for _, r := range win {
+		if r.Antenna == 1 {
+			t.Fatal("dead antenna still reporting")
+		}
+		if r.Channel <= 2 {
+			t.Fatalf("blacklisted channel %d still present", r.Channel)
+		}
+	}
+	st := fi.Stats()
+	if st.Windows != 1 || st.SilencedAntennaWindows != 1 || st.BlacklistedReadings == 0 {
+		t.Fatalf("stats ledger wrong: %+v", st)
+	}
+
+	// A certain fade on every channel must depress RSSI by the
+	// configured depth relative to the clean collection.
+	s2 := testScene(t, 21)
+	tag2 := s2.NewTag("fault-tag")
+	pl2 := s2.Place(geom.Vec3{X: 1, Y: 1.2}, 0, mustMaterial(t, "none"))
+	clean := s2.CollectWindow(tag2, pl2)
+	s3 := testScene(t, 21)
+	tag3 := s3.NewTag("fault-tag")
+	pl3 := s3.Place(geom.Vec3{X: 1, Y: 1.2}, 0, mustMaterial(t, "none"))
+	fi3, err := NewFaultInjector(s3, FaultConfig{ChannelFadeProb: 1, FadeDepthDB: 12}, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	faded := fi3.CollectWindow(tag3, pl3)
+	if len(faded) != len(clean) {
+		t.Fatalf("fades must not drop readings: %d vs %d", len(faded), len(clean))
+	}
+	for i := range faded {
+		if got := clean[i].RSSI - faded[i].RSSI; math.Abs(got-12) > 1e-9 {
+			t.Fatalf("reading %d: fade depth %.2f dB, want 12", i, got)
+		}
+		if faded[i].Phase < 0 || faded[i].Phase >= 2*math.Pi {
+			t.Fatalf("faded phase %g out of [0, 2π)", faded[i].Phase)
+		}
+	}
+}
+
+// TestInjectorRestartDropsSpan: a certain restart must remove a
+// contiguous time span of readings.
+func TestInjectorRestartDropsSpan(t *testing.T) {
+	s := testScene(t, 31)
+	tag := s.NewTag("fault-tag")
+	pl := s.Place(geom.Vec3{X: 1, Y: 1.5}, 0, mustMaterial(t, "none"))
+	fi, err := NewFaultInjector(s, FaultConfig{
+		ReaderRestartProb: 1,
+		RestartOutage:     500 * time.Millisecond,
+	}, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	win := fi.CollectWindow(tag, pl)
+	st := fi.Stats()
+	if st.Restarts != 1 {
+		t.Fatalf("restarts %d, want 1", st.Restarts)
+	}
+	if st.RestartLostReadings == 0 {
+		t.Fatal("restart lost no readings")
+	}
+	if len(win) == 0 {
+		t.Fatal("restart dropped the whole window")
+	}
+}
+
+// TestBurstLossFraction: BurstLossEntryProb must realize approximately
+// the requested loss fraction in expectation.
+func TestBurstLossFraction(t *testing.T) {
+	const frac = 0.10
+	s := testScene(t, 41)
+	tag := s.NewTag("fault-tag")
+	pl := s.Place(geom.Vec3{X: 1, Y: 1.5}, 0, mustMaterial(t, "none"))
+	fi, err := NewFaultInjector(s, FaultConfig{
+		BurstLossProb: BurstLossEntryProb(frac, 20),
+		MeanBurstLen:  20,
+	}, 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total, kept := 0, 0
+	for i := 0; i < 40; i++ {
+		clean := s.CollectWindow(tag, pl)
+		faulted := fi.Inject(clean)
+		total += len(clean)
+		kept += len(faulted)
+	}
+	got := 1 - float64(kept)/float64(total)
+	if got < frac/2 || got > frac*2 {
+		t.Fatalf("burst loss removed %.1f%% of readings, want ≈%.0f%%", got*100, frac*100)
+	}
+}
+
+// TestNewFaultInjectorValidation: out-of-range rates and a missing
+// scene are rejected.
+func TestNewFaultInjectorValidation(t *testing.T) {
+	s := testScene(t, 51)
+	for _, cfg := range []FaultConfig{
+		{AntennaDropoutProb: -0.1},
+		{BurstLossProb: 1.5},
+		{PhaseSpikeProb: math.NaN()},
+		{ChannelFadeProb: 2},
+		{ReaderRestartProb: -1},
+	} {
+		if _, err := NewFaultInjector(s, cfg, 1); err == nil {
+			t.Fatalf("config %+v accepted", cfg)
+		}
+	}
+	if _, err := NewFaultInjector(nil, FaultConfig{}, 1); err == nil {
+		t.Fatal("nil scene accepted")
+	}
+}
+
+// TestBurstLossEntryProbEdges: degenerate arguments collapse to zero
+// (no injection) instead of probabilities outside [0, 1].
+func TestBurstLossEntryProbEdges(t *testing.T) {
+	for _, c := range []struct{ frac, mean float64 }{
+		{0, 20}, {1, 20}, {-0.5, 20}, {0.5, 0}, {0.5, -2},
+	} {
+		if p := BurstLossEntryProb(c.frac, c.mean); p != 0 {
+			t.Fatalf("BurstLossEntryProb(%g, %g) = %g, want 0", c.frac, c.mean, p)
+		}
+	}
+	if p := BurstLossEntryProb(0.1, 20); p <= 0 || p >= 1 {
+		t.Fatalf("nominal entry probability %g out of (0, 1)", p)
+	}
+}

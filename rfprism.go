@@ -23,6 +23,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"time"
 
 	"rfprism/internal/core"
 	"rfprism/internal/fit"
@@ -71,13 +72,19 @@ type Estimate = core.Estimate
 type Result struct {
 	// Estimate is the disentangled tag state.
 	Estimate Estimate
-	// Lines are the per-antenna phase-vs-frequency fits, in the
-	// order of the system's antennas.
+	// Lines are the per-antenna phase-vs-frequency fits of the
+	// antennas that contributed, in deployment order (Health reports
+	// which antennas those are).
 	Lines []fit.Line
-	// Linearity are the per-antenna error-detector reports.
+	// Linearity are the per-antenna error-detector reports, aligned
+	// with Lines.
 	Linearity []fit.LinearityReport
-	// Spectra are the preprocessed per-antenna spectra.
+	// Spectra are the preprocessed per-antenna spectra, aligned with
+	// Lines.
 	Spectra []preprocess.Spectrum
+	// Health is the window's degradation report: every deployed
+	// antenna's fate plus the degraded flag.
+	Health *Health
 }
 
 // Option configures a System.
@@ -144,6 +151,8 @@ type System struct {
 	noSelection      bool
 	noDetector       bool
 	parallelism      int
+	retryAttempts    int
+	retryBackoff     time.Duration
 
 	antennaCal core.AntennaCal
 	tagCals    map[string]TagCal
@@ -170,25 +179,61 @@ func NewSystem(antennas []AntennaGeometry, bounds Bounds, opts ...Option) (*Syst
 	return s, nil
 }
 
-// observe preprocesses a window and fits each antenna's line,
-// returning the observations and the detector reports.
-func (s *System) observe(readings []sim.Reading) ([]core.Observation, []fit.LinearityReport, []preprocess.Spectrum, error) {
+// need returns the minimum usable antenna count the active solver
+// model accepts (3 for 2D, 4 for 3D).
+func (s *System) need() int { return core.MinAntennas(s.mode3D) }
+
+// windowObs is the front-end output of one window: fitted
+// observations for the surviving antennas in deployment order, their
+// detector reports and spectra, plus the health ledger covering every
+// deployed antenna.
+type windowObs struct {
+	obs     []core.Observation
+	reports []fit.LinearityReport
+	spectra []preprocess.Spectrum
+	health  *Health
+}
+
+// dropObserved removes the observation at index i (an antenna the
+// error detector rejected), recording the reason in the health ledger.
+func (wo *windowObs) dropObserved(i int, reason DropReason) {
+	if slot := wo.health.entry(wo.obs[i].ID); slot != nil {
+		slot.Used = false
+		slot.Reason = reason
+	}
+	wo.obs = append(wo.obs[:i], wo.obs[i+1:]...)
+	wo.reports = append(wo.reports[:i], wo.reports[i+1:]...)
+	wo.spectra = append(wo.spectra[:i], wo.spectra[i+1:]...)
+}
+
+// observe preprocesses a window and fits each antenna's line. It
+// degrades instead of aborting: silent antennas and failed fits are
+// recorded in the health ledger and dropped, and only when fewer than
+// need() antennas survive does it fail — with a WindowError that
+// wraps the typed causes (ErrAntennaSilent, ErrAntennaFit) under
+// ErrWindowRejected and carries the health snapshot.
+func (s *System) observe(readings []sim.Reading) (*windowObs, error) {
+	h := newHealth(s.antennas)
+	wo := &windowObs{health: h}
 	spectra, err := preprocess.BuildSpectra(readings, preprocess.Options{})
 	if err != nil {
-		return nil, nil, nil, fmt.Errorf("rfprism: preprocess: %w", err)
+		h.finalize()
+		return nil, &WindowError{Health: h, err: fmt.Errorf(
+			"%w: %w: preprocess: %v", ErrWindowRejected, ErrAntennaSilent, err)}
 	}
 	byID := make(map[int]preprocess.Spectrum, len(spectra))
 	for _, sp := range spectra {
 		byID[sp.Antenna] = sp
 	}
-	obs := make([]core.Observation, 0, len(s.antennas))
-	reports := make([]fit.LinearityReport, 0, len(s.antennas))
-	outSpectra := make([]preprocess.Spectrum, 0, len(s.antennas))
+	var silent, failed int
 	for _, ant := range s.antennas {
+		slot := h.entry(ant.ID)
 		sp, ok := byID[ant.ID]
 		if !ok {
-			return nil, nil, nil, fmt.Errorf("rfprism: antenna %d produced no spectrum", ant.ID)
+			silent++ // slot stays DropSilent
+			continue
 		}
+		slot.ChannelsTotal = len(sp.Samples)
 		freqs, phases := sp.Freqs(), sp.Phases()
 		var line fit.Line
 		switch {
@@ -199,15 +244,19 @@ func (s *System) observe(readings []sim.Reading) ([]core.Observation, []fit.Line
 		default:
 			line, err = fit.FitLineRobust(freqs, phases, sp.RSSIs(), s.robust)
 		}
-		if errors.Is(err, fit.ErrTooFewChannels) {
-			return nil, nil, nil, fmt.Errorf("%w: antenna %d has no clean channel consensus", ErrWindowRejected, ant.ID)
-		}
 		if err != nil {
-			return nil, nil, nil, fmt.Errorf("rfprism: antenna %d fit: %w", ant.ID, err)
+			slot.Reason = DropFit
+			failed++
+			continue
 		}
-		reports = append(reports, fit.CheckLinearity(line, len(freqs), s.detector))
+		rep := fit.CheckLinearity(line, len(freqs), s.detector)
+		slot.Used = true
+		slot.Reason = DropNone
+		slot.ChannelsKept = line.NumUsed
+		slot.ResidStd = rep.ResidStd
+		slot.KeptFraction = rep.KeptFraction
 		usedF, usedP := usedSamples(line, freqs, phases)
-		obs = append(obs, core.Observation{
+		wo.obs = append(wo.obs, core.Observation{
 			ID:     ant.ID,
 			Pos:    ant.Pos,
 			Frame:  geom.NewFrame(ant.Boresight),
@@ -215,9 +264,23 @@ func (s *System) observe(readings []sim.Reading) ([]core.Observation, []fit.Line
 			Freqs:  usedF,
 			Phases: usedP,
 		})
-		outSpectra = append(outSpectra, sp)
+		wo.reports = append(wo.reports, rep)
+		wo.spectra = append(wo.spectra, sp)
 	}
-	return obs, reports, outSpectra, nil
+	h.finalize()
+	if len(wo.obs) < s.need() {
+		cause := ErrAntennaSilent
+		switch {
+		case silent > 0 && failed > 0:
+			cause = errors.Join(ErrAntennaSilent, ErrAntennaFit)
+		case failed > 0:
+			cause = ErrAntennaFit
+		}
+		return nil, &WindowError{Health: h, err: fmt.Errorf(
+			"%w: only %d of %d antennas usable, need %d: %w",
+			ErrWindowRejected, len(wo.obs), len(s.antennas), s.need(), cause)}
+	}
+	return wo, nil
 }
 
 func usedSamples(line fit.Line, freqs, phases []float64) ([]float64, []float64) {
@@ -235,26 +298,53 @@ func usedSamples(line fit.Line, freqs, phases []float64) ([]float64, []float64) 
 // ProcessWindow runs the full RF-Prism pipeline on the raw readings
 // of one hop round: preprocessing, per-antenna robust line fitting,
 // the error detector, antenna-offset correction and the phase
-// disentangler. It returns ErrWindowRejected (wrapped) when the
-// window fails the error detector.
+// disentangler. It returns ErrWindowRejected (wrapped in a
+// WindowError carrying the Health report) when the window fails the
+// error detector or too few antennas survive.
+//
+// Deployments with spare antennas degrade instead of failing: as long
+// as 3 (2D) / 4 (3D) of the deployed antennas yield clean fits, the
+// solver runs on the surviving subset and the Result's Health report
+// says which antennas were dropped and why.
 //
 // ProcessWindow only reads System state, so it is safe to call
 // concurrently (ProcessWindows does) as long as the calibration
 // methods are not running at the same time.
 func (s *System) ProcessWindow(readings []sim.Reading) (*Result, error) {
-	obs, reports, spectra, err := s.observe(readings)
+	wo, err := s.observe(readings)
 	if err != nil {
 		return nil, err
 	}
+	h := wo.health
 	if !s.noDetector {
-		for i, rep := range reports {
-			if !rep.Linear {
-				return nil, fmt.Errorf("%w: antenna %d resid %.3f rad, kept %.0f%%",
-					ErrWindowRejected, obs[i].ID, rep.ResidStd, rep.KeptFraction*100)
+		clean := 0
+		for _, rep := range wo.reports {
+			if rep.Linear {
+				clean++
 			}
 		}
+		if clean < s.need() {
+			// Too few static-looking antennas: mobility (or pervasive
+			// corruption), the window as a whole is untrustworthy.
+			for i, rep := range wo.reports {
+				if !rep.Linear {
+					return nil, &WindowError{Health: h, err: fmt.Errorf(
+						"%w: antenna %d resid %.3f rad, kept %.0f%%",
+						ErrWindowRejected, wo.obs[i].ID, rep.ResidStd, rep.KeptFraction*100)}
+				}
+			}
+		}
+		// Enough clean antennas remain: shed the non-linear ones
+		// (per-antenna multipath or local disturbance) and solve on
+		// the subset.
+		for i := len(wo.reports) - 1; i >= 0; i-- {
+			if !wo.reports[i].Linear {
+				wo.dropObserved(i, DropDetector)
+			}
+		}
+		h.finalize()
 	}
-	obs = s.antennaCal.Apply(obs)
+	obs := s.antennaCal.Apply(wo.obs)
 
 	var est Estimate
 	if s.mode3D {
@@ -263,13 +353,13 @@ func (s *System) ProcessWindow(readings []sim.Reading) (*Result, error) {
 		est, err = core.Solve2D(obs, s.bounds, s.solver)
 	}
 	if err != nil {
-		return nil, fmt.Errorf("rfprism: solve: %w", err)
+		return nil, &WindowError{Health: h, err: fmt.Errorf("rfprism: solve: %w", err)}
 	}
 	lines := make([]fit.Line, len(obs))
 	for i, o := range obs {
 		lines[i] = o.Line
 	}
-	return &Result{Estimate: est, Lines: lines, Linearity: reports, Spectra: spectra}, nil
+	return &Result{Estimate: est, Lines: lines, Linearity: wo.reports, Spectra: wo.spectra, Health: h}, nil
 }
 
 // CalibrateAntennas performs the pre-deployment antenna correction of
@@ -277,16 +367,32 @@ func (s *System) ProcessWindow(readings []sim.Reading) (*Result, error) {
 // and known polarization angle. Subsequent ProcessWindow calls apply
 // the correction automatically.
 func (s *System) CalibrateAntennas(readings []sim.Reading, truthPos geom.Vec3, truthAlpha float64) error {
-	obs, _, _, err := s.observe(readings)
+	wo, err := s.calibrationObserve(readings)
 	if err != nil {
 		return err
 	}
-	cal, err := core.CalibrateAntennas(obs, truthPos, truthAlpha)
+	cal, err := core.CalibrateAntennas(wo.obs, truthPos, truthAlpha)
 	if err != nil {
 		return err
 	}
 	s.antennaCal = cal
 	return nil
+}
+
+// calibrationObserve is observe with the degraded path closed off:
+// a calibration window that misses any antenna would silently leave
+// that antenna uncorrected, so calibration demands the full set.
+func (s *System) calibrationObserve(readings []sim.Reading) (*windowObs, error) {
+	wo, err := s.observe(readings)
+	if err != nil {
+		return nil, err
+	}
+	if wo.health.Degraded {
+		return nil, &WindowError{Health: wo.health, err: fmt.Errorf(
+			"%w: calibration requires all %d antennas, dropped %v",
+			ErrAntennaSilent, len(s.antennas), wo.health.DroppedAntennas())}
+	}
+	return wo, nil
 }
 
 // TagCal is the per-tag device calibration of §V-B: the reader-tag
@@ -307,11 +413,11 @@ type TagCal struct {
 // bare-tag window at a known position and polarization angle. It must
 // run after CalibrateAntennas.
 func (s *System) CalibrateTag(epc string, readings []sim.Reading, truthPos geom.Vec3, truthAlpha float64) error {
-	obs, _, _, err := s.observe(readings)
+	wo, err := s.calibrationObserve(readings)
 	if err != nil {
 		return err
 	}
-	obs = s.antennaCal.Apply(obs)
+	obs := s.antennaCal.Apply(wo.obs)
 	dev := s.devicePhases(obs, truthPos, truthAlpha)
 	// Fit the per-tag line on the unwrapped usable channels. The
 	// channel table is shared and read-only; it is indexed, never
@@ -420,10 +526,21 @@ func (s *System) MaterialFeatures(epc string, res *Result) ([]float64, error) {
 
 // resultObservations rebuilds calibrated observations from a stored
 // result's spectra (used by feature extraction, which needs the
-// per-channel phases).
+// per-channel phases). Degraded results rebuild only the antennas
+// that contributed — Lines/Spectra are aligned with the Health
+// report's used set, not the full deployment.
 func (s *System) resultObservations(res *Result) ([]core.Observation, error) {
-	obs := make([]core.Observation, 0, len(s.antennas))
-	for i, ant := range s.antennas {
+	contributed := s.antennas
+	if res.Health != nil {
+		contributed = make([]AntennaGeometry, 0, len(s.antennas))
+		for _, ant := range s.antennas {
+			if slot := res.Health.entry(ant.ID); slot == nil || slot.Used {
+				contributed = append(contributed, ant)
+			}
+		}
+	}
+	obs := make([]core.Observation, 0, len(contributed))
+	for i, ant := range contributed {
 		if i >= len(res.Spectra) || i >= len(res.Lines) {
 			return nil, fmt.Errorf("rfprism: result missing spectra for antenna %d", ant.ID)
 		}
