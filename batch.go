@@ -216,8 +216,9 @@ func sleepCtx(ctx context.Context, d time.Duration) bool {
 // Windows carrying a Collect source are retried on transient faults
 // per WithWindowRetry; retry exhaustion surfaces the last error.
 // The output channel closes after the last result once in closes, or
-// early when ctx is cancelled — remaining queued windows are then
-// drained and reported with Err = ctx.Err().
+// early when ctx is cancelled — windows not yet emitted are then
+// discarded, and the pipeline's goroutines exit even if the producer
+// never closes in.
 func (s *System) ProcessStream(ctx context.Context, in <-chan Window) <-chan WindowResult {
 	out := make(chan WindowResult)
 	workers := s.workers()
@@ -229,10 +230,35 @@ func (s *System) ProcessStream(ctx context.Context, in <-chan Window) <-chan Win
 	go func() {
 		defer close(pending)
 		idx := 0
-		for w := range in {
+		for {
+			// Every blocking step selects on ctx so cancellation
+			// releases the dispatcher even when the producer keeps in
+			// open — a cancelled stream must not leak this goroutine
+			// (or, via the unclosed pending channel, the emitter).
+			var w Window
+			var ok bool
+			select {
+			case w, ok = <-in:
+				if !ok {
+					return
+				}
+			case <-ctx.Done():
+				return
+			}
 			slot := make(chan WindowResult, 1)
-			pending <- slot
-			sem <- struct{}{}
+			select {
+			case pending <- slot:
+			case <-ctx.Done():
+				return
+			}
+			select {
+			case sem <- struct{}{}:
+			case <-ctx.Done():
+				// The slot is already queued and the emitter may be
+				// waiting on it: fill it so the emitter can drain.
+				slot <- WindowResult{Index: idx, Tag: w.Tag, Err: ctx.Err()}
+				return
+			}
 			go func(i int, w Window) {
 				defer func() { <-sem }()
 				slot <- s.processOne(ctx, i, w)

@@ -1,0 +1,326 @@
+// Command rfprismd is the RF-Prism streaming ingestion daemon: it
+// accepts raw per-read reader reports, sessionizes them per EPC into
+// hop-round windows, solves each window on the System's worker pool,
+// and serves results over HTTP.
+//
+// Report sources:
+//
+//   - HTTP: POST /ingest with NDJSON, one sim.Reading JSON object per
+//     line — the shape an Octane-subscription bridge would emit.
+//   - Replay: -replay synthesizes a seeded multi-tag interleaved
+//     stream from the bundled simulator; -replay-file feeds a recorded
+//     NDJSON report file. Both honor the daemon's backpressure.
+//
+// Results flow to an in-memory ring (GET /tags/{epc}) and optionally
+// an NDJSON file (-out). /healthz and /metrics expose queue depths,
+// window-close reasons, solver latency and degraded-window counts.
+// SIGINT/SIGTERM drain gracefully: open windows are flushed through
+// the solver before exit.
+//
+// The deployment geometry and calibration are recreated from -seed
+// exactly as cmd/rfprism-process does; a production deployment would
+// load a surveyed site file instead.
+//
+// Usage:
+//
+//	rfprismd -addr :8390                      # serve HTTP ingest
+//	rfprismd -replay -tags 3 -rounds 2 -out results.ndjson
+//	rfprismd -replay -pace 1 -addr :8390      # live-paced demo feed
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"rfprism"
+	"rfprism/internal/geom"
+	"rfprism/internal/ingest"
+	"rfprism/internal/rf"
+	"rfprism/internal/sim"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "rfprismd:", err)
+		os.Exit(1)
+	}
+}
+
+type options struct {
+	addr         string
+	seed         int64
+	env          string
+	coverage     int
+	dwell        time.Duration
+	queue        int
+	parallelism  int
+	retryAfter   time.Duration
+	ring         int
+	out          string
+	replay       bool
+	replayFile   string
+	tags         int
+	rounds       int
+	pace         float64
+	drainTimeout time.Duration
+}
+
+func parseFlags(args []string) (options, error) {
+	var o options
+	fs := flag.NewFlagSet("rfprismd", flag.ContinueOnError)
+	fs.StringVar(&o.addr, "addr", "", "HTTP listen address (empty: no server)")
+	fs.Int64Var(&o.seed, "seed", 1, "deployment seed (geometry, hardware offsets, calibration)")
+	fs.StringVar(&o.env, "env", "clean", "environment: clean|multipath")
+	fs.IntVar(&o.coverage, "coverage", 45, "distinct channels that close a window")
+	fs.DurationVar(&o.dwell, "dwell", 15*time.Second, "window dwell deadline")
+	fs.IntVar(&o.queue, "queue", 64, "closed-window queue capacity")
+	fs.IntVar(&o.parallelism, "parallelism", 0, "solver workers (0: GOMAXPROCS)")
+	fs.DurationVar(&o.retryAfter, "retry-after", time.Second, "backpressure pause advertised to clients")
+	fs.IntVar(&o.ring, "ring", 16, "results kept per tag for /tags queries")
+	fs.StringVar(&o.out, "out", "", "NDJSON results file (\"-\": stdout)")
+	fs.BoolVar(&o.replay, "replay", false, "replay a simulated multi-tag stream")
+	fs.StringVar(&o.replayFile, "replay-file", "", "replay a recorded NDJSON report file")
+	fs.IntVar(&o.tags, "tags", 3, "simulated tags (-replay)")
+	fs.IntVar(&o.rounds, "rounds", 2, "simulated hop rounds (-replay)")
+	fs.Float64Var(&o.pace, "pace", 0, "replay pacing: 1 = real time, 0 = full speed")
+	fs.DurationVar(&o.drainTimeout, "drain-timeout", 30*time.Second, "graceful drain budget on shutdown")
+	if err := fs.Parse(args); err != nil {
+		return o, err
+	}
+	if fs.NArg() != 0 {
+		return o, fmt.Errorf("unexpected arguments: %v", fs.Args())
+	}
+	if !o.replay && o.replayFile == "" && o.addr == "" {
+		return o, fmt.Errorf("nothing to do: need -addr, -replay or -replay-file")
+	}
+	if o.replay && o.tags < 1 {
+		return o, fmt.Errorf("-tags must be ≥ 1, got %d", o.tags)
+	}
+	return o, nil
+}
+
+func run(args []string, stdout io.Writer) error {
+	o, err := parseFlags(args)
+	if err != nil {
+		return err
+	}
+	scene, sys, err := buildDeployment(o)
+	if err != nil {
+		return err
+	}
+
+	ring := ingest.NewRingSink(o.ring)
+	sinks := []ingest.Sink{ring}
+	var outFile *os.File
+	switch o.out {
+	case "":
+	case "-":
+		sinks = append(sinks, ingest.NewNDJSONSink(stdout))
+	default:
+		outFile, err = os.Create(o.out)
+		if err != nil {
+			return err
+		}
+		defer outFile.Close()
+		sinks = append(sinks, ingest.NewNDJSONSink(outFile))
+	}
+
+	d := ingest.NewDaemon(sys, ingest.Config{
+		Sessionizer: ingest.SessionizerConfig{
+			CoverageClose: o.coverage,
+			Dwell:         o.dwell,
+		},
+		QueueSize:  o.queue,
+		RetryAfter: o.retryAfter,
+	}, sinks...)
+
+	// Replay feeds and the signal handler share one cancellation: the
+	// first SIGINT/SIGTERM stops feeding and starts the drain.
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
+	var httpSrv *http.Server
+	serveErr := make(chan error, 1)
+	if o.addr != "" {
+		ln, err := net.Listen("tcp", o.addr)
+		if err != nil {
+			return err
+		}
+		httpSrv = &http.Server{Handler: ingest.NewServer(d, ring).Handler()}
+		fmt.Fprintf(stdout, "rfprismd: listening on %s\n", ln.Addr())
+		go func() { serveErr <- httpSrv.Serve(ln) }()
+	}
+
+	replayDone := make(chan error, 1)
+	feeding := o.replay || o.replayFile != ""
+	if feeding {
+		go func() { replayDone <- feed(ctx, d, scene, o, stdout) }()
+	}
+
+	// Lifecycle: a pure replay run drains as soon as the feed ends; a
+	// serving daemon runs until a signal (replay, if any, is a warm-up
+	// feed alongside the server).
+	var runErr error
+	if feeding && o.addr == "" {
+		select {
+		case runErr = <-replayDone:
+		case <-ctx.Done():
+			runErr = <-replayDone // feed observes ctx and returns
+		}
+	} else {
+		<-ctx.Done()
+		if feeding {
+			runErr = <-replayDone
+		}
+	}
+	if errors.Is(runErr, context.Canceled) {
+		runErr = nil
+	}
+
+	if httpSrv != nil {
+		shutCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		_ = httpSrv.Shutdown(shutCtx)
+		if err := <-serveErr; err != nil && !errors.Is(err, http.ErrServerClosed) && runErr == nil {
+			runErr = err
+		}
+	}
+
+	drainCtx, cancel := context.WithTimeout(context.Background(), o.drainTimeout)
+	defer cancel()
+	if err := d.Shutdown(drainCtx); err != nil && runErr == nil {
+		runErr = err
+	}
+	m := d.Metrics()
+	fmt.Fprintf(stdout, "rfprismd: drained — %d reports, %d results (%d ok, %d errors, %d degraded)\n",
+		m.ReportsAccepted.Load(), m.ResultsOK.Load()+m.ResultsErr.Load(),
+		m.ResultsOK.Load(), m.ResultsErr.Load(), m.WindowsDegraded.Load())
+	return runErr
+}
+
+// buildDeployment recreates the seeded simulator deployment and a
+// calibrated System over it, mirroring cmd/rfprism-process.
+func buildDeployment(o options) (*sim.Scene, *rfprism.System, error) {
+	environment := rf.CleanSpace()
+	switch o.env {
+	case "clean":
+	case "multipath":
+		environment = rf.LabMultipath()
+	default:
+		return nil, nil, fmt.Errorf("unknown -env %q (clean|multipath)", o.env)
+	}
+	hwRng := rand.New(rand.NewSource(o.seed))
+	scene, err := sim.NewScene(sim.PaperAntennas2D(hwRng), environment, sim.DefaultConfig(), o.seed+999)
+	if err != nil {
+		return nil, nil, err
+	}
+	sys, err := rfprism.NewSystem(
+		rfprism.DeploymentFromSim(scene.Antennas),
+		rfprism.Bounds2D(sim.PaperRegion()),
+		rfprism.WithParallelism(o.parallelism),
+	)
+	if err != nil {
+		return nil, nil, err
+	}
+	none, err := rf.MaterialByName("none")
+	if err != nil {
+		return nil, nil, err
+	}
+	calPos := geom.Vec3{X: 1.0, Y: 1.5}
+	calTag := scene.NewTag("cal")
+	var calWin []sim.Reading
+	for i := 0; i < 3; i++ {
+		calWin = append(calWin, scene.CollectWindow(calTag, scene.Place(calPos, 0, none))...)
+	}
+	if err := sys.CalibrateAntennas(calWin, calPos, 0); err != nil {
+		return nil, nil, err
+	}
+	return scene, sys, nil
+}
+
+// feed pushes the configured replay source through the daemon.
+func feed(ctx context.Context, d *ingest.Daemon, scene *sim.Scene, o options, stdout io.Writer) error {
+	var reports []sim.Reading
+	switch {
+	case o.replayFile != "":
+		var err error
+		reports, err = readReportFile(o.replayFile)
+		if err != nil {
+			return err
+		}
+	default:
+		none, err := rf.MaterialByName("none")
+		if err != nil {
+			return err
+		}
+		region := sim.PaperRegion()
+		posRng := rand.New(rand.NewSource(o.seed + 7))
+		tracked := make([]sim.TrackedTag, o.tags)
+		for i := range tracked {
+			pos := geom.Vec3{
+				X: region.XMin + posRng.Float64()*(region.XMax-region.XMin),
+				Y: region.YMin + posRng.Float64()*(region.YMax-region.YMin),
+			}
+			tracked[i] = sim.TrackedTag{
+				Tag:    scene.NewTag(fmt.Sprintf("replay-%02d", i)),
+				Motion: scene.Place(pos, posRng.Float64()*3, none),
+			}
+		}
+		reports, err = scene.CollectStream(tracked, o.rounds)
+		if err != nil {
+			return err
+		}
+	}
+	fmt.Fprintf(stdout, "rfprismd: replaying %d reports (pace %g)\n", len(reports), o.pace)
+	accepted, err := d.ReplayReports(ctx, reports, o.pace)
+	if err != nil {
+		return fmt.Errorf("replay stopped after %d reports: %w", accepted, err)
+	}
+	return nil
+}
+
+// readReportFile loads an NDJSON report file (one sim.Reading per
+// line, blank lines tolerated).
+func readReportFile(path string) ([]sim.Reading, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	var out []sim.Reading
+	line := 0
+	for sc.Scan() {
+		line++
+		raw := bytes.TrimSpace(sc.Bytes())
+		if len(raw) == 0 {
+			continue
+		}
+		var rd sim.Reading
+		if err := json.Unmarshal(raw, &rd); err != nil {
+			return nil, fmt.Errorf("%s:%d: %w", path, line, err)
+		}
+		out = append(out, rd)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("%s: no reports", path)
+	}
+	return out, nil
+}

@@ -1,0 +1,142 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"rfprism/internal/geom"
+	"rfprism/internal/rf"
+	"rfprism/internal/sim"
+)
+
+// results reads the NDJSON results a replay run wrote.
+func results(t *testing.T, path string) []map[string]any {
+	t.Helper()
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	var out []map[string]any
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	for sc.Scan() {
+		var m map[string]any
+		if err := json.Unmarshal(sc.Bytes(), &m); err != nil {
+			t.Fatalf("bad result line %q: %v", sc.Text(), err)
+		}
+		out = append(out, m)
+	}
+	return out
+}
+
+// TestRunReplayProducesResults: the smoke path CI exercises — a
+// seeded replay ingests, solves, drains and writes per-tag results.
+func TestRunReplayProducesResults(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "results.ndjson")
+	var stdout bytes.Buffer
+	err := run([]string{
+		"-replay", "-tags", "2", "-rounds", "1", "-seed", "7",
+		"-out", out,
+	}, &stdout)
+	if err != nil {
+		t.Fatalf("run: %v\n%s", err, stdout.String())
+	}
+	rs := results(t, out)
+	if len(rs) < 2 {
+		t.Fatalf("replay produced %d results, want ≥ 2 (one per tag):\n%s", len(rs), stdout.String())
+	}
+	epcs := make(map[string]bool)
+	solved := 0
+	for _, r := range rs {
+		epc, _ := r["epc"].(string)
+		epcs[epc] = true
+		if r["estimate"] != nil {
+			solved++
+		}
+	}
+	if len(epcs) != 2 {
+		t.Fatalf("results cover %d tags, want 2", len(epcs))
+	}
+	if solved == 0 {
+		t.Fatal("no window solved")
+	}
+	if !strings.Contains(stdout.String(), "drained") {
+		t.Fatalf("no drain summary in output:\n%s", stdout.String())
+	}
+}
+
+// TestRunReplayFileRoundTrip: a recorded NDJSON report file replays
+// through -replay-file and produces solved results.
+func TestRunReplayFileRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	reports := filepath.Join(dir, "reports.ndjson")
+	out := filepath.Join(dir, "results.ndjson")
+
+	// Record a stream against the seed-3 deployment, exactly what a
+	// reader bridge would have logged.
+	scene, _, err := buildDeployment(options{seed: 3, env: "clean"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	none, err := rf.MaterialByName("none")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tracked := []sim.TrackedTag{{
+		Tag:    scene.NewTag("recorded"),
+		Motion: scene.Place(geom.Vec3{X: 0.9, Y: 1.4}, 0.5, none),
+	}}
+	stream, err := scene.CollectStream(tracked, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Create(reports)
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc := json.NewEncoder(f)
+	for _, rd := range stream {
+		if err := enc.Encode(rd); err != nil {
+			t.Fatal(err)
+		}
+	}
+	f.Close()
+
+	// The daemon rebuilds the same seed-3 deployment, so the recorded
+	// hardware offsets match its calibration.
+	var stdout bytes.Buffer
+	if err := run([]string{"-replay-file", reports, "-seed", "3", "-out", out}, &stdout); err != nil {
+		t.Fatalf("replay-file run: %v\n%s", err, stdout.String())
+	}
+	rs := results(t, out)
+	if len(rs) == 0 {
+		t.Fatal("replay-file produced no results")
+	}
+	if rs[0]["epc"] != "recorded" {
+		t.Fatalf("result for wrong tag: %+v", rs[0])
+	}
+}
+
+// TestRunRejectsBadFlags: misconfiguration errors out instead of
+// idling forever.
+func TestRunRejectsBadFlags(t *testing.T) {
+	var stdout bytes.Buffer
+	if err := run(nil, &stdout); err == nil {
+		t.Error("no mode accepted")
+	}
+	if err := run([]string{"-replay", "-env", "vacuum"}, &stdout); err == nil {
+		t.Error("unknown env accepted")
+	}
+	if err := run([]string{"-replay", "-tags", "0"}, &stdout); err == nil {
+		t.Error("zero tags accepted")
+	}
+	if err := run([]string{"-replay-file", filepath.Join(t.TempDir(), "missing.ndjson")}, &stdout); err == nil {
+		t.Error("missing replay file accepted")
+	}
+}

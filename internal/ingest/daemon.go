@@ -1,0 +1,370 @@
+package ingest
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"rfprism"
+	"rfprism/internal/sim"
+)
+
+// ErrBusy is returned by Offer when the window queue is full: the
+// caller should back off (HTTP maps it to 429 + Retry-After). Reports
+// are refused outright under backpressure — accepting them would only
+// move the bulge from the bounded queue into the sessionizer buffers.
+var ErrBusy = errors.New("ingest: window queue full")
+
+// ErrDraining is returned by Offer once shutdown has begun (HTTP maps
+// it to 503).
+var ErrDraining = errors.New("ingest: daemon is draining")
+
+// Processor is the solving backend: rfprism.System satisfies it, and
+// tests substitute stubs to exercise queue mechanics without solves.
+type Processor interface {
+	ProcessStream(ctx context.Context, in <-chan rfprism.Window) <-chan rfprism.WindowResult
+}
+
+// Config tunes the daemon. The zero value gets serving defaults.
+type Config struct {
+	// Sessionizer tunes window assembly.
+	Sessionizer SessionizerConfig
+	// QueueSize bounds the closed-window queue between the sessionizer
+	// and the solver pool. Default 64.
+	QueueSize int
+	// ExpireEvery is the deadline-sweep period. Default 250 ms.
+	ExpireEvery time.Duration
+	// RetryAfter is the pause advertised to backpressured clients
+	// (the Retry-After header, and the replay helper's retry pause).
+	// Default 1 s.
+	RetryAfter time.Duration
+	// Now overrides the clock (tests). Default time.Now.
+	Now func() time.Time
+}
+
+func (c *Config) defaults() {
+	c.Sessionizer.defaults()
+	if c.QueueSize <= 0 {
+		c.QueueSize = 64
+	}
+	if c.ExpireEvery <= 0 {
+		c.ExpireEvery = 250 * time.Millisecond
+	}
+	if c.RetryAfter <= 0 {
+		c.RetryAfter = time.Second
+	}
+	if c.Now == nil {
+		c.Now = time.Now
+	}
+}
+
+// windowMeta carries a closed window's assembly metadata from enqueue
+// to result, keyed by the stream index ProcessStream assigns.
+type windowMeta struct {
+	cw       ClosedWindow
+	enqueued time.Time
+}
+
+// Daemon is the running ingestion pipeline: reports in via Offer,
+// windows through the sessionizer and the bounded queue into the
+// Processor, results out to the sinks. NewDaemon starts it; Shutdown
+// drains it.
+type Daemon struct {
+	cfg   Config
+	met   *Metrics
+	sinks []Sink
+
+	// mu serializes report ingestion, the deadline sweep and queue
+	// admission; the index counter makes enqueue order equal
+	// ProcessStream's arrival order.
+	mu       sync.Mutex
+	sess     *Sessionizer
+	draining bool
+	nextIdx  int
+
+	metaMu sync.Mutex
+	meta   map[int]windowMeta
+
+	windows chan rfprism.Window
+
+	procCancel  context.CancelFunc
+	expireStop  chan struct{}
+	expireDone  chan struct{}
+	resultsDone chan struct{}
+
+	shutdownOnce sync.Once
+	shutdownErr  error
+}
+
+// NewDaemon builds and starts a daemon over proc, delivering results
+// to sinks in order. The daemon runs until Shutdown.
+func NewDaemon(proc Processor, cfg Config, sinks ...Sink) *Daemon {
+	cfg.defaults()
+	d := &Daemon{
+		cfg:         cfg,
+		met:         NewMetrics(cfg.Now()),
+		sinks:       sinks,
+		sess:        NewSessionizer(cfg.Sessionizer),
+		meta:        make(map[int]windowMeta),
+		windows:     make(chan rfprism.Window, cfg.QueueSize),
+		expireStop:  make(chan struct{}),
+		expireDone:  make(chan struct{}),
+		resultsDone: make(chan struct{}),
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	d.procCancel = cancel
+	results := proc.ProcessStream(ctx, d.windows)
+	go d.resultLoop(results)
+	go d.expireLoop()
+	return d
+}
+
+// Metrics exposes the daemon's counters.
+func (d *Daemon) Metrics() *Metrics { return d.met }
+
+// RetryAfter is the advertised backpressure pause.
+func (d *Daemon) RetryAfter() time.Duration { return d.cfg.RetryAfter }
+
+// Gauges samples the point-in-time queue and sessionizer state.
+func (d *Daemon) Gauges() Gauges {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return Gauges{
+		QueueDepth:       len(d.windows),
+		QueueCap:         cap(d.windows),
+		OpenSessions:     d.sess.Open(),
+		BufferedReadings: d.sess.Buffered(),
+		Draining:         d.draining,
+	}
+}
+
+// Offer ingests one raw report. It fails fast with ErrBusy when the
+// window queue is full (back off and retry), ErrDraining once shutdown
+// has begun, or a validation error for a malformed report. A nil
+// return means the report is owned by the daemon and will reach the
+// solver in some window.
+func (d *Daemon) Offer(rd sim.Reading) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.draining {
+		return ErrDraining
+	}
+	if len(d.windows) == cap(d.windows) {
+		d.met.ReportsBackpressured.Add(1)
+		return ErrBusy
+	}
+	before := d.sess.Discarded()
+	cw, closed, err := d.sess.Add(rd, d.cfg.Now())
+	if err != nil {
+		d.met.ReportsRejected.Add(1)
+		return err
+	}
+	d.met.ReportsAccepted.Add(1)
+	d.met.WindowsDiscarded.Add(int64(d.sess.Discarded() - before))
+	if closed {
+		d.enqueueLocked(cw)
+	}
+	return nil
+}
+
+// enqueueLocked queues a closed window. Callers hold d.mu and have
+// verified there is room, so the send cannot block.
+func (d *Daemon) enqueueLocked(cw ClosedWindow) {
+	idx := d.nextIdx
+	d.nextIdx++
+	d.metaMu.Lock()
+	d.meta[idx] = windowMeta{cw: cw, enqueued: d.cfg.Now()}
+	d.metaMu.Unlock()
+	d.met.WindowClosed(cw.Reason)
+	d.windows <- rfprism.Window{Tag: cw.EPC, Readings: cw.Readings}
+}
+
+// expireLoop sweeps dwell deadlines. Expired windows that do not fit
+// the queue are shed (counted): under saturation the freshest data is
+// worth more than a stale partial window.
+func (d *Daemon) expireLoop() {
+	defer close(d.expireDone)
+	t := time.NewTicker(d.cfg.ExpireEvery)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			d.sweepExpired()
+		case <-d.expireStop:
+			return
+		}
+	}
+}
+
+func (d *Daemon) sweepExpired() {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.draining {
+		return
+	}
+	before := d.sess.Discarded()
+	expired := d.sess.Expire(d.cfg.Now())
+	d.met.WindowsDiscarded.Add(int64(d.sess.Discarded() - before))
+	for _, cw := range expired {
+		if len(d.windows) == cap(d.windows) {
+			d.met.WindowsShed.Add(1)
+			continue
+		}
+		d.enqueueLocked(cw)
+	}
+}
+
+// resultLoop fans completed windows out to the sinks and keeps the
+// outcome counters.
+func (d *Daemon) resultLoop(results <-chan rfprism.WindowResult) {
+	defer close(d.resultsDone)
+	for r := range results {
+		d.metaMu.Lock()
+		m, ok := d.meta[r.Index]
+		delete(d.meta, r.Index)
+		d.metaMu.Unlock()
+		if !ok {
+			// Unreachable: every queued window has meta.
+			continue
+		}
+		now := d.cfg.Now()
+		latency := now.Sub(m.enqueued)
+		d.met.ObserveLatency(latency)
+		if r.Err != nil {
+			d.met.ResultsErr.Add(1)
+		} else {
+			d.met.ResultsOK.Add(1)
+		}
+		if h := r.Health(); h != nil && h.Degraded {
+			d.met.WindowsDegraded.Add(1)
+		}
+		tr := makeTagResult(m.cw, r, now, latency)
+		for _, s := range d.sinks {
+			if err := s.Emit(tr); err != nil {
+				d.met.SinkErrors.Add(1)
+			}
+		}
+	}
+}
+
+// Shutdown drains the daemon gracefully: new reports are refused
+// (ErrDraining), the deadline sweeper stops, every open window is
+// flushed through the solver (partial windows meeting the antenna
+// floor included), and the call returns once the last result has
+// reached the sinks. If ctx expires first, in-flight work is cancelled
+// hard and ctx's error is returned. Shutdown is idempotent.
+func (d *Daemon) Shutdown(ctx context.Context) error {
+	d.shutdownOnce.Do(func() { d.shutdownErr = d.shutdown(ctx) })
+	return d.shutdownErr
+}
+
+func (d *Daemon) shutdown(ctx context.Context) error {
+	d.mu.Lock()
+	d.draining = true
+	d.mu.Unlock()
+	close(d.expireStop)
+	<-d.expireDone
+
+	// With Offer refusing and the sweeper stopped, this goroutine is
+	// the only producer left: flush the open sessions with blocking
+	// sends (the solver is still consuming), then close the queue.
+	d.mu.Lock()
+	before := d.sess.Discarded()
+	drained := d.sess.Drain(d.cfg.Now())
+	d.met.WindowsDiscarded.Add(int64(d.sess.Discarded() - before))
+	d.mu.Unlock()
+	var err error
+	for _, cw := range drained {
+		idx := d.nextIdx
+		d.nextIdx++
+		d.metaMu.Lock()
+		d.meta[idx] = windowMeta{cw: cw, enqueued: d.cfg.Now()}
+		d.metaMu.Unlock()
+		d.met.WindowClosed(cw.Reason)
+		select {
+		case d.windows <- rfprism.Window{Tag: cw.EPC, Readings: cw.Readings}:
+		case <-ctx.Done():
+			err = ctx.Err()
+		}
+		if err != nil {
+			break
+		}
+	}
+	close(d.windows)
+	if err == nil {
+		select {
+		case <-d.resultsDone:
+		case <-ctx.Done():
+			err = ctx.Err()
+		}
+	}
+	if err != nil {
+		// Hard stop: cancel in-flight solves and wait for the result
+		// loop to observe the closed stream.
+		d.procCancel()
+		<-d.resultsDone
+	}
+	d.procCancel()
+	var closeErrs []error
+	for _, s := range d.sinks {
+		if cerr := s.Close(); cerr != nil {
+			closeErrs = append(closeErrs, cerr)
+		}
+	}
+	if err != nil {
+		return fmt.Errorf("ingest: drain aborted: %w", err)
+	}
+	return errors.Join(closeErrs...)
+}
+
+// ReplayReports feeds a recorded or simulated report stream through
+// Offer, honoring backpressure: ErrBusy pauses for the daemon's
+// advertised Retry-After and retries the same report. pace scales the
+// stream's own timing (1 = real time, 0 = as fast as backpressure
+// allows). It returns the number of reports accepted; malformed
+// reports abort the replay.
+func (d *Daemon) ReplayReports(ctx context.Context, reports []sim.Reading, pace float64) (int, error) {
+	accepted := 0
+	var prev time.Duration
+	for _, rd := range reports {
+		if pace > 0 && rd.T > prev {
+			gap := time.Duration(float64(rd.T-prev) * pace)
+			if !sleepInterruptible(ctx, gap) {
+				return accepted, ctx.Err()
+			}
+		}
+		prev = rd.T
+		for {
+			err := d.Offer(rd)
+			if err == nil {
+				accepted++
+				break
+			}
+			if !errors.Is(err, ErrBusy) {
+				return accepted, err
+			}
+			if !sleepInterruptible(ctx, d.cfg.RetryAfter) {
+				return accepted, ctx.Err()
+			}
+		}
+	}
+	return accepted, nil
+}
+
+// sleepInterruptible pauses for dur unless ctx is cancelled first,
+// reporting whether the full pause elapsed.
+func sleepInterruptible(ctx context.Context, dur time.Duration) bool {
+	if dur <= 0 {
+		return ctx.Err() == nil
+	}
+	t := time.NewTimer(dur)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return true
+	case <-ctx.Done():
+		return false
+	}
+}

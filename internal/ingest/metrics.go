@@ -1,0 +1,131 @@
+package ingest
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// latencyBounds are the histogram bucket upper bounds (seconds) for
+// end-to-end window latency (enqueue → result). The spread covers a
+// sub-millisecond cache hit up to a multi-second saturated queue.
+var latencyBounds = []float64{0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5}
+
+// Metrics is the daemon's counter set, exposed as Prometheus-style
+// text on /metrics. All counters are monotonically increasing and safe
+// for concurrent use; gauges (queue depth, open sessions) are sampled
+// at render time by the caller.
+type Metrics struct {
+	start time.Time
+
+	ReportsAccepted      atomic.Int64
+	ReportsRejected      atomic.Int64
+	ReportsBackpressured atomic.Int64
+
+	windowsClosed    [numCloseReasons]atomic.Int64
+	WindowsDiscarded atomic.Int64
+	WindowsShed      atomic.Int64
+
+	ResultsOK       atomic.Int64
+	ResultsErr      atomic.Int64
+	WindowsDegraded atomic.Int64
+	SinkErrors      atomic.Int64
+
+	lat struct {
+		mu      sync.Mutex
+		buckets []int64 // len(latencyBounds)+1, last is overflow
+		sum     float64
+		count   int64
+	}
+}
+
+// NewMetrics starts a metric set; start anchors the uptime gauge.
+func NewMetrics(start time.Time) *Metrics {
+	m := &Metrics{start: start}
+	m.lat.buckets = make([]int64, len(latencyBounds)+1)
+	return m
+}
+
+// WindowClosed counts one window leaving the sessionizer.
+func (m *Metrics) WindowClosed(r CloseReason) {
+	if r >= 0 && int(r) < numCloseReasons {
+		m.windowsClosed[r].Add(1)
+	}
+}
+
+// WindowsClosed returns the count for one close reason.
+func (m *Metrics) WindowsClosed(r CloseReason) int64 {
+	if r < 0 || int(r) >= numCloseReasons {
+		return 0
+	}
+	return m.windowsClosed[r].Load()
+}
+
+// ObserveLatency records one window's enqueue→result latency.
+func (m *Metrics) ObserveLatency(d time.Duration) {
+	s := d.Seconds()
+	if s < 0 || math.IsNaN(s) {
+		s = 0
+	}
+	i := 0
+	for i < len(latencyBounds) && s > latencyBounds[i] {
+		i++
+	}
+	m.lat.mu.Lock()
+	m.lat.buckets[i]++
+	m.lat.sum += s
+	m.lat.count++
+	m.lat.mu.Unlock()
+}
+
+// Gauges are the point-in-time values the daemon samples for a render.
+type Gauges struct {
+	QueueDepth       int
+	QueueCap         int
+	OpenSessions     int
+	BufferedReadings int
+	Draining         bool
+}
+
+// WriteText renders the counter set plus the sampled gauges in the
+// Prometheus text exposition format (no client library dependency).
+func (m *Metrics) WriteText(w io.Writer, now time.Time, g Gauges) {
+	p := func(format string, args ...any) { fmt.Fprintf(w, format, args...) }
+	p("rfprismd_uptime_seconds %.3f\n", now.Sub(m.start).Seconds())
+	p("rfprismd_reports_total{outcome=\"accepted\"} %d\n", m.ReportsAccepted.Load())
+	p("rfprismd_reports_total{outcome=\"rejected\"} %d\n", m.ReportsRejected.Load())
+	p("rfprismd_reports_total{outcome=\"backpressured\"} %d\n", m.ReportsBackpressured.Load())
+	for r := CloseReason(0); int(r) < numCloseReasons; r++ {
+		p("rfprismd_windows_closed_total{reason=%q} %d\n", r.String(), m.windowsClosed[r].Load())
+	}
+	p("rfprismd_windows_discarded_total %d\n", m.WindowsDiscarded.Load())
+	p("rfprismd_windows_shed_total %d\n", m.WindowsShed.Load())
+	p("rfprismd_results_total{outcome=\"ok\"} %d\n", m.ResultsOK.Load())
+	p("rfprismd_results_total{outcome=\"error\"} %d\n", m.ResultsErr.Load())
+	p("rfprismd_windows_degraded_total %d\n", m.WindowsDegraded.Load())
+	p("rfprismd_sink_errors_total %d\n", m.SinkErrors.Load())
+	p("rfprismd_queue_depth %d\n", g.QueueDepth)
+	p("rfprismd_queue_capacity %d\n", g.QueueCap)
+	p("rfprismd_open_sessions %d\n", g.OpenSessions)
+	p("rfprismd_buffered_readings %d\n", g.BufferedReadings)
+	draining := 0
+	if g.Draining {
+		draining = 1
+	}
+	p("rfprismd_draining %d\n", draining)
+
+	m.lat.mu.Lock()
+	cum := int64(0)
+	for i, b := range latencyBounds {
+		cum += m.lat.buckets[i]
+		p("rfprismd_window_latency_seconds_bucket{le=\"%g\"} %d\n", b, cum)
+	}
+	cum += m.lat.buckets[len(latencyBounds)]
+	p("rfprismd_window_latency_seconds_bucket{le=\"+Inf\"} %d\n", cum)
+	p("rfprismd_window_latency_seconds_sum %.6f\n", m.lat.sum)
+	p("rfprismd_window_latency_seconds_count %d\n", m.lat.count)
+	m.lat.mu.Unlock()
+}

@@ -1,0 +1,169 @@
+package ingest
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+
+	"rfprism/internal/sim"
+)
+
+// maxReportLine bounds one NDJSON report line (a sim.Reading encodes
+// to well under 1 KiB; the margin tolerates vendor extensions).
+const maxReportLine = 1 << 20
+
+// Server exposes the daemon over HTTP:
+//
+//	POST /ingest      NDJSON reports, one sim.Reading per line
+//	GET  /tags        known EPCs
+//	GET  /tags/{epc}  buffered results for one tag (?latest=1 for one)
+//	GET  /healthz     liveness + queue snapshot
+//	GET  /metrics     Prometheus text format
+//
+// Backpressure is explicit: when the window queue is full, /ingest
+// answers 429 with a Retry-After header and reports how many lines
+// were accepted before the refusal, so a well-behaved client resumes
+// from the first unaccepted line.
+type Server struct {
+	d    *Daemon
+	ring *RingSink
+	mux  *http.ServeMux
+}
+
+// NewServer wires a daemon and its query ring. ring may be nil when
+// the deployment has no query endpoint (pure NDJSON export).
+func NewServer(d *Daemon, ring *RingSink) *Server {
+	s := &Server{d: d, ring: ring, mux: http.NewServeMux()}
+	s.mux.HandleFunc("POST /ingest", s.handleIngest)
+	s.mux.HandleFunc("GET /tags", s.handleTags)
+	s.mux.HandleFunc("GET /tags/{epc}", s.handleTag)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return s
+}
+
+// Handler returns the routing handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// ingestReply is the JSON body of every /ingest response.
+type ingestReply struct {
+	Accepted int    `json:"accepted"`
+	Error    string `json:"error,omitempty"`
+	Line     int    `json:"line,omitempty"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
+	sc := bufio.NewScanner(r.Body)
+	sc.Buffer(make([]byte, 0, 64*1024), maxReportLine)
+	accepted, line := 0, 0
+	for sc.Scan() {
+		line++
+		raw := bytes.TrimSpace(sc.Bytes())
+		if len(raw) == 0 {
+			continue
+		}
+		var rd sim.Reading
+		if err := json.Unmarshal(raw, &rd); err != nil {
+			writeJSON(w, http.StatusBadRequest, ingestReply{
+				Accepted: accepted, Line: line,
+				Error: fmt.Sprintf("line %d: %v", line, err),
+			})
+			return
+		}
+		switch err := s.d.Offer(rd); {
+		case err == nil:
+			accepted++
+		case errors.Is(err, ErrBusy):
+			secs := int(s.d.RetryAfter().Seconds())
+			if secs < 1 {
+				secs = 1
+			}
+			w.Header().Set("Retry-After", strconv.Itoa(secs))
+			writeJSON(w, http.StatusTooManyRequests, ingestReply{
+				Accepted: accepted, Line: line, Error: err.Error(),
+			})
+			return
+		case errors.Is(err, ErrDraining):
+			writeJSON(w, http.StatusServiceUnavailable, ingestReply{
+				Accepted: accepted, Line: line, Error: err.Error(),
+			})
+			return
+		default:
+			writeJSON(w, http.StatusBadRequest, ingestReply{
+				Accepted: accepted, Line: line,
+				Error: fmt.Sprintf("line %d: %v", line, err),
+			})
+			return
+		}
+	}
+	if err := sc.Err(); err != nil {
+		writeJSON(w, http.StatusBadRequest, ingestReply{
+			Accepted: accepted, Error: err.Error(),
+		})
+		return
+	}
+	writeJSON(w, http.StatusAccepted, ingestReply{Accepted: accepted})
+}
+
+func (s *Server) handleTags(w http.ResponseWriter, _ *http.Request) {
+	if s.ring == nil {
+		http.Error(w, "no query ring configured", http.StatusNotFound)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"tags": s.ring.EPCs()})
+}
+
+func (s *Server) handleTag(w http.ResponseWriter, r *http.Request) {
+	if s.ring == nil {
+		http.Error(w, "no query ring configured", http.StatusNotFound)
+		return
+	}
+	epc := r.PathValue("epc")
+	if r.URL.Query().Get("latest") != "" {
+		res, ok := s.ring.Latest(epc)
+		if !ok {
+			http.Error(w, "unknown tag", http.StatusNotFound)
+			return
+		}
+		writeJSON(w, http.StatusOK, res)
+		return
+	}
+	history := s.ring.History(epc)
+	if len(history) == 0 {
+		http.Error(w, "unknown tag", http.StatusNotFound)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"epc": epc, "results": history})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	g := s.d.Gauges()
+	status := http.StatusOK
+	state := "ok"
+	if g.Draining {
+		status = http.StatusServiceUnavailable
+		state = "draining"
+	}
+	writeJSON(w, status, map[string]any{
+		"status":           state,
+		"queueDepth":       g.QueueDepth,
+		"queueCapacity":    g.QueueCap,
+		"openSessions":     g.OpenSessions,
+		"bufferedReadings": g.BufferedReadings,
+	})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	s.d.Metrics().WriteText(w, s.d.cfg.Now(), s.d.Gauges())
+}

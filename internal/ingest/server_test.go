@@ -1,0 +1,182 @@
+package ingest
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+func ndjsonBody(reads ...string) io.Reader { return strings.NewReader(strings.Join(reads, "\n")) }
+
+func readLine(epc string, ant, ch int) string {
+	rd := mkRead(epc, ant, ch)
+	b, _ := json.Marshal(rd)
+	return string(b)
+}
+
+func postIngest(t *testing.T, srv *httptest.Server, body io.Reader) (*http.Response, ingestReply) {
+	t.Helper()
+	resp, err := http.Post(srv.URL+"/ingest", "application/x-ndjson", body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var reply ingestReply
+	if err := json.NewDecoder(resp.Body).Decode(&reply); err != nil {
+		t.Fatalf("decode /ingest reply: %v", err)
+	}
+	return resp, reply
+}
+
+// TestServerIngestAndQuery: the happy path — NDJSON reports in,
+// per-tag results out of /tags/{epc}, counters on /metrics.
+func TestServerIngestAndQuery(t *testing.T) {
+	proc := newGatedProc()
+	close(proc.gate)
+	ring := NewRingSink(4)
+	d := NewDaemon(proc, Config{
+		Sessionizer: SessionizerConfig{CoverageClose: 2, MinAntennas: 1},
+		RetryAfter:  10 * time.Millisecond,
+	}, ring)
+	defer d.Shutdown(context.Background())
+	srv := httptest.NewServer(NewServer(d, ring).Handler())
+	defer srv.Close()
+
+	resp, reply := postIngest(t, srv, ndjsonBody(
+		readLine("A", 0, 0),
+		"", // blank lines are tolerated
+		readLine("A", 1, 1), // closes A/0
+		readLine("B", 0, 5),
+	))
+	if resp.StatusCode != http.StatusAccepted || reply.Accepted != 3 {
+		t.Fatalf("ingest: status %d, reply %+v", resp.StatusCode, reply)
+	}
+
+	waitFor(t, 2*time.Second, "result to reach the ring", func() bool {
+		_, ok := ring.Latest("A")
+		return ok
+	})
+	get := func(path string) (*http.Response, []byte) {
+		t.Helper()
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		b, _ := io.ReadAll(resp.Body)
+		return resp, b
+	}
+
+	resp2, body := get("/tags/A")
+	if resp2.StatusCode != http.StatusOK || !strings.Contains(string(body), `"epc":"A"`) {
+		t.Fatalf("/tags/A: %d %s", resp2.StatusCode, body)
+	}
+	resp3, body := get("/tags/A?latest=1")
+	var latest TagResult
+	if err := json.Unmarshal(body, &latest); err != nil || resp3.StatusCode != http.StatusOK {
+		t.Fatalf("/tags/A?latest=1: %d %s (%v)", resp3.StatusCode, body, err)
+	}
+	if latest.Seq != 0 || latest.Reason != "coverage" {
+		t.Fatalf("latest: %+v", latest)
+	}
+	resp4, _ := get("/tags/unknown")
+	if resp4.StatusCode != http.StatusNotFound {
+		t.Fatalf("/tags/unknown: %d, want 404", resp4.StatusCode)
+	}
+	resp5, body := get("/tags")
+	if resp5.StatusCode != http.StatusOK || !strings.Contains(string(body), `"A"`) {
+		t.Fatalf("/tags: %d %s", resp5.StatusCode, body)
+	}
+	resp6, body := get("/healthz")
+	if resp6.StatusCode != http.StatusOK || !strings.Contains(string(body), `"status":"ok"`) {
+		t.Fatalf("/healthz: %d %s", resp6.StatusCode, body)
+	}
+	resp7, body := get("/metrics")
+	if resp7.StatusCode != http.StatusOK {
+		t.Fatalf("/metrics: %d", resp7.StatusCode)
+	}
+	for _, want := range []string{
+		`rfprismd_reports_total{outcome="accepted"} 3`,
+		`rfprismd_windows_closed_total{reason="coverage"} 1`,
+		`rfprismd_results_total{outcome="ok"} 1`,
+		"rfprismd_window_latency_seconds_count 1",
+		"rfprismd_open_sessions 1",
+	} {
+		if !strings.Contains(string(body), want) {
+			t.Errorf("/metrics missing %q in:\n%s", want, body)
+		}
+	}
+}
+
+// TestServerBackpressure429: a full queue turns /ingest into 429 with
+// a Retry-After header and an accurate accepted count, so clients can
+// resume from the first refused line.
+func TestServerBackpressure429(t *testing.T) {
+	proc := newGatedProc() // stuck solver
+	d := NewDaemon(proc, Config{
+		Sessionizer: SessionizerConfig{CoverageClose: 2, MinAntennas: 1},
+		QueueSize:   1,
+		RetryAfter:  3 * time.Second,
+	})
+	srv := httptest.NewServer(NewServer(d, nil).Handler())
+	defer srv.Close()
+
+	resp, reply := postIngest(t, srv, ndjsonBody(
+		readLine("A", 0, 0),
+		readLine("A", 1, 1), // closes A/0 → queue full
+		readLine("B", 0, 2), // refused
+		readLine("B", 0, 3), // never reached
+	))
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("status %d, want 429", resp.StatusCode)
+	}
+	if reply.Accepted != 2 || reply.Line != 3 {
+		t.Fatalf("reply %+v, want accepted=2 line=3", reply)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra != "3" {
+		t.Fatalf("Retry-After %q, want \"3\"", ra)
+	}
+
+	// Release and drain: ingestion answers 503 during drain.
+	close(proc.gate)
+	go d.Shutdown(context.Background())
+	waitFor(t, 2*time.Second, "drain to start", func() bool { return d.Gauges().Draining })
+	resp2, _ := postIngest(t, srv, ndjsonBody(readLine("C", 0, 0)))
+	if resp2.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("draining ingest status %d, want 503", resp2.StatusCode)
+	}
+	resp3, err := http.Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp3.Body.Close()
+	if resp3.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("draining healthz status %d, want 503", resp3.StatusCode)
+	}
+}
+
+// TestServerIngestMalformed: a bad line aborts with 400 and points at
+// the offending line without losing the prefix.
+func TestServerIngestMalformed(t *testing.T) {
+	proc := newGatedProc()
+	close(proc.gate)
+	d := NewDaemon(proc, Config{Sessionizer: SessionizerConfig{MinAntennas: 1}})
+	defer d.Shutdown(context.Background())
+	srv := httptest.NewServer(NewServer(d, nil).Handler())
+	defer srv.Close()
+
+	resp, reply := postIngest(t, srv, ndjsonBody(readLine("A", 0, 0), "{not json"))
+	if resp.StatusCode != http.StatusBadRequest || reply.Accepted != 1 || reply.Line != 2 {
+		t.Fatalf("malformed line: status %d reply %+v", resp.StatusCode, reply)
+	}
+	resp2, reply2 := postIngest(t, srv, ndjsonBody(fmt.Sprintf(`{"epc":"A","antenna":0,"channel":%d}`, 999)))
+	if resp2.StatusCode != http.StatusBadRequest || !strings.Contains(reply2.Error, "channel") {
+		t.Fatalf("bad channel: status %d reply %+v", resp2.StatusCode, reply2)
+	}
+}

@@ -1,0 +1,246 @@
+// Package ingest turns a live stream of raw per-read reader reports
+// into sessionized hop-round windows and drives them through the
+// RF-Prism pipeline. It is the serving half the offline campaigns do
+// not need: a real reader emits one (EPC, antenna, channel, phase,
+// RSSI) tuple per singulated read, interleaved across the whole tag
+// population, while the disentangler consumes one assembled hop round
+// per tag per solve. The package provides the Sessionizer (per-EPC
+// window assembly with coverage- and deadline-based closing), the
+// Daemon (bounded queueing into System.ProcessStream, pluggable result
+// sinks, explicit backpressure, graceful drain) and the HTTP Server
+// (NDJSON ingest, per-tag result queries, health and metrics).
+package ingest
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"rfprism/internal/core"
+	"rfprism/internal/rf"
+	"rfprism/internal/sim"
+)
+
+// CloseReason says why a window left the sessionizer.
+type CloseReason int
+
+const (
+	// CloseCoverage: the window reached the configured distinct-channel
+	// coverage — a full (or full-enough) hop round was assembled.
+	CloseCoverage CloseReason = iota
+	// CloseDeadline: the per-window dwell deadline fired before
+	// coverage was reached; the window is partial but usable.
+	CloseDeadline
+	// CloseOverflow: the per-tag reading buffer hit its cap; closing
+	// early bounds memory against chattering or misbehaving tags.
+	CloseOverflow
+	// CloseDrain: the daemon is shutting down and flushed the window.
+	CloseDrain
+
+	numCloseReasons = iota
+)
+
+// String names the reason for metrics labels and logs.
+func (r CloseReason) String() string {
+	switch r {
+	case CloseCoverage:
+		return "coverage"
+	case CloseDeadline:
+		return "deadline"
+	case CloseOverflow:
+		return "overflow"
+	case CloseDrain:
+		return "drain"
+	default:
+		return fmt.Sprintf("reason(%d)", int(r))
+	}
+}
+
+// SessionizerConfig tunes window assembly. The zero value gets
+// serving-grade defaults.
+type SessionizerConfig struct {
+	// CoverageClose is the distinct-channel count that closes a window
+	// as complete. Default (and cap) rf.NumChannels: one full hop
+	// round. Lower values trade accuracy for latency.
+	CoverageClose int
+	// Dwell is the deadline from a window's first report to its forced
+	// close. Default 15 s — one 50×200 ms hop round plus slack.
+	Dwell time.Duration
+	// MaxReadings caps the per-tag reading buffer; hitting it closes
+	// the window immediately (CloseOverflow). Default 8192.
+	MaxReadings int
+	// MinAntennas is the distinct-antenna floor below which a
+	// deadline- or drain-closed partial window is discarded instead of
+	// emitted — the solver cannot use it (core.MinAntennas). Default 3
+	// (the 2D minimum).
+	MinAntennas int
+}
+
+func (c *SessionizerConfig) defaults() {
+	if c.CoverageClose <= 0 || c.CoverageClose > rf.NumChannels {
+		c.CoverageClose = rf.NumChannels
+	}
+	if c.Dwell <= 0 {
+		c.Dwell = 15 * time.Second
+	}
+	if c.MaxReadings <= 0 {
+		c.MaxReadings = 8192
+	}
+	if c.MinAntennas <= 0 {
+		c.MinAntennas = core.MinAntennas(false)
+	}
+}
+
+// ClosedWindow is one assembled hop-round window ready for the
+// pipeline, plus the assembly metadata sinks and metrics report.
+type ClosedWindow struct {
+	EPC      string
+	Seq      int // per-EPC window sequence number, from 0
+	Readings []sim.Reading
+	Reason   CloseReason
+	Channels int // distinct channels covered
+	Antennas int // distinct antennas heard
+	Opened   time.Time
+	Closed   time.Time
+}
+
+// session is one tag's window under assembly.
+type session struct {
+	readings []sim.Reading
+	channels map[int]bool
+	antennas map[int]bool
+	opened   time.Time
+	deadline time.Time
+	seq      int
+}
+
+// Sessionizer groups a mixed report stream into per-EPC hop-round
+// windows. Reports may arrive out of time order and may repeat
+// (antenna, channel) pairs — both are normal for a hopping reader read
+// through multiple ports — and neither perturbs window assembly:
+// coverage counts distinct channels once, and the solver does not care
+// about intra-window report order.
+//
+// The Sessionizer itself is not goroutine-safe; the Daemon serializes
+// access. Time is always passed in by the caller, so tests and replay
+// drive the deadline clock explicitly.
+type Sessionizer struct {
+	cfg       SessionizerConfig
+	tags      map[string]*session
+	seqs      map[string]int
+	buffered  int
+	discarded int
+}
+
+// NewSessionizer builds a sessionizer with cfg (zero fields take
+// defaults).
+func NewSessionizer(cfg SessionizerConfig) *Sessionizer {
+	cfg.defaults()
+	return &Sessionizer{
+		cfg:  cfg,
+		tags: make(map[string]*session),
+		seqs: make(map[string]int),
+	}
+}
+
+// Config returns the effective (defaulted) configuration.
+func (z *Sessionizer) Config() SessionizerConfig { return z.cfg }
+
+// Open returns the number of windows currently under assembly.
+func (z *Sessionizer) Open() int { return len(z.tags) }
+
+// Buffered returns the total readings held across open windows.
+func (z *Sessionizer) Buffered() int { return z.buffered }
+
+// Discarded returns the count of partial windows dropped for having
+// fewer than MinAntennas distinct antennas at close time.
+func (z *Sessionizer) Discarded() int { return z.discarded }
+
+// Add ingests one report at wall time now. It returns the tag's window
+// when the report completed it (coverage or overflow), and an error
+// when the report itself is malformed (empty EPC, out-of-range
+// channel) — malformed reports are dropped without touching any
+// window.
+func (z *Sessionizer) Add(rd sim.Reading, now time.Time) (ClosedWindow, bool, error) {
+	if rd.EPC == "" {
+		return ClosedWindow{}, false, fmt.Errorf("ingest: report has no EPC")
+	}
+	if rd.Channel < 0 || rd.Channel >= rf.NumChannels {
+		return ClosedWindow{}, false, fmt.Errorf("ingest: report channel %d out of [0,%d)", rd.Channel, rf.NumChannels)
+	}
+	s := z.tags[rd.EPC]
+	if s == nil {
+		s = &session{
+			channels: make(map[int]bool),
+			antennas: make(map[int]bool),
+			opened:   now,
+			deadline: now.Add(z.cfg.Dwell),
+			seq:      z.seqs[rd.EPC],
+		}
+		z.tags[rd.EPC] = s
+	}
+	s.readings = append(s.readings, rd)
+	s.channels[rd.Channel] = true
+	s.antennas[rd.Antenna] = true
+	z.buffered++
+	switch {
+	case len(s.channels) >= z.cfg.CoverageClose:
+		return z.close(rd.EPC, s, CloseCoverage, now)
+	case len(s.readings) >= z.cfg.MaxReadings:
+		return z.close(rd.EPC, s, CloseOverflow, now)
+	}
+	return ClosedWindow{}, false, nil
+}
+
+// close removes the session and packages it as a ClosedWindow, unless
+// the window is unusable (fewer than MinAntennas distinct antennas),
+// in which case it is discarded and counted.
+func (z *Sessionizer) close(epc string, s *session, reason CloseReason, now time.Time) (ClosedWindow, bool, error) {
+	delete(z.tags, epc)
+	z.seqs[epc] = s.seq + 1
+	z.buffered -= len(s.readings)
+	if len(s.antennas) < z.cfg.MinAntennas {
+		z.discarded++
+		return ClosedWindow{}, false, nil
+	}
+	return ClosedWindow{
+		EPC:      epc,
+		Seq:      s.seq,
+		Readings: s.readings,
+		Reason:   reason,
+		Channels: len(s.channels),
+		Antennas: len(s.antennas),
+		Opened:   s.opened,
+		Closed:   now,
+	}, true, nil
+}
+
+// Expire closes every window whose dwell deadline has passed,
+// returning the usable ones sorted by EPC (deterministic order).
+// Deadline-closed windows with too few antennas are discarded.
+func (z *Sessionizer) Expire(now time.Time) []ClosedWindow {
+	return z.sweep(now, CloseDeadline, func(s *session) bool { return !s.deadline.After(now) })
+}
+
+// Drain closes every open window regardless of deadline — the
+// shutdown flush. Unusable partials are discarded as in Expire.
+func (z *Sessionizer) Drain(now time.Time) []ClosedWindow {
+	return z.sweep(now, CloseDrain, func(*session) bool { return true })
+}
+
+func (z *Sessionizer) sweep(now time.Time, reason CloseReason, due func(*session) bool) []ClosedWindow {
+	var epcs []string
+	for epc, s := range z.tags {
+		if due(s) {
+			epcs = append(epcs, epc)
+		}
+	}
+	sort.Strings(epcs)
+	var out []ClosedWindow
+	for _, epc := range epcs {
+		if cw, ok, _ := z.close(epc, z.tags[epc], reason, now); ok {
+			out = append(out, cw)
+		}
+	}
+	return out
+}

@@ -1,0 +1,175 @@
+package ingest
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"time"
+
+	"rfprism"
+	"rfprism/internal/mathx"
+)
+
+// EstimateOut is the JSON shape of a successful disentangled estimate.
+type EstimateOut struct {
+	X        float64 `json:"x"`
+	Y        float64 `json:"y"`
+	Z        float64 `json:"z"`
+	AlphaDeg float64 `json:"alphaDeg"`
+	Kt       float64 `json:"kt"`
+	Bt0      float64 `json:"bt0"`
+}
+
+// TagResult is one window's outcome as delivered to sinks: the window
+// assembly metadata, the pipeline health summary and either the
+// estimate or the error.
+type TagResult struct {
+	EPC             string       `json:"epc"`
+	Seq             int          `json:"seq"`
+	At              time.Time    `json:"at"`
+	Reason          string       `json:"closeReason"`
+	Readings        int          `json:"readings"`
+	Channels        int          `json:"channels"`
+	Antennas        int          `json:"antennas"`
+	LatencyMS       float64      `json:"latencyMs"`
+	Degraded        bool         `json:"degraded,omitempty"`
+	DroppedAntennas []int        `json:"droppedAntennas,omitempty"`
+	Estimate        *EstimateOut `json:"estimate,omitempty"`
+	Err             string       `json:"error,omitempty"`
+}
+
+// makeTagResult merges a closed window's assembly metadata with its
+// pipeline outcome.
+func makeTagResult(cw ClosedWindow, r rfprism.WindowResult, at time.Time, latency time.Duration) TagResult {
+	tr := TagResult{
+		EPC:       cw.EPC,
+		Seq:       cw.Seq,
+		At:        at,
+		Reason:    cw.Reason.String(),
+		Readings:  len(cw.Readings),
+		Channels:  cw.Channels,
+		Antennas:  cw.Antennas,
+		LatencyMS: float64(latency) / float64(time.Millisecond),
+	}
+	if h := r.Health(); h != nil {
+		tr.Degraded = h.Degraded
+		tr.DroppedAntennas = h.DroppedAntennas()
+	}
+	if r.Err != nil {
+		tr.Err = r.Err.Error()
+		return tr
+	}
+	est := r.Result.Estimate
+	tr.Estimate = &EstimateOut{
+		X:        est.Pos.X,
+		Y:        est.Pos.Y,
+		Z:        est.Pos.Z,
+		AlphaDeg: mathx.Deg(est.Alpha),
+		Kt:       est.Kt,
+		Bt0:      est.Bt0,
+	}
+	return tr
+}
+
+// Sink consumes per-window results. Emit may be called from the
+// daemon's result goroutine only, but Close may race a late Emit, so
+// implementations guard their state. Emit errors are counted, not
+// fatal: one misbehaving sink must not stall the pipeline.
+type Sink interface {
+	Emit(TagResult) error
+	Close() error
+}
+
+// NDJSONSink writes one JSON line per result — the daemon's durable
+// output and the replay mode's artifact. It does not own the
+// underlying writer; the caller closes files.
+type NDJSONSink struct {
+	mu  sync.Mutex
+	enc *json.Encoder
+}
+
+// NewNDJSONSink wraps w.
+func NewNDJSONSink(w io.Writer) *NDJSONSink {
+	return &NDJSONSink{enc: json.NewEncoder(w)}
+}
+
+// Emit implements Sink.
+func (s *NDJSONSink) Emit(r TagResult) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.enc.Encode(r); err != nil {
+		return fmt.Errorf("ingest: ndjson sink: %w", err)
+	}
+	return nil
+}
+
+// Close implements Sink.
+func (s *NDJSONSink) Close() error { return nil }
+
+// RingSink keeps the last N results per tag in memory — the store
+// behind GET /tags/{epc}. Reads and writes may race, so access is
+// guarded.
+type RingSink struct {
+	mu   sync.RWMutex
+	n    int
+	tags map[string][]TagResult
+}
+
+// NewRingSink keeps up to n results per tag (minimum 1).
+func NewRingSink(n int) *RingSink {
+	if n < 1 {
+		n = 1
+	}
+	return &RingSink{n: n, tags: make(map[string][]TagResult)}
+}
+
+// Emit implements Sink.
+func (s *RingSink) Emit(r TagResult) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ring := append(s.tags[r.EPC], r)
+	if len(ring) > s.n {
+		ring = ring[len(ring)-s.n:]
+	}
+	s.tags[r.EPC] = ring
+	return nil
+}
+
+// Close implements Sink.
+func (s *RingSink) Close() error { return nil }
+
+// Latest returns a tag's most recent result.
+func (s *RingSink) Latest(epc string) (TagResult, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	ring := s.tags[epc]
+	if len(ring) == 0 {
+		return TagResult{}, false
+	}
+	return ring[len(ring)-1], true
+}
+
+// History returns a tag's buffered results, oldest first (a copy).
+func (s *RingSink) History(epc string) []TagResult {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	ring := s.tags[epc]
+	if len(ring) == 0 {
+		return nil
+	}
+	return append([]TagResult(nil), ring...)
+}
+
+// EPCs returns the known tags, sorted.
+func (s *RingSink) EPCs() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]string, 0, len(s.tags))
+	for epc := range s.tags {
+		out = append(out, epc)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,86 @@
+package sim
+
+import (
+	"fmt"
+	"time"
+
+	"rfprism/internal/rf"
+)
+
+// Report streaming.
+//
+// A live reader does not hand the application pre-assembled hop
+// rounds: it emits one report per singulated read, interleaved across
+// the whole tag population, antennas and channels, for as long as the
+// inventory runs. StreamReadings reproduces exactly that shape —
+// consecutive multi-tag hop rounds flattened into a single
+// time-ordered report stream — so ingestion code (sessionizers,
+// daemons, replay tools) can be developed and tested against the same
+// seeded, reproducible physics as the offline campaigns.
+
+// offsetMotion shifts a Motion's clock so that round k of a stream
+// samples the trajectory at its absolute stream time, not at the
+// round-local time: a tag moving through a five-round stream keeps
+// moving instead of replaying round one's path five times.
+type offsetMotion struct {
+	m   Motion
+	off time.Duration
+}
+
+// At implements Motion.
+func (o offsetMotion) At(t time.Duration) Placement { return o.m.At(t + o.off) }
+
+// RoundSpan returns the duration of one full hop round under the
+// scene's reader configuration (channels × dwell).
+func (s *Scene) RoundSpan() time.Duration {
+	return time.Duration(rf.NumChannels) * s.Cfg.DwellTime
+}
+
+// StreamReadings generates rounds consecutive multi-tag inventory hop
+// rounds and calls emit for every reading in global time order. Each
+// reading's T carries its offset from stream start (not round start),
+// and motions are sampled at absolute stream time, so moving targets
+// progress across rounds. emit returning false stops the stream early
+// without error.
+//
+// Determinism: the stream is a pure function of the scene's seed, the
+// tag list and the round count — equal inputs produce byte-identical
+// streams, which is what replay tooling and tests rely on.
+func (s *Scene) StreamReadings(tags []TrackedTag, rounds int, emit func(Reading) bool) error {
+	if rounds <= 0 {
+		return fmt.Errorf("sim: stream needs at least one round, got %d", rounds)
+	}
+	if emit == nil {
+		return fmt.Errorf("sim: stream needs an emit callback")
+	}
+	span := s.RoundSpan()
+	shifted := make([]TrackedTag, len(tags))
+	for round := 0; round < rounds; round++ {
+		off := time.Duration(round) * span
+		for i, tt := range tags {
+			shifted[i] = TrackedTag{Tag: tt.Tag, Motion: offsetMotion{m: tt.Motion, off: off}}
+		}
+		win, err := s.CollectInventoryWindow(shifted)
+		if err != nil {
+			return err
+		}
+		for _, rd := range win {
+			rd.T += off
+			if !emit(rd) {
+				return nil
+			}
+		}
+	}
+	return nil
+}
+
+// CollectStream runs StreamReadings and returns the whole stream as a
+// slice — the convenience form for tests and bounded replays.
+func (s *Scene) CollectStream(tags []TrackedTag, rounds int) ([]Reading, error) {
+	var out []Reading
+	err := s.StreamReadings(tags, rounds, func(rd Reading) bool {
+		out = append(out, rd)
+		return true
+	})
+	return out, err
+}

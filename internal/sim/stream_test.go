@@ -1,0 +1,165 @@
+package sim
+
+import (
+	"testing"
+	"time"
+
+	"rfprism/internal/geom"
+	"rfprism/internal/rf"
+)
+
+func streamScene(t *testing.T, seed int64) *Scene {
+	t.Helper()
+	scene, err := NewScene(PaperAntennas2D(nil), rf.CleanSpace(), DefaultConfig(), seed)
+	if err != nil {
+		t.Fatalf("NewScene: %v", err)
+	}
+	return scene
+}
+
+func streamTags(t *testing.T, scene *Scene, n int) []TrackedTag {
+	t.Helper()
+	none, err := rf.MaterialByName("none")
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := make([]TrackedTag, n)
+	for i := range out {
+		pos := geom.Vec3{X: 0.5 + 0.4*float64(i), Y: 1.0 + 0.3*float64(i)}
+		out[i] = TrackedTag{
+			Tag:    scene.NewTag("stream-" + string(rune('A'+i))),
+			Motion: scene.Place(pos, 0.4*float64(i), none),
+		}
+	}
+	return out
+}
+
+// TestStreamReadingsDeterministic: equal (seed, tags, rounds) yield
+// byte-identical streams — the property replay tooling depends on.
+func TestStreamReadingsDeterministic(t *testing.T) {
+	collect := func() []Reading {
+		scene := streamScene(t, 314)
+		stream, err := scene.CollectStream(streamTags(t, scene, 3), 2)
+		if err != nil {
+			t.Fatalf("CollectStream: %v", err)
+		}
+		return stream
+	}
+	a, b := collect(), collect()
+	if len(a) == 0 {
+		t.Fatal("empty stream")
+	}
+	if len(a) != len(b) {
+		t.Fatalf("stream lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("reading %d differs: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}
+
+// TestStreamReadingsOrderAndInterleave: reports come out in
+// non-decreasing stream time, every tag appears, reports from
+// different tags interleave, and round k's reports carry absolute
+// offsets past round k-1's span.
+func TestStreamReadingsOrderAndInterleave(t *testing.T) {
+	scene := streamScene(t, 99)
+	tags := streamTags(t, scene, 3)
+	rounds := 2
+	stream, err := scene.CollectStream(tags, rounds)
+	if err != nil {
+		t.Fatalf("CollectStream: %v", err)
+	}
+	span := scene.RoundSpan()
+	seen := make(map[string]int)
+	switches := 0
+	prevEPC := ""
+	var prevT time.Duration
+	var maxT time.Duration
+	for i, rd := range stream {
+		if rd.T < prevT {
+			t.Fatalf("reading %d out of order: T %v after %v", i, rd.T, prevT)
+		}
+		prevT = rd.T
+		if rd.T > maxT {
+			maxT = rd.T
+		}
+		seen[rd.EPC]++
+		if rd.EPC != prevEPC {
+			switches++
+			prevEPC = rd.EPC
+		}
+	}
+	if len(seen) != len(tags) {
+		t.Fatalf("stream saw %d tags, want %d", len(seen), len(tags))
+	}
+	if switches < 2*len(tags) {
+		t.Errorf("stream barely interleaves: only %d EPC switches", switches)
+	}
+	if maxT <= span {
+		t.Errorf("two-round stream tops out at %v, want past one round span %v", maxT, span)
+	}
+}
+
+// TestStreamReadingsMotionContinuity: a moving tag's stream samples
+// the trajectory at absolute stream time, so round two's positions
+// continue round one's instead of replaying it.
+func TestStreamReadingsMotionContinuity(t *testing.T) {
+	scene := streamScene(t, 7)
+	none, err := rf.MaterialByName("none")
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := Placement{
+		Pos:          geom.Vec3{X: 0.4, Y: 1.0},
+		Polarization: rf.TagPolarization2D(0),
+		Material:     none,
+		Attach:       rf.Attach(none, rf.DefaultAttachmentJitter(), scene.Rand()),
+	}
+	mover := TrackedTag{
+		Tag:    scene.NewTag("mover"),
+		Motion: LinearMotion{Start: start, Velocity: geom.Vec3{X: 0.01}},
+	}
+	span := scene.RoundSpan()
+	wrapped := offsetMotion{m: mover.Motion, off: span}
+	got := wrapped.At(0).Pos
+	want := mover.Motion.At(span).Pos
+	if got != want {
+		t.Fatalf("round-2 motion restarts: got %+v, want %+v", got, want)
+	}
+}
+
+// TestStreamReadingsRejectsBadArgs: zero rounds and nil emit are
+// configuration errors, not silent no-ops.
+func TestStreamReadingsRejectsBadArgs(t *testing.T) {
+	scene := streamScene(t, 5)
+	tags := streamTags(t, scene, 1)
+	if err := scene.StreamReadings(tags, 0, func(Reading) bool { return true }); err == nil {
+		t.Error("zero rounds accepted")
+	}
+	if err := scene.StreamReadings(tags, 1, nil); err == nil {
+		t.Error("nil emit accepted")
+	}
+	if _, err := scene.CollectStream(nil, 1); err == nil {
+		t.Error("empty tag list accepted")
+	}
+}
+
+// TestStreamReadingsEarlyStop: emit returning false halts the stream
+// without error.
+func TestStreamReadingsEarlyStop(t *testing.T) {
+	scene := streamScene(t, 11)
+	tags := streamTags(t, scene, 2)
+	n := 0
+	err := scene.StreamReadings(tags, 3, func(Reading) bool {
+		n++
+		return n < 10
+	})
+	if err != nil {
+		t.Fatalf("early stop errored: %v", err)
+	}
+	if n != 10 {
+		t.Fatalf("emit called %d times, want 10", n)
+	}
+}
