@@ -3,13 +3,51 @@ package rfprism
 import (
 	"context"
 	"errors"
+	"fmt"
 	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"rfprism/internal/core"
 	"rfprism/internal/sim"
 )
+
+// ErrSolverPanic is the typed cause for a window whose solve panicked.
+// The batch layer converts the panic into a WindowResult error instead
+// of letting it take down the worker pool (and, in a daemon, the whole
+// process): one poisoned window must cost one window, not the
+// deployment. Callers branch with errors.Is and can recover the panic
+// value and stack through errors.As on *SolverPanicError.
+var ErrSolverPanic = errors.New("rfprism: solver panicked")
+
+// SolverPanicError carries a recovered solver panic: the original
+// panic value and the stack of the goroutine that panicked (the worker
+// itself, or a core pool worker re-thrown across goroutines as
+// core.PoolPanic). It unwraps to ErrSolverPanic.
+type SolverPanicError struct {
+	// Value is the original panic value.
+	Value any
+	// Stack is the panicking goroutine's stack.
+	Stack []byte
+}
+
+// Error implements error.
+func (e *SolverPanicError) Error() string {
+	return fmt.Sprintf("%v: %v", ErrSolverPanic, e.Value)
+}
+
+// Unwrap exposes ErrSolverPanic to errors.Is.
+func (e *SolverPanicError) Unwrap() error { return ErrSolverPanic }
+
+// WithProcessHook installs fn to run inside the per-window panic fence
+// just before each solve, receiving the window about to be processed.
+// It exists for chaos and crash testing — a hook that panics simulates
+// a solver panic exactly where a real one would fire — and must be
+// safe for concurrent use (workers call it in parallel).
+func WithProcessHook(fn func(Window)) Option {
+	return func(s *System) { s.processHook = fn }
+}
 
 // Window is one hop round of raw readings queued for batch
 // processing. Tag optionally carries a caller-side identifier (e.g.
@@ -170,7 +208,7 @@ func (s *System) processOne(ctx context.Context, i int, w Window) WindowResult {
 				continue
 			}
 		}
-		res, err = s.ProcessWindow(readings)
+		res, err = s.processWindowGuarded(w, readings)
 		if err == nil || !retryable(err) {
 			recordAttempts(res, err, a)
 			return WindowResult{Index: i, Tag: w.Tag, Result: res, Err: err}
@@ -180,6 +218,35 @@ func (s *System) processOne(ctx context.Context, i int, w Window) WindowResult {
 	// observed error.
 	recordAttempts(res, err, attempts)
 	return WindowResult{Index: i, Tag: w.Tag, Result: res, Err: err}
+}
+
+// processWindowGuarded runs one solve behind a panic fence: a panic in
+// the pipeline (on this goroutine, or re-thrown from a core pool
+// worker as *core.PoolPanic) becomes a WindowError wrapping
+// *SolverPanicError instead of crashing the pool. The chaos hook, when
+// installed, fires inside the fence so an injected panic takes the
+// exact path a real one would.
+func (s *System) processWindowGuarded(w Window, readings []sim.Reading) (res *Result, err error) {
+	defer func() {
+		v := recover()
+		if v == nil {
+			return
+		}
+		pe := &SolverPanicError{Value: v}
+		if pp, ok := v.(*core.PoolPanic); ok {
+			pe.Value = pp.Value
+			pe.Stack = pp.Stack
+		} else {
+			buf := make([]byte, 64<<10)
+			pe.Stack = buf[:runtime.Stack(buf, false)]
+		}
+		res = nil
+		err = &WindowError{err: pe}
+	}()
+	if s.processHook != nil {
+		s.processHook(w)
+	}
+	return s.ProcessWindow(readings)
 }
 
 // recordAttempts stamps the consumed attempt count into whichever

@@ -1,0 +1,123 @@
+package rfprism
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+
+	"rfprism/internal/geom"
+	"rfprism/internal/rf"
+	"rfprism/internal/sim"
+)
+
+// collectTestWindow calibrates sys (once per call, idempotent enough
+// for tests) and returns one clean solvable window for tag.
+func collectTestWindow(t *testing.T, scene *sim.Scene, epc string) []sim.Reading {
+	t.Helper()
+	none, err := rf.MaterialByName("none")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tag := scene.NewTag(epc)
+	return scene.CollectWindow(tag, scene.Place(geom.Vec3{X: 0.8, Y: 1.3}, 0.4, none))
+}
+
+// calibrateTestSystem runs the standard known-point calibration.
+func calibrateTestSystem(t *testing.T, scene *sim.Scene, sys *System) {
+	t.Helper()
+	none, err := rf.MaterialByName("none")
+	if err != nil {
+		t.Fatal(err)
+	}
+	calPos := geom.Vec3{X: 1.0, Y: 1.5}
+	calWin := scene.CollectWindow(scene.NewTag("cal"), scene.Place(calPos, 0, none))
+	if err := sys.CalibrateAntennas(calWin, calPos, 0); err != nil {
+		t.Fatalf("CalibrateAntennas: %v", err)
+	}
+}
+
+// TestProcessWindowsPanicIsolated: a window whose solve panics must
+// come back as a WindowResult carrying ErrSolverPanic — with the panic
+// value and a stack — while every other window in the batch still
+// solves normally. Before the fence, one poisoned window killed the
+// whole process.
+func TestProcessWindowsPanicIsolated(t *testing.T) {
+	scene, sys := newTestScene(t, rf.CleanSpace(), 1201)
+	calibrateTestSystem(t, scene, sys)
+	WithParallelism(2)(sys)
+	WithProcessHook(func(w Window) {
+		if w.Tag == "poison" {
+			panic("injected solver fault")
+		}
+	})(sys)
+
+	good := collectTestWindow(t, scene, "good")
+	windows := []Window{
+		{Tag: "good", Readings: good},
+		{Tag: "poison", Readings: good},
+		{Tag: "good2", Readings: good},
+	}
+	out := sys.ProcessWindows(context.Background(), windows)
+	if len(out) != 3 {
+		t.Fatalf("got %d results, want 3", len(out))
+	}
+	for _, r := range out {
+		if r.Tag == "poison" {
+			if !errors.Is(r.Err, ErrSolverPanic) {
+				t.Fatalf("poison window error = %v, want ErrSolverPanic", r.Err)
+			}
+			var pe *SolverPanicError
+			if !errors.As(r.Err, &pe) {
+				t.Fatalf("poison window error %T does not expose *SolverPanicError", r.Err)
+			}
+			if pe.Value != "injected solver fault" {
+				t.Errorf("panic value = %v, want the injected fault", pe.Value)
+			}
+			if !strings.Contains(string(pe.Stack), "goroutine") {
+				t.Errorf("panic stack missing: %q", pe.Stack)
+			}
+			continue
+		}
+		if r.Err != nil {
+			t.Errorf("window %q failed after neighbor panic: %v", r.Tag, r.Err)
+		}
+	}
+}
+
+// TestProcessStreamSurvivesPanics: the streaming pool must keep
+// emitting results after a panicked window — the daemon's liveness
+// depends on the pool outliving any single poisoned input.
+func TestProcessStreamSurvivesPanics(t *testing.T) {
+	scene, sys := newTestScene(t, rf.CleanSpace(), 1202)
+	calibrateTestSystem(t, scene, sys)
+	WithParallelism(2)(sys)
+	WithProcessHook(func(w Window) {
+		if strings.HasPrefix(w.Tag, "poison") {
+			panic("chaos")
+		}
+	})(sys)
+
+	good := collectTestWindow(t, scene, "stream")
+	in := make(chan Window)
+	go func() {
+		defer close(in)
+		for _, tag := range []string{"ok-a", "poison-1", "ok-b", "poison-2", "ok-c"} {
+			in <- Window{Tag: tag, Readings: good}
+		}
+	}()
+	var panics, ok int
+	for r := range sys.ProcessStream(context.Background(), in) {
+		switch {
+		case errors.Is(r.Err, ErrSolverPanic):
+			panics++
+		case r.Err == nil:
+			ok++
+		default:
+			t.Errorf("window %q: unexpected error %v", r.Tag, r.Err)
+		}
+	}
+	if panics != 2 || ok != 3 {
+		t.Fatalf("got %d panics / %d ok, want 2 / 3", panics, ok)
+	}
+}

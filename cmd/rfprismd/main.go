@@ -12,10 +12,20 @@
 //     NDJSON report file. Both honor the daemon's backpressure.
 //
 // Results flow to an in-memory ring (GET /tags/{epc}) and optionally
-// an NDJSON file (-out). /healthz and /metrics expose queue depths,
-// window-close reasons, solver latency and degraded-window counts.
-// SIGINT/SIGTERM drain gracefully: open windows are flushed through
-// the solver before exit.
+// an NDJSON file (-out). /healthz (liveness), /readyz (readiness) and
+// /metrics expose queue depths, window-close reasons, solver latency,
+// degraded-window counts and the crash-safety state. SIGINT/SIGTERM
+// drain gracefully: open windows are flushed through the solver
+// before exit.
+//
+// With -journal-dir the daemon is crash-safe: reports are journaled
+// before sessionization (losing at most -journal-sync of data on
+// kill -9), served windows are recorded in an emission ledger, and
+// -recover replays the journal on startup to rebuild open sessions
+// and re-solve windows lost in flight — without ever serving a window
+// twice. Solver panics are isolated per window and quarantined under
+// <journal-dir>/quarantine; repeated panics trip a breaker into
+// journal-only mode (DESIGN.md §9).
 //
 // The deployment geometry and calibration are recreated from -seed
 // exactly as cmd/rfprism-process does; a production deployment would
@@ -76,6 +86,9 @@ type options struct {
 	rounds       int
 	pace         float64
 	drainTimeout time.Duration
+	journalDir   string
+	journalSync  time.Duration
+	recover      bool
 }
 
 func parseFlags(args []string) (options, error) {
@@ -97,6 +110,9 @@ func parseFlags(args []string) (options, error) {
 	fs.IntVar(&o.rounds, "rounds", 2, "simulated hop rounds (-replay)")
 	fs.Float64Var(&o.pace, "pace", 0, "replay pacing: 1 = real time, 0 = full speed")
 	fs.DurationVar(&o.drainTimeout, "drain-timeout", 30*time.Second, "graceful drain budget on shutdown")
+	fs.StringVar(&o.journalDir, "journal-dir", "", "write-ahead report journal directory (empty: no journal)")
+	fs.DurationVar(&o.journalSync, "journal-sync", 100*time.Millisecond, "journal fsync interval — the crash loss bound (-journal-dir)")
+	fs.BoolVar(&o.recover, "recover", false, "replay the journal on startup to rebuild sessions and re-solve lost windows (-journal-dir)")
 	if err := fs.Parse(args); err != nil {
 		return o, err
 	}
@@ -105,6 +121,9 @@ func parseFlags(args []string) (options, error) {
 	}
 	if !o.replay && o.replayFile == "" && o.addr == "" {
 		return o, fmt.Errorf("nothing to do: need -addr, -replay or -replay-file")
+	}
+	if o.recover && o.journalDir == "" {
+		return o, fmt.Errorf("-recover requires -journal-dir")
 	}
 	if o.replay && o.tags < 1 {
 		return o, fmt.Errorf("-tags must be ≥ 1, got %d", o.tags)
@@ -138,6 +157,19 @@ func run(args []string, stdout io.Writer) error {
 		sinks = append(sinks, ingest.NewNDJSONSink(outFile))
 	}
 
+	var journal *ingest.Journal
+	if o.journalDir != "" {
+		journal, err = ingest.OpenJournal(ingest.JournalConfig{
+			Dir:       o.journalDir,
+			SyncEvery: o.journalSync,
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "rfprismd: journaling to %s (sync %v, next seq %d)\n",
+			o.journalDir, o.journalSync, journal.NextSeq())
+	}
+
 	d := ingest.NewDaemon(sys, ingest.Config{
 		Sessionizer: ingest.SessionizerConfig{
 			CoverageClose: o.coverage,
@@ -145,7 +177,19 @@ func run(args []string, stdout io.Writer) error {
 		},
 		QueueSize:  o.queue,
 		RetryAfter: o.retryAfter,
+		Journal:    journal,
 	}, sinks...)
+
+	if o.recover {
+		info, err := d.Recover()
+		if err != nil {
+			return fmt.Errorf("journal recovery: %w", err)
+		}
+		fmt.Fprintf(stdout,
+			"rfprismd: recovered — %d reports replayed (%d corrupt, %d torn), %d windows suppressed, %d re-queued, %d sessions reopened\n",
+			info.Replay.Reports, info.Replay.Corrupt, info.Replay.Torn,
+			info.Suppressed, info.Requeued, info.OpenSessions)
+	}
 
 	// Replay feeds and the signal handler share one cancellation: the
 	// first SIGINT/SIGTERM stops feeding and starts the drain.

@@ -139,4 +139,30 @@ func TestRunRejectsBadFlags(t *testing.T) {
 	if err := run([]string{"-replay-file", filepath.Join(t.TempDir(), "missing.ndjson")}, &stdout); err == nil {
 		t.Error("missing replay file accepted")
 	}
+	if err := run([]string{"-replay", "-recover"}, &stdout); err == nil {
+		t.Error("-recover without -journal-dir accepted")
+	}
+}
+
+// TestRunJournaledReplayRecovers: two journaled replay runs over the
+// same directory — the second with -recover — must suppress every
+// window the first run served instead of re-emitting it.
+func TestRunJournaledReplayRecovers(t *testing.T) {
+	dir := t.TempDir()
+	var out1 bytes.Buffer
+	if err := run([]string{"-replay", "-tags", "1", "-rounds", "1", "-seed", "7",
+		"-journal-dir", dir}, &out1); err != nil {
+		t.Fatalf("first run: %v\n%s", err, out1.String())
+	}
+	if !strings.Contains(out1.String(), "journaling to") {
+		t.Fatalf("first run did not journal:\n%s", out1.String())
+	}
+	var out2 bytes.Buffer
+	if err := run([]string{"-replay", "-tags", "1", "-rounds", "1", "-seed", "7",
+		"-journal-dir", dir, "-recover"}, &out2); err != nil {
+		t.Fatalf("second run: %v\n%s", err, out2.String())
+	}
+	if !strings.Contains(out2.String(), "recovered") {
+		t.Fatalf("second run did not recover:\n%s", out2.String())
+	}
 }

@@ -1,11 +1,31 @@
 package core
 
 import (
+	"fmt"
 	"math"
 	"runtime"
 	"sync"
 	"sync/atomic"
 )
+
+// PoolPanic carries a panic that fired on a parallelFor worker
+// goroutine across to the calling goroutine. A recover() placed around
+// the caller (the per-window fence in the batch layer) would otherwise
+// never see worker panics — recover only works on the panicking
+// goroutine — so the pool captures the first panic with its stack and
+// re-throws it after the pool winds down.
+type PoolPanic struct {
+	// Value is the original panic value.
+	Value any
+	// Stack is the panicking worker's stack at capture time.
+	Stack []byte
+}
+
+// Error lets a PoolPanic double as an error for callers that convert
+// rather than re-panic.
+func (p *PoolPanic) Error() string {
+	return fmt.Sprintf("core: solver pool worker panicked: %v", p.Value)
+}
 
 // reduceMinCost returns the lowest-cost candidate, breaking ties
 // toward the lowest index. Scanning in index order with a strict
@@ -45,6 +65,11 @@ func workerCount(parallelism, items int) int {
 // index-addressed slots to stay deterministic. With workers <= 1 the
 // loop runs inline on the calling goroutine (the serial path: no
 // goroutines, no synchronization).
+// A panic inside fn on a worker goroutine is re-thrown on the calling
+// goroutine as a *PoolPanic; sibling workers finish their current item
+// and stop. The serial path stays a bare loop — its panics already
+// reach the caller directly, and the hot grid scans cannot afford a
+// defer per item.
 func parallelFor(n, workers int, fn func(i int)) {
 	if workers <= 1 || n <= 1 {
 		for i := 0; i < n; i++ {
@@ -53,6 +78,7 @@ func parallelFor(n, workers int, fn func(i int)) {
 		return
 	}
 	var next atomic.Int64
+	var firstPanic atomic.Pointer[PoolPanic]
 	var wg sync.WaitGroup
 	wg.Add(workers)
 	for w := 0; w < workers; w++ {
@@ -60,12 +86,26 @@ func parallelFor(n, workers int, fn func(i int)) {
 			defer wg.Done()
 			for {
 				i := int(next.Add(1)) - 1
-				if i >= n {
+				if i >= n || firstPanic.Load() != nil {
 					return
 				}
-				fn(i)
+				func() {
+					defer func() {
+						if v := recover(); v != nil {
+							buf := make([]byte, 64<<10)
+							firstPanic.CompareAndSwap(nil, &PoolPanic{
+								Value: v,
+								Stack: buf[:runtime.Stack(buf, false)],
+							})
+						}
+					}()
+					fn(i)
+				}()
 			}
 		}()
 	}
 	wg.Wait()
+	if p := firstPanic.Load(); p != nil {
+		panic(p)
+	}
 }

@@ -108,6 +108,32 @@ func TestParallelForCoversAllIndices(t *testing.T) {
 	}
 }
 
+// TestParallelForPanicReachesCaller: a panic on a worker goroutine
+// must surface on the calling goroutine as *PoolPanic with the
+// original value and a captured stack — otherwise it crashes the whole
+// process and no fence above the pool can contain it.
+func TestParallelForPanicReachesCaller(t *testing.T) {
+	defer func() {
+		v := recover()
+		pp, ok := v.(*PoolPanic)
+		if !ok {
+			t.Fatalf("recovered %T (%v), want *PoolPanic", v, v)
+		}
+		if pp.Value != "worker exploded" {
+			t.Errorf("panic value = %v", pp.Value)
+		}
+		if len(pp.Stack) == 0 {
+			t.Error("panic stack not captured")
+		}
+	}()
+	parallelFor(64, 4, func(i int) {
+		if i == 17 {
+			panic("worker exploded")
+		}
+	})
+	t.Fatal("parallelFor returned instead of panicking")
+}
+
 // TestWorkerCount pins the Parallelism resolution rules.
 func TestWorkerCount(t *testing.T) {
 	if got := workerCount(1, 100); got != 1 {

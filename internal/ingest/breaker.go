@@ -1,0 +1,103 @@
+package ingest
+
+import (
+	"sync"
+	"time"
+)
+
+// BreakerConfig tunes the repeated-panic circuit breaker. A single
+// solver panic is isolated per-window (the batch layer converts it to
+// an error), but a burst of panics means something systemic — a bad
+// deploy, a poisoned calibration — and burning a worker per window on
+// known-doomed solves helps nobody. The breaker trips the daemon into
+// shed-and-journal-only mode: reports are still made durable so a
+// fixed binary can recover and solve them, but nothing reaches the
+// solver pool until the breaker resets.
+type BreakerConfig struct {
+	// Threshold is the number of panics within Window that trips the
+	// breaker. Default 3.
+	Threshold int
+	// Window is the rolling observation window. Default 1 minute.
+	Window time.Duration
+	// Cooldown resets a tripped breaker after this long without a
+	// further panic, letting the daemon probe whether the fault
+	// cleared. 0 (the default) keeps it tripped until restart — for a
+	// deterministic solver fault, retrying without a new binary would
+	// just re-trip it.
+	Cooldown time.Duration
+}
+
+func (c *BreakerConfig) defaults() {
+	if c.Threshold <= 0 {
+		c.Threshold = 3
+	}
+	if c.Window <= 0 {
+		c.Window = time.Minute
+	}
+}
+
+// breaker is the sliding-window panic counter. All methods take the
+// clock from the caller so tests drive time explicitly.
+type breaker struct {
+	cfg BreakerConfig
+
+	mu        sync.Mutex
+	times     []time.Time
+	tripped   bool
+	trippedAt time.Time
+}
+
+func newBreaker(cfg BreakerConfig) *breaker {
+	cfg.defaults()
+	return &breaker{cfg: cfg}
+}
+
+// record notes one panic at now and reports whether it newly tripped
+// the breaker.
+func (b *breaker) record(now time.Time) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.expireLocked(now)
+	if b.tripped {
+		// Every panic while tripped restarts the cooldown: the fault
+		// is clearly still live.
+		b.trippedAt = now
+		return false
+	}
+	b.times = append(b.times, now)
+	if len(b.times) >= b.cfg.Threshold {
+		b.tripped = true
+		b.trippedAt = now
+		b.times = b.times[:0]
+		return true
+	}
+	return false
+}
+
+// isTripped reports the breaker state at now, applying cooldown expiry.
+func (b *breaker) isTripped(now time.Time) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.expireLocked(now)
+	return b.tripped
+}
+
+// expireLocked drops observations that slid out of the window and
+// resets a tripped breaker whose cooldown elapsed.
+func (b *breaker) expireLocked(now time.Time) {
+	if b.tripped {
+		if b.cfg.Cooldown > 0 && now.Sub(b.trippedAt) >= b.cfg.Cooldown {
+			b.tripped = false
+			b.times = b.times[:0]
+		}
+		return
+	}
+	cut := now.Add(-b.cfg.Window)
+	keep := b.times[:0]
+	for _, t := range b.times {
+		if t.After(cut) {
+			keep = append(keep, t)
+		}
+	}
+	b.times = keep
+}

@@ -1,0 +1,52 @@
+package ingest
+
+import (
+	"testing"
+	"time"
+)
+
+func TestBreakerTripsAtThreshold(t *testing.T) {
+	b := newBreaker(BreakerConfig{Threshold: 3, Window: time.Minute})
+	t0 := time.Unix(1000, 0)
+	if b.record(t0) || b.record(t0.Add(time.Second)) {
+		t.Fatal("tripped below threshold")
+	}
+	if !b.record(t0.Add(2 * time.Second)) {
+		t.Fatal("third panic in window did not trip")
+	}
+	if !b.isTripped(t0.Add(3 * time.Second)) {
+		t.Fatal("not tripped after trip")
+	}
+	// No cooldown configured: stays tripped arbitrarily long.
+	if !b.isTripped(t0.Add(24 * time.Hour)) {
+		t.Fatal("breaker reset without a cooldown")
+	}
+}
+
+func TestBreakerWindowSlides(t *testing.T) {
+	b := newBreaker(BreakerConfig{Threshold: 3, Window: 10 * time.Second})
+	t0 := time.Unix(1000, 0)
+	b.record(t0)
+	b.record(t0.Add(time.Second))
+	// The first two slide out of the window before the third lands.
+	if b.record(t0.Add(30*time.Second)) || b.isTripped(t0.Add(30*time.Second)) {
+		t.Fatal("stale panics counted toward the threshold")
+	}
+}
+
+func TestBreakerCooldownResets(t *testing.T) {
+	b := newBreaker(BreakerConfig{Threshold: 2, Window: time.Minute, Cooldown: 5 * time.Second})
+	t0 := time.Unix(1000, 0)
+	b.record(t0)
+	if !b.record(t0.Add(time.Second)) {
+		t.Fatal("did not trip")
+	}
+	// A panic during cooldown restarts it.
+	b.record(t0.Add(3 * time.Second))
+	if !b.isTripped(t0.Add(7 * time.Second)) {
+		t.Fatal("cooldown not restarted by panic while tripped")
+	}
+	if b.isTripped(t0.Add(9 * time.Second)) {
+		t.Fatal("breaker still tripped after quiet cooldown")
+	}
+}

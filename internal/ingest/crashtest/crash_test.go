@@ -1,0 +1,243 @@
+package crashtest
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"rfprism"
+	"rfprism/internal/ingest"
+	"rfprism/internal/sim"
+)
+
+// TestMain dispatches: re-executed children run the daemon lifetime
+// instead of the test suite.
+func TestMain(m *testing.M) {
+	if IsChild() {
+		os.Exit(RunChild())
+	}
+	os.Exit(m.Run())
+}
+
+// childRun executes one daemon lifetime in a fresh process. crashAt < 0
+// means run to a clean drain.
+func childRun(t *testing.T, dir string, seed int64, resume, crashAt int, recover bool) {
+	t.Helper()
+	exe, err := os.Executable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd := exec.Command(exe)
+	rec := "0"
+	if recover {
+		rec = "1"
+	}
+	cmd.Env = append(os.Environ(),
+		envChild+"=1",
+		envDir+"="+dir,
+		envSeed+"="+strconv.FormatInt(seed, 10),
+		envCrashAt+"="+strconv.Itoa(crashAt),
+		envResume+"="+strconv.Itoa(resume),
+		envRecover+"="+rec,
+	)
+	out, err := cmd.CombinedOutput()
+	if crashAt < 0 {
+		if err != nil {
+			t.Fatalf("clean child run failed: %v\n%s", err, out)
+		}
+		return
+	}
+	// A scheduled crash must end in the self-inflicted SIGKILL — any
+	// other exit means the child never reached the crash point.
+	ee, ok := err.(*exec.ExitError)
+	if !ok {
+		t.Fatalf("child at crash %d: err %v (want SIGKILL)\n%s", crashAt, err, out)
+	}
+	ws, ok := ee.Sys().(syscall.WaitStatus)
+	if !ok || !ws.Signaled() || ws.Signal() != syscall.SIGKILL {
+		t.Fatalf("child at crash %d exited %v, want SIGKILL\n%s", crashAt, ee, out)
+	}
+}
+
+// countJournalLines counts durable (newline-terminated) report lines
+// across every journal segment in dir — the post-crash ground truth of
+// what survived.
+func countJournalLines(t *testing.T, dir string) int {
+	t.Helper()
+	matches, err := filepath.Glob(filepath.Join(dir, "journal-*.ndjson"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	for _, path := range matches {
+		b, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		n += bytes.Count(b, []byte{'\n'})
+	}
+	return n
+}
+
+// readLedger parses the emission ledger.
+func readLedger(t *testing.T, path string) []ingest.TagResult {
+	t.Helper()
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	var out []ingest.TagResult
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	for sc.Scan() {
+		raw := bytes.TrimSpace(sc.Bytes())
+		if len(raw) == 0 {
+			continue
+		}
+		var tr ingest.TagResult
+		if err := json.Unmarshal(raw, &tr); err != nil {
+			t.Fatalf("ledger line %q: %v", raw, err)
+		}
+		out = append(out, tr)
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+// baselineWindow is one offline reference outcome.
+type baselineWindow struct {
+	est *rfprism.Estimate
+	err error
+}
+
+// TestCrashRecovery is the chaos harness: feed a seeded two-tag
+// stream, SIGKILL the daemon at seeded points, restart with -recover
+// semantics, and require the union of all runs' durable output to
+// match an offline baseline over the reports that survived — with zero
+// duplicate (EPC, FirstSeq) windows and a loss per crash bounded by
+// the journal's record-sync interval.
+func TestCrashRecovery(t *testing.T) {
+	const seed = int64(41)
+	sys, reports, err := buildHarness(seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	crashes := sim.CrashPoints(seed, len(reports), 3)
+	t.Logf("stream: %d reports, crash schedule %v", len(reports), crashes)
+	dir := t.TempDir()
+
+	// Crash/restart cycles. effective accumulates the reports that
+	// survived each crash (journaled-and-durable prefix of what the
+	// child fed); reports accepted after the last sync die with the
+	// process, and the feed resumes past the crash point — exactly a
+	// reader that kept inventorying while the daemon was down.
+	var effective []sim.Reading
+	feedStart := 0
+	for i, crashAt := range crashes {
+		childRun(t, dir, seed, feedStart, crashAt, i > 0)
+		durable := countJournalLines(t, dir)
+		appended := durable - len(effective)
+		accepted := crashAt + 1 - feedStart
+		if appended < 0 || appended > accepted {
+			t.Fatalf("crash %d: %d durable lines after %d effective + %d accepted", crashAt, durable, len(effective), accepted)
+		}
+		if lost := accepted - appended; lost > syncRecords {
+			t.Fatalf("crash %d lost %d reports, bound is %d", crashAt, lost, syncRecords)
+		} else {
+			t.Logf("crash at %d: %d accepted this run, %d lost", crashAt, accepted, lost)
+		}
+		effective = append(effective, reports[feedStart:feedStart+appended]...)
+		feedStart = crashAt + 1
+	}
+	// Final lifetime: recover and drain cleanly.
+	childRun(t, dir, seed, feedStart, -1, true)
+	effective = append(effective, reports[feedStart:]...)
+
+	// Offline baseline: the same sessionizer config over the effective
+	// stream with positional sequence numbers — which is precisely what
+	// journal replay plus the resumed feed presented to the daemons.
+	now := time.Now()
+	base := map[ingest.WindowKey]baselineWindow{}
+	solve := func(cw ingest.ClosedWindow) {
+		res, err := sys.ProcessWindow(cw.Readings)
+		bw := baselineWindow{err: err}
+		if err == nil {
+			bw.est = &res.Estimate
+		}
+		base[cw.Key()] = bw
+	}
+	z := ingest.NewSessionizer(sessionizerConfig())
+	for i, rd := range effective {
+		cw, closed, err := z.AddSeq(rd, uint64(i), now)
+		if err != nil {
+			t.Fatalf("baseline rejected report %d: %v", i, err)
+		}
+		if closed {
+			solve(cw)
+		}
+	}
+	for _, cw := range z.Drain(now) {
+		solve(cw)
+	}
+
+	// The ledger is the union of every lifetime's durable output.
+	results := readLedger(t, filepath.Join(dir, "results.ndjson"))
+	got := map[ingest.WindowKey]ingest.TagResult{}
+	for _, tr := range results {
+		key := ingest.WindowKey{EPC: tr.EPC, FirstSeq: tr.FirstSeq}
+		if _, dup := got[key]; dup {
+			t.Fatalf("duplicate window %+v in emission ledger", key)
+		}
+		got[key] = tr
+	}
+
+	// Exact key-set equality, estimate agreement per window.
+	for key, bw := range base {
+		tr, ok := got[key]
+		if !ok {
+			t.Errorf("window %+v missing from recovered output", key)
+			continue
+		}
+		switch {
+		case bw.err != nil:
+			if tr.Err == "" {
+				t.Errorf("window %+v: baseline failed (%v), daemon succeeded", key, bw.err)
+			}
+		case tr.Estimate == nil:
+			t.Errorf("window %+v: baseline succeeded, daemon failed: %s", key, tr.Err)
+		default:
+			dx, dy, dz := tr.Estimate.X-bw.est.Pos.X, tr.Estimate.Y-bw.est.Pos.Y, tr.Estimate.Z-bw.est.Pos.Z
+			if d := math.Sqrt(dx*dx + dy*dy + dz*dz); d > 1e-6 {
+				t.Errorf("window %+v: estimate drifted %g m from baseline", key, d)
+			}
+		}
+	}
+	for key := range got {
+		if _, ok := base[key]; !ok {
+			t.Errorf("window %+v emitted but absent from baseline", key)
+		}
+	}
+	if len(base) == 0 {
+		t.Fatal("baseline produced no windows — harness parameters are degenerate")
+	}
+	t.Logf("verified %d windows against baseline (%d durable reports of %d fed)", len(base), len(effective), len(reports))
+
+	var epcs []string
+	for key := range base {
+		epcs = append(epcs, fmt.Sprintf("%s@%d", key.EPC, key.FirstSeq))
+	}
+	t.Logf("windows: %s", strings.Join(epcs, " "))
+}

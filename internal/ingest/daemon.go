@@ -40,6 +40,14 @@ type Config struct {
 	// (the Retry-After header, and the replay helper's retry pause).
 	// Default 1 s.
 	RetryAfter time.Duration
+	// Journal, when set, makes the daemon crash-safe: every admitted
+	// report is appended to the write-ahead journal before it enters
+	// the sessionizer, results are recorded in the journal's emission
+	// ledger, and Recover rebuilds state after a restart. The daemon
+	// owns the journal from here on and closes it on Shutdown.
+	Journal *Journal
+	// Breaker tunes the repeated-panic circuit breaker.
+	Breaker BreakerConfig
 	// Now overrides the clock (tests). Default time.Now.
 	Now func() time.Time
 }
@@ -72,9 +80,14 @@ type windowMeta struct {
 // Processor, results out to the sinks. NewDaemon starts it; Shutdown
 // drains it.
 type Daemon struct {
-	cfg   Config
-	met   *Metrics
-	sinks []Sink
+	cfg     Config
+	met     *Metrics
+	sinks   []Sink
+	journal *Journal
+	breaker *breaker
+
+	// recovery is the startup replay summary (zero until Recover ran).
+	recovery RecoveryInfo
 
 	// mu serializes report ingestion, the deadline sweep and queue
 	// admission; the index counter makes enqueue order equal
@@ -106,6 +119,8 @@ func NewDaemon(proc Processor, cfg Config, sinks ...Sink) *Daemon {
 		cfg:         cfg,
 		met:         NewMetrics(cfg.Now()),
 		sinks:       sinks,
+		journal:     cfg.Journal,
+		breaker:     newBreaker(cfg.Breaker),
 		sess:        NewSessionizer(cfg.Sessionizer),
 		meta:        make(map[int]windowMeta),
 		windows:     make(chan rfprism.Window, cfg.QueueSize),
@@ -127,18 +142,31 @@ func (d *Daemon) Metrics() *Metrics { return d.met }
 // RetryAfter is the advertised backpressure pause.
 func (d *Daemon) RetryAfter() time.Duration { return d.cfg.RetryAfter }
 
-// Gauges samples the point-in-time queue and sessionizer state.
+// Gauges samples the point-in-time queue, sessionizer, breaker and
+// journal state.
 func (d *Daemon) Gauges() Gauges {
 	d.mu.Lock()
-	defer d.mu.Unlock()
-	return Gauges{
+	g := Gauges{
 		QueueDepth:       len(d.windows),
 		QueueCap:         cap(d.windows),
 		OpenSessions:     d.sess.Open(),
 		BufferedReadings: d.sess.Buffered(),
 		Draining:         d.draining,
+		BreakerTripped:   d.breaker.isTripped(d.cfg.Now()),
 	}
+	d.mu.Unlock()
+	if d.journal != nil {
+		g.JournalEnabled = true
+		g.JournalNextSeq = d.journal.NextSeq()
+		g.JournalSyncedSeq = d.journal.SyncedSeq()
+		g.JournalSegments = d.journal.Segments()
+	}
+	return g
 }
+
+// Recovery returns the startup replay summary (the zero value when the
+// daemon started fresh or has no journal).
+func (d *Daemon) Recovery() RecoveryInfo { return d.recovery }
 
 // Offer ingests one raw report. It fails fast with ErrBusy when the
 // window queue is full (back off and retry), ErrDraining once shutdown
@@ -151,12 +179,43 @@ func (d *Daemon) Offer(rd sim.Reading) error {
 	if d.draining {
 		return ErrDraining
 	}
+	if err := ValidateReading(rd); err != nil {
+		d.met.ReportsRejected.Add(1)
+		return err
+	}
+	now := d.cfg.Now()
+	if d.breaker.isTripped(now) {
+		// Shed-and-journal-only degraded mode: the solver is known
+		// poisoned, so nothing reaches it, but with a journal the
+		// report is still made durable — a restarted (fixed) daemon
+		// recovers and solves it. Without a journal the report is shed.
+		if d.journal != nil {
+			if _, _, err := d.journal.Append(rd); err != nil {
+				d.met.JournalErrors.Add(1)
+				return err
+			}
+		}
+		d.met.ReportsJournalOnly.Add(1)
+		return nil
+	}
 	if len(d.windows) == cap(d.windows) {
 		d.met.ReportsBackpressured.Add(1)
 		return ErrBusy
 	}
+	var seq uint64
+	rotated := false
+	if d.journal != nil {
+		var err error
+		seq, rotated, err = d.journal.Append(rd)
+		if err != nil {
+			// A report that cannot be made durable is refused: callers
+			// were promised journaled-then-processed, not maybe.
+			d.met.JournalErrors.Add(1)
+			return err
+		}
+	}
 	before := d.sess.Discarded()
-	cw, closed, err := d.sess.Add(rd, d.cfg.Now())
+	cw, closed, err := d.sess.AddSeq(rd, seq, now)
 	if err != nil {
 		d.met.ReportsRejected.Add(1)
 		return err
@@ -166,7 +225,29 @@ func (d *Daemon) Offer(rd sim.Reading) error {
 	if closed {
 		d.enqueueLocked(cw)
 	}
+	if rotated {
+		d.retainLocked()
+	}
 	return nil
+}
+
+// retainLocked prunes journal segments no open session, in-flight
+// window or future replay still needs. Callers hold d.mu.
+func (d *Daemon) retainLocked() {
+	minNeeded := d.journal.NextSeq()
+	if s, ok := d.sess.MinOpenSeq(); ok && s < minNeeded {
+		minNeeded = s
+	}
+	d.metaMu.Lock()
+	for _, m := range d.meta {
+		if m.cw.FirstSeq < minNeeded {
+			minNeeded = m.cw.FirstSeq
+		}
+	}
+	d.metaMu.Unlock()
+	if err := d.journal.Retain(minNeeded); err != nil {
+		d.met.JournalErrors.Add(1)
+	}
 }
 
 // enqueueLocked queues a closed window. Callers hold d.mu and have
@@ -240,13 +321,154 @@ func (d *Daemon) resultLoop(results <-chan rfprism.WindowResult) {
 		if h := r.Health(); h != nil && h.Degraded {
 			d.met.WindowsDegraded.Add(1)
 		}
+		if errors.Is(r.Err, rfprism.ErrSolverPanic) {
+			d.observePanic(m.cw, r.Err, now)
+		}
 		tr := makeTagResult(m.cw, r, now, latency)
+		if d.journal != nil {
+			// The ledger line is the durable emission record: recovery
+			// suppresses any window already written here, so it goes
+			// down before the best-effort sinks see the result — and
+			// only after the window's own reports are durable (SyncTo),
+			// or a crash could keep the ledger line while losing the
+			// reports behind it. If the journal cannot deliver that
+			// ordering, skip the ledger line: recovery then re-solves
+			// the window (at-least-once to sinks) instead of corrupting
+			// the dedup record.
+			if err := d.journal.SyncTo(m.cw.LastSeq); err != nil {
+				d.met.JournalErrors.Add(1)
+			} else if err := d.journal.AppendResult(tr); err != nil {
+				d.met.JournalErrors.Add(1)
+			}
+		}
 		for _, s := range d.sinks {
 			if err := s.Emit(tr); err != nil {
 				d.met.SinkErrors.Add(1)
 			}
 		}
 	}
+}
+
+// observePanic handles a window whose solve panicked: count it,
+// quarantine the poisoned window for offline reproduction, and feed
+// the circuit breaker.
+func (d *Daemon) observePanic(cw ClosedWindow, err error, now time.Time) {
+	d.met.SolverPanics.Add(1)
+	if d.journal != nil {
+		report := err.Error()
+		var pe *rfprism.SolverPanicError
+		if errors.As(err, &pe) {
+			report = fmt.Sprintf("%v\n\n%s", pe.Value, pe.Stack)
+		}
+		if qerr := d.journal.Quarantine(cw.Key(), cw.Readings, report); qerr != nil {
+			d.met.JournalErrors.Add(1)
+		} else {
+			d.met.WindowsQuarantined.Add(1)
+		}
+	}
+	if d.breaker.record(now) {
+		d.met.BreakerTrips.Add(1)
+	}
+}
+
+// RecoveryInfo summarizes a startup journal replay.
+type RecoveryInfo struct {
+	// Ran reports whether Recover executed (it is false on a fresh
+	// start or a journal-less daemon).
+	Ran bool
+	// Replay is the raw journal scan summary.
+	Replay ReplayStats
+	// Rejected counts journaled reports the sessionizer refused on
+	// replay (possible only if validation rules tightened between
+	// runs).
+	Rejected int
+	// Suppressed counts windows that re-closed during replay but were
+	// already in the emission ledger — served before the crash, so
+	// they are not solved again.
+	Suppressed int
+	// Requeued counts windows that closed during replay without a
+	// ledger record — lost in flight at the crash — and were re-queued
+	// for solving.
+	Requeued int
+	// OpenSessions is the number of per-EPC sessions rebuilt and left
+	// open (their dwell deadline restarts at recovery time).
+	OpenSessions int
+	// ReplayedTo is the journal position recovery reached (the next
+	// fresh report's sequence number).
+	ReplayedTo uint64
+}
+
+// Recover rebuilds the daemon's state from the write-ahead journal
+// after a restart: it replays every retained journaled report through
+// the sessionizer, re-queues windows that closed without a durable
+// emission record, suppresses windows the emission ledger proves were
+// already served (idempotent replay keyed on (EPC, FirstSeq)), and
+// leaves still-incomplete sessions open for fresh reports to finish.
+//
+// Call it once, after NewDaemon and before exposing Offer or HTTP —
+// recovery assumes it is the only producer. A daemon without a journal
+// returns the zero RecoveryInfo.
+func (d *Daemon) Recover() (RecoveryInfo, error) {
+	if d.journal == nil {
+		return RecoveryInfo{}, nil
+	}
+	emitted, err := d.journal.EmittedSet()
+	if err != nil {
+		return RecoveryInfo{}, err
+	}
+	info := RecoveryInfo{Ran: true}
+	var requeue []ClosedWindow
+	now := d.cfg.Now()
+	d.mu.Lock()
+	st, rerr := d.journal.Replay(func(seq uint64, rd sim.Reading) error {
+		cw, closed, err := d.sess.AddSeq(rd, seq, now)
+		if err != nil {
+			info.Rejected++
+			return nil
+		}
+		if !closed {
+			return nil
+		}
+		if emitted[cw.Key()] {
+			info.Suppressed++
+			d.met.WindowsSuppressed.Add(1)
+			return nil
+		}
+		requeue = append(requeue, cw)
+		return nil
+	})
+	// Sessions whose identity is already in the emission ledger were
+	// drain-flushed as partial windows before a clean shutdown; letting
+	// them re-close would duplicate that identity.
+	if dropped := d.sess.DropEmittedSessions(emitted); dropped > 0 {
+		info.Suppressed += dropped
+		d.met.WindowsSuppressed.Add(int64(dropped))
+	}
+	info.OpenSessions = d.sess.Open()
+	d.mu.Unlock()
+	info.Replay = st
+	if rerr != nil {
+		return info, rerr
+	}
+	// Re-queue lost windows with blocking sends: the solver pool is
+	// already consuming, and Offer is not yet reachable, so this is the
+	// only producer and cannot deadlock with queue capacity.
+	for _, cw := range requeue {
+		d.mu.Lock()
+		idx := d.nextIdx
+		d.nextIdx++
+		d.mu.Unlock()
+		d.metaMu.Lock()
+		d.meta[idx] = windowMeta{cw: cw, enqueued: d.cfg.Now()}
+		d.metaMu.Unlock()
+		d.met.WindowClosed(cw.Reason)
+		d.met.WindowsRecovered.Add(1)
+		d.windows <- rfprism.Window{Tag: cw.EPC, Readings: cw.Readings}
+		info.Requeued++
+	}
+	info.ReplayedTo = d.journal.NextSeq()
+	d.recovery = info
+	return info, nil
 }
 
 // Shutdown drains the daemon gracefully: new reports are refused
@@ -310,6 +532,11 @@ func (d *Daemon) shutdown(ctx context.Context) error {
 	var closeErrs []error
 	for _, s := range d.sinks {
 		if cerr := s.Close(); cerr != nil {
+			closeErrs = append(closeErrs, cerr)
+		}
+	}
+	if d.journal != nil {
+		if cerr := d.journal.Close(); cerr != nil {
 			closeErrs = append(closeErrs, cerr)
 		}
 	}

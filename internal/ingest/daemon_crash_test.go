@@ -1,0 +1,276 @@
+package ingest
+
+import (
+	"context"
+	"os"
+	"strings"
+	"testing"
+	"time"
+
+	"rfprism"
+	"rfprism/internal/sim"
+)
+
+// echoProc is an instant Processor: every window yields an empty
+// Result, except tags with the "poison" prefix, which yield a
+// fabricated solver panic — the daemon-side shape of a recovered
+// panic without paying for real solves.
+type echoProc struct{}
+
+func (echoProc) ProcessStream(ctx context.Context, in <-chan rfprism.Window) <-chan rfprism.WindowResult {
+	out := make(chan rfprism.WindowResult)
+	go func() {
+		defer close(out)
+		i := 0
+		for w := range in {
+			r := rfprism.WindowResult{Index: i, Tag: w.Tag}
+			if strings.HasPrefix(w.Tag, "poison") {
+				r.Err = &rfprism.SolverPanicError{Value: "synthetic", Stack: []byte("goroutine 1 [running]:\n...")}
+			} else {
+				r.Result = &rfprism.Result{}
+			}
+			select {
+			case out <- r:
+			case <-ctx.Done():
+				return
+			}
+			i++
+		}
+	}()
+	return out
+}
+
+// mkReading builds a valid report for window-assembly tests.
+func mkReading(epc string, antenna, channel int) sim.Reading {
+	return sim.Reading{EPC: epc, Antenna: antenna, Channel: channel, FreqHz: 920e6, Phase: 0.5, RSSI: -50}
+}
+
+// fullWindow returns readings that close a CoverageClose=3 window on
+// three distinct antennas.
+func fullWindow(epc string) []sim.Reading {
+	return []sim.Reading{mkReading(epc, 1, 0), mkReading(epc, 2, 1), mkReading(epc, 3, 2)}
+}
+
+// crashTestConfig is the shared small-window daemon configuration.
+func crashTestConfig(j *Journal) Config {
+	return Config{
+		Sessionizer: SessionizerConfig{CoverageClose: 3, MinAntennas: 1, Dwell: time.Hour},
+		QueueSize:   8,
+		Journal:     j,
+	}
+}
+
+// TestDaemonRecoverReplaysJournal: after a simulated crash the daemon
+// rebuilds its state from the journal — windows already in the
+// emission ledger are suppressed, windows lost in flight are re-queued
+// and solved, and partial sessions reopen and complete with fresh
+// reports.
+func TestDaemonRecoverReplaysJournal(t *testing.T) {
+	dir := t.TempDir()
+
+	// Pre-crash state, written directly: windows A0 (seqs 0-2) and
+	// B0 (3-5) were emitted; A1 (6-8) closed but its result was lost;
+	// B's next window (9-10) was still open.
+	j, err := OpenJournal(JournalConfig{Dir: dir, SyncEvery: time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var reports []sim.Reading
+	reports = append(reports, fullWindow("A")...)
+	reports = append(reports, fullWindow("B")...)
+	reports = append(reports, fullWindow("A")...)
+	reports = append(reports, mkReading("B", 1, 0), mkReading("B", 2, 1))
+	for _, rd := range reports {
+		if _, _, err := j.Append(rd); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := j.AppendResult(TagResult{EPC: "A", FirstSeq: 0}); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.AppendResult(TagResult{EPC: "B", FirstSeq: 3}); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Restart: recover, then finish B's open window with one fresh
+	// report.
+	j2, err := OpenJournal(JournalConfig{Dir: dir, SyncEvery: time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cap := &captureSink{}
+	d := NewDaemon(echoProc{}, crashTestConfig(j2), cap)
+	info, err := d.Recover()
+	if err != nil {
+		t.Fatalf("Recover: %v", err)
+	}
+	if info.Suppressed != 2 || info.Requeued != 1 || info.OpenSessions != 1 {
+		t.Fatalf("recovery = %+v, want 2 suppressed / 1 requeued / 1 open", info)
+	}
+	if info.Replay.Reports != len(reports) {
+		t.Fatalf("replayed %d reports, want %d", info.Replay.Reports, len(reports))
+	}
+	if err := d.Offer(mkReading("B", 3, 2)); err != nil {
+		t.Fatalf("Offer after recovery: %v", err)
+	}
+	waitFor(t, 5*time.Second, "recovered and completed windows", func() bool {
+		return len(cap.snapshot()) == 2
+	})
+	if err := d.Shutdown(context.Background()); err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+	got := map[WindowKey]bool{}
+	for _, tr := range cap.snapshot() {
+		got[WindowKey{EPC: tr.EPC, FirstSeq: tr.FirstSeq}] = true
+	}
+	if !got[WindowKey{EPC: "A", FirstSeq: 6}] || !got[WindowKey{EPC: "B", FirstSeq: 9}] {
+		t.Fatalf("emitted windows = %v, want (A,6) and (B,9)", got)
+	}
+
+	// The emission ledger now carries all four windows: a second
+	// recovery would suppress everything.
+	j3, err := OpenJournal(JournalConfig{Dir: dir, SyncEvery: time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j3.Close()
+	emitted, err := j3.EmittedSet()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(emitted) != 4 {
+		t.Fatalf("ledger has %d windows, want 4: %v", len(emitted), emitted)
+	}
+}
+
+// TestDaemonRecoverDropsDrainedSessions: a clean shutdown flushes open
+// sessions as partial windows into the emission ledger; a later
+// recovery must NOT rebuild those sessions from the journal, or they
+// would re-close under an identity the ledger already holds.
+func TestDaemonRecoverDropsDrainedSessions(t *testing.T) {
+	dir := t.TempDir()
+	j, err := OpenJournal(JournalConfig{Dir: dir, SyncEvery: time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := NewDaemon(echoProc{}, crashTestConfig(j), &captureSink{})
+	// Two reports open a partial window for B (MinAntennas=1 lets the
+	// drain emit it); Shutdown drain-flushes it → ledger gets (B, 0).
+	if err := d.Offer(mkReading("B", 1, 0)); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Offer(mkReading("B", 2, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Shutdown(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+
+	j2, err := OpenJournal(JournalConfig{Dir: dir, SyncEvery: time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cap := &captureSink{}
+	d2 := NewDaemon(echoProc{}, crashTestConfig(j2), cap)
+	info, err := d2.Recover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Suppressed != 1 || info.OpenSessions != 0 {
+		t.Fatalf("recovery = %+v, want the drained session suppressed, none open", info)
+	}
+	// A fresh full window for B starts a NEW identity (seq 2).
+	for _, rd := range fullWindow("B") {
+		if err := d2.Offer(rd); err != nil {
+			t.Fatal(err)
+		}
+	}
+	waitFor(t, 5*time.Second, "fresh window", func() bool { return len(cap.snapshot()) == 1 })
+	if err := d2.Shutdown(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	j3, err := OpenJournal(JournalConfig{Dir: dir, SyncEvery: time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j3.Close()
+	emitted, err := j3.EmittedSet()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(emitted) != 2 || !emitted[WindowKey{EPC: "B", FirstSeq: 0}] || !emitted[WindowKey{EPC: "B", FirstSeq: 2}] {
+		t.Fatalf("ledger keys = %v, want (B,0) and (B,2)", emitted)
+	}
+}
+
+// TestDaemonPanicQuarantineAndBreaker: a panicked window is counted
+// and quarantined while the daemon keeps solving its neighbors; three
+// panics trip the breaker into shed-and-journal-only mode.
+func TestDaemonPanicQuarantineAndBreaker(t *testing.T) {
+	dir := t.TempDir()
+	j, err := OpenJournal(JournalConfig{Dir: dir, SyncEvery: time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cap := &captureSink{}
+	cfg := crashTestConfig(j)
+	cfg.Breaker = BreakerConfig{Threshold: 3, Window: time.Minute}
+	d := NewDaemon(echoProc{}, cfg, cap)
+	defer d.Shutdown(context.Background())
+
+	offerWindow := func(epc string) {
+		t.Helper()
+		for _, rd := range fullWindow(epc) {
+			if err := d.Offer(rd); err != nil {
+				t.Fatalf("Offer(%s): %v", epc, err)
+			}
+		}
+	}
+
+	// First poisoned window: isolated, quarantined, daemon keeps
+	// serving the healthy tag after it.
+	offerWindow("poison-1")
+	offerWindow("ok-1")
+	waitFor(t, 5*time.Second, "first panic + healthy result", func() bool {
+		return d.Metrics().SolverPanics.Load() == 1 && d.Metrics().ResultsOK.Load() == 1
+	})
+	if got := d.Metrics().WindowsQuarantined.Load(); got != 1 {
+		t.Fatalf("quarantined = %d, want 1", got)
+	}
+	key := WindowKey{EPC: "poison-1", FirstSeq: 0}
+	if _, err := os.Stat(j.QuarantinePath(key) + ".ndjson"); err != nil {
+		t.Fatalf("quarantine file missing: %v", err)
+	}
+	if rep, err := os.ReadFile(j.QuarantinePath(key) + ".panic.txt"); err != nil || !strings.Contains(string(rep), "synthetic") {
+		t.Fatalf("panic report: %v %q", err, rep)
+	}
+	if d.Gauges().BreakerTripped {
+		t.Fatal("breaker tripped after one panic")
+	}
+
+	// Two more poisoned windows trip the breaker.
+	offerWindow("poison-2")
+	offerWindow("poison-3")
+	waitFor(t, 5*time.Second, "breaker trip", func() bool {
+		return d.Gauges().BreakerTripped
+	})
+	if got := d.Metrics().BreakerTrips.Load(); got != 1 {
+		t.Fatalf("breaker trips = %d, want 1", got)
+	}
+
+	// Tripped: reports are journaled, not sessionized or solved.
+	beforeSeq := j.NextSeq()
+	offerWindow("ok-2")
+	if got := d.Metrics().ReportsJournalOnly.Load(); got != 3 {
+		t.Fatalf("journal-only reports = %d, want 3", got)
+	}
+	if j.NextSeq() != beforeSeq+3 {
+		t.Fatal("journal-only reports were not journaled")
+	}
+	if g := d.Gauges(); g.OpenSessions != 0 {
+		t.Fatalf("tripped daemon opened a session: %+v", g)
+	}
+}

@@ -34,6 +34,14 @@ type Metrics struct {
 	WindowsDegraded atomic.Int64
 	SinkErrors      atomic.Int64
 
+	SolverPanics       atomic.Int64
+	WindowsQuarantined atomic.Int64
+	BreakerTrips       atomic.Int64
+	ReportsJournalOnly atomic.Int64
+	JournalErrors      atomic.Int64
+	WindowsSuppressed  atomic.Int64 // replay: already in the emission ledger
+	WindowsRecovered   atomic.Int64 // replay: re-enqueued for solving
+
 	lat struct {
 		mu      sync.Mutex
 		buckets []int64 // len(latencyBounds)+1, last is overflow
@@ -88,6 +96,15 @@ type Gauges struct {
 	OpenSessions     int
 	BufferedReadings int
 	Draining         bool
+	// BreakerTripped reports the panic circuit breaker state; while
+	// tripped the daemon is in shed-and-journal-only mode and readiness
+	// fails.
+	BreakerTripped bool
+	// Journal gauges (zero when the daemon runs without a journal).
+	JournalEnabled   bool
+	JournalNextSeq   uint64
+	JournalSyncedSeq uint64
+	JournalSegments  int
 }
 
 // WriteText renders the counter set plus the sampled gauges in the
@@ -107,6 +124,13 @@ func (m *Metrics) WriteText(w io.Writer, now time.Time, g Gauges) {
 	p("rfprismd_results_total{outcome=\"error\"} %d\n", m.ResultsErr.Load())
 	p("rfprismd_windows_degraded_total %d\n", m.WindowsDegraded.Load())
 	p("rfprismd_sink_errors_total %d\n", m.SinkErrors.Load())
+	p("rfprismd_solver_panics_total %d\n", m.SolverPanics.Load())
+	p("rfprismd_windows_quarantined_total %d\n", m.WindowsQuarantined.Load())
+	p("rfprismd_breaker_trips_total %d\n", m.BreakerTrips.Load())
+	p("rfprismd_reports_journal_only_total %d\n", m.ReportsJournalOnly.Load())
+	p("rfprismd_journal_errors_total %d\n", m.JournalErrors.Load())
+	p("rfprismd_replay_windows_total{outcome=\"suppressed\"} %d\n", m.WindowsSuppressed.Load())
+	p("rfprismd_replay_windows_total{outcome=\"recovered\"} %d\n", m.WindowsRecovered.Load())
 	p("rfprismd_queue_depth %d\n", g.QueueDepth)
 	p("rfprismd_queue_capacity %d\n", g.QueueCap)
 	p("rfprismd_open_sessions %d\n", g.OpenSessions)
@@ -116,6 +140,16 @@ func (m *Metrics) WriteText(w io.Writer, now time.Time, g Gauges) {
 		draining = 1
 	}
 	p("rfprismd_draining %d\n", draining)
+	tripped := 0
+	if g.BreakerTripped {
+		tripped = 1
+	}
+	p("rfprismd_breaker_tripped %d\n", tripped)
+	if g.JournalEnabled {
+		p("rfprismd_journal_next_seq %d\n", g.JournalNextSeq)
+		p("rfprismd_journal_synced_seq %d\n", g.JournalSyncedSeq)
+		p("rfprismd_journal_segments %d\n", g.JournalSegments)
+	}
 
 	m.lat.mu.Lock()
 	cum := int64(0)

@@ -6,10 +6,11 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"math"
+	"math/rand"
 	"net/http"
 	"strconv"
-
-	"rfprism/internal/sim"
+	"time"
 )
 
 // maxReportLine bounds one NDJSON report line (a sim.Reading encodes
@@ -21,27 +22,40 @@ const maxReportLine = 1 << 20
 //	POST /ingest      NDJSON reports, one sim.Reading per line
 //	GET  /tags        known EPCs
 //	GET  /tags/{epc}  buffered results for one tag (?latest=1 for one)
-//	GET  /healthz     liveness + queue snapshot
+//	GET  /healthz     liveness: 200 as long as the process serves,
+//	                  with the queue/journal/breaker snapshot
+//	GET  /readyz      readiness: 503 while draining or while the
+//	                  panic circuit breaker is tripped
 //	GET  /metrics     Prometheus text format
 //
+// Liveness and readiness are deliberately distinct: a draining or
+// breaker-tripped daemon is still alive (restarting it would lose the
+// drain or the journal-only stream) but must be taken out of the load
+// balancer rotation — /healthz keeps answering 200 while /readyz
+// fails.
+//
 // Backpressure is explicit: when the window queue is full, /ingest
-// answers 429 with a Retry-After header and reports how many lines
-// were accepted before the refusal, so a well-behaved client resumes
-// from the first unaccepted line.
+// answers 429 with a jittered Retry-After header and reports how many
+// lines were accepted before the refusal, so a well-behaved client
+// resumes from the first unaccepted line.
 type Server struct {
 	d    *Daemon
 	ring *RingSink
 	mux  *http.ServeMux
+	// jitter yields uniform [0,1) draws for Retry-After spreading;
+	// tests pin it.
+	jitter func() float64
 }
 
 // NewServer wires a daemon and its query ring. ring may be nil when
 // the deployment has no query endpoint (pure NDJSON export).
 func NewServer(d *Daemon, ring *RingSink) *Server {
-	s := &Server{d: d, ring: ring, mux: http.NewServeMux()}
+	s := &Server{d: d, ring: ring, mux: http.NewServeMux(), jitter: rand.Float64}
 	s.mux.HandleFunc("POST /ingest", s.handleIngest)
 	s.mux.HandleFunc("GET /tags", s.handleTags)
 	s.mux.HandleFunc("GET /tags/{epc}", s.handleTag)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /readyz", s.handleReadyz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	return s
 }
@@ -72,8 +86,8 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		if len(raw) == 0 {
 			continue
 		}
-		var rd sim.Reading
-		if err := json.Unmarshal(raw, &rd); err != nil {
+		rd, err := decodeReading(raw)
+		if err != nil {
 			writeJSON(w, http.StatusBadRequest, ingestReply{
 				Accepted: accepted, Line: line,
 				Error: fmt.Sprintf("line %d: %v", line, err),
@@ -84,10 +98,7 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		case err == nil:
 			accepted++
 		case errors.Is(err, ErrBusy):
-			secs := int(s.d.RetryAfter().Seconds())
-			if secs < 1 {
-				secs = 1
-			}
+			secs := retryAfterSeconds(s.d.RetryAfter(), s.jitter())
 			w.Header().Set("Retry-After", strconv.Itoa(secs))
 			writeJSON(w, http.StatusTooManyRequests, ingestReply{
 				Accepted: accepted, Line: line, Error: err.Error(),
@@ -146,21 +157,74 @@ func (s *Server) handleTag(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{"epc": epc, "results": history})
 }
 
+// retryAfterSeconds converts the advertised backpressure pause into a
+// jittered integer Retry-After value: uniform in [0.5, 1.5]× the base,
+// floored at 1 s. Without the spread, every client refused in the same
+// burst would sleep the same pause and stampede back in lockstep.
+func retryAfterSeconds(base time.Duration, u float64) int {
+	secs := base.Seconds() * (0.5 + u)
+	n := int(math.Ceil(secs))
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// healthState names the daemon's condition for health bodies.
+func healthState(g Gauges) (state string, ready bool) {
+	switch {
+	case g.Draining:
+		return "draining", false
+	case g.BreakerTripped:
+		return "breaker-tripped", false
+	default:
+		return "ok", true
+	}
+}
+
+// handleHealthz is liveness: it answers 200 whenever the process can
+// serve at all — a draining or breaker-tripped daemon must NOT be
+// restarted by an orchestrator, only depublished (that is /readyz).
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	g := s.d.Gauges()
-	status := http.StatusOK
-	state := "ok"
-	if g.Draining {
-		status = http.StatusServiceUnavailable
-		state = "draining"
-	}
-	writeJSON(w, status, map[string]any{
+	state, ready := healthState(g)
+	body := map[string]any{
 		"status":           state,
+		"ready":            ready,
 		"queueDepth":       g.QueueDepth,
 		"queueCapacity":    g.QueueCap,
 		"openSessions":     g.OpenSessions,
 		"bufferedReadings": g.BufferedReadings,
-	})
+	}
+	if g.JournalEnabled {
+		body["journal"] = map[string]any{
+			"nextSeq":   g.JournalNextSeq,
+			"syncedSeq": g.JournalSyncedSeq,
+			"segments":  g.JournalSegments,
+		}
+	}
+	if rec := s.d.Recovery(); rec.Ran {
+		body["recovery"] = map[string]any{
+			"replayedReports": rec.Replay.Reports,
+			"replayedTo":      rec.ReplayedTo,
+			"suppressed":      rec.Suppressed,
+			"requeued":        rec.Requeued,
+			"openSessions":    rec.OpenSessions,
+		}
+	}
+	writeJSON(w, http.StatusOK, body)
+}
+
+// handleReadyz is readiness: 503 takes the instance out of rotation
+// while it drains or sheds under a tripped panic breaker.
+func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
+	g := s.d.Gauges()
+	state, ready := healthState(g)
+	status := http.StatusOK
+	if !ready {
+		status = http.StatusServiceUnavailable
+	}
+	writeJSON(w, status, map[string]any{"status": state, "ready": ready})
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {

@@ -50,7 +50,7 @@ func TestServerIngestAndQuery(t *testing.T) {
 
 	resp, reply := postIngest(t, srv, ndjsonBody(
 		readLine("A", 0, 0),
-		"", // blank lines are tolerated
+		"",                  // blank lines are tolerated
 		readLine("A", 1, 1), // closes A/0
 		readLine("B", 0, 5),
 	))
@@ -124,7 +124,9 @@ func TestServerBackpressure429(t *testing.T) {
 		QueueSize:   1,
 		RetryAfter:  3 * time.Second,
 	})
-	srv := httptest.NewServer(NewServer(d, nil).Handler())
+	s := NewServer(d, nil)
+	s.jitter = func() float64 { return 0.5 } // pin: Retry-After = 1.0× base
+	srv := httptest.NewServer(s.Handler())
 	defer srv.Close()
 
 	resp, reply := postIngest(t, srv, ndjsonBody(
@@ -151,13 +153,23 @@ func TestServerBackpressure429(t *testing.T) {
 	if resp2.StatusCode != http.StatusServiceUnavailable {
 		t.Fatalf("draining ingest status %d, want 503", resp2.StatusCode)
 	}
+	// Liveness stays 200 while draining (restarting a draining daemon
+	// would lose the flush); readiness flips to 503.
 	resp3, err := http.Get(srv.URL + "/healthz")
 	if err != nil {
 		t.Fatal(err)
 	}
 	resp3.Body.Close()
-	if resp3.StatusCode != http.StatusServiceUnavailable {
-		t.Fatalf("draining healthz status %d, want 503", resp3.StatusCode)
+	if resp3.StatusCode != http.StatusOK {
+		t.Fatalf("draining healthz status %d, want 200", resp3.StatusCode)
+	}
+	resp4, err := http.Get(srv.URL + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp4.Body.Close()
+	if resp4.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("draining readyz status %d, want 503", resp4.StatusCode)
 	}
 }
 

@@ -95,13 +95,42 @@ func (c *SessionizerConfig) defaults() {
 // pipeline, plus the assembly metadata sinks and metrics report.
 type ClosedWindow struct {
 	EPC      string
-	Seq      int // per-EPC window sequence number, from 0
+	Seq      int // per-EPC window sequence number, from 0 (display only)
 	Readings []sim.Reading
 	Reason   CloseReason
 	Channels int // distinct channels covered
 	Antennas int // distinct antennas heard
 	Opened   time.Time
 	Closed   time.Time
+	// FirstSeq/LastSeq are the journal sequence numbers of the first
+	// and last report in the window (0 when the daemon runs without a
+	// journal). (EPC, FirstSeq) is the window's durable identity:
+	// unlike Seq it is derived from journal positions, so a post-crash
+	// replay of the same retained reports reconstructs the same key.
+	FirstSeq uint64
+	LastSeq  uint64
+}
+
+// Key returns the window's durable identity.
+func (cw ClosedWindow) Key() WindowKey {
+	return WindowKey{EPC: cw.EPC, FirstSeq: cw.FirstSeq}
+}
+
+// ValidateReading checks a raw report for the properties the pipeline
+// depends on: a non-empty EPC, an in-range channel, and finite
+// phase/RSSI/frequency values. The daemon validates before journaling
+// so the write-ahead log never accumulates garbage.
+func ValidateReading(rd sim.Reading) error {
+	if rd.EPC == "" {
+		return fmt.Errorf("ingest: report has no EPC")
+	}
+	if rd.Channel < 0 || rd.Channel >= rf.NumChannels {
+		return fmt.Errorf("ingest: report channel %d out of [0,%d)", rd.Channel, rf.NumChannels)
+	}
+	if !finite(rd.Phase) || !finite(rd.RSSI) || !finite(rd.FreqHz) {
+		return fmt.Errorf("ingest: report has non-finite phase/rssi/freq")
+	}
+	return nil
 }
 
 // session is one tag's window under assembly.
@@ -112,6 +141,8 @@ type session struct {
 	opened   time.Time
 	deadline time.Time
 	seq      int
+	firstSeq uint64
+	lastSeq  uint64
 }
 
 // Sessionizer groups a mixed report stream into per-EPC hop-round
@@ -162,11 +193,15 @@ func (z *Sessionizer) Discarded() int { return z.discarded }
 // channel) — malformed reports are dropped without touching any
 // window.
 func (z *Sessionizer) Add(rd sim.Reading, now time.Time) (ClosedWindow, bool, error) {
-	if rd.EPC == "" {
-		return ClosedWindow{}, false, fmt.Errorf("ingest: report has no EPC")
-	}
-	if rd.Channel < 0 || rd.Channel >= rf.NumChannels {
-		return ClosedWindow{}, false, fmt.Errorf("ingest: report channel %d out of [0,%d)", rd.Channel, rf.NumChannels)
+	return z.AddSeq(rd, 0, now)
+}
+
+// AddSeq is Add with the report's journal sequence number attached, so
+// the closed window carries its durable (EPC, FirstSeq) identity. A
+// journal-less daemon passes 0.
+func (z *Sessionizer) AddSeq(rd sim.Reading, seq uint64, now time.Time) (ClosedWindow, bool, error) {
+	if err := ValidateReading(rd); err != nil {
+		return ClosedWindow{}, false, err
 	}
 	s := z.tags[rd.EPC]
 	if s == nil {
@@ -176,9 +211,11 @@ func (z *Sessionizer) Add(rd sim.Reading, now time.Time) (ClosedWindow, bool, er
 			opened:   now,
 			deadline: now.Add(z.cfg.Dwell),
 			seq:      z.seqs[rd.EPC],
+			firstSeq: seq,
 		}
 		z.tags[rd.EPC] = s
 	}
+	s.lastSeq = seq
 	s.readings = append(s.readings, rd)
 	s.channels[rd.Channel] = true
 	s.antennas[rd.Antenna] = true
@@ -212,7 +249,47 @@ func (z *Sessionizer) close(epc string, s *session, reason CloseReason, now time
 		Antennas: len(s.antennas),
 		Opened:   s.opened,
 		Closed:   now,
+		FirstSeq: s.firstSeq,
+		LastSeq:  s.lastSeq,
 	}, true, nil
+}
+
+// DropEmittedSessions removes every open session whose (EPC, firstSeq)
+// identity appears in emitted, returning how many were dropped. This is
+// recovery's guard against re-serving drain-flushed windows: a clean
+// shutdown emits open sessions as partial windows (their ledger line
+// carries the session's firstSeq), so a replay that rebuilds such a
+// session would later close it under an identity the ledger already
+// holds — a duplicate. The dropped reports were served in the partial
+// window; fresh reports start a new session with a new identity.
+func (z *Sessionizer) DropEmittedSessions(emitted map[WindowKey]bool) int {
+	n := 0
+	for epc, s := range z.tags {
+		if !emitted[WindowKey{EPC: epc, FirstSeq: s.firstSeq}] {
+			continue
+		}
+		delete(z.tags, epc)
+		z.seqs[epc] = s.seq + 1
+		z.buffered -= len(s.readings)
+		n++
+	}
+	return n
+}
+
+// MinOpenSeq returns the smallest journal sequence number any open
+// session still needs (the first report of the oldest-by-seq window
+// under assembly), and whether any session is open. Retention must not
+// delete journal segments at or above this position.
+func (z *Sessionizer) MinOpenSeq() (uint64, bool) {
+	var minSeq uint64
+	found := false
+	for _, s := range z.tags {
+		if !found || s.firstSeq < minSeq {
+			minSeq = s.firstSeq
+			found = true
+		}
+	}
+	return minSeq, found
 }
 
 // Expire closes every window whose dwell deadline has passed,

@@ -26,8 +26,12 @@ type EstimateOut struct {
 // assembly metadata, the pipeline health summary and either the
 // estimate or the error.
 type TagResult struct {
-	EPC             string       `json:"epc"`
-	Seq             int          `json:"seq"`
+	EPC string `json:"epc"`
+	Seq int    `json:"seq"`
+	// FirstSeq is the journal sequence number of the window's first
+	// report — the durable window identity recovery dedups on. Zero
+	// when the daemon runs without a journal.
+	FirstSeq        uint64       `json:"firstSeq,omitempty"`
 	At              time.Time    `json:"at"`
 	Reason          string       `json:"closeReason"`
 	Readings        int          `json:"readings"`
@@ -46,6 +50,7 @@ func makeTagResult(cw ClosedWindow, r rfprism.WindowResult, at time.Time, latenc
 	tr := TagResult{
 		EPC:       cw.EPC,
 		Seq:       cw.Seq,
+		FirstSeq:  cw.FirstSeq,
 		At:        at,
 		Reason:    cw.Reason.String(),
 		Readings:  len(cw.Readings),

@@ -1,0 +1,32 @@
+package sim
+
+import (
+	"math/rand"
+	"sort"
+)
+
+// CrashPoints returns n distinct report indices in [1, total), sorted
+// ascending — a seeded kill schedule for crash/chaos harnesses. A
+// harness feeds a deterministic report stream and SIGKILLs the process
+// under test right after each scheduled index is accepted; drawing the
+// schedule from a seed keeps every run reproducible (same seed, same
+// crashes) while still exercising arbitrary cut positions across seeds.
+//
+// Index 0 is never chosen: crashing before anything was accepted
+// degenerates to a fresh start and proves nothing. When total leaves
+// fewer than n candidate positions, all of them are returned.
+func CrashPoints(seed int64, total, n int) []int {
+	if total <= 1 || n <= 0 {
+		return nil
+	}
+	if n > total-1 {
+		n = total - 1
+	}
+	perm := rand.New(rand.NewSource(seed)).Perm(total - 1)
+	pts := make([]int, n)
+	for i := range pts {
+		pts[i] = perm[i] + 1
+	}
+	sort.Ints(pts)
+	return pts
+}

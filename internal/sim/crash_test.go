@@ -1,0 +1,39 @@
+package sim
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestCrashPoints(t *testing.T) {
+	a := CrashPoints(7, 100, 5)
+	b := CrashPoints(7, 100, 5)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("not deterministic: %v vs %v", a, b)
+	}
+	if len(a) != 5 {
+		t.Fatalf("got %d points, want 5: %v", len(a), a)
+	}
+	seen := map[int]bool{}
+	for i, p := range a {
+		if p < 1 || p >= 100 {
+			t.Fatalf("point %d out of [1,100): %v", p, a)
+		}
+		if seen[p] {
+			t.Fatalf("duplicate point %d: %v", p, a)
+		}
+		seen[p] = true
+		if i > 0 && a[i-1] >= p {
+			t.Fatalf("not sorted: %v", a)
+		}
+	}
+	if c := CrashPoints(7, 3, 10); len(c) != 2 {
+		t.Fatalf("clamp: got %v, want 2 points", c)
+	}
+	if c := CrashPoints(7, 1, 3); c != nil {
+		t.Fatalf("total=1: got %v, want nil", c)
+	}
+	if d := CrashPoints(8, 100, 5); reflect.DeepEqual(a, d) {
+		t.Fatalf("different seeds gave the same schedule: %v", a)
+	}
+}

@@ -153,6 +153,7 @@ type System struct {
 	parallelism      int
 	retryAttempts    int
 	retryBackoff     time.Duration
+	processHook      func(Window)
 
 	antennaCal core.AntennaCal
 	tagCals    map[string]TagCal
