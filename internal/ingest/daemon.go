@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"sort"
 	"sync"
 	"time"
 
@@ -96,6 +97,13 @@ type Daemon struct {
 	sess     *Sessionizer
 	draining bool
 	nextIdx  int
+	// replayPin, when pinned, is the lowest journal seq owned by
+	// reports only a future restart's replay can serve — breaker-shed
+	// reports and the sessions aborted on their behalf. Retention must
+	// never delete segments at or above it; it is cleared only by the
+	// process ending (the next run's Recover takes custody).
+	replayPin    uint64
+	replayPinned bool
 
 	metaMu sync.Mutex
 	meta   map[int]windowMeta
@@ -190,9 +198,24 @@ func (d *Daemon) Offer(rd sim.Reading) error {
 		// report is still made durable — a restarted (fixed) daemon
 		// recovers and solves it. Without a journal the report is shed.
 		if d.journal != nil {
-			if _, _, err := d.journal.Append(rd); err != nil {
+			// If this EPC still has a live session, retire it un-emitted
+			// first: replay regroups reports purely by journal order, so
+			// a session left open here would swallow the shed report into
+			// a window the ledger may later suppress. Aborting writes no
+			// ledger line, so the session's reports and the shed report
+			// are all recovered — together — by the next restart.
+			if first, _, ok := d.sess.Abort(rd.EPC); ok {
+				d.met.SessionsAborted.Add(1)
+				d.pinReplayLocked(first)
+			}
+			seq, rotated, err := d.journal.Append(rd)
+			if err != nil {
 				d.met.JournalErrors.Add(1)
 				return err
+			}
+			d.pinReplayLocked(seq)
+			if rotated {
+				d.retainLocked()
 			}
 		}
 		d.met.ReportsJournalOnly.Add(1)
@@ -231,12 +254,25 @@ func (d *Daemon) Offer(rd sim.Reading) error {
 	return nil
 }
 
+// pinReplayLocked marks journal reports from seq on as replay-only:
+// they can no longer be served by this process (breaker-shed, or
+// aborted on a shed report's behalf) and must survive retention until
+// a restart's Recover takes them. Callers hold d.mu.
+func (d *Daemon) pinReplayLocked(seq uint64) {
+	if !d.replayPinned || seq < d.replayPin {
+		d.replayPin, d.replayPinned = seq, true
+	}
+}
+
 // retainLocked prunes journal segments no open session, in-flight
 // window or future replay still needs. Callers hold d.mu.
 func (d *Daemon) retainLocked() {
 	minNeeded := d.journal.NextSeq()
 	if s, ok := d.sess.MinOpenSeq(); ok && s < minNeeded {
 		minNeeded = s
+	}
+	if d.replayPinned && d.replayPin < minNeeded {
+		minNeeded = d.replayPin
 	}
 	d.metaMu.Lock()
 	for _, m := range d.meta {
@@ -285,6 +321,15 @@ func (d *Daemon) sweepExpired() {
 	if d.draining {
 		return
 	}
+	if d.breaker.isTripped(d.cfg.Now()) {
+		// Tripped: nothing may reach the known-poisoned solver, and a
+		// deadline close here would put a ledger line under an identity
+		// that replay — which cannot see deadlines — would regroup with
+		// any shed reports that follow. Sessions stay open: a cooldown
+		// reset resumes them, a shed report for the same EPC aborts them
+		// into replay custody, and shutdown drains whatever remains.
+		return
+	}
 	before := d.sess.Discarded()
 	expired := d.sess.Expire(d.cfg.Now())
 	d.met.WindowsDiscarded.Add(int64(d.sess.Discarded() - before))
@@ -304,7 +349,6 @@ func (d *Daemon) resultLoop(results <-chan rfprism.WindowResult) {
 	for r := range results {
 		d.metaMu.Lock()
 		m, ok := d.meta[r.Index]
-		delete(d.meta, r.Index)
 		d.metaMu.Unlock()
 		if !ok {
 			// Unreachable: every queued window has meta.
@@ -341,6 +385,16 @@ func (d *Daemon) resultLoop(results <-chan rfprism.WindowResult) {
 				d.met.JournalErrors.Add(1)
 			}
 		}
+		// The meta entry is also the window's retention pin: it keeps
+		// retainLocked from deleting the segments holding the window's
+		// reports. Drop it only now, after the ledger line is down — in
+		// the gap between delete and AppendResult a rotation-triggered
+		// retention could otherwise unpin the reports, and a kill before
+		// the ledger write would lose the window on both sides (nothing
+		// to replay, nothing in the ledger).
+		d.metaMu.Lock()
+		delete(d.meta, r.Index)
+		d.metaMu.Unlock()
 		for _, s := range d.sinks {
 			if err := s.Emit(tr); err != nil {
 				d.met.SinkErrors.Add(1)
@@ -398,6 +452,51 @@ type RecoveryInfo struct {
 	ReplayedTo uint64
 }
 
+// servedIndex answers "was this (EPC, seq) report already delivered?"
+// from the emission ledger: per EPC, the sorted, disjoint
+// [FirstSeq, LastSeq] spans of the served windows. Span membership is
+// exact because a live session always holds the contiguous run of its
+// EPC's journal positions — the daemon aborts a session rather than
+// let it close across a breaker-shed gap.
+type servedIndex struct {
+	spans map[string][]servedSpan
+	// counted tracks which served windows replay has already attributed
+	// a suppression to, so a window is counted once, not per report.
+	counted map[WindowKey]bool
+}
+
+type servedSpan struct{ first, last uint64 }
+
+func newServedIndex(emitted map[WindowKey]uint64) *servedIndex {
+	x := &servedIndex{
+		spans:   make(map[string][]servedSpan, len(emitted)),
+		counted: make(map[WindowKey]bool, len(emitted)),
+	}
+	for k, last := range emitted {
+		if last < k.FirstSeq {
+			// A ledger line from before LastSeq existed: the span is at
+			// least the window's first report.
+			last = k.FirstSeq
+		}
+		x.spans[k.EPC] = append(x.spans[k.EPC], servedSpan{first: k.FirstSeq, last: last})
+	}
+	for _, spans := range x.spans {
+		sort.Slice(spans, func(a, b int) bool { return spans[a].first < spans[b].first })
+	}
+	return x
+}
+
+// lookup returns the identity of the served window containing (epc,
+// seq), if any.
+func (x *servedIndex) lookup(epc string, seq uint64) (WindowKey, bool) {
+	spans := x.spans[epc]
+	i := sort.Search(len(spans), func(i int) bool { return spans[i].last >= seq })
+	if i < len(spans) && spans[i].first <= seq {
+		return WindowKey{EPC: epc, FirstSeq: spans[i].first}, true
+	}
+	return WindowKey{}, false
+}
+
 // Recover rebuilds the daemon's state from the write-ahead journal
 // after a restart: it replays every retained journaled report through
 // the sessionizer, re-queues windows that closed without a durable
@@ -420,7 +519,27 @@ func (d *Daemon) Recover() (RecoveryInfo, error) {
 	var requeue []ClosedWindow
 	now := d.cfg.Now()
 	d.mu.Lock()
+	served := newServedIndex(emitted)
 	st, rerr := d.journal.Replay(func(seq uint64, rd sim.Reading) error {
+		// Coverage and overflow closes are positional, so replay
+		// reproduces them exactly — but the live run can also close a
+		// window by deadline, drain or a breaker trip, which no amount
+		// of re-feeding reports will reproduce. The ledger's
+		// [FirstSeq, LastSeq] span records which reports each served
+		// window really contained: a report inside any served span was
+		// already delivered under that identity and is excised here,
+		// while everything outside the spans regroups contiguously —
+		// exactly the stream the live sessionizer saw. Without the span
+		// test a rebuilt session could outgrow the window the ledger
+		// knows and be suppressed with unserved reports inside it.
+		if key, ok := served.lookup(rd.EPC, seq); ok {
+			if !served.counted[key] {
+				served.counted[key] = true
+				info.Suppressed++
+				d.met.WindowsSuppressed.Add(1)
+			}
+			return nil
+		}
 		cw, closed, err := d.sess.AddSeq(rd, seq, now)
 		if err != nil {
 			info.Rejected++
@@ -429,7 +548,11 @@ func (d *Daemon) Recover() (RecoveryInfo, error) {
 		if !closed {
 			return nil
 		}
-		if emitted[cw.Key()] {
+		if _, ok := emitted[cw.Key()]; ok {
+			// Unreachable with a span-bearing ledger (a served window's
+			// first report is skipped above, so no session can rebuild
+			// under its key); kept as the last line of defense against a
+			// ledger written before LastSeq existed.
 			info.Suppressed++
 			d.met.WindowsSuppressed.Add(1)
 			return nil
@@ -437,9 +560,9 @@ func (d *Daemon) Recover() (RecoveryInfo, error) {
 		requeue = append(requeue, cw)
 		return nil
 	})
-	// Sessions whose identity is already in the emission ledger were
-	// drain-flushed as partial windows before a clean shutdown; letting
-	// them re-close would duplicate that identity.
+	// Defense in depth: no session may stay open under an identity the
+	// ledger already holds — closing it later would emit a duplicate
+	// key. With span skipping above this finds nothing.
 	if dropped := d.sess.DropEmittedSessions(emitted); dropped > 0 {
 		info.Suppressed += dropped
 		d.met.WindowsSuppressed.Add(int64(dropped))

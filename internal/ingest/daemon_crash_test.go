@@ -4,6 +4,7 @@ import (
 	"context"
 	"os"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
@@ -85,10 +86,10 @@ func TestDaemonRecoverReplaysJournal(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	if err := j.AppendResult(TagResult{EPC: "A", FirstSeq: 0}); err != nil {
+	if err := j.AppendResult(TagResult{EPC: "A", FirstSeq: 0, LastSeq: 2}); err != nil {
 		t.Fatal(err)
 	}
-	if err := j.AppendResult(TagResult{EPC: "B", FirstSeq: 3}); err != nil {
+	if err := j.AppendResult(TagResult{EPC: "B", FirstSeq: 3, LastSeq: 5}); err != nil {
 		t.Fatal(err)
 	}
 	if err := j.Close(); err != nil {
@@ -201,12 +202,274 @@ func TestDaemonRecoverDropsDrainedSessions(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(emitted) != 2 || !emitted[WindowKey{EPC: "B", FirstSeq: 0}] || !emitted[WindowKey{EPC: "B", FirstSeq: 2}] {
+	_, has0 := emitted[WindowKey{EPC: "B", FirstSeq: 0}]
+	_, has2 := emitted[WindowKey{EPC: "B", FirstSeq: 2}]
+	if len(emitted) != 2 || !has0 || !has2 {
 		t.Fatalf("ledger keys = %v, want (B,0) and (B,2)", emitted)
 	}
 }
 
-// TestDaemonPanicQuarantineAndBreaker: a panicked window is counted
+// TestDaemonTrippedShedReportsRecovered is the end-to-end contract of
+// shed-and-journal-only mode: a report shed while the breaker is
+// tripped must retire its EPC's open session un-emitted (no ledger
+// line), so that a restarted daemon's replay regroups the session's
+// reports and the shed report into one window and solves it — nothing
+// silently vanishes into a suppressed window.
+func TestDaemonTrippedShedReportsRecovered(t *testing.T) {
+	dir := t.TempDir()
+	j, err := OpenJournal(JournalConfig{Dir: dir, SyncEvery: time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := crashTestConfig(j)
+	cfg.Breaker = BreakerConfig{Threshold: 3, Window: time.Minute}
+	d := NewDaemon(echoProc{}, cfg, &captureSink{})
+
+	// A partial session for ok-A (seqs 0-1, two of three channels).
+	if err := d.Offer(mkReading("ok-A", 1, 0)); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Offer(mkReading("ok-A", 2, 1)); err != nil {
+		t.Fatal(err)
+	}
+	// Three poisoned windows (seqs 2-10) trip the breaker.
+	for _, epc := range []string{"poison-1", "poison-2", "poison-3"} {
+		for _, rd := range fullWindow(epc) {
+			if err := d.Offer(rd); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	waitFor(t, 5*time.Second, "breaker trip", func() bool { return d.Gauges().BreakerTripped })
+
+	// The report that would have completed ok-A's window arrives while
+	// tripped: journal-only, and it must take the open session with it.
+	if err := d.Offer(mkReading("ok-A", 3, 2)); err != nil { // seq 11
+		t.Fatal(err)
+	}
+	if got := d.Metrics().SessionsAborted.Load(); got != 1 {
+		t.Fatalf("aborted sessions = %d, want 1", got)
+	}
+	if g := d.Gauges(); g.OpenSessions != 0 {
+		t.Fatalf("open sessions after shed = %d, want 0 (aborted into replay custody)", g.OpenSessions)
+	}
+	if err := d.Shutdown(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+
+	// Restart with a healthy solver: the three poisoned windows are in
+	// the ledger (served as errors) and suppressed; ok-A's three reports
+	// regroup into one window, requeue, and solve.
+	j2, err := OpenJournal(JournalConfig{Dir: dir, SyncEvery: time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cap := &captureSink{}
+	d2 := NewDaemon(echoProc{}, crashTestConfig(j2), cap)
+	info, err := d2.Recover()
+	if err != nil {
+		t.Fatalf("Recover: %v", err)
+	}
+	if info.Suppressed != 3 || info.Requeued != 1 || info.OpenSessions != 0 {
+		t.Fatalf("recovery = %+v, want 3 suppressed / 1 requeued / 0 open", info)
+	}
+	waitFor(t, 5*time.Second, "recovered shed window", func() bool { return len(cap.snapshot()) == 1 })
+	if err := d2.Shutdown(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	tr := cap.snapshot()[0]
+	if tr.EPC != "ok-A" || tr.FirstSeq != 0 || tr.LastSeq != 11 || tr.Readings != 3 || tr.Err != "" {
+		t.Fatalf("recovered window = %+v, want ok-A seqs [0,11] with 3 readings solved", tr)
+	}
+}
+
+// TestDaemonRecoverSplitsAtServedLastSeq: the live run can close a
+// window non-positionally (deadline, drain) and serve it; replay
+// cannot reproduce that close from report positions, so it must use
+// the ledger's [FirstSeq, LastSeq] span to excise exactly the served
+// reports and regroup the rest under a fresh identity — not swallow
+// them into a suppressed window.
+func TestDaemonRecoverSplitsAtServedLastSeq(t *testing.T) {
+	dir := t.TempDir()
+	j, err := OpenJournal(JournalConfig{Dir: dir, SyncEvery: time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Pre-crash state, written directly: X's partial window (seqs 0-1)
+	// was deadline-closed and served; a full window of reports (2-4)
+	// followed and was still unserved at the kill.
+	if _, _, err := j.Append(mkReading("X", 1, 0)); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := j.Append(mkReading("X", 2, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.AppendResult(TagResult{EPC: "X", FirstSeq: 0, LastSeq: 1}); err != nil {
+		t.Fatal(err)
+	}
+	for _, rd := range fullWindow("X") { // seqs 2-4
+		if _, _, err := j.Append(rd); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	j2, err := OpenJournal(JournalConfig{Dir: dir, SyncEvery: time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cap := &captureSink{}
+	d := NewDaemon(echoProc{}, crashTestConfig(j2), cap)
+	info, err := d.Recover()
+	if err != nil {
+		t.Fatalf("Recover: %v", err)
+	}
+	if info.Suppressed != 1 || info.Requeued != 1 || info.OpenSessions != 0 {
+		t.Fatalf("recovery = %+v, want 1 suppressed / 1 requeued / 0 open", info)
+	}
+	waitFor(t, 5*time.Second, "post-split window", func() bool { return len(cap.snapshot()) == 1 })
+	if err := d.Shutdown(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	tr := cap.snapshot()[0]
+	if tr.EPC != "X" || tr.FirstSeq != 2 || tr.Readings != 3 {
+		t.Fatalf("recovered window = %+v, want (X,2) with the 3 unserved readings", tr)
+	}
+}
+
+// TestDaemonTrippedJournalRetention: long-running journal-only mode
+// must still rotate and prune — segments wholly before the first
+// replay-owed report go, segments holding shed reports stay, and a
+// restart recovers every shed window.
+func TestDaemonTrippedJournalRetention(t *testing.T) {
+	dir := t.TempDir()
+	j, err := OpenJournal(JournalConfig{Dir: dir, SyncEvery: time.Hour, SegmentMaxRecords: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := crashTestConfig(j)
+	cfg.Breaker = BreakerConfig{Threshold: 3, Window: time.Minute}
+	cap := &captureSink{}
+	d := NewDaemon(echoProc{}, cfg, cap)
+
+	for _, epc := range []string{"poison-1", "poison-2", "poison-3"} { // seqs 0-8
+		for _, rd := range fullWindow(epc) {
+			if err := d.Offer(rd); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	// Sink emission happens after the ledger line and the meta unpin,
+	// so three sunk results mean nothing pins the poison segments.
+	waitFor(t, 5*time.Second, "poison results ledgered", func() bool {
+		return d.Gauges().BreakerTripped && len(cap.snapshot()) == 3
+	})
+
+	// Nine shed reports (seqs 9-17) — three windows' worth. Rotations
+	// while tripped must run retention: the poison segments below the
+	// first shed report are pruned, the shed segments are pinned.
+	for i := 0; i < 3; i++ {
+		for _, rd := range fullWindow("shed-A") {
+			if err := d.Offer(rd); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if got := d.Metrics().ReportsJournalOnly.Load(); got != 9 {
+		t.Fatalf("journal-only reports = %d, want 9", got)
+	}
+	// Segments: [8,9] [10,11] [12,13] [14,15] [16,17] + active = 6.
+	// Without journal-only retention all 9 closed poison/shed segments
+	// pile up (10 total); without the replay pin the shed segments
+	// themselves would have been deleted.
+	if got := j.Segments(); got != 6 {
+		t.Fatalf("segments after shed rotations = %d, want 6", got)
+	}
+	if err := d.Shutdown(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+
+	j2, err := OpenJournal(JournalConfig{Dir: dir, SyncEvery: time.Hour, SegmentMaxRecords: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cap2 := &captureSink{}
+	d2 := NewDaemon(echoProc{}, crashTestConfig(j2), cap2)
+	info, err := d2.Recover()
+	if err != nil {
+		t.Fatalf("Recover: %v", err)
+	}
+	// Seq 8 (poison-3's tail, its window served) is excised by its
+	// ledger span; the three shed windows requeue and solve.
+	if info.Requeued != 3 || info.Suppressed != 1 || info.OpenSessions != 0 {
+		t.Fatalf("recovery = %+v, want 3 requeued / 1 suppressed / 0 open", info)
+	}
+	waitFor(t, 5*time.Second, "recovered shed windows", func() bool { return len(cap2.snapshot()) == 3 })
+	if err := d2.Shutdown(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	got := map[WindowKey]bool{}
+	for _, tr := range cap2.snapshot() {
+		got[WindowKey{EPC: tr.EPC, FirstSeq: tr.FirstSeq}] = true
+	}
+	for _, first := range []uint64{9, 12, 15} {
+		if !got[WindowKey{EPC: "shed-A", FirstSeq: first}] {
+			t.Fatalf("recovered windows = %v, want shed-A at 9, 12, 15", got)
+		}
+	}
+}
+
+// TestDaemonTrippedSweepKeepsSessions: while the breaker is tripped
+// the deadline sweep must not push expired sessions into the poisoned
+// solver — they stay open for a cooldown reset or the shutdown drain.
+func TestDaemonTrippedSweepKeepsSessions(t *testing.T) {
+	dir := t.TempDir()
+	j, err := OpenJournal(JournalConfig{Dir: dir, SyncEvery: time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mu sync.Mutex
+	now := time.Now()
+	cfg := crashTestConfig(j)
+	cfg.Breaker = BreakerConfig{Threshold: 3, Window: time.Minute}
+	cfg.ExpireEvery = 5 * time.Millisecond
+	cfg.Sessionizer.Dwell = time.Second
+	cfg.Now = func() time.Time {
+		mu.Lock()
+		defer mu.Unlock()
+		return now
+	}
+	cap := &captureSink{}
+	d := NewDaemon(echoProc{}, cfg, cap)
+	defer d.Shutdown(context.Background())
+
+	if err := d.Offer(mkReading("quiet", 1, 0)); err != nil {
+		t.Fatal(err)
+	}
+	for _, epc := range []string{"poison-1", "poison-2", "poison-3"} {
+		for _, rd := range fullWindow(epc) {
+			if err := d.Offer(rd); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	waitFor(t, 5*time.Second, "breaker trip", func() bool { return d.Gauges().BreakerTripped })
+	results := len(cap.snapshot())
+
+	// Blow way past the dwell deadline and let several sweeps run.
+	mu.Lock()
+	now = now.Add(time.Hour)
+	mu.Unlock()
+	time.Sleep(50 * time.Millisecond)
+	if g := d.Gauges(); g.OpenSessions != 1 {
+		t.Fatalf("open sessions after tripped sweep = %d, want quiet's session kept", g.OpenSessions)
+	}
+	if got := len(cap.snapshot()); got != results {
+		t.Fatalf("tripped sweep emitted %d extra results", got-results)
+	}
+}
 // and quarantined while the daemon keeps solving its neighbors; three
 // panics trip the breaker into shed-and-journal-only mode.
 func TestDaemonPanicQuarantineAndBreaker(t *testing.T) {

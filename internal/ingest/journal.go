@@ -149,6 +149,15 @@ func OpenJournal(cfg JournalConfig) (*Journal, error) {
 	if n := len(segs); n > 0 {
 		last := segs[n-1]
 		j.nextSeq = last.firstSeq + uint64(last.records)
+		if last.records == 0 {
+			// The previous run died (or sat idle) with its active segment
+			// holding no complete line, so nextSeq equals its firstSeq and
+			// openActive below will reuse the very same path. Keeping the
+			// stale entry would alias the new active segment inside
+			// j.segments, and Retain — which trusts firstSeq+records —
+			// would happily unlink the file fresh reports are going into.
+			j.segments = segs[:n-1]
+		}
 	}
 	j.syncedSeq = j.nextSeq // everything on disk at open is durable
 	if err := j.openActive(); err != nil {
@@ -418,7 +427,7 @@ func (j *Journal) Retain(minNeeded uint64) error {
 	keep := j.segments[:0]
 	var firstErr error
 	for _, s := range j.segments {
-		if s.firstSeq+uint64(s.records) <= minNeeded {
+		if s.firstSeq+uint64(s.records) <= minNeeded && s.path != j.active.path {
 			if err := os.Remove(s.path); err != nil && firstErr == nil {
 				firstErr = fmt.Errorf("ingest: journal retention: %w", err)
 			}
@@ -490,19 +499,24 @@ func (j *Journal) AppendResult(tr TagResult) error {
 	return nil
 }
 
-// EmittedSet reads the emission ledger and returns the keys of every
-// durably emitted window. Call before serving (the ledger was torn-
-// tail-truncated at open).
-func (j *Journal) EmittedSet() (map[WindowKey]bool, error) {
+// EmittedSet reads the emission ledger and returns every durably
+// emitted window keyed by identity, with the journal sequence number
+// of the window's last report as the value. Presence answers "was this
+// identity served"; the LastSeq value lets replay detect a session
+// that outgrew the served window (the live run closed it by deadline,
+// drain or breaker shed — none of which replay can reproduce
+// positionally). Call before serving (the ledger was torn-tail-
+// truncated at open).
+func (j *Journal) EmittedSet() (map[WindowKey]uint64, error) {
 	f, err := os.Open(filepath.Join(j.cfg.Dir, resultsName))
 	if os.IsNotExist(err) {
-		return map[WindowKey]bool{}, nil
+		return map[WindowKey]uint64{}, nil
 	}
 	if err != nil {
 		return nil, fmt.Errorf("ingest: results ledger: %w", err)
 	}
 	defer f.Close()
-	out := make(map[WindowKey]bool)
+	out := make(map[WindowKey]uint64)
 	sc := bufio.NewScanner(f)
 	sc.Buffer(make([]byte, 0, 64*1024), maxReportLine)
 	for sc.Scan() {
@@ -514,7 +528,7 @@ func (j *Journal) EmittedSet() (map[WindowKey]bool, error) {
 		if err := json.Unmarshal(raw, &tr); err != nil {
 			continue // a pre-truncation torn line; never a fresh write
 		}
-		out[WindowKey{EPC: tr.EPC, FirstSeq: tr.FirstSeq}] = true
+		out[WindowKey{EPC: tr.EPC, FirstSeq: tr.FirstSeq}] = tr.LastSeq
 	}
 	if err := sc.Err(); err != nil {
 		return nil, fmt.Errorf("ingest: results ledger: %w", err)

@@ -238,10 +238,10 @@ func TestJournalCorruptLineSkipped(t *testing.T) {
 func TestResultsLedgerTornTailTruncated(t *testing.T) {
 	dir := t.TempDir()
 	j := testJournal(t, JournalConfig{Dir: dir})
-	if err := j.AppendResult(TagResult{EPC: "e1", FirstSeq: 0}); err != nil {
+	if err := j.AppendResult(TagResult{EPC: "e1", FirstSeq: 0, LastSeq: 7}); err != nil {
 		t.Fatal(err)
 	}
-	if err := j.AppendResult(TagResult{EPC: "e1", FirstSeq: 40}); err != nil {
+	if err := j.AppendResult(TagResult{EPC: "e1", FirstSeq: 40, LastSeq: 44}); err != nil {
 		t.Fatal(err)
 	}
 	if err := j.Close(); err != nil {
@@ -261,8 +261,9 @@ func TestResultsLedgerTornTailTruncated(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(emitted) != 1 || !emitted[WindowKey{EPC: "e1", FirstSeq: 0}] {
-		t.Fatalf("emitted = %v, want only (e1, 0)", emitted)
+	last, ok := emitted[WindowKey{EPC: "e1", FirstSeq: 0}]
+	if len(emitted) != 1 || !ok || last != 7 {
+		t.Fatalf("emitted = %v, want only (e1, 0) with last seq 7", emitted)
 	}
 	// The ledger must have been physically truncated so fresh appends
 	// don't splice onto the torn fragment.
@@ -272,6 +273,99 @@ func TestResultsLedgerTornTailTruncated(t *testing.T) {
 	}
 	if raw2[len(raw2)-1] != '\n' {
 		t.Fatal("ledger not newline-terminated after truncation")
+	}
+}
+
+// TestJournalEmptyActiveSegmentNotRetained: a run that dies (or just
+// closes) before its active segment gets a single complete line leaves
+// a zero-record file whose name the next run's active segment reuses.
+// The reopened journal must not keep a stale duplicate entry for that
+// path, or Retain would unlink the live active segment out from under
+// fresh appends.
+func TestJournalEmptyActiveSegmentNotRetained(t *testing.T) {
+	dir := t.TempDir()
+	j1 := testJournal(t, JournalConfig{Dir: dir})
+	if err := j1.Close(); err != nil { // leaves journal-0 with 0 records
+		t.Fatal(err)
+	}
+
+	j2 := testJournal(t, JournalConfig{Dir: dir})
+	if got := j2.NextSeq(); got != 0 {
+		t.Fatalf("NextSeq after empty reopen = %d, want 0", got)
+	}
+	if got := j2.Segments(); got != 1 {
+		t.Fatalf("segments after empty reopen = %d, want 1 (no stale alias)", got)
+	}
+	const n = 3
+	for i := 0; i < n; i++ {
+		if _, _, err := j2.Append(testReading("e", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// With the stale zero-record entry still aliased, firstSeq+0 <=
+	// minNeeded holds trivially and this deletes the live active file.
+	if err := j2.Retain(j2.NextSeq()); err != nil {
+		t.Fatal(err)
+	}
+	if err := j2.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	j3 := testJournal(t, JournalConfig{Dir: dir})
+	if got := j3.NextSeq(); got != n {
+		t.Fatalf("NextSeq after retention = %d, want %d (active segment deleted?)", got, n)
+	}
+	st, err := j3.Replay(func(uint64, sim.Reading) error { return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Reports != n {
+		t.Fatalf("replayed %d reports, want %d", st.Reports, n)
+	}
+}
+
+// TestJournalEmptyActiveAfterRotation: the same shape right after a
+// rotation — the closed, record-bearing segment must survive retention
+// that the stale empty-active entry would otherwise licence.
+func TestJournalEmptyActiveAfterRotation(t *testing.T) {
+	dir := t.TempDir()
+	j1 := testJournal(t, JournalConfig{Dir: dir, SegmentMaxRecords: 2})
+	for i := 0; i < 2; i++ { // fills segment [0,1], rotates to empty journal-2
+		if _, _, err := j1.Append(testReading("e", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := j1.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	j2 := testJournal(t, JournalConfig{Dir: dir, SegmentMaxRecords: 2})
+	if got := j2.NextSeq(); got != 2 {
+		t.Fatalf("NextSeq = %d, want 2", got)
+	}
+	if _, _, err := j2.Append(testReading("e", 2)); err != nil {
+		t.Fatal(err)
+	}
+	// Nothing below seq 2 is needed: segment [0,1] goes, but the active
+	// segment holding seq 2 must not be touched by its stale alias.
+	if err := j2.Retain(2); err != nil {
+		t.Fatal(err)
+	}
+	if err := j2.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	j3 := testJournal(t, JournalConfig{Dir: dir})
+	var seqs []uint64
+	st, err := j3.Replay(func(seq uint64, _ sim.Reading) error {
+		seqs = append(seqs, seq)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Reports != 1 || len(seqs) != 1 || seqs[0] != 2 {
+		t.Fatalf("replay after rotation+retention = %+v seqs %v, want just seq 2", st, seqs)
 	}
 }
 

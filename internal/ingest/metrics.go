@@ -38,6 +38,7 @@ type Metrics struct {
 	WindowsQuarantined atomic.Int64
 	BreakerTrips       atomic.Int64
 	ReportsJournalOnly atomic.Int64
+	SessionsAborted    atomic.Int64 // open sessions retired un-emitted into replay custody
 	JournalErrors      atomic.Int64
 	WindowsSuppressed  atomic.Int64 // replay: already in the emission ledger
 	WindowsRecovered   atomic.Int64 // replay: re-enqueued for solving
@@ -128,6 +129,7 @@ func (m *Metrics) WriteText(w io.Writer, now time.Time, g Gauges) {
 	p("rfprismd_windows_quarantined_total %d\n", m.WindowsQuarantined.Load())
 	p("rfprismd_breaker_trips_total %d\n", m.BreakerTrips.Load())
 	p("rfprismd_reports_journal_only_total %d\n", m.ReportsJournalOnly.Load())
+	p("rfprismd_sessions_aborted_total %d\n", m.SessionsAborted.Load())
 	p("rfprismd_journal_errors_total %d\n", m.JournalErrors.Load())
 	p("rfprismd_replay_windows_total{outcome=\"suppressed\"} %d\n", m.WindowsSuppressed.Load())
 	p("rfprismd_replay_windows_total{outcome=\"recovered\"} %d\n", m.WindowsRecovered.Load())

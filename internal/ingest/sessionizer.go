@@ -262,10 +262,10 @@ func (z *Sessionizer) close(epc string, s *session, reason CloseReason, now time
 // session would later close it under an identity the ledger already
 // holds — a duplicate. The dropped reports were served in the partial
 // window; fresh reports start a new session with a new identity.
-func (z *Sessionizer) DropEmittedSessions(emitted map[WindowKey]bool) int {
+func (z *Sessionizer) DropEmittedSessions(emitted map[WindowKey]uint64) int {
 	n := 0
 	for epc, s := range z.tags {
-		if !emitted[WindowKey{EPC: epc, FirstSeq: s.firstSeq}] {
+		if _, ok := emitted[WindowKey{EPC: epc, FirstSeq: s.firstSeq}]; !ok {
 			continue
 		}
 		delete(z.tags, epc)
@@ -274,6 +274,25 @@ func (z *Sessionizer) DropEmittedSessions(emitted map[WindowKey]bool) int {
 		n++
 	}
 	return n
+}
+
+// Abort removes epc's open session without emitting it, returning the
+// session's firstSeq and reading count. Unlike close it produces no
+// window: the daemon uses it in breaker-tripped shed mode to hand a
+// session's reports wholesale to the journal replayer — they are
+// durable, and with no ledger line written a restart regroups them
+// with the shed reports that follow and solves everything together.
+// The per-EPC display counter still advances so a later window for the
+// tag is visibly a new one.
+func (z *Sessionizer) Abort(epc string) (firstSeq uint64, readings int, ok bool) {
+	s := z.tags[epc]
+	if s == nil {
+		return 0, 0, false
+	}
+	delete(z.tags, epc)
+	z.seqs[epc] = s.seq + 1
+	z.buffered -= len(s.readings)
+	return s.firstSeq, len(s.readings), true
 }
 
 // MinOpenSeq returns the smallest journal sequence number any open

@@ -31,7 +31,14 @@ type TagResult struct {
 	// FirstSeq is the journal sequence number of the window's first
 	// report — the durable window identity recovery dedups on. Zero
 	// when the daemon runs without a journal.
-	FirstSeq        uint64       `json:"firstSeq,omitempty"`
+	FirstSeq uint64 `json:"firstSeq,omitempty"`
+	// LastSeq is the journal sequence number of the window's last
+	// report. Recovery uses it to spot a replayed session growing past
+	// the window actually served under this identity (a live deadline,
+	// drain or breaker-shed close that replay cannot reproduce from
+	// report positions alone) and split there instead of swallowing
+	// unserved reports into a suppressed window.
+	LastSeq         uint64       `json:"lastSeq,omitempty"`
 	At              time.Time    `json:"at"`
 	Reason          string       `json:"closeReason"`
 	Readings        int          `json:"readings"`
@@ -51,6 +58,7 @@ func makeTagResult(cw ClosedWindow, r rfprism.WindowResult, at time.Time, latenc
 		EPC:       cw.EPC,
 		Seq:       cw.Seq,
 		FirstSeq:  cw.FirstSeq,
+		LastSeq:   cw.LastSeq,
 		At:        at,
 		Reason:    cw.Reason.String(),
 		Readings:  len(cw.Readings),
