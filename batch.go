@@ -40,15 +40,6 @@ func (e *SolverPanicError) Error() string {
 // Unwrap exposes ErrSolverPanic to errors.Is.
 func (e *SolverPanicError) Unwrap() error { return ErrSolverPanic }
 
-// WithProcessHook installs fn to run inside the per-window panic fence
-// just before each solve, receiving the window about to be processed.
-// It exists for chaos and crash testing — a hook that panics simulates
-// a solver panic exactly where a real one would fire — and must be
-// safe for concurrent use (workers call it in parallel).
-func WithProcessHook(fn func(Window)) Option {
-	return func(s *System) { s.processHook = fn }
-}
-
 // Window is one hop round of raw readings queued for batch
 // processing. Tag optionally carries a caller-side identifier (e.g.
 // the EPC) that is echoed back in the WindowResult.
@@ -81,8 +72,8 @@ type WindowResult struct {
 // on failure), or nil when the window never reached the pipeline
 // (e.g. cancelled before start).
 func (r WindowResult) Health() *Health {
-	if r.Result != nil && r.Result.Health != nil {
-		return r.Result.Health
+	if r.Result != nil && r.Result.health != nil {
+		return r.Result.health
 	}
 	if h, ok := HealthFromError(r.Err); ok {
 		return h
@@ -90,33 +81,34 @@ func (r WindowResult) Health() *Health {
 	return nil
 }
 
-// WithParallelism bounds the worker count of ProcessWindows and
-// ProcessStream: 0 (the default) uses GOMAXPROCS, 1 forces serial
-// processing.
-func WithParallelism(n int) Option {
-	return func(s *System) { s.parallelism = n }
+// Attempts returns the number of processing attempts the window
+// consumed (0 when it never reached the pipeline).
+func (r WindowResult) Attempts() int {
+	if h := r.Health(); h != nil {
+		return h.Attempts
+	}
+	return 0
+}
+
+// Spans returns the per-stage trace spans of the attempt that decided
+// the outcome, from whichever side carries them (nil unless the System
+// has a Tracer, see WithTracer).
+func (r WindowResult) Spans() []Span {
+	if r.Result != nil {
+		return r.Result.Spans
+	}
+	var we *WindowError
+	if errors.As(r.Err, &we) {
+		return we.Spans
+	}
+	return nil
 }
 
 func (s *System) workers() int {
-	if s.parallelism > 0 {
-		return s.parallelism
+	if s.cfg.Runtime.Parallelism > 0 {
+		return s.cfg.Runtime.Parallelism
 	}
 	return runtime.GOMAXPROCS(0)
-}
-
-// WithWindowRetry makes ProcessWindows and ProcessStream re-collect
-// and re-process windows that fail with a transient fault
-// (ErrWindowRejected and its causes) up to attempts times in total,
-// sleeping backoff, 2×backoff, 4×backoff, … (capped at 8×backoff)
-// between attempts. Retries need fresh data to have any point —
-// re-processing identical readings is deterministic — so only windows
-// with a Collect source are retried. The zero configuration (attempts
-// ≤ 1) disables retrying.
-func WithWindowRetry(attempts int, backoff time.Duration) Option {
-	return func(s *System) {
-		s.retryAttempts = attempts
-		s.retryBackoff = backoff
-	}
 }
 
 // retryable reports whether a processing failure is worth a fresh
@@ -130,7 +122,7 @@ func retryable(err error) bool {
 // retryDelay returns the bounded-exponential pause before retry
 // attempt a (a = 1 is the first retry).
 func (s *System) retryDelay(a int) time.Duration {
-	d := s.retryBackoff
+	d := s.cfg.Runtime.RetryBackoff
 	if d <= 0 {
 		return 0
 	}
@@ -181,7 +173,7 @@ func (s *System) ProcessWindows(ctx context.Context, windows []Window) []WindowR
 }
 
 func (s *System) processOne(ctx context.Context, i int, w Window) WindowResult {
-	attempts := s.retryAttempts
+	attempts := s.cfg.Runtime.RetryAttempts
 	if attempts < 1 || w.Collect == nil {
 		attempts = 1
 	}
@@ -208,7 +200,7 @@ func (s *System) processOne(ctx context.Context, i int, w Window) WindowResult {
 				continue
 			}
 		}
-		res, err = s.processWindowGuarded(w, readings)
+		res, err = s.processWindowGuarded(w, a, readings)
 		if err == nil || !retryable(err) {
 			recordAttempts(res, err, a)
 			return WindowResult{Index: i, Tag: w.Tag, Result: res, Err: err}
@@ -226,7 +218,7 @@ func (s *System) processOne(ctx context.Context, i int, w Window) WindowResult {
 // *SolverPanicError instead of crashing the pool. The chaos hook, when
 // installed, fires inside the fence so an injected panic takes the
 // exact path a real one would.
-func (s *System) processWindowGuarded(w Window, readings []sim.Reading) (res *Result, err error) {
+func (s *System) processWindowGuarded(w Window, attempt int, readings []sim.Reading) (res *Result, err error) {
 	defer func() {
 		v := recover()
 		if v == nil {
@@ -243,17 +235,17 @@ func (s *System) processWindowGuarded(w Window, readings []sim.Reading) (res *Re
 		res = nil
 		err = &WindowError{err: pe}
 	}()
-	if s.processHook != nil {
-		s.processHook(w)
+	if s.cfg.Runtime.ProcessHook != nil {
+		s.cfg.Runtime.ProcessHook(w)
 	}
-	return s.ProcessWindow(readings)
+	return s.processWindow(w.Tag, attempt, readings)
 }
 
 // recordAttempts stamps the consumed attempt count into whichever
 // Health report the outcome carries.
 func recordAttempts(res *Result, err error, attempts int) {
-	if res != nil && res.Health != nil {
-		res.Health.Attempts = attempts
+	if res != nil && res.health != nil {
+		res.health.Attempts = attempts
 	}
 	if h, ok := HealthFromError(err); ok {
 		h.Attempts = attempts

@@ -3,9 +3,20 @@
 // writes the result as JSON (default BENCH_solver.json), giving every
 // future performance PR a recorded trajectory to beat.
 //
+// The report also carries a per-stage breakdown (spectra, fit, channel
+// selection, detector, solve) measured with the span tracer on a
+// separate untimed pass, so "the batch got slower" decomposes into
+// which stage got slower.
+//
+// With -against the run compares its ns/op against a previous report
+// and exits non-zero when a gated benchmark (Solve2D,
+// ProcessWindowsBatch) regresses by more than -max-regress percent —
+// the CI perf gate.
+//
 // Usage:
 //
 //	go run ./cmd/rfprism-bench [-out BENCH_solver.json] [-benchtime 1s]
+//	go run ./cmd/rfprism-bench -out /tmp/bench.json -against BENCH_solver.json
 package main
 
 import (
@@ -35,6 +46,18 @@ type benchRecord struct {
 	WindowsPerSec float64 `json:"windows_per_sec,omitempty"`
 }
 
+// stageRecord is one pipeline stage's share of batch processing time,
+// measured by the span tracer on a separate pass so the timed
+// benchmark rows stay tracer-free.
+type stageRecord struct {
+	Stage   string `json:"stage"`
+	Count   int64  `json:"count"`
+	AvgNs   int64  `json:"avg_ns"`
+	MinNs   int64  `json:"min_ns"`
+	MaxNs   int64  `json:"max_ns"`
+	TotalNs int64  `json:"total_ns"`
+}
+
 type benchReport struct {
 	Generated   string        `json:"generated"`
 	GoVersion   string        `json:"go_version"`
@@ -42,6 +65,7 @@ type benchReport struct {
 	GoMaxProcs  int           `json:"go_max_procs"`
 	Benchtime   string        `json:"benchtime"`
 	Benchmarks  []benchRecord `json:"benchmarks"`
+	Stages      []stageRecord `json:"stages,omitempty"`
 	SpeedupNote string        `json:"speedup_note"`
 }
 
@@ -49,6 +73,8 @@ func main() {
 	testing.Init()
 	out := flag.String("out", "BENCH_solver.json", "output JSON path")
 	benchtime := flag.Duration("benchtime", time.Second, "minimum measuring time per benchmark")
+	against := flag.String("against", "", "baseline report to diff against (exit 1 on gated regressions)")
+	maxRegress := flag.Float64("max-regress", 10, "max tolerated ns/op regression vs -against, percent")
 	flag.Parse()
 	// testing.Benchmark honors the -test.benchtime flag value.
 	if err := flag.Lookup("test.benchtime").Value.Set(benchtime.String()); err != nil {
@@ -148,7 +174,7 @@ func main() {
 					if res.Err != nil {
 						b.Fatal(res.Err)
 					}
-					if h := res.Result.Health; h == nil || !h.Degraded {
+					if h := res.Result.Health(); h == nil || !h.Degraded {
 						b.Fatal("degraded batch not flagged degraded")
 					}
 				}
@@ -156,6 +182,15 @@ func main() {
 		})
 		report.Benchmarks = append(report.Benchmarks, record("ProcessWindowsDegraded", par, r, len(degWins)))
 	}
+
+	// Per-stage breakdown on a dedicated traced pass: the rows above
+	// must stay tracer-free so they remain comparable to baselines
+	// recorded before tracing existed.
+	stages, err := stageBreakdown(scene, wins)
+	if err != nil {
+		log.Fatal(err)
+	}
+	report.Stages = stages
 
 	data, err := json.MarshalIndent(report, "", "  ")
 	if err != nil {
@@ -172,7 +207,93 @@ func main() {
 		}
 		fmt.Println()
 	}
+	for _, s := range report.Stages {
+		fmt.Printf("stage %-10s %8d spans %12d ns avg %12d ns total\n", s.Stage, s.Count, s.AvgNs, s.TotalNs)
+	}
 	fmt.Printf("wrote %s\n", *out)
+
+	if *against != "" {
+		raw, err := os.ReadFile(*against)
+		if err != nil {
+			log.Fatal(err)
+		}
+		var baseline benchReport
+		if err := json.Unmarshal(raw, &baseline); err != nil {
+			log.Fatalf("parse %s: %v", *against, err)
+		}
+		diffs, failures := compareReports(baseline, report, *maxRegress, gatedBenchmarks)
+		for _, d := range diffs {
+			fmt.Println(d)
+		}
+		if len(failures) > 0 {
+			fmt.Fprintf(os.Stderr, "rfprism-bench: %d gated regression(s) beyond %.0f%%:\n", len(failures), *maxRegress)
+			for _, f := range failures {
+				fmt.Fprintln(os.Stderr, " ", f)
+			}
+			os.Exit(1)
+		}
+		fmt.Printf("no gated regression beyond %.0f%% vs %s\n", *maxRegress, *against)
+	}
+}
+
+// gatedBenchmarks are the rows whose ns/op regression fails a
+// -against run. The degraded and 3D rows are informational: they are
+// noisier and gate nothing.
+var gatedBenchmarks = map[string]bool{"Solve2D": true, "ProcessWindowsBatch": true}
+
+// compareReports diffs current against baseline by (name,
+// parallelism). It returns one human-readable line per common row and
+// a failure line for each gated row whose ns/op regressed by more
+// than maxRegressPct. Rows present on only one side are ignored — a
+// renamed benchmark should update its baseline, not crash the gate.
+func compareReports(baseline, current benchReport, maxRegressPct float64, gated map[string]bool) (diffs, failures []string) {
+	base := make(map[string]benchRecord, len(baseline.Benchmarks))
+	for _, b := range baseline.Benchmarks {
+		base[fmt.Sprintf("%s/p%d", b.Name, b.Parallelism)] = b
+	}
+	for _, c := range current.Benchmarks {
+		key := fmt.Sprintf("%s/p%d", c.Name, c.Parallelism)
+		b, ok := base[key]
+		if !ok || b.NsPerOp <= 0 {
+			continue
+		}
+		pct := 100 * (float64(c.NsPerOp) - float64(b.NsPerOp)) / float64(b.NsPerOp)
+		diffs = append(diffs, fmt.Sprintf("%-26s %12d -> %12d ns/op  %+6.1f%%", key, b.NsPerOp, c.NsPerOp, pct))
+		if gated[c.Name] && pct > maxRegressPct {
+			failures = append(failures, fmt.Sprintf("%s regressed %.1f%% (%d -> %d ns/op)", key, pct, b.NsPerOp, c.NsPerOp))
+		}
+	}
+	return diffs, failures
+}
+
+// stageBreakdown runs the batch once more with the span tracer
+// installed and aggregates per-stage latency.
+func stageBreakdown(scene *sim.Scene, wins []rfprism.Window) ([]stageRecord, error) {
+	stats := rfprism.NewStageStats()
+	sys, err := rfprism.NewSystem(rfprism.DeploymentFromSim(scene.Antennas),
+		rfprism.Bounds2D(sim.PaperRegion()), rfprism.WithParallelism(1), rfprism.WithTracer(stats))
+	if err != nil {
+		return nil, err
+	}
+	for pass := 0; pass < 3; pass++ {
+		for _, res := range sys.ProcessWindows(context.Background(), wins) {
+			if res.Err != nil {
+				return nil, res.Err
+			}
+		}
+	}
+	var out []stageRecord
+	for _, st := range stats.Snapshot() {
+		out = append(out, stageRecord{
+			Stage:   string(st.Stage),
+			Count:   st.Count,
+			AvgNs:   st.Avg().Nanoseconds(),
+			MinNs:   st.Min.Nanoseconds(),
+			MaxNs:   st.Max.Nanoseconds(),
+			TotalNs: st.Total.Nanoseconds(),
+		})
+	}
+	return out, nil
 }
 
 func record(name string, par int, r testing.BenchmarkResult, windows int) benchRecord {

@@ -1,0 +1,72 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func rec(name string, par int, ns int64) benchRecord {
+	return benchRecord{Name: name, Parallelism: par, NsPerOp: ns}
+}
+
+// TestCompareReportsGate: the -against diff flags gated regressions
+// beyond the threshold and nothing else.
+func TestCompareReportsGate(t *testing.T) {
+	baseline := benchReport{Benchmarks: []benchRecord{
+		rec("Solve2D", 1, 1000),
+		rec("ProcessWindowsBatch", 1, 2000),
+		rec("ProcessWindowsDegraded", 1, 3000),
+	}}
+	current := benchReport{Benchmarks: []benchRecord{
+		rec("Solve2D", 1, 1200),                // +20%: gated, fails
+		rec("ProcessWindowsBatch", 1, 2100),    // +5%: gated, within 10%
+		rec("ProcessWindowsDegraded", 1, 9000), // +200%: not gated
+		rec("Solve3D", 1, 50),                  // no baseline row: ignored
+	}}
+	diffs, failures := compareReports(baseline, current, 10, gatedBenchmarks)
+	if len(diffs) != 3 {
+		t.Fatalf("got %d diff lines, want 3:\n%s", len(diffs), strings.Join(diffs, "\n"))
+	}
+	if len(failures) != 1 || !strings.Contains(failures[0], "Solve2D/p1") {
+		t.Fatalf("failures = %v, want exactly the Solve2D regression", failures)
+	}
+}
+
+// TestCompareReportsImprovement: a faster run never fails the gate,
+// and a zero-ns baseline row cannot divide by zero.
+func TestCompareReportsImprovement(t *testing.T) {
+	baseline := benchReport{Benchmarks: []benchRecord{
+		rec("Solve2D", 1, 1000),
+		rec("ProcessWindowsBatch", 1, 0), // corrupt baseline row
+	}}
+	current := benchReport{Benchmarks: []benchRecord{
+		rec("Solve2D", 1, 800),
+		rec("ProcessWindowsBatch", 1, 2000),
+	}}
+	diffs, failures := compareReports(baseline, current, 10, gatedBenchmarks)
+	if len(failures) != 0 {
+		t.Fatalf("improvement flagged as regression: %v", failures)
+	}
+	if len(diffs) != 1 {
+		t.Fatalf("zero-ns baseline row not skipped: %v", diffs)
+	}
+	if !strings.Contains(diffs[0], "-20.0%") {
+		t.Errorf("diff line lacks improvement percent: %q", diffs[0])
+	}
+}
+
+// TestCompareReportsMatchesOnParallelism: the same name at different
+// parallelism is a different row — a par-8 win must not mask a par-1
+// regression.
+func TestCompareReportsMatchesOnParallelism(t *testing.T) {
+	baseline := benchReport{Benchmarks: []benchRecord{
+		rec("Solve2D", 1, 1000), rec("Solve2D", 8, 200),
+	}}
+	current := benchReport{Benchmarks: []benchRecord{
+		rec("Solve2D", 1, 1500), rec("Solve2D", 8, 100),
+	}}
+	_, failures := compareReports(baseline, current, 10, gatedBenchmarks)
+	if len(failures) != 1 || !strings.Contains(failures[0], "Solve2D/p1") {
+		t.Fatalf("failures = %v, want only Solve2D/p1", failures)
+	}
+}

@@ -27,6 +27,13 @@
 // <journal-dir>/quarantine; repeated panics trip a breaker into
 // journal-only mode (DESIGN.md §9).
 //
+// Observability: structured logs go to stderr (-log-format text|json,
+// -log-level), the pipeline stage tracer always feeds the per-stage
+// latency histograms on /metrics, -trace additionally exports every
+// window's spans as NDJSON, and -debug-addr starts a side server with
+// net/http/pprof and Go runtime gauges (heap, goroutines, GC pause)
+// next to a second /metrics mount (DESIGN.md §10).
+//
 // The deployment geometry and calibration are recreated from -seed
 // exactly as cmd/rfprism-process does; a production deployment would
 // load a surveyed site file instead.
@@ -36,6 +43,7 @@
 //	rfprismd -addr :8390                      # serve HTTP ingest
 //	rfprismd -replay -tags 3 -rounds 2 -out results.ndjson
 //	rfprismd -replay -pace 1 -addr :8390      # live-paced demo feed
+//	rfprismd -addr :8390 -log-format json -debug-addr :8391
 package main
 
 import (
@@ -47,9 +55,11 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"log/slog"
 	"math/rand"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -58,6 +68,7 @@ import (
 	"rfprism"
 	"rfprism/internal/geom"
 	"rfprism/internal/ingest"
+	"rfprism/internal/obs"
 	"rfprism/internal/rf"
 	"rfprism/internal/sim"
 )
@@ -89,6 +100,10 @@ type options struct {
 	journalDir   string
 	journalSync  time.Duration
 	recover      bool
+	logFormat    string
+	logLevel     string
+	debugAddr    string
+	traceFile    string
 }
 
 func parseFlags(args []string) (options, error) {
@@ -113,6 +128,10 @@ func parseFlags(args []string) (options, error) {
 	fs.StringVar(&o.journalDir, "journal-dir", "", "write-ahead report journal directory (empty: no journal)")
 	fs.DurationVar(&o.journalSync, "journal-sync", 100*time.Millisecond, "journal fsync interval — the crash loss bound (-journal-dir)")
 	fs.BoolVar(&o.recover, "recover", false, "replay the journal on startup to rebuild sessions and re-solve lost windows (-journal-dir)")
+	fs.StringVar(&o.logFormat, "log-format", "text", "structured log format: text|json (stderr)")
+	fs.StringVar(&o.logLevel, "log-level", "info", "log level: debug|info|warn|error")
+	fs.StringVar(&o.debugAddr, "debug-addr", "", "debug server address: pprof + Go runtime metrics (empty: off)")
+	fs.StringVar(&o.traceFile, "trace", "", "export per-window pipeline stage spans as NDJSON to this file")
 	if err := fs.Parse(args); err != nil {
 		return o, err
 	}
@@ -128,7 +147,42 @@ func parseFlags(args []string) (options, error) {
 	if o.replay && o.tags < 1 {
 		return o, fmt.Errorf("-tags must be ≥ 1, got %d", o.tags)
 	}
+	switch o.logFormat {
+	case "text", "json":
+	default:
+		return o, fmt.Errorf("unknown -log-format %q (text|json)", o.logFormat)
+	}
+	if _, err := parseLogLevel(o.logLevel); err != nil {
+		return o, err
+	}
 	return o, nil
+}
+
+func parseLogLevel(s string) (slog.Level, error) {
+	switch s {
+	case "debug":
+		return slog.LevelDebug, nil
+	case "info":
+		return slog.LevelInfo, nil
+	case "warn":
+		return slog.LevelWarn, nil
+	case "error":
+		return slog.LevelError, nil
+	default:
+		return 0, fmt.Errorf("unknown -log-level %q (debug|info|warn|error)", s)
+	}
+}
+
+// newLogger builds the daemon's structured logger. Logs go to stderr:
+// stdout is reserved for the operational status lines and, with
+// "-out -", the NDJSON result stream.
+func newLogger(o options) *slog.Logger {
+	level, _ := parseLogLevel(o.logLevel) // validated by parseFlags
+	opts := &slog.HandlerOptions{Level: level}
+	if o.logFormat == "json" {
+		return slog.New(slog.NewJSONHandler(os.Stderr, opts))
+	}
+	return slog.New(slog.NewTextHandler(os.Stderr, opts))
 }
 
 func run(args []string, stdout io.Writer) error {
@@ -140,6 +194,23 @@ func run(args []string, stdout io.Writer) error {
 	if err != nil {
 		return err
 	}
+
+	logger := newLogger(o)
+	met := ingest.NewMetrics(time.Now())
+
+	// The stage tracer is always on in the daemon: Metrics folds every
+	// window's spans into the /metrics per-stage histograms; -trace
+	// additionally exports the raw spans as NDJSON.
+	tracers := []rfprism.Tracer{met}
+	if o.traceFile != "" {
+		tf, err := os.Create(o.traceFile)
+		if err != nil {
+			return err
+		}
+		defer tf.Close()
+		tracers = append(tracers, rfprism.NewNDJSONTracer(tf))
+	}
+	rfprism.WithTracer(rfprism.MultiTracer(tracers...))(sys)
 
 	ring := ingest.NewRingSink(o.ring)
 	sinks := []ingest.Sink{ring}
@@ -178,6 +249,8 @@ func run(args []string, stdout io.Writer) error {
 		QueueSize:  o.queue,
 		RetryAfter: o.retryAfter,
 		Journal:    journal,
+		Logger:     logger,
+		Metrics:    met,
 	}, sinks...)
 
 	if o.recover {
@@ -206,6 +279,19 @@ func run(args []string, stdout io.Writer) error {
 		httpSrv = &http.Server{Handler: ingest.NewServer(d, ring).Handler()}
 		fmt.Fprintf(stdout, "rfprismd: listening on %s\n", ln.Addr())
 		go func() { serveErr <- httpSrv.Serve(ln) }()
+	}
+
+	var debugSrv *http.Server
+	debugErr := make(chan error, 1)
+	if o.debugAddr != "" {
+		obs.RegisterGoRuntime(met.Registry())
+		dln, err := net.Listen("tcp", o.debugAddr)
+		if err != nil {
+			return err
+		}
+		debugSrv = &http.Server{Handler: debugHandler(d)}
+		fmt.Fprintf(stdout, "rfprismd: debug server on %s\n", dln.Addr())
+		go func() { debugErr <- debugSrv.Serve(dln) }()
 	}
 
 	replayDone := make(chan error, 1)
@@ -242,6 +328,14 @@ func run(args []string, stdout io.Writer) error {
 			runErr = err
 		}
 	}
+	if debugSrv != nil {
+		shutCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		_ = debugSrv.Shutdown(shutCtx)
+		if err := <-debugErr; err != nil && !errors.Is(err, http.ErrServerClosed) && runErr == nil {
+			runErr = err
+		}
+	}
 
 	drainCtx, cancel := context.WithTimeout(context.Background(), o.drainTimeout)
 	defer cancel()
@@ -253,6 +347,23 @@ func run(args []string, stdout io.Writer) error {
 		m.ReportsAccepted.Load(), m.ResultsOK.Load()+m.ResultsErr.Load(),
 		m.ResultsOK.Load(), m.ResultsErr.Load(), m.WindowsDegraded.Load())
 	return runErr
+}
+
+// debugHandler serves the -debug-addr side server: pprof for CPU/heap
+// profiling plus a /metrics mount so the full exposition (including
+// the Go runtime gauges) is reachable even when -addr is off.
+func debugHandler(d *ingest.Daemon) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+		d.Metrics().WriteText(w, time.Now(), d.Gauges())
+	})
+	return mux
 }
 
 // buildDeployment recreates the seeded simulator deployment and a

@@ -166,3 +166,66 @@ func TestRunJournaledReplayRecovers(t *testing.T) {
 		t.Fatalf("second run did not recover:\n%s", out2.String())
 	}
 }
+
+// TestRunObservabilityFlags: a replay run with the full observability
+// surface on — JSON logs, a debug server, and span export — succeeds,
+// and the -trace file carries NDJSON spans for every pipeline stage.
+func TestRunObservabilityFlags(t *testing.T) {
+	dir := t.TempDir()
+	trace := filepath.Join(dir, "spans.ndjson")
+	var stdout bytes.Buffer
+	err := run([]string{
+		"-replay", "-tags", "1", "-rounds", "1", "-seed", "7",
+		"-out", filepath.Join(dir, "results.ndjson"),
+		"-trace", trace,
+		"-log-format", "json", "-log-level", "debug",
+		"-debug-addr", "127.0.0.1:0",
+	}, &stdout)
+	if err != nil {
+		t.Fatalf("run: %v\n%s", err, stdout.String())
+	}
+	if !strings.Contains(stdout.String(), "debug server on") {
+		t.Fatalf("debug server did not start:\n%s", stdout.String())
+	}
+	f, err := os.Open(trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	stages := make(map[string]int)
+	lines := 0
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	for sc.Scan() {
+		lines++
+		var span map[string]any
+		if err := json.Unmarshal(sc.Bytes(), &span); err != nil {
+			t.Fatalf("bad span line %q: %v", sc.Text(), err)
+		}
+		st, _ := span["stage"].(string)
+		stages[st]++
+		if tag, _ := span["tag"].(string); tag == "" {
+			t.Fatalf("span without tag: %s", sc.Text())
+		}
+	}
+	if lines == 0 {
+		t.Fatal("trace file is empty")
+	}
+	for _, st := range []string{"spectra", "fit", "select", "observe", "detector", "solve", "window"} {
+		if stages[st] == 0 {
+			t.Errorf("no %q spans exported; got %v", st, stages)
+		}
+	}
+}
+
+// TestRunRejectsBadObservabilityFlags: misconfigured logging flags
+// fail fast like any other misconfiguration.
+func TestRunRejectsBadObservabilityFlags(t *testing.T) {
+	var stdout bytes.Buffer
+	if err := run([]string{"-replay", "-log-format", "xml"}, &stdout); err == nil {
+		t.Error("unknown -log-format accepted")
+	}
+	if err := run([]string{"-replay", "-log-level", "loud"}, &stdout); err == nil {
+		t.Error("unknown -log-level accepted")
+	}
+}

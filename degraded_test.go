@@ -61,16 +61,16 @@ func TestDegradedOneDeadAntennaStillLocalizes(t *testing.T) {
 	if err != nil {
 		t.Fatalf("one dead antenna must not reject the window: %v", err)
 	}
-	if res.Health == nil {
+	if res.Health() == nil {
 		t.Fatal("Result without Health report")
 	}
-	if !res.Health.Degraded {
+	if !res.Health().Degraded {
 		t.Fatal("subset solution not flagged degraded")
 	}
-	if got := res.Health.UsedAntennas(); len(got) != 3 {
+	if got := res.Health().UsedAntennas(); len(got) != 3 {
 		t.Fatalf("used antennas %v, want 3 survivors", got)
 	}
-	e := res.Health.entry(0)
+	e := res.Health().entry(0)
 	if e == nil || e.Used || e.Reason != DropSilent {
 		t.Fatalf("dead antenna 0 reported as %+v, want silent drop", e)
 	}
@@ -126,10 +126,10 @@ func TestHealthCleanWindowNotDegraded(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if res.Health == nil || res.Health.Degraded {
-		t.Fatalf("clean window misreported: %+v", res.Health)
+	if res.Health() == nil || res.Health().Degraded {
+		t.Fatalf("clean window misreported: %+v", res.Health())
 	}
-	if got := res.Health.UsedAntennas(); len(got) != 4 {
+	if got := res.Health().UsedAntennas(); len(got) != 4 {
 		t.Fatalf("used antennas %v, want all 4", got)
 	}
 }

@@ -69,7 +69,7 @@ func TestFaultedPipelineDeterministic(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		return res.Estimate, res.Health.String()
+		return res.Estimate, res.Health().String()
 	}
 	estA, healthA := runOnce()
 	estB, healthB := runOnce()

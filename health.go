@@ -113,8 +113,13 @@ func (h *Health) DroppedAntennas() []int {
 	return out
 }
 
-// String renders a compact one-line report.
+// String renders a compact one-line report. It is log-safe: a nil
+// receiver renders as "health{nil}" instead of panicking, so callers
+// can interpolate r.Health() without a guard.
 func (h *Health) String() string {
+	if h == nil {
+		return "health{nil}"
+	}
 	var b strings.Builder
 	fmt.Fprintf(&b, "health{degraded=%v", h.Degraded)
 	if h.Attempts > 1 {
@@ -166,7 +171,10 @@ func (h *Health) finalize() {
 type WindowError struct {
 	// Health is the per-antenna report at the point of failure.
 	Health *Health
-	err    error
+	// Spans are the per-stage trace spans of the failed attempt (nil
+	// unless the System has a Tracer, see WithTracer).
+	Spans []Span
+	err   error
 }
 
 // Error implements error.

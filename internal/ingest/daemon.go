@@ -4,6 +4,8 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"io"
+	"log/slog"
 	"sort"
 	"sync"
 	"time"
@@ -49,6 +51,15 @@ type Config struct {
 	Journal *Journal
 	// Breaker tunes the repeated-panic circuit breaker.
 	Breaker BreakerConfig
+	// Logger receives the daemon's structured events: journal and
+	// recovery milestones, breaker trips, solver panics, shutdown.
+	// Default: discard.
+	Logger *slog.Logger
+	// Metrics, when set, is the instrument set the daemon records into
+	// instead of building its own — callers share one registry between
+	// the daemon and the pipeline's stage tracer (Metrics implements
+	// rfprism.Tracer).
+	Metrics *Metrics
 	// Now overrides the clock (tests). Default time.Now.
 	Now func() time.Time
 }
@@ -67,6 +78,12 @@ func (c *Config) defaults() {
 	if c.Now == nil {
 		c.Now = time.Now
 	}
+	if c.Logger == nil {
+		c.Logger = slog.New(slog.NewTextHandler(io.Discard, nil))
+	}
+	if c.Metrics == nil {
+		c.Metrics = NewMetrics(c.Now())
+	}
 }
 
 // windowMeta carries a closed window's assembly metadata from enqueue
@@ -83,6 +100,7 @@ type windowMeta struct {
 type Daemon struct {
 	cfg     Config
 	met     *Metrics
+	log     *slog.Logger
 	sinks   []Sink
 	journal *Journal
 	breaker *breaker
@@ -125,7 +143,8 @@ func NewDaemon(proc Processor, cfg Config, sinks ...Sink) *Daemon {
 	cfg.defaults()
 	d := &Daemon{
 		cfg:         cfg,
-		met:         NewMetrics(cfg.Now()),
+		met:         cfg.Metrics,
+		log:         cfg.Logger,
 		sinks:       sinks,
 		journal:     cfg.Journal,
 		breaker:     newBreaker(cfg.Breaker),
@@ -146,6 +165,9 @@ func NewDaemon(proc Processor, cfg Config, sinks ...Sink) *Daemon {
 
 // Metrics exposes the daemon's counters.
 func (d *Daemon) Metrics() *Metrics { return d.met }
+
+// Logger exposes the daemon's structured logger (never nil).
+func (d *Daemon) Logger() *slog.Logger { return d.log }
 
 // RetryAfter is the advertised backpressure pause.
 func (d *Daemon) RetryAfter() time.Duration { return d.cfg.RetryAfter }
@@ -207,10 +229,12 @@ func (d *Daemon) Offer(rd sim.Reading) error {
 			if first, _, ok := d.sess.Abort(rd.EPC); ok {
 				d.met.SessionsAborted.Add(1)
 				d.pinReplayLocked(first)
+				d.log.Warn("session aborted into replay custody", "epc", rd.EPC, "firstSeq", first)
 			}
 			seq, rotated, err := d.journal.Append(rd)
 			if err != nil {
 				d.met.JournalErrors.Add(1)
+				d.log.Error("journal append failed", "epc", rd.EPC, "err", err)
 				return err
 			}
 			d.pinReplayLocked(seq)
@@ -234,6 +258,7 @@ func (d *Daemon) Offer(rd sim.Reading) error {
 			// A report that cannot be made durable is refused: callers
 			// were promised journaled-then-processed, not maybe.
 			d.met.JournalErrors.Add(1)
+			d.log.Error("journal append failed", "epc", rd.EPC, "err", err)
 			return err
 		}
 	}
@@ -359,11 +384,14 @@ func (d *Daemon) resultLoop(results <-chan rfprism.WindowResult) {
 		d.met.ObserveLatency(latency)
 		if r.Err != nil {
 			d.met.ResultsErr.Add(1)
+			d.log.Debug("window failed", "epc", r.Tag, "latency", latency, "err", r.Err)
 		} else {
 			d.met.ResultsOK.Add(1)
+			d.log.Debug("window solved", "epc", r.Tag, "latency", latency, "attempts", r.Attempts())
 		}
 		if h := r.Health(); h != nil && h.Degraded {
 			d.met.WindowsDegraded.Add(1)
+			d.log.Info("window degraded", "epc", r.Tag, "health", h.String())
 		}
 		if errors.Is(r.Err, rfprism.ErrSolverPanic) {
 			d.observePanic(m.cw, r.Err, now)
@@ -408,6 +436,7 @@ func (d *Daemon) resultLoop(results <-chan rfprism.WindowResult) {
 // the circuit breaker.
 func (d *Daemon) observePanic(cw ClosedWindow, err error, now time.Time) {
 	d.met.SolverPanics.Add(1)
+	d.log.Error("solver panic", "epc", cw.EPC, "firstSeq", cw.FirstSeq, "err", err)
 	if d.journal != nil {
 		report := err.Error()
 		var pe *rfprism.SolverPanicError
@@ -422,6 +451,7 @@ func (d *Daemon) observePanic(cw ClosedWindow, err error, now time.Time) {
 	}
 	if d.breaker.record(now) {
 		d.met.BreakerTrips.Add(1)
+		d.log.Warn("panic circuit breaker tripped: shed-and-journal-only mode", "epc", cw.EPC)
 	}
 }
 
@@ -591,6 +621,10 @@ func (d *Daemon) Recover() (RecoveryInfo, error) {
 	}
 	info.ReplayedTo = d.journal.NextSeq()
 	d.recovery = info
+	d.log.Info("journal recovery complete",
+		"replayedReports", info.Replay.Reports, "replayedTo", info.ReplayedTo,
+		"suppressed", info.Suppressed, "requeued", info.Requeued,
+		"openSessions", info.OpenSessions, "rejected", info.Rejected)
 	return info, nil
 }
 
@@ -606,6 +640,7 @@ func (d *Daemon) Shutdown(ctx context.Context) error {
 }
 
 func (d *Daemon) shutdown(ctx context.Context) error {
+	d.log.Info("shutdown: draining")
 	d.mu.Lock()
 	d.draining = true
 	d.mu.Unlock()
@@ -664,8 +699,12 @@ func (d *Daemon) shutdown(ctx context.Context) error {
 		}
 	}
 	if err != nil {
+		d.log.Error("shutdown: drain aborted", "err", err)
 		return fmt.Errorf("ingest: drain aborted: %w", err)
 	}
+	d.log.Info("shutdown: drained",
+		"reports", d.met.ReportsAccepted.Load(),
+		"resultsOK", d.met.ResultsOK.Load(), "resultsErr", d.met.ResultsErr.Load())
 	return errors.Join(closeErrs...)
 }
 

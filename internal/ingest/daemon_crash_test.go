@@ -470,6 +470,7 @@ func TestDaemonTrippedSweepKeepsSessions(t *testing.T) {
 		t.Fatalf("tripped sweep emitted %d extra results", got-results)
 	}
 }
+
 // and quarantined while the daemon keeps solving its neighbors; three
 // panics trip the breaker into shed-and-journal-only mode.
 func TestDaemonPanicQuarantineAndBreaker(t *testing.T) {

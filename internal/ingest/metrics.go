@@ -1,12 +1,12 @@
 package ingest
 
 import (
-	"fmt"
 	"io"
-	"math"
 	"sync"
-	"sync/atomic"
 	"time"
+
+	"rfprism"
+	"rfprism/internal/obs"
 )
 
 // latencyBounds are the histogram bucket upper bounds (seconds) for
@@ -14,49 +14,124 @@ import (
 // sub-millisecond cache hit up to a multi-second saturated queue.
 var latencyBounds = []float64{0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5}
 
-// Metrics is the daemon's counter set, exposed as Prometheus-style
-// text on /metrics. All counters are monotonically increasing and safe
-// for concurrent use; gauges (queue depth, open sessions) are sampled
-// at render time by the caller.
+// stageBounds are the bucket upper bounds (seconds) for per-stage
+// pipeline latency. Stages are much faster than whole windows — a fit
+// is tens of microseconds, a solve tens of milliseconds — so the grid
+// starts three decades lower than latencyBounds.
+var stageBounds = []float64{0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1}
+
+// Metrics is the daemon's instrument set, registered on an obs.Registry
+// and exposed as Prometheus text on /metrics. All counters are
+// monotonically increasing and safe for concurrent use; gauges (queue
+// depth, open sessions, journal positions) are sampled from the
+// caller-provided Gauges snapshot at render time.
+//
+// Metrics also implements rfprism.Tracer: installed on the System with
+// rfprism.WithTracer, it folds every window's stage spans into the
+// rfprismd_stage_latency_seconds histograms, so /metrics answers "where
+// does window time go" without any span export.
 type Metrics struct {
+	reg   *obs.Registry
 	start time.Time
 
-	ReportsAccepted      atomic.Int64
-	ReportsRejected      atomic.Int64
-	ReportsBackpressured atomic.Int64
+	ReportsAccepted      *obs.Counter
+	ReportsRejected      *obs.Counter
+	ReportsBackpressured *obs.Counter
 
-	windowsClosed    [numCloseReasons]atomic.Int64
-	WindowsDiscarded atomic.Int64
-	WindowsShed      atomic.Int64
+	windowsClosed    [numCloseReasons]*obs.Counter
+	WindowsDiscarded *obs.Counter
+	WindowsShed      *obs.Counter
 
-	ResultsOK       atomic.Int64
-	ResultsErr      atomic.Int64
-	WindowsDegraded atomic.Int64
-	SinkErrors      atomic.Int64
+	ResultsOK       *obs.Counter
+	ResultsErr      *obs.Counter
+	WindowsDegraded *obs.Counter
+	SinkErrors      *obs.Counter
 
-	SolverPanics       atomic.Int64
-	WindowsQuarantined atomic.Int64
-	BreakerTrips       atomic.Int64
-	ReportsJournalOnly atomic.Int64
-	SessionsAborted    atomic.Int64 // open sessions retired un-emitted into replay custody
-	JournalErrors      atomic.Int64
-	WindowsSuppressed  atomic.Int64 // replay: already in the emission ledger
-	WindowsRecovered   atomic.Int64 // replay: re-enqueued for solving
+	SolverPanics       *obs.Counter
+	WindowsQuarantined *obs.Counter
+	BreakerTrips       *obs.Counter
+	ReportsJournalOnly *obs.Counter
+	SessionsAborted    *obs.Counter // open sessions retired un-emitted into replay custody
+	JournalErrors      *obs.Counter
+	WindowsSuppressed  *obs.Counter // replay: already in the emission ledger
+	WindowsRecovered   *obs.Counter // replay: re-enqueued for solving
 
-	lat struct {
-		mu      sync.Mutex
-		buckets []int64 // len(latencyBounds)+1, last is overflow
-		sum     float64
-		count   int64
-	}
+	latency *obs.Histogram
+	stages  map[rfprism.Stage]*obs.Histogram
+
+	gUptime           *obs.Gauge
+	gQueueDepth       *obs.Gauge
+	gQueueCap         *obs.Gauge
+	gOpenSessions     *obs.Gauge
+	gBufferedReadings *obs.Gauge
+	gDraining         *obs.Gauge
+	gBreakerTripped   *obs.Gauge
+
+	// Journal gauges are registered lazily on the first render that sees
+	// an enabled journal, so a journal-less daemon's exposition carries
+	// no dead series.
+	journalOnce      sync.Once
+	gJournalNext     *obs.Gauge
+	gJournalSynced   *obs.Gauge
+	gJournalSegments *obs.Gauge
 }
 
 // NewMetrics starts a metric set; start anchors the uptime gauge.
 func NewMetrics(start time.Time) *Metrics {
-	m := &Metrics{start: start}
-	m.lat.buckets = make([]int64, len(latencyBounds)+1)
+	r := obs.NewRegistry()
+	m := &Metrics{reg: r, start: start}
+
+	m.ReportsAccepted = r.NewCounter("rfprismd_reports_total", "Ingested reports by outcome.", obs.L("outcome", "accepted"))
+	m.ReportsRejected = r.NewCounter("rfprismd_reports_total", "", obs.L("outcome", "rejected"))
+	m.ReportsBackpressured = r.NewCounter("rfprismd_reports_total", "", obs.L("outcome", "backpressured"))
+
+	for cr := CloseReason(0); int(cr) < numCloseReasons; cr++ {
+		help := ""
+		if cr == 0 {
+			help = "Windows leaving the sessionizer by close reason."
+		}
+		m.windowsClosed[cr] = r.NewCounter("rfprismd_windows_closed_total", help, obs.L("reason", cr.String()))
+	}
+	m.WindowsDiscarded = r.NewCounter("rfprismd_windows_discarded_total", "Windows dropped below the antenna floor.")
+	m.WindowsShed = r.NewCounter("rfprismd_windows_shed_total", "Expired windows shed against a full queue.")
+
+	m.ResultsOK = r.NewCounter("rfprismd_results_total", "Solved windows by outcome.", obs.L("outcome", "ok"))
+	m.ResultsErr = r.NewCounter("rfprismd_results_total", "", obs.L("outcome", "error"))
+	m.WindowsDegraded = r.NewCounter("rfprismd_windows_degraded_total", "Windows solved on an antenna subset.")
+	m.SinkErrors = r.NewCounter("rfprismd_sink_errors_total", "Result deliveries a sink refused.")
+
+	m.SolverPanics = r.NewCounter("rfprismd_solver_panics_total", "Windows whose solve panicked.")
+	m.WindowsQuarantined = r.NewCounter("rfprismd_windows_quarantined_total", "Panicking windows captured for offline reproduction.")
+	m.BreakerTrips = r.NewCounter("rfprismd_breaker_trips_total", "Panic circuit breaker trips.")
+	m.ReportsJournalOnly = r.NewCounter("rfprismd_reports_journal_only_total", "Reports journaled but shed while the breaker was tripped.")
+	m.SessionsAborted = r.NewCounter("rfprismd_sessions_aborted_total", "Open sessions retired un-emitted into replay custody.")
+	m.JournalErrors = r.NewCounter("rfprismd_journal_errors_total", "Journal append/sync/retention failures.")
+	m.WindowsSuppressed = r.NewCounter("rfprismd_replay_windows_total", "Replayed windows by outcome.", obs.L("outcome", "suppressed"))
+	m.WindowsRecovered = r.NewCounter("rfprismd_replay_windows_total", "", obs.L("outcome", "recovered"))
+
+	m.latency = r.NewHistogram("rfprismd_window_latency_seconds", "End-to-end window latency, enqueue to result.", latencyBounds)
+	m.stages = make(map[rfprism.Stage]*obs.Histogram, len(rfprism.Stages()))
+	for _, st := range rfprism.Stages() {
+		help := ""
+		if st == rfprism.StageSpectra {
+			help = "Pipeline stage latency by stage (fed by the span tracer)."
+		}
+		m.stages[st] = r.NewHistogram("rfprismd_stage_latency_seconds", help, stageBounds, obs.L("stage", string(st)))
+	}
+
+	m.gUptime = r.NewGauge("rfprismd_uptime_seconds", "Seconds since daemon start.")
+	m.gQueueDepth = r.NewGauge("rfprismd_queue_depth", "Closed windows waiting for a solver.")
+	m.gQueueCap = r.NewGauge("rfprismd_queue_capacity", "Window queue capacity.")
+	m.gOpenSessions = r.NewGauge("rfprismd_open_sessions", "Per-EPC sessions currently assembling.")
+	m.gBufferedReadings = r.NewGauge("rfprismd_buffered_readings", "Reports buffered in open sessions.")
+	m.gDraining = r.NewGauge("rfprismd_draining", "1 while shutdown is draining.")
+	m.gBreakerTripped = r.NewGauge("rfprismd_breaker_tripped", "1 while the panic circuit breaker is tripped.")
 	return m
 }
+
+// Registry exposes the underlying obs registry so callers can attach
+// extra instruments (the debug endpoint adds Go runtime gauges).
+func (m *Metrics) Registry() *obs.Registry { return m.reg }
 
 // WindowClosed counts one window leaving the sessionizer.
 func (m *Metrics) WindowClosed(r CloseReason) {
@@ -75,19 +150,18 @@ func (m *Metrics) WindowsClosed(r CloseReason) int64 {
 
 // ObserveLatency records one window's enqueue→result latency.
 func (m *Metrics) ObserveLatency(d time.Duration) {
-	s := d.Seconds()
-	if s < 0 || math.IsNaN(s) {
-		s = 0
+	m.latency.Observe(d.Seconds())
+}
+
+// RecordWindow implements rfprism.Tracer: each span feeds its stage's
+// latency histogram. Spans from unknown stages are dropped rather than
+// minted into new series mid-flight.
+func (m *Metrics) RecordWindow(_ string, spans []rfprism.Span) {
+	for i := range spans {
+		if h, ok := m.stages[spans[i].Stage]; ok {
+			h.Observe(spans[i].Duration.Seconds())
+		}
 	}
-	i := 0
-	for i < len(latencyBounds) && s > latencyBounds[i] {
-		i++
-	}
-	m.lat.mu.Lock()
-	m.lat.buckets[i]++
-	m.lat.sum += s
-	m.lat.count++
-	m.lat.mu.Unlock()
 }
 
 // Gauges are the point-in-time values the daemon samples for a render.
@@ -108,60 +182,25 @@ type Gauges struct {
 	JournalSegments  int
 }
 
-// WriteText renders the counter set plus the sampled gauges in the
-// Prometheus text exposition format (no client library dependency).
+// WriteText stamps the sampled gauges into the registry and renders
+// every family in the Prometheus text exposition format.
 func (m *Metrics) WriteText(w io.Writer, now time.Time, g Gauges) {
-	p := func(format string, args ...any) { fmt.Fprintf(w, format, args...) }
-	p("rfprismd_uptime_seconds %.3f\n", now.Sub(m.start).Seconds())
-	p("rfprismd_reports_total{outcome=\"accepted\"} %d\n", m.ReportsAccepted.Load())
-	p("rfprismd_reports_total{outcome=\"rejected\"} %d\n", m.ReportsRejected.Load())
-	p("rfprismd_reports_total{outcome=\"backpressured\"} %d\n", m.ReportsBackpressured.Load())
-	for r := CloseReason(0); int(r) < numCloseReasons; r++ {
-		p("rfprismd_windows_closed_total{reason=%q} %d\n", r.String(), m.windowsClosed[r].Load())
-	}
-	p("rfprismd_windows_discarded_total %d\n", m.WindowsDiscarded.Load())
-	p("rfprismd_windows_shed_total %d\n", m.WindowsShed.Load())
-	p("rfprismd_results_total{outcome=\"ok\"} %d\n", m.ResultsOK.Load())
-	p("rfprismd_results_total{outcome=\"error\"} %d\n", m.ResultsErr.Load())
-	p("rfprismd_windows_degraded_total %d\n", m.WindowsDegraded.Load())
-	p("rfprismd_sink_errors_total %d\n", m.SinkErrors.Load())
-	p("rfprismd_solver_panics_total %d\n", m.SolverPanics.Load())
-	p("rfprismd_windows_quarantined_total %d\n", m.WindowsQuarantined.Load())
-	p("rfprismd_breaker_trips_total %d\n", m.BreakerTrips.Load())
-	p("rfprismd_reports_journal_only_total %d\n", m.ReportsJournalOnly.Load())
-	p("rfprismd_sessions_aborted_total %d\n", m.SessionsAborted.Load())
-	p("rfprismd_journal_errors_total %d\n", m.JournalErrors.Load())
-	p("rfprismd_replay_windows_total{outcome=\"suppressed\"} %d\n", m.WindowsSuppressed.Load())
-	p("rfprismd_replay_windows_total{outcome=\"recovered\"} %d\n", m.WindowsRecovered.Load())
-	p("rfprismd_queue_depth %d\n", g.QueueDepth)
-	p("rfprismd_queue_capacity %d\n", g.QueueCap)
-	p("rfprismd_open_sessions %d\n", g.OpenSessions)
-	p("rfprismd_buffered_readings %d\n", g.BufferedReadings)
-	draining := 0
-	if g.Draining {
-		draining = 1
-	}
-	p("rfprismd_draining %d\n", draining)
-	tripped := 0
-	if g.BreakerTripped {
-		tripped = 1
-	}
-	p("rfprismd_breaker_tripped %d\n", tripped)
+	m.gUptime.Set(now.Sub(m.start).Seconds())
+	m.gQueueDepth.SetInt(int64(g.QueueDepth))
+	m.gQueueCap.SetInt(int64(g.QueueCap))
+	m.gOpenSessions.SetInt(int64(g.OpenSessions))
+	m.gBufferedReadings.SetInt(int64(g.BufferedReadings))
+	m.gDraining.SetBool(g.Draining)
+	m.gBreakerTripped.SetBool(g.BreakerTripped)
 	if g.JournalEnabled {
-		p("rfprismd_journal_next_seq %d\n", g.JournalNextSeq)
-		p("rfprismd_journal_synced_seq %d\n", g.JournalSyncedSeq)
-		p("rfprismd_journal_segments %d\n", g.JournalSegments)
+		m.journalOnce.Do(func() {
+			m.gJournalNext = m.reg.NewGauge("rfprismd_journal_next_seq", "Next journal sequence number.")
+			m.gJournalSynced = m.reg.NewGauge("rfprismd_journal_synced_seq", "Highest fsynced journal sequence number.")
+			m.gJournalSegments = m.reg.NewGauge("rfprismd_journal_segments", "Retained journal segment count.")
+		})
+		m.gJournalNext.SetInt(int64(g.JournalNextSeq))
+		m.gJournalSynced.SetInt(int64(g.JournalSyncedSeq))
+		m.gJournalSegments.SetInt(int64(g.JournalSegments))
 	}
-
-	m.lat.mu.Lock()
-	cum := int64(0)
-	for i, b := range latencyBounds {
-		cum += m.lat.buckets[i]
-		p("rfprismd_window_latency_seconds_bucket{le=\"%g\"} %d\n", b, cum)
-	}
-	cum += m.lat.buckets[len(latencyBounds)]
-	p("rfprismd_window_latency_seconds_bucket{le=\"+Inf\"} %d\n", cum)
-	p("rfprismd_window_latency_seconds_sum %.6f\n", m.lat.sum)
-	p("rfprismd_window_latency_seconds_count %d\n", m.lat.count)
-	m.lat.mu.Unlock()
+	m.reg.WriteText(w)
 }

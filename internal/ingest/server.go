@@ -6,6 +6,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"math"
 	"math/rand"
 	"net/http"
@@ -17,11 +18,17 @@ import (
 // to well under 1 KiB; the margin tolerates vendor extensions).
 const maxReportLine = 1 << 20
 
-// Server exposes the daemon over HTTP:
+// Server exposes the daemon over HTTP. The API is versioned under /v1:
 //
-//	POST /ingest      NDJSON reports, one sim.Reading per line
-//	GET  /tags        known EPCs
-//	GET  /tags/{epc}  buffered results for one tag (?latest=1 for one)
+//	POST /v1/ingest      NDJSON reports, one sim.Reading per line
+//	GET  /v1/tags        known EPCs
+//	GET  /v1/tags/{epc}  buffered results for one tag (?latest=1 for one)
+//
+// The original unversioned paths (/ingest, /tags, /tags/{epc}) remain
+// mounted as aliases answering byte-identical payloads, so pre-/v1
+// clients keep working. Operational endpoints are unversioned by
+// convention:
+//
 //	GET  /healthz     liveness: 200 as long as the process serves,
 //	                  with the queue/journal/breaker snapshot
 //	GET  /readyz      readiness: 503 while draining or while the
@@ -34,40 +41,74 @@ const maxReportLine = 1 << 20
 // balancer rotation — /healthz keeps answering 200 while /readyz
 // fails.
 //
-// Backpressure is explicit: when the window queue is full, /ingest
-// answers 429 with a jittered Retry-After header and reports how many
-// lines were accepted before the refusal, so a well-behaved client
-// resumes from the first unaccepted line.
+// Every error response is the uniform JSON envelope
+// {"error","code","retry_after_ms"} (ingest errors add accepted/line so
+// clients resume from the first unaccepted report). retry_after_ms is 0
+// except under backpressure. The only exception is the Go mux's own 405
+// (method not allowed) plain-text reply.
+//
+// Backpressure is explicit: when the window queue is full, ingest
+// answers 429 with a jittered Retry-After header (mirrored in
+// retry_after_ms) and reports how many lines were accepted before the
+// refusal.
 type Server struct {
 	d    *Daemon
 	ring *RingSink
 	mux  *http.ServeMux
+	log  *slog.Logger
 	// jitter yields uniform [0,1) draws for Retry-After spreading;
 	// tests pin it.
 	jitter func() float64
 }
 
 // NewServer wires a daemon and its query ring. ring may be nil when
-// the deployment has no query endpoint (pure NDJSON export).
+// the deployment has no query endpoint (pure NDJSON export). Request
+// logs go to the daemon's logger.
 func NewServer(d *Daemon, ring *RingSink) *Server {
-	s := &Server{d: d, ring: ring, mux: http.NewServeMux(), jitter: rand.Float64}
-	s.mux.HandleFunc("POST /ingest", s.handleIngest)
-	s.mux.HandleFunc("GET /tags", s.handleTags)
-	s.mux.HandleFunc("GET /tags/{epc}", s.handleTag)
+	s := &Server{d: d, ring: ring, mux: http.NewServeMux(), log: d.Logger(), jitter: rand.Float64}
+	for _, prefix := range []string{"/v1", ""} {
+		s.mux.HandleFunc("POST "+prefix+"/ingest", s.handleIngest)
+		s.mux.HandleFunc("GET "+prefix+"/tags", s.handleTags)
+		s.mux.HandleFunc("GET "+prefix+"/tags/{epc}", s.handleTag)
+	}
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /readyz", s.handleReadyz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	// Catch-all: unknown paths get the JSON envelope, not the mux's
+	// plain-text 404.
+	s.mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		s.writeError(w, http.StatusNotFound, "not_found", fmt.Sprintf("no such endpoint: %s", r.URL.Path), 0)
+	})
 	return s
 }
 
 // Handler returns the routing handler.
 func (s *Server) Handler() http.Handler { return s.mux }
 
-// ingestReply is the JSON body of every /ingest response.
+// Error codes of the uniform envelope.
+const (
+	CodeBadReport    = "bad_report"    // malformed or invalid report line
+	CodeBackpressure = "backpressure"  // queue full, retry after the advertised pause
+	CodeDraining     = "draining"      // daemon is shutting down
+	CodeNotFound     = "not_found"     // unknown endpoint or tag
+	CodeNoRing       = "no_query_ring" // daemon runs without a query ring
+)
+
+// apiError is the uniform JSON error envelope. Every non-2xx response
+// from every endpoint carries it; "retry_after_ms" is non-zero only
+// under backpressure. Ingest errors add "accepted"/"line" so clients
+// resume from the first unaccepted report.
+type apiError struct {
+	Error        string `json:"error"`
+	Code         string `json:"code"`
+	RetryAfterMS int64  `json:"retry_after_ms"`
+	Accepted     int    `json:"accepted,omitempty"`
+	Line         int    `json:"line,omitempty"`
+}
+
+// ingestReply is the JSON body of a successful ingest.
 type ingestReply struct {
-	Accepted int    `json:"accepted"`
-	Error    string `json:"error,omitempty"`
-	Line     int    `json:"line,omitempty"`
+	Accepted int `json:"accepted"`
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
@@ -76,10 +117,22 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	_ = json.NewEncoder(w).Encode(v)
 }
 
+func (s *Server) writeError(w http.ResponseWriter, status int, code, msg string, retryAfter time.Duration) {
+	writeJSON(w, status, apiError{Error: msg, Code: code, RetryAfterMS: retryAfter.Milliseconds()})
+}
+
 func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	sc := bufio.NewScanner(r.Body)
 	sc.Buffer(make([]byte, 0, 64*1024), maxReportLine)
 	accepted, line := 0, 0
+	fail := func(status int, code string, retryAfter time.Duration, msg string) {
+		s.log.Debug("ingest refused", "path", r.URL.Path, "code", code,
+			"accepted", accepted, "line", line, "err", msg)
+		writeJSON(w, status, apiError{
+			Error: msg, Code: code, RetryAfterMS: retryAfter.Milliseconds(),
+			Accepted: accepted, Line: line,
+		})
+	}
 	for sc.Scan() {
 		line++
 		raw := bytes.TrimSpace(sc.Bytes())
@@ -88,10 +141,7 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		}
 		rd, err := decodeReading(raw)
 		if err != nil {
-			writeJSON(w, http.StatusBadRequest, ingestReply{
-				Accepted: accepted, Line: line,
-				Error: fmt.Sprintf("line %d: %v", line, err),
-			})
+			fail(http.StatusBadRequest, CodeBadReport, 0, fmt.Sprintf("line %d: %v", line, err))
 			return
 		}
 		switch err := s.d.Offer(rd); {
@@ -100,60 +150,58 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		case errors.Is(err, ErrBusy):
 			secs := retryAfterSeconds(s.d.RetryAfter(), s.jitter())
 			w.Header().Set("Retry-After", strconv.Itoa(secs))
-			writeJSON(w, http.StatusTooManyRequests, ingestReply{
-				Accepted: accepted, Line: line, Error: err.Error(),
-			})
+			fail(http.StatusTooManyRequests, CodeBackpressure, time.Duration(secs)*time.Second, err.Error())
 			return
 		case errors.Is(err, ErrDraining):
-			writeJSON(w, http.StatusServiceUnavailable, ingestReply{
-				Accepted: accepted, Line: line, Error: err.Error(),
-			})
+			fail(http.StatusServiceUnavailable, CodeDraining, 0, err.Error())
 			return
 		default:
-			writeJSON(w, http.StatusBadRequest, ingestReply{
-				Accepted: accepted, Line: line,
-				Error: fmt.Sprintf("line %d: %v", line, err),
-			})
+			fail(http.StatusBadRequest, CodeBadReport, 0, fmt.Sprintf("line %d: %v", line, err))
 			return
 		}
 	}
 	if err := sc.Err(); err != nil {
-		writeJSON(w, http.StatusBadRequest, ingestReply{
-			Accepted: accepted, Error: err.Error(),
-		})
+		fail(http.StatusBadRequest, CodeBadReport, 0, err.Error())
 		return
 	}
+	s.log.Debug("ingest accepted", "path", r.URL.Path, "accepted", accepted)
 	writeJSON(w, http.StatusAccepted, ingestReply{Accepted: accepted})
 }
 
-func (s *Server) handleTags(w http.ResponseWriter, _ *http.Request) {
+func (s *Server) handleTags(w http.ResponseWriter, r *http.Request) {
 	if s.ring == nil {
-		http.Error(w, "no query ring configured", http.StatusNotFound)
+		s.writeError(w, http.StatusNotFound, CodeNoRing, "no query ring configured", 0)
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]any{"tags": s.ring.EPCs()})
+	epcs := s.ring.EPCs()
+	s.log.Debug("tags listed", "path", r.URL.Path, "count", len(epcs))
+	writeJSON(w, http.StatusOK, map[string]any{"tags": epcs})
 }
 
 func (s *Server) handleTag(w http.ResponseWriter, r *http.Request) {
 	if s.ring == nil {
-		http.Error(w, "no query ring configured", http.StatusNotFound)
+		s.writeError(w, http.StatusNotFound, CodeNoRing, "no query ring configured", 0)
 		return
 	}
 	epc := r.PathValue("epc")
 	if r.URL.Query().Get("latest") != "" {
 		res, ok := s.ring.Latest(epc)
 		if !ok {
-			http.Error(w, "unknown tag", http.StatusNotFound)
+			s.log.Debug("tag query missed", "path", r.URL.Path, "epc", epc)
+			s.writeError(w, http.StatusNotFound, CodeNotFound, "unknown tag", 0)
 			return
 		}
+		s.log.Debug("tag latest served", "path", r.URL.Path, "epc", epc)
 		writeJSON(w, http.StatusOK, res)
 		return
 	}
 	history := s.ring.History(epc)
 	if len(history) == 0 {
-		http.Error(w, "unknown tag", http.StatusNotFound)
+		s.log.Debug("tag query missed", "path", r.URL.Path, "epc", epc)
+		s.writeError(w, http.StatusNotFound, CodeNotFound, "unknown tag", 0)
 		return
 	}
+	s.log.Debug("tag history served", "path", r.URL.Path, "epc", epc, "results", len(history))
 	writeJSON(w, http.StatusOK, map[string]any{"epc": epc, "results": history})
 }
 
@@ -220,11 +268,11 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
 	g := s.d.Gauges()
 	state, ready := healthState(g)
-	status := http.StatusOK
 	if !ready {
-		status = http.StatusServiceUnavailable
+		writeJSON(w, http.StatusServiceUnavailable, apiError{Error: state, Code: "not_ready"})
+		return
 	}
-	writeJSON(w, status, map[string]any{"status": state, "ready": ready})
+	writeJSON(w, http.StatusOK, map[string]any{"status": state, "ready": true})
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {

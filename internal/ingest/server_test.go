@@ -20,16 +20,32 @@ func readLine(epc string, ant, ch int) string {
 	return string(b)
 }
 
-func postIngest(t *testing.T, srv *httptest.Server, body io.Reader) (*http.Response, ingestReply) {
+// wireReply decodes either side of an ingest outcome: the success body
+// ({"accepted":N}) and the error envelope
+// ({"error","code","retry_after_ms",...}).
+type wireReply struct {
+	Accepted     int    `json:"accepted"`
+	Error        string `json:"error"`
+	Code         string `json:"code"`
+	RetryAfterMS int64  `json:"retry_after_ms"`
+	Line         int    `json:"line"`
+}
+
+func postIngest(t *testing.T, srv *httptest.Server, body io.Reader) (*http.Response, wireReply) {
 	t.Helper()
-	resp, err := http.Post(srv.URL+"/ingest", "application/x-ndjson", body)
+	return postIngestPath(t, srv, "/ingest", body)
+}
+
+func postIngestPath(t *testing.T, srv *httptest.Server, path string, body io.Reader) (*http.Response, wireReply) {
+	t.Helper()
+	resp, err := http.Post(srv.URL+path, "application/x-ndjson", body)
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer resp.Body.Close()
-	var reply ingestReply
+	var reply wireReply
 	if err := json.NewDecoder(resp.Body).Decode(&reply); err != nil {
-		t.Fatalf("decode /ingest reply: %v", err)
+		t.Fatalf("decode %s reply: %v", path, err)
 	}
 	return resp, reply
 }
@@ -144,6 +160,9 @@ func TestServerBackpressure429(t *testing.T) {
 	if ra := resp.Header.Get("Retry-After"); ra != "3" {
 		t.Fatalf("Retry-After %q, want \"3\"", ra)
 	}
+	if reply.Code != CodeBackpressure || reply.RetryAfterMS != 3000 {
+		t.Fatalf("envelope %+v, want code=%s retry_after_ms=3000", reply, CodeBackpressure)
+	}
 
 	// Release and drain: ingestion answers 503 during drain.
 	close(proc.gate)
@@ -190,5 +209,101 @@ func TestServerIngestMalformed(t *testing.T) {
 	resp2, reply2 := postIngest(t, srv, ndjsonBody(fmt.Sprintf(`{"epc":"A","antenna":0,"channel":%d}`, 999)))
 	if resp2.StatusCode != http.StatusBadRequest || !strings.Contains(reply2.Error, "channel") {
 		t.Fatalf("bad channel: status %d reply %+v", resp2.StatusCode, reply2)
+	}
+	if reply2.Code != CodeBadReport {
+		t.Fatalf("bad channel envelope code %q, want %q", reply2.Code, CodeBadReport)
+	}
+}
+
+// TestServerV1Parity: every /v1 endpoint must answer byte-identically
+// to its legacy alias — same status, same payload — for both successes
+// and errors.
+func TestServerV1Parity(t *testing.T) {
+	proc := newGatedProc()
+	close(proc.gate)
+	ring := NewRingSink(4)
+	d := NewDaemon(proc, Config{
+		Sessionizer: SessionizerConfig{CoverageClose: 2, MinAntennas: 1},
+	}, ring)
+	defer d.Shutdown(context.Background())
+	srv := httptest.NewServer(NewServer(d, ring).Handler())
+	defer srv.Close()
+
+	// Ingest on /v1, then compare every GET pair.
+	resp, reply := postIngestPath(t, srv, "/v1/ingest", ndjsonBody(
+		readLine("A", 0, 0), readLine("A", 1, 1)))
+	if resp.StatusCode != http.StatusAccepted || reply.Accepted != 2 {
+		t.Fatalf("/v1/ingest: status %d reply %+v", resp.StatusCode, reply)
+	}
+	waitFor(t, 2*time.Second, "result to reach the ring", func() bool {
+		_, ok := ring.Latest("A")
+		return ok
+	})
+	get := func(path string) (int, string) {
+		t.Helper()
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		b, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, string(b)
+	}
+	for _, pair := range [][2]string{
+		{"/tags", "/v1/tags"},
+		{"/tags/A", "/v1/tags/A"},
+		{"/tags/A?latest=1", "/v1/tags/A?latest=1"},
+		{"/tags/unknown", "/v1/tags/unknown"}, // error path: identical envelope
+	} {
+		legacyCode, legacyBody := get(pair[0])
+		v1Code, v1Body := get(pair[1])
+		if legacyCode != v1Code || legacyBody != v1Body {
+			t.Errorf("%s and %s disagree:\n legacy %d %s\n v1     %d %s",
+				pair[0], pair[1], legacyCode, legacyBody, v1Code, v1Body)
+		}
+	}
+}
+
+// TestServerErrorEnvelope: every error response — unknown path, unknown
+// tag, missing ring, draining — must parse as the uniform envelope with
+// a non-empty code.
+func TestServerErrorEnvelope(t *testing.T) {
+	proc := newGatedProc()
+	close(proc.gate)
+	d := NewDaemon(proc, Config{Sessionizer: SessionizerConfig{MinAntennas: 1}})
+	defer d.Shutdown(context.Background())
+	srv := httptest.NewServer(NewServer(d, nil).Handler()) // no ring
+	defer srv.Close()
+
+	for _, c := range []struct {
+		path     string
+		wantCode string
+		status   int
+	}{
+		{"/no/such/endpoint", CodeNotFound, http.StatusNotFound},
+		{"/tags", CodeNoRing, http.StatusNotFound},
+		{"/v1/tags/ghost", CodeNoRing, http.StatusNotFound},
+	} {
+		resp, err := http.Get(srv.URL + c.path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var env struct {
+			Error        string `json:"error"`
+			Code         string `json:"code"`
+			RetryAfterMS *int64 `json:"retry_after_ms"`
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err := json.Unmarshal(body, &env); err != nil {
+			t.Errorf("%s: body not a JSON envelope: %v (%s)", c.path, err, body)
+			continue
+		}
+		if resp.StatusCode != c.status || env.Code != c.wantCode || env.Error == "" {
+			t.Errorf("%s: status %d code %q error %q, want %d/%q", c.path, resp.StatusCode, env.Code, env.Error, c.status, c.wantCode)
+		}
+		if env.RetryAfterMS == nil {
+			t.Errorf("%s: envelope missing retry_after_ms: %s", c.path, body)
+		}
 	}
 }

@@ -49,6 +49,10 @@ type TagResult struct {
 	DroppedAntennas []int        `json:"droppedAntennas,omitempty"`
 	Estimate        *EstimateOut `json:"estimate,omitempty"`
 	Err             string       `json:"error,omitempty"`
+	// StageMS is the per-pipeline-stage time (milliseconds, summed
+	// across antennas and retries). Present only when the System runs
+	// with a tracer installed.
+	StageMS map[string]float64 `json:"stageMs,omitempty"`
 }
 
 // makeTagResult merges a closed window's assembly metadata with its
@@ -69,6 +73,12 @@ func makeTagResult(cw ClosedWindow, r rfprism.WindowResult, at time.Time, latenc
 	if h := r.Health(); h != nil {
 		tr.Degraded = h.Degraded
 		tr.DroppedAntennas = h.DroppedAntennas()
+	}
+	if spans := r.Spans(); len(spans) > 0 {
+		tr.StageMS = make(map[string]float64, len(spans))
+		for _, sp := range spans {
+			tr.StageMS[string(sp.Stage)] += float64(sp.Duration) / float64(time.Millisecond)
+		}
 	}
 	if r.Err != nil {
 		tr.Err = r.Err.Error()

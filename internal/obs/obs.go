@@ -1,0 +1,356 @@
+// Package obs is the repo's unified observability substrate: a
+// dependency-free metrics registry (counters, gauges, histograms) with
+// Prometheus text exposition. It was extracted from the hand-rolled
+// /metrics page of internal/ingest so every layer — the daemon, the
+// batch pipeline's stage tracer, future backends — registers series in
+// one place and renders them identically.
+//
+// Series are identified by a family name plus an ordered label set.
+// All instruments are safe for concurrent use; registration normally
+// happens at startup but is also safe mid-flight (the ingest daemon
+// registers its journal gauges lazily). Registration panics on misuse
+// (same family name under two types, or a duplicate name+label set):
+// those are programming errors, not runtime conditions.
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Label is one name=value pair of a series' label set.
+type Label struct {
+	Key   string
+	Value string
+}
+
+// L is shorthand for building a Label.
+func L(key, value string) Label { return Label{Key: key, Value: value} }
+
+// Registry holds metric families and renders them in the Prometheus
+// text exposition format. The zero value is not usable; call
+// NewRegistry.
+type Registry struct {
+	mu       sync.Mutex
+	families map[string]*family
+}
+
+type family struct {
+	name   string
+	help   string
+	typ    string // "counter" | "gauge" | "histogram"
+	series []*series
+}
+
+type series struct {
+	labels []Label
+	sig    string
+	write  func(w io.Writer, name, labels string)
+}
+
+// NewRegistry builds an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: make(map[string]*family)}
+}
+
+// labelSig is the canonical identity of a label set (labels are kept in
+// registration order for rendering, but identity is order-free).
+func labelSig(labels []Label) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	parts := make([]string, len(labels))
+	for i, l := range labels {
+		parts[i] = l.Key + "\x00" + l.Value
+	}
+	sort.Strings(parts)
+	return strings.Join(parts, "\x01")
+}
+
+// register adds one series to its family, creating the family on first
+// use. It panics on a type clash or duplicate series.
+func (r *Registry) register(name, help, typ string, labels []Label, write func(io.Writer, string, string)) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.families[name]
+	if f == nil {
+		f = &family{name: name, help: help, typ: typ}
+		r.families[name] = f
+	}
+	if f.typ != typ {
+		panic(fmt.Sprintf("obs: family %q registered as %s and %s", name, f.typ, typ))
+	}
+	sig := labelSig(labels)
+	for _, s := range f.series {
+		if s.sig == sig {
+			panic(fmt.Sprintf("obs: duplicate series %q%v", name, labels))
+		}
+	}
+	f.series = append(f.series, &series{labels: labels, sig: sig, write: write})
+}
+
+// Counter is a monotonically increasing int64 series.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Add increments the counter by n (n must be ≥ 0 to keep the series
+// monotonic; negative deltas are programming errors and are dropped).
+func (c *Counter) Add(n int64) {
+	if n > 0 {
+		c.v.Add(n)
+	}
+}
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Load returns the current count.
+func (c *Counter) Load() int64 { return c.v.Load() }
+
+// NewCounter registers a counter series.
+func (r *Registry) NewCounter(name, help string, labels ...Label) *Counter {
+	c := &Counter{}
+	r.register(name, help, "counter", labels, func(w io.Writer, n, l string) {
+		fmt.Fprintf(w, "%s%s %d\n", n, l, c.Load())
+	})
+	return c
+}
+
+// Gauge is a settable float64 series.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// SetInt stores an integer value.
+func (g *Gauge) SetInt(v int64) { g.Set(float64(v)) }
+
+// SetBool stores 1 for true, 0 for false.
+func (g *Gauge) SetBool(v bool) {
+	if v {
+		g.Set(1)
+	} else {
+		g.Set(0)
+	}
+}
+
+// Load returns the current value.
+func (g *Gauge) Load() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// NewGauge registers a gauge series.
+func (r *Registry) NewGauge(name, help string, labels ...Label) *Gauge {
+	g := &Gauge{}
+	r.register(name, help, "gauge", labels, func(w io.Writer, n, l string) {
+		fmt.Fprintf(w, "%s%s %s\n", n, l, formatFloat(g.Load()))
+	})
+	return g
+}
+
+// NewGaugeFunc registers a gauge whose value is sampled from fn at
+// render time (e.g. Go runtime stats). fn must be safe for concurrent
+// use.
+func (r *Registry) NewGaugeFunc(name, help string, fn func() float64, labels ...Label) {
+	r.register(name, help, "gauge", labels, func(w io.Writer, n, l string) {
+		fmt.Fprintf(w, "%s%s %s\n", n, l, formatFloat(fn()))
+	})
+}
+
+// Histogram is a fixed-bucket latency/size distribution. Bucket upper
+// bounds use Prometheus "le" semantics: an observation lands in the
+// first bucket whose bound is ≥ the value. Non-finite and negative
+// observations are clamped to 0 so one corrupted sample cannot poison
+// the sum.
+type Histogram struct {
+	mu      sync.Mutex
+	bounds  []float64
+	buckets []int64 // len(bounds)+1; last is the +Inf overflow
+	sum     float64
+	count   int64
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v float64) {
+	if math.IsNaN(v) || v < 0 {
+		v = 0
+	}
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	h.mu.Lock()
+	h.buckets[i]++
+	h.sum += v
+	h.count++
+	h.mu.Unlock()
+}
+
+// Count returns the total number of observations.
+func (h *Histogram) Count() int64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.count
+}
+
+// Sum returns the sum of all observations.
+func (h *Histogram) Sum() float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.sum
+}
+
+// Buckets returns a copy of the per-bucket (non-cumulative) counts;
+// the last entry is the overflow bucket.
+func (h *Histogram) Buckets() []int64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return append([]int64(nil), h.buckets...)
+}
+
+// NewHistogram registers a histogram series with the given bucket
+// upper bounds (must be sorted ascending and non-empty).
+func (r *Registry) NewHistogram(name, help string, bounds []float64, labels ...Label) *Histogram {
+	if len(bounds) == 0 {
+		panic(fmt.Sprintf("obs: histogram %q has no buckets", name))
+	}
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic(fmt.Sprintf("obs: histogram %q bounds not ascending", name))
+		}
+	}
+	h := &Histogram{
+		bounds:  append([]float64(nil), bounds...),
+		buckets: make([]int64, len(bounds)+1),
+	}
+	r.register(name, help, "histogram", labels, func(w io.Writer, n, l string) {
+		h.mu.Lock()
+		defer h.mu.Unlock()
+		cum := int64(0)
+		for i, b := range h.bounds {
+			cum += h.buckets[i]
+			fmt.Fprintf(w, "%s_bucket%s %d\n", n, mergeLabels(l, "le", formatFloat(b)), cum)
+		}
+		cum += h.buckets[len(h.bounds)]
+		fmt.Fprintf(w, "%s_bucket%s %d\n", n, mergeLabels(l, "le", "+Inf"), cum)
+		fmt.Fprintf(w, "%s_sum%s %s\n", n, l, formatFloat(h.sum))
+		fmt.Fprintf(w, "%s_count%s %d\n", n, l, h.count)
+	})
+	return h
+}
+
+// WriteText renders every registered family in the Prometheus text
+// exposition format: families sorted by name, each with # HELP/# TYPE
+// comments, series in a stable label order.
+func (r *Registry) WriteText(w io.Writer) {
+	r.mu.Lock()
+	names := make([]string, 0, len(r.families))
+	for name := range r.families {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	fams := make([]*family, len(names))
+	for i, name := range names {
+		fams[i] = r.families[name]
+	}
+	r.mu.Unlock()
+	for _, f := range fams {
+		if f.help != "" {
+			fmt.Fprintf(w, "# HELP %s %s\n", f.name, escapeHelp(f.help))
+		}
+		fmt.Fprintf(w, "# TYPE %s %s\n", f.name, f.typ)
+		// Series order is pinned by label signature so output is stable
+		// across registration-order changes.
+		f.seriesSorted(func(s *series) {
+			s.write(w, f.name, renderLabels(s.labels))
+		})
+	}
+}
+
+func (f *family) seriesSorted(emit func(*series)) {
+	ordered := append([]*series(nil), f.series...)
+	sort.Slice(ordered, func(a, b int) bool { return ordered[a].sig < ordered[b].sig })
+	for _, s := range ordered {
+		emit(s)
+	}
+}
+
+// renderLabels formats a label set as {k="v",...} ("" when empty).
+func renderLabels(labels []Label) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, l := range labels {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l.Key)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(l.Value))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// mergeLabels appends one extra label (the histogram "le") to an
+// already-rendered label block.
+func mergeLabels(rendered, key, value string) string {
+	extra := key + `="` + escapeLabel(value) + `"`
+	if rendered == "" {
+		return "{" + extra + "}"
+	}
+	return rendered[:len(rendered)-1] + "," + extra + "}"
+}
+
+// escapeLabel escapes a label value per the exposition format:
+// backslash, double quote and newline.
+func escapeLabel(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	var b strings.Builder
+	for _, r := range v {
+		switch r {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}
+
+// escapeHelp escapes a help string (backslash and newline only; quotes
+// are legal in help text).
+func escapeHelp(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	return strings.ReplaceAll(v, "\n", `\n`)
+}
+
+// formatFloat renders a float the way Prometheus clients do: shortest
+// representation that round-trips, +Inf/-Inf/NaN spelled out.
+func formatFloat(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

@@ -1,0 +1,183 @@
+package obs
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// TestExpositionGolden pins the full text exposition — family names,
+// TYPE lines, label rendering and escaping — so a refactor of the
+// registry cannot silently rename or retype a series.
+func TestExpositionGolden(t *testing.T) {
+	r := NewRegistry()
+	c := r.NewCounter("demo_requests_total", "Requests by outcome.", L("outcome", "ok"))
+	c.Add(3)
+	r.NewCounter("demo_requests_total", "Requests by outcome.", L("outcome", "error")).Inc()
+	g := r.NewGauge("demo_queue_depth", "Windows waiting for a solver.")
+	g.SetInt(7)
+	r.NewGaugeFunc("demo_uptime_seconds", "Seconds since start.", func() float64 { return 12.5 })
+	h := r.NewHistogram("demo_latency_seconds", "End-to-end latency.", []float64{0.01, 0.1, 1})
+	h.Observe(0.05)
+	h.Observe(0.05)
+	h.Observe(5)
+	// Label escaping: backslash, quote and newline in a value.
+	r.NewCounter("demo_escapes_total", "Escaping sanity.", L("path", "a\\b\"c\nd")).Add(1)
+
+	var buf bytes.Buffer
+	r.WriteText(&buf)
+	golden := filepath.Join("testdata", "exposition.golden")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("read golden (run with -update to create): %v", err)
+	}
+	if got := buf.String(); got != string(want) {
+		t.Errorf("exposition drifted from golden.\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+// TestHistogramBucketBoundaries pins the "le" semantics: a value equal
+// to a bucket's upper bound lands in that bucket, the next larger value
+// spills into the following one, and out-of-range samples overflow to
+// +Inf without perturbing lower buckets.
+func TestHistogramBucketBoundaries(t *testing.T) {
+	r := NewRegistry()
+	h := r.NewHistogram("b_seconds", "", []float64{0.1, 0.5, 1})
+	h.Observe(0.1)  // exactly on the first bound → bucket 0
+	h.Observe(0.11) // just past it → bucket 1
+	h.Observe(0.5)  // on the second bound → bucket 1
+	h.Observe(1.0)  // on the last bound → bucket 2
+	h.Observe(2.0)  // past every bound → overflow
+	h.Observe(0)    // floor
+	if got, want := h.Buckets(), []int64{2, 2, 1, 1}; len(got) != len(want) {
+		t.Fatalf("bucket count %d, want %d", len(got), len(want))
+	} else {
+		for i := range want {
+			if got[i] != want[i] {
+				t.Errorf("bucket[%d] = %d, want %d (all: %v)", i, got[i], want[i], got)
+			}
+		}
+	}
+	if h.Count() != 6 {
+		t.Errorf("count %d, want 6", h.Count())
+	}
+	// Non-finite and negative observations clamp to 0 instead of
+	// poisoning the sum.
+	before := h.Sum()
+	h.Observe(-3)
+	h.Observe(nan())
+	if h.Sum() != before || h.Count() != 8 {
+		t.Errorf("clamped observations changed sum: %g → %g (count %d)", before, h.Sum(), h.Count())
+	}
+
+	// The rendered buckets are cumulative and end with +Inf.
+	var buf bytes.Buffer
+	r.WriteText(&buf)
+	out := buf.String()
+	for _, want := range []string{
+		`b_seconds_bucket{le="0.1"} 4`,
+		`b_seconds_bucket{le="0.5"} 6`,
+		`b_seconds_bucket{le="1"} 7`,
+		`b_seconds_bucket{le="+Inf"} 8`,
+		`b_seconds_count 8`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func nan() float64 {
+	var zero float64
+	return zero / zero
+}
+
+// TestRegistryPanicsOnMisuse: type clashes and duplicate series are
+// programming errors and must fail loudly at registration.
+func TestRegistryPanicsOnMisuse(t *testing.T) {
+	mustPanic := func(name string, fn func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: no panic", name)
+			}
+		}()
+		fn()
+	}
+	r := NewRegistry()
+	r.NewCounter("x_total", "")
+	mustPanic("type clash", func() { r.NewGauge("x_total", "") })
+	mustPanic("duplicate series", func() { r.NewCounter("x_total", "") })
+	mustPanic("empty histogram", func() { r.NewHistogram("h", "", nil) })
+	mustPanic("unsorted bounds", func() { r.NewHistogram("h2", "", []float64{1, 0.5}) })
+	// Same family, distinct label set: legal.
+	r.NewCounter("x_total", "", L("k", "v"))
+}
+
+// TestConcurrentInstruments: instruments take concurrent updates while
+// a render is in flight (smoke for the race detector).
+func TestConcurrentInstruments(t *testing.T) {
+	r := NewRegistry()
+	c := r.NewCounter("c_total", "")
+	g := r.NewGauge("g", "")
+	h := r.NewHistogram("h_seconds", "", []float64{1})
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 500; j++ {
+				c.Inc()
+				g.SetInt(int64(j))
+				h.Observe(float64(j % 3))
+			}
+		}()
+	}
+	var buf bytes.Buffer
+	for i := 0; i < 10; i++ {
+		buf.Reset()
+		r.WriteText(&buf)
+	}
+	wg.Wait()
+	if c.Load() != 2000 {
+		t.Errorf("counter %d, want 2000", c.Load())
+	}
+}
+
+// TestGoRuntimeGauges: the runtime gauge set renders live, plausible
+// values (a running test has ≥ 1 goroutine and a non-zero heap).
+func TestGoRuntimeGauges(t *testing.T) {
+	r := NewRegistry()
+	RegisterGoRuntime(r)
+	var buf bytes.Buffer
+	r.WriteText(&buf)
+	out := buf.String()
+	for _, name := range []string{
+		"go_goroutines", "go_heap_alloc_bytes", "go_heap_sys_bytes",
+		"go_gc_pause_seconds_total", "go_gc_cycles_total",
+	} {
+		if !strings.Contains(out, "# TYPE "+name+" gauge") {
+			t.Errorf("missing runtime gauge %s:\n%s", name, out)
+		}
+	}
+	if strings.Contains(out, "go_goroutines 0\n") {
+		t.Error("go_goroutines rendered 0 in a running process")
+	}
+	if strings.Contains(out, "go_heap_alloc_bytes 0\n") {
+		t.Error("go_heap_alloc_bytes rendered 0 in a running process")
+	}
+}

@@ -1,0 +1,51 @@
+package obs
+
+import (
+	"runtime"
+	"sync"
+	"time"
+)
+
+// memSampler caches one runtime.ReadMemStats snapshot for all the
+// runtime gauges of a registry. ReadMemStats stops the world, so the
+// gauges must not each take their own snapshot on every scrape; a
+// sub-second cache keeps a scrape to at most one pause while the
+// values stay mutually consistent (heap vs GC counters from the same
+// instant).
+type memSampler struct {
+	mu    sync.Mutex
+	ms    runtime.MemStats
+	taken time.Time
+}
+
+func (s *memSampler) sample() runtime.MemStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.taken.IsZero() || time.Since(s.taken) > time.Second {
+		runtime.ReadMemStats(&s.ms)
+		s.taken = time.Now()
+	}
+	return s.ms
+}
+
+// RegisterGoRuntime attaches Go runtime health gauges (goroutines,
+// heap, GC) to the registry. Call at most once per registry — the
+// names collide on a second call by design.
+func RegisterGoRuntime(r *Registry) {
+	s := &memSampler{}
+	r.NewGaugeFunc("go_goroutines", "Live goroutines.", func() float64 {
+		return float64(runtime.NumGoroutine())
+	})
+	r.NewGaugeFunc("go_heap_alloc_bytes", "Bytes of live heap objects.", func() float64 {
+		return float64(s.sample().HeapAlloc)
+	})
+	r.NewGaugeFunc("go_heap_sys_bytes", "Heap memory obtained from the OS.", func() float64 {
+		return float64(s.sample().HeapSys)
+	})
+	r.NewGaugeFunc("go_gc_pause_seconds_total", "Cumulative stop-the-world GC pause.", func() float64 {
+		return float64(s.sample().PauseTotalNs) / 1e9
+	})
+	r.NewGaugeFunc("go_gc_cycles_total", "Completed GC cycles.", func() float64 {
+		return float64(s.sample().NumGC)
+	})
+}

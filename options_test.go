@@ -1,0 +1,124 @@
+package rfprism
+
+import (
+	"testing"
+	"time"
+
+	"rfprism/internal/core"
+	"rfprism/internal/fit"
+	"rfprism/internal/sim"
+)
+
+// TestOptionsAreConfigWrappers: every With* option must land on exactly
+// the Config field it documents, and WithConfig must reproduce the same
+// state wholesale.
+func TestOptionsAreConfigWrappers(t *testing.T) {
+	ants := DeploymentFromSim(sim.PaperAntennas3D(nil))
+	bounds := Bounds2D(sim.PaperRegion())
+	bounds.ZMin, bounds.ZMax = 0, 2
+	solver := core.Options{GridStep: 0.11}
+	det := fit.DetectorOptions{MaxResidStd: 0.42}
+	rob := fit.RobustOptions{MaxResid: 1.5}
+	mp := fit.MultipathOptions{MaxEchoes: 7}
+	hook := func(Window) {}
+	tr := NewStageStats()
+
+	viaOpts, err := NewSystem(ants, bounds,
+		WithMode3D(),
+		WithSolverOptions(solver),
+		WithDetectorOptions(det),
+		WithRobustOptions(rob),
+		WithMultipathOptions(mp),
+		WithoutErrorDetector(),
+		WithParallelism(2),
+		WithWindowRetry(3, 5*time.Millisecond),
+		WithTracer(tr),
+		WithProcessHook(hook),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := viaOpts.Config()
+	if !cfg.Pipeline.Mode3D {
+		t.Error("WithMode3D not applied")
+	}
+	if cfg.Pipeline.Solver.GridStep != 0.11 {
+		t.Errorf("solver options %+v", cfg.Pipeline.Solver)
+	}
+	if cfg.Pipeline.Detector.MaxResidStd != 0.42 {
+		t.Errorf("detector options %+v", cfg.Pipeline.Detector)
+	}
+	if cfg.Pipeline.Robust.MaxResid != 1.5 {
+		t.Errorf("robust options %+v", cfg.Pipeline.Robust)
+	}
+	if cfg.Pipeline.Multipath.MaxEchoes != 7 || !cfg.Pipeline.ModelSuppression {
+		t.Errorf("WithMultipathOptions must set the fit and imply suppression: %+v", cfg.Pipeline)
+	}
+	if !cfg.Pipeline.NoErrorDetector {
+		t.Error("WithoutErrorDetector not applied")
+	}
+	if cfg.Runtime.Parallelism != 2 {
+		t.Errorf("parallelism %d", cfg.Runtime.Parallelism)
+	}
+	if cfg.Runtime.RetryAttempts != 3 || cfg.Runtime.RetryBackoff != 5*time.Millisecond {
+		t.Errorf("retry %d/%v", cfg.Runtime.RetryAttempts, cfg.Runtime.RetryBackoff)
+	}
+	if cfg.Runtime.Tracer == nil || cfg.Runtime.ProcessHook == nil {
+		t.Error("tracer/hook not applied")
+	}
+
+	// The same Config applied wholesale must yield the same state.
+	viaCfg, err := NewSystem(ants, bounds, WithConfig(cfg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := viaCfg.Config()
+	if got.Pipeline != cfg.Pipeline {
+		t.Errorf("WithConfig pipeline drifted:\n got %+v\nwant %+v", got.Pipeline, cfg.Pipeline)
+	}
+	if got.Runtime.Parallelism != cfg.Runtime.Parallelism ||
+		got.Runtime.RetryAttempts != cfg.Runtime.RetryAttempts ||
+		got.Runtime.RetryBackoff != cfg.Runtime.RetryBackoff {
+		t.Errorf("WithConfig runtime drifted: %+v", got.Runtime)
+	}
+
+	// Later options override the wholesale Config, in application order.
+	viaMix, err := NewSystem(ants, bounds, WithConfig(cfg), WithParallelism(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if viaMix.Config().Runtime.Parallelism != 9 {
+		t.Errorf("option after WithConfig ignored: %+v", viaMix.Config().Runtime)
+	}
+}
+
+// TestNewSystemValidatesConfig: the antenna floor must follow the
+// configured solver model regardless of how the config arrived.
+func TestNewSystemValidatesConfig(t *testing.T) {
+	ants := DeploymentFromSim(sim.PaperAntennas2D(nil)) // 3 antennas
+	bounds := Bounds2D(sim.PaperRegion())
+	if _, err := NewSystem(ants, bounds, WithConfig(Config{Pipeline: PipelineConfig{Mode3D: true}})); err == nil {
+		t.Fatal("3 antennas accepted for a 3D config")
+	}
+	if _, err := NewSystem(ants, bounds); err != nil {
+		t.Fatalf("2D rejected the paper deployment: %v", err)
+	}
+}
+
+// TestEnumStringsTotal: enum String methods are log-path code and must
+// render any value — unknown and out-of-range included — without
+// panicking.
+func TestEnumStringsTotal(t *testing.T) {
+	for _, r := range []DropReason{DropNone, DropSilent, DropFit, DropDetector, DropReason(99), DropReason(-1)} {
+		if r.String() == "" {
+			t.Errorf("DropReason(%d) rendered empty", int(r))
+		}
+	}
+	if got := DropReason(99).String(); got != "reason(99)" {
+		t.Errorf("unknown DropReason rendered %q", got)
+	}
+	var h *Health
+	if got := h.String(); got != "health{nil}" {
+		t.Errorf("nil Health rendered %q", got)
+	}
+}

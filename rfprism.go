@@ -82,82 +82,43 @@ type Result struct {
 	// Spectra are the preprocessed per-antenna spectra, aligned with
 	// Lines.
 	Spectra []preprocess.Spectrum
-	// Health is the window's degradation report: every deployed
-	// antenna's fate plus the degraded flag.
-	Health *Health
+	// Spans are the per-stage trace spans of the attempt that produced
+	// this result (nil unless the System has a Tracer, see WithTracer).
+	Spans []Span
+
+	health *Health
 }
 
-// Option configures a System.
-type Option func(*System)
+// Health returns the window's degradation report: every deployed
+// antenna's fate plus the degraded flag. It has the same accessor shape
+// as WindowResult.Health, so callers branch identically whether they
+// hold a Result from ProcessWindow or a WindowResult from the batch
+// paths.
+func (r *Result) Health() *Health { return r.health }
 
-// WithMode3D switches the solver to the four-antenna 3D model; the
-// bounds must then include a Z range.
-func WithMode3D() Option {
-	return func(s *System) { s.mode3D = true }
-}
-
-// WithSolverOptions overrides the disentangler options.
-func WithSolverOptions(o core.Options) Option {
-	return func(s *System) { s.solver = o }
-}
-
-// WithDetectorOptions overrides the error-detector thresholds.
-func WithDetectorOptions(o fit.DetectorOptions) Option {
-	return func(s *System) { s.detector = o }
-}
-
-// WithRobustOptions overrides the outlier-trimming fit used by the
-// calibration paths.
-func WithRobustOptions(o fit.RobustOptions) Option {
-	return func(s *System) { s.robust = o }
-}
-
-// WithMultipathOptions overrides the model-based multipath
-// suppression fit (implies WithModelSuppression).
-func WithMultipathOptions(o fit.MultipathOptions) Option {
-	return func(s *System) { s.multipath = o; s.modelSuppression = true }
-}
-
-// WithModelSuppression replaces the default §V-D channel selection
-// (RSSI fade masking + absolute residual trimming) with the
-// model-based echo-removal fit — effective against *static*
-// long-delay multipath, see fit.FitLineMultipath.
-func WithModelSuppression() Option {
-	return func(s *System) { s.modelSuppression = true }
-}
-
-// WithoutChannelSelection disables the multipath suppression (§V-D),
-// fitting all channels — the "Multipath" bar of Fig. 12.
-func WithoutChannelSelection() Option {
-	return func(s *System) { s.noSelection = true }
-}
-
-// WithoutErrorDetector disables the mobility error detector (§V-C).
-func WithoutErrorDetector() Option {
-	return func(s *System) { s.noDetector = true }
+// Attempts returns the number of processing attempts the window
+// consumed (0 when it never took the retry-aware batch path), mirroring
+// WindowResult.Attempts.
+func (r *Result) Attempts() int {
+	if r.health == nil {
+		return 0
+	}
+	return r.health.Attempts
 }
 
 // System is a deployed RF-Prism instance: geometry, calibration state
 // and solver configuration.
 type System struct {
-	antennas         []AntennaGeometry
-	bounds           Bounds
-	mode3D           bool
-	solver           core.Options
-	detector         fit.DetectorOptions
-	robust           fit.RobustOptions
-	multipath        fit.MultipathOptions
-	modelSuppression bool
-	noSelection      bool
-	noDetector       bool
-	parallelism      int
-	retryAttempts    int
-	retryBackoff     time.Duration
-	processHook      func(Window)
+	antennas []AntennaGeometry
+	bounds   Bounds
+	cfg      Config
 
 	antennaCal core.AntennaCal
 	tagCals    map[string]TagCal
 }
+
+// Config returns the System's effective configuration.
+func (s *System) Config() Config { return s.cfg }
 
 // NewSystem builds a System for the given deployment. 2D needs ≥3
 // antennas; 3D (WithMode3D) needs ≥4.
@@ -171,7 +132,7 @@ func NewSystem(antennas []AntennaGeometry, bounds Bounds, opts ...Option) (*Syst
 		o(s)
 	}
 	need := 3
-	if s.mode3D {
+	if s.cfg.Pipeline.Mode3D {
 		need = 4
 	}
 	if len(s.antennas) < need {
@@ -182,7 +143,7 @@ func NewSystem(antennas []AntennaGeometry, bounds Bounds, opts ...Option) (*Syst
 
 // need returns the minimum usable antenna count the active solver
 // model accepts (3 for 2D, 4 for 3D).
-func (s *System) need() int { return core.MinAntennas(s.mode3D) }
+func (s *System) need() int { return core.MinAntennas(s.cfg.Pipeline.Mode3D) }
 
 // windowObs is the front-end output of one window: fitted
 // observations for the surviving antennas in deployment order, their
@@ -213,12 +174,30 @@ func (wo *windowObs) dropObserved(i int, reason DropReason) {
 // need() antennas survive does it fail — with a WindowError that
 // wraps the typed causes (ErrAntennaSilent, ErrAntennaFit) under
 // ErrWindowRejected and carries the health snapshot.
-func (s *System) observe(readings []sim.Reading) (*windowObs, error) {
+//
+// tb, when non-nil, receives spectra/fit/select/observe spans; every
+// recording site is gated on the nil check so untraced runs pay only
+// the branch.
+func (s *System) observe(tb *traceBuf, readings []sim.Reading) (*windowObs, error) {
+	var obsStart time.Time
+	if tb != nil {
+		obsStart = time.Now()
+	}
 	h := newHealth(s.antennas)
 	wo := &windowObs{health: h}
+	var t0 time.Time
+	if tb != nil {
+		t0 = time.Now()
+	}
 	spectra, err := preprocess.BuildSpectra(readings, preprocess.Options{})
+	if tb != nil {
+		tb.add(Span{Stage: StageSpectra, Antenna: -1, Start: t0, Duration: time.Since(t0), Err: errString(err)})
+	}
 	if err != nil {
 		h.finalize()
+		if tb != nil {
+			tb.add(Span{Stage: StageObserve, Antenna: -1, Start: obsStart, Duration: time.Since(obsStart), Err: err.Error()})
+		}
 		return nil, &WindowError{Health: h, err: fmt.Errorf(
 			"%w: %w: preprocess: %v", ErrWindowRejected, ErrAntennaSilent, err)}
 	}
@@ -236,27 +215,45 @@ func (s *System) observe(readings []sim.Reading) (*windowObs, error) {
 		}
 		slot.ChannelsTotal = len(sp.Samples)
 		freqs, phases := sp.Freqs(), sp.Phases()
+		if tb != nil {
+			t0 = time.Now()
+		}
 		var line fit.Line
 		switch {
-		case s.noSelection:
+		case s.cfg.Pipeline.NoChannelSelection:
 			line, err = fit.FitLine(freqs, phases)
-		case s.modelSuppression:
-			line, err = fit.FitLineMultipath(freqs, phases, s.multipath)
+		case s.cfg.Pipeline.ModelSuppression:
+			line, err = fit.FitLineMultipath(freqs, phases, s.cfg.Pipeline.Multipath)
 		default:
-			line, err = fit.FitLineRobust(freqs, phases, sp.RSSIs(), s.robust)
+			line, err = fit.FitLineRobust(freqs, phases, sp.RSSIs(), s.cfg.Pipeline.Robust)
+		}
+		if tb != nil {
+			fitSpan := Span{Stage: StageFit, Antenna: ant.ID, Start: t0, Duration: time.Since(t0),
+				Err: errString(err), ChannelsTotal: len(sp.Samples)}
+			if err != nil {
+				fitSpan.Drop = DropFit.String()
+			}
+			tb.add(fitSpan)
 		}
 		if err != nil {
 			slot.Reason = DropFit
 			failed++
 			continue
 		}
-		rep := fit.CheckLinearity(line, len(freqs), s.detector)
+		if tb != nil {
+			t0 = time.Now()
+		}
+		rep := fit.CheckLinearity(line, len(freqs), s.cfg.Pipeline.Detector)
 		slot.Used = true
 		slot.Reason = DropNone
 		slot.ChannelsKept = line.NumUsed
 		slot.ResidStd = rep.ResidStd
 		slot.KeptFraction = rep.KeptFraction
 		usedF, usedP := usedSamples(line, freqs, phases)
+		if tb != nil {
+			tb.add(Span{Stage: StageSelect, Antenna: ant.ID, Start: t0, Duration: time.Since(t0),
+				ChannelsKept: line.NumUsed, ChannelsTotal: len(sp.Samples)})
+		}
 		wo.obs = append(wo.obs, core.Observation{
 			ID:     ant.ID,
 			Pos:    ant.Pos,
@@ -277,9 +274,16 @@ func (s *System) observe(readings []sim.Reading) (*windowObs, error) {
 		case failed > 0:
 			cause = ErrAntennaFit
 		}
-		return nil, &WindowError{Health: h, err: fmt.Errorf(
+		werr := &WindowError{Health: h, err: fmt.Errorf(
 			"%w: only %d of %d antennas usable, need %d: %w",
 			ErrWindowRejected, len(wo.obs), len(s.antennas), s.need(), cause)}
+		if tb != nil {
+			tb.add(Span{Stage: StageObserve, Antenna: -1, Start: obsStart, Duration: time.Since(obsStart), Err: werr.Error()})
+		}
+		return nil, werr
+	}
+	if tb != nil {
+		tb.add(Span{Stage: StageObserve, Antenna: -1, Start: obsStart, Duration: time.Since(obsStart)})
 	}
 	return wo, nil
 }
@@ -312,12 +316,52 @@ func usedSamples(line fit.Line, freqs, phases []float64) ([]float64, []float64) 
 // concurrently (ProcessWindows does) as long as the calibration
 // methods are not running at the same time.
 func (s *System) ProcessWindow(readings []sim.Reading) (*Result, error) {
-	wo, err := s.observe(readings)
+	return s.processWindow("", 1, readings)
+}
+
+// processWindow is ProcessWindow with the window's caller-side tag and
+// the processing attempt number attached (the batch paths supply both);
+// it owns the trace lifecycle: one traceBuf per attempt, spans attached
+// to whichever side of the outcome carries them, and one
+// Tracer.RecordWindow call per attempt.
+func (s *System) processWindow(tag string, attempt int, readings []sim.Reading) (*Result, error) {
+	var tb *traceBuf
+	if s.cfg.Runtime.Tracer != nil {
+		tb = newTraceBuf(tag, attempt)
+	}
+	res, err := s.processWindowStages(tb, readings)
+	if tb != nil {
+		var h *Health
+		if res != nil {
+			h = res.health
+		} else if eh, ok := HealthFromError(err); ok {
+			h = eh
+		}
+		tb.endWindow(err, h)
+		if res != nil {
+			res.Spans = tb.spans
+		}
+		var we *WindowError
+		if errors.As(err, &we) {
+			we.Spans = tb.spans
+		}
+		s.cfg.Runtime.Tracer.RecordWindow(tag, tb.spans)
+	}
+	return res, err
+}
+
+// processWindowStages is the pipeline body: observe → detector → solve.
+func (s *System) processWindowStages(tb *traceBuf, readings []sim.Reading) (*Result, error) {
+	wo, err := s.observe(tb, readings)
 	if err != nil {
 		return nil, err
 	}
 	h := wo.health
-	if !s.noDetector {
+	if !s.cfg.Pipeline.NoErrorDetector {
+		var t0 time.Time
+		if tb != nil {
+			t0 = time.Now()
+		}
 		clean := 0
 		for _, rep := range wo.reports {
 			if rep.Linear {
@@ -329,29 +373,45 @@ func (s *System) ProcessWindow(readings []sim.Reading) (*Result, error) {
 			// corruption), the window as a whole is untrustworthy.
 			for i, rep := range wo.reports {
 				if !rep.Linear {
-					return nil, &WindowError{Health: h, err: fmt.Errorf(
+					werr := &WindowError{Health: h, err: fmt.Errorf(
 						"%w: antenna %d resid %.3f rad, kept %.0f%%",
 						ErrWindowRejected, wo.obs[i].ID, rep.ResidStd, rep.KeptFraction*100)}
+					if tb != nil {
+						tb.add(Span{Stage: StageDetector, Antenna: -1, Start: t0, Duration: time.Since(t0), Err: werr.Error()})
+					}
+					return nil, werr
 				}
 			}
 		}
 		// Enough clean antennas remain: shed the non-linear ones
 		// (per-antenna multipath or local disturbance) and solve on
 		// the subset.
+		shed := 0
 		for i := len(wo.reports) - 1; i >= 0; i-- {
 			if !wo.reports[i].Linear {
 				wo.dropObserved(i, DropDetector)
+				shed++
 			}
 		}
 		h.finalize()
+		if tb != nil {
+			tb.add(Span{Stage: StageDetector, Antenna: -1, Start: t0, Duration: time.Since(t0), Shed: shed})
+		}
 	}
 	obs := s.antennaCal.Apply(wo.obs)
 
+	var t0 time.Time
+	if tb != nil {
+		t0 = time.Now()
+	}
 	var est Estimate
-	if s.mode3D {
-		est, err = core.Solve3D(obs, s.bounds, s.solver)
+	if s.cfg.Pipeline.Mode3D {
+		est, err = core.Solve3D(obs, s.bounds, s.cfg.Pipeline.Solver)
 	} else {
-		est, err = core.Solve2D(obs, s.bounds, s.solver)
+		est, err = core.Solve2D(obs, s.bounds, s.cfg.Pipeline.Solver)
+	}
+	if tb != nil {
+		tb.add(Span{Stage: StageSolve, Antenna: -1, Start: t0, Duration: time.Since(t0), Err: errString(err)})
 	}
 	if err != nil {
 		return nil, &WindowError{Health: h, err: fmt.Errorf("rfprism: solve: %w", err)}
@@ -360,7 +420,7 @@ func (s *System) ProcessWindow(readings []sim.Reading) (*Result, error) {
 	for i, o := range obs {
 		lines[i] = o.Line
 	}
-	return &Result{Estimate: est, Lines: lines, Linearity: wo.reports, Spectra: wo.spectra, Health: h}, nil
+	return &Result{Estimate: est, Lines: lines, Linearity: wo.reports, Spectra: wo.spectra, health: h}, nil
 }
 
 // CalibrateAntennas performs the pre-deployment antenna correction of
@@ -384,7 +444,7 @@ func (s *System) CalibrateAntennas(readings []sim.Reading, truthPos geom.Vec3, t
 // a calibration window that misses any antenna would silently leave
 // that antenna uncorrected, so calibration demands the full set.
 func (s *System) calibrationObserve(readings []sim.Reading) (*windowObs, error) {
-	wo, err := s.observe(readings)
+	wo, err := s.observe(nil, readings)
 	if err != nil {
 		return nil, err
 	}
@@ -435,7 +495,7 @@ func (s *System) CalibrateTag(epc string, readings []sim.Reading, truthPos geom.
 		return fmt.Errorf("rfprism: tag calibration has only %d usable channels", len(freqs))
 	}
 	phases = mathx.Unwrap(phases)
-	line, err := fit.FitLineRobust(freqs, phases, nil, s.robust)
+	line, err := fit.FitLineRobust(freqs, phases, nil, s.cfg.Pipeline.Robust)
 	if err != nil {
 		return fmt.Errorf("rfprism: tag calibration fit: %w", err)
 	}
@@ -532,10 +592,10 @@ func (s *System) MaterialFeatures(epc string, res *Result) ([]float64, error) {
 // report's used set, not the full deployment.
 func (s *System) resultObservations(res *Result) ([]core.Observation, error) {
 	contributed := s.antennas
-	if res.Health != nil {
+	if res.health != nil {
 		contributed = make([]AntennaGeometry, 0, len(s.antennas))
 		for _, ant := range s.antennas {
-			if slot := res.Health.entry(ant.ID); slot == nil || slot.Used {
+			if slot := res.health.entry(ant.ID); slot == nil || slot.Used {
 				contributed = append(contributed, ant)
 			}
 		}

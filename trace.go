@@ -1,0 +1,276 @@
+package rfprism
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Stage identifies one pipeline stage in a window trace. The pipeline
+// executes stages in the order of Stages(); per-antenna stages (fit,
+// select) appear once per surviving antenna.
+type Stage string
+
+const (
+	// StageSpectra is the preprocess step assembling per-antenna
+	// spectra from the raw readings.
+	StageSpectra Stage = "spectra"
+	// StageFit is one antenna's phase-vs-frequency line fit (robust,
+	// multipath-suppressing or plain, per configuration). The fit
+	// includes the §V-D channel selection cost; the selection outcome is
+	// reported by the select span.
+	StageFit Stage = "fit"
+	// StageSelect is one antenna's channel-selection bookkeeping: the
+	// kept-channel subset extraction and the per-antenna linearity
+	// report. ChannelsKept/ChannelsTotal carry the selection outcome.
+	StageSelect Stage = "select"
+	// StageObserve is the whole front end (spectra + per-antenna fits +
+	// selection): its duration brackets every spectra/fit/select span.
+	StageObserve Stage = "observe"
+	// StageDetector is the §V-C mobility error detector: the clean-count
+	// decision plus the shedding of non-linear antennas.
+	StageDetector Stage = "detector"
+	// StageSolve is the phase disentangler (Solve2D/Solve3D).
+	StageSolve Stage = "solve"
+	// StageWindow is the whole window: its duration is the end-to-end
+	// ProcessWindow latency of one attempt, and it carries the attempt
+	// number and the degraded flag.
+	StageWindow Stage = "window"
+)
+
+// Stages lists every stage a window trace can contain, in pipeline
+// order (per-antenna stages listed once).
+func Stages() []Stage {
+	return []Stage{StageSpectra, StageFit, StageSelect, StageObserve, StageDetector, StageSolve, StageWindow}
+}
+
+// stageOrder ranks stages for sorted reporting; unknown stages sort
+// after the known pipeline.
+func stageOrder(s Stage) int {
+	for i, k := range Stages() {
+		if k == s {
+			return i
+		}
+	}
+	return len(Stages())
+}
+
+// Span is one recorded pipeline stage of one processed window. Spans
+// are value records: tracers and callers must not retain and mutate the
+// slices they receive.
+type Span struct {
+	// Stage is the pipeline stage this span measured.
+	Stage Stage `json:"stage"`
+	// Tag is the window's caller-side identifier (the EPC in the
+	// daemon), empty for direct ProcessWindow calls.
+	Tag string `json:"tag,omitempty"`
+	// Antenna is the deployment ID for per-antenna stages (fit,
+	// select), -1 for window-scoped stages.
+	Antenna int `json:"antenna"`
+	// Start is the stage's wall-clock start.
+	Start time.Time `json:"start"`
+	// Duration is the stage's elapsed time.
+	Duration time.Duration `json:"durNs"`
+	// Err is the stage's failure, if it failed ("" on success).
+	Err string `json:"err,omitempty"`
+	// Drop is the drop reason attached to a per-antenna stage whose
+	// antenna was removed from the solution (DropReason.String()).
+	Drop string `json:"drop,omitempty"`
+	// ChannelsKept/ChannelsTotal carry the channel-selection outcome on
+	// select spans.
+	ChannelsKept  int `json:"channelsKept,omitempty"`
+	ChannelsTotal int `json:"channelsTotal,omitempty"`
+	// Shed is the number of antennas the detector removed (detector
+	// spans only).
+	Shed int `json:"shed,omitempty"`
+	// Attempt is the processing attempt this span belongs to (1 for the
+	// first attempt; window spans only).
+	Attempt int `json:"attempt,omitempty"`
+	// Degraded mirrors the window Health's degraded flag (window spans
+	// only).
+	Degraded bool `json:"degraded,omitempty"`
+}
+
+// Tracer receives the completed spans of each processed window.
+// RecordWindow is called once per processing attempt — including failed
+// and retried ones — and may be called concurrently from batch workers,
+// so implementations must be safe for concurrent use. The spans slice
+// is shared with the window's Result; tracers must not mutate it.
+//
+// Tracing is strictly opt-in: a System without WithTracer records
+// nothing and pays no timing overhead.
+type Tracer interface {
+	RecordWindow(tag string, spans []Span)
+}
+
+// traceBuf accumulates one attempt's spans. It exists only when a
+// tracer is installed; every recording site is gated on the nil check
+// so the disabled path costs a single branch.
+type traceBuf struct {
+	tag     string
+	attempt int
+	start   time.Time
+	spans   []Span
+}
+
+func newTraceBuf(tag string, attempt int) *traceBuf {
+	return &traceBuf{tag: tag, attempt: attempt, start: time.Now(), spans: make([]Span, 0, 16)}
+}
+
+// add records one completed span, stamping the window tag.
+func (tb *traceBuf) add(sp Span) {
+	sp.Tag = tb.tag
+	tb.spans = append(tb.spans, sp)
+}
+
+// endWindow closes the trace with the window-scoped span.
+func (tb *traceBuf) endWindow(err error, h *Health) {
+	sp := Span{
+		Stage:    StageWindow,
+		Antenna:  -1,
+		Start:    tb.start,
+		Duration: time.Since(tb.start),
+		Attempt:  tb.attempt,
+	}
+	if err != nil {
+		sp.Err = err.Error()
+	}
+	if h != nil {
+		sp.Degraded = h.Degraded
+	}
+	tb.add(sp)
+}
+
+// errString renders an error for span attributes ("" for nil).
+func errString(err error) string {
+	if err == nil {
+		return ""
+	}
+	return err.Error()
+}
+
+// NDJSONTracer exports spans as newline-delimited JSON, one span per
+// line, in the order they completed. It is safe for concurrent use and
+// does not own the underlying writer.
+type NDJSONTracer struct {
+	mu  sync.Mutex
+	enc *json.Encoder
+}
+
+// NewNDJSONTracer wraps w.
+func NewNDJSONTracer(w io.Writer) *NDJSONTracer {
+	return &NDJSONTracer{enc: json.NewEncoder(w)}
+}
+
+// RecordWindow implements Tracer.
+func (t *NDJSONTracer) RecordWindow(_ string, spans []Span) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for i := range spans {
+		_ = t.enc.Encode(&spans[i])
+	}
+}
+
+// MultiTracer fans spans out to every non-nil tracer in ts. A nil-only
+// (or empty) list yields a no-op tracer.
+func MultiTracer(ts ...Tracer) Tracer {
+	flat := make(multiTracer, 0, len(ts))
+	for _, t := range ts {
+		if t != nil {
+			flat = append(flat, t)
+		}
+	}
+	return flat
+}
+
+type multiTracer []Tracer
+
+// RecordWindow implements Tracer.
+func (m multiTracer) RecordWindow(tag string, spans []Span) {
+	for _, t := range m {
+		t.RecordWindow(tag, spans)
+	}
+}
+
+// StageStat is one stage's aggregate over every span a StageStats
+// tracer has seen.
+type StageStat struct {
+	Stage Stage
+	Count int64
+	Total time.Duration
+	Min   time.Duration
+	Max   time.Duration
+}
+
+// Avg returns the mean span duration.
+func (s StageStat) Avg() time.Duration {
+	if s.Count == 0 {
+		return 0
+	}
+	return s.Total / time.Duration(s.Count)
+}
+
+// StageStats aggregates span durations per stage — the in-process
+// reduction behind bench per-stage breakdowns. It is safe for
+// concurrent use.
+type StageStats struct {
+	mu sync.Mutex
+	m  map[Stage]*StageStat
+}
+
+// NewStageStats builds an empty aggregator.
+func NewStageStats() *StageStats {
+	return &StageStats{m: make(map[Stage]*StageStat)}
+}
+
+// RecordWindow implements Tracer.
+func (s *StageStats) RecordWindow(_ string, spans []Span) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for i := range spans {
+		sp := &spans[i]
+		st := s.m[sp.Stage]
+		if st == nil {
+			st = &StageStat{Stage: sp.Stage, Min: sp.Duration}
+			s.m[sp.Stage] = st
+		}
+		st.Count++
+		st.Total += sp.Duration
+		if sp.Duration < st.Min {
+			st.Min = sp.Duration
+		}
+		if sp.Duration > st.Max {
+			st.Max = sp.Duration
+		}
+	}
+}
+
+// Snapshot returns the per-stage aggregates in pipeline order.
+func (s *StageStats) Snapshot() []StageStat {
+	s.mu.Lock()
+	out := make([]StageStat, 0, len(s.m))
+	for _, st := range s.m {
+		out = append(out, *st)
+	}
+	s.mu.Unlock()
+	sort.Slice(out, func(a, b int) bool {
+		oa, ob := stageOrder(out[a].Stage), stageOrder(out[b].Stage)
+		if oa != ob {
+			return oa < ob
+		}
+		return out[a].Stage < out[b].Stage
+	})
+	return out
+}
+
+// String renders one line per stage, for logs and bench output.
+func (s *StageStats) String() string {
+	var b []byte
+	for _, st := range s.Snapshot() {
+		b = fmt.Appendf(b, "%-8s count=%-6d avg=%-12v max=%v\n", st.Stage, st.Count, st.Avg(), st.Max)
+	}
+	return string(b)
+}

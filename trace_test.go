@@ -1,0 +1,230 @@
+package rfprism
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"strings"
+	"testing"
+
+	"rfprism/internal/geom"
+	"rfprism/internal/rf"
+	"rfprism/internal/sim"
+)
+
+// collectingTracer keeps every RecordWindow call for inspection.
+type collectingTracer struct {
+	tags  []string
+	spans [][]Span
+}
+
+func (c *collectingTracer) RecordWindow(tag string, spans []Span) {
+	c.tags = append(c.tags, tag)
+	c.spans = append(c.spans, spans)
+}
+
+func stagesOf(spans []Span) map[Stage]int {
+	m := make(map[Stage]int)
+	for _, sp := range spans {
+		m[sp.Stage]++
+	}
+	return m
+}
+
+// TestTracerRecordsAllStages: a traced clean window must carry one span
+// for every executed pipeline stage, with per-antenna stages appearing
+// once per antenna and the window span bracketing the attempt.
+func TestTracerRecordsAllStages(t *testing.T) {
+	scene, sys, tag := newRedundantScene(t, 91)
+	tr := &collectingTracer{}
+	WithTracer(tr)(sys)
+	none, err := rf.MaterialByName("none")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sys.ProcessWindow(scene.CollectWindow(tag, scene.Place(geom.Vec3{X: 1, Y: 1.2}, 0.2, none)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.spans) != 1 {
+		t.Fatalf("RecordWindow called %d times, want 1", len(tr.spans))
+	}
+	if len(res.Spans) == 0 {
+		t.Fatal("Result.Spans empty with a tracer installed")
+	}
+	counts := stagesOf(res.Spans)
+	nAnt := len(scene.Antennas)
+	for stage, want := range map[Stage]int{
+		StageSpectra:  1,
+		StageFit:      nAnt,
+		StageSelect:   nAnt,
+		StageObserve:  1,
+		StageDetector: 1,
+		StageSolve:    1,
+		StageWindow:   1,
+	} {
+		if counts[stage] != want {
+			t.Errorf("stage %s: %d spans, want %d (all: %v)", stage, counts[stage], want, counts)
+		}
+	}
+	last := res.Spans[len(res.Spans)-1]
+	if last.Stage != StageWindow || last.Attempt != 1 || last.Err != "" {
+		t.Fatalf("trace does not end with a clean attempt-1 window span: %+v", last)
+	}
+	for _, sp := range res.Spans {
+		if sp.Duration < 0 {
+			t.Errorf("stage %s has negative duration %v", sp.Stage, sp.Duration)
+		}
+	}
+}
+
+// TestTracerSeesRejectedWindows: a rejected window must still report its
+// spans — attached to the WindowError and through RecordWindow — with
+// the window span carrying the failure.
+func TestTracerSeesRejectedWindows(t *testing.T) {
+	scene, sys, tag := newRedundantScene(t, 92)
+	tr := &collectingTracer{}
+	WithTracer(tr)(sys)
+	win := faultedWindow(t, scene, tag, geom.Vec3{X: 1.1, Y: 1.3},
+		sim.FaultConfig{DeadAntennas: []int{1, 3}})
+	_, err := sys.ProcessWindow(win)
+	if err == nil {
+		t.Fatal("two dead antennas must reject the window")
+	}
+	var we *WindowError
+	if !errors.As(err, &we) {
+		t.Fatalf("error %v not a WindowError", err)
+	}
+	if len(we.Spans) == 0 {
+		t.Fatal("WindowError.Spans empty with a tracer installed")
+	}
+	counts := stagesOf(we.Spans)
+	if counts[StageWindow] != 1 || counts[StageObserve] != 1 {
+		t.Fatalf("rejected window missing observe/window spans: %v", counts)
+	}
+	last := we.Spans[len(we.Spans)-1]
+	if last.Stage != StageWindow || last.Err == "" {
+		t.Fatalf("window span does not carry the rejection: %+v", last)
+	}
+	if len(tr.spans) != 1 {
+		t.Fatalf("RecordWindow called %d times, want 1", len(tr.spans))
+	}
+}
+
+// TestTracerBatchTagsAndAttempts: batch windows stamp their Tag into
+// every span and report one RecordWindow call per attempt, with the
+// attempt number on the window span.
+func TestTracerBatchTagsAndAttempts(t *testing.T) {
+	scene, sys, tag := newRedundantScene(t, 93)
+	tr := &collectingTracer{}
+	WithTracer(tr)(sys)
+	WithWindowRetry(3, 0)(sys)
+	none, err := rf.MaterialByName("none")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl := scene.Place(geom.Vec3{X: 0.9, Y: 1.4}, 0.3, none)
+	fi, err := sim.NewFaultInjector(scene, sim.FaultConfig{DeadAntennas: []int{0, 2}}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	calls := 0
+	collect := func() ([]sim.Reading, error) {
+		calls++
+		if calls == 1 {
+			return fi.CollectWindow(tag, pl), nil
+		}
+		return scene.CollectWindow(tag, pl), nil
+	}
+	out := sys.ProcessWindows(context.Background(), []Window{{Tag: "epc-1", Collect: collect}})
+	if out[0].Err != nil {
+		t.Fatalf("retry did not recover: %v", out[0].Err)
+	}
+	if len(tr.spans) != 2 {
+		t.Fatalf("RecordWindow called %d times, want one per attempt (2)", len(tr.spans))
+	}
+	for i, spans := range tr.spans {
+		if tr.tags[i] != "epc-1" {
+			t.Errorf("attempt %d recorded under tag %q", i+1, tr.tags[i])
+		}
+		for _, sp := range spans {
+			if sp.Tag != "epc-1" {
+				t.Fatalf("span %s missing window tag: %+v", sp.Stage, sp)
+			}
+		}
+		last := spans[len(spans)-1]
+		if last.Stage != StageWindow || last.Attempt != i+1 {
+			t.Errorf("attempt %d window span: %+v", i+1, last)
+		}
+	}
+	if got := out[0].Spans(); len(got) == 0 {
+		t.Fatal("WindowResult.Spans empty on the successful attempt")
+	}
+	if out[0].Attempts() != 2 {
+		t.Fatalf("attempts %d, want 2", out[0].Attempts())
+	}
+}
+
+// TestNoTracerNoSpans: without a tracer the pipeline must not allocate
+// or attach spans anywhere.
+func TestNoTracerNoSpans(t *testing.T) {
+	scene, sys, tag := newRedundantScene(t, 94)
+	none, err := rf.MaterialByName("none")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sys.ProcessWindow(scene.CollectWindow(tag, scene.Place(geom.Vec3{X: 1, Y: 1.2}, 0, none)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Spans != nil {
+		t.Fatalf("untraced Result carries %d spans", len(res.Spans))
+	}
+}
+
+// TestNDJSONTracer: every span renders as one JSON line that decodes
+// back to the same stage.
+func TestNDJSONTracer(t *testing.T) {
+	scene, sys, tag := newRedundantScene(t, 95)
+	var buf bytes.Buffer
+	stats := NewStageStats()
+	WithTracer(MultiTracer(NewNDJSONTracer(&buf), nil, stats))(sys)
+	none, err := rf.MaterialByName("none")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sys.ProcessWindow(scene.CollectWindow(tag, scene.Place(geom.Vec3{X: 1, Y: 1.1}, 0.1, none)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := bufio.NewScanner(&buf)
+	lines := 0
+	for sc.Scan() {
+		var sp Span
+		if err := json.Unmarshal(sc.Bytes(), &sp); err != nil {
+			t.Fatalf("line %d not JSON: %v", lines+1, err)
+		}
+		if sp.Stage == "" {
+			t.Fatalf("line %d missing stage: %s", lines+1, sc.Text())
+		}
+		lines++
+	}
+	if lines != len(res.Spans) {
+		t.Fatalf("NDJSON emitted %d lines for %d spans", lines, len(res.Spans))
+	}
+	// The MultiTracer fan-out fed the aggregator too.
+	snap := stats.Snapshot()
+	if len(snap) == 0 {
+		t.Fatal("StageStats saw nothing through MultiTracer")
+	}
+	for i := 1; i < len(snap); i++ {
+		if stageOrder(snap[i-1].Stage) > stageOrder(snap[i].Stage) {
+			t.Fatalf("snapshot not in pipeline order: %v before %v", snap[i-1].Stage, snap[i].Stage)
+		}
+	}
+	if !strings.Contains(stats.String(), "solve") {
+		t.Fatalf("StageStats summary missing solve:\n%s", stats.String())
+	}
+}
