@@ -8,10 +8,11 @@
 // separate untimed pass, so "the batch got slower" decomposes into
 // which stage got slower.
 //
-// With -against the run compares its ns/op against a previous report
-// and exits non-zero when a gated benchmark (Solve2D,
-// ProcessWindowsBatch) regresses by more than -max-regress percent —
-// the CI perf gate.
+// With -against the run compares its ns/op (and, for throughput rows,
+// windows/sec) against a previous report and exits non-zero when a
+// gated benchmark (Solve2D, ProcessWindowsBatch, StreamReplayCold,
+// StreamReplayWarm) regresses by more than -max-regress percent — the
+// CI perf gate.
 //
 // Usage:
 //
@@ -183,6 +184,44 @@ func main() {
 		report.Benchmarks = append(report.Benchmarks, record("ProcessWindowsDegraded", par, r, len(degWins)))
 	}
 
+	// Streaming replay: one tag moving in a move-and-dwell pattern
+	// through ~32 sequential windows, cold vs fast path (warm start +
+	// stationary cache + pruning). The pair is the headline fast-path
+	// number: same windows, same serial worker, only the solve strategy
+	// differs.
+	streamScene, streamWins, err := streamWindows()
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, fast := range []bool{false, true} {
+		name := "StreamReplayCold"
+		opts := []rfprism.Option{rfprism.WithParallelism(1)}
+		if fast {
+			name = "StreamReplayWarm"
+			opts = append(opts,
+				rfprism.WithWarmStart(),
+				rfprism.WithSolveCache(64),
+				rfprism.WithSolverOptions(core.Options{PruneStarts: true}),
+			)
+		}
+		sys, err := rfprism.NewSystem(rfprism.DeploymentFromSim(streamScene.Antennas),
+			rfprism.Bounds2D(sim.PaperRegion()), opts...)
+		if err != nil {
+			log.Fatal(err)
+		}
+		r := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				for _, res := range sys.ProcessWindows(context.Background(), streamWins) {
+					if res.Err != nil {
+						b.Fatal(res.Err)
+					}
+				}
+			}
+		})
+		report.Benchmarks = append(report.Benchmarks, record(name, 1, r, len(streamWins)))
+	}
+
 	// Per-stage breakdown on a dedicated traced pass: the rows above
 	// must stay tracer-free so they remain comparable to baselines
 	// recorded before tracing existed.
@@ -236,16 +275,22 @@ func main() {
 	}
 }
 
-// gatedBenchmarks are the rows whose ns/op regression fails a
-// -against run. The degraded and 3D rows are informational: they are
-// noisier and gate nothing.
-var gatedBenchmarks = map[string]bool{"Solve2D": true, "ProcessWindowsBatch": true}
+// gatedBenchmarks are the rows whose regression fails a -against run.
+// The degraded and 3D rows are informational: they are noisier and
+// gate nothing.
+var gatedBenchmarks = map[string]bool{
+	"Solve2D":             true,
+	"ProcessWindowsBatch": true,
+	"StreamReplayCold":    true,
+	"StreamReplayWarm":    true,
+}
 
 // compareReports diffs current against baseline by (name,
 // parallelism). It returns one human-readable line per common row and
-// a failure line for each gated row whose ns/op regressed by more
-// than maxRegressPct. Rows present on only one side are ignored — a
-// renamed benchmark should update its baseline, not crash the gate.
+// a failure line for each gated row whose ns/op regressed — or, for
+// throughput rows, whose windows/sec dropped — by more than
+// maxRegressPct. Rows present on only one side are ignored — a renamed
+// benchmark should update its baseline, not crash the gate.
 func compareReports(baseline, current benchReport, maxRegressPct float64, gated map[string]bool) (diffs, failures []string) {
 	base := make(map[string]benchRecord, len(baseline.Benchmarks))
 	for _, b := range baseline.Benchmarks {
@@ -261,6 +306,18 @@ func compareReports(baseline, current benchReport, maxRegressPct float64, gated 
 		diffs = append(diffs, fmt.Sprintf("%-26s %12d -> %12d ns/op  %+6.1f%%", key, b.NsPerOp, c.NsPerOp, pct))
 		if gated[c.Name] && pct > maxRegressPct {
 			failures = append(failures, fmt.Sprintf("%s regressed %.1f%% (%d -> %d ns/op)", key, pct, b.NsPerOp, c.NsPerOp))
+		}
+		// Throughput rows additionally gate on windows/sec: ns/op of a
+		// whole-batch row can hide a throughput collapse if the batch
+		// shape changes, so the delivered rate is checked directly.
+		if b.WindowsPerSec > 0 && c.WindowsPerSec > 0 {
+			drop := 100 * (b.WindowsPerSec - c.WindowsPerSec) / b.WindowsPerSec
+			diffs = append(diffs, fmt.Sprintf("%-26s %12.1f -> %12.1f windows/sec  %+6.1f%%",
+				key, b.WindowsPerSec, c.WindowsPerSec, -drop))
+			if gated[c.Name] && drop > maxRegressPct {
+				failures = append(failures, fmt.Sprintf("%s throughput dropped %.1f%% (%.1f -> %.1f windows/sec)",
+					key, drop, b.WindowsPerSec, c.WindowsPerSec))
+			}
 		}
 	}
 	return diffs, failures
@@ -389,6 +446,31 @@ func batchWindows() (*sim.Scene, []rfprism.Window, error) {
 	for i := range wins {
 		pos := geom.Vec3{X: 0.4 + 0.08*float64(i), Y: 1.0 + 0.07*float64(i)}
 		wins[i] = rfprism.Window{Readings: scene.CollectWindow(tag, scene.Place(pos, 0.3, none))}
+	}
+	return scene, wins, nil
+}
+
+// streamWindows collects a tagged streaming replay: one tag in a
+// move-and-dwell pattern — hop ~6 cm, then hold still for three
+// windows — over 32 sequential windows. The dwell phases exercise the
+// stationary-tag cache, the hops exercise the warm re-solve, and the
+// tag on every window routes the fast-path state by EPC.
+func streamWindows() (*sim.Scene, []rfprism.Window, error) {
+	scene, err := sim.NewScene(sim.PaperAntennas2D(nil), rf.CleanSpace(), sim.DefaultConfig(), 16)
+	if err != nil {
+		return nil, nil, err
+	}
+	none, err := rf.MaterialByName("none")
+	if err != nil {
+		return nil, nil, err
+	}
+	tag := scene.NewTag("bench-stream")
+	wins := make([]rfprism.Window, 32)
+	for i := range wins {
+		hop := float64(i / 4) // advance every 4th window, dwell between
+		pos := geom.Vec3{X: 0.5 + 0.05*hop, Y: 1.1 + 0.04*hop}
+		alpha := 0.3 + 0.05*hop
+		wins[i] = rfprism.Window{Tag: "bench-stream", Readings: scene.CollectWindow(tag, scene.Place(pos, alpha, none))}
 	}
 	return scene, wins, nil
 }

@@ -55,6 +55,34 @@ func TestCompareReportsImprovement(t *testing.T) {
 	}
 }
 
+// TestCompareReportsThroughputGate: throughput rows carry a second
+// windows/sec diff line, and a gated row whose delivered rate drops
+// beyond the threshold fails even when its ns/op stayed flat (a batch
+// reshaped to fewer windows per op would otherwise slip through).
+func TestCompareReportsThroughputGate(t *testing.T) {
+	wps := func(name string, ns int64, w float64) benchRecord {
+		return benchRecord{Name: name, Parallelism: 1, NsPerOp: ns, WindowsPerSec: w}
+	}
+	baseline := benchReport{Benchmarks: []benchRecord{
+		wps("StreamReplayWarm", 1000, 500),
+		wps("StreamReplayCold", 1000, 100),
+		wps("ProcessWindowsDegraded", 1000, 40),
+	}}
+	current := benchReport{Benchmarks: []benchRecord{
+		wps("StreamReplayWarm", 1050, 250),      // ns/op +5% ok, wps -50%: gated, fails
+		wps("StreamReplayCold", 900, 110),       // both improved
+		wps("ProcessWindowsDegraded", 1000, 10), // wps -75% but not gated
+	}}
+	diffs, failures := compareReports(baseline, current, 10, gatedBenchmarks)
+	if len(diffs) != 6 { // ns/op + windows/sec line per row
+		t.Fatalf("got %d diff lines, want 6:\n%s", len(diffs), strings.Join(diffs, "\n"))
+	}
+	if len(failures) != 1 || !strings.Contains(failures[0], "StreamReplayWarm/p1") ||
+		!strings.Contains(failures[0], "windows/sec") {
+		t.Fatalf("failures = %v, want exactly the StreamReplayWarm throughput drop", failures)
+	}
+}
+
 // TestCompareReportsMatchesOnParallelism: the same name at different
 // parallelism is a different row — a par-8 win must not mask a par-1
 // regression.

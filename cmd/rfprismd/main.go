@@ -104,6 +104,8 @@ type options struct {
 	logLevel     string
 	debugAddr    string
 	traceFile    string
+	warmStart    bool
+	solveCache   int
 }
 
 func parseFlags(args []string) (options, error) {
@@ -132,6 +134,8 @@ func parseFlags(args []string) (options, error) {
 	fs.StringVar(&o.logLevel, "log-level", "info", "log level: debug|info|warn|error")
 	fs.StringVar(&o.debugAddr, "debug-addr", "", "debug server address: pprof + Go runtime metrics (empty: off)")
 	fs.StringVar(&o.traceFile, "trace", "", "export per-window pipeline stage spans as NDJSON to this file")
+	fs.BoolVar(&o.warmStart, "warm-start", false, "seed each tag's solve from its previous estimate (guarded cold fallback)")
+	fs.IntVar(&o.solveCache, "solve-cache", 0, "stationary-tag cache size in tags, 0 disables (serves unchanged tags without solving)")
 	if err := fs.Parse(args); err != nil {
 		return o, err
 	}
@@ -197,6 +201,7 @@ func run(args []string, stdout io.Writer) error {
 
 	logger := newLogger(o)
 	met := ingest.NewMetrics(time.Now())
+	met.AttachSolverStats(sys.SolveStats)
 
 	// The stage tracer is always on in the daemon: Metrics folds every
 	// window's spans into the /metrics per-stage histograms; -trace
@@ -382,10 +387,17 @@ func buildDeployment(o options) (*sim.Scene, *rfprism.System, error) {
 	if err != nil {
 		return nil, nil, err
 	}
+	sysOpts := []rfprism.Option{rfprism.WithParallelism(o.parallelism)}
+	if o.warmStart {
+		sysOpts = append(sysOpts, rfprism.WithWarmStart())
+	}
+	if o.solveCache > 0 {
+		sysOpts = append(sysOpts, rfprism.WithSolveCache(o.solveCache))
+	}
 	sys, err := rfprism.NewSystem(
 		rfprism.DeploymentFromSim(scene.Antennas),
 		rfprism.Bounds2D(sim.PaperRegion()),
-		rfprism.WithParallelism(o.parallelism),
+		sysOpts...,
 	)
 	if err != nil {
 		return nil, nil, err

@@ -121,6 +121,40 @@ type Options struct {
 	// reduction is deterministic: min cost, ties to the lowest start
 	// index).
 	Parallelism int
+	// WarmStart, when non-nil, seeds the joint stage from a previous
+	// window's estimate of the same tag: the coarse grid is skipped
+	// and the multistart collapses to a small basin-local set around
+	// the warm position. Guarded both ways — an inconsistent slope
+	// surface (the tag moved) or a warm solution whose joint cost
+	// regresses past WarmGuardFactor falls back to the full cold
+	// path, so a stale seed costs time, never accuracy. Ignored by
+	// the DisableFinePhase ablation (there is no joint stage to
+	// seed).
+	WarmStart *Estimate
+	// WarmGuardFactor bounds the warm solution's joint cost relative
+	// to max(previous cost, WarmCostFloor); above it the solver falls
+	// back cold. Default 4.
+	WarmGuardFactor float64
+	// WarmRadius is how far the freshly refined slope-only fix may
+	// wander from the warm position before the slope-cost consistency
+	// check must also pass. Default 0.12 m (within one wrap basin).
+	WarmRadius float64
+	// PruneStarts enables adaptive multistart pruning: seeds are
+	// ranked by their start-point joint cost and the bottom tranche
+	// runs with a short iteration cap. Changes which candidate wins
+	// in rare cases, so it is opt-in; serial/parallel determinism is
+	// preserved (budgets are fixed before the fan-out).
+	PruneStarts bool
+	// PruneKeep is the fraction of starts keeping the full iteration
+	// budget under PruneStarts. Default 0.25.
+	PruneKeep float64
+	// PruneIters is the short iteration cap for pruned starts.
+	// Default 60.
+	PruneIters int
+	// Stats, when non-nil, receives the fast-path counters (warm
+	// attempts/fallbacks, pruned starts). Safe to share across
+	// concurrent solves.
+	Stats *SolveStats
 }
 
 func (o *Options) defaults() {
@@ -137,7 +171,27 @@ func (o *Options) defaults() {
 	if o.NoKtPrior {
 		o.KtPriorSigma = 0
 	}
+	if o.WarmGuardFactor <= 0 {
+		o.WarmGuardFactor = 4
+	}
+	if o.WarmRadius <= 0 {
+		o.WarmRadius = 0.12
+	}
+	if o.PruneKeep <= 0 || o.PruneKeep > 1 {
+		o.PruneKeep = 0.25
+	}
+	if o.PruneIters <= 0 {
+		o.PruneIters = 60
+	}
 }
+
+// Iteration budgets of the joint multistart stages (per start) and the
+// final fine pass.
+const (
+	jointIters2D = 200
+	jointIters3D = 600
+	fineIters2D  = 500
+)
 
 // AntennaCal holds the per-antenna hardware corrections of §IV-C,
 // relative to the first antenna: after subtraction every antenna has
@@ -270,19 +324,6 @@ func orientCost(obs []Observation, psi []float64, w geom.Vec3) (cost, bt0 float6
 	return 1 - resultant, mathx.Wrap2Pi(math.Atan2(s, c))
 }
 
-// adaptiveSigmaB widens the assumed intercept error to the median
-// per-antenna fit residual when that exceeds the configured floor.
-func adaptiveSigmaB(obs []Observation, floor float64) float64 {
-	resids := make([]float64, 0, len(obs))
-	for _, o := range obs {
-		resids = append(resids, o.Line.ResidStd)
-	}
-	if m := mathx.Median(resids); m > floor {
-		return m
-	}
-	return floor
-}
-
 // jointCost2D is the full 2N-equation objective of Eq. (7) at
 // parameter vector p = (x, y, α, k_t, b_t): weighted slope residuals
 // plus weighted *wrapped* intercept residuals.
@@ -317,18 +358,30 @@ func Solve2D(obs []Observation, bounds Bounds, opts Options) (Estimate, error) {
 		return Estimate{}, fmt.Errorf("%w: have %d, need 3 for 2D", ErrTooFewAntennas, len(obs))
 	}
 
-	// Scale the intercept weight by the observed fit quality: under
+	// The scratch hoists the per-observation invariants (slope
+	// weights, k_t prior, σ_B²) and widens σ_B adaptively: under
 	// multipath the per-antenna residuals inflate, the intercepts are
 	// no longer trustworthy to σ_B, and over-weighting them makes the
 	// joint stage jump to far wrong wrap basins.
-	opts.SigmaB = adaptiveSigmaB(obs, opts.SigmaB)
+	sc := newSolveScratch(obs, &opts)
+
+	// Warm fast path: a consistent previous-window seed replaces the
+	// coarse grid and the full multistart; guard failures fall
+	// through to the cold path below.
+	if opts.WarmStart != nil && !opts.DisableFinePhase {
+		opts.countWarmAttempt()
+		if est, ok := solve2DWarm(sc, bounds, opts); ok {
+			return est, nil
+		}
+		opts.countWarmFallback()
+	}
 
 	// Stage 1: wrap-free coarse position from the slopes alone.
-	posA := gridSearch2D(obs, bounds, opts.GridStep, opts.prior(), opts.Parallelism)
-	posA = refinePos2D(obs, posA, bounds, opts.GridStep, opts.prior())
+	posA := gridSearch2D(sc, bounds, opts.GridStep, opts.Parallelism)
+	posA = refinePos2D(sc, posA, bounds, opts.GridStep)
 
 	if opts.DisableFinePhase {
-		return solveDetached2D(obs, posA, opts), nil
+		return solveDetached2D(sc, posA), nil
 	}
 
 	// Stage 2: joint multistart over position offsets (to cover the
@@ -342,51 +395,55 @@ func Solve2D(obs []Observation, bounds Bounds, opts Options) (Estimate, error) {
 		for _, dy := range jointOffsets {
 			x0 := clamp(posA.X+dx, bounds.XMin, bounds.XMax)
 			y0 := clamp(posA.Y+dy, bounds.YMin, bounds.YMax)
-			_, kt0 := slopeCost(obs, geom.Vec3{X: x0, Y: y0}, opts.prior())
+			_, kt0 := sc.slopeCost(geom.Vec3{X: x0, Y: y0})
 			// Profile bt0 at each start for a good basin entry; psi
 			// depends only on the position, so compute it once per
 			// offset rather than per orientation start.
-			psi := makePsi(obs, geom.Vec3{X: x0, Y: y0})
+			sc.setPsi(geom.Vec3{X: x0, Y: y0})
 			for a := 0; a < 6; a++ {
 				alpha0 := float64(a) * math.Pi / 6
-				_, bt0 := orientCost(obs, psi, rf.TagPolarization2D(alpha0))
+				_, bt0 := orientCost(sc.obs, sc.psi, rf.TagPolarization2D(alpha0))
 				starts = append(starts, []float64{x0, y0, alpha0, kt0, bt0})
 			}
 		}
 	}
+	budgets := pruneBudgets(starts, sc.jointCost2D, opts)
 	cands := make([]Estimate, len(starts))
 	parallelFor(len(starts), workerCount(opts.Parallelism, len(starts)), func(i int) {
-		cands[i] = runJoint2D(obs, starts[i], bounds, opts)
+		cands[i] = runJoint2D(sc, starts[i], bounds, budgetFor(budgets, i, jointIters2D), 0)
 	})
-	best := reduceMinCost(cands)
-	best = refineAlpha2D(obs, best, opts)
-	// Final fine simplex from the winning candidate: the coarse
-	// multistart runs are iteration-capped and can stall a few
-	// millimeters short of the minimum.
-	if fine := runJoint2DFine(obs, best, bounds, opts); fine.Cost < best.Cost {
+	return finish2D(sc, reduceMinCost(cands), bounds, opts), nil
+}
+
+// finish2D is the shared tail of the cold and warm 2D paths: dense
+// orientation refinement, the final fine simplex (the coarse
+// multistart runs are iteration-capped and can stall a few
+// millimeters short of the minimum), and the optional ML polish.
+func finish2D(sc *solveScratch, best Estimate, bounds Bounds, opts Options) Estimate {
+	best = refineAlpha2D(sc, best)
+	if fine := runJoint2DFine(sc, best, bounds); fine.Cost < best.Cost {
 		best = fine
 	}
-	best = refineAlpha2D(obs, best, opts)
+	best = refineAlpha2D(sc, best)
 	if opts.MLPolish {
-		best = polish2D(obs, best, bounds)
-		best = refineAlpha2D(obs, best, opts)
+		best = polish2D(sc.obs, best, bounds)
+		best = refineAlpha2D(sc, best)
 	}
-	return best, nil
+	return best
 }
 
 // runJoint2DFine is a tighter, longer simplex pass around an
 // already-good candidate.
-func runJoint2DFine(obs []Observation, est Estimate, bounds Bounds, opts Options) Estimate {
+func runJoint2DFine(sc *solveScratch, est Estimate, bounds Bounds) Estimate {
+	p0 := []float64{est.Pos.X, est.Pos.Y, est.Alpha, est.Kt, est.Bt0}
 	q := make([]float64, 5)
-	prior := opts.prior()
 	obj := func(p []float64) float64 {
 		q[0] = clamp(p[0], bounds.XMin, bounds.XMax)
 		q[1] = clamp(p[1], bounds.YMin, bounds.YMax)
 		q[2], q[3], q[4] = p[2], p[3], p[4]
-		return jointCost2D(obs, q, opts.SigmaB, prior)
+		return sc.jointCost2D(q)
 	}
-	p0 := []float64{est.Pos.X, est.Pos.Y, est.Alpha, est.Kt, est.Bt0}
-	p, cost := mathx.NelderMead(obj, p0, 0.004, 500)
+	p, cost := mathx.NelderMead(obj, p0, 0.004, fineIters2D)
 	return Estimate{
 		Pos:   geom.Vec3{X: clamp(p[0], bounds.XMin, bounds.XMax), Y: clamp(p[1], bounds.YMin, bounds.YMax)},
 		Alpha: normalizeAlpha(p[2]),
@@ -399,24 +456,20 @@ func runJoint2DFine(obs []Observation, est Estimate, bounds Bounds, opts Options
 // refineAlpha2D re-estimates the orientation with a dense grid at the
 // solved position: the joint simplex can stall in a local minimum of
 // the angle-doubled orientation response, and a 1-degree grid over
-// [0, pi) is cheap insurance. The result is kept only if it lowers
-// the joint cost.
-func refineAlpha2D(obs []Observation, est Estimate, opts Options) Estimate {
-	psi := makePsi(obs, est.Pos)
-	bestA, bestC := est.Alpha, math.Inf(1)
-	for a := 0.0; a < math.Pi; a += mathx.Rad(1) {
-		c, _ := orientCost(obs, psi, rf.TagPolarization2D(a))
-		if c < bestC {
-			bestC, bestA = c, a
-		}
-	}
+// [0, pi) is cheap insurance — trig-free via the precomputed
+// polarization table. The result is kept only if it lowers the joint
+// cost.
+func refineAlpha2D(sc *solveScratch, est Estimate) Estimate {
+	sc.setPsi(est.Pos)
+	g := alphaGrid()
+	bi, _ := sc.scanOrient(g)
 	alpha := refineAngle(func(a float64) float64 {
-		c, _ := orientCost(obs, psi, rf.TagPolarization2D(a))
+		c, _ := orientCost(sc.obs, sc.psi, rf.TagPolarization2D(a))
 		return c
-	}, bestA, mathx.Rad(1))
-	_, bt0 := orientCost(obs, psi, rf.TagPolarization2D(alpha))
+	}, g.az[bi], mathx.Rad(1))
+	_, bt0 := orientCost(sc.obs, sc.psi, rf.TagPolarization2D(alpha))
 	cand := []float64{est.Pos.X, est.Pos.Y, alpha, est.Kt, bt0}
-	if c := jointCost2D(obs, cand, opts.SigmaB, opts.prior()); c < est.Cost {
+	if c := sc.jointCost2D(cand); c < est.Cost {
 		est.Alpha = normalizeAlpha(alpha)
 		est.Bt0 = bt0
 		est.Cost = c
@@ -461,20 +514,22 @@ func makePsi(obs []Observation, pos geom.Vec3) []float64 {
 	return psi
 }
 
-// runJoint2D runs a damped Nelder–Mead + LM refinement of the joint
-// objective from p0 and packages the result. The clamp buffer q is
-// reused across the hundreds of objective evaluations of one start;
-// each start owns its buffer, so concurrent starts never share state.
-func runJoint2D(obs []Observation, p0 []float64, bounds Bounds, opts Options) Estimate {
+// runJoint2D runs a budgeted Nelder–Mead refinement of the joint
+// objective from p0 and packages the result. target > 0 additionally
+// stops a start once it matches that cost (the warm path passes the
+// previous window's cost — no point iterating past it when the fine
+// pass will polish anyway). The clamp buffer q is reused across the
+// hundreds of objective evaluations of one start; each start owns its
+// buffer, so concurrent starts never share state.
+func runJoint2D(sc *solveScratch, p0 []float64, bounds Bounds, maxIter int, target float64) Estimate {
 	q := make([]float64, 5)
-	prior := opts.prior()
 	obj := func(p []float64) float64 {
 		q[0] = clamp(p[0], bounds.XMin, bounds.XMax)
 		q[1] = clamp(p[1], bounds.YMin, bounds.YMax)
 		q[2], q[3], q[4] = p[2], p[3], p[4]
-		return jointCost2D(obs, q, opts.SigmaB, prior)
+		return sc.jointCost2D(q)
 	}
-	p, cost := mathx.NelderMead(obj, p0, 0.02, 200)
+	p, cost := mathx.NelderMeadOpt(obj, p0, 0.02, mathx.NMOptions{MaxIter: maxIter, Target: target})
 	return Estimate{
 		Pos:   geom.Vec3{X: clamp(p[0], bounds.XMin, bounds.XMax), Y: clamp(p[1], bounds.YMin, bounds.YMax)},
 		Alpha: normalizeAlpha(p[2]),
@@ -487,20 +542,15 @@ func runJoint2D(obs []Observation, p0 []float64, bounds Bounds, opts Options) Es
 // solveDetached2D is the fine-phase-off ablation: slope-only position
 // plus an orientation fit against the (position-error-contaminated)
 // intercept residuals.
-func solveDetached2D(obs []Observation, pos geom.Vec3, opts Options) Estimate {
-	costK, kt := slopeCost(obs, pos, opts.prior())
-	psi := makePsi(obs, pos)
-	bestA, bestCost := 0.0, math.Inf(1)
-	for a := 0.0; a < math.Pi; a += mathx.Rad(1) {
-		c, _ := orientCost(obs, psi, rf.TagPolarization2D(a))
-		if c < bestCost {
-			bestCost, bestA = c, a
-		}
-	}
-	_, bt0 := orientCost(obs, psi, rf.TagPolarization2D(bestA))
+func solveDetached2D(sc *solveScratch, pos geom.Vec3) Estimate {
+	costK, kt := sc.slopeCost(pos)
+	sc.setPsi(pos)
+	g := alphaGrid()
+	bi, bestCost := sc.scanOrient(g)
+	_, bt0 := orientCost(sc.obs, sc.psi, rf.TagPolarization2D(g.az[bi]))
 	return Estimate{
 		Pos:   pos,
-		Alpha: normalizeAlpha(bestA),
+		Alpha: normalizeAlpha(g.az[bi]),
 		Kt:    kt,
 		Bt0:   bt0,
 		Cost:  costK + bestCost,
@@ -522,7 +572,7 @@ func gridAxis(lo, hi, step float64) []float64 {
 // is sharded by row (fixed x) across the worker pool; each row
 // records its own first-minimum and the rows are reduced in scan
 // order, which keeps the result identical to the serial raster scan.
-func gridSearch2D(obs []Observation, bounds Bounds, step float64, prior ktPrior, parallelism int) geom.Vec3 {
+func gridSearch2D(sc *solveScratch, bounds Bounds, step float64, parallelism int) geom.Vec3 {
 	xs := gridAxis(bounds.XMin, bounds.XMax, step)
 	ys := gridAxis(bounds.YMin, bounds.YMax, step)
 	type rowBest struct {
@@ -534,7 +584,7 @@ func gridSearch2D(obs []Observation, bounds Bounds, step float64, prior ktPrior,
 		rb := rowBest{cost: math.Inf(1)}
 		for _, y := range ys {
 			p := geom.Vec3{X: xs[i], Y: y}
-			c, _ := slopeCost(obs, p, prior)
+			c, _ := sc.slopeCost(p)
 			if c < rb.cost {
 				rb = rowBest{cost: c, pos: p}
 			}
@@ -551,11 +601,11 @@ func gridSearch2D(obs []Observation, bounds Bounds, step float64, prior ktPrior,
 	return bestPos
 }
 
-func refinePos2D(obs []Observation, start geom.Vec3, bounds Bounds, scale float64, prior ktPrior) geom.Vec3 {
+func refinePos2D(sc *solveScratch, start geom.Vec3, bounds Bounds, scale float64) geom.Vec3 {
 	refined, _ := mathx.NelderMead(func(v []float64) float64 {
 		x := clamp(v[0], bounds.XMin, bounds.XMax)
 		y := clamp(v[1], bounds.YMin, bounds.YMax)
-		c, _ := slopeCost(obs, geom.Vec3{X: x, Y: y}, prior)
+		c, _ := sc.slopeCost(geom.Vec3{X: x, Y: y})
 		return c
 	}, []float64{start.X, start.Y}, scale, 300)
 	return geom.Vec3{

@@ -80,14 +80,16 @@ func TestSolve3DParallelMatchesSerial(t *testing.T) {
 // to the serial raster scan (first minimum in scan order wins).
 func TestGridSearchParallelMatchesSerial(t *testing.T) {
 	obs := synthObs(testAnts, testAims, geom.Vec3{X: 1.1, Y: 1.7}, mathx.Rad(30), 1e-8, 1)
-	serial := gridSearch2D(obs, testBounds, 0.05, ktPrior{}, 1)
-	par := gridSearch2D(obs, testBounds, 0.05, ktPrior{}, 8)
+	sc := newCostScratch(obs, 0.04, ktPrior{})
+	serial := gridSearch2D(sc, testBounds, 0.05, 1)
+	par := gridSearch2D(sc, testBounds, 0.05, 8)
 	if serial != par {
 		t.Fatalf("grid scan differs: serial %+v parallel %+v", serial, par)
 	}
 	obs3 := synthObs3D(geom.Vec3{X: 1.0, Y: 1.4, Z: 0.3}, rf.TagPolarization3D(1, 0.4), 0.5e-8, 2)
-	serial3 := gridSearch3D(obs3, testBounds3D, 0.1, ktPrior{}, 1)
-	par3 := gridSearch3D(obs3, testBounds3D, 0.1, ktPrior{}, 8)
+	sc3 := newCostScratch(obs3, 0.04, ktPrior{})
+	serial3 := gridSearch3D(sc3, testBounds3D, 0.1, 1)
+	par3 := gridSearch3D(sc3, testBounds3D, 0.1, 8)
 	if serial3 != par3 {
 		t.Fatalf("3D grid scan differs: serial %+v parallel %+v", serial3, par3)
 	}

@@ -23,14 +23,23 @@ func Solve3D(obs []Observation, bounds Bounds, opts Options) (Estimate, error) {
 		return Estimate{}, fmt.Errorf("core: invalid z bounds [%g, %g]", bounds.ZMin, bounds.ZMax)
 	}
 
-	opts.SigmaB = adaptiveSigmaB(obs, opts.SigmaB)
+	sc := newSolveScratch(obs, &opts)
+
+	// Warm fast path, guarded exactly like the 2D one.
+	if opts.WarmStart != nil && !opts.DisableFinePhase {
+		opts.countWarmAttempt()
+		if est, ok := solve3DWarm(sc, bounds, opts); ok {
+			return est, nil
+		}
+		opts.countWarmFallback()
+	}
 
 	// Stage 1: wrap-free coarse position from the slopes.
-	posA := gridSearch3D(obs, bounds, opts.GridStep*2, opts.prior(), opts.Parallelism)
-	posA = refinePos3D(obs, posA, bounds, opts.GridStep*2, opts.prior())
+	posA := gridSearch3D(sc, bounds, opts.GridStep*2, opts.Parallelism)
+	posA = refinePos3D(sc, posA, bounds, opts.GridStep*2)
 
 	if opts.DisableFinePhase {
-		return solveDetached3D(obs, posA, opts.prior()), nil
+		return solveDetached3D(sc, posA), nil
 	}
 
 	// Stage 2: joint multistart over wrap-basin position offsets and
@@ -48,50 +57,44 @@ func Solve3D(obs []Observation, bounds Bounds, opts Options) (Estimate, error) {
 				y0 := clamp(posA.Y+dy, bounds.YMin, bounds.YMax)
 				z0 := clamp(posA.Z+dz, bounds.ZMin, bounds.ZMax)
 				start := geom.Vec3{X: x0, Y: y0, Z: z0}
-				_, kt0 := slopeCost(obs, start, opts.prior())
-				psi := makePsi(obs, start)
+				_, kt0 := sc.slopeCost(start)
+				sc.setPsi(start)
 				for a := 0; a < azStarts; a++ {
 					az0 := float64(a) * math.Pi / float64(azStarts)
 					for _, el0 := range elStarts {
-						_, bt0 := orientCost(obs, psi, rf.TagPolarization3D(az0, el0))
+						_, bt0 := orientCost(sc.obs, sc.psi, rf.TagPolarization3D(az0, el0))
 						starts = append(starts, []float64{x0, y0, z0, az0, el0, kt0, bt0})
 					}
 				}
 			}
 		}
 	}
+	budgets := pruneBudgets(starts, sc.jointCost3D, opts)
 	cands := make([]Estimate, len(starts))
 	parallelFor(len(starts), workerCount(opts.Parallelism, len(starts)), func(i int) {
-		cands[i] = runJoint3D(obs, starts[i], bounds, opts)
+		cands[i] = runJoint3D(sc, starts[i], bounds, budgetFor(budgets, i, jointIters3D), 0)
 	})
-	best := reduceMinCost(cands)
-	best = refinePolar3D(obs, best, opts)
-	return best, nil
+	return refinePolar3D(sc, reduceMinCost(cands)), nil
 }
 
 // refinePolar3D re-estimates the 3D polarization with a dense grid at
 // the solved position (the joint simplex can stall in a local minimum
 // of the angle-doubled response), keeping the result only when it
-// lowers the joint cost.
-func refinePolar3D(obs []Observation, est Estimate, opts Options) Estimate {
-	psi := makePsi(obs, est.Pos)
+// lowers the joint cost. The 2° scan runs trig-free over the
+// precomputed polarization table; the simplex refinement and the final
+// b_t profile use the exact objective.
+func refinePolar3D(sc *solveScratch, est Estimate) Estimate {
+	sc.setPsi(est.Pos)
+	g := polarRefineGrid()
+	bi, _ := sc.scanOrient(g)
 	step := mathx.Rad(2)
-	bestAz, bestEl, bestC := est.Azimuth, est.Elevation, math.Inf(1)
-	for az := 0.0; az < 2*math.Pi; az += step {
-		for el := -math.Pi / 2; el <= math.Pi/2; el += step {
-			c, _ := orientCost(obs, psi, rf.TagPolarization3D(az, el))
-			if c < bestC {
-				bestC, bestAz, bestEl = c, az, el
-			}
-		}
-	}
 	angles, _ := mathx.NelderMead(func(v []float64) float64 {
-		c, _ := orientCost(obs, psi, rf.TagPolarization3D(v[0], v[1]))
+		c, _ := orientCost(sc.obs, sc.psi, rf.TagPolarization3D(v[0], v[1]))
 		return c
-	}, []float64{bestAz, bestEl}, step, 200)
-	_, bt0 := orientCost(obs, psi, rf.TagPolarization3D(angles[0], angles[1]))
+	}, []float64{g.az[bi], g.el[bi]}, step, 200)
+	_, bt0 := orientCost(sc.obs, sc.psi, rf.TagPolarization3D(angles[0], angles[1]))
 	cand := []float64{est.Pos.X, est.Pos.Y, est.Pos.Z, angles[0], angles[1], est.Kt, bt0}
-	if c := jointCost3D(obs, cand, opts.SigmaB, opts.prior()); c < est.Cost {
+	if c := sc.jointCost3D(cand); c < est.Cost {
 		est.Azimuth, est.Elevation = normalizePolar3D(angles[0], angles[1])
 		est.Bt0 = mathx.Wrap2Pi(bt0)
 		est.Cost = c
@@ -122,19 +125,20 @@ func jointCost3D(obs []Observation, p []float64, sigmaB float64, prior ktPrior) 
 	return cost
 }
 
-func runJoint3D(obs []Observation, p0 []float64, bounds Bounds, opts Options) Estimate {
+// runJoint3D runs one budgeted start of the joint 3D multistart;
+// target > 0 stops it early once it matches that cost (warm path).
+func runJoint3D(sc *solveScratch, p0 []float64, bounds Bounds, maxIter int, target float64) Estimate {
 	// Per-start clamp buffer, reused across this start's objective
 	// evaluations (concurrent starts each own theirs).
 	q := make([]float64, 7)
-	prior := opts.prior()
 	obj := func(p []float64) float64 {
 		q[0] = clamp(p[0], bounds.XMin, bounds.XMax)
 		q[1] = clamp(p[1], bounds.YMin, bounds.YMax)
 		q[2] = clamp(p[2], bounds.ZMin, bounds.ZMax)
 		q[3], q[4], q[5], q[6] = p[3], p[4], p[5], p[6]
-		return jointCost3D(obs, q, opts.SigmaB, prior)
+		return sc.jointCost3D(q)
 	}
-	p, cost := mathx.NelderMead(obj, p0, 0.02, 600)
+	p, cost := mathx.NelderMeadOpt(obj, p0, 0.02, mathx.NMOptions{MaxIter: maxIter, Target: target})
 	az, el := normalizePolar3D(p[3], p[4])
 	return Estimate{
 		Pos: geom.Vec3{
@@ -150,25 +154,16 @@ func runJoint3D(obs []Observation, p0 []float64, bounds Bounds, opts Options) Es
 	}
 }
 
-func solveDetached3D(obs []Observation, pos geom.Vec3, prior ktPrior) Estimate {
-	costK, kt := slopeCost(obs, pos, prior)
-	psi := makePsi(obs, pos)
-	best := math.Inf(1)
-	var bestAz, bestEl float64
-	step := mathx.Rad(5)
-	for az := 0.0; az < math.Pi; az += step {
-		for el := -math.Pi / 2; el <= math.Pi/2; el += step {
-			c, _ := orientCost(obs, psi, rf.TagPolarization3D(az, el))
-			if c < best {
-				best, bestAz, bestEl = c, az, el
-			}
-		}
-	}
-	_, bt0 := orientCost(obs, psi, rf.TagPolarization3D(bestAz, bestEl))
+func solveDetached3D(sc *solveScratch, pos geom.Vec3) Estimate {
+	costK, kt := sc.slopeCost(pos)
+	sc.setPsi(pos)
+	g := polarCoarseGrid()
+	bi, best := sc.scanOrient(g)
+	_, bt0 := orientCost(sc.obs, sc.psi, rf.TagPolarization3D(g.az[bi], g.el[bi]))
 	return Estimate{
 		Pos:       pos,
-		Azimuth:   bestAz,
-		Elevation: bestEl,
+		Azimuth:   g.az[bi],
+		Elevation: g.el[bi],
 		Kt:        kt,
 		Bt0:       bt0,
 		Cost:      costK + best,
@@ -178,7 +173,7 @@ func solveDetached3D(obs []Observation, pos geom.Vec3, prior ktPrior) Estimate {
 // gridSearch3D scans the bounds box for the minimum slope cost,
 // sharded by x-slab across the worker pool with the same
 // order-preserving reduction as gridSearch2D.
-func gridSearch3D(obs []Observation, bounds Bounds, step float64, prior ktPrior, parallelism int) geom.Vec3 {
+func gridSearch3D(sc *solveScratch, bounds Bounds, step float64, parallelism int) geom.Vec3 {
 	xs := gridAxis(bounds.XMin, bounds.XMax, step)
 	ys := gridAxis(bounds.YMin, bounds.YMax, step)
 	zs := gridAxis(bounds.ZMin, bounds.ZMax, step)
@@ -192,7 +187,7 @@ func gridSearch3D(obs []Observation, bounds Bounds, step float64, prior ktPrior,
 		for _, y := range ys {
 			for _, z := range zs {
 				p := geom.Vec3{X: xs[i], Y: y, Z: z}
-				c, _ := slopeCost(obs, p, prior)
+				c, _ := sc.slopeCost(p)
 				if c < rb.cost {
 					rb = rowBest{cost: c, pos: p}
 				}
@@ -210,14 +205,14 @@ func gridSearch3D(obs []Observation, bounds Bounds, step float64, prior ktPrior,
 	return bestPos
 }
 
-func refinePos3D(obs []Observation, start geom.Vec3, bounds Bounds, scale float64, prior ktPrior) geom.Vec3 {
+func refinePos3D(sc *solveScratch, start geom.Vec3, bounds Bounds, scale float64) geom.Vec3 {
 	refined, _ := mathx.NelderMead(func(v []float64) float64 {
 		p := geom.Vec3{
 			X: clamp(v[0], bounds.XMin, bounds.XMax),
 			Y: clamp(v[1], bounds.YMin, bounds.YMax),
 			Z: clamp(v[2], bounds.ZMin, bounds.ZMax),
 		}
-		c, _ := slopeCost(obs, p, prior)
+		c, _ := sc.slopeCost(p)
 		return c
 	}, []float64{start.X, start.Y, start.Z}, scale, 400)
 	return geom.Vec3{

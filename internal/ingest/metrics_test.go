@@ -36,6 +36,14 @@ func TestMetricsExpositionGolden(t *testing.T) {
 		{Stage: rfprism.StageWindow, Duration: 25 * time.Millisecond},
 		{Stage: "unknown-stage", Duration: time.Second}, // dropped, not minted
 	})
+	// Solver fast-path counters, sampled from the System at render time.
+	m.AttachSolverStats(func() rfprism.SolveStatsSnapshot {
+		return rfprism.SolveStatsSnapshot{
+			CacheHits: 9, CacheMisses: 4,
+			WarmAttempts: 6, WarmFallbacks: 2,
+			StartsPruned: 440,
+		}
+	})
 
 	var buf bytes.Buffer
 	m.WriteText(&buf, start.Add(90*time.Second), Gauges{

@@ -195,10 +195,34 @@ func norm(a []float64) float64 {
 	return math.Sqrt(dot(a, a))
 }
 
+// NMOptions tunes NelderMeadOpt beyond the basic iteration budget.
+type NMOptions struct {
+	// MaxIter is the iteration budget. Default 500.
+	MaxIter int
+	// Target, when positive, terminates the search as soon as the best
+	// simplex value is ≤ Target: callers that only need "good enough"
+	// (e.g. a warm-started solve matching its previous window's cost)
+	// stop paying for iterations a later fine pass would redo anyway.
+	Target float64
+	// Stop, when non-nil, is consulted after every completed iteration
+	// with the iteration index and the best value found so far;
+	// returning true terminates the search early. It must be a pure
+	// function of its arguments for runs to stay deterministic.
+	Stop func(iter int, best float64) bool
+}
+
 // NelderMead minimizes f starting from x0 with the given initial
 // simplex scale. It is used for the coarse stages where gradients are
 // unreliable (e.g. wrapped-phase objectives far from the optimum).
 func NelderMead(f func([]float64) float64, x0 []float64, scale float64, maxIter int) ([]float64, float64) {
+	return NelderMeadOpt(f, x0, scale, NMOptions{MaxIter: maxIter})
+}
+
+// NelderMeadOpt is NelderMead with an early-termination contract: the
+// search additionally stops once opts.Target is reached or opts.Stop
+// asks for it (see NMOptions). With a zero NMOptions it is exactly
+// NelderMead.
+func NelderMeadOpt(f func([]float64) float64, x0 []float64, scale float64, opts NMOptions) ([]float64, float64) {
 	n := len(x0)
 	if n == 0 {
 		return nil, f(nil)
@@ -206,6 +230,7 @@ func NelderMead(f func([]float64) float64, x0 []float64, scale float64, maxIter 
 	if scale <= 0 {
 		scale = 0.1
 	}
+	maxIter := opts.MaxIter
 	if maxIter <= 0 {
 		maxIter = 500
 	}
@@ -241,6 +266,12 @@ func NelderMead(f func([]float64) float64, x0 []float64, scale float64, maxIter 
 	for iter := 0; iter < maxIter; iter++ {
 		order()
 		if math.Abs(vals[n]-vals[0]) < 1e-14*(math.Abs(vals[0])+1e-14) {
+			break
+		}
+		if opts.Target > 0 && vals[0] <= opts.Target {
+			break
+		}
+		if opts.Stop != nil && opts.Stop(iter, vals[0]) {
 			break
 		}
 		for j := range centroid {

@@ -36,6 +36,17 @@ func Median(xs []float64) float64 {
 	return Percentile(xs, 50)
 }
 
+// MedianInPlace returns the median of xs, sorting xs as a side effect.
+// It computes exactly the same value as Median but allocates nothing —
+// the form the solver's per-window scratch paths use.
+func MedianInPlace(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sort.Float64s(xs)
+	return percentileSorted(xs, 50)
+}
+
 // Percentile returns the p-th percentile (0..100) of xs using linear
 // interpolation between closest ranks. xs is not modified.
 func Percentile(xs []float64, p float64) float64 {
@@ -45,6 +56,12 @@ func Percentile(xs []float64, p float64) float64 {
 	sorted := make([]float64, len(xs))
 	copy(sorted, xs)
 	sort.Float64s(sorted)
+	return percentileSorted(sorted, p)
+}
+
+// percentileSorted is the interpolation shared by Percentile and
+// MedianInPlace; sorted must be ascending and non-empty.
+func percentileSorted(sorted []float64, p float64) float64 {
 	if p <= 0 {
 		return sorted[0]
 	}

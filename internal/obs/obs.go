@@ -123,6 +123,17 @@ func (r *Registry) NewCounter(name, help string, labels ...Label) *Counter {
 	return c
 }
 
+// NewCounterFunc registers a counter series whose value is sampled
+// from fn at render time — for counters owned elsewhere (e.g. the
+// solver fast-path statistics, which live on the System so they also
+// serve programmatic callers). fn must be safe for concurrent use and
+// monotonically non-decreasing; obs renders whatever it returns.
+func (r *Registry) NewCounterFunc(name, help string, fn func() int64, labels ...Label) {
+	r.register(name, help, "counter", labels, func(w io.Writer, n, l string) {
+		fmt.Fprintf(w, "%s%s %d\n", n, l, fn())
+	})
+}
+
 // Gauge is a settable float64 series.
 type Gauge struct {
 	bits atomic.Uint64

@@ -23,6 +23,7 @@ func TestExpositionGolden(t *testing.T) {
 	g := r.NewGauge("demo_queue_depth", "Windows waiting for a solver.")
 	g.SetInt(7)
 	r.NewGaugeFunc("demo_uptime_seconds", "Seconds since start.", func() float64 { return 12.5 })
+	r.NewCounterFunc("demo_sampled_total", "Counter sampled from a callback at render time.", func() int64 { return 42 })
 	h := r.NewHistogram("demo_latency_seconds", "End-to-end latency.", []float64{0.01, 0.1, 1})
 	h.Observe(0.05)
 	h.Observe(0.05)

@@ -57,6 +57,11 @@ type RuntimeConfig struct {
 	// ProcessHook runs inside the per-window panic fence just before
 	// each solve; see WithProcessHook.
 	ProcessHook func(Window)
+	// FastPath configures the solver fast path (warm-started solves
+	// and the stationary-tag cache) for tagged windows; see
+	// FastPathConfig, WithWarmStart and WithSolveCache. The zero value
+	// disables it.
+	FastPath FastPathConfig
 }
 
 // Config is the full System configuration: what to compute (Pipeline)
@@ -154,6 +159,27 @@ func WithWindowRetry(attempts int, backoff time.Duration) Option {
 // records nothing and pays no timing overhead.
 func WithTracer(t Tracer) Option {
 	return func(s *System) { s.cfg.Runtime.Tracer = t }
+}
+
+// WithWarmStart seeds each tagged solve from the tag's previous
+// estimate, collapsing the multistart to a small basin-local set when
+// the tag moved little between windows. Warm solves that fail a
+// consistency guard (the tag teleported, or the warm result's cost
+// regressed) transparently re-run the full cold path, so accuracy is
+// bounded by the guards, not by the seed. Only windows processed with
+// a non-empty Window.Tag participate; see FastPathConfig.
+func WithWarmStart() Option {
+	return func(s *System) { s.cfg.Runtime.FastPath.WarmStart = true }
+}
+
+// WithSolveCache enables the stationary-tag cache over the last n tags:
+// a tagged window whose per-antenna fitted lines match the tag's
+// previous window within tight slope/intercept tolerances is served the
+// previous estimate — after re-verifying it against the current
+// window's joint objective — without running the solver at all. See
+// FastPathConfig for the tolerance knobs.
+func WithSolveCache(n int) Option {
+	return func(s *System) { s.cfg.Runtime.FastPath.CacheSize = n }
 }
 
 // WithProcessHook installs fn to run inside the per-window panic fence

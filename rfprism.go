@@ -115,6 +115,11 @@ type System struct {
 
 	antennaCal core.AntennaCal
 	tagCals    map[string]TagCal
+
+	// fastpath is the per-tag warm/cache state (nil when the fast path
+	// is disabled); solveStats counts its outcomes either way.
+	fastpath   *solveCache
+	solveStats solveStats
 }
 
 // Config returns the System's effective configuration.
@@ -137,6 +142,9 @@ func NewSystem(antennas []AntennaGeometry, bounds Bounds, opts ...Option) (*Syst
 	}
 	if len(s.antennas) < need {
 		return nil, fmt.Errorf("rfprism: %d antennas configured, need %d", len(s.antennas), need)
+	}
+	if s.cfg.Runtime.FastPath.enabled() {
+		s.fastpath = newSolveCache(s.cfg.Runtime.FastPath)
 	}
 	return s, nil
 }
@@ -329,7 +337,7 @@ func (s *System) processWindow(tag string, attempt int, readings []sim.Reading) 
 	if s.cfg.Runtime.Tracer != nil {
 		tb = newTraceBuf(tag, attempt)
 	}
-	res, err := s.processWindowStages(tb, readings)
+	res, err := s.processWindowStages(tb, tag, readings)
 	if tb != nil {
 		var h *Health
 		if res != nil {
@@ -351,7 +359,9 @@ func (s *System) processWindow(tag string, attempt int, readings []sim.Reading) 
 }
 
 // processWindowStages is the pipeline body: observe → detector → solve.
-func (s *System) processWindowStages(tb *traceBuf, readings []sim.Reading) (*Result, error) {
+// tag keys the solver fast path (warm seeds and the stationary-tag
+// cache are per-tag state); an empty tag always solves cold.
+func (s *System) processWindowStages(tb *traceBuf, tag string, readings []sim.Reading) (*Result, error) {
 	wo, err := s.observe(tb, readings)
 	if err != nil {
 		return nil, err
@@ -404,12 +414,7 @@ func (s *System) processWindowStages(tb *traceBuf, readings []sim.Reading) (*Res
 	if tb != nil {
 		t0 = time.Now()
 	}
-	var est Estimate
-	if s.cfg.Pipeline.Mode3D {
-		est, err = core.Solve3D(obs, s.bounds, s.cfg.Pipeline.Solver)
-	} else {
-		est, err = core.Solve2D(obs, s.bounds, s.cfg.Pipeline.Solver)
-	}
+	est, err := s.solveEstimate(tag, obs)
 	if tb != nil {
 		tb.add(Span{Stage: StageSolve, Antenna: -1, Start: t0, Duration: time.Since(t0), Err: errString(err)})
 	}
