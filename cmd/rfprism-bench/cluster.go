@@ -1,0 +1,121 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"rfprism/internal/ingest"
+	"rfprism/internal/router"
+	"rfprism/internal/sim"
+
+	"rfprism"
+)
+
+// Cluster replay rows.
+//
+// ClusterStream1 / ClusterStream3 replay the same cloned tag
+// population — sim.CloneStream over a truncated single-tag template,
+// fully interleaved so every tag's session is open at once — through
+// the router into 1 vs 3 local rfprismd shards, and report aggregate
+// windows/sec plus p50/p99/p999 per-chunk ingest latency. The shards
+// run a stub instant solver: these rows measure the sharding tier
+// (routing, decode, fan-out, backpressure, sessionization), which is
+// what the router can actually scale; solver throughput has its own
+// rows above. The window total is checked exactly against the offline
+// per-clone count, so a row that loses or duplicates windows fails the
+// bench run instead of reporting a wrong rate.
+
+const (
+	clusterTemplateSeed  = 31
+	clusterTemplateLines = 24
+)
+
+func clusterSessionizer() ingest.SessionizerConfig {
+	return ingest.SessionizerConfig{CoverageClose: 8, MinAntennas: 1, Dwell: time.Hour}
+}
+
+// instantProc closes every window with an empty result immediately.
+type instantProc struct{}
+
+func (instantProc) ProcessStream(ctx context.Context, in <-chan rfprism.Window) <-chan rfprism.WindowResult {
+	out := make(chan rfprism.WindowResult)
+	go func() {
+		defer close(out)
+		i := 0
+		for w := range in {
+			r := rfprism.WindowResult{Index: i, Tag: w.Tag, Result: &rfprism.Result{}}
+			select {
+			case out <- r:
+			case <-ctx.Done():
+				return
+			}
+			i++
+		}
+	}()
+	return out
+}
+
+// countSink counts solved windows across a shard fleet.
+type countSink struct{ n *atomic.Int64 }
+
+func (c countSink) Emit(ingest.TagResult) error { c.n.Add(1); return nil }
+func (countSink) Close() error                  { return nil }
+
+// clusterRow replays `tags` cloned tags through a `shards`-shard local
+// cluster and returns the bench row. Parallelism carries the shard
+// count.
+func clusterRow(name string, shards, tags int) (benchRecord, error) {
+	template, err := router.LoadTemplate(clusterTemplateSeed, clusterTemplateLines)
+	if err != nil {
+		return benchRecord{}, err
+	}
+	perClone, err := router.OfflineWindowCount(template, clusterSessionizer())
+	if err != nil {
+		return benchRecord{}, err
+	}
+	if perClone == 0 {
+		return benchRecord{}, fmt.Errorf("cluster template closes no windows")
+	}
+	var solved atomic.Int64
+	c, err := router.NewCluster(router.ClusterConfig{
+		Shards:       shards,
+		NewProcessor: func(string) ingest.Processor { return instantProc{} },
+		NewSinks:     func(string) []ingest.Sink { return []ingest.Sink{countSink{&solved}} },
+		Daemon: ingest.Config{
+			Sessionizer: clusterSessionizer(),
+			QueueSize:   4096,
+			RetryAfter:  2 * time.Millisecond,
+		},
+	})
+	if err != nil {
+		return benchRecord{}, err
+	}
+	start := time.Now()
+	rep, err := router.RunLoad(context.Background(), c.Handler(), router.LoadConfig{ChunkLines: 512},
+		sim.CloneStream(template, tags, nil))
+	if err != nil {
+		_ = c.Close(context.Background())
+		return benchRecord{}, fmt.Errorf("%s: %w", name, err)
+	}
+	// Close drains the shards: the open session tails solve, and after
+	// it returns every expected window has been counted.
+	if err := c.Close(context.Background()); err != nil {
+		return benchRecord{}, fmt.Errorf("%s: close: %w", name, err)
+	}
+	elapsed := time.Since(start)
+	windows := int64(tags) * int64(perClone)
+	if got := solved.Load(); got != windows {
+		return benchRecord{}, fmt.Errorf("%s: solved %d windows, want exactly %d — lost or duplicated work", name, got, windows)
+	}
+	return benchRecord{
+		Name:          name,
+		Parallelism:   shards,
+		NsPerOp:       elapsed.Nanoseconds() / windows,
+		WindowsPerSec: float64(windows) / elapsed.Seconds(),
+		P50Ms:         float64(rep.P50.Nanoseconds()) / 1e6,
+		P99Ms:         float64(rep.P99.Nanoseconds()) / 1e6,
+		P999Ms:        float64(rep.P999.Nanoseconds()) / 1e6,
+	}, nil
+}

@@ -45,6 +45,11 @@ type benchRecord struct {
 	AllocsPerOp   int64   `json:"allocs_per_op"`
 	BytesPerOp    int64   `json:"bytes_per_op"`
 	WindowsPerSec float64 `json:"windows_per_sec,omitempty"`
+	// Ingest latency percentiles, recorded only by the cluster replay
+	// rows (per-chunk POST round-trip through the router).
+	P50Ms  float64 `json:"p50_ms,omitempty"`
+	P99Ms  float64 `json:"p99_ms,omitempty"`
+	P999Ms float64 `json:"p999_ms,omitempty"`
 }
 
 // stageRecord is one pipeline stage's share of batch processing time,
@@ -76,6 +81,7 @@ func main() {
 	benchtime := flag.Duration("benchtime", time.Second, "minimum measuring time per benchmark")
 	against := flag.String("against", "", "baseline report to diff against (exit 1 on gated regressions)")
 	maxRegress := flag.Float64("max-regress", 10, "max tolerated ns/op regression vs -against, percent")
+	clusterTags := flag.Int("cluster-tags", 100000, "cloned tag population for the ClusterStream rows (0 skips them)")
 	flag.Parse()
 	// testing.Benchmark honors the -test.benchtime flag value.
 	if err := flag.Lookup("test.benchtime").Value.Set(benchtime.String()); err != nil {
@@ -105,8 +111,10 @@ func main() {
 		NumCPU:     runtime.NumCPU(),
 		GoMaxProcs: runtime.GOMAXPROCS(0),
 		Benchtime:  benchtime.String(),
-		SpeedupNote: "parallel speedup requires a multi-core runner; " +
-			"on a single-core host the parallelism=N rows equal the serial rows",
+		SpeedupNote: "parallel speedup requires a multi-core runner; on a single-core host " +
+			"the Solve2DSweep parallelism=N rows and the ClusterStream shards=N rows " +
+			"equal their serial counterparts (scheduling overhead aside) — " +
+			"re-record on a multi-core machine to measure real speedup",
 	}
 
 	pars := []int{1, runtime.GOMAXPROCS(0)}
@@ -114,6 +122,23 @@ func main() {
 		// Still record an explicit parallel configuration so the
 		// worker-pool overhead is visible even on one core.
 		pars[1] = 2
+	}
+	// The parallelism sweep the ROADMAP flags as unmeasured: the same
+	// Solve2D op across a fixed ladder of worker counts, so a report
+	// recorded on a multi-core runner directly exposes the scaling
+	// curve (and a single-core report exposes, honestly, the lack of
+	// one). Informational — not regression-gated.
+	for _, par := range []int{1, 2, 4, 8} {
+		par := par
+		r := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := core.Solve2D(obs2d, bounds2d, core.Options{Parallelism: par}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		report.Benchmarks = append(report.Benchmarks, record("Solve2DSweep", par, r, 0))
 	}
 	for _, par := range pars {
 		par := par
@@ -222,6 +247,24 @@ func main() {
 		report.Benchmarks = append(report.Benchmarks, record(name, 1, r, len(streamWins)))
 	}
 
+	// Sharded ingest replay: the same cloned 100k-tag population (see
+	// cluster.go) through the router into 1 vs 3 shards. On a
+	// multi-core runner the 3-shard row is the horizontal-scaling
+	// claim; here the pair also gates windows/sec regressions in the
+	// routing tier.
+	if *clusterTags > 0 {
+		for _, cr := range []struct {
+			name   string
+			shards int
+		}{{"ClusterStream1", 1}, {"ClusterStream3", 3}} {
+			rec, err := clusterRow(cr.name, cr.shards, *clusterTags)
+			if err != nil {
+				log.Fatal(err)
+			}
+			report.Benchmarks = append(report.Benchmarks, rec)
+		}
+	}
+
 	// Per-stage breakdown on a dedicated traced pass: the rows above
 	// must stay tracer-free so they remain comparable to baselines
 	// recorded before tracing existed.
@@ -243,6 +286,9 @@ func main() {
 		fmt.Printf("%-22s parallelism=%-2d %12d ns/op %8d allocs/op", b.Name, b.Parallelism, b.NsPerOp, b.AllocsPerOp)
 		if b.WindowsPerSec > 0 {
 			fmt.Printf(" %10.1f windows/sec", b.WindowsPerSec)
+		}
+		if b.P999Ms > 0 {
+			fmt.Printf("  ingest p50/p99/p999 %.2f/%.2f/%.2f ms", b.P50Ms, b.P99Ms, b.P999Ms)
 		}
 		fmt.Println()
 	}
@@ -283,6 +329,8 @@ var gatedBenchmarks = map[string]bool{
 	"ProcessWindowsBatch": true,
 	"StreamReplayCold":    true,
 	"StreamReplayWarm":    true,
+	"ClusterStream1":      true,
+	"ClusterStream3":      true,
 }
 
 // compareReports diffs current against baseline by (name,

@@ -1,0 +1,31 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseFlagsModeExclusion(t *testing.T) {
+	cases := []struct {
+		args []string
+		ok   bool
+	}{
+		{[]string{"-local", "3"}, true},
+		{[]string{"-shards", "s0=http://127.0.0.1:1"}, true},
+		{[]string{}, false},
+		{[]string{"-local", "3", "-shards", "s0=http://127.0.0.1:1"}, false},
+	}
+	for _, c := range cases {
+		_, err := parseFlags(c.args)
+		if (err == nil) != c.ok {
+			t.Errorf("parseFlags(%v) err = %v, want ok=%v", c.args, err, c.ok)
+		}
+	}
+}
+
+func TestRunRejectsBadShardList(t *testing.T) {
+	err := run([]string{"-addr", "127.0.0.1:0", "-shards", "nourl"}, &strings.Builder{})
+	if err == nil || !strings.Contains(err.Error(), "bad -shards entry") {
+		t.Fatalf("err = %v, want bad -shards entry", err)
+	}
+}

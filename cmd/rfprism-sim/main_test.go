@@ -1,6 +1,8 @@
 package main
 
 import (
+	"bytes"
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"testing"
@@ -44,5 +46,55 @@ func TestRunRejectsBadMaterial(t *testing.T) {
 func TestRunRejectsBadFlag(t *testing.T) {
 	if err := run([]string{"-definitely-not-a-flag"}); err == nil {
 		t.Fatal("bad flag must error")
+	}
+}
+
+// TestRunStreamDeterministicNDJSON: -stream writes one valid
+// sim.Reading per line, interleaved across the tag population, and is
+// byte-deterministic in the seed.
+func TestRunStreamDeterministicNDJSON(t *testing.T) {
+	dir := t.TempDir()
+	collect := func(name string) []byte {
+		out := filepath.Join(dir, name)
+		if err := run([]string{"-stream", "-tags", "2", "-rounds", "1", "-seed", "7", "-o", out}); err != nil {
+			t.Fatal(err)
+		}
+		b, err := os.ReadFile(out)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b
+	}
+	a, b := collect("a.ndjson"), collect("b.ndjson")
+	if !bytes.Equal(a, b) {
+		t.Fatal("equal seeds produced different streams")
+	}
+	epcs := map[string]int{}
+	lines := 0
+	for _, line := range bytes.Split(a, []byte("\n")) {
+		if len(bytes.TrimSpace(line)) == 0 {
+			continue
+		}
+		var rd sim.Reading
+		if err := json.Unmarshal(line, &rd); err != nil {
+			t.Fatalf("line %q: %v", line, err)
+		}
+		epcs[rd.EPC]++
+		lines++
+	}
+	if len(epcs) != 2 {
+		t.Fatalf("stream covers %d EPCs, want 2", len(epcs))
+	}
+	if lines < 2*rf.NumChannels {
+		t.Fatalf("only %d lines", lines)
+	}
+}
+
+func TestRunStreamRejectsBadArgs(t *testing.T) {
+	if err := run([]string{"-stream", "-tags", "0"}); err == nil {
+		t.Fatal("zero tags must error")
+	}
+	if err := run([]string{"-stream", "-env", "vacuum"}); err == nil {
+		t.Fatal("bad env must error")
 	}
 }

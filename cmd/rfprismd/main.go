@@ -82,6 +82,7 @@ func main() {
 
 type options struct {
 	addr         string
+	addrFile     string
 	seed         int64
 	env          string
 	coverage     int
@@ -112,6 +113,7 @@ func parseFlags(args []string) (options, error) {
 	var o options
 	fs := flag.NewFlagSet("rfprismd", flag.ContinueOnError)
 	fs.StringVar(&o.addr, "addr", "", "HTTP listen address (empty: no server)")
+	fs.StringVar(&o.addrFile, "addr-file", "", "write the bound listen address to this file (atomic rename; lets a router or supervisor discover an ephemeral :0 port)")
 	fs.Int64Var(&o.seed, "seed", 1, "deployment seed (geometry, hardware offsets, calibration)")
 	fs.StringVar(&o.env, "env", "clean", "environment: clean|multipath")
 	fs.IntVar(&o.coverage, "coverage", 45, "distinct channels that close a window")
@@ -147,6 +149,9 @@ func parseFlags(args []string) (options, error) {
 	}
 	if o.recover && o.journalDir == "" {
 		return o, fmt.Errorf("-recover requires -journal-dir")
+	}
+	if o.addrFile != "" && o.addr == "" {
+		return o, fmt.Errorf("-addr-file requires -addr")
 	}
 	if o.replay && o.tags < 1 {
 		return o, fmt.Errorf("-tags must be ≥ 1, got %d", o.tags)
@@ -283,6 +288,17 @@ func run(args []string, stdout io.Writer) error {
 		}
 		httpSrv = &http.Server{Handler: ingest.NewServer(d, ring).Handler()}
 		fmt.Fprintf(stdout, "rfprismd: listening on %s\n", ln.Addr())
+		if o.addrFile != "" {
+			// Write-then-rename so a polling supervisor never reads a
+			// half-written address.
+			tmp := o.addrFile + ".tmp"
+			if err := os.WriteFile(tmp, []byte(ln.Addr().String()), 0o644); err != nil {
+				return err
+			}
+			if err := os.Rename(tmp, o.addrFile); err != nil {
+				return err
+			}
+		}
 		go func() { serveErr <- httpSrv.Serve(ln) }()
 	}
 

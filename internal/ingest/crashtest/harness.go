@@ -19,7 +19,10 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"net"
+	"net/http"
 	"os"
+	"os/signal"
 	"strconv"
 	"syscall"
 	"time"
@@ -40,6 +43,14 @@ const (
 	envCrashAt = "RFPRISM_CRASHTEST_CRASH_AT"
 	envResume  = "RFPRISM_CRASHTEST_RESUME_FROM"
 	envRecover = "RFPRISM_CRASHTEST_RECOVER"
+	// envMode selects the child role: "" / "feed" is the classic
+	// self-feeding, self-killing daemon; "serve" runs a full rfprismd
+	// shard (daemon + journal + HTTP server) that is fed — and killed —
+	// from outside, which is what the router chaos test needs.
+	envMode = "RFPRISM_CRASHTEST_MODE"
+	// envAddrFile is where a serve-mode child publishes its bound
+	// listen address (written atomically; the parent polls for it).
+	envAddrFile = "RFPRISM_CRASHTEST_ADDR_FILE"
 )
 
 // Fixed harness parameters. syncRecords is the deterministic loss
@@ -62,9 +73,13 @@ func IsChild() bool { return os.Getenv(envChild) == "1" }
 
 // RunChild runs the child role to completion and returns its exit
 // code. A scheduled crash never returns at all — the child SIGKILLs
-// itself.
+// itself (feed mode) or is killed from outside (serve mode).
 func RunChild() int {
-	if err := runChild(); err != nil {
+	run := runChild
+	if os.Getenv(envMode) == "serve" {
+		run = runServeChild
+	}
+	if err := run(); err != nil {
 		fmt.Fprintln(os.Stderr, "crashtest child:", err)
 		return 1
 	}
@@ -128,6 +143,105 @@ func buildHarness(seed int64) (*rfprism.System, []sim.Reading, error) {
 		return nil, nil, err
 	}
 	return sys, reports, nil
+}
+
+// shardTags is the tag population for the sharded chaos stream — wide
+// enough that a 3-shard ring spreads EPCs across every shard.
+const shardTags = 6
+
+// buildShardStream regenerates the interleaved multi-tag stream the
+// shard chaos parent feeds through the router. Serve-mode children
+// never see it directly (they are fed over HTTP), but it is built on
+// the same seeded scene as buildHarness's calibration, so the
+// children's solvers see physically consistent reports.
+func buildShardStream(seed int64) ([]sim.Reading, error) {
+	hwRng := rand.New(rand.NewSource(seed))
+	scene, err := sim.NewScene(sim.PaperAntennas2D(hwRng), rf.CleanSpace(), sim.DefaultConfig(), seed+999)
+	if err != nil {
+		return nil, err
+	}
+	none, err := rf.MaterialByName("none")
+	if err != nil {
+		return nil, err
+	}
+	region := sim.PaperRegion()
+	posRng := rand.New(rand.NewSource(seed + 13))
+	tracked := make([]sim.TrackedTag, shardTags)
+	for i := range tracked {
+		pos := geom.Vec3{
+			X: region.XMin + posRng.Float64()*(region.XMax-region.XMin),
+			Y: region.YMin + posRng.Float64()*(region.YMax-region.YMin),
+		}
+		tracked[i] = sim.TrackedTag{
+			Tag:    scene.NewTag(fmt.Sprintf("shard-%02d", i)),
+			Motion: scene.Place(pos, posRng.Float64()*3, none),
+		}
+	}
+	return scene.CollectStream(tracked, harnessRounds)
+}
+
+// runServeChild is one shard lifetime: a journaled daemon behind the
+// full ingest HTTP server on an ephemeral loopback port, its address
+// published through the addr file. The child serves until SIGTERM
+// (clean drain) or until the parent SIGKILLs the process — the crash
+// under test.
+func runServeChild() error {
+	dir := os.Getenv(envDir)
+	addrFile := os.Getenv(envAddrFile)
+	if dir == "" || addrFile == "" {
+		return fmt.Errorf("serve child needs %s and %s", envDir, envAddrFile)
+	}
+	seed, err := strconv.ParseInt(os.Getenv(envSeed), 10, 64)
+	if err != nil {
+		return fmt.Errorf("bad %s: %w", envSeed, err)
+	}
+	sys, _, err := buildHarness(seed)
+	if err != nil {
+		return err
+	}
+	j, err := ingest.OpenJournal(ingest.JournalConfig{
+		Dir:         dir,
+		SyncEvery:   time.Hour, // count-triggered syncs only: deterministic loss bound
+		SyncRecords: syncRecords,
+	})
+	if err != nil {
+		return err
+	}
+	ring := ingest.NewRingSink(8)
+	d := ingest.NewDaemon(sys, ingest.Config{
+		Sessionizer: sessionizerConfig(),
+		QueueSize:   harnessQueue,
+		Journal:     j,
+	}, ring)
+	if os.Getenv(envRecover) == "1" {
+		info, err := d.Recover()
+		if err != nil {
+			return fmt.Errorf("recover: %w", err)
+		}
+		fmt.Fprintf(os.Stderr, "crashtest shard: recovered %+v\n", info)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	srv := &http.Server{Handler: ingest.NewServer(d, ring).Handler()}
+	go func() { _ = srv.Serve(ln) }()
+	// Publish the bound address atomically: write-then-rename, so the
+	// polling parent never reads a half-written file.
+	tmp := addrFile + ".tmp"
+	if err := os.WriteFile(tmp, []byte(ln.Addr().String()), 0o644); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, addrFile); err != nil {
+		return err
+	}
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, syscall.SIGTERM)
+	<-sigc
+	_ = srv.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	return d.Shutdown(ctx)
 }
 
 // runChild is one daemon lifetime: open the journal, optionally

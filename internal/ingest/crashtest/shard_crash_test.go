@@ -1,0 +1,375 @@
+package crashtest
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"rfprism"
+	"rfprism/internal/ingest"
+	"rfprism/internal/router"
+	"rfprism/internal/sim"
+)
+
+// shardChild is one serve-mode shard process under parent control.
+type shardChild struct {
+	id       string
+	dir      string
+	addrFile string
+	cmd      *exec.Cmd
+}
+
+// startShardChild launches (or relaunches, with recover) one shard
+// process and waits for its published address.
+func startShardChild(t *testing.T, id, dir string, seed int64, recover bool) (*shardChild, string) {
+	t.Helper()
+	exe, err := os.Executable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := &shardChild{id: id, dir: dir, addrFile: filepath.Join(dir, fmt.Sprintf("addr-%d.txt", time.Now().UnixNano()))}
+	rec := "0"
+	if recover {
+		rec = "1"
+	}
+	sc.cmd = exec.Command(exe)
+	sc.cmd.Env = append(os.Environ(),
+		envChild+"=1",
+		envMode+"=serve",
+		envDir+"="+dir,
+		envSeed+"="+strconv.FormatInt(seed, 10),
+		envAddrFile+"="+sc.addrFile,
+		envRecover+"="+rec,
+	)
+	sc.cmd.Stderr = os.Stderr
+	if err := sc.cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		if b, err := os.ReadFile(sc.addrFile); err == nil && len(b) > 0 {
+			return sc, "http://" + strings.TrimSpace(string(b))
+		}
+		if time.Now().After(deadline) {
+			_ = sc.cmd.Process.Kill()
+			t.Fatalf("shard %s never published its address", id)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// sigkill kills the shard process dead — no drain, no final sync —
+// and reaps it so the journal directory has no writer left.
+func (sc *shardChild) sigkill(t *testing.T) {
+	t.Helper()
+	if err := sc.cmd.Process.Kill(); err != nil {
+		t.Fatal(err)
+	}
+	_ = sc.cmd.Wait()
+}
+
+// drain sends SIGTERM and requires a clean exit (the serve child
+// drains its daemon on SIGTERM).
+func (sc *shardChild) drain(t *testing.T) {
+	t.Helper()
+	if err := sc.cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	if err := sc.cmd.Wait(); err != nil {
+		t.Fatalf("shard %s drain exit: %v", sc.id, err)
+	}
+}
+
+// readJournalReadings loads a shard's retained reports in journal
+// order — the per-shard ground truth its ledger must match.
+func readJournalReadings(t *testing.T, dir string) []sim.Reading {
+	t.Helper()
+	matches, err := filepath.Glob(filepath.Join(dir, "journal-*.ndjson"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sort.Strings(matches) // names embed the zero-padded first seq
+	var out []sim.Reading
+	for _, path := range matches {
+		b, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, line := range strings.Split(string(b), "\n") {
+			line = strings.TrimSpace(line)
+			if line == "" {
+				continue
+			}
+			var rd sim.Reading
+			if err := json.Unmarshal([]byte(line), &rd); err != nil {
+				t.Fatalf("journal line %q: %v", line, err)
+			}
+			out = append(out, rd)
+		}
+	}
+	return out
+}
+
+// TestShardCrashChaos is the cluster chaos harness: three real shard
+// processes behind the router, a seeded six-tag stream fanned out
+// per EPC, one shard SIGKILLed mid-stream. The router must degrade —
+// /readyz goes 503 naming the dead shard, scatter reads turn partial,
+// ingest refuses with a resumable prefix — and after the shard
+// restarts with journal recovery and the stream finishes, every
+// shard's emission ledger must be duplicate-free and exactly equal to
+// the offline baseline over its own retained journal.
+func TestShardCrashChaos(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns shard processes and solves windows; skipped in -short")
+	}
+	const seed = int64(43)
+	stream, err := buildShardStream(seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := make([]string, len(stream))
+	for i, rd := range stream {
+		b, err := json.Marshal(rd)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lines[i] = string(b)
+	}
+
+	// Three shard processes behind a fresh router.
+	rt := router.New(router.Config{ShardTimeout: 30 * time.Second})
+	shards := make(map[string]*shardChild, 3)
+	root := t.TempDir()
+	for i := 0; i < 3; i++ {
+		id := fmt.Sprintf("s%d", i)
+		dir := filepath.Join(root, id)
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			t.Fatal(err)
+		}
+		sc, url := startShardChild(t, id, dir, seed, false)
+		shards[id] = sc
+		if err := rt.AddShard(id, url); err != nil {
+			t.Fatal(err)
+		}
+	}
+	t.Cleanup(func() {
+		for _, sc := range shards {
+			_ = sc.cmd.Process.Kill()
+			_, _ = sc.cmd.Process.Wait()
+		}
+	})
+
+	post := func(body string) *httptest.ResponseRecorder {
+		w := httptest.NewRecorder()
+		rt.Handler().ServeHTTP(w, httptest.NewRequest(http.MethodPost, "/v1/ingest", strings.NewReader(body)))
+		return w
+	}
+	get := func(path string) *httptest.ResponseRecorder {
+		w := httptest.NewRecorder()
+		rt.Handler().ServeHTTP(w, httptest.NewRequest(http.MethodGet, path, nil))
+		return w
+	}
+
+	// Phase 1: first half of the stream through a healthy cluster.
+	half := len(lines) / 2
+	w := post(strings.Join(lines[:half], "\n") + "\n")
+	if w.Code != http.StatusAccepted {
+		t.Fatalf("healthy ingest: %d %s", w.Code, w.Body.String())
+	}
+
+	// Phase 2: SIGKILL the shard owning the stream's first EPC.
+	victimInfo, ok := rt.Owner(stream[0].EPC)
+	if !ok {
+		t.Fatal("no ring owner")
+	}
+	victim := victimInfo.ID
+	t.Logf("killing shard %s (owner of %s) after %d/%d lines", victim, stream[0].EPC, half, len(lines))
+	shards[victim].sigkill(t)
+
+	// Degradation: /readyz 503 with the victim marked down.
+	w = get("/readyz")
+	if w.Code != http.StatusServiceUnavailable {
+		t.Fatalf("readyz with dead shard: %d %s", w.Code, w.Body.String())
+	}
+	var ready struct {
+		Ready  bool `json:"ready"`
+		Shards []struct{ ID, State string }
+	}
+	if err := json.Unmarshal(w.Body.Bytes(), &ready); err != nil {
+		t.Fatal(err)
+	}
+	states := map[string]string{}
+	for _, s := range ready.Shards {
+		states[s.ID] = s.State
+	}
+	if ready.Ready || states[victim] != "down" {
+		t.Fatalf("readyz body %s", w.Body.String())
+	}
+
+	// Degradation: scatter reads answer partial, naming the victim.
+	w = get("/v1/tags")
+	if w.Code != http.StatusOK || w.Header().Get("X-RFPrism-Partial") != "1" {
+		t.Fatalf("tags with dead shard: %d partial=%q", w.Code, w.Header().Get("X-RFPrism-Partial"))
+	}
+	var tags struct {
+		Partial       bool     `json:"partial"`
+		MissingShards []string `json:"missingShards"`
+	}
+	if err := json.Unmarshal(w.Body.Bytes(), &tags); err != nil {
+		t.Fatal(err)
+	}
+	if !tags.Partial || len(tags.MissingShards) != 1 || tags.MissingShards[0] != victim {
+		t.Fatalf("partial scatter body %s", w.Body.String())
+	}
+
+	// Degradation: ingest touching the victim refuses with a resumable
+	// prefix (the second half interleaves every tag, so it must hit
+	// the dead shard).
+	resume := half
+	w = post(strings.Join(lines[resume:], "\n") + "\n")
+	if w.Code != http.StatusBadGateway {
+		t.Fatalf("ingest with dead shard: %d %s", w.Code, w.Body.String())
+	}
+	var env struct {
+		Code     string `json:"code"`
+		Accepted int    `json:"accepted"`
+		Shard    string `json:"shard"`
+	}
+	if err := json.Unmarshal(w.Body.Bytes(), &env); err != nil {
+		t.Fatal(err)
+	}
+	if env.Code != router.CodeShardUnavailable || env.Shard != victim {
+		t.Fatalf("dead-shard envelope %s", w.Body.String())
+	}
+	resume += env.Accepted
+	t.Logf("dead-shard ingest accepted %d more lines; resuming at %d after restart", env.Accepted, resume)
+
+	// Phase 3: restart the victim with journal recovery, re-register,
+	// finish the stream. Lines past the accepted prefix that a healthy
+	// shard already took are re-delivered — the documented
+	// at-least-once overshoot; the per-shard baselines below prove the
+	// ledgers stay exact anyway.
+	sc, url := startShardChild(t, victim, shards[victim].dir, seed, true)
+	shards[victim] = sc
+	if err := rt.RemoveShard(victim); err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.AddShard(victim, url); err != nil {
+		t.Fatal(err)
+	}
+	w = post(strings.Join(lines[resume:], "\n") + "\n")
+	if w.Code != http.StatusAccepted {
+		t.Fatalf("post-restart ingest: %d %s", w.Code, w.Body.String())
+	}
+	if w = get("/readyz"); w.Code != http.StatusOK {
+		t.Fatalf("readyz after restart: %d %s", w.Code, w.Body.String())
+	}
+
+	// Clean drain everywhere, then verify each shard's ledger against
+	// the offline baseline over its own retained journal.
+	ids := make([]string, 0, len(shards))
+	for id := range shards {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		shards[id].drain(t)
+	}
+
+	sys, _, err := buildHarness(seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	now := time.Now()
+	epcOwner := map[string]string{} // EPC → shard that emitted it
+	totalWindows := 0
+	for _, id := range ids {
+		dir := shards[id].dir
+		readings := readJournalReadings(t, dir)
+
+		// Offline baseline: this shard's retained reports through the
+		// same sessionizer, solved directly.
+		type baseline struct {
+			est *rfprism.Estimate
+			err error
+		}
+		base := map[ingest.WindowKey]baseline{}
+		solve := func(cw ingest.ClosedWindow) {
+			res, err := sys.ProcessWindow(cw.Readings)
+			bw := baseline{err: err}
+			if err == nil {
+				bw.est = &res.Estimate
+			}
+			base[cw.Key()] = bw
+		}
+		z := ingest.NewSessionizer(sessionizerConfig())
+		for i, rd := range readings {
+			if cw, closed, err := z.AddSeq(rd, uint64(i), now); err != nil {
+				t.Fatalf("shard %s baseline rejected report %d: %v", id, i, err)
+			} else if closed {
+				solve(cw)
+			}
+		}
+		for _, cw := range z.Drain(now) {
+			solve(cw)
+		}
+
+		ledger := readLedger(t, filepath.Join(dir, "results.ndjson"))
+		got := map[ingest.WindowKey]ingest.TagResult{}
+		for _, tr := range ledger {
+			key := ingest.WindowKey{EPC: tr.EPC, FirstSeq: tr.FirstSeq}
+			if _, dup := got[key]; dup {
+				t.Fatalf("shard %s: duplicate window %+v in emission ledger", id, key)
+			}
+			got[key] = tr
+			if prev, ok := epcOwner[tr.EPC]; ok && prev != id {
+				t.Fatalf("EPC %s emitted by both %s and %s — sharding leaked", tr.EPC, prev, id)
+			}
+			epcOwner[tr.EPC] = id
+		}
+		for key, bw := range base {
+			tr, ok := got[key]
+			if !ok {
+				t.Errorf("shard %s: window %+v missing from ledger", id, key)
+				continue
+			}
+			switch {
+			case bw.err != nil:
+				if tr.Err == "" {
+					t.Errorf("shard %s window %+v: baseline failed (%v), daemon succeeded", id, key, bw.err)
+				}
+			case tr.Estimate == nil:
+				t.Errorf("shard %s window %+v: baseline succeeded, daemon failed: %s", id, key, tr.Err)
+			default:
+				dx, dy, dz := tr.Estimate.X-bw.est.Pos.X, tr.Estimate.Y-bw.est.Pos.Y, tr.Estimate.Z-bw.est.Pos.Z
+				if d := math.Sqrt(dx*dx + dy*dy + dz*dz); d > 1e-6 {
+					t.Errorf("shard %s window %+v: estimate drifted %g m", id, key, d)
+				}
+			}
+		}
+		for key := range got {
+			if _, ok := base[key]; !ok {
+				t.Errorf("shard %s: window %+v emitted but absent from baseline", id, key)
+			}
+		}
+		t.Logf("shard %s: %d retained reports, %d windows verified", id, len(readings), len(base))
+		totalWindows += len(base)
+	}
+	if totalWindows == 0 {
+		t.Fatal("no windows anywhere — harness parameters are degenerate")
+	}
+	if len(epcOwner) < shardTags {
+		t.Errorf("only %d of %d EPCs produced windows", len(epcOwner), shardTags)
+	}
+}

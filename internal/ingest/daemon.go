@@ -708,6 +708,37 @@ func (d *Daemon) shutdown(ctx context.Context) error {
 	return errors.Join(closeErrs...)
 }
 
+// Kill stops the daemon without draining: open sessions are abandoned
+// un-emitted, in-flight solves are cancelled, and the journal is
+// closed. This is the closest an in-process daemon comes to dying —
+// afterwards the retained journal plus the emission ledger are the
+// only truth, exactly the state Recover (or a cluster's dead-shard
+// handoff) consumes. Kill and Shutdown share the once; whichever runs
+// first wins.
+func (d *Daemon) Kill() {
+	d.shutdownOnce.Do(func() {
+		d.log.Warn("killed: abandoning open sessions")
+		d.mu.Lock()
+		d.draining = true
+		d.mu.Unlock()
+		close(d.expireStop)
+		<-d.expireDone
+		// Cancel solves first, then close the queue: with draining set
+		// and the sweeper stopped nothing else produces, so the close
+		// cannot race a send. Results already in flight may still land
+		// a ledger line — a real crash can be that lucky too.
+		d.procCancel()
+		close(d.windows)
+		<-d.resultsDone
+		if d.journal != nil {
+			if err := d.journal.Close(); err != nil {
+				d.met.JournalErrors.Add(1)
+			}
+		}
+		d.shutdownErr = errors.New("ingest: daemon was killed")
+	})
+}
+
 // ReplayReports feeds a recorded or simulated report stream through
 // Offer, honoring backpressure: ErrBusy pauses for the daemon's
 // advertised Retry-After and retries the same report. pace scales the

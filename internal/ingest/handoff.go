@@ -1,0 +1,110 @@
+package ingest
+
+import (
+	"sort"
+
+	"rfprism/internal/sim"
+)
+
+// This file is the shard-handoff surface the router tier builds on.
+// When a shard leaves a cluster its per-EPC state must move, not
+// vanish: open sessions are extracted raw (HandoffSessions) and
+// re-offered to the EPCs' new owners, and a shard that died without
+// draining leaves a journal whose unserved tail (UnservedReports) is
+// replayed into the survivors. Both paths deliberately return raw
+// readings rather than assembled windows — the receiving shard's own
+// sessionizer re-groups them, so window identity stays local to the
+// journal that will serve them.
+
+// HandoffSession is one open per-EPC session extracted from a shard
+// that is leaving the ring: the raw readings in arrival order, ready
+// to be re-offered to the EPC's new owner.
+type HandoffSession struct {
+	EPC      string
+	Readings []sim.Reading
+	// FirstSeq is the session's first journal position in the SOURCE
+	// shard's journal (0 without a journal). It is diagnostic only —
+	// the receiving shard journals the readings under its own
+	// sequence numbers.
+	FirstSeq uint64
+}
+
+// TakeSessions removes every open session whose EPC matches pred and
+// returns them as handoff payloads, sorted by EPC. Unlike Drain the
+// sessions are not emitted as windows and the antenna floor is not
+// applied: the readings are going to another sessionizer, not to the
+// solver. The per-EPC display counter advances as with Abort.
+func (z *Sessionizer) TakeSessions(pred func(epc string) bool) []HandoffSession {
+	var epcs []string
+	for epc := range z.tags {
+		if pred(epc) {
+			epcs = append(epcs, epc)
+		}
+	}
+	sort.Strings(epcs)
+	out := make([]HandoffSession, 0, len(epcs))
+	for _, epc := range epcs {
+		s := z.tags[epc]
+		delete(z.tags, epc)
+		z.seqs[epc] = s.seq + 1
+		z.buffered -= len(s.readings)
+		out = append(out, HandoffSession{EPC: epc, Readings: s.readings, FirstSeq: s.firstSeq})
+	}
+	return out
+}
+
+// HandoffSessions extracts the open sessions whose EPC matches pred
+// (nil means all) for transfer to another shard. Call it on a shard
+// leaving the ring, after routing has stopped sending it new reports
+// and before Shutdown — extracted sessions are gone from this daemon,
+// so the drain will not emit them, and no ledger line is written for
+// them (their identity moves with them to the receiving shard).
+//
+// The extracted readings remain in this shard's journal. That is safe
+// only because a handed-off shard never runs Recover again: the
+// cluster retires the journal directory with the shard. A shard that
+// will restart must NOT hand off — restart-and-recover is the
+// single-shard crash path.
+func (d *Daemon) HandoffSessions(pred func(epc string) bool) []HandoffSession {
+	if pred == nil {
+		pred = func(string) bool { return true }
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	out := d.sess.TakeSessions(pred)
+	for range out {
+		d.met.SessionsHandedOff.Add(1)
+	}
+	return out
+}
+
+// UnservedReports scans a dead shard's journal and returns, in journal
+// order, every retained report that is NOT covered by the emission
+// ledger's served spans — the readings whose windows were never
+// delivered. The router's handoff path re-offers them to the EPCs'
+// new owners after a shard is removed dead (its own Recover can never
+// run). The journal is only read; the caller still owns closing it.
+//
+// The span logic is identical to Recover's: a report inside any served
+// [FirstSeq, LastSeq] span was delivered under that window's identity
+// and is suppressed, everything else is live. suppressed counts the
+// suppressed reports.
+func UnservedReports(j *Journal) (live []sim.Reading, suppressed int, err error) {
+	emitted, err := j.EmittedSet()
+	if err != nil {
+		return nil, 0, err
+	}
+	served := newServedIndex(emitted)
+	_, rerr := j.Replay(func(seq uint64, rd sim.Reading) error {
+		if _, ok := served.lookup(rd.EPC, seq); ok {
+			suppressed++
+			return nil
+		}
+		live = append(live, rd)
+		return nil
+	})
+	if rerr != nil {
+		return live, suppressed, rerr
+	}
+	return live, suppressed, nil
+}

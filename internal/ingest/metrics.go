@@ -52,6 +52,7 @@ type Metrics struct {
 	BreakerTrips       *obs.Counter
 	ReportsJournalOnly *obs.Counter
 	SessionsAborted    *obs.Counter // open sessions retired un-emitted into replay custody
+	SessionsHandedOff  *obs.Counter // open sessions extracted for shard handoff
 	JournalErrors      *obs.Counter
 	WindowsSuppressed  *obs.Counter // replay: already in the emission ledger
 	WindowsRecovered   *obs.Counter // replay: re-enqueued for solving
@@ -105,6 +106,7 @@ func NewMetrics(start time.Time) *Metrics {
 	m.BreakerTrips = r.NewCounter("rfprismd_breaker_trips_total", "Panic circuit breaker trips.")
 	m.ReportsJournalOnly = r.NewCounter("rfprismd_reports_journal_only_total", "Reports journaled but shed while the breaker was tripped.")
 	m.SessionsAborted = r.NewCounter("rfprismd_sessions_aborted_total", "Open sessions retired un-emitted into replay custody.")
+	m.SessionsHandedOff = r.NewCounter("rfprismd_sessions_handed_off_total", "Open sessions extracted for shard handoff.")
 	m.JournalErrors = r.NewCounter("rfprismd_journal_errors_total", "Journal append/sync/retention failures.")
 	m.WindowsSuppressed = r.NewCounter("rfprismd_replay_windows_total", "Replayed windows by outcome.", obs.L("outcome", "suppressed"))
 	m.WindowsRecovered = r.NewCounter("rfprismd_replay_windows_total", "", obs.L("outcome", "recovered"))

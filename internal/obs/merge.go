@@ -1,0 +1,133 @@
+package obs
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// MergeText sums N Prometheus text expositions into one: series with
+// the same name and label set have their values added, families keep
+// the first HELP/TYPE seen, and the output is rendered families-sorted
+// with series in first-seen order. Because every sample the registry
+// emits is cumulative — counters, gauge levels, histogram _bucket/
+// _sum/_count — summing is the correct fleet aggregate for counters
+// and histograms and the fleet total for level gauges (queue depth,
+// open sessions). Per-shard values stay reachable by scraping a shard
+// directly.
+//
+// The router tier uses this to serve one /metrics for an N-shard
+// cluster without requiring a Prometheus server to learn the shard
+// topology.
+func MergeText(dst io.Writer, srcs ...[]byte) error {
+	type fam struct {
+		help, typ string
+		order     []string
+		val       map[string]float64
+	}
+	fams := make(map[string]*fam)
+	var names []string
+	get := func(name string) *fam {
+		f := fams[name]
+		if f == nil {
+			f = &fam{val: make(map[string]float64)}
+			fams[name] = f
+			names = append(names, name)
+		}
+		return f
+	}
+	// familyOf strips the histogram sample suffixes when the base
+	// family is known to be a histogram, so x_bucket/x_sum/x_count
+	// group under x.
+	familyOf := func(sample string) string {
+		for _, suf := range []string{"_bucket", "_sum", "_count"} {
+			base, ok := strings.CutSuffix(sample, suf)
+			if !ok {
+				continue
+			}
+			if f := fams[base]; f != nil && f.typ == "histogram" {
+				return base
+			}
+		}
+		return sample
+	}
+	for _, src := range srcs {
+		sc := bufio.NewScanner(bytes.NewReader(src))
+		sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+		for sc.Scan() {
+			line := strings.TrimSpace(sc.Text())
+			switch {
+			case line == "":
+			case strings.HasPrefix(line, "# HELP "):
+				rest := line[len("# HELP "):]
+				name, help, _ := strings.Cut(rest, " ")
+				if f := get(name); f.help == "" {
+					f.help = help
+				}
+			case strings.HasPrefix(line, "# TYPE "):
+				rest := line[len("# TYPE "):]
+				name, typ, _ := strings.Cut(rest, " ")
+				if f := get(name); f.typ == "" {
+					f.typ = typ
+				}
+			case strings.HasPrefix(line, "#"):
+			default:
+				// "name{labels} value" or "name value". The value is the
+				// last space-separated token; everything before is the
+				// series key. (The registry never emits timestamps.)
+				i := strings.LastIndexByte(line, ' ')
+				if i < 0 {
+					return fmt.Errorf("obs: unparseable sample line %q", line)
+				}
+				key, raw := line[:i], line[i+1:]
+				v, err := strconv.ParseFloat(raw, 64)
+				if err != nil {
+					return fmt.Errorf("obs: bad value in %q: %w", line, err)
+				}
+				sample := key
+				if j := strings.IndexByte(sample, '{'); j >= 0 {
+					sample = sample[:j]
+				}
+				f := get(familyOf(sample))
+				if _, seen := f.val[key]; !seen {
+					f.order = append(f.order, key)
+				}
+				f.val[key] += v
+			}
+		}
+		if err := sc.Err(); err != nil {
+			return err
+		}
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		f := fams[name]
+		if len(f.order) == 0 {
+			continue
+		}
+		if f.help != "" {
+			fmt.Fprintf(dst, "# HELP %s %s\n", name, f.help)
+		}
+		if f.typ != "" {
+			fmt.Fprintf(dst, "# TYPE %s %s\n", name, f.typ)
+		}
+		for _, key := range f.order {
+			fmt.Fprintf(dst, "%s %s\n", key, formatSum(f.val[key]))
+		}
+	}
+	return nil
+}
+
+// formatSum renders a merged value: integral sums print as integers
+// (counter semantics survive the round-trip), everything else uses the
+// registry's shortest-round-trip float form.
+func formatSum(v float64) string {
+	if v == float64(int64(v)) {
+		return strconv.FormatInt(int64(v), 10)
+	}
+	return formatFloat(v)
+}

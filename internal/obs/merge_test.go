@@ -1,0 +1,110 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// render builds a registry exposition for merge tests.
+func render(t *testing.T, build func(r *Registry)) []byte {
+	t.Helper()
+	r := NewRegistry()
+	build(r)
+	var buf bytes.Buffer
+	r.WriteText(&buf)
+	return buf.Bytes()
+}
+
+// TestMergeTextSums: same-series values add across expositions,
+// including histogram buckets, sums and counts; families keep one
+// HELP/TYPE block.
+func TestMergeTextSums(t *testing.T) {
+	shard := func(reports int64, lat float64) []byte {
+		return render(t, func(r *Registry) {
+			c := r.NewCounter("d_reports_total", "Reports.", L("outcome", "accepted"))
+			c.Add(reports)
+			h := r.NewHistogram("d_latency_seconds", "Latency.", []float64{0.1, 1})
+			h.Observe(lat)
+			g := r.NewGauge("d_queue_depth", "Depth.")
+			g.SetInt(reports / 10)
+		})
+	}
+	var out bytes.Buffer
+	if err := MergeText(&out, shard(100, 0.05), shard(40, 0.5), shard(60, 2)); err != nil {
+		t.Fatal(err)
+	}
+	text := out.String()
+	for _, want := range []string{
+		`d_reports_total{outcome="accepted"} 200`,
+		`d_queue_depth 20`,
+		`d_latency_seconds_bucket{le="0.1"} 1`,
+		`d_latency_seconds_bucket{le="1"} 2`,
+		`d_latency_seconds_bucket{le="+Inf"} 3`,
+		`d_latency_seconds_count 3`,
+		"# TYPE d_latency_seconds histogram",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("merged exposition missing %q:\n%s", want, text)
+		}
+	}
+	if n := strings.Count(text, "# TYPE d_reports_total"); n != 1 {
+		t.Errorf("TYPE comment repeated %d times", n)
+	}
+	// _sum lines: 0.05 + 0.5 + 2 = 2.55
+	if !strings.Contains(text, "d_latency_seconds_sum 2.55") {
+		t.Errorf("histogram sums not added:\n%s", text)
+	}
+}
+
+// TestMergeTextDisjoint: a family present on only one source (the
+// ingest daemon registers journal gauges lazily) still renders, and
+// families stay contiguous under their own TYPE header.
+func TestMergeTextDisjoint(t *testing.T) {
+	a := render(t, func(r *Registry) { r.NewCounter("alpha_total", "A.").Add(1) })
+	b := render(t, func(r *Registry) {
+		r.NewCounter("alpha_total", "A.").Add(2)
+		r.NewGauge("journal_next_seq", "Lazy.").SetInt(7)
+	})
+	var out bytes.Buffer
+	if err := MergeText(&out, a, b); err != nil {
+		t.Fatal(err)
+	}
+	text := out.String()
+	if !strings.Contains(text, "alpha_total 3") || !strings.Contains(text, "journal_next_seq 7") {
+		t.Fatalf("disjoint merge wrong:\n%s", text)
+	}
+	if strings.Index(text, "# TYPE journal_next_seq gauge") > strings.Index(text, "journal_next_seq 7") {
+		t.Fatalf("sample precedes its TYPE header:\n%s", text)
+	}
+}
+
+// TestMergeTextGolden: the merge of two real registry renders is
+// byte-stable — families sorted, first-seen series order, integral
+// counters without float formatting.
+func TestMergeTextGolden(t *testing.T) {
+	a := render(t, func(r *Registry) {
+		r.NewCounter("z_total", "Z.").Add(5)
+		r.NewCounter("a_total", "A.", L("k", "v")).Add(1)
+	})
+	var out bytes.Buffer
+	if err := MergeText(&out, a, a); err != nil {
+		t.Fatal(err)
+	}
+	want := "# HELP a_total A.\n# TYPE a_total counter\na_total{k=\"v\"} 2\n" +
+		"# HELP z_total Z.\n# TYPE z_total counter\nz_total 10\n"
+	if got := out.String(); got != want {
+		t.Fatalf("golden mismatch:\ngot:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+// TestMergeTextBadInput: garbage fails loudly instead of producing a
+// silently wrong aggregate.
+func TestMergeTextBadInput(t *testing.T) {
+	if err := MergeText(&bytes.Buffer{}, []byte("metric_without_value\n")); err == nil {
+		t.Fatal("no error for a sample line without a value")
+	}
+	if err := MergeText(&bytes.Buffer{}, []byte("m 12x\n")); err == nil {
+		t.Fatal("no error for an unparseable value")
+	}
+}

@@ -1,0 +1,231 @@
+package router
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"rfprism"
+	"rfprism/internal/ingest"
+	"rfprism/internal/sim"
+)
+
+// instantProc solves every window instantly with an empty result —
+// cluster mechanics without solver cost.
+type instantProc struct{}
+
+func (instantProc) ProcessStream(ctx context.Context, in <-chan rfprism.Window) <-chan rfprism.WindowResult {
+	out := make(chan rfprism.WindowResult)
+	go func() {
+		defer close(out)
+		i := 0
+		for w := range in {
+			r := rfprism.WindowResult{Index: i, Tag: w.Tag, Result: &rfprism.Result{}}
+			select {
+			case out <- r:
+			case <-ctx.Done():
+				return
+			}
+			i++
+		}
+	}()
+	return out
+}
+
+// testCluster builds a journaled stub-solver cluster. CoverageClose 3
+// keeps windows tiny; the huge dwell keeps deadlines out of the way.
+func testCluster(t *testing.T, shards int) *Cluster {
+	t.Helper()
+	c, err := NewCluster(ClusterConfig{
+		Shards:       shards,
+		Dir:          t.TempDir(),
+		NewProcessor: func(string) ingest.Processor { return instantProc{} },
+		Daemon: ingest.Config{
+			Sessionizer: ingest.SessionizerConfig{CoverageClose: 3, MinAntennas: 1, Dwell: time.Hour},
+			RetryAfter:  5 * time.Millisecond,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = c.Close(context.Background()) })
+	return c
+}
+
+// offerPartial sends n distinct-channel readings for epc through the
+// router — below CoverageClose they leave an open session on the
+// EPC's owner shard.
+func offerPartial(t *testing.T, h http.Handler, epc string, n int) {
+	t.Helper()
+	var body strings.Builder
+	for ch := 0; ch < n; ch++ {
+		b, err := json.Marshal(sim.Reading{EPC: epc, Channel: ch, Antenna: ch % 4, FreqHz: 920e6})
+		if err != nil {
+			t.Fatal(err)
+		}
+		body.Write(b)
+		body.WriteByte('\n')
+	}
+	w := httptest.NewRecorder()
+	h.ServeHTTP(w, httptest.NewRequest(http.MethodPost, "/v1/ingest", strings.NewReader(body.String())))
+	if w.Code != http.StatusAccepted {
+		t.Fatalf("ingest %s: %d %s", epc, w.Code, w.Body.String())
+	}
+}
+
+// TestClusterRemoveShardHandsOffSessions: cleanly removing a shard
+// moves its open sessions to the survivors — the readings are not
+// lost, and completing the session afterwards closes the window on
+// the new owner.
+func TestClusterRemoveShardHandsOffSessions(t *testing.T) {
+	c := testCluster(t, 3)
+	// Open a 2-reading session (CoverageClose is 3) on each shard.
+	epcByShard := make(map[string]string)
+	for i := 0; len(epcByShard) < 3; i++ {
+		epc := fmt.Sprintf("urn:epc:ho-%03d", i)
+		owner, _ := c.Router().Owner(epc)
+		if _, ok := epcByShard[owner.ID]; !ok {
+			epcByShard[owner.ID] = epc
+			offerPartial(t, c.Handler(), epc, 2)
+		}
+	}
+	victim := c.ShardIDs()[0]
+	epc := epcByShard[victim]
+	if err := c.RemoveShard(context.Background(), victim); err != nil {
+		t.Fatal(err)
+	}
+	// The session moved: its new owner holds 2 buffered readings.
+	owner, ok := c.Router().Owner(epc)
+	if !ok || owner.ID == victim {
+		t.Fatalf("epc %s still owned by removed shard", epc)
+	}
+	d := c.ShardDaemon(owner.ID)
+	if d == nil {
+		t.Fatalf("no daemon for new owner %s", owner.ID)
+	}
+	if got := d.Metrics().ReportsAccepted.Load(); got < 2 {
+		t.Fatalf("new owner accepted %d reports, want the 2 handed-off ones", got)
+	}
+	// One more reading completes the window on the new owner.
+	offerPartial(t, c.Handler(), epc, 3) // channels 0..2 → third is new
+	waitFor(t, 2*time.Second, "handed-off window to close on the new owner", func() bool {
+		return d.Metrics().ResultsOK.Load() >= 1
+	})
+	if got := c.Router().Metrics().HandoffReoffered.Load(); got < 2 {
+		t.Errorf("HandoffReoffered %d, want ≥ 2", got)
+	}
+}
+
+// TestClusterAddShardMigratesSessions: growing the ring drains the
+// remapped EPCs' open sessions from their old owners into the new
+// shard, so no session straddles the membership change.
+func TestClusterAddShardMigratesSessions(t *testing.T) {
+	c := testCluster(t, 2)
+	// Open sessions for a spread of EPCs.
+	epcs := make([]string, 40)
+	for i := range epcs {
+		epcs[i] = fmt.Sprintf("urn:epc:grow-%03d", i)
+		offerPartial(t, c.Handler(), epcs[i], 2)
+	}
+	before := make(map[string]string)
+	for _, epc := range epcs {
+		o, _ := c.Router().Owner(epc)
+		before[epc] = o.ID
+	}
+	newID, err := c.AddShard(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	moved := 0
+	for _, epc := range epcs {
+		o, _ := c.Router().Owner(epc)
+		if o.ID != before[epc] {
+			if o.ID != newID {
+				t.Fatalf("epc %s remapped to %s, not the new shard", epc, o.ID)
+			}
+			moved++
+		}
+	}
+	if moved == 0 {
+		t.Skip("no test EPC remapped to the new shard (possible but vanishingly rare)")
+	}
+	// Every moved session's readings must now sit in the new shard.
+	d := c.ShardDaemon(newID)
+	waitFor(t, 2*time.Second, "migrated sessions to arrive", func() bool {
+		return d.Metrics().ReportsAccepted.Load() >= int64(2*moved)
+	})
+	if got := d.Gauges().OpenSessions; got != moved {
+		t.Errorf("new shard holds %d open sessions, want %d", got, moved)
+	}
+}
+
+// TestClusterRemoveShardDeadReoffersJournal: a shard torn down without
+// draining leaves its journal behind; RemoveShardDead replays the
+// unserved tail into the survivors while the emission ledger
+// suppresses what was already delivered.
+func TestClusterRemoveShardDeadReoffersJournal(t *testing.T) {
+	c := testCluster(t, 3)
+	victim := c.ShardIDs()[0]
+	// One completed window (→ ledger) and one open session on the
+	// victim.
+	var servedEPC, openEPC string
+	for i := 0; servedEPC == "" || openEPC == ""; i++ {
+		epc := fmt.Sprintf("urn:epc:dead-%03d", i)
+		if owner, _ := c.Router().Owner(epc); owner.ID != victim {
+			continue
+		}
+		if servedEPC == "" {
+			servedEPC = epc
+			offerPartial(t, c.Handler(), epc, 3) // full window → solved → ledger
+		} else {
+			openEPC = epc
+			offerPartial(t, c.Handler(), epc, 2) // stays open
+		}
+	}
+	d := c.ShardDaemon(victim)
+	waitFor(t, 2*time.Second, "victim to serve its full window", func() bool {
+		return d.Metrics().ResultsOK.Load() >= 1
+	})
+
+	reoffered, suppressed, err := c.RemoveShardDead(context.Background(), victim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The open session's 2 readings re-home; the served window's 3 are
+	// suppressed by its ledger span.
+	if reoffered != 2 || suppressed != 3 {
+		t.Fatalf("reoffered %d suppressed %d, want 2/3", reoffered, suppressed)
+	}
+	owner, _ := c.Router().Owner(openEPC)
+	nd := c.ShardDaemon(owner.ID)
+	if nd == nil {
+		t.Fatalf("no daemon owns %s", openEPC)
+	}
+	waitFor(t, 2*time.Second, "re-homed readings to arrive", func() bool {
+		return nd.Metrics().ReportsAccepted.Load() >= 2
+	})
+	// Completing the re-homed session solves it exactly once, on the
+	// survivor.
+	offerPartial(t, c.Handler(), openEPC, 3)
+	waitFor(t, 2*time.Second, "re-homed window to close", func() bool {
+		return nd.Metrics().ResultsOK.Load() >= 1
+	})
+}
+
+// waitFor polls cond until it holds or the deadline passes.
+func waitFor(t *testing.T, d time.Duration, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(d)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("timeout waiting for %s", what)
+}

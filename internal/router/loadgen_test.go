@@ -1,0 +1,206 @@
+package router
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"rfprism/internal/ingest"
+	"rfprism/internal/sim"
+)
+
+// sliceIter adapts a reading slice to the RunLoad iterator.
+func sliceIter(rds []sim.Reading) func() (sim.Reading, bool) {
+	i := 0
+	return func() (sim.Reading, bool) {
+		if i >= len(rds) {
+			return sim.Reading{}, false
+		}
+		rd := rds[i]
+		i++
+		return rd, true
+	}
+}
+
+func loadReadings(n int) []sim.Reading {
+	out := make([]sim.Reading, n)
+	for i := range out {
+		out[i] = sim.Reading{EPC: fmt.Sprintf("urn:epc:load-%03d", i), Channel: i % 8, FreqHz: 920e6}
+	}
+	return out
+}
+
+// TestRunLoadResumesOnBackpressure: a server that accepts a prefix and
+// then answers 429 must see the remainder re-sent after the advertised
+// pause — every line delivered exactly once, in order.
+func TestRunLoadResumesOnBackpressure(t *testing.T) {
+	var delivered []string
+	calls := 0
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/ingest", func(w http.ResponseWriter, r *http.Request) {
+		lines := strings.Fields(strings.TrimSpace(readBody(t, r)))
+		calls++
+		if calls == 1 {
+			// Take 3 lines, refuse the rest.
+			delivered = append(delivered, lines[:3]...)
+			w.Header().Set("Retry-After", "1")
+			w.WriteHeader(http.StatusTooManyRequests)
+			_ = json.NewEncoder(w).Encode(map[string]any{
+				"error": "busy", "code": "backpressure", "retry_after_ms": 40, "accepted": 3, "line": 4,
+			})
+			return
+		}
+		delivered = append(delivered, lines...)
+		w.WriteHeader(http.StatusAccepted)
+		_ = json.NewEncoder(w).Encode(map[string]int{"accepted": len(lines)})
+	})
+
+	var slept []time.Duration
+	cfg := LoadConfig{
+		ChunkLines: 64,
+		Sleep: func(_ context.Context, d time.Duration) error {
+			slept = append(slept, d)
+			return nil
+		},
+	}
+	rds := loadReadings(10)
+	rep, err := RunLoad(context.Background(), mux, cfg, sliceIter(rds))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Lines != 10 || rep.Posts != 2 || rep.Retries != 1 {
+		t.Fatalf("report %+v, want 10 lines / 2 posts / 1 retry", rep)
+	}
+	if len(slept) != 1 || slept[0] != 40*time.Millisecond {
+		t.Fatalf("slept %v, want the advertised 40ms", slept)
+	}
+	if len(delivered) != 10 {
+		t.Fatalf("server saw %d lines, want 10", len(delivered))
+	}
+	for i, raw := range delivered {
+		var rd sim.Reading
+		if err := json.Unmarshal([]byte(raw), &rd); err != nil {
+			t.Fatal(err)
+		}
+		if rd.EPC != rds[i].EPC {
+			t.Fatalf("line %d is %s, want %s — duplicate or reorder across the retry", i, rd.EPC, rds[i].EPC)
+		}
+	}
+}
+
+// TestRunLoadGivesUpAfterMaxRetries: permanent backpressure must
+// surface as an error, not an infinite retry loop.
+func TestRunLoadGivesUpAfterMaxRetries(t *testing.T) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/ingest", func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusTooManyRequests)
+		_ = json.NewEncoder(w).Encode(map[string]any{"code": "backpressure", "retry_after_ms": 1, "accepted": 0})
+	})
+	cfg := LoadConfig{MaxRetries: 3, Sleep: func(context.Context, time.Duration) error { return nil }}
+	_, err := RunLoad(context.Background(), mux, cfg, sliceIter(loadReadings(2)))
+	if err == nil || !strings.Contains(err.Error(), "backpressured") {
+		t.Fatalf("err = %v, want a backpressure give-up", err)
+	}
+}
+
+func readBody(t *testing.T, r *http.Request) string {
+	t.Helper()
+	var sb strings.Builder
+	buf := make([]byte, 4096)
+	for {
+		n, err := r.Body.Read(buf)
+		sb.Write(buf[:n])
+		if err != nil {
+			return sb.String()
+		}
+	}
+}
+
+// TestPercentileDuration: nearest-rank percentiles on a known set.
+func TestPercentileDuration(t *testing.T) {
+	var s []time.Duration
+	for i := 1; i <= 100; i++ {
+		s = append(s, time.Duration(i)*time.Millisecond)
+	}
+	if got := percentileDuration(s, 0.50); got != 50*time.Millisecond {
+		t.Errorf("p50 = %v", got)
+	}
+	if got := percentileDuration(s, 0.99); got != 99*time.Millisecond {
+		t.Errorf("p99 = %v", got)
+	}
+	if got := percentileDuration(s, 0.999); got != 100*time.Millisecond {
+		t.Errorf("p999 = %v", got)
+	}
+	if got := percentileDuration(nil, 0.5); got != 0 {
+		t.Errorf("empty p50 = %v", got)
+	}
+}
+
+// countSink counts emitted results across all shards.
+type countSink struct{ n *atomic.Int64 }
+
+func (c countSink) Emit(ingest.TagResult) error { c.n.Add(1); return nil }
+func (countSink) Close() error                  { return nil }
+
+// TestLoadgenClusterEndToEnd: CloneStream → RunLoad → 3-shard cluster.
+// The expected window count is exact — clones × the template's offline
+// window count — because cloning preserves each EPC's subsequence and
+// sessionization is per-EPC.
+func TestLoadgenClusterEndToEnd(t *testing.T) {
+	template, err := LoadTemplate(29, 24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sessCfg := ingest.SessionizerConfig{CoverageClose: 8, MinAntennas: 1, Dwell: time.Hour}
+	perClone := offlineWindows(t, template, sessCfg)
+	if perClone == 0 {
+		t.Fatal("template closes no windows — degenerate")
+	}
+
+	var solved atomic.Int64
+	c, err := NewCluster(ClusterConfig{
+		Shards:       3,
+		NewProcessor: func(string) ingest.Processor { return instantProc{} },
+		NewSinks:     func(string) []ingest.Sink { return []ingest.Sink{countSink{&solved}} },
+		Daemon: ingest.Config{
+			Sessionizer: sessCfg,
+			QueueSize:   1024,
+			RetryAfter:  2 * time.Millisecond,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const clones = 200
+	rep, err := RunLoad(context.Background(), c.Handler(), LoadConfig{ChunkLines: 256},
+		sim.CloneStream(template, clones, nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Close(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if want := clones * len(template); rep.Lines != want {
+		t.Fatalf("delivered %d lines, want %d", rep.Lines, want)
+	}
+	if want := int64(clones * perClone); solved.Load() != want {
+		t.Fatalf("cluster solved %d windows, want exactly %d (%d clones × %d)", solved.Load(), want, clones, perClone)
+	}
+	if rep.P50 > rep.P99 || rep.P99 > rep.P999 {
+		t.Fatalf("percentiles out of order: %+v", rep)
+	}
+}
+
+func offlineWindows(t *testing.T, template []sim.Reading, cfg ingest.SessionizerConfig) int {
+	t.Helper()
+	n, err := OfflineWindowCount(template, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n
+}

@@ -1,0 +1,152 @@
+package router
+
+import (
+	"fmt"
+	"testing"
+)
+
+// keyspace returns a deterministic 10k-EPC keyspace shaped like the
+// EPCs the simulator and loadgen mint.
+func keyspace(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("urn:epc:tag-%06d", i)
+	}
+	return out
+}
+
+func ownersOf(t *testing.T, r *Ring, keys []string) map[string]string {
+	t.Helper()
+	owners := make(map[string]string, len(keys))
+	for _, k := range keys {
+		o, ok := r.Owner(k)
+		if !ok {
+			t.Fatalf("Owner(%q) on a populated ring returned none", k)
+		}
+		owners[k] = o
+	}
+	return owners
+}
+
+// TestRingBalance: with 128 vnodes the load (keys per shard) stays
+// within max/mean ≤ 1.25 across every fleet size the sharding tier
+// targets. This is the bound DESIGN.md §13 quotes; loosening it means
+// hotter hot shards, so the test pins it.
+func TestRingBalance(t *testing.T) {
+	keys := keyspace(10000)
+	for shards := 2; shards <= 16; shards++ {
+		t.Run(fmt.Sprintf("shards=%d", shards), func(t *testing.T) {
+			r := NewRing(DefaultVnodes)
+			for i := 0; i < shards; i++ {
+				r.Add(fmt.Sprintf("shard-%d", i))
+			}
+			load := make(map[string]int, shards)
+			for _, k := range keys {
+				o, _ := r.Owner(k)
+				load[o]++
+			}
+			if len(load) != shards {
+				t.Fatalf("only %d of %d shards own keys: %v", len(load), shards, load)
+			}
+			mean := float64(len(keys)) / float64(shards)
+			maxLoad := 0
+			for _, n := range load {
+				if n > maxLoad {
+					maxLoad = n
+				}
+			}
+			if ratio := float64(maxLoad) / mean; ratio > 1.25 {
+				t.Errorf("max/mean load %.3f > 1.25 (max %d, mean %.1f): %v", ratio, maxLoad, mean, load)
+			}
+		})
+	}
+}
+
+// TestRingRemap: adding an (N+1)th shard moves about 1/(N+1) of the
+// keyspace to the new shard and nothing between the old shards;
+// removing it restores the exact previous assignment. The ≤ 1.6/(N+1)
+// ceiling leaves room for vnode variance while still catching a
+// broken ring (a modulo hash would remap nearly everything).
+func TestRingRemap(t *testing.T) {
+	keys := keyspace(10000)
+	for shards := 2; shards <= 8; shards++ {
+		t.Run(fmt.Sprintf("shards=%d", shards), func(t *testing.T) {
+			r := NewRing(DefaultVnodes)
+			for i := 0; i < shards; i++ {
+				r.Add(fmt.Sprintf("shard-%d", i))
+			}
+			before := ownersOf(t, r, keys)
+
+			newShard := fmt.Sprintf("shard-%d", shards)
+			r.Add(newShard)
+			after := ownersOf(t, r, keys)
+
+			moved := 0
+			for _, k := range keys {
+				if before[k] == after[k] {
+					continue
+				}
+				moved++
+				if after[k] != newShard {
+					t.Fatalf("key %q moved %s -> %s, not to the new shard", k, before[k], after[k])
+				}
+			}
+			bound := int(1.6 * float64(len(keys)) / float64(shards+1))
+			if moved == 0 || moved > bound {
+				t.Errorf("add remapped %d keys, want in (0, %d] (~1/%d of %d)", moved, bound, shards+1, len(keys))
+			}
+
+			r.Remove(newShard)
+			restored := ownersOf(t, r, keys)
+			for _, k := range keys {
+				if restored[k] != before[k] {
+					t.Fatalf("remove did not restore key %q: %s -> %s", k, before[k], restored[k])
+				}
+			}
+		})
+	}
+}
+
+// TestRingDeterminism: ownership is a pure function of the membership
+// set — registration order must not matter, or a router restart would
+// silently re-shard the fleet.
+func TestRingDeterminism(t *testing.T) {
+	keys := keyspace(1000)
+	a := NewRing(DefaultVnodes)
+	for _, s := range []string{"s0", "s1", "s2"} {
+		a.Add(s)
+	}
+	b := NewRing(DefaultVnodes)
+	for _, s := range []string{"s2", "s0", "s1"} {
+		b.Add(s)
+	}
+	for _, k := range keys {
+		oa, _ := a.Owner(k)
+		ob, _ := b.Owner(k)
+		if oa != ob {
+			t.Fatalf("key %q: order-dependent ownership %s vs %s", k, oa, ob)
+		}
+	}
+}
+
+// TestRingEmptyAndDuplicates covers the degenerate paths: empty ring
+// owns nothing, double-add and remove-unknown are no-ops.
+func TestRingEmptyAndDuplicates(t *testing.T) {
+	r := NewRing(8)
+	if _, ok := r.Owner("x"); ok {
+		t.Fatal("empty ring claimed an owner")
+	}
+	r.Add("s0")
+	r.Add("s0")
+	if got := len(r.points); got != 8 {
+		t.Fatalf("double Add minted %d points, want 8", got)
+	}
+	r.Remove("missing")
+	if r.Len() != 1 {
+		t.Fatalf("remove of unknown shard changed membership: %d", r.Len())
+	}
+	r.Remove("s0")
+	if _, ok := r.Owner("x"); ok || r.Len() != 0 {
+		t.Fatal("ring not empty after removing the only shard")
+	}
+}

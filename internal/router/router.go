@@ -1,0 +1,799 @@
+package router
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"rfprism/internal/ingest"
+	"rfprism/internal/obs"
+	"rfprism/internal/sim"
+)
+
+// maxReportLine bounds one NDJSON report line, mirroring the shard
+// daemon's own limit.
+const maxReportLine = 1 << 20
+
+// Config tunes the router. The zero value gets serving defaults.
+type Config struct {
+	// Vnodes is the per-shard virtual-node count (DefaultVnodes).
+	Vnodes int
+	// ChunkLines is the fan-out granularity: the router reads up to
+	// this many report lines, flushes them to their shards in
+	// parallel, and only then reads more — bounding both memory and
+	// the at-least-once overshoot window on a propagated refusal.
+	// Default 512.
+	ChunkLines int
+	// ShardTimeout bounds every sub-request to one shard (ingest
+	// sub-batches, scatter-gather reads, readiness probes). A shard
+	// that cannot answer within it is treated as down for that
+	// request. Default 10 s.
+	ShardTimeout time.Duration
+	// Client is the HTTP client for shard sub-requests (default: a
+	// dedicated pooled client; timeouts come from ShardTimeout).
+	Client *http.Client
+	// Logger receives routing events. Default: discard.
+	Logger *slog.Logger
+	// Metrics, when set, is shared instrument set to record into.
+	Metrics *Metrics
+	// Now overrides the clock (tests).
+	Now func() time.Time
+}
+
+func (c *Config) defaults() {
+	if c.Vnodes <= 0 {
+		c.Vnodes = DefaultVnodes
+	}
+	if c.ChunkLines <= 0 {
+		c.ChunkLines = 512
+	}
+	if c.ShardTimeout <= 0 {
+		c.ShardTimeout = 10 * time.Second
+	}
+	if c.Client == nil {
+		c.Client = &http.Client{Transport: &http.Transport{
+			MaxIdleConnsPerHost: 16,
+			IdleConnTimeout:     90 * time.Second,
+		}}
+	}
+	if c.Logger == nil {
+		c.Logger = slog.New(slog.NewTextHandler(io.Discard, nil))
+	}
+	if c.Now == nil {
+		c.Now = time.Now
+	}
+	if c.Metrics == nil {
+		c.Metrics = NewMetrics(c.Now())
+	}
+}
+
+// ShardInfo describes one ring member.
+type ShardInfo struct {
+	ID      string `json:"id"`
+	BaseURL string `json:"url"`
+}
+
+// shard is one ring member plus its minted counters.
+type shard struct {
+	ShardInfo
+	met *ShardMetrics
+}
+
+// Router fans the rfprismd HTTP API out across an EPC-sharded fleet.
+// It is stateless apart from ring membership: every report line
+// belongs to exactly one shard (Ring.Owner of its EPC), reads
+// scatter-gather, and all crash-safety state stays in the shards.
+type Router struct {
+	cfg Config
+	met *Metrics
+	log *slog.Logger
+	mux *http.ServeMux
+
+	mu     sync.RWMutex
+	ring   *Ring
+	shards map[string]*shard
+}
+
+// New builds a router with no shards; AddShard populates the ring.
+func New(cfg Config) *Router {
+	cfg.defaults()
+	rt := &Router{
+		cfg:    cfg,
+		met:    cfg.Metrics,
+		log:    cfg.Logger,
+		mux:    http.NewServeMux(),
+		ring:   NewRing(cfg.Vnodes),
+		shards: make(map[string]*shard),
+	}
+	for _, prefix := range []string{"/v1", ""} {
+		rt.mux.HandleFunc("POST "+prefix+"/ingest", rt.handleIngest)
+		rt.mux.HandleFunc("GET "+prefix+"/tags", rt.handleTags)
+		rt.mux.HandleFunc("GET "+prefix+"/tags/{epc}", rt.handleTag)
+	}
+	rt.mux.HandleFunc("GET /healthz", rt.handleHealthz)
+	rt.mux.HandleFunc("GET /readyz", rt.handleReadyz)
+	rt.mux.HandleFunc("GET /metrics", rt.handleMetrics)
+	rt.mux.HandleFunc("GET /admin/shards", rt.handleAdminList)
+	rt.mux.HandleFunc("POST /admin/shards", rt.handleAdminAdd)
+	rt.mux.HandleFunc("DELETE /admin/shards/{id}", rt.handleAdminRemove)
+	rt.mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		rt.writeError(w, http.StatusNotFound, "not_found", fmt.Sprintf("no such endpoint: %s", r.URL.Path), 0)
+	})
+	return rt
+}
+
+// Handler returns the routing handler.
+func (rt *Router) Handler() http.Handler { return rt.mux }
+
+// Metrics exposes the router's instrument set.
+func (rt *Router) Metrics() *Metrics { return rt.met }
+
+// AddShard inserts a shard into the ring. Keys adjacent to its vnodes
+// (~1/N of the keyspace) remap to it immediately; callers that need a
+// seamless session handover drain the remapped EPCs from their old
+// owners first (Cluster.AddShard does).
+func (rt *Router) AddShard(id, baseURL string) error {
+	if id == "" || baseURL == "" {
+		return fmt.Errorf("router: shard needs an id and a base URL")
+	}
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	if _, dup := rt.shards[id]; dup {
+		return fmt.Errorf("router: shard %q already in the ring", id)
+	}
+	rt.shards[id] = &shard{
+		ShardInfo: ShardInfo{ID: id, BaseURL: strings.TrimRight(baseURL, "/")},
+		met:       rt.met.Shard(id),
+	}
+	rt.ring.Add(id)
+	rt.log.Info("shard added", "shard", id, "url", baseURL, "shards", len(rt.shards))
+	return nil
+}
+
+// RemoveShard takes a shard out of the ring. Its keys remap to the
+// surviving shards; the shard's own journal/daemon lifecycle is the
+// caller's business (Cluster.RemoveShard drains and hands off).
+func (rt *Router) RemoveShard(id string) error {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	if _, ok := rt.shards[id]; !ok {
+		return fmt.Errorf("router: unknown shard %q", id)
+	}
+	delete(rt.shards, id)
+	rt.ring.Remove(id)
+	rt.met.Shard(id).Up.Set(0)
+	rt.log.Info("shard removed", "shard", id, "shards", len(rt.shards))
+	return nil
+}
+
+// Shards lists the ring members, sorted by ID.
+func (rt *Router) Shards() []ShardInfo {
+	rt.mu.RLock()
+	defer rt.mu.RUnlock()
+	out := make([]ShardInfo, 0, len(rt.shards))
+	for _, s := range rt.shards {
+		out = append(out, s.ShardInfo)
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].ID < out[b].ID })
+	return out
+}
+
+// Owner returns the shard owning an EPC.
+func (rt *Router) Owner(epc string) (ShardInfo, bool) {
+	rt.mu.RLock()
+	defer rt.mu.RUnlock()
+	id, ok := rt.ring.Owner(epc)
+	if !ok {
+		return ShardInfo{}, false
+	}
+	return rt.shards[id].ShardInfo, true
+}
+
+// snapshot returns a consistent (ring owner function, shard list)
+// view for one request's fan-out.
+func (rt *Router) snapshot() (owner func(string) (*shard, bool), all []*shard) {
+	rt.mu.RLock()
+	defer rt.mu.RUnlock()
+	shards := make(map[string]*shard, len(rt.shards))
+	all = make([]*shard, 0, len(rt.shards))
+	for id, s := range rt.shards {
+		shards[id] = s
+		all = append(all, s)
+	}
+	sort.Slice(all, func(a, b int) bool { return all[a].ID < all[b].ID })
+	owner = func(epc string) (*shard, bool) {
+		rt.mu.RLock()
+		defer rt.mu.RUnlock()
+		id, ok := rt.ring.Owner(epc)
+		if !ok {
+			return nil, false
+		}
+		s, ok := rt.shards[id]
+		return s, ok
+	}
+	return owner, all
+}
+
+// --- error envelope -------------------------------------------------
+
+// apiError mirrors the shard daemon's uniform envelope, extended with
+// the failing shard and partial-result fields the router tier adds.
+type apiError struct {
+	Error        string `json:"error"`
+	Code         string `json:"code"`
+	RetryAfterMS int64  `json:"retry_after_ms"`
+	Accepted     int    `json:"accepted,omitempty"`
+	Line         int    `json:"line,omitempty"`
+	Shard        string `json:"shard,omitempty"`
+}
+
+// Router-specific error codes (shard codes pass through verbatim).
+const (
+	CodeNoShards         = "no_shards"          // empty ring
+	CodeShardUnavailable = "shard_unavailable"  // transport error or shard 5xx
+	CodeAllShardsDown    = "all_shards_down"    // scatter-gather found nobody
+)
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func (rt *Router) writeError(w http.ResponseWriter, status int, code, msg string, retryAfter time.Duration) {
+	writeJSON(w, status, apiError{Error: msg, Code: code, RetryAfterMS: retryAfter.Milliseconds()})
+}
+
+// --- ingest fan-out -------------------------------------------------
+
+// ingestReply is the success body, shape-compatible with the shard
+// daemon's so single-daemon clients work against the router unchanged.
+type ingestReply struct {
+	Accepted int `json:"accepted"`
+}
+
+// pendingLine is one report line awaiting its shard flush.
+type pendingLine struct {
+	raw    []byte // the verbatim NDJSON line (forwarded bit-exactly)
+	global int    // 1-based position in the request stream
+}
+
+// shardBatch accumulates one shard's lines within a chunk.
+type shardBatch struct {
+	sh    *shard
+	lines []pendingLine
+}
+
+// subResult is one shard's answer to its sub-batch.
+type subResult struct {
+	sh       *shard
+	sent     int
+	accepted int           // prefix of the sub-batch the shard took
+	status   int           // HTTP status (0 on transport error)
+	code     string        // envelope code ("" when 2xx)
+	msg      string        // error detail
+	retry    time.Duration // Retry-After on backpressure
+	err      error         // transport-level failure
+}
+
+// handleIngest fans an NDJSON report stream out per EPC. Lines are
+// forwarded verbatim (bit-exact: the conformance suite depends on the
+// shards seeing exactly the bytes a single daemon would), grouped into
+// per-shard sub-batches and flushed chunk by chunk. Per-EPC order is
+// preserved: an EPC's lines always target one shard, sub-batches keep
+// request order, and chunks are sequential.
+//
+// Failure semantics: the reply's "accepted" is the longest fully-
+// accepted prefix of the stream, and "line" = accepted+1 is where a
+// client resumes. When several shards were mid-chunk, lines past the
+// prefix may already sit in a healthy shard — a resume re-delivers
+// them (counted in router_lines_total{outcome="overshoot"}; DESIGN.md
+// §13). Backpressure propagates the WORST refusal: 429 with the
+// maximum Retry-After any shard advertised.
+func (rt *Router) handleIngest(w http.ResponseWriter, r *http.Request) {
+	t0 := rt.cfg.Now()
+	owner, _ := rt.snapshot()
+	sc := bufio.NewScanner(r.Body)
+	sc.Buffer(make([]byte, 0, 64*1024), maxReportLine)
+
+	committed := 0 // lines in fully-accepted flushed chunks
+	global := 0    // current line number
+	batches := make(map[string]*shardBatch)
+	chunkLines := make([]pendingLine, 0, rt.cfg.ChunkLines)
+
+	fail := func(status int, code, msg, shardID string, retry time.Duration) {
+		rt.met.ObserveIngest(rt.cfg.Now().Sub(t0))
+		switch code {
+		case ingest.CodeBackpressure:
+			rt.met.IngestBackpress.Inc()
+			secs := int((retry + time.Second - 1) / time.Second)
+			if secs < 1 {
+				secs = 1
+			}
+			w.Header().Set("Retry-After", strconv.Itoa(secs))
+		case ingest.CodeBadReport:
+			rt.met.IngestBadReport.Inc()
+		default:
+			rt.met.IngestShardErr.Inc()
+		}
+		rt.log.Debug("ingest refused", "code", code, "accepted", committed, "shard", shardID, "err", msg)
+		writeJSON(w, status, apiError{
+			Error: msg, Code: code, RetryAfterMS: retry.Milliseconds(),
+			Accepted: committed, Line: committed + 1, Shard: shardID,
+		})
+	}
+
+	flush := func(ctx context.Context) (ok bool, status int, code, msg, shardID string, retry time.Duration) {
+		if len(chunkLines) == 0 {
+			return true, 0, "", "", "", 0
+		}
+		ordered := make([]*shardBatch, 0, len(batches))
+		for _, b := range batches {
+			ordered = append(ordered, b)
+		}
+		results := make([]subResult, len(ordered))
+		var wg sync.WaitGroup
+		for i, b := range ordered {
+			wg.Add(1)
+			go func(i int, b *shardBatch) {
+				defer wg.Done()
+				results[i] = rt.sendBatch(ctx, b)
+			}(i, b)
+		}
+		wg.Wait()
+
+		accepted := make(map[int]bool, len(chunkLines))
+		allOK := true
+		worst := subResult{}
+		// Mark each shard's accepted prefix of its own sub-batch.
+		for i, res := range results {
+			b := ordered[i]
+			for k := 0; k < res.accepted && k < len(b.lines); k++ {
+				accepted[b.lines[k].global] = true
+			}
+			if res.err != nil || res.status < 200 || res.status >= 300 {
+				allOK = false
+				if worse(res, worst) {
+					worst = res
+				}
+			} else if res.code == ingest.CodeBackpressure {
+				// A 2xx never carries a refusal code; defensive only.
+				allOK = false
+			}
+		}
+		if allOK {
+			committed += len(chunkLines)
+			chunkLines = chunkLines[:0]
+			for id := range batches {
+				delete(batches, id)
+			}
+			return true, 0, "", "", "", 0
+		}
+		// Longest fully-accepted global prefix of this chunk; anything
+		// accepted beyond it is overshoot a resume will re-deliver.
+		prefix := 0
+		for _, pl := range chunkLines {
+			if !accepted[pl.global] {
+				break
+			}
+			prefix++
+		}
+		overshoot := len(accepted) - prefix
+		if overshoot > 0 {
+			rt.met.LinesOvershoot.Add(int64(overshoot))
+		}
+		committed += prefix
+		// Backpressure: propagate the worst Retry-After across every
+		// refusing shard, not just the first.
+		if worst.code == ingest.CodeBackpressure {
+			for _, res := range results {
+				if res.code == ingest.CodeBackpressure && res.retry > worst.retry {
+					worst.retry = res.retry
+				}
+			}
+			return false, http.StatusTooManyRequests, worst.code, worst.msg, worst.sh.ID, worst.retry
+		}
+		status = worst.status
+		code = worst.code
+		msg = worst.msg
+		if worst.err != nil {
+			status = http.StatusBadGateway
+			code = CodeShardUnavailable
+			msg = worst.err.Error()
+		}
+		if code == "" {
+			code = CodeShardUnavailable
+		}
+		return false, status, code, msg, worst.sh.ID, 0
+	}
+
+	for sc.Scan() {
+		raw := bytes.TrimSpace(sc.Bytes())
+		if len(raw) == 0 {
+			continue
+		}
+		global++
+		var rd sim.Reading
+		if err := json.Unmarshal(raw, &rd); err != nil {
+			if ok, status, code, msg, shardID, retry := flush(r.Context()); !ok {
+				fail(status, code, msg, shardID, retry)
+				return
+			}
+			rt.met.LinesRejected.Inc()
+			fail(http.StatusBadRequest, ingest.CodeBadReport, fmt.Sprintf("line %d: %v", global, err), "", 0)
+			return
+		}
+		if err := ingest.ValidateReading(rd); err != nil {
+			if ok, status, code, msg, shardID, retry := flush(r.Context()); !ok {
+				fail(status, code, msg, shardID, retry)
+				return
+			}
+			rt.met.LinesRejected.Inc()
+			fail(http.StatusBadRequest, ingest.CodeBadReport, fmt.Sprintf("line %d: %v", global, err), "", 0)
+			return
+		}
+		sh, ok := owner(rd.EPC)
+		if !ok {
+			rt.met.LinesRejected.Inc()
+			fail(http.StatusServiceUnavailable, CodeNoShards, "no shards in the ring", "", 0)
+			return
+		}
+		b := batches[sh.ID]
+		if b == nil {
+			b = &shardBatch{sh: sh}
+			batches[sh.ID] = b
+		}
+		// The raw bytes are only valid until the next Scan: copy.
+		pl := pendingLine{raw: append([]byte(nil), raw...), global: global}
+		b.lines = append(b.lines, pl)
+		chunkLines = append(chunkLines, pl)
+		if len(chunkLines) >= rt.cfg.ChunkLines {
+			if ok, status, code, msg, shardID, retry := flush(r.Context()); !ok {
+				fail(status, code, msg, shardID, retry)
+				return
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fail(http.StatusBadRequest, ingest.CodeBadReport, err.Error(), "", 0)
+		return
+	}
+	if ok, status, code, msg, shardID, retry := flush(r.Context()); !ok {
+		fail(status, code, msg, shardID, retry)
+		return
+	}
+	rt.met.IngestOK.Inc()
+	rt.met.LinesRouted.Add(int64(committed))
+	rt.met.ObserveIngest(rt.cfg.Now().Sub(t0))
+	writeJSON(w, http.StatusAccepted, ingestReply{Accepted: committed})
+}
+
+// worse ranks sub-batch failures for the propagated reply: a poisoned
+// report beats backpressure beats transport trouble, and among equals
+// the earliest-failing shard wins (its refusal pins the resume line).
+func worse(a, b subResult) bool {
+	if b.sh == nil {
+		return true
+	}
+	rank := func(r subResult) int {
+		switch {
+		case r.code == ingest.CodeBadReport:
+			return 3
+		case r.code == ingest.CodeBackpressure:
+			return 2
+		default:
+			return 1
+		}
+	}
+	return rank(a) > rank(b)
+}
+
+// sendBatch posts one shard's sub-batch and decodes its verdict.
+func (rt *Router) sendBatch(ctx context.Context, b *shardBatch) subResult {
+	res := subResult{sh: b.sh, sent: len(b.lines)}
+	b.sh.met.Requests.Inc()
+	var body bytes.Buffer
+	for _, pl := range b.lines {
+		body.Write(pl.raw)
+		body.WriteByte('\n')
+	}
+	ctx, cancel := context.WithTimeout(ctx, rt.cfg.ShardTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, b.sh.BaseURL+"/v1/ingest", &body)
+	if err != nil {
+		res.err = err
+		b.sh.met.Errors.Inc()
+		b.sh.met.Up.Set(0)
+		return res
+	}
+	req.Header.Set("Content-Type", "application/x-ndjson")
+	resp, err := rt.cfg.Client.Do(req)
+	if err != nil {
+		res.err = err
+		b.sh.met.Errors.Inc()
+		b.sh.met.Up.Set(0)
+		return res
+	}
+	defer resp.Body.Close()
+	b.sh.met.Up.Set(1)
+	res.status = resp.StatusCode
+	var env struct {
+		Error        string `json:"error"`
+		Code         string `json:"code"`
+		RetryAfterMS int64  `json:"retry_after_ms"`
+		Accepted     int    `json:"accepted"`
+	}
+	if err := json.NewDecoder(io.LimitReader(resp.Body, 1<<20)).Decode(&env); err != nil {
+		res.err = fmt.Errorf("shard %s: unparseable reply (%d): %w", b.sh.ID, resp.StatusCode, err)
+		b.sh.met.Errors.Inc()
+		return res
+	}
+	res.accepted = env.Accepted
+	if resp.StatusCode < 200 || resp.StatusCode >= 300 {
+		res.code = env.Code
+		res.msg = fmt.Sprintf("shard %s: %s", b.sh.ID, env.Error)
+		res.retry = time.Duration(env.RetryAfterMS) * time.Millisecond
+		b.sh.met.Errors.Inc()
+	}
+	return res
+}
+
+// --- scatter-gather reads -------------------------------------------
+
+// shardFetch is one shard's answer to a scatter-gather GET.
+type shardFetch struct {
+	sh     *shard
+	status int
+	body   []byte
+	err    error
+}
+
+// scatter fans a GET out to every shard in parallel.
+func (rt *Router) scatter(ctx context.Context, all []*shard, path string) []shardFetch {
+	out := make([]shardFetch, len(all))
+	var wg sync.WaitGroup
+	for i, s := range all {
+		wg.Add(1)
+		go func(i int, s *shard) {
+			defer wg.Done()
+			out[i] = rt.fetch(ctx, s, path)
+		}(i, s)
+	}
+	wg.Wait()
+	return out
+}
+
+// fetch GETs one shard path with the per-shard timeout.
+func (rt *Router) fetch(ctx context.Context, s *shard, path string) shardFetch {
+	f := shardFetch{sh: s}
+	s.met.Requests.Inc()
+	ctx, cancel := context.WithTimeout(ctx, rt.cfg.ShardTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, s.BaseURL+path, nil)
+	if err != nil {
+		f.err = err
+		s.met.Errors.Inc()
+		s.met.Up.Set(0)
+		return f
+	}
+	resp, err := rt.cfg.Client.Do(req)
+	if err != nil {
+		f.err = err
+		s.met.Errors.Inc()
+		s.met.Up.Set(0)
+		return f
+	}
+	defer resp.Body.Close()
+	s.met.Up.Set(1)
+	f.status = resp.StatusCode
+	f.body, f.err = io.ReadAll(io.LimitReader(resp.Body, 16<<20))
+	if f.err != nil {
+		s.met.Errors.Inc()
+	}
+	return f
+}
+
+// handleTags scatter-gathers GET /v1/tags: the union of every live
+// shard's EPC list. Dead shards degrade the answer instead of failing
+// it — the body carries "partial" plus the missing shard IDs, and the
+// X-RFPrism-Partial header flags it for clients that do not parse
+// bodies.
+func (rt *Router) handleTags(w http.ResponseWriter, r *http.Request) {
+	_, all := rt.snapshot()
+	if len(all) == 0 {
+		rt.met.ScatterErr.Inc()
+		rt.writeError(w, http.StatusServiceUnavailable, CodeNoShards, "no shards in the ring", 0)
+		return
+	}
+	set := make(map[string]bool)
+	var missing []string
+	for _, f := range rt.scatter(r.Context(), all, "/v1/tags") {
+		if f.err != nil || f.status != http.StatusOK {
+			missing = append(missing, f.sh.ID)
+			continue
+		}
+		var body struct {
+			Tags []string `json:"tags"`
+		}
+		if err := json.Unmarshal(f.body, &body); err != nil {
+			missing = append(missing, f.sh.ID)
+			continue
+		}
+		for _, epc := range body.Tags {
+			set[epc] = true
+		}
+	}
+	if len(missing) == len(all) {
+		rt.met.ScatterErr.Inc()
+		rt.writeError(w, http.StatusServiceUnavailable, CodeAllShardsDown, "every shard failed the scatter", 0)
+		return
+	}
+	tags := make([]string, 0, len(set))
+	for epc := range set {
+		tags = append(tags, epc)
+	}
+	sort.Strings(tags)
+	reply := map[string]any{"tags": tags}
+	if len(missing) > 0 {
+		sort.Strings(missing)
+		reply["partial"] = true
+		reply["missingShards"] = missing
+		w.Header().Set("X-RFPrism-Partial", "1")
+		rt.met.ScatterPartial.Inc()
+	} else {
+		rt.met.ScatterOK.Inc()
+	}
+	writeJSON(w, http.StatusOK, reply)
+}
+
+// handleTag routes a single-EPC read to its owning shard and relays
+// the shard's reply verbatim (status and body): the owner is the only
+// shard that can hold the tag, so there is nothing to gather.
+func (rt *Router) handleTag(w http.ResponseWriter, r *http.Request) {
+	epc := r.PathValue("epc")
+	owner, _ := rt.snapshot()
+	sh, ok := owner(epc)
+	if !ok {
+		rt.met.ScatterErr.Inc()
+		rt.writeError(w, http.StatusServiceUnavailable, CodeNoShards, "no shards in the ring", 0)
+		return
+	}
+	path := "/v1/tags/" + epc
+	if r.URL.RawQuery != "" {
+		path += "?" + r.URL.RawQuery
+	}
+	f := rt.fetch(r.Context(), sh, path)
+	if f.err != nil {
+		rt.met.ScatterErr.Inc()
+		writeJSON(w, http.StatusBadGateway, apiError{
+			Error: fmt.Sprintf("shard %s: %v", sh.ID, f.err),
+			Code:  CodeShardUnavailable, Shard: sh.ID,
+		})
+		return
+	}
+	rt.met.ScatterOK.Inc()
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(f.status)
+	_, _ = w.Write(f.body)
+}
+
+// --- health, readiness, metrics -------------------------------------
+
+// handleHealthz is the router's own liveness: 200 while the process
+// serves, with ring membership. It makes no shard calls — a dead
+// fleet does not mean the router should be restarted.
+func (rt *Router) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	shards := rt.Shards()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status": "ok",
+		"shards": len(shards),
+	})
+}
+
+// shardHealth is one shard's probed condition.
+type shardHealth struct {
+	ID    string `json:"id"`
+	State string `json:"state"` // ready | not-ready | down
+}
+
+// probeShards checks every shard's /readyz.
+func (rt *Router) probeShards(ctx context.Context, all []*shard) (healths []shardHealth, ready int) {
+	fetches := rt.scatter(ctx, all, "/readyz")
+	healths = make([]shardHealth, len(fetches))
+	for i, f := range fetches {
+		h := shardHealth{ID: f.sh.ID}
+		switch {
+		case f.err != nil:
+			h.State = "down"
+		case f.status == http.StatusOK:
+			h.State = "ready"
+			ready++
+		default:
+			h.State = "not-ready"
+		}
+		healths[i] = h
+	}
+	return healths, ready
+}
+
+// handleReadyz aggregates readiness: 200 only when every shard
+// answers ready. Anything less is 503 with the per-shard map — a
+// degraded cluster must leave the load-balancer rotation even though
+// reads still degrade gracefully shard by shard.
+func (rt *Router) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	_, all := rt.snapshot()
+	if len(all) == 0 {
+		rt.writeError(w, http.StatusServiceUnavailable, CodeNoShards, "no shards in the ring", 0)
+		return
+	}
+	healths, ready := rt.probeShards(r.Context(), all)
+	body := map[string]any{
+		"ready":  ready == len(all),
+		"shards": healths,
+	}
+	if ready != len(all) {
+		writeJSON(w, http.StatusServiceUnavailable, body)
+		return
+	}
+	writeJSON(w, http.StatusOK, body)
+}
+
+// handleMetrics serves the cluster aggregate: every live shard's
+// exposition summed series-by-series (obs.MergeText), with the
+// router's own router_* families appended. Shards that fail the
+// scrape are skipped — their absence shows in router_shard_up.
+func (rt *Router) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	_, all := rt.snapshot()
+	var texts [][]byte
+	for _, f := range rt.scatter(r.Context(), all, "/metrics") {
+		if f.err == nil && f.status == http.StatusOK {
+			texts = append(texts, f.body)
+		}
+	}
+	var own bytes.Buffer
+	rt.met.WriteText(&own, rt.cfg.Now(), len(all))
+	texts = append(texts, own.Bytes())
+	var merged bytes.Buffer
+	if err := obs.MergeText(&merged, texts...); err != nil {
+		rt.writeError(w, http.StatusInternalServerError, "metrics_merge", err.Error(), 0)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	_, _ = w.Write(merged.Bytes())
+}
+
+// --- admin ----------------------------------------------------------
+
+func (rt *Router) handleAdminList(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"shards": rt.Shards()})
+}
+
+// handleAdminAdd registers a shard: POST /admin/shards?id=s3&url=http://...
+func (rt *Router) handleAdminAdd(w http.ResponseWriter, r *http.Request) {
+	id, url := r.URL.Query().Get("id"), r.URL.Query().Get("url")
+	if err := rt.AddShard(id, url); err != nil {
+		rt.writeError(w, http.StatusBadRequest, "bad_shard", err.Error(), 0)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"shards": rt.Shards()})
+}
+
+// handleAdminRemove takes a shard out of the ring (ring membership
+// only — drain/handoff is the operator's or the Cluster's job).
+func (rt *Router) handleAdminRemove(w http.ResponseWriter, r *http.Request) {
+	if err := rt.RemoveShard(r.PathValue("id")); err != nil {
+		rt.writeError(w, http.StatusNotFound, "bad_shard", err.Error(), 0)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"shards": rt.Shards()})
+}

@@ -1,0 +1,196 @@
+package router
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// assertGoroutinesSettle polls until the goroutine count returns to
+// the recorded baseline (same contract as the ingest leak tests).
+func assertGoroutinesSettle(t *testing.T, base int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	n := 0
+	for time.Now().Before(deadline) {
+		runtime.GC()
+		n = runtime.NumGoroutine()
+		if n <= base {
+			return
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	buf := make([]byte, 1<<20)
+	t.Fatalf("goroutines leaked: %d running, baseline %d\n%s",
+		n, base, buf[:runtime.Stack(buf, true)])
+}
+
+// slowShard answers every request only when released (or the request
+// is cancelled) — the stuck-backend fixture for timeout and cancel
+// paths.
+type slowShard struct {
+	release chan struct{}
+	srv     *httptest.Server
+}
+
+func newSlowShard(t *testing.T) *slowShard {
+	s := &slowShard{release: make(chan struct{})}
+	s.srv = httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		select {
+		case <-s.release:
+			_, _ = w.Write([]byte(`{"accepted":0,"tags":[]}`))
+		case <-r.Context().Done():
+		}
+	}))
+	t.Cleanup(func() {
+		s.releaseAll()
+		s.srv.Close()
+	})
+	return s
+}
+
+func (s *slowShard) releaseAll() {
+	select {
+	case <-s.release:
+	default:
+		close(s.release)
+	}
+}
+
+// TestRouterSlowShardTimeoutNoLeak: a shard that never answers trips
+// the per-shard timeout — the request finishes with 502/503 instead
+// of hanging, and no fan-out goroutines linger. Run under -race.
+func TestRouterSlowShardTimeoutNoLeak(t *testing.T) {
+	base := runtime.NumGoroutine()
+	func() {
+		rt := New(Config{ShardTimeout: 50 * time.Millisecond})
+		slow := newSlowShard(t)
+		fast := newStubShard(t)
+		if err := rt.AddShard("s0", fast.srv.URL); err != nil {
+			t.Fatal(err)
+		}
+		if err := rt.AddShard("s1", slow.srv.URL); err != nil {
+			t.Fatal(err)
+		}
+		front := httptest.NewServer(rt.Handler())
+		defer front.Close()
+
+		// Scatter-gather read: the slow shard times out, the fast one
+		// answers, the result is partial.
+		resp, err := http.Get(front.URL + "/v1/tags")
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK || resp.Header.Get("X-RFPrism-Partial") != "1" {
+			t.Fatalf("slow scatter: status %d partial %q", resp.StatusCode, resp.Header.Get("X-RFPrism-Partial"))
+		}
+
+		// Ingest touching the slow shard: the sub-batch times out and
+		// the request maps to 502.
+		var line string
+		for i := 0; ; i++ {
+			epc := fmt.Sprintf("urn:epc:slow-%03d", i)
+			if owner, _ := rt.Owner(epc); owner.ID == "s1" {
+				line = mkLine(t, epc, 0)
+				break
+			}
+		}
+		resp, err = http.Post(front.URL+"/v1/ingest", "application/x-ndjson", strings.NewReader(line+"\n"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadGateway {
+			t.Fatalf("slow ingest: status %d", resp.StatusCode)
+		}
+		// Tear everything down before the settle check — t.Cleanup runs
+		// too late for a leak assertion.
+		front.Close()
+		slow.releaseAll()
+		slow.srv.Close()
+		fast.srv.Close()
+		rt.cfg.Client.CloseIdleConnections()
+	}()
+	assertGoroutinesSettle(t, base)
+}
+
+// TestRouterClientCancelMidScatterNoLeak: the client walking away
+// mid-scatter cancels the in-flight shard sub-requests; nothing
+// blocks on the never-answering shard. Run under -race.
+func TestRouterClientCancelMidScatterNoLeak(t *testing.T) {
+	base := runtime.NumGoroutine()
+	func() {
+		rt := New(Config{ShardTimeout: time.Minute}) // only the client cancels
+		slow := newSlowShard(t)
+		if err := rt.AddShard("s0", slow.srv.URL); err != nil {
+			t.Fatal(err)
+		}
+		front := httptest.NewServer(rt.Handler())
+		defer front.Close()
+
+		ctx, cancel := context.WithCancel(context.Background())
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, front.URL+"/v1/tags", nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var wg sync.WaitGroup
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			resp, err := http.DefaultClient.Do(req)
+			if err == nil {
+				resp.Body.Close()
+			}
+		}()
+		time.Sleep(50 * time.Millisecond) // let the scatter reach the slow shard
+		cancel()
+		wg.Wait()
+		front.Close()
+		slow.releaseAll()
+		slow.srv.Close()
+		rt.cfg.Client.CloseIdleConnections()
+	}()
+	assertGoroutinesSettle(t, base)
+}
+
+// TestRouterBackpressureNoLeak: repeated 429 round-trips leave no
+// goroutines behind — the fan-out workers exit on every path, not
+// just success. Run under -race.
+func TestRouterBackpressureNoLeak(t *testing.T) {
+	base := runtime.NumGoroutine()
+	func() {
+		rt := New(Config{ShardTimeout: time.Second})
+		stub := newStubShard(t)
+		stub.refuseAfter = 0
+		stub.refuseStatus = http.StatusTooManyRequests
+		stub.refuseCode = "backpressure"
+		stub.retryAfterMS = 1000
+		if err := rt.AddShard("s0", stub.srv.URL); err != nil {
+			t.Fatal(err)
+		}
+		front := httptest.NewServer(rt.Handler())
+		defer front.Close()
+		for i := 0; i < 8; i++ {
+			resp, err := http.Post(front.URL+"/v1/ingest", "application/x-ndjson",
+				strings.NewReader(mkLine(t, "urn:epc:busy", i)+"\n"))
+			if err != nil {
+				t.Fatal(err)
+			}
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusTooManyRequests {
+				t.Fatalf("status %d", resp.StatusCode)
+			}
+		}
+		front.Close()
+		stub.srv.Close()
+		rt.cfg.Client.CloseIdleConnections()
+	}()
+	assertGoroutinesSettle(t, base)
+}

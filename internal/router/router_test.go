@@ -1,0 +1,473 @@
+package router
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"rfprism/internal/sim"
+)
+
+// stubShard is a scriptable fake rfprismd: it records every ingest
+// line it receives and refuses on command, so fan-out semantics are
+// testable without daemons or solves.
+type stubShard struct {
+	t *testing.T
+
+	mu       sync.Mutex
+	lines    []string // raw ingest lines in arrival order
+	requests int
+
+	// refuseAfter, when ≥ 0, makes ingest accept that many lines of a
+	// request and then refuse with refuseStatus/refuseCode.
+	refuseAfter  int
+	refuseStatus int
+	refuseCode   string
+	retryAfterMS int64
+
+	tags     []string
+	ready    bool
+	readyErr int // status for not-ready (default 503)
+
+	metrics string
+
+	srv *httptest.Server
+}
+
+func newStubShard(t *testing.T) *stubShard {
+	s := &stubShard{t: t, refuseAfter: -1, ready: true, readyErr: http.StatusServiceUnavailable}
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/ingest", s.handleIngest)
+	mux.HandleFunc("GET /v1/tags", func(w http.ResponseWriter, _ *http.Request) {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		_ = json.NewEncoder(w).Encode(map[string]any{"tags": s.tags})
+	})
+	mux.HandleFunc("GET /v1/tags/{epc}", func(w http.ResponseWriter, r *http.Request) {
+		_ = json.NewEncoder(w).Encode(map[string]any{"epc": r.PathValue("epc"), "from": s.srv.URL})
+	})
+	mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, _ *http.Request) {
+		s.mu.Lock()
+		ready, status := s.ready, s.readyErr
+		s.mu.Unlock()
+		if !ready {
+			w.WriteHeader(status)
+			return
+		}
+		_, _ = io.WriteString(w, `{"status":"ready"}`)
+	})
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, _ *http.Request) {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		_, _ = io.WriteString(w, s.metrics)
+	})
+	s.srv = httptest.NewServer(mux)
+	t.Cleanup(s.srv.Close)
+	return s
+}
+
+func (s *stubShard) handleIngest(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.requests++
+	accepted := 0
+	sc := bufio.NewScanner(r.Body)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if s.refuseAfter >= 0 && accepted >= s.refuseAfter {
+			w.WriteHeader(s.refuseStatus)
+			_ = json.NewEncoder(w).Encode(map[string]any{
+				"error": "scripted refusal", "code": s.refuseCode,
+				"retry_after_ms": s.retryAfterMS, "accepted": accepted,
+			})
+			return
+		}
+		s.lines = append(s.lines, line)
+		accepted++
+	}
+	w.WriteHeader(http.StatusAccepted)
+	_ = json.NewEncoder(w).Encode(map[string]any{"accepted": accepted})
+}
+
+func (s *stubShard) received() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]string(nil), s.lines...)
+}
+
+// testRouter wires n stub shards behind a fresh router.
+func testRouter(t *testing.T, cfg Config, n int) (*Router, []*stubShard) {
+	t.Helper()
+	rt := New(cfg)
+	shards := make([]*stubShard, n)
+	for i := range shards {
+		shards[i] = newStubShard(t)
+		if err := rt.AddShard(fmt.Sprintf("s%d", i), shards[i].srv.URL); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return rt, shards
+}
+
+// mkLine renders a valid report line for epc with a marker channel.
+func mkLine(t *testing.T, epc string, ch int) string {
+	t.Helper()
+	b, err := json.Marshal(sim.Reading{EPC: epc, Channel: ch, FreqHz: 920e6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}
+
+func postNDJSON(t *testing.T, h http.Handler, body string) *httptest.ResponseRecorder {
+	t.Helper()
+	req := httptest.NewRequest(http.MethodPost, "/v1/ingest", strings.NewReader(body))
+	w := httptest.NewRecorder()
+	h.ServeHTTP(w, req)
+	return w
+}
+
+func decodeEnvelope(t *testing.T, w *httptest.ResponseRecorder) apiError {
+	t.Helper()
+	var env apiError
+	if err := json.Unmarshal(w.Body.Bytes(), &env); err != nil {
+		t.Fatalf("unparseable envelope %q: %v", w.Body.String(), err)
+	}
+	return env
+}
+
+// TestRouterIngestFanout: every line lands on exactly its ring owner,
+// verbatim, with per-EPC order preserved across chunks.
+func TestRouterIngestFanout(t *testing.T) {
+	rt, shards := testRouter(t, Config{ChunkLines: 4}, 3)
+	var body strings.Builder
+	sent := make(map[string][]string) // owner shard ID → expected lines
+	total := 0
+	for i := 0; i < 30; i++ {
+		epc := fmt.Sprintf("urn:epc:fan-%02d", i%7)
+		line := mkLine(t, epc, i%50)
+		body.WriteString(line + "\n")
+		owner, ok := rt.Owner(epc)
+		if !ok {
+			t.Fatal("no owner")
+		}
+		sent[owner.ID] = append(sent[owner.ID], line)
+		total++
+	}
+	w := postNDJSON(t, rt.Handler(), body.String())
+	if w.Code != http.StatusAccepted {
+		t.Fatalf("status %d: %s", w.Code, w.Body.String())
+	}
+	var reply ingestReply
+	if err := json.Unmarshal(w.Body.Bytes(), &reply); err != nil || reply.Accepted != total {
+		t.Fatalf("accepted %d want %d (%v)", reply.Accepted, total, err)
+	}
+	for i, s := range shards {
+		id := fmt.Sprintf("s%d", i)
+		got := s.received()
+		want := sent[id]
+		if len(got) != len(want) {
+			t.Fatalf("shard %s got %d lines, want %d", id, len(got), len(want))
+		}
+		for k := range want {
+			if got[k] != want[k] {
+				t.Fatalf("shard %s line %d: got %q want %q (order or bytes not preserved)", id, k, got[k], want[k])
+			}
+		}
+	}
+	if got := rt.Metrics().LinesRouted.Load(); got != int64(total) {
+		t.Errorf("LinesRouted %d want %d", got, total)
+	}
+}
+
+// TestRouterIngestBackpressure: when shards refuse with 429 the router
+// propagates the WORST Retry-After and the longest globally-accepted
+// prefix, so a client that resumes at "line" loses nothing.
+func TestRouterIngestBackpressure(t *testing.T) {
+	rt, shards := testRouter(t, Config{ChunkLines: 100}, 2)
+	// Find one EPC per shard so both sub-batches are non-empty.
+	epcFor := make(map[string]string)
+	for i := 0; len(epcFor) < 2; i++ {
+		epc := fmt.Sprintf("urn:epc:bp-%03d", i)
+		owner, _ := rt.Owner(epc)
+		if _, ok := epcFor[owner.ID]; !ok {
+			epcFor[owner.ID] = epc
+		}
+	}
+	for i, s := range shards {
+		s.refuseAfter = 1 // take one line, refuse the rest
+		s.refuseStatus = http.StatusTooManyRequests
+		s.refuseCode = "backpressure"
+		s.retryAfterMS = int64(3000 * (i + 1)) // s1 advertises the longer pause
+	}
+	var body strings.Builder
+	for i := 0; i < 3; i++ {
+		body.WriteString(mkLine(t, epcFor["s0"], i) + "\n")
+		body.WriteString(mkLine(t, epcFor["s1"], i) + "\n")
+	}
+	w := postNDJSON(t, rt.Handler(), body.String())
+	if w.Code != http.StatusTooManyRequests {
+		t.Fatalf("status %d: %s", w.Code, w.Body.String())
+	}
+	env := decodeEnvelope(t, w)
+	if env.Code != "backpressure" {
+		t.Errorf("code %q", env.Code)
+	}
+	// Worst Retry-After across shards: 6 s.
+	if env.RetryAfterMS != 6000 {
+		t.Errorf("retry_after_ms %d want 6000", env.RetryAfterMS)
+	}
+	if hdr := w.Header().Get("Retry-After"); hdr != "6" {
+		t.Errorf("Retry-After header %q want 6", hdr)
+	}
+	// Each shard took its first line; the global prefix is the first
+	// two lines (one per shard), so resume at line 3.
+	if env.Accepted != 2 || env.Line != 3 {
+		t.Errorf("accepted %d line %d, want 2/3", env.Accepted, env.Line)
+	}
+}
+
+// TestRouterIngestBadLine: a malformed line is refused locally with
+// the resume position, after flushing everything before it.
+func TestRouterIngestBadLine(t *testing.T) {
+	rt, shards := testRouter(t, Config{ChunkLines: 100}, 2)
+	good := mkLine(t, "urn:epc:bad-test", 1)
+	body := good + "\n" + good + "\n" + "{not json}\n" + good + "\n"
+	w := postNDJSON(t, rt.Handler(), body)
+	if w.Code != http.StatusBadRequest {
+		t.Fatalf("status %d: %s", w.Code, w.Body.String())
+	}
+	env := decodeEnvelope(t, w)
+	if env.Code != "bad_report" || env.Accepted != 2 || env.Line != 3 {
+		t.Errorf("envelope %+v, want bad_report accepted=2 line=3", env)
+	}
+	delivered := len(shards[0].received()) + len(shards[1].received())
+	if delivered != 2 {
+		t.Errorf("shards saw %d lines, want the 2 before the bad one", delivered)
+	}
+}
+
+// TestRouterIngestShardDown: a dead shard turns into 502 with the
+// longest safe prefix; lines already accepted by the healthy shard
+// past that prefix are counted as overshoot.
+func TestRouterIngestShardDown(t *testing.T) {
+	rt, shards := testRouter(t, Config{ChunkLines: 100}, 2)
+	epcFor := make(map[string]string)
+	for i := 0; len(epcFor) < 2; i++ {
+		epc := fmt.Sprintf("urn:epc:down-%03d", i)
+		owner, _ := rt.Owner(epc)
+		if _, ok := epcFor[owner.ID]; !ok {
+			epcFor[owner.ID] = epc
+		}
+	}
+	shards[1].srv.Close() // s1 is dead
+	var body strings.Builder
+	// Line 1 goes to s0 (accepted), line 2 to s1 (dead), line 3 to s0.
+	body.WriteString(mkLine(t, epcFor["s0"], 0) + "\n")
+	body.WriteString(mkLine(t, epcFor["s1"], 1) + "\n")
+	body.WriteString(mkLine(t, epcFor["s0"], 2) + "\n")
+	w := postNDJSON(t, rt.Handler(), body.String())
+	if w.Code != http.StatusBadGateway {
+		t.Fatalf("status %d: %s", w.Code, w.Body.String())
+	}
+	env := decodeEnvelope(t, w)
+	if env.Code != CodeShardUnavailable || env.Shard != "s1" {
+		t.Errorf("envelope %+v, want shard_unavailable from s1", env)
+	}
+	if env.Accepted != 1 || env.Line != 2 {
+		t.Errorf("accepted %d line %d, want 1/2", env.Accepted, env.Line)
+	}
+	// s0 accepted line 3 beyond the global prefix: overshoot.
+	if got := rt.Metrics().LinesOvershoot.Load(); got != 1 {
+		t.Errorf("LinesOvershoot %d want 1", got)
+	}
+}
+
+// TestRouterIngestNoShards: an empty ring refuses with 503/no_shards.
+func TestRouterIngestNoShards(t *testing.T) {
+	rt := New(Config{})
+	w := postNDJSON(t, rt.Handler(), mkLine(t, "urn:epc:x", 0)+"\n")
+	if w.Code != http.StatusServiceUnavailable {
+		t.Fatalf("status %d", w.Code)
+	}
+	if env := decodeEnvelope(t, w); env.Code != CodeNoShards {
+		t.Errorf("code %q", env.Code)
+	}
+}
+
+// TestRouterTagsScatter: /v1/tags unions shard tag lists; a dead
+// shard degrades the answer to partial instead of failing it.
+func TestRouterTagsScatter(t *testing.T) {
+	rt, shards := testRouter(t, Config{ShardTimeout: time.Second}, 3)
+	shards[0].tags = []string{"b", "a"}
+	shards[1].tags = []string{"c", "a"}
+	shards[2].tags = []string{"d"}
+
+	get := func() (*httptest.ResponseRecorder, map[string]any) {
+		req := httptest.NewRequest(http.MethodGet, "/v1/tags", nil)
+		w := httptest.NewRecorder()
+		rt.Handler().ServeHTTP(w, req)
+		var body map[string]any
+		if err := json.Unmarshal(w.Body.Bytes(), &body); err != nil {
+			t.Fatalf("unparseable body %q", w.Body.String())
+		}
+		return w, body
+	}
+
+	w, body := get()
+	if w.Code != http.StatusOK {
+		t.Fatalf("status %d", w.Code)
+	}
+	if fmt.Sprint(body["tags"]) != "[a b c d]" || body["partial"] != nil {
+		t.Fatalf("full scatter body %v", body)
+	}
+
+	shards[2].srv.Close()
+	w, body = get()
+	if w.Code != http.StatusOK || body["partial"] != true {
+		t.Fatalf("degraded scatter: status %d body %v", w.Code, body)
+	}
+	if fmt.Sprint(body["missingShards"]) != "[s2]" {
+		t.Fatalf("missingShards %v", body["missingShards"])
+	}
+	if w.Header().Get("X-RFPrism-Partial") != "1" {
+		t.Error("partial header missing")
+	}
+	if fmt.Sprint(body["tags"]) != "[a b c]" {
+		t.Fatalf("degraded tags %v", body["tags"])
+	}
+
+	shards[0].srv.Close()
+	shards[1].srv.Close()
+	w, _ = get()
+	if w.Code != http.StatusServiceUnavailable {
+		t.Fatalf("all-dead scatter status %d", w.Code)
+	}
+}
+
+// TestRouterTagProxy: a single-tag read goes to the EPC's owner and
+// the shard's reply passes through verbatim; a dead owner is 502.
+func TestRouterTagProxy(t *testing.T) {
+	rt, shards := testRouter(t, Config{ShardTimeout: time.Second}, 2)
+	epc := "urn:epc:proxy-1"
+	owner, _ := rt.Owner(epc)
+	req := httptest.NewRequest(http.MethodGet, "/v1/tags/"+epc, nil)
+	w := httptest.NewRecorder()
+	rt.Handler().ServeHTTP(w, req)
+	if w.Code != http.StatusOK {
+		t.Fatalf("status %d", w.Code)
+	}
+	var body struct{ From string }
+	if err := json.Unmarshal(w.Body.Bytes(), &body); err != nil {
+		t.Fatal(err)
+	}
+	var ownerStub *stubShard
+	for i, s := range shards {
+		if fmt.Sprintf("s%d", i) == owner.ID {
+			ownerStub = s
+		}
+	}
+	if body.From != ownerStub.srv.URL {
+		t.Fatalf("answered by %s, ring owner is %s (%s)", body.From, owner.ID, ownerStub.srv.URL)
+	}
+	ownerStub.srv.Close()
+	w = httptest.NewRecorder()
+	rt.Handler().ServeHTTP(w, req)
+	if w.Code != http.StatusBadGateway {
+		t.Fatalf("dead owner status %d", w.Code)
+	}
+	if env := decodeEnvelope(t, w); env.Code != CodeShardUnavailable || env.Shard != owner.ID {
+		t.Errorf("envelope %+v", env)
+	}
+}
+
+// TestRouterReadyz: ready only when every shard is; the body names
+// each shard's state.
+func TestRouterReadyz(t *testing.T) {
+	rt, shards := testRouter(t, Config{ShardTimeout: time.Second}, 3)
+	get := func() (*httptest.ResponseRecorder, map[string]any) {
+		req := httptest.NewRequest(http.MethodGet, "/readyz", nil)
+		w := httptest.NewRecorder()
+		rt.Handler().ServeHTTP(w, req)
+		var body map[string]any
+		_ = json.Unmarshal(w.Body.Bytes(), &body)
+		return w, body
+	}
+	if w, _ := get(); w.Code != http.StatusOK {
+		t.Fatalf("all-ready status %d", w.Code)
+	}
+	shards[1].mu.Lock()
+	shards[1].ready = false
+	shards[1].mu.Unlock()
+	w, body := get()
+	if w.Code != http.StatusServiceUnavailable || body["ready"] != false {
+		t.Fatalf("degraded readyz: %d %v", w.Code, body)
+	}
+	states := fmt.Sprint(body["shards"])
+	if !strings.Contains(states, "not-ready") {
+		t.Errorf("shard states %s", states)
+	}
+	shards[2].srv.Close()
+	_, body = get()
+	if !strings.Contains(fmt.Sprint(body["shards"]), "down") {
+		t.Errorf("dead shard not reported down: %v", body["shards"])
+	}
+}
+
+// TestRouterMetricsAggregation: /metrics is the fleet sum of the
+// shard expositions plus the router's own families.
+func TestRouterMetricsAggregation(t *testing.T) {
+	rt, shards := testRouter(t, Config{ShardTimeout: time.Second}, 2)
+	shards[0].metrics = "# HELP rfprismd_reports_total R.\n# TYPE rfprismd_reports_total counter\nrfprismd_reports_total{outcome=\"accepted\"} 70\n"
+	shards[1].metrics = "# HELP rfprismd_reports_total R.\n# TYPE rfprismd_reports_total counter\nrfprismd_reports_total{outcome=\"accepted\"} 30\n"
+	req := httptest.NewRequest(http.MethodGet, "/metrics", nil)
+	w := httptest.NewRecorder()
+	rt.Handler().ServeHTTP(w, req)
+	if w.Code != http.StatusOK {
+		t.Fatalf("status %d", w.Code)
+	}
+	text := w.Body.String()
+	if !strings.Contains(text, `rfprismd_reports_total{outcome="accepted"} 100`) {
+		t.Errorf("fleet sum missing:\n%s", text)
+	}
+	if !strings.Contains(text, "router_shards 2") {
+		t.Errorf("router families missing:\n%s", text)
+	}
+}
+
+// TestRouterAdminShards: membership changes over HTTP.
+func TestRouterAdminShards(t *testing.T) {
+	rt, _ := testRouter(t, Config{}, 1)
+	extra := newStubShard(t)
+	do := func(method, path string) *httptest.ResponseRecorder {
+		req := httptest.NewRequest(method, path, nil)
+		w := httptest.NewRecorder()
+		rt.Handler().ServeHTTP(w, req)
+		return w
+	}
+	if w := do(http.MethodPost, "/admin/shards?id=sX&url="+extra.srv.URL); w.Code != http.StatusOK {
+		t.Fatalf("add: %d %s", w.Code, w.Body.String())
+	}
+	if got := len(rt.Shards()); got != 2 {
+		t.Fatalf("%d shards after add", got)
+	}
+	if w := do(http.MethodDelete, "/admin/shards/sX"); w.Code != http.StatusOK {
+		t.Fatalf("remove: %d", w.Code)
+	}
+	if got := len(rt.Shards()); got != 1 {
+		t.Fatalf("%d shards after remove", got)
+	}
+	if w := do(http.MethodDelete, "/admin/shards/nope"); w.Code != http.StatusNotFound {
+		t.Fatalf("remove unknown: %d", w.Code)
+	}
+}

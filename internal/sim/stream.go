@@ -84,3 +84,37 @@ func (s *Scene) CollectStream(tags []TrackedTag, rounds int) ([]Reading, error) 
 	})
 	return out, err
 }
+
+// CloneStream scales a physically simulated template stream to an
+// arbitrary tag population without paying per-tag ALOHA simulation: it
+// returns a pull iterator yielding `clones` relabeled copies of the
+// template, interleaved at reading granularity (reading 0 of every
+// clone, then reading 1 of every clone, …). The interleave is the
+// worst case for ingestion state — every cloned tag's session is open
+// simultaneously — which is exactly what a sharding/loadgen harness
+// wants to stress. Each clone's per-EPC subsequence is byte-identical
+// to the template apart from the EPC, so any per-EPC invariant
+// (session assembly, window identity, solve output) proven on the
+// template holds for every clone.
+//
+// label maps (clone index, template EPC) to the clone's EPC; nil uses
+// "<epc>#c<index>". The iterator returns ok=false after
+// clones×len(template) readings.
+func CloneStream(template []Reading, clones int, label func(clone int, epc string) string) func() (Reading, bool) {
+	if label == nil {
+		label = func(c int, epc string) string { return fmt.Sprintf("%s#c%06d", epc, c) }
+	}
+	i, c := 0, 0
+	return func() (Reading, bool) {
+		if clones <= 0 || i >= len(template) {
+			return Reading{}, false
+		}
+		rd := template[i]
+		rd.EPC = label(c, rd.EPC)
+		if c++; c == clones {
+			c = 0
+			i++
+		}
+		return rd, true
+	}
+}

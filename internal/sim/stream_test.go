@@ -163,3 +163,70 @@ func TestStreamReadingsEarlyStop(t *testing.T) {
 		t.Fatalf("emit called %d times, want 10", n)
 	}
 }
+
+// TestCloneStreamRelabeledSubsequences: every clone's per-EPC
+// subsequence must equal the template modulo the EPC label, the
+// interleave must be reading-major across clones, and the iterator
+// must terminate after clones×len(template) readings.
+func TestCloneStreamRelabeledSubsequences(t *testing.T) {
+	scene := streamScene(t, 21)
+	template, err := scene.CollectStream(streamTags(t, scene, 2), 1)
+	if err != nil {
+		t.Fatalf("CollectStream: %v", err)
+	}
+	const clones = 5
+	next := CloneStream(template, clones, nil)
+	perClone := make(map[string][]Reading)
+	var order []string
+	n := 0
+	for {
+		rd, ok := next()
+		if !ok {
+			break
+		}
+		perClone[rd.EPC] = append(perClone[rd.EPC], rd)
+		order = append(order, rd.EPC)
+		n++
+	}
+	if want := clones * len(template); n != want {
+		t.Fatalf("iterator yielded %d readings, want %d", n, want)
+	}
+	if len(perClone) != clones*2 {
+		t.Fatalf("%d distinct cloned EPCs, want %d", len(perClone), clones*2)
+	}
+	// Reading-major interleave: the first `clones` emissions are clone
+	// copies of template[0], so they all share its EPC prefix.
+	for i := 0; i < clones; i++ {
+		want := template[0].EPC + "#c"
+		if len(order[i]) < len(want) || order[i][:len(want)] != want {
+			t.Fatalf("emission %d is %q, want a clone of %q", i, order[i], template[0].EPC)
+		}
+	}
+	// Each clone's subsequence is the template's per-EPC subsequence
+	// with only the EPC rewritten.
+	byEPC := make(map[string][]Reading)
+	for _, rd := range template {
+		byEPC[rd.EPC] = append(byEPC[rd.EPC], rd)
+	}
+	for epc, got := range perClone {
+		base := epc[:len(epc)-len("#c000000")]
+		want := byEPC[base]
+		if len(got) != len(want) {
+			t.Fatalf("clone %s has %d readings, template EPC %s has %d", epc, len(got), base, len(want))
+		}
+		for i := range got {
+			w := want[i]
+			w.EPC = epc
+			if got[i] != w {
+				t.Fatalf("clone %s reading %d differs from template beyond the EPC", epc, i)
+			}
+		}
+	}
+	// Exhausted iterators stay exhausted.
+	if _, ok := next(); ok {
+		t.Fatal("iterator restarted after exhaustion")
+	}
+	if _, ok := CloneStream(template, 0, nil)(); ok {
+		t.Fatal("zero clones yielded a reading")
+	}
+}
