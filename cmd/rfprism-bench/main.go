@@ -45,11 +45,15 @@ type benchRecord struct {
 	AllocsPerOp   int64   `json:"allocs_per_op"`
 	BytesPerOp    int64   `json:"bytes_per_op"`
 	WindowsPerSec float64 `json:"windows_per_sec,omitempty"`
-	// Ingest latency percentiles, recorded only by the cluster replay
-	// rows (per-chunk POST round-trip through the router).
+	// Latency percentiles. The cluster replay rows record per-chunk
+	// ingest POST round-trips through the router; the ReadLoad row
+	// records the read fleet's poll-GET latency instead.
 	P50Ms  float64 `json:"p50_ms,omitempty"`
 	P99Ms  float64 `json:"p99_ms,omitempty"`
 	P999Ms float64 `json:"p999_ms,omitempty"`
+	// Read-side serving-tier load, recorded only by the ReadLoad row.
+	ReadClients int     `json:"read_clients,omitempty"`
+	ReadQPS     float64 `json:"read_qps,omitempty"`
 }
 
 // stageRecord is one pipeline stage's share of batch processing time,
@@ -82,6 +86,8 @@ func main() {
 	against := flag.String("against", "", "baseline report to diff against (exit 1 on gated regressions)")
 	maxRegress := flag.Float64("max-regress", 10, "max tolerated ns/op regression vs -against, percent")
 	clusterTags := flag.Int("cluster-tags", 100000, "cloned tag population for the ClusterStream rows (0 skips them)")
+	readClients := flag.Int("read-clients", 100000, "concurrent read clients for the ReadLoad rows (0 skips them)")
+	readTags := flag.Int("read-tags", 100000, "cloned tag population replayed under the read fleet")
 	flag.Parse()
 	// testing.Benchmark honors the -test.benchtime flag value.
 	if err := flag.Lookup("test.benchtime").Value.Set(benchtime.String()); err != nil {
@@ -265,6 +271,17 @@ func main() {
 		}
 	}
 
+	// Read-side serving tier: the same cloned replay into one node, idle
+	// vs with ~100k concurrent read clients attached (see readload.go).
+	// The loaded row gates both ingest windows/sec and read QPS.
+	if *readClients > 0 && *readTags > 0 {
+		rows, err := readLoadRows(*readTags, *readClients)
+		if err != nil {
+			log.Fatal(err)
+		}
+		report.Benchmarks = append(report.Benchmarks, rows...)
+	}
+
 	// Per-stage breakdown on a dedicated traced pass: the rows above
 	// must stay tracer-free so they remain comparable to baselines
 	// recorded before tracing existed.
@@ -287,8 +304,15 @@ func main() {
 		if b.WindowsPerSec > 0 {
 			fmt.Printf(" %10.1f windows/sec", b.WindowsPerSec)
 		}
+		if b.ReadQPS > 0 {
+			fmt.Printf(" %10.1f read qps (%d clients)", b.ReadQPS, b.ReadClients)
+		}
 		if b.P999Ms > 0 {
-			fmt.Printf("  ingest p50/p99/p999 %.2f/%.2f/%.2f ms", b.P50Ms, b.P99Ms, b.P999Ms)
+			label := "ingest"
+			if b.ReadQPS > 0 {
+				label = "read"
+			}
+			fmt.Printf("  %s p50/p99/p999 %.2f/%.2f/%.2f ms", label, b.P50Ms, b.P99Ms, b.P999Ms)
 		}
 		fmt.Println()
 	}
@@ -331,6 +355,8 @@ var gatedBenchmarks = map[string]bool{
 	"StreamReplayWarm":    true,
 	"ClusterStream1":      true,
 	"ClusterStream3":      true,
+	"ReadLoadIdle":        true,
+	"ReadLoad":            true,
 }
 
 // compareReports diffs current against baseline by (name,
@@ -365,6 +391,19 @@ func compareReports(baseline, current benchReport, maxRegressPct float64, gated 
 			if gated[c.Name] && drop > maxRegressPct {
 				failures = append(failures, fmt.Sprintf("%s throughput dropped %.1f%% (%.1f -> %.1f windows/sec)",
 					key, drop, b.WindowsPerSec, c.WindowsPerSec))
+			}
+		}
+		// The ReadLoad row symmetrically gates read throughput: the
+		// serving tier must keep answering its fleet at full ingest
+		// rate. QPS scales with the fleet, so the comparison only means
+		// something when both runs drove the same -read-clients.
+		if b.ReadQPS > 0 && c.ReadQPS > 0 && b.ReadClients == c.ReadClients {
+			drop := 100 * (b.ReadQPS - c.ReadQPS) / b.ReadQPS
+			diffs = append(diffs, fmt.Sprintf("%-26s %12.1f -> %12.1f read qps  %+6.1f%%",
+				key, b.ReadQPS, c.ReadQPS, -drop))
+			if gated[c.Name] && drop > maxRegressPct {
+				failures = append(failures, fmt.Sprintf("%s read throughput dropped %.1f%% (%.1f -> %.1f qps)",
+					key, drop, b.ReadQPS, c.ReadQPS))
 			}
 		}
 	}

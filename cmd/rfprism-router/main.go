@@ -45,6 +45,7 @@ import (
 	"rfprism/internal/ingest"
 	"rfprism/internal/rf"
 	"rfprism/internal/router"
+	"rfprism/internal/serve"
 	"rfprism/internal/sim"
 )
 
@@ -72,6 +73,9 @@ type options struct {
 	drainTimeout time.Duration
 	logFormat    string
 	logLevel     string
+	readRate     float64
+	readBurst    int
+	maxStreams   int
 }
 
 func parseFlags(args []string) (options, error) {
@@ -93,6 +97,9 @@ func parseFlags(args []string) (options, error) {
 	fs.DurationVar(&o.drainTimeout, "drain-timeout", 30*time.Second, "graceful drain budget for -local shards on shutdown")
 	fs.StringVar(&o.logFormat, "log-format", "text", "structured log format: text|json (stderr)")
 	fs.StringVar(&o.logLevel, "log-level", "info", "log level: debug|info|warn|error")
+	fs.Float64Var(&o.readRate, "read-rate", 0, "per-client request rate limit on the API surface, req/s (0: unlimited)")
+	fs.IntVar(&o.readBurst, "read-burst", 0, "per-client token-bucket burst (0: ceil of -read-rate)")
+	fs.IntVar(&o.maxStreams, "max-streams", 0, "per-client concurrent SSE stream cap (0: unlimited)")
 	if err := fs.Parse(args); err != nil {
 		return o, err
 	}
@@ -139,10 +146,19 @@ func run(args []string, stdout io.Writer) error {
 	if err != nil {
 		return err
 	}
+	var lim *serve.Limiter
+	if o.readRate > 0 || o.maxStreams > 0 {
+		lim = serve.NewLimiter(serve.LimiterConfig{
+			RatePerSec: o.readRate,
+			Burst:      o.readBurst,
+			MaxStreams: o.maxStreams,
+		})
+	}
 	rcfg := router.Config{
 		Vnodes:       o.vnodes,
 		ChunkLines:   o.chunkLines,
 		ShardTimeout: o.shardTimeout,
+		Limiter:      lim,
 		Logger:       logger,
 	}
 
@@ -186,7 +202,9 @@ func run(args []string, stdout io.Writer) error {
 			return err
 		}
 	}
-	srv := &http.Server{Handler: rt.Handler()}
+	// The token-bucket half of the limiter wraps the whole surface;
+	// the stream-quota half is enforced inside the SSE handlers.
+	srv := &http.Server{Handler: lim.Middleware(rt.Handler())}
 	serveErr := make(chan error, 1)
 	fmt.Fprintf(stdout, "rfprism-router: listening on %s\n", ln.Addr())
 	go func() { serveErr <- srv.Serve(ln) }()

@@ -70,6 +70,7 @@ import (
 	"rfprism/internal/ingest"
 	"rfprism/internal/obs"
 	"rfprism/internal/rf"
+	"rfprism/internal/serve"
 	"rfprism/internal/sim"
 )
 
@@ -107,6 +108,10 @@ type options struct {
 	traceFile    string
 	warmStart    bool
 	solveCache   int
+	swapInterval time.Duration
+	readRate     float64
+	readBurst    int
+	maxStreams   int
 }
 
 func parseFlags(args []string) (options, error) {
@@ -138,6 +143,10 @@ func parseFlags(args []string) (options, error) {
 	fs.StringVar(&o.traceFile, "trace", "", "export per-window pipeline stage spans as NDJSON to this file")
 	fs.BoolVar(&o.warmStart, "warm-start", false, "seed each tag's solve from its previous estimate (guarded cold fallback)")
 	fs.IntVar(&o.solveCache, "solve-cache", 0, "stationary-tag cache size in tags, 0 disables (serves unchanged tags without solving)")
+	fs.DurationVar(&o.swapInterval, "swap-interval", 25*time.Millisecond, "snapshot-store swap interval: the read side's max staleness")
+	fs.Float64Var(&o.readRate, "read-rate", 0, "per-client request rate limit on the API surface, req/s (0: unlimited)")
+	fs.IntVar(&o.readBurst, "read-burst", 0, "per-client token-bucket burst (0: ceil of -read-rate)")
+	fs.IntVar(&o.maxStreams, "max-streams", 0, "per-client concurrent SSE/long-poll cap (0: unlimited)")
 	if err := fs.Parse(args); err != nil {
 		return o, err
 	}
@@ -222,8 +231,14 @@ func run(args []string, stdout io.Writer) error {
 	}
 	rfprism.WithTracer(rfprism.MultiTracer(tracers...))(sys)
 
-	ring := ingest.NewRingSink(o.ring)
-	sinks := []ingest.Sink{ring}
+	// The epoch-swapped snapshot store replaces the legacy RingSink as
+	// the query backend: Emit is a short mutex + append, readers load
+	// one atomic pointer, and the swapper decouples the two.
+	store := serve.NewStore(serve.StoreConfig{
+		History:      o.ring,
+		SwapInterval: o.swapInterval,
+	})
+	sinks := []ingest.Sink{store}
 	var outFile *os.File
 	switch o.out {
 	case "":
@@ -279,6 +294,20 @@ func run(args []string, stdout io.Writer) error {
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()
 
+	// The serve tier fronts the API: SSE/long-poll subscriptions plus
+	// per-client limits, with plain reads falling through to the ingest
+	// server against the same snapshot store.
+	var lim *serve.Limiter
+	if o.readRate > 0 || o.maxStreams > 0 {
+		lim = serve.NewLimiter(serve.LimiterConfig{
+			RatePerSec: o.readRate,
+			Burst:      o.readBurst,
+			MaxStreams: o.maxStreams,
+		})
+	}
+	streamSrv := serve.NewServer(store, lim, logger)
+	serve.RegisterMetrics(met.Registry(), store, streamSrv, lim)
+
 	var httpSrv *http.Server
 	serveErr := make(chan error, 1)
 	if o.addr != "" {
@@ -286,7 +315,7 @@ func run(args []string, stdout io.Writer) error {
 		if err != nil {
 			return err
 		}
-		httpSrv = &http.Server{Handler: ingest.NewServer(d, ring).Handler()}
+		httpSrv = &http.Server{Handler: streamSrv.Wrap(ingest.NewServer(d, store).Handler())}
 		fmt.Fprintf(stdout, "rfprismd: listening on %s\n", ln.Addr())
 		if o.addrFile != "" {
 			// Write-then-rename so a polling supervisor never reads a

@@ -3,6 +3,7 @@ package ingest
 import (
 	"bufio"
 	"bytes"
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -10,6 +11,7 @@ import (
 	"math"
 	"math/rand"
 	"net/http"
+	"sort"
 	"strconv"
 	"time"
 )
@@ -52,20 +54,46 @@ const maxReportLine = 1 << 20
 // retry_after_ms) and reports how many lines were accepted before the
 // refusal.
 type Server struct {
-	d    *Daemon
-	ring *RingSink
-	mux  *http.ServeMux
-	log  *slog.Logger
+	d     *Daemon
+	store TagStore
+	mux   *http.ServeMux
+	log   *slog.Logger
 	// jitter yields uniform [0,1) draws for Retry-After spreading;
 	// tests pin it.
 	jitter func() float64
 }
 
-// NewServer wires a daemon and its query ring. ring may be nil when
+// TagStore is the query surface GET /v1/tags reads from. RingSink is
+// the in-memory implementation; serve.Store is the epoch-swapped
+// snapshot store that replaces it in the daemon.
+type TagStore interface {
+	Latest(epc string) (TagResult, bool)
+	History(epc string) []TagResult
+	EPCs() []string
+}
+
+// EpochStore is implemented by stores with snapshot generations: reads
+// then advertise the epoch in the X-RFPrism-Epoch header so clients
+// can start a since=<epoch> subscription without a race.
+type EpochStore interface {
+	Epoch() uint64
+}
+
+// TagWaiter is implemented by stores that support long-poll: WaitTag
+// blocks until the tag has a result newer than since, wait elapses, or
+// ctx ends. ok reports a change; epoch is the tag's epoch either way.
+type TagWaiter interface {
+	WaitTag(ctx context.Context, epc string, since uint64, wait time.Duration) (TagResult, uint64, bool)
+}
+
+// NewServer wires a daemon and its query store. store may be nil when
 // the deployment has no query endpoint (pure NDJSON export). Request
 // logs go to the daemon's logger.
-func NewServer(d *Daemon, ring *RingSink) *Server {
-	s := &Server{d: d, ring: ring, mux: http.NewServeMux(), log: d.Logger(), jitter: rand.Float64}
+func NewServer(d *Daemon, store TagStore) *Server {
+	if rs, ok := store.(*RingSink); ok && rs == nil {
+		store = nil // tolerate a typed-nil ring from optional wiring
+	}
+	s := &Server{d: d, store: store, mux: http.NewServeMux(), log: d.Logger(), jitter: rand.Float64}
 	for _, prefix := range []string{"/v1", ""} {
 		s.mux.HandleFunc("POST "+prefix+"/ingest", s.handleIngest)
 		s.mux.HandleFunc("GET "+prefix+"/tags", s.handleTags)
@@ -92,6 +120,7 @@ const (
 	CodeDraining     = "draining"      // daemon is shutting down
 	CodeNotFound     = "not_found"     // unknown endpoint or tag
 	CodeNoRing       = "no_query_ring" // daemon runs without a query ring
+	CodeBadParam     = "bad_param"     // malformed query parameter
 )
 
 // apiError is the uniform JSON error envelope. Every non-2xx response
@@ -168,41 +197,146 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusAccepted, ingestReply{Accepted: accepted})
 }
 
+// setEpochHeader advertises the store's snapshot epoch so a client can
+// open a since=<epoch> subscription with no gap after a plain read.
+func (s *Server) setEpochHeader(w http.ResponseWriter) {
+	if es, ok := s.store.(EpochStore); ok {
+		w.Header().Set("X-RFPrism-Epoch", strconv.FormatUint(es.Epoch(), 10))
+	}
+}
+
+// PageEPCs applies ?limit=&cursor= pagination to a sorted EPC list:
+// the page starts strictly after cursor (the last EPC of the previous
+// page) and holds at most limit entries; next is the cursor for the
+// following page ("" when exhausted). limit <= 0 means everything
+// after the cursor. Shared with the router so both tiers page
+// identically.
+func PageEPCs(epcs []string, limit int, cursor string) (page []string, next string) {
+	start := 0
+	if cursor != "" {
+		start = sort.SearchStrings(epcs, cursor)
+		if start < len(epcs) && epcs[start] == cursor {
+			start++
+		}
+	}
+	end := len(epcs)
+	if limit > 0 && start+limit < end {
+		end = start + limit
+	}
+	page = epcs[start:end]
+	if end < len(epcs) && len(page) > 0 {
+		next = page[len(page)-1]
+	}
+	return page, next
+}
+
 func (s *Server) handleTags(w http.ResponseWriter, r *http.Request) {
-	if s.ring == nil {
+	if s.store == nil {
 		s.writeError(w, http.StatusNotFound, CodeNoRing, "no query ring configured", 0)
 		return
 	}
-	epcs := s.ring.EPCs()
-	s.log.Debug("tags listed", "path", r.URL.Path, "count", len(epcs))
-	writeJSON(w, http.StatusOK, map[string]any{"tags": epcs})
+	epcs := s.store.EPCs()
+	s.setEpochHeader(w)
+	q := r.URL.Query()
+	limitRaw, cursor := q.Get("limit"), q.Get("cursor")
+	if limitRaw == "" && cursor == "" {
+		// Legacy shape, byte-identical to the pre-pagination API.
+		s.log.Debug("tags listed", "path", r.URL.Path, "count", len(epcs))
+		writeJSON(w, http.StatusOK, map[string]any{"tags": epcs})
+		return
+	}
+	limit := 0
+	if limitRaw != "" {
+		n, err := strconv.Atoi(limitRaw)
+		if err != nil || n < 1 {
+			s.writeError(w, http.StatusBadRequest, CodeBadParam, fmt.Sprintf("bad limit %q", limitRaw), 0)
+			return
+		}
+		limit = n
+	}
+	page, next := PageEPCs(epcs, limit, cursor)
+	reply := map[string]any{"tags": page, "count": len(epcs)}
+	if next != "" {
+		reply["next"] = next
+	}
+	s.log.Debug("tags page served", "path", r.URL.Path, "page", len(page), "count", len(epcs))
+	writeJSON(w, http.StatusOK, reply)
 }
 
 func (s *Server) handleTag(w http.ResponseWriter, r *http.Request) {
-	if s.ring == nil {
+	if s.store == nil {
 		s.writeError(w, http.StatusNotFound, CodeNoRing, "no query ring configured", 0)
 		return
 	}
 	epc := r.PathValue("epc")
-	if r.URL.Query().Get("latest") != "" {
-		res, ok := s.ring.Latest(epc)
+	q := r.URL.Query()
+	if waitRaw := q.Get("wait"); waitRaw != "" {
+		s.handleTagWait(w, r, epc, waitRaw)
+		return
+	}
+	if q.Get("latest") != "" {
+		res, ok := s.store.Latest(epc)
 		if !ok {
 			s.log.Debug("tag query missed", "path", r.URL.Path, "epc", epc)
 			s.writeError(w, http.StatusNotFound, CodeNotFound, "unknown tag", 0)
 			return
 		}
+		s.setEpochHeader(w)
 		s.log.Debug("tag latest served", "path", r.URL.Path, "epc", epc)
 		writeJSON(w, http.StatusOK, res)
 		return
 	}
-	history := s.ring.History(epc)
+	history := s.store.History(epc)
 	if len(history) == 0 {
 		s.log.Debug("tag query missed", "path", r.URL.Path, "epc", epc)
 		s.writeError(w, http.StatusNotFound, CodeNotFound, "unknown tag", 0)
 		return
 	}
+	s.setEpochHeader(w)
 	s.log.Debug("tag history served", "path", r.URL.Path, "epc", epc, "results", len(history))
 	writeJSON(w, http.StatusOK, map[string]any{"epc": epc, "results": history})
+}
+
+// tagWaitReply is the long-poll response body. result is present only
+// when changed.
+type tagWaitReply struct {
+	Epoch   uint64     `json:"epoch"`
+	Changed bool       `json:"changed"`
+	Result  *TagResult `json:"result,omitempty"`
+}
+
+// handleTagWait serves GET /v1/tags/{epc}?wait=30s&since=<epoch>: it
+// holds the request until the tag changes past since or wait elapses,
+// so a poller fleet costs one parked request each instead of a poll
+// storm. Requires a TagWaiter store (the serve tier).
+func (s *Server) handleTagWait(w http.ResponseWriter, r *http.Request, epc, waitRaw string) {
+	tw, ok := s.store.(TagWaiter)
+	if !ok {
+		s.writeError(w, http.StatusBadRequest, CodeBadParam, "long-poll not supported by this store", 0)
+		return
+	}
+	wait, err := time.ParseDuration(waitRaw)
+	if err != nil || wait <= 0 {
+		s.writeError(w, http.StatusBadRequest, CodeBadParam, fmt.Sprintf("bad wait %q", waitRaw), 0)
+		return
+	}
+	since := uint64(0)
+	if raw := r.URL.Query().Get("since"); raw != "" {
+		since, err = strconv.ParseUint(raw, 10, 64)
+		if err != nil {
+			s.writeError(w, http.StatusBadRequest, CodeBadParam, fmt.Sprintf("bad since %q", raw), 0)
+			return
+		}
+	}
+	res, epoch, changed := tw.WaitTag(r.Context(), epc, since, wait)
+	w.Header().Set("X-RFPrism-Epoch", strconv.FormatUint(epoch, 10))
+	reply := tagWaitReply{Epoch: epoch, Changed: changed}
+	if changed {
+		reply.Result = &res
+	}
+	s.log.Debug("long-poll answered", "path", r.URL.Path, "epc", epc,
+		"since", since, "epoch", epoch, "changed", changed)
+	writeJSON(w, http.StatusOK, reply)
 }
 
 // retryAfterSeconds converts the advertised backpressure pause into a

@@ -1,0 +1,150 @@
+package ingest
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"testing"
+	"time"
+)
+
+func TestPageEPCs(t *testing.T) {
+	epcs := []string{"a", "b", "c", "d", "e"}
+	cases := []struct {
+		name     string
+		limit    int
+		cursor   string
+		want     []string
+		wantNext string
+	}{
+		{"everything", 0, "", epcs, ""},
+		{"first page", 2, "", []string{"a", "b"}, "b"},
+		{"middle page", 2, "b", []string{"c", "d"}, "d"},
+		{"last page short", 2, "d", []string{"e"}, ""},
+		{"cursor past end", 2, "e", nil, ""},
+		{"cursor between keys", 2, "bb", []string{"c", "d"}, "d"},
+		{"limit past end", 10, "c", []string{"d", "e"}, ""},
+		{"empty list", 3, "", nil, ""},
+	}
+	for _, tc := range cases {
+		src := epcs
+		if tc.name == "empty list" {
+			src = nil
+		}
+		page, next := PageEPCs(src, tc.limit, tc.cursor)
+		if len(page) == 0 {
+			page = nil
+		}
+		if !reflect.DeepEqual(page, tc.want) || next != tc.wantNext {
+			t.Fatalf("%s: PageEPCs(limit=%d, cursor=%q) = %v, %q; want %v, %q",
+				tc.name, tc.limit, tc.cursor, page, next, tc.want, tc.wantNext)
+		}
+	}
+}
+
+// pageServer wires a daemon whose ring is pre-seeded with sorted tags.
+func pageServer(t *testing.T, epcs ...string) *httptest.Server {
+	t.Helper()
+	proc := newGatedProc()
+	close(proc.gate)
+	ring := NewRingSink(2)
+	for i, epc := range epcs {
+		if err := ring.Emit(TagResult{EPC: epc, Seq: i, Reason: "coverage"}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	d := NewDaemon(proc, Config{
+		Sessionizer: SessionizerConfig{CoverageClose: 2, MinAntennas: 1},
+	}, ring)
+	t.Cleanup(func() { _ = d.Shutdown(context.Background()) })
+	srv := httptest.NewServer(NewServer(d, ring).Handler())
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+type tagsPage struct {
+	Tags  []string `json:"tags"`
+	Count *int     `json:"count"`
+	Next  string   `json:"next"`
+}
+
+func getTagsPage(t *testing.T, srv *httptest.Server, query string) (int, tagsPage) {
+	t.Helper()
+	resp, err := http.Get(srv.URL + "/v1/tags" + query)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var page tagsPage
+	if err := json.NewDecoder(resp.Body).Decode(&page); err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, page
+}
+
+func TestServerTagsPagination(t *testing.T) {
+	srv := pageServer(t, "d", "b", "a", "c")
+
+	// Legacy shape: no limit/cursor keeps the pre-pagination body —
+	// tags only, no count, no next.
+	code, legacy := getTagsPage(t, srv, "")
+	if code != http.StatusOK || !reflect.DeepEqual(legacy.Tags, []string{"a", "b", "c", "d"}) {
+		t.Fatalf("legacy list = %d %+v", code, legacy)
+	}
+	if legacy.Count != nil || legacy.Next != "" {
+		t.Fatalf("legacy shape grew pagination fields: %+v", legacy)
+	}
+
+	code, first := getTagsPage(t, srv, "?limit=3")
+	if code != http.StatusOK || !reflect.DeepEqual(first.Tags, []string{"a", "b", "c"}) {
+		t.Fatalf("first page = %d %+v", code, first)
+	}
+	if first.Count == nil || *first.Count != 4 || first.Next != "c" {
+		t.Fatalf("first page metadata = %+v", first)
+	}
+
+	code, last := getTagsPage(t, srv, "?limit=3&cursor="+first.Next)
+	if code != http.StatusOK || !reflect.DeepEqual(last.Tags, []string{"d"}) || last.Next != "" {
+		t.Fatalf("last page = %d %+v", code, last)
+	}
+
+	// Cursor alone (no limit) is still the paginated shape.
+	code, rest := getTagsPage(t, srv, "?cursor=b")
+	if code != http.StatusOK || !reflect.DeepEqual(rest.Tags, []string{"c", "d"}) || rest.Count == nil {
+		t.Fatalf("cursor-only page = %d %+v", code, rest)
+	}
+
+	for _, bad := range []string{"?limit=bogus", "?limit=0", "?limit=-2"} {
+		resp, err := http.Get(srv.URL + "/v1/tags" + bad)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var envelope apiError
+		_ = json.NewDecoder(resp.Body).Decode(&envelope)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest || envelope.Code != CodeBadParam {
+			t.Fatalf("GET /v1/tags%s = %d code %q, want 400 %s", bad, resp.StatusCode, envelope.Code, CodeBadParam)
+		}
+	}
+}
+
+// TestServerLongPollNeedsWaiterStore: a daemon running on the plain
+// RingSink refuses ?wait= cleanly instead of hanging.
+func TestServerLongPollNeedsWaiterStore(t *testing.T) {
+	srv := pageServer(t, "a")
+	resp, err := http.Get(srv.URL + "/v1/tags/a?wait=50ms")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var envelope apiError
+	_ = json.NewDecoder(resp.Body).Decode(&envelope)
+	if resp.StatusCode != http.StatusBadRequest || envelope.Code != CodeBadParam {
+		t.Fatalf("RingSink long-poll = %d code %q, want 400 %s", resp.StatusCode, envelope.Code, CodeBadParam)
+	}
+	if time.Duration(envelope.RetryAfterMS)*time.Millisecond != 0 {
+		t.Fatalf("retry_after_ms = %d, want 0", envelope.RetryAfterMS)
+	}
+}

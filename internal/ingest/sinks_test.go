@@ -1,0 +1,101 @@
+package ingest
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+func ringResult(epc string, seq int) TagResult {
+	return TagResult{EPC: epc, Seq: seq, Reason: "coverage"}
+}
+
+// TestRingSinkReadsReturnCopies: the read path hands out copies (or
+// fresh slices), so a reader that holds — or mutates — a result can
+// never corrupt the ring or block a later writer.
+func TestRingSinkReadsReturnCopies(t *testing.T) {
+	ring := NewRingSink(4)
+	for i := 1; i <= 3; i++ {
+		if err := ring.Emit(ringResult("A", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	hist := ring.History("A")
+	if len(hist) != 3 {
+		t.Fatalf("history length = %d, want 3", len(hist))
+	}
+	hist[0].EPC = "mutated"
+	hist[0].Seq = -1
+
+	again := ring.History("A")
+	if again[0].EPC != "A" || again[0].Seq != 1 {
+		t.Fatalf("ring state leaked through the returned slice: %+v", again[0])
+	}
+	if res, ok := ring.Latest("A"); !ok || res.Seq != 3 {
+		t.Fatalf("Latest = %+v, %v", res, ok)
+	}
+
+	epcs := ring.EPCs()
+	epcs[0] = "mutated"
+	if got := ring.EPCs(); got[0] != "A" {
+		t.Fatalf("EPC list leaked through the returned slice: %v", got)
+	}
+}
+
+// TestRingSinkSlowReadersDoNotBlockEmit is the serving-tier regression
+// guard: with a fleet of readers spinning on every read accessor, the
+// write path must keep completing promptly — reads copy under an
+// RLock instead of holding the ring across their own work.
+func TestRingSinkSlowReadersDoNotBlockEmit(t *testing.T) {
+	ring := NewRingSink(8)
+	for i := 0; i < 16; i++ {
+		_ = ring.Emit(ringResult(fmt.Sprintf("T-%d", i), 0))
+	}
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for r := 0; r < 8; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				epc := fmt.Sprintf("T-%d", (r*5+i)%16)
+				ring.Latest(epc)
+				// Simulate a slow consumer: work on the copy outside any
+				// ring lock.
+				for _, res := range ring.History(epc) {
+					_ = res.Seq
+				}
+				ring.EPCs()
+			}
+		}(r)
+	}
+
+	var worst time.Duration
+	for i := 1; i <= 5000; i++ {
+		t0 := time.Now()
+		if err := ring.Emit(ringResult(fmt.Sprintf("T-%d", i%16), i)); err != nil {
+			t.Fatal(err)
+		}
+		if d := time.Since(t0); d > worst {
+			worst = d
+		}
+	}
+	close(stop)
+	wg.Wait()
+	// An Emit is one short exclusive lock; anything near a quarter
+	// second means a reader held the ring across its consumption.
+	if worst > 250*time.Millisecond {
+		t.Fatalf("worst Emit latency under reader fleet = %v", worst)
+	}
+	if res, ok := ring.Latest("T-0"); !ok || res.Seq == 0 {
+		t.Fatalf("writes lost under concurrency: %+v, %v", res, ok)
+	}
+}

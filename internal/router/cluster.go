@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"rfprism/internal/ingest"
+	"rfprism/internal/serve"
 	"rfprism/internal/sim"
 )
 
@@ -62,7 +63,7 @@ type localShard struct {
 	id     string
 	dir    string // journal dir ("" without journals)
 	daemon *ingest.Daemon
-	ring   *ingest.RingSink
+	store  *serve.Store
 	ln     net.Listener
 	srv    *http.Server
 	done   chan struct{} // closed when Serve returns
@@ -153,8 +154,14 @@ func (c *Cluster) startShard(id string) (*localShard, error) {
 		}
 		dcfg.Journal = j
 	}
-	s.ring = ingest.NewRingSink(c.cfg.RingDepth)
-	sinks := []ingest.Sink{s.ring}
+	// Each shard serves reads from its own epoch-swapped snapshot
+	// store (fast swaps: local shards back latency-sensitive tests),
+	// so SSE/long-poll work per shard and through the router's merge.
+	s.store = serve.NewStore(serve.StoreConfig{
+		History:      c.cfg.RingDepth,
+		SwapInterval: 5 * time.Millisecond,
+	})
+	sinks := []ingest.Sink{s.store}
 	if c.cfg.NewSinks != nil {
 		sinks = append(sinks, c.cfg.NewSinks(id)...)
 	}
@@ -171,7 +178,8 @@ func (c *Cluster) startShard(id string) (*localShard, error) {
 		return nil, err
 	}
 	s.ln = ln
-	s.srv = &http.Server{Handler: ingest.NewServer(s.daemon, s.ring).Handler()}
+	s.srv = &http.Server{Handler: serve.NewServer(s.store, nil, dcfg.Logger).
+		Wrap(ingest.NewServer(s.daemon, s.store).Handler())}
 	go func() {
 		defer close(s.done)
 		_ = s.srv.Serve(ln)

@@ -3,6 +3,7 @@ package router
 import (
 	"io"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"rfprism/internal/obs"
@@ -39,6 +40,13 @@ type Metrics struct {
 	ScatterOK      *obs.Counter
 	ScatterPartial *obs.Counter
 	ScatterErr     *obs.Counter
+
+	StreamOK      *obs.Counter
+	StreamPartial *obs.Counter
+	StreamErr     *obs.Counter
+	// Streams counts live relayed SSE streams (rendered as the
+	// router_streams gauge).
+	Streams atomic.Int64
 
 	HandoffReoffered  *obs.Counter
 	HandoffSuppressed *obs.Counter
@@ -79,6 +87,12 @@ func NewMetrics(start time.Time) *Metrics {
 	m.ScatterOK = r.NewCounter("router_scatter_requests_total", "Scatter-gather reads by outcome.", obs.L("outcome", "ok"))
 	m.ScatterPartial = r.NewCounter("router_scatter_requests_total", "", obs.L("outcome", "partial"))
 	m.ScatterErr = r.NewCounter("router_scatter_requests_total", "", obs.L("outcome", "error"))
+
+	m.StreamOK = r.NewCounter("router_stream_requests_total", "SSE stream relays by outcome.", obs.L("outcome", "ok"))
+	m.StreamPartial = r.NewCounter("router_stream_requests_total", "", obs.L("outcome", "partial"))
+	m.StreamErr = r.NewCounter("router_stream_requests_total", "", obs.L("outcome", "error"))
+	r.NewGaugeFunc("router_streams", "Live relayed SSE streams.",
+		func() float64 { return float64(m.Streams.Load()) })
 
 	m.HandoffReoffered = r.NewCounter("router_handoff_reports_total", "Journal-handoff reports by outcome.", obs.L("outcome", "reoffered"))
 	m.HandoffSuppressed = r.NewCounter("router_handoff_reports_total", "", obs.L("outcome", "suppressed"))

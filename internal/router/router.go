@@ -17,6 +17,7 @@ import (
 
 	"rfprism/internal/ingest"
 	"rfprism/internal/obs"
+	"rfprism/internal/serve"
 	"rfprism/internal/sim"
 )
 
@@ -42,6 +43,10 @@ type Config struct {
 	// Client is the HTTP client for shard sub-requests (default: a
 	// dedicated pooled client; timeouts come from ShardTimeout).
 	Client *http.Client
+	// Limiter, when set, applies per-client stream quotas to the
+	// router's SSE endpoints (the token-bucket half wraps the whole
+	// handler via serve.Limiter.Middleware in cmd/rfprism-router).
+	Limiter *serve.Limiter
 	// Logger receives routing events. Default: discard.
 	Logger *slog.Logger
 	// Metrics, when set, is shared instrument set to record into.
@@ -119,6 +124,8 @@ func New(cfg Config) *Router {
 		rt.mux.HandleFunc("POST "+prefix+"/ingest", rt.handleIngest)
 		rt.mux.HandleFunc("GET "+prefix+"/tags", rt.handleTags)
 		rt.mux.HandleFunc("GET "+prefix+"/tags/{epc}", rt.handleTag)
+		rt.mux.HandleFunc("GET "+prefix+"/tags/{epc}/stream", rt.handleTagStream)
+		rt.mux.HandleFunc("GET "+prefix+"/stream", rt.handleFirehose)
 	}
 	rt.mux.HandleFunc("GET /healthz", rt.handleHealthz)
 	rt.mux.HandleFunc("GET /readyz", rt.handleReadyz)
@@ -554,6 +561,7 @@ func (rt *Router) sendBatch(ctx context.Context, b *shardBatch) subResult {
 type shardFetch struct {
 	sh     *shard
 	status int
+	header http.Header
 	body   []byte
 	err    error
 }
@@ -575,9 +583,16 @@ func (rt *Router) scatter(ctx context.Context, all []*shard, path string) []shar
 
 // fetch GETs one shard path with the per-shard timeout.
 func (rt *Router) fetch(ctx context.Context, s *shard, path string) shardFetch {
+	return rt.fetchTimeout(ctx, s, path, rt.cfg.ShardTimeout)
+}
+
+// fetchTimeout GETs one shard path with an explicit timeout — a
+// long-poll relay must outlive the shard's parked wait, so it cannot
+// use the plain sub-request budget.
+func (rt *Router) fetchTimeout(ctx context.Context, s *shard, path string, timeout time.Duration) shardFetch {
 	f := shardFetch{sh: s}
 	s.met.Requests.Inc()
-	ctx, cancel := context.WithTimeout(ctx, rt.cfg.ShardTimeout)
+	ctx, cancel := context.WithTimeout(ctx, timeout)
 	defer cancel()
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, s.BaseURL+path, nil)
 	if err != nil {
@@ -596,6 +611,7 @@ func (rt *Router) fetch(ctx context.Context, s *shard, path string) shardFetch {
 	defer resp.Body.Close()
 	s.met.Up.Set(1)
 	f.status = resp.StatusCode
+	f.header = resp.Header
 	f.body, f.err = io.ReadAll(io.LimitReader(resp.Body, 16<<20))
 	if f.err != nil {
 		s.met.Errors.Inc()
@@ -644,6 +660,26 @@ func (rt *Router) handleTags(w http.ResponseWriter, r *http.Request) {
 	}
 	sort.Strings(tags)
 	reply := map[string]any{"tags": tags}
+	// Pagination mirrors the shard daemon's (?limit=&cursor= over the
+	// merged, sorted union) so clients page the cluster identically.
+	q := r.URL.Query()
+	if limitRaw, cursor := q.Get("limit"), q.Get("cursor"); limitRaw != "" || cursor != "" {
+		limit := 0
+		if limitRaw != "" {
+			n, err := strconv.Atoi(limitRaw)
+			if err != nil || n < 1 {
+				rt.writeError(w, http.StatusBadRequest, ingest.CodeBadParam,
+					fmt.Sprintf("bad limit %q", limitRaw), 0)
+				return
+			}
+			limit = n
+		}
+		page, next := ingest.PageEPCs(tags, limit, cursor)
+		reply = map[string]any{"tags": page, "count": len(tags)}
+		if next != "" {
+			reply["next"] = next
+		}
+	}
 	if len(missing) > 0 {
 		sort.Strings(missing)
 		reply["partial"] = true
@@ -672,7 +708,16 @@ func (rt *Router) handleTag(w http.ResponseWriter, r *http.Request) {
 	if r.URL.RawQuery != "" {
 		path += "?" + r.URL.RawQuery
 	}
-	f := rt.fetch(r.Context(), sh, path)
+	// A long-poll parks on the shard for its full ?wait= hold: give the
+	// relay that budget on top of the normal sub-request timeout so the
+	// router does not cut the poll short.
+	timeout := rt.cfg.ShardTimeout
+	if waitRaw := r.URL.Query().Get("wait"); waitRaw != "" {
+		if wait, err := time.ParseDuration(waitRaw); err == nil && wait > 0 {
+			timeout += wait
+		}
+	}
+	f := rt.fetchTimeout(r.Context(), sh, path, timeout)
 	if f.err != nil {
 		rt.met.ScatterErr.Inc()
 		writeJSON(w, http.StatusBadGateway, apiError{
@@ -682,6 +727,14 @@ func (rt *Router) handleTag(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	rt.met.ScatterOK.Inc()
+	// Forward the shard's serving-tier headers: the epoch lets clients
+	// start subscriptions race-free, Retry-After keeps the backpressure
+	// contract intact through the relay.
+	for _, h := range []string{"X-RFPrism-Epoch", "Retry-After"} {
+		if v := f.header.Get(h); v != "" {
+			w.Header().Set(h, v)
+		}
+	}
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(f.status)
 	_, _ = w.Write(f.body)

@@ -1,0 +1,330 @@
+package router
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"rfprism/internal/serve"
+)
+
+// sseShard is a scriptable fake rfprismd serving tier: it answers
+// /v1/stream and /v1/tags/{epc}/stream with frames pushed through
+// send, and dies mid-stream when kill is closed — so the router's
+// relay and merge degradation is testable without real daemons.
+type sseShard struct {
+	srv  *httptest.Server
+	send chan string
+
+	mu          sync.Mutex
+	kill        chan struct{}
+	lastEventID string
+	connects    int
+}
+
+func newSSEShard(t *testing.T) *sseShard {
+	s := &sseShard{send: make(chan string, 16), kill: make(chan struct{})}
+	mux := http.NewServeMux()
+	stream := func(w http.ResponseWriter, r *http.Request) {
+		s.mu.Lock()
+		s.connects++
+		s.lastEventID = r.Header.Get("Last-Event-ID")
+		kill := s.kill
+		s.mu.Unlock()
+		flusher := w.(http.Flusher)
+		w.Header().Set("Content-Type", "text/event-stream")
+		w.Header().Set("Cache-Control", "no-cache")
+		w.Header().Set("X-RFPrism-Epoch", "7")
+		w.WriteHeader(http.StatusOK)
+		flusher.Flush()
+		for {
+			select {
+			case frame := <-s.send:
+				_, _ = fmt.Fprint(w, frame)
+				flusher.Flush()
+			case <-kill:
+				return // server-side death: the relay sees EOF
+			case <-r.Context().Done():
+				return
+			}
+		}
+	}
+	mux.HandleFunc("GET /v1/stream", stream)
+	mux.HandleFunc("GET /v1/tags/{epc}/stream", stream)
+	s.srv = httptest.NewServer(mux)
+	t.Cleanup(s.srv.Close)
+	return s
+}
+
+func (s *sseShard) die() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	select {
+	case <-s.kill:
+	default:
+		close(s.kill)
+	}
+}
+
+func (s *sseShard) resultFrame(epc string, epoch int) {
+	s.send <- fmt.Sprintf("id: %d\nevent: result\ndata: {\"epc\":%q,\"seq\":%d}\n\n", epoch, epc, epoch)
+}
+
+// routerSSE opens one SSE stream against the router over real HTTP and
+// parses frames onto a channel that closes at stream end.
+func routerSSE(t *testing.T, url string, hdr map[string]string) (*http.Response, <-chan [2]string) {
+	t.Helper()
+	ctx, cancel := context.WithCancel(context.Background())
+	t.Cleanup(cancel)
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k, v := range hdr {
+		req.Header.Set(k, v)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { resp.Body.Close() })
+	events := make(chan [2]string, 64) // [event, data]
+	go func() {
+		defer close(events)
+		sc := bufio.NewScanner(resp.Body)
+		var event, data string
+		for sc.Scan() {
+			line := sc.Text()
+			switch {
+			case line == "":
+				if event != "" || data != "" {
+					events <- [2]string{event, data}
+				}
+				event, data = "", ""
+			case strings.HasPrefix(line, "event: "):
+				event = strings.TrimPrefix(line, "event: ")
+			case strings.HasPrefix(line, "data: "):
+				data = strings.TrimPrefix(line, "data: ")
+			}
+		}
+	}()
+	return resp, events
+}
+
+func nextFrame(t *testing.T, events <-chan [2]string, what string) (event, data string) {
+	t.Helper()
+	select {
+	case ev, ok := <-events:
+		if !ok {
+			t.Fatalf("stream ended waiting for %s", what)
+		}
+		return ev[0], ev[1]
+	case <-time.After(5 * time.Second):
+		t.Fatalf("timed out waiting for %s", what)
+	}
+	panic("unreachable")
+}
+
+func partialShard(t *testing.T, data string) string {
+	t.Helper()
+	var body struct {
+		Shard string `json:"shard"`
+	}
+	if err := json.Unmarshal([]byte(data), &body); err != nil {
+		t.Fatalf("bad partial frame data %q: %v", data, err)
+	}
+	return body.Shard
+}
+
+// TestFirehoseMergeSurvivesMidStreamShardDeath is the degradation
+// contract for the merged firehose: a shard dying under an open merge
+// is announced with one `event: partial` frame naming it, while the
+// surviving shards' frames keep flowing on the same response.
+func TestFirehoseMergeSurvivesMidStreamShardDeath(t *testing.T) {
+	rt := New(Config{})
+	a, b := newSSEShard(t), newSSEShard(t)
+	if err := rt.AddShard("s0", a.srv.URL); err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.AddShard("s1", b.srv.URL); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(rt.Handler())
+	t.Cleanup(ts.Close)
+
+	resp, events := routerSSE(t, ts.URL+"/v1/stream", nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("firehose status = %d", resp.StatusCode)
+	}
+	if resp.Header.Get("X-RFPrism-Partial") != "" {
+		t.Fatal("healthy open marked partial")
+	}
+
+	a.resultFrame("A", 1)
+	b.resultFrame("B", 1)
+	seen := map[string]bool{}
+	for len(seen) < 2 {
+		event, data := nextFrame(t, events, "both shards' results")
+		if event != "result" {
+			t.Fatalf("unexpected frame %s %s", event, data)
+		}
+		var res struct {
+			EPC string `json:"epc"`
+		}
+		_ = json.Unmarshal([]byte(data), &res)
+		seen[res.EPC] = true
+	}
+	if !seen["A"] || !seen["B"] {
+		t.Fatalf("merge saw %v, want results from both shards", seen)
+	}
+
+	// Kill shard s0 mid-stream: the client is told which source
+	// vanished, and the merge stays open.
+	a.die()
+	event, data := nextFrame(t, events, "partial frame for the dead shard")
+	if event != "partial" || partialShard(t, data) != "s0" {
+		t.Fatalf("death frame = %s %s, want partial for s0", event, data)
+	}
+
+	b.resultFrame("B", 2)
+	if event, _ := nextFrame(t, events, "survivor's next result"); event != "result" {
+		t.Fatalf("survivor frame = %s, want result — merge must stay open", event)
+	}
+	if rt.Metrics().StreamPartial.Load() == 0 {
+		t.Fatal("mid-stream death not counted as a partial stream")
+	}
+}
+
+// TestFirehoseConnectTimePartial: a shard already dead when the merge
+// opens degrades the stream (X-RFPrism-Partial + one partial frame)
+// instead of failing it.
+func TestFirehoseConnectTimePartial(t *testing.T) {
+	rt := New(Config{})
+	live := newSSEShard(t)
+	dead := httptest.NewServer(http.NotFoundHandler())
+	deadURL := dead.URL
+	dead.Close() // connection refused from here on
+	if err := rt.AddShard("s0", live.srv.URL); err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.AddShard("s1", deadURL); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(rt.Handler())
+	t.Cleanup(ts.Close)
+
+	resp, events := routerSSE(t, ts.URL+"/v1/stream", nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("degraded firehose status = %d, want 200", resp.StatusCode)
+	}
+	if resp.Header.Get("X-RFPrism-Partial") != "1" {
+		t.Fatal("missing X-RFPrism-Partial header on a degraded open")
+	}
+	event, data := nextFrame(t, events, "connect-time partial frame")
+	if event != "partial" || partialShard(t, data) != "s1" {
+		t.Fatalf("first frame = %s %s, want partial for s1", event, data)
+	}
+	live.resultFrame("A", 1)
+	if event, _ := nextFrame(t, events, "live shard's result"); event != "result" {
+		t.Fatalf("live frame = %s, want result", event)
+	}
+}
+
+func TestFirehoseAllShardsDown(t *testing.T) {
+	rt := New(Config{})
+	dead := httptest.NewServer(http.NotFoundHandler())
+	deadURL := dead.URL
+	dead.Close()
+	if err := rt.AddShard("s0", deadURL); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(rt.Handler())
+	t.Cleanup(ts.Close)
+
+	resp, err := http.Get(ts.URL + "/v1/stream")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var envelope apiError
+	_ = json.NewDecoder(resp.Body).Decode(&envelope)
+	if resp.StatusCode != http.StatusServiceUnavailable || envelope.Code != CodeAllShardsDown {
+		t.Fatalf("all-dead firehose = %d code %q, want 503 %s", resp.StatusCode, envelope.Code, CodeAllShardsDown)
+	}
+}
+
+// TestTagStreamRelay: the per-EPC stream is a transparent pipe from
+// the owning shard — frames, the epoch header and the Last-Event-ID
+// resume contract pass through, and the shard dying mid-relay is
+// announced with a partial frame.
+func TestTagStreamRelay(t *testing.T) {
+	rt := New(Config{})
+	sh := newSSEShard(t)
+	if err := rt.AddShard("s0", sh.srv.URL); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(rt.Handler())
+	t.Cleanup(ts.Close)
+
+	resp, events := routerSSE(t, ts.URL+"/v1/tags/X/stream", map[string]string{"Last-Event-ID": "5"})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("relay status = %d", resp.StatusCode)
+	}
+	if got := resp.Header.Get("X-RFPrism-Epoch"); got != "7" {
+		t.Fatalf("X-RFPrism-Epoch = %q, want the shard's 7 relayed", got)
+	}
+	sh.mu.Lock()
+	forwarded := sh.lastEventID
+	sh.mu.Unlock()
+	if forwarded != "5" {
+		t.Fatalf("shard saw Last-Event-ID %q, want 5 forwarded", forwarded)
+	}
+
+	sh.resultFrame("X", 8)
+	if event, _ := nextFrame(t, events, "relayed result"); event != "result" {
+		t.Fatalf("relayed frame = %s, want result", event)
+	}
+
+	sh.die()
+	event, data := nextFrame(t, events, "relay partial frame")
+	if event != "partial" || partialShard(t, data) != "s0" {
+		t.Fatalf("relay death frame = %s %s, want partial for s0", event, data)
+	}
+}
+
+// TestStreamQuotaOnRouter: the router enforces the per-client
+// concurrent-stream quota with the serve-tier envelope.
+func TestStreamQuotaOnRouter(t *testing.T) {
+	lim := serve.NewLimiter(serve.LimiterConfig{MaxStreams: 1})
+	rt := New(Config{Limiter: lim})
+	sh := newSSEShard(t)
+	if err := rt.AddShard("s0", sh.srv.URL); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(rt.Handler())
+	t.Cleanup(ts.Close)
+
+	hdr := map[string]string{"X-API-Key": "c1"}
+	if resp, _ := routerSSE(t, ts.URL+"/v1/stream", hdr); resp.StatusCode != http.StatusOK {
+		t.Fatalf("first stream status = %d", resp.StatusCode)
+	}
+	req, _ := http.NewRequest(http.MethodGet, ts.URL+"/v1/stream", nil)
+	req.Header.Set("X-API-Key", "c1")
+	over, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer over.Body.Close()
+	var envelope apiError
+	_ = json.NewDecoder(over.Body).Decode(&envelope)
+	if over.StatusCode != http.StatusTooManyRequests || envelope.Code != serve.CodeStreamQuota {
+		t.Fatalf("over-quota = %d code %q, want 429 %s", over.StatusCode, envelope.Code, serve.CodeStreamQuota)
+	}
+}

@@ -1,0 +1,144 @@
+package serve
+
+import (
+	"testing"
+
+	"rfprism/internal/ingest"
+)
+
+func batch(results ...ingest.TagResult) []ingest.TagResult { return results }
+
+// drain pulls every currently-queued event off a subscriber.
+func drain(s *Subscriber) []Event {
+	var out []Event
+	for {
+		select {
+		case ev, ok := <-s.C:
+			if !ok {
+				return out
+			}
+			out = append(out, ev)
+		default:
+			return out
+		}
+	}
+}
+
+func TestHubFiltering(t *testing.T) {
+	h := NewHub()
+	exact := h.Subscribe(Filter{EPC: "A"}, 8)
+	prefix := h.Subscribe(Filter{Prefix: "B-"}, 8)
+	wide := h.Subscribe(Filter{}, 8)
+
+	h.Publish(1, batch(tr("A", 1), tr("B-1", 1), tr("C", 1)))
+
+	if got := drain(exact); len(got) != 1 || got[0].Result.EPC != "A" || got[0].Epoch != 1 {
+		t.Fatalf("exact subscriber got %v, want only A@1", got)
+	}
+	if got := drain(prefix); len(got) != 1 || got[0].Result.EPC != "B-1" {
+		t.Fatalf("prefix subscriber got %v, want only B-1", got)
+	}
+	if got := drain(wide); len(got) != 3 {
+		t.Fatalf("firehose subscriber got %d events, want 3", len(got))
+	}
+	if h.Subscribers() != 3 {
+		t.Fatalf("Subscribers = %d, want 3", h.Subscribers())
+	}
+	if h.Delivered() != 5 {
+		t.Fatalf("Delivered = %d, want 5", h.Delivered())
+	}
+}
+
+func TestHubSlowConsumerEviction(t *testing.T) {
+	h := NewHub()
+	slow := h.Subscribe(Filter{EPC: "A"}, 1)
+	fast := h.Subscribe(Filter{EPC: "A"}, 8)
+
+	// Two events for a queue of one: the second delivery finds the
+	// queue full and evicts on the spot.
+	h.Publish(1, batch(tr("A", 1), tr("A", 2)))
+
+	got := drain(slow)
+	if len(got) != 1 {
+		t.Fatalf("evicted subscriber drained %d events, want the 1 it had room for", len(got))
+	}
+	if _, open := <-slow.C; open {
+		t.Fatal("evicted subscriber's channel still open")
+	}
+	if slow.Dropped() != DropSlowConsumer {
+		t.Fatalf("drop reason = %v, want slow_consumer", slow.Dropped())
+	}
+	if h.Drops(DropSlowConsumer) != 1 {
+		t.Fatalf("Drops(slow_consumer) = %d, want 1", h.Drops(DropSlowConsumer))
+	}
+	if got := drain(fast); len(got) != 2 {
+		t.Fatalf("healthy subscriber got %d events, want 2", len(got))
+	}
+	if h.Subscribers() != 1 {
+		t.Fatalf("Subscribers after eviction = %d, want 1", h.Subscribers())
+	}
+	// The eviction already detached it; Unsubscribe must be a no-op,
+	// not a double close.
+	h.Unsubscribe(slow)
+}
+
+func TestHubUnsubscribe(t *testing.T) {
+	h := NewHub()
+	s := h.Subscribe(Filter{EPC: "A"}, 4)
+	h.Unsubscribe(s)
+	if _, open := <-s.C; open {
+		t.Fatal("unsubscribed channel still open")
+	}
+	if s.Dropped() != DropNone {
+		t.Fatalf("voluntary unsubscribe recorded drop reason %v", s.Dropped())
+	}
+	h.Unsubscribe(s) // idempotent
+	h.Publish(2, batch(tr("A", 1)))
+	if h.Subscribers() != 0 {
+		t.Fatalf("Subscribers = %d, want 0", h.Subscribers())
+	}
+}
+
+func TestHubClose(t *testing.T) {
+	h := NewHub()
+	a := h.Subscribe(Filter{EPC: "A"}, 4)
+	w := h.Subscribe(Filter{}, 4)
+	h.Close()
+	h.Close() // idempotent
+
+	for _, s := range []*Subscriber{a, w} {
+		if _, open := <-s.C; open {
+			t.Fatal("channel open after hub close")
+		}
+		if s.Dropped() != DropShutdown {
+			t.Fatalf("drop reason = %v, want shutdown", s.Dropped())
+		}
+	}
+	if h.Drops(DropShutdown) != 2 {
+		t.Fatalf("Drops(shutdown) = %d, want 2", h.Drops(DropShutdown))
+	}
+	if h.Subscribers() != 0 {
+		t.Fatalf("Subscribers = %d, want 0", h.Subscribers())
+	}
+
+	// Late joiners and publishes are clean no-ops.
+	late := h.Subscribe(Filter{}, 4)
+	if _, open := <-late.C; open || late.Dropped() != DropShutdown {
+		t.Fatal("subscribe on a closed hub must return an already-dropped subscriber")
+	}
+	h.Publish(9, batch(tr("A", 9)))
+}
+
+func TestDropReasonStrings(t *testing.T) {
+	cases := map[DropReason]string{
+		DropNone:         "none",
+		DropSlowConsumer: "slow_consumer",
+		DropShutdown:     "shutdown",
+		DropReason(99):   "unknown",
+	}
+	for r, want := range cases {
+		if got := r.String(); got != want {
+			t.Fatalf("DropReason(%d).String() = %q, want %q", r, got, want)
+		}
+	}
+}

@@ -1,0 +1,228 @@
+package serve
+
+import (
+	"encoding/json"
+	"math"
+	"net"
+	"net/http"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// CodeRateLimited is the envelope code for a refused request; the
+// response mirrors the ingest backpressure contract (429, Retry-After
+// header, retry_after_ms in the body).
+const CodeRateLimited = "rate_limited"
+
+// CodeStreamQuota is the envelope code for a client at its concurrent
+// stream/long-poll cap.
+const CodeStreamQuota = "stream_quota"
+
+// LimiterConfig tunes per-client request limiting on the /v1 surface.
+type LimiterConfig struct {
+	// RatePerSec is the sustained per-client request rate. <= 0
+	// disables rate limiting (quotas may still apply).
+	RatePerSec float64
+	// Burst is the bucket depth (default: ceil(RatePerSec), min 1) —
+	// how many requests a quiet client may issue back-to-back.
+	Burst int
+	// MaxStreams caps concurrently-held streams + long-polls per
+	// client. <= 0 disables the quota.
+	MaxStreams int
+	// IdleTTL is how long an inactive client's bucket is retained
+	// (default 5 min). Expired buckets are pruned opportunistically.
+	IdleTTL time.Duration
+	// Now overrides the clock (tests).
+	Now func() time.Time
+}
+
+func (c *LimiterConfig) defaults() {
+	if c.Burst <= 0 {
+		c.Burst = int(math.Ceil(c.RatePerSec))
+		if c.Burst < 1 {
+			c.Burst = 1
+		}
+	}
+	if c.IdleTTL <= 0 {
+		c.IdleTTL = 5 * time.Minute
+	}
+	if c.Now == nil {
+		c.Now = time.Now
+	}
+}
+
+// bucket is one client's token-bucket + stream-quota state.
+type bucket struct {
+	tokens  float64
+	last    time.Time
+	streams int
+}
+
+// Limiter enforces a token-bucket request rate and a concurrent-stream
+// quota per client key. The zero-rate, zero-quota limiter admits
+// everything, so callers can wire it unconditionally.
+type Limiter struct {
+	cfg LimiterConfig
+
+	mu      sync.Mutex
+	buckets map[string]*bucket
+
+	throttled     atomic.Int64 // requests refused by the token bucket
+	streamRejects atomic.Int64 // streams refused by the quota
+}
+
+// NewLimiter builds a limiter; nil-safe methods admit everything when
+// both the rate and the quota are disabled.
+func NewLimiter(cfg LimiterConfig) *Limiter {
+	cfg.defaults()
+	return &Limiter{cfg: cfg, buckets: make(map[string]*bucket)}
+}
+
+// Throttled returns how many requests the token bucket refused.
+func (l *Limiter) Throttled() int64 { return l.throttled.Load() }
+
+// StreamRejects returns how many stream opens the quota refused.
+func (l *Limiter) StreamRejects() int64 { return l.streamRejects.Load() }
+
+// ClientKey identifies the caller: the X-API-Key header when present,
+// else the remote address host (so NATed fleets can opt into per-key
+// accounting just by sending the header).
+func ClientKey(r *http.Request) string {
+	if k := r.Header.Get("X-API-Key"); k != "" {
+		return "key:" + k
+	}
+	host, _, err := net.SplitHostPort(r.RemoteAddr)
+	if err != nil || host == "" {
+		host = r.RemoteAddr
+	}
+	return "addr:" + host
+}
+
+// Allow runs one request through the client's token bucket. When
+// refused, retryAfter says how long until a token is available.
+func (l *Limiter) Allow(key string) (ok bool, retryAfter time.Duration) {
+	if l == nil || l.cfg.RatePerSec <= 0 {
+		return true, 0
+	}
+	now := l.cfg.Now()
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	b := l.bucketLocked(key, now)
+	if b.tokens >= 1 {
+		b.tokens--
+		return true, 0
+	}
+	need := (1 - b.tokens) / l.cfg.RatePerSec
+	l.throttled.Add(1)
+	return false, time.Duration(need * float64(time.Second))
+}
+
+// AcquireStream claims one concurrent-stream slot for the client; the
+// caller must pair it with ReleaseStream. Refusals are quota hits.
+func (l *Limiter) AcquireStream(key string) bool {
+	if l == nil || l.cfg.MaxStreams <= 0 {
+		return true
+	}
+	now := l.cfg.Now()
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	b := l.bucketLocked(key, now)
+	if b.streams >= l.cfg.MaxStreams {
+		l.streamRejects.Add(1)
+		return false
+	}
+	b.streams++
+	return true
+}
+
+// ReleaseStream returns a slot claimed by AcquireStream.
+func (l *Limiter) ReleaseStream(key string) {
+	if l == nil || l.cfg.MaxStreams <= 0 {
+		return
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if b := l.buckets[key]; b != nil && b.streams > 0 {
+		b.streams--
+	}
+}
+
+// bucketLocked finds or creates the client's bucket, refills its
+// tokens, and opportunistically prunes idle clients so the map stays
+// bounded by the set of recently-active keys.
+func (l *Limiter) bucketLocked(key string, now time.Time) *bucket {
+	b := l.buckets[key]
+	if b == nil {
+		if len(l.buckets) >= 4096 {
+			l.pruneLocked(now)
+		}
+		b = &bucket{tokens: float64(l.cfg.Burst), last: now}
+		l.buckets[key] = b
+		return b
+	}
+	if dt := now.Sub(b.last).Seconds(); dt > 0 && l.cfg.RatePerSec > 0 {
+		b.tokens = math.Min(float64(l.cfg.Burst), b.tokens+dt*l.cfg.RatePerSec)
+	}
+	b.last = now
+	return b
+}
+
+func (l *Limiter) pruneLocked(now time.Time) {
+	for k, b := range l.buckets {
+		if b.streams == 0 && now.Sub(b.last) > l.cfg.IdleTTL {
+			delete(l.buckets, k)
+		}
+	}
+}
+
+// limitExempt marks operational endpoints that rate limiting must not
+// touch: health probes and scrapers are infrastructure, not clients.
+func limitExempt(path string) bool {
+	switch path {
+	case "/healthz", "/readyz", "/metrics":
+		return true
+	}
+	return false
+}
+
+// Middleware enforces the token bucket on the data surface (everything
+// but /healthz, /readyz, /metrics). Refusals answer 429 with a
+// Retry-After header and the uniform JSON envelope, matching the
+// ingest backpressure contract so client retry loops need one code
+// path.
+func (l *Limiter) Middleware(next http.Handler) http.Handler {
+	if l == nil || l.cfg.RatePerSec <= 0 {
+		return next
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if limitExempt(r.URL.Path) {
+			next.ServeHTTP(w, r)
+			return
+		}
+		if ok, retryAfter := l.Allow(ClientKey(r)); !ok {
+			writeThrottled(w, CodeRateLimited, "client request rate exceeded", retryAfter)
+			return
+		}
+		next.ServeHTTP(w, r)
+	})
+}
+
+// writeThrottled answers 429 in the uniform envelope shape
+// ({"error","code","retry_after_ms"}) with a Retry-After header,
+// exactly like ingest backpressure.
+func writeThrottled(w http.ResponseWriter, code, msg string, retryAfter time.Duration) {
+	secs := int(math.Ceil(retryAfter.Seconds()))
+	if secs < 1 {
+		secs = 1
+	}
+	w.Header().Set("Retry-After", strconv.Itoa(secs))
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusTooManyRequests)
+	_ = json.NewEncoder(w).Encode(map[string]any{
+		"error":          msg,
+		"code":           code,
+		"retry_after_ms": retryAfter.Milliseconds(),
+	})
+}

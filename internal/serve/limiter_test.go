@@ -1,0 +1,176 @@
+package serve
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakeClock is a settable time source for limiter tests.
+type fakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func newFakeClock() *fakeClock { return &fakeClock{t: time.Unix(1_700_000_000, 0)} }
+
+func (c *fakeClock) now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *fakeClock) advance(d time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.t = c.t.Add(d)
+}
+
+func TestLimiterBurstAndRefill(t *testing.T) {
+	clk := newFakeClock()
+	l := NewLimiter(LimiterConfig{RatePerSec: 1, Burst: 2, Now: clk.now})
+
+	for i := 0; i < 2; i++ {
+		if ok, _ := l.Allow("k"); !ok {
+			t.Fatalf("request %d inside the burst refused", i)
+		}
+	}
+	ok, retryAfter := l.Allow("k")
+	if ok {
+		t.Fatal("request past the burst admitted")
+	}
+	if retryAfter <= 0 || retryAfter > time.Second {
+		t.Fatalf("retryAfter = %v, want (0, 1s]", retryAfter)
+	}
+	if l.Throttled() != 1 {
+		t.Fatalf("Throttled = %d, want 1", l.Throttled())
+	}
+
+	clk.advance(time.Second) // one token refills at 1/s
+	if ok, _ := l.Allow("k"); !ok {
+		t.Fatal("request after refill refused")
+	}
+	if ok, _ := l.Allow("k"); ok {
+		t.Fatal("second request after a one-token refill admitted")
+	}
+
+	// Buckets are per client key.
+	if ok, _ := l.Allow("other"); !ok {
+		t.Fatal("fresh client key refused")
+	}
+}
+
+func TestLimiterStreamQuota(t *testing.T) {
+	clk := newFakeClock()
+	l := NewLimiter(LimiterConfig{MaxStreams: 2, Now: clk.now})
+
+	if !l.AcquireStream("k") || !l.AcquireStream("k") {
+		t.Fatal("streams inside the quota refused")
+	}
+	if l.AcquireStream("k") {
+		t.Fatal("stream past the quota admitted")
+	}
+	if l.StreamRejects() != 1 {
+		t.Fatalf("StreamRejects = %d, want 1", l.StreamRejects())
+	}
+	if !l.AcquireStream("other") {
+		t.Fatal("quota leaked across client keys")
+	}
+	l.ReleaseStream("k")
+	if !l.AcquireStream("k") {
+		t.Fatal("released slot not reusable")
+	}
+	l.ReleaseStream("never-acquired") // must not panic or underflow
+}
+
+func TestNilLimiterAdmitsEverything(t *testing.T) {
+	var l *Limiter
+	if ok, _ := l.Allow("k"); !ok {
+		t.Fatal("nil limiter refused a request")
+	}
+	if !l.AcquireStream("k") {
+		t.Fatal("nil limiter refused a stream")
+	}
+	l.ReleaseStream("k")
+	inner := http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) { w.WriteHeader(http.StatusTeapot) })
+	rec := httptest.NewRecorder()
+	l.Middleware(inner).ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/v1/tags", nil))
+	if rec.Code != http.StatusTeapot {
+		t.Fatalf("nil limiter middleware did not pass through: %d", rec.Code)
+	}
+}
+
+func TestClientKey(t *testing.T) {
+	r := httptest.NewRequest(http.MethodGet, "/v1/tags", nil)
+	r.RemoteAddr = "192.0.2.7:4242"
+	if got := ClientKey(r); got != "addr:192.0.2.7" {
+		t.Fatalf("ClientKey by addr = %q", got)
+	}
+	r.Header.Set("X-API-Key", "abc")
+	if got := ClientKey(r); got != "key:abc" {
+		t.Fatalf("ClientKey by header = %q", got)
+	}
+}
+
+// TestLimiterMiddleware pins the refusal wire contract: 429, a
+// Retry-After header, and the same JSON envelope ingest backpressure
+// uses — plus the ops-endpoint exemption.
+func TestLimiterMiddleware(t *testing.T) {
+	clk := newFakeClock()
+	l := NewLimiter(LimiterConfig{RatePerSec: 1, Burst: 1, Now: clk.now})
+	var served int
+	h := l.Middleware(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		served++
+		w.WriteHeader(http.StatusOK)
+	}))
+
+	get := func(path, key string) *httptest.ResponseRecorder {
+		r := httptest.NewRequest(http.MethodGet, path, nil)
+		if key != "" {
+			r.Header.Set("X-API-Key", key)
+		}
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, r)
+		return rec
+	}
+
+	if rec := get("/v1/tags", "a"); rec.Code != http.StatusOK {
+		t.Fatalf("first request refused: %d", rec.Code)
+	}
+	rec := get("/v1/tags", "a")
+	if rec.Code != http.StatusTooManyRequests {
+		t.Fatalf("over-rate request status = %d, want 429", rec.Code)
+	}
+	if secs, err := strconv.Atoi(rec.Header().Get("Retry-After")); err != nil || secs < 1 {
+		t.Fatalf("Retry-After = %q, want integer >= 1", rec.Header().Get("Retry-After"))
+	}
+	var envelope struct {
+		Error        string `json:"error"`
+		Code         string `json:"code"`
+		RetryAfterMS int64  `json:"retry_after_ms"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &envelope); err != nil {
+		t.Fatalf("refusal body is not the JSON envelope: %v", err)
+	}
+	if envelope.Code != CodeRateLimited || envelope.Error == "" || envelope.RetryAfterMS <= 0 {
+		t.Fatalf("envelope = %+v", envelope)
+	}
+
+	// Another client's bucket is untouched.
+	if rec := get("/v1/tags", "b"); rec.Code != http.StatusOK {
+		t.Fatalf("other client refused: %d", rec.Code)
+	}
+	// Ops endpoints are exempt even for a drained client.
+	for _, path := range []string{"/healthz", "/readyz", "/metrics"} {
+		if rec := get(path, "a"); rec.Code != http.StatusOK {
+			t.Fatalf("exempt path %s throttled: %d", path, rec.Code)
+		}
+	}
+	if served != 5 {
+		t.Fatalf("inner handler served %d requests, want 5", served)
+	}
+}

@@ -1,0 +1,63 @@
+package serve
+
+import (
+	"rfprism/internal/obs"
+)
+
+// RegisterMetrics exposes the serving tier's counters on an obs
+// registry (the daemon's /metrics). srv and lim may be nil when that
+// piece is not wired. Call once per registry — obs panics on duplicate
+// series by design.
+func RegisterMetrics(reg *obs.Registry, st *Store, srv *Server, lim *Limiter) {
+	reg.NewCounterFunc("serve_snapshot_swaps_total",
+		"Snapshot generations published by the epoch swapper.",
+		st.Swaps)
+	reg.NewCounterFunc("serve_results_published_total",
+		"Tag results made visible to readers via snapshot swaps.",
+		st.Published)
+	reg.NewGaugeFunc("serve_snapshot_epoch",
+		"Current snapshot epoch (0 = no results yet).",
+		func() float64 { return float64(st.Epoch()) })
+	reg.NewGaugeFunc("serve_snapshot_tags",
+		"Tags in the current snapshot.",
+		func() float64 { return float64(st.Snapshot().Len()) })
+
+	hub := st.Hub()
+	reg.NewGaugeFunc("serve_subscribers",
+		"Live subscription-hub subscribers (SSE streams and long-polls).",
+		func() float64 { return float64(hub.Subscribers()) })
+	reg.NewCounterFunc("serve_events_delivered_total",
+		"Events enqueued to subscriber queues.",
+		hub.Delivered)
+	reg.NewCounterFunc("serve_subscriber_drops_total",
+		"Subscribers evicted from the hub, by reason.",
+		func() int64 { return hub.Drops(DropSlowConsumer) },
+		obs.L("reason", DropSlowConsumer.String()))
+	reg.NewCounterFunc("serve_subscriber_drops_total",
+		"Subscribers evicted from the hub, by reason.",
+		func() int64 { return hub.Drops(DropShutdown) },
+		obs.L("reason", DropShutdown.String()))
+
+	reg.NewCounterFunc("serve_longpolls_total",
+		"Long-poll rounds, by outcome.",
+		func() int64 { c, _ := st.LongPolls(); return c },
+		obs.L("outcome", "changed"))
+	reg.NewCounterFunc("serve_longpolls_total",
+		"Long-poll rounds, by outcome.",
+		func() int64 { _, t := st.LongPolls(); return t },
+		obs.L("outcome", "timeout"))
+
+	if srv != nil {
+		reg.NewGaugeFunc("serve_sse_streams",
+			"Live SSE streams.",
+			func() float64 { return float64(srv.Streams()) })
+	}
+	if lim != nil {
+		reg.NewCounterFunc("serve_throttled_total",
+			"Requests refused by the per-client token bucket.",
+			lim.Throttled)
+		reg.NewCounterFunc("serve_stream_rejects_total",
+			"Stream opens refused by the per-client concurrent-stream quota.",
+			lim.StreamRejects)
+	}
+}
