@@ -3,10 +3,13 @@ package main
 import (
 	"context"
 	"fmt"
+	"net/http"
+	"strings"
 	"sync/atomic"
 	"time"
 
 	"rfprism/internal/ingest"
+	"rfprism/internal/netchaos"
 	"rfprism/internal/router"
 	"rfprism/internal/sim"
 
@@ -63,10 +66,23 @@ type countSink struct{ n *atomic.Int64 }
 func (c countSink) Emit(ingest.TagResult) error { c.n.Add(1); return nil }
 func (countSink) Close() error                  { return nil }
 
+// lossyDropProb is the per-connection drop probability of the
+// ClusterStreamLossy row: every router→shard hop crosses a seeded
+// netchaos proxy that refuses this fraction of connections at accept,
+// so the self-healing client's retry path carries part of the replay.
+// The exact window-count check below then doubles as a correctness
+// gate — retried sub-batches must land exactly once under stream
+// dedup, or the row fails instead of reporting a wrong rate.
+const lossyDropProb = 0.01
+
 // clusterRow replays `tags` cloned tags through a `shards`-shard local
 // cluster and returns the bench row. Parallelism carries the shard
-// count.
-func clusterRow(name string, shards, tags int) (benchRecord, error) {
+// count. With lossy set, the shards sit behind fault-injecting proxies
+// (see lossyDropProb) and the router runs its resilience config the
+// way a production deployment would: keep-alives off so every
+// sub-batch is its own connection, short retry backoff, breakers
+// armed.
+func clusterRow(name string, shards, tags int, lossy bool) (benchRecord, error) {
 	template, err := router.LoadTemplate(clusterTemplateSeed, clusterTemplateLines)
 	if err != nil {
 		return benchRecord{}, err
@@ -79,7 +95,7 @@ func clusterRow(name string, shards, tags int) (benchRecord, error) {
 		return benchRecord{}, fmt.Errorf("cluster template closes no windows")
 	}
 	var solved atomic.Int64
-	c, err := router.NewCluster(router.ClusterConfig{
+	ccfg := router.ClusterConfig{
 		Shards:       shards,
 		NewProcessor: func(string) ingest.Processor { return instantProc{} },
 		NewSinks:     func(string) []ingest.Sink { return []ingest.Sink{countSink{&solved}} },
@@ -88,9 +104,44 @@ func clusterRow(name string, shards, tags int) (benchRecord, error) {
 			QueueSize:   4096,
 			RetryAfter:  2 * time.Millisecond,
 		},
-	})
+	}
+	if lossy {
+		ccfg.Router = router.Config{
+			Client: &http.Client{Transport: &http.Transport{DisableKeepAlives: true}},
+			Resilience: router.ResilienceConfig{
+				RetryBackoff: 2 * time.Millisecond,
+				OpenFor:      250 * time.Millisecond,
+			},
+		}
+	}
+	c, err := router.NewCluster(ccfg)
 	if err != nil {
 		return benchRecord{}, err
+	}
+	if lossy {
+		var proxies []*netchaos.Proxy
+		defer func() {
+			for _, p := range proxies {
+				_ = p.Close()
+			}
+		}()
+		rt := c.Router()
+		for i, id := range c.ShardIDs() {
+			target := strings.TrimPrefix(c.ShardURL(id), "http://")
+			p, perr := netchaos.New(target, netchaos.Config{DropProb: lossyDropProb}, int64(7000+i))
+			if perr == nil {
+				proxies = append(proxies, p)
+				if err := rt.RemoveShard(id); err != nil {
+					perr = err
+				} else {
+					perr = rt.AddShard(id, p.URL())
+				}
+			}
+			if perr != nil {
+				_ = c.Close(context.Background())
+				return benchRecord{}, fmt.Errorf("%s: interpose proxy on %s: %w", name, id, perr)
+			}
+		}
 	}
 	start := time.Now()
 	rep, err := router.RunLoad(context.Background(), c.Handler(), router.LoadConfig{ChunkLines: 512},

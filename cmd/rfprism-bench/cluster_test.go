@@ -1,0 +1,21 @@
+package main
+
+import "testing"
+
+// TestClusterLossyRowExact runs a scaled-down ClusterStreamLossy
+// replay: 3 shards behind 1%-drop netchaos proxies, keep-alives off.
+// clusterRow fails on its own when the window count is not exact, so a
+// nil error here is the assertion — connection drops were retried and
+// deduplicated to exactly-once delivery.
+func TestClusterLossyRowExact(t *testing.T) {
+	if testing.Short() {
+		t.Skip("replay row; skipped in -short")
+	}
+	rec, err := clusterRow("ClusterStreamLossy", 3, 400, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.WindowsPerSec <= 0 {
+		t.Fatalf("lossy row reported no throughput: %+v", rec)
+	}
+}

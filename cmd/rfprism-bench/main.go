@@ -257,13 +257,17 @@ func main() {
 	// cluster.go) through the router into 1 vs 3 shards. On a
 	// multi-core runner the 3-shard row is the horizontal-scaling
 	// claim; here the pair also gates windows/sec regressions in the
-	// routing tier.
+	// routing tier. The Lossy row repeats the 3-shard replay behind
+	// netchaos proxies dropping 1% of connections, so the retry +
+	// dedup path is both perf-gated and correctness-checked (its
+	// window count must still be exact).
 	if *clusterTags > 0 {
 		for _, cr := range []struct {
 			name   string
 			shards int
-		}{{"ClusterStream1", 1}, {"ClusterStream3", 3}} {
-			rec, err := clusterRow(cr.name, cr.shards, *clusterTags)
+			lossy  bool
+		}{{"ClusterStream1", 1, false}, {"ClusterStream3", 3, false}, {"ClusterStreamLossy", 3, true}} {
+			rec, err := clusterRow(cr.name, cr.shards, *clusterTags, cr.lossy)
 			if err != nil {
 				log.Fatal(err)
 			}
@@ -355,6 +359,7 @@ var gatedBenchmarks = map[string]bool{
 	"StreamReplayWarm":    true,
 	"ClusterStream1":      true,
 	"ClusterStream3":      true,
+	"ClusterStreamLossy":  true,
 	"ReadLoadIdle":        true,
 	"ReadLoad":            true,
 }

@@ -76,6 +76,9 @@ type options struct {
 	readRate     float64
 	readBurst    int
 	maxStreams   int
+	retries      int
+	breakerOpen  time.Duration
+	noHedge      bool
 }
 
 func parseFlags(args []string) (options, error) {
@@ -100,6 +103,9 @@ func parseFlags(args []string) (options, error) {
 	fs.Float64Var(&o.readRate, "read-rate", 0, "per-client request rate limit on the API surface, req/s (0: unlimited)")
 	fs.IntVar(&o.readBurst, "read-burst", 0, "per-client token-bucket burst (0: ceil of -read-rate)")
 	fs.IntVar(&o.maxStreams, "max-streams", 0, "per-client concurrent SSE stream cap (0: unlimited)")
+	fs.IntVar(&o.retries, "retries", 0, "extra attempts per idempotent shard sub-request (0: default 2, -1: disable)")
+	fs.DurationVar(&o.breakerOpen, "breaker-open", 0, "how long an open per-shard circuit breaker fails fast (0: default 2s)")
+	fs.BoolVar(&o.noHedge, "no-hedge", false, "disable hedged scatter reads")
 	if err := fs.Parse(args); err != nil {
 		return o, err
 	}
@@ -160,6 +166,11 @@ func run(args []string, stdout io.Writer) error {
 		ShardTimeout: o.shardTimeout,
 		Limiter:      lim,
 		Logger:       logger,
+		Resilience: router.ResilienceConfig{
+			Retries:        o.retries,
+			OpenFor:        o.breakerOpen,
+			DisableHedging: o.noHedge,
+		},
 	}
 
 	var (
@@ -204,7 +215,14 @@ func run(args []string, stdout io.Writer) error {
 	}
 	// The token-bucket half of the limiter wraps the whole surface;
 	// the stream-quota half is enforced inside the SSE handlers.
-	srv := &http.Server{Handler: lim.Middleware(rt.Handler())}
+	// ReadHeaderTimeout bounds a slow-loris client's header dribble;
+	// IdleTimeout reaps abandoned keep-alive connections. Neither
+	// touches in-flight SSE streams or long-poll bodies.
+	srv := &http.Server{
+		Handler:           lim.Middleware(rt.Handler()),
+		ReadHeaderTimeout: 10 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
 	serveErr := make(chan error, 1)
 	fmt.Fprintf(stdout, "rfprism-router: listening on %s\n", ln.Addr())
 	go func() { serveErr <- srv.Serve(ln) }()

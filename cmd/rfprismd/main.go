@@ -315,7 +315,13 @@ func run(args []string, stdout io.Writer) error {
 		if err != nil {
 			return err
 		}
-		httpSrv = &http.Server{Handler: streamSrv.Wrap(ingest.NewServer(d, store).Handler())}
+		// Slow-loris protection: bound the header dribble and reap idle
+		// keep-alives (in-flight SSE streams are unaffected).
+		httpSrv = &http.Server{
+			Handler:           streamSrv.Wrap(ingest.NewServer(d, store).Handler()),
+			ReadHeaderTimeout: 10 * time.Second,
+			IdleTimeout:       2 * time.Minute,
+		}
 		fmt.Fprintf(stdout, "rfprismd: listening on %s\n", ln.Addr())
 		if o.addrFile != "" {
 			// Write-then-rename so a polling supervisor never reads a
@@ -339,7 +345,11 @@ func run(args []string, stdout io.Writer) error {
 		if err != nil {
 			return err
 		}
-		debugSrv = &http.Server{Handler: debugHandler(d)}
+		debugSrv = &http.Server{
+			Handler:           debugHandler(d),
+			ReadHeaderTimeout: 10 * time.Second,
+			IdleTimeout:       2 * time.Minute,
+		}
 		fmt.Fprintf(stdout, "rfprismd: debug server on %s\n", dln.Addr())
 		go func() { debugErr <- debugSrv.Serve(dln) }()
 	}

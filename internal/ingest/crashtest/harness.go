@@ -224,7 +224,11 @@ func runServeChild() error {
 	if err != nil {
 		return err
 	}
-	srv := &http.Server{Handler: ingest.NewServer(d, ring).Handler()}
+	srv := &http.Server{
+		Handler:           ingest.NewServer(d, ring).Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
 	go func() { _ = srv.Serve(ln) }()
 	// Publish the bound address atomically: write-then-rename, so the
 	// polling parent never reads a half-written file.

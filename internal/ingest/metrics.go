@@ -37,6 +37,7 @@ type Metrics struct {
 	ReportsAccepted      *obs.Counter
 	ReportsRejected      *obs.Counter
 	ReportsBackpressured *obs.Counter
+	ReportsDeduped       *obs.Counter // skipped by the stream high-water mark
 
 	windowsClosed    [numCloseReasons]*obs.Counter
 	WindowsDiscarded *obs.Counter
@@ -85,6 +86,7 @@ func NewMetrics(start time.Time) *Metrics {
 	m.ReportsAccepted = r.NewCounter("rfprismd_reports_total", "Ingested reports by outcome.", obs.L("outcome", "accepted"))
 	m.ReportsRejected = r.NewCounter("rfprismd_reports_total", "", obs.L("outcome", "rejected"))
 	m.ReportsBackpressured = r.NewCounter("rfprismd_reports_total", "", obs.L("outcome", "backpressured"))
+	m.ReportsDeduped = r.NewCounter("rfprismd_reports_total", "", obs.L("outcome", "deduplicated"))
 
 	for cr := CloseReason(0); int(cr) < numCloseReasons; cr++ {
 		help := ""

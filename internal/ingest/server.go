@@ -58,6 +58,9 @@ type Server struct {
 	store TagStore
 	mux   *http.ServeMux
 	log   *slog.Logger
+	// dedup holds the per-stream high-water marks behind the
+	// X-RFPrism-Stream exactly-once retry protocol (dedup.go).
+	dedup *streamDedup
 	// jitter yields uniform [0,1) draws for Retry-After spreading;
 	// tests pin it.
 	jitter func() float64
@@ -93,7 +96,8 @@ func NewServer(d *Daemon, store TagStore) *Server {
 	if rs, ok := store.(*RingSink); ok && rs == nil {
 		store = nil // tolerate a typed-nil ring from optional wiring
 	}
-	s := &Server{d: d, store: store, mux: http.NewServeMux(), log: d.Logger(), jitter: rand.Float64}
+	s := &Server{d: d, store: store, mux: http.NewServeMux(), log: d.Logger(),
+		dedup: newStreamDedup(d.cfg.Now), jitter: rand.Float64}
 	for _, prefix := range []string{"/v1", ""} {
 		s.mux.HandleFunc("POST "+prefix+"/ingest", s.handleIngest)
 		s.mux.HandleFunc("GET "+prefix+"/tags", s.handleTags)
@@ -115,12 +119,13 @@ func (s *Server) Handler() http.Handler { return s.mux }
 
 // Error codes of the uniform envelope.
 const (
-	CodeBadReport    = "bad_report"    // malformed or invalid report line
-	CodeBackpressure = "backpressure"  // queue full, retry after the advertised pause
-	CodeDraining     = "draining"      // daemon is shutting down
-	CodeNotFound     = "not_found"     // unknown endpoint or tag
-	CodeNoRing       = "no_query_ring" // daemon runs without a query ring
-	CodeBadParam     = "bad_param"     // malformed query parameter
+	CodeBadReport      = "bad_report"       // malformed or invalid report line
+	CodeBackpressure   = "backpressure"     // queue full, retry after the advertised pause
+	CodeDraining       = "draining"         // daemon is shutting down
+	CodeNotFound       = "not_found"        // unknown endpoint or tag
+	CodeNoRing         = "no_query_ring"    // daemon runs without a query ring
+	CodeBadParam       = "bad_param"        // malformed query parameter
+	CodeReportTooLarge = "report_too_large" // one NDJSON line exceeds maxReportLine (413)
 )
 
 // apiError is the uniform JSON error envelope. Every non-2xx response
@@ -162,10 +167,52 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 			Accepted: accepted, Line: line,
 		})
 	}
+	// Stream dedup (dedup.go): when the request names its stream and
+	// stamps line positions, lines at or below the stream's high-water
+	// mark were offered by an earlier delivery — count them accepted
+	// without re-offering, so transport retries are exactly-once.
+	streamID := r.Header.Get(HeaderStream)
+	if len(streamID) > MaxStreamID {
+		fail(http.StatusBadRequest, CodeBadParam, 0, "stream id too long")
+		return
+	}
+	var pos *StreamPos
+	if streamID != "" {
+		pos = &StreamPos{base: 1} // default: positions are line order
+		if raw := r.Header.Get(HeaderStreamPos); raw != "" {
+			var err error
+			if pos, err = ParseStreamPos(raw); err != nil {
+				fail(http.StatusBadRequest, CodeBadParam, 0, err.Error())
+				return
+			}
+		}
+	}
+	highWater := uint64(0)
+	if streamID != "" {
+		highWater = s.dedup.highWater(streamID)
+	}
+	idx := 0 // non-blank line index, drives position lookup
 	for sc.Scan() {
 		line++
 		raw := bytes.TrimSpace(sc.Bytes())
 		if len(raw) == 0 {
+			continue
+		}
+		linePos := uint64(0)
+		if pos != nil {
+			p, err := pos.At(idx)
+			if err != nil {
+				fail(http.StatusBadRequest, CodeBadParam, 0, err.Error())
+				return
+			}
+			linePos = p
+		}
+		idx++
+		if linePos != 0 && linePos <= highWater {
+			// Already offered by an earlier delivery of this stream: a
+			// retried sub-batch, a resume overshoot. Skip, still accept.
+			accepted++
+			s.d.Metrics().ReportsDeduped.Inc()
 			continue
 		}
 		rd, err := decodeReading(raw)
@@ -176,6 +223,9 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		switch err := s.d.Offer(rd); {
 		case err == nil:
 			accepted++
+			if linePos != 0 {
+				s.dedup.advance(streamID, linePos)
+			}
 		case errors.Is(err, ErrBusy):
 			secs := retryAfterSeconds(s.d.RetryAfter(), s.jitter())
 			w.Header().Set("Retry-After", strconv.Itoa(secs))
@@ -190,6 +240,13 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	if err := sc.Err(); err != nil {
+		if errors.Is(err, bufio.ErrTooLong) {
+			// Typed 413: the offending line starts past everything
+			// accepted so far; a client resumes after shrinking it.
+			fail(http.StatusRequestEntityTooLarge, CodeReportTooLarge, 0,
+				fmt.Sprintf("line %d exceeds the %d-byte report line limit", line+1, maxReportLine))
+			return
+		}
 		fail(http.StatusBadRequest, CodeBadReport, 0, err.Error())
 		return
 	}

@@ -1,0 +1,396 @@
+// Package netchaos is a seeded, deterministic in-process
+// fault-injecting TCP proxy for exercising the cluster's network
+// paths. It sits between the router and a shard (or any TCP peer) and
+// layers the failure modes a production link actually sees — added
+// latency and jitter, bandwidth throttling, connection resets
+// mid-body, truncated responses, black-hole partitions, and flaky
+// connection drops — on top of an otherwise transparent byte pipe.
+//
+// The design mirrors sim.FaultInjector at the wire layer: the zero
+// Config is a byte-identical passthrough, every probabilistic draw
+// comes from one seeded RNG stream so a fault campaign reproduces,
+// and a Stats ledger records exactly which faults materialized so a
+// test can assert the chaos actually bit.
+//
+// Faults are drawn per accepted connection (drop / reset-at /
+// truncate-at from the Config at accept time); the shaping toxics
+// (latency, jitter, bandwidth, blackhole) read the live Config on
+// every forwarded chunk, so a Script can partition and heal a link
+// under open connections.
+package netchaos
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Config enumerates the injectable link faults. The zero value
+// injects nothing: the proxy forwards bytes unmodified and its
+// observable behavior is identical to connecting directly.
+type Config struct {
+	// Latency is added once per forwarded response-path chunk
+	// (upstream→client), modeling one-way propagation delay.
+	Latency time.Duration
+	// Jitter adds a uniform [0,Jitter) draw on top of Latency.
+	Jitter time.Duration
+	// BandwidthBPS throttles the response path to this many bytes per
+	// second (0 = unlimited).
+	BandwidthBPS int
+	// DropProb is the per-connection probability that an accepted
+	// connection is closed immediately without ever reaching the
+	// target ("flaky percent": 0.01 drops 1% of connections).
+	DropProb float64
+	// ResetProb is the per-connection probability that the client
+	// side is reset (RST, via SO_LINGER 0) after ResetAfter-bounded
+	// response bytes — the classic mid-body connection reset.
+	ResetProb float64
+	// ResetAfter bounds the response-byte offset of an armed reset:
+	// the reset fires at a seeded uniform offset in [1, ResetAfter].
+	// Default 512 (inside typical headers or a small JSON body).
+	ResetAfter int
+	// TruncateProb is the per-connection probability that the
+	// response stream ends cleanly (FIN) after TruncateAfter-bounded
+	// bytes — a truncated body the peer must detect by framing.
+	TruncateProb float64
+	// TruncateAfter bounds the truncation offset like ResetAfter.
+	// Default 256.
+	TruncateAfter int
+	// Blackhole, while set, parks every open and new connection
+	// without forwarding a byte in either direction — a network
+	// partition. Clearing it (SetConfig) heals the link and parked
+	// transfers resume.
+	Blackhole bool
+}
+
+// zero reports whether the config injects nothing.
+func (c Config) zero() bool { return c == Config{} }
+
+func (c *Config) defaults() {
+	if c.ResetAfter <= 0 {
+		c.ResetAfter = 512
+	}
+	if c.TruncateAfter <= 0 {
+		c.TruncateAfter = 256
+	}
+}
+
+// Stats is the fault ledger: which faults actually materialized.
+type Stats struct {
+	Conns       int64 // connections accepted
+	Dropped     int64 // connections dropped at accept (DropProb)
+	DialErrors  int64 // upstream dials that failed
+	Resets      int64 // mid-body RSTs fired
+	Truncations int64 // response streams truncated
+	Blackholed  int64 // chunks parked by an active blackhole
+	BytesUp     int64 // client→upstream bytes forwarded
+	BytesDown   int64 // upstream→client bytes forwarded
+}
+
+// Proxy is one fault-injecting listener in front of one TCP target.
+type Proxy struct {
+	target string
+	ln     net.Listener
+
+	mu     sync.Mutex // guards cfg, rng, conns
+	cfg    Config
+	rng    *rand.Rand
+	conns  map[net.Conn]struct{}
+	closed chan struct{}
+	once   sync.Once
+	wg     sync.WaitGroup
+
+	conn, dropped, dialErr, resets, truncs, holed, up, down atomic.Int64
+}
+
+// New starts a proxy on a fresh loopback port forwarding to target
+// (host:port). All probabilistic draws come from the seeded RNG.
+func New(target string, cfg Config, seed int64) (*Proxy, error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, fmt.Errorf("netchaos: listen: %w", err)
+	}
+	p := &Proxy{
+		target: target,
+		ln:     ln,
+		cfg:    cfg,
+		rng:    rand.New(rand.NewSource(seed)),
+		conns:  make(map[net.Conn]struct{}),
+		closed: make(chan struct{}),
+	}
+	p.wg.Add(1)
+	go p.serve()
+	return p, nil
+}
+
+// Addr returns the proxy's listen address (host:port).
+func (p *Proxy) Addr() string { return p.ln.Addr().String() }
+
+// URL returns the proxy's base URL for HTTP clients.
+func (p *Proxy) URL() string { return "http://" + p.Addr() }
+
+// Config returns the live fault configuration.
+func (p *Proxy) Config() Config {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.cfg
+}
+
+// SetConfig swaps the fault configuration. Shaping toxics (latency,
+// bandwidth, blackhole) apply to in-flight connections from the next
+// chunk on; per-connection draws (drop/reset/truncate) apply to
+// connections accepted after the swap.
+func (p *Proxy) SetConfig(cfg Config) {
+	p.mu.Lock()
+	p.cfg = cfg
+	p.mu.Unlock()
+}
+
+// Stats snapshots the fault ledger.
+func (p *Proxy) Stats() Stats {
+	return Stats{
+		Conns:       p.conn.Load(),
+		Dropped:     p.dropped.Load(),
+		DialErrors:  p.dialErr.Load(),
+		Resets:      p.resets.Load(),
+		Truncations: p.truncs.Load(),
+		Blackholed:  p.holed.Load(),
+		BytesUp:     p.up.Load(),
+		BytesDown:   p.down.Load(),
+	}
+}
+
+// Close stops the listener and tears down every open connection.
+func (p *Proxy) Close() error {
+	var err error
+	p.once.Do(func() {
+		close(p.closed)
+		err = p.ln.Close()
+		p.mu.Lock()
+		for c := range p.conns {
+			_ = c.Close()
+		}
+		p.mu.Unlock()
+	})
+	p.wg.Wait()
+	return err
+}
+
+// plan is one connection's fault draw, fixed at accept time.
+type plan struct {
+	drop    bool
+	resetAt int // response-byte offset of the armed RST (-1: none)
+	truncAt int // response-byte offset of the truncation (-1: none)
+}
+
+// drawPlan rolls this connection's faults from the seeded stream.
+func (p *Proxy) drawPlan() plan {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	cfg := p.cfg
+	cfg.defaults()
+	pl := plan{resetAt: -1, truncAt: -1}
+	if cfg.DropProb > 0 && p.rng.Float64() < cfg.DropProb {
+		pl.drop = true
+		return pl
+	}
+	if cfg.ResetProb > 0 && p.rng.Float64() < cfg.ResetProb {
+		pl.resetAt = 1 + p.rng.Intn(cfg.ResetAfter)
+	}
+	if cfg.TruncateProb > 0 && p.rng.Float64() < cfg.TruncateProb {
+		pl.truncAt = 1 + p.rng.Intn(cfg.TruncateAfter)
+	}
+	return pl
+}
+
+// jitterDelay draws this chunk's added latency.
+func (p *Proxy) jitterDelay() time.Duration {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	d := p.cfg.Latency
+	if p.cfg.Jitter > 0 {
+		d += time.Duration(p.rng.Int63n(int64(p.cfg.Jitter)))
+	}
+	return d
+}
+
+func (p *Proxy) serve() {
+	defer p.wg.Done()
+	for {
+		c, err := p.ln.Accept()
+		if err != nil {
+			return
+		}
+		p.wg.Add(1)
+		go p.handle(c)
+	}
+}
+
+func (p *Proxy) track(c net.Conn) {
+	p.mu.Lock()
+	p.conns[c] = struct{}{}
+	p.mu.Unlock()
+}
+
+func (p *Proxy) untrack(c net.Conn) {
+	p.mu.Lock()
+	delete(p.conns, c)
+	p.mu.Unlock()
+}
+
+func (p *Proxy) handle(client net.Conn) {
+	defer p.wg.Done()
+	p.conn.Add(1)
+	pl := p.drawPlan()
+	if pl.drop {
+		p.dropped.Add(1)
+		_ = client.Close()
+		return
+	}
+	upstream, err := net.DialTimeout("tcp", p.target, 10*time.Second)
+	if err != nil {
+		p.dialErr.Add(1)
+		_ = client.Close()
+		return
+	}
+	p.track(client)
+	p.track(upstream)
+	defer p.untrack(client)
+	defer p.untrack(upstream)
+
+	// teardown closes both halves exactly once; reset=true converts
+	// the client-side close into an RST via SO_LINGER 0.
+	var closeOnce sync.Once
+	teardown := func(reset bool) {
+		closeOnce.Do(func() {
+			if reset {
+				if tc, ok := client.(*net.TCPConn); ok {
+					_ = tc.SetLinger(0)
+				}
+			}
+			_ = client.Close()
+			_ = upstream.Close()
+		})
+	}
+	var pipes sync.WaitGroup
+	pipes.Add(2)
+	go func() { // request path: client → upstream (blackhole only)
+		defer pipes.Done()
+		p.pipe(upstream, client, plan{resetAt: -1, truncAt: -1}, false, teardown)
+	}()
+	go func() { // response path: upstream → client (all toxics)
+		defer pipes.Done()
+		p.pipe(client, upstream, pl, true, teardown)
+	}()
+	pipes.Wait()
+	teardown(false)
+}
+
+// pipe forwards src→dst. The response path (shape=true) applies the
+// live latency/bandwidth toxics and the connection's reset/truncate
+// plan; both paths honor an active blackhole.
+func (p *Proxy) pipe(dst, src net.Conn, pl plan, shape bool, teardown func(reset bool)) {
+	buf := make([]byte, 16*1024)
+	sent := 0
+	for {
+		n, err := src.Read(buf)
+		if n > 0 {
+			chunk := buf[:n]
+			if !p.park() {
+				teardown(false)
+				return
+			}
+			if shape {
+				cfg := p.Config()
+				if cfg.Latency > 0 || cfg.Jitter > 0 {
+					if !p.sleep(p.jitterDelay()) {
+						teardown(false)
+						return
+					}
+				}
+				if cfg.BandwidthBPS > 0 {
+					pace := time.Duration(float64(len(chunk)) / float64(cfg.BandwidthBPS) * float64(time.Second))
+					if !p.sleep(pace) {
+						teardown(false)
+						return
+					}
+				}
+				if pl.truncAt >= 0 && sent+len(chunk) > pl.truncAt {
+					if _, werr := dst.Write(chunk[:pl.truncAt-sent]); werr == nil {
+						p.down.Add(int64(pl.truncAt - sent))
+					}
+					p.truncs.Add(1)
+					teardown(false)
+					return
+				}
+				if pl.resetAt >= 0 && sent+len(chunk) > pl.resetAt {
+					if _, werr := dst.Write(chunk[:pl.resetAt-sent]); werr == nil {
+						p.down.Add(int64(pl.resetAt - sent))
+					}
+					p.resets.Add(1)
+					teardown(true)
+					return
+				}
+			}
+			if _, werr := dst.Write(chunk); werr != nil {
+				teardown(false)
+				return
+			}
+			sent += len(chunk)
+			if shape {
+				p.down.Add(int64(len(chunk)))
+			} else {
+				p.up.Add(int64(len(chunk)))
+			}
+		}
+		if err != nil {
+			if err == io.EOF {
+				// Half-close: propagate the FIN and let the other
+				// direction drain (an echo peer still owes us bytes).
+				if tc, ok := dst.(*net.TCPConn); ok {
+					_ = tc.CloseWrite()
+				}
+				return
+			}
+			teardown(false)
+			return
+		}
+	}
+}
+
+// park blocks while the link is blackholed; false means the proxy
+// closed while parked.
+func (p *Proxy) park() bool {
+	first := true
+	for p.Config().Blackhole {
+		if first {
+			p.holed.Add(1)
+			first = false
+		}
+		select {
+		case <-p.closed:
+			return false
+		case <-time.After(2 * time.Millisecond):
+		}
+	}
+	return true
+}
+
+// sleep waits d unless the proxy closes first.
+func (p *Proxy) sleep(d time.Duration) bool {
+	if d <= 0 {
+		return true
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return true
+	case <-p.closed:
+		return false
+	}
+}

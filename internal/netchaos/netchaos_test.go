@@ -1,0 +1,285 @@
+package netchaos
+
+import (
+	"bytes"
+	"context"
+	"crypto/sha256"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+// echoServer accepts one connection at a time and echoes bytes back.
+func echoServer(t *testing.T) net.Listener {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() {
+		for {
+			c, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func() {
+				defer c.Close()
+				_, _ = io.Copy(c, c)
+			}()
+		}
+	}()
+	t.Cleanup(func() { ln.Close() })
+	return ln
+}
+
+func newProxy(t *testing.T, target string, cfg Config, seed int64) *Proxy {
+	t.Helper()
+	p, err := New(target, cfg, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { p.Close() })
+	return p
+}
+
+// TestPassthroughByteIdentical: the zero config forwards every byte
+// unmodified in both directions and records zero faults.
+func TestPassthroughByteIdentical(t *testing.T) {
+	ln := echoServer(t)
+	p := newProxy(t, ln.Addr().String(), Config{}, 1)
+
+	conn, err := net.Dial("tcp", p.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+
+	payload := bytes.Repeat([]byte("rfprism-netchaos-passthrough "), 4096)
+	go func() {
+		_, _ = conn.Write(payload)
+		if tc, ok := conn.(*net.TCPConn); ok {
+			_ = tc.CloseWrite()
+		}
+	}()
+	got, err := io.ReadAll(conn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sha256.Sum256(got) != sha256.Sum256(payload) {
+		t.Fatalf("echoed %d bytes differ from the %d sent", len(got), len(payload))
+	}
+	st := p.Stats()
+	if st.Conns != 1 || st.Dropped != 0 || st.Resets != 0 || st.Truncations != 0 || st.Blackholed != 0 {
+		t.Fatalf("zero config recorded faults: %+v", st)
+	}
+	if st.BytesUp != int64(len(payload)) || st.BytesDown != int64(len(payload)) {
+		t.Fatalf("byte ledger %+v, want %d each way", st, len(payload))
+	}
+}
+
+// TestLatencyToxic: a configured latency delays the round trip.
+func TestLatencyToxic(t *testing.T) {
+	ln := echoServer(t)
+	p := newProxy(t, ln.Addr().String(), Config{Latency: 60 * time.Millisecond}, 1)
+
+	conn, err := net.Dial("tcp", p.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	t0 := time.Now()
+	if _, err := conn.Write([]byte("ping")); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 4)
+	if _, err := io.ReadFull(conn, buf); err != nil {
+		t.Fatal(err)
+	}
+	if el := time.Since(t0); el < 60*time.Millisecond {
+		t.Fatalf("round trip %v, want >= the 60ms latency toxic", el)
+	}
+}
+
+// TestDropToxic: DropProb 1 closes every connection at accept.
+func TestDropToxic(t *testing.T) {
+	ln := echoServer(t)
+	p := newProxy(t, ln.Addr().String(), Config{DropProb: 1}, 1)
+
+	conn, err := net.Dial("tcp", p.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	_ = conn.SetReadDeadline(time.Now().Add(2 * time.Second))
+	if _, err := conn.Read(make([]byte, 1)); err == nil {
+		t.Fatal("read succeeded through a dropped connection")
+	}
+	if st := p.Stats(); st.Dropped != 1 {
+		t.Fatalf("stats %+v, want 1 drop", st)
+	}
+}
+
+// TestResetToxic: an HTTP response through a reset-armed proxy dies
+// with a transport error, not a clean body.
+func TestResetToxic(t *testing.T) {
+	big := strings.Repeat("x", 1<<20)
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		_, _ = io.WriteString(w, big)
+	}))
+	defer srv.Close()
+	p := newProxy(t, strings.TrimPrefix(srv.URL, "http://"), Config{ResetProb: 1, ResetAfter: 64}, 1)
+
+	cl := &http.Client{Transport: &http.Transport{DisableKeepAlives: true}, Timeout: 5 * time.Second}
+	resp, err := cl.Get(p.URL())
+	if err == nil {
+		_, err = io.ReadAll(resp.Body)
+		resp.Body.Close()
+	}
+	if err == nil {
+		t.Fatal("request through a reset-armed proxy succeeded")
+	}
+	if st := p.Stats(); st.Resets != 1 {
+		t.Fatalf("stats %+v, want 1 reset", st)
+	}
+}
+
+// TestTruncateToxic: the response stream ends cleanly short of the
+// advertised Content-Length.
+func TestTruncateToxic(t *testing.T) {
+	big := strings.Repeat("y", 1<<20)
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		_, _ = io.WriteString(w, big)
+	}))
+	defer srv.Close()
+	p := newProxy(t, strings.TrimPrefix(srv.URL, "http://"), Config{TruncateProb: 1, TruncateAfter: 200}, 1)
+
+	cl := &http.Client{Transport: &http.Transport{DisableKeepAlives: true}, Timeout: 5 * time.Second}
+	resp, err := cl.Get(p.URL())
+	var n int
+	if err == nil {
+		var body []byte
+		body, err = io.ReadAll(resp.Body)
+		n = len(body)
+		resp.Body.Close()
+	}
+	if err == nil && n == len(big) {
+		t.Fatal("full body survived a truncating proxy")
+	}
+	if st := p.Stats(); st.Truncations != 1 {
+		t.Fatalf("stats %+v, want 1 truncation", st)
+	}
+}
+
+// TestBlackholeAndHeal: a blackholed request parks; healing the link
+// lets it complete.
+func TestBlackholeAndHeal(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		_, _ = io.WriteString(w, "alive")
+	}))
+	defer srv.Close()
+	p := newProxy(t, strings.TrimPrefix(srv.URL, "http://"), Config{Blackhole: true}, 1)
+
+	type result struct {
+		body string
+		err  error
+	}
+	ch := make(chan result, 1)
+	go func() {
+		cl := &http.Client{Timeout: 10 * time.Second}
+		resp, err := cl.Get(p.URL())
+		if err != nil {
+			ch <- result{err: err}
+			return
+		}
+		defer resp.Body.Close()
+		b, err := io.ReadAll(resp.Body)
+		ch <- result{body: string(b), err: err}
+	}()
+	select {
+	case r := <-ch:
+		t.Fatalf("request finished through an active blackhole: %+v", r)
+	case <-time.After(150 * time.Millisecond):
+	}
+	p.SetConfig(Config{}) // heal
+	select {
+	case r := <-ch:
+		if r.err != nil || r.body != "alive" {
+			t.Fatalf("healed request: %+v", r)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("request never completed after heal")
+	}
+	if st := p.Stats(); st.Blackholed == 0 {
+		t.Fatalf("stats %+v, want blackholed chunks recorded", st)
+	}
+}
+
+// TestScriptAppliesStepsInOrder: RunScript swaps configs at their
+// offsets and returns after the last step.
+func TestScriptAppliesStepsInOrder(t *testing.T) {
+	ln := echoServer(t)
+	p := newProxy(t, ln.Addr().String(), Config{}, 1)
+	err := p.RunScript(context.Background(), []Step{
+		{After: 30 * time.Millisecond, Cfg: Config{}},
+		{After: 10 * time.Millisecond, Cfg: Config{Blackhole: true}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := p.Config(); !got.zero() {
+		t.Fatalf("final config %+v, want the last step's zero config", got)
+	}
+}
+
+// TestSeededDeterminism: two proxies with the same seed make the same
+// per-connection fault draws over the same serial workload.
+func TestSeededDeterminism(t *testing.T) {
+	outcomes := func(seed int64) string {
+		ln := echoServer(t)
+		p := newProxy(t, ln.Addr().String(), Config{DropProb: 0.5}, seed)
+		var sb strings.Builder
+		for i := 0; i < 32; i++ {
+			conn, err := net.Dial("tcp", p.Addr())
+			if err != nil {
+				t.Fatal(err)
+			}
+			_ = conn.SetDeadline(time.Now().Add(2 * time.Second))
+			_, _ = conn.Write([]byte("d"))
+			_, err = conn.Read(make([]byte, 1))
+			if err != nil {
+				sb.WriteByte('x') // dropped
+			} else {
+				sb.WriteByte('.')
+			}
+			conn.Close()
+		}
+		return sb.String()
+	}
+	a, b := outcomes(7), outcomes(7)
+	if a != b {
+		t.Fatalf("same seed diverged:\n a %s\n b %s", a, b)
+	}
+	if !strings.Contains(a, "x") || !strings.Contains(a, ".") {
+		t.Fatalf("degenerate draw %s — want a mix of drops and passes", a)
+	}
+	if c := outcomes(8); c == a {
+		t.Logf("seed 7 and 8 coincide (possible but unlikely): %s", a)
+	}
+}
+
+func TestConfigZero(t *testing.T) {
+	if !(Config{}).zero() {
+		t.Fatal("zero config not zero")
+	}
+	if (Config{Latency: time.Millisecond}).zero() {
+		t.Fatal("latency config considered zero")
+	}
+	if fmt.Sprint(Config{}) == "" {
+		t.Fatal("unprintable config")
+	}
+}

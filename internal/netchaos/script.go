@@ -1,0 +1,50 @@
+package netchaos
+
+import (
+	"context"
+	"sort"
+	"time"
+)
+
+// Fault scripts.
+//
+// A Script is a seeded chaos timeline: an ordered list of config
+// swaps applied to one proxy at fixed offsets from the script start.
+// Scripts make a whole fault campaign — partition at t=100ms, heal at
+// t=1s, jitter for the rest of the run — a declarative value the
+// conformance suite can replay.
+
+// Step is one timed config swap.
+type Step struct {
+	// After is the offset from the script start at which Cfg applies.
+	After time.Duration
+	// Cfg replaces the proxy's whole configuration at that instant.
+	Cfg Config
+}
+
+// RunScript applies the steps in offset order, blocking until the
+// last one has been applied or ctx ends. Steps share one clock, so
+// the gap between steps is After[i+1]-After[i] regardless of how long
+// each swap takes.
+func (p *Proxy) RunScript(ctx context.Context, steps []Step) error {
+	ordered := append([]Step(nil), steps...)
+	sort.SliceStable(ordered, func(a, b int) bool { return ordered[a].After < ordered[b].After })
+	start := time.Now()
+	for _, st := range ordered {
+		wait := st.After - time.Since(start)
+		if wait > 0 {
+			t := time.NewTimer(wait)
+			select {
+			case <-t.C:
+			case <-ctx.Done():
+				t.Stop()
+				return ctx.Err()
+			case <-p.closed:
+				t.Stop()
+				return nil
+			}
+		}
+		p.SetConfig(st.Cfg)
+	}
+	return nil
+}

@@ -178,8 +178,12 @@ func (c *Cluster) startShard(id string) (*localShard, error) {
 		return nil, err
 	}
 	s.ln = ln
-	s.srv = &http.Server{Handler: serve.NewServer(s.store, nil, dcfg.Logger).
-		Wrap(ingest.NewServer(s.daemon, s.store).Handler())}
+	s.srv = &http.Server{
+		Handler: serve.NewServer(s.store, nil, dcfg.Logger).
+			Wrap(ingest.NewServer(s.daemon, s.store).Handler()),
+		ReadHeaderTimeout: 10 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
 	go func() {
 		defer close(s.done)
 		_ = s.srv.Serve(ln)

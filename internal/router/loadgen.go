@@ -3,12 +3,15 @@ package router
 import (
 	"bytes"
 	"context"
+	crand "crypto/rand"
+	"encoding/hex"
 	"encoding/json"
 	"fmt"
 	"math"
 	"math/rand"
 	"net/http"
 	"sort"
+	"strconv"
 	"time"
 
 	"rfprism/internal/geom"
@@ -36,9 +39,17 @@ type LoadConfig struct {
 	ChunkLines int
 	// Path is the ingest endpoint (default "/v1/ingest").
 	Path string
-	// MaxRetries bounds consecutive backpressure rounds on a single
-	// chunk before RunLoad gives up (default 1000).
+	// MaxRetries bounds consecutive backpressure or transient-fault
+	// rounds on a single chunk before RunLoad gives up (default 1000).
 	MaxRetries int
+	// StreamID names the logical report stream for exactly-once
+	// delivery: every POST carries it plus each line's stream position,
+	// so a resume after a transient fault never duplicates a reading
+	// server-side. Default: a fresh random ID per run.
+	StreamID string
+	// MaxPause caps one advertised Retry-After pause (default 30s,
+	// the shared maxRetryAfter ceiling).
+	MaxPause time.Duration
 	// Now overrides the clock (tests).
 	Now func() time.Time
 	// Sleep overrides the Retry-After pause (tests). The default
@@ -55,6 +66,14 @@ func (c *LoadConfig) defaults() {
 	}
 	if c.MaxRetries <= 0 {
 		c.MaxRetries = 1000
+	}
+	if c.StreamID == "" {
+		id := make([]byte, 8)
+		_, _ = crand.Read(id)
+		c.StreamID = "load-" + hex.EncodeToString(id)
+	}
+	if c.MaxPause <= 0 {
+		c.MaxPause = maxRetryAfter
 	}
 	if c.Now == nil {
 		c.Now = time.Now
@@ -80,6 +99,7 @@ type LoadReport struct {
 	Lines   int           // NDJSON lines delivered (accepted exactly once each)
 	Posts   int           // HTTP requests issued (including retried ones)
 	Retries int           // backpressure rounds (429 → pause → resume)
+	Faults  int           // transient 5xx rounds recovered by a stream resume
 	Elapsed time.Duration // first request start to last response
 	P50     time.Duration
 	P99     time.Duration
@@ -137,7 +157,10 @@ func RunLoad(ctx context.Context, h http.Handler, cfg LoadConfig, next func() (s
 }
 
 // postChunk delivers one chunk, resuming from the accepted prefix
-// across backpressure rounds.
+// across backpressure rounds and transient upstream faults. Every
+// POST carries the run's stream identity, so a resume that re-sends
+// lines a healthy shard already took (overshoot) deduplicates
+// server-side instead of double-counting.
 func postChunk(ctx context.Context, h http.Handler, cfg *LoadConfig, chunk [][]byte, rep *LoadReport, lats *[]time.Duration) error {
 	sent, retries := 0, 0
 	for sent < len(chunk) {
@@ -150,6 +173,8 @@ func postChunk(ctx context.Context, h http.Handler, cfg *LoadConfig, chunk [][]b
 		if err != nil {
 			return err
 		}
+		req.Header.Set(ingest.HeaderStream, cfg.StreamID)
+		req.Header.Set(ingest.HeaderStreamPos, strconv.Itoa(rep.Lines+sent+1))
 		w := &memResponse{header: make(http.Header)}
 		t0 := cfg.Now()
 		h.ServeHTTP(w, req)
@@ -164,6 +189,18 @@ func postChunk(ctx context.Context, h http.Handler, cfg *LoadConfig, chunk [][]b
 		if err := json.Unmarshal(w.body.Bytes(), &env); err != nil {
 			return fmt.Errorf("router: loadgen: status %d with undecodable body %q", w.status(), w.body.String())
 		}
+		// The advertised pause: body retry_after_ms first, then the
+		// Retry-After header (delta-seconds or HTTP-date), clamped so a
+		// confused upstream cannot park the run.
+		pause := time.Duration(env.RetryAfterMS) * time.Millisecond
+		if pause <= 0 {
+			if d, ok := parseRetryAfter(w.header.Get("Retry-After"), cfg.Now()); ok {
+				pause = d
+			}
+		}
+		if pause > cfg.MaxPause {
+			pause = cfg.MaxPause
+		}
 		switch {
 		case w.status() == http.StatusAccepted:
 			if env.Accepted != len(chunk)-sent {
@@ -176,9 +213,27 @@ func postChunk(ctx context.Context, h http.Handler, cfg *LoadConfig, chunk [][]b
 				return fmt.Errorf("router: loadgen: chunk still backpressured after %d rounds", retries-1)
 			}
 			rep.Retries++
-			pause := time.Duration(env.RetryAfterMS) * time.Millisecond
 			if pause <= 0 {
 				pause = 5 * time.Millisecond
+			}
+			if err := cfg.Sleep(ctx, pause); err != nil {
+				return err
+			}
+		case transientStatus(w.status(), env.Code):
+			// A shard vanished mid-fan-out (partition, reset, open
+			// breaker): resume from the accepted prefix once the fault
+			// window passes. The stream headers make the re-send safe.
+			sent += env.Accepted
+			if retries++; retries > cfg.MaxRetries {
+				return fmt.Errorf("router: loadgen: chunk still failing after %d rounds: %d %s (%s)",
+					retries-1, w.status(), env.Code, env.Error)
+			}
+			rep.Faults++
+			if pause <= 0 {
+				pause = 10 * time.Millisecond << uint(min(retries-1, 6))
+			}
+			if pause > cfg.MaxPause {
+				pause = cfg.MaxPause
 			}
 			if err := cfg.Sleep(ctx, pause); err != nil {
 				return err
@@ -188,6 +243,19 @@ func postChunk(ctx context.Context, h http.Handler, cfg *LoadConfig, chunk [][]b
 		}
 	}
 	return nil
+}
+
+// transientStatus reports whether a refusal is worth a resume: bad
+// gateways and timeouts always are, and 503 is unless the upstream
+// is deliberately draining for shutdown.
+func transientStatus(status int, code string) bool {
+	switch status {
+	case http.StatusBadGateway, http.StatusGatewayTimeout:
+		return true
+	case http.StatusServiceUnavailable:
+		return code != ingest.CodeDraining
+	}
+	return false
 }
 
 // memResponse is a minimal in-memory http.ResponseWriter, so the load

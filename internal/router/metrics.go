@@ -51,6 +51,12 @@ type Metrics struct {
 	HandoffReoffered  *obs.Counter
 	HandoffSuppressed *obs.Counter
 
+	// Self-healing transport counters (resilience.go).
+	Retries         *obs.Counter // sub-request retry attempts
+	HedgesFired     *obs.Counter // hedged reads launched
+	HedgesWon       *obs.Counter // hedges that answered first
+	BreakerFastFail *obs.Counter // sub-requests failed fast on an open breaker
+
 	ingestLatency *obs.Histogram
 
 	gShards *obs.Gauge
@@ -68,6 +74,9 @@ type ShardMetrics struct {
 	Requests *obs.Counter
 	Errors   *obs.Counter
 	Up       *obs.Gauge
+	// State is the breaker state machine's position: 0 healthy,
+	// 1 suspect, 2 open, 3 half-open (resilience.go).
+	State *obs.Gauge
 }
 
 // NewMetrics builds the router instrument set; start anchors uptime.
@@ -97,6 +106,11 @@ func NewMetrics(start time.Time) *Metrics {
 	m.HandoffReoffered = r.NewCounter("router_handoff_reports_total", "Journal-handoff reports by outcome.", obs.L("outcome", "reoffered"))
 	m.HandoffSuppressed = r.NewCounter("router_handoff_reports_total", "", obs.L("outcome", "suppressed"))
 
+	m.Retries = r.NewCounter("router_retries_total", "Shard sub-request retry attempts.")
+	m.HedgesFired = r.NewCounter("router_hedged_reads_total", "Hedged scatter reads by outcome.", obs.L("outcome", "fired"))
+	m.HedgesWon = r.NewCounter("router_hedged_reads_total", "", obs.L("outcome", "won"))
+	m.BreakerFastFail = r.NewCounter("router_breaker_fastfail_total", "Sub-requests failed fast on an open breaker.")
+
 	m.ingestLatency = r.NewHistogram("router_ingest_latency_seconds", "One ingest request through the fan-out.", ingestLatencyBounds)
 
 	m.gShards = r.NewGauge("router_shards", "Shards currently in the ring.")
@@ -118,6 +132,7 @@ func (m *Metrics) Shard(id string) *ShardMetrics {
 			Requests: m.reg.NewCounter("router_shard_requests_total", "Sub-requests sent per shard.", obs.L("shard", id)),
 			Errors:   m.reg.NewCounter("router_shard_errors_total", "Failed sub-requests per shard.", obs.L("shard", id)),
 			Up:       m.reg.NewGauge("router_shard_up", "1 when the shard answered its last probe.", obs.L("shard", id)),
+			State:    m.reg.NewGauge("router_shard_state", "Breaker state: 0 healthy, 1 suspect, 2 open, 3 half-open.", obs.L("shard", id)),
 		}
 		sm.Up.Set(1)
 		m.perShard[id] = sm

@@ -1,0 +1,416 @@
+package router
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// Self-healing shard transport.
+//
+// Every router→shard sub-request flows through a per-shard health
+// state machine (DESIGN.md §15):
+//
+//	healthy → suspect → open → half-open → healthy
+//
+// Consecutive transport failures push a shard from healthy to
+// suspect to open; a windowed timeout ratio trips suspect→open even
+// when successes interleave. An open breaker fails sub-requests
+// fast — scatter-gather degrades partial, ingest refuses with a fast
+// 502 — until OpenFor elapses, after which exactly one request is
+// let through as the half-open probe. The probe's outcome settles
+// the state: success heals, failure re-opens with a fresh jittered
+// window.
+//
+// On top of the breaker, idempotent sub-requests retry with jittered
+// exponential backoff (ingest sub-batches are idempotent because the
+// shard deduplicates by stream position — see the stream headers in
+// sendBatch), and plain scatter GETs hedge: a second identical
+// request fires after an adaptive delay derived from the shard's
+// recent p99 latency, and the first answer wins.
+
+// Breaker states, exported as the router_shard_state gauge value.
+const (
+	stateHealthy  = 0
+	stateSuspect  = 1
+	stateOpen     = 2
+	stateHalfOpen = 3
+)
+
+// stateNames render the breaker state in /readyz bodies.
+var stateNames = [...]string{"healthy", "suspect", "open", "half-open"}
+
+// errBreakerOpen is the fast-fail a gated sub-request sees.
+var errBreakerOpen = errors.New("breaker open")
+
+// ResilienceConfig tunes the self-healing transport. The zero value
+// gets conservative serving defaults; Retries: -1 disables retries
+// and DisableHedging disables hedged reads (the breaker is always
+// on — it only changes behavior when shards actually fail).
+type ResilienceConfig struct {
+	// Retries bounds extra attempts per idempotent sub-request after
+	// the first (default 2; -1 disables).
+	Retries int
+	// RetryBackoff is the first retry's base pause, doubled per
+	// attempt with ±50% jitter (default 25ms).
+	RetryBackoff time.Duration
+	// MaxBackoff caps one backoff pause (default 1s).
+	MaxBackoff time.Duration
+	// SuspectAfter consecutive failures mark a shard suspect
+	// (default 1).
+	SuspectAfter int
+	// TripAfter consecutive failures open the breaker (default 4).
+	TripAfter int
+	// TimeoutRatioTrip opens the breaker when at least this fraction
+	// of the recent outcome window (16 sub-requests, min 8 samples)
+	// timed out, even if successes interleave (default 0.5).
+	TimeoutRatioTrip float64
+	// OpenFor is how long an open breaker fails fast before admitting
+	// a half-open probe, jittered ±20% per trip (default 2s).
+	OpenFor time.Duration
+	// HedgeFloor is the minimum hedge delay; the adaptive delay is
+	// clamp(p99 of the shard's last 64 latencies, HedgeFloor,
+	// ShardTimeout/2) and defaults to ShardTimeout/2 until enough
+	// samples exist (default 10ms).
+	HedgeFloor time.Duration
+	// DisableHedging turns hedged scatter reads off.
+	DisableHedging bool
+	// Seed feeds the backoff/open-window jitter RNG (default 1).
+	Seed int64
+}
+
+func (c *ResilienceConfig) defaults() {
+	if c.Retries == 0 {
+		c.Retries = 2
+	}
+	if c.Retries < 0 {
+		c.Retries = 0
+	}
+	if c.RetryBackoff <= 0 {
+		c.RetryBackoff = 25 * time.Millisecond
+	}
+	if c.MaxBackoff <= 0 {
+		c.MaxBackoff = time.Second
+	}
+	if c.SuspectAfter <= 0 {
+		c.SuspectAfter = 1
+	}
+	if c.TripAfter <= 0 {
+		c.TripAfter = 4
+	}
+	if c.TimeoutRatioTrip <= 0 || c.TimeoutRatioTrip > 1 {
+		c.TimeoutRatioTrip = 0.5
+	}
+	if c.OpenFor <= 0 {
+		c.OpenFor = 2 * time.Second
+	}
+	if c.HedgeFloor <= 0 {
+		c.HedgeFloor = 10 * time.Millisecond
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+}
+
+// outcome classifies one sub-request for the health machine.
+type outcome int
+
+const (
+	outcomeOK outcome = iota
+	outcomeFail
+	outcomeTimeout
+)
+
+const (
+	outcomeWindow  = 16 // sliding outcome window for the timeout ratio
+	latencyWindow  = 64 // latency samples feeding the hedge delay
+	minRatioSample = 8  // outcomes needed before the ratio can trip
+)
+
+// breaker is one shard's health state machine plus its latency
+// tracker. A fresh breaker is minted per AddShard, so a shard that
+// leaves and rejoins starts healthy.
+type breaker struct {
+	cfg ResilienceConfig
+	now func() time.Time
+	met *ShardMetrics
+
+	mu       sync.Mutex
+	rng      *rand.Rand
+	state    int
+	consec   int       // consecutive failures
+	until    time.Time // open: earliest half-open probe time
+	probing  bool      // half-open: a probe is in flight
+	outcomes [outcomeWindow]outcome
+	nOut     int // outcomes recorded (caps at window)
+	iOut     int // ring cursor
+	lats     [latencyWindow]time.Duration
+	nLat     int
+	iLat     int
+}
+
+func newBreaker(cfg ResilienceConfig, now func() time.Time, met *ShardMetrics, shardID string) *breaker {
+	seed := cfg.Seed
+	for _, c := range shardID {
+		seed = seed*31 + int64(c)
+	}
+	b := &breaker{cfg: cfg, now: now, met: met, rng: rand.New(rand.NewSource(seed))}
+	met.State.SetInt(stateHealthy)
+	return b
+}
+
+// acquire asks to send one sub-request. nil means go; errBreakerOpen
+// means fail fast. When an open window has elapsed, the first caller
+// through becomes the half-open probe.
+func (b *breaker) acquire() error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case stateOpen:
+		if b.now().Before(b.until) {
+			return errBreakerOpen
+		}
+		b.setState(stateHalfOpen)
+		b.probing = true
+		return nil
+	case stateHalfOpen:
+		if b.probing {
+			return errBreakerOpen
+		}
+		b.probing = true
+		return nil
+	default:
+		return nil
+	}
+}
+
+// record feeds one sub-request's outcome back into the machine.
+func (b *breaker) record(o outcome, latency time.Duration) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.outcomes[b.iOut] = o
+	b.iOut = (b.iOut + 1) % outcomeWindow
+	if b.nOut < outcomeWindow {
+		b.nOut++
+	}
+	if b.state == stateHalfOpen {
+		b.probing = false
+	}
+	if o == outcomeOK {
+		b.consec = 0
+		b.lats[b.iLat] = latency
+		b.iLat = (b.iLat + 1) % latencyWindow
+		if b.nLat < latencyWindow {
+			b.nLat++
+		}
+		if b.state != stateHealthy {
+			b.setState(stateHealthy)
+		}
+		return
+	}
+	b.consec++
+	switch {
+	case b.state == stateHalfOpen:
+		b.trip()
+	case b.consec >= b.cfg.TripAfter, b.timeoutRatioTripped():
+		if b.state != stateOpen {
+			b.trip()
+		}
+	case b.consec >= b.cfg.SuspectAfter && b.state == stateHealthy:
+		b.setState(stateSuspect)
+	}
+}
+
+// trip opens the breaker with a jittered window (callers hold mu).
+func (b *breaker) trip() {
+	window := time.Duration(float64(b.cfg.OpenFor) * (0.8 + 0.4*b.rng.Float64()))
+	b.until = b.now().Add(window)
+	b.setState(stateOpen)
+}
+
+// timeoutRatioTripped reports whether the sliding outcome window is
+// timeout-heavy enough to open the breaker (callers hold mu).
+func (b *breaker) timeoutRatioTripped() bool {
+	if b.nOut < minRatioSample {
+		return false
+	}
+	timeouts := 0
+	for i := 0; i < b.nOut; i++ {
+		if b.outcomes[i] == outcomeTimeout {
+			timeouts++
+		}
+	}
+	return float64(timeouts)/float64(b.nOut) >= b.cfg.TimeoutRatioTrip
+}
+
+func (b *breaker) setState(s int) {
+	b.state = s
+	b.met.State.SetInt(int64(s))
+}
+
+// release frees the half-open probe slot without recording an
+// outcome — for attempts abandoned because the CLIENT went away,
+// which say nothing about the shard's health.
+func (b *breaker) release() {
+	b.mu.Lock()
+	if b.state == stateHalfOpen {
+		b.probing = false
+	}
+	b.mu.Unlock()
+}
+
+// stateName renders the current state for /readyz bodies.
+func (b *breaker) stateName() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return stateNames[b.state]
+}
+
+// currentState returns the numeric state (tests, /readyz).
+func (b *breaker) currentState() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state
+}
+
+// hedgeDelay is the adaptive delay before a hedged read fires:
+// clamp(recent p99, HedgeFloor, shardTimeout/2). With too few samples
+// it stays conservative at shardTimeout/2 so cold shards are not
+// double-hit.
+func (b *breaker) hedgeDelay(shardTimeout time.Duration) time.Duration {
+	ceil := shardTimeout / 2
+	if ceil <= 0 {
+		ceil = time.Second
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.nLat < minRatioSample {
+		return ceil
+	}
+	s := make([]time.Duration, b.nLat)
+	copy(s, b.lats[:b.nLat])
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	idx := (99*len(s) + 99) / 100
+	if idx > 0 {
+		idx--
+	}
+	d := s[idx]
+	if d < b.cfg.HedgeFloor {
+		d = b.cfg.HedgeFloor
+	}
+	if d > ceil {
+		d = ceil
+	}
+	return d
+}
+
+// backoff returns the jittered exponential pause before retry
+// attempt n (1-based).
+func (b *breaker) backoff(attempt int) time.Duration {
+	d := b.cfg.RetryBackoff << (attempt - 1)
+	if d > b.cfg.MaxBackoff || d <= 0 {
+		d = b.cfg.MaxBackoff
+	}
+	b.mu.Lock()
+	jittered := time.Duration(float64(d) * (0.5 + b.rng.Float64()))
+	b.mu.Unlock()
+	return jittered
+}
+
+// sleepCtx pauses for d unless ctx ends first; false means it did.
+func sleepCtx(ctx context.Context, d time.Duration) bool {
+	if d <= 0 {
+		return true
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return false
+	case <-t.C:
+		return true
+	}
+}
+
+// --- Retry-After hardening ------------------------------------------
+
+// maxRetryAfter is the ceiling any advertised backpressure pause is
+// clamped to, both when the router propagates a shard's Retry-After
+// and when RunLoad sleeps on one: a confused (or hostile) upstream
+// must not park a client for an hour.
+const maxRetryAfter = 30 * time.Second
+
+// parseRetryAfter interprets a Retry-After header value in either
+// RFC 9110 form — delta-seconds or an HTTP-date — relative to now.
+// ok is false for an unparseable value; negative dates yield 0.
+func parseRetryAfter(v string, now time.Time) (time.Duration, bool) {
+	if v == "" {
+		return 0, false
+	}
+	if secs, err := strconv.Atoi(v); err == nil {
+		if secs < 0 {
+			return 0, false
+		}
+		return time.Duration(secs) * time.Second, true
+	}
+	if when, err := http.ParseTime(v); err == nil {
+		d := when.Sub(now)
+		if d < 0 {
+			d = 0
+		}
+		return d, true
+	}
+	return 0, false
+}
+
+// clampRetryAfter bounds a pause to [0, maxRetryAfter].
+func clampRetryAfter(d time.Duration) time.Duration {
+	if d < 0 {
+		return 0
+	}
+	if d > maxRetryAfter {
+		return maxRetryAfter
+	}
+	return d
+}
+
+// --- stream position encoding ---------------------------------------
+
+// Ingest sub-requests carry exactly-once identity so retries are
+// safe: X-RFPrism-Stream names the logical client stream and
+// X-RFPrism-Stream-Pos carries each non-blank line's 1-based position
+// in that stream. The shard keeps a per-stream high-water mark and
+// skips positions at or below it, so a re-sent sub-batch (after a
+// mid-body reset, a timeout, or a client resume) never duplicates a
+// reading. Encoding: "base" alone means contiguous positions
+// base, base+1, … for every line; "first,d1,d2,…" gives the first
+// position absolute and each later one as a positive delta.
+
+// encodePositions renders a sub-batch's line positions in delta form.
+func encodePositions(lines []pendingLine) string {
+	var sb []byte
+	prev := uint64(0)
+	for i, pl := range lines {
+		if i == 0 {
+			sb = strconv.AppendUint(sb, pl.pos, 10)
+		} else {
+			sb = append(sb, ',')
+			sb = strconv.AppendUint(sb, pl.pos-prev, 10)
+		}
+		prev = pl.pos
+	}
+	return string(sb)
+}
+
+// mintStream returns a router-local stream ID for requests that
+// arrive without one, scoping dedup to the router's own retries
+// within this single request.
+func (rt *Router) mintStream() string {
+	return fmt.Sprintf("r-%s-%d", rt.instance, rt.streamSeq.Add(1))
+}

@@ -4,7 +4,10 @@ import (
 	"bufio"
 	"bytes"
 	"context"
+	crand "crypto/rand"
+	"encoding/hex"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"log/slog"
@@ -13,6 +16,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"rfprism/internal/ingest"
@@ -43,6 +47,9 @@ type Config struct {
 	// Client is the HTTP client for shard sub-requests (default: a
 	// dedicated pooled client; timeouts come from ShardTimeout).
 	Client *http.Client
+	// Resilience tunes the self-healing shard transport: per-shard
+	// circuit breakers, retry budget, hedged reads (resilience.go).
+	Resilience ResilienceConfig
 	// Limiter, when set, applies per-client stream quotas to the
 	// router's SSE endpoints (the token-bucket half wraps the whole
 	// handler via serve.Limiter.Middleware in cmd/rfprism-router).
@@ -80,6 +87,7 @@ func (c *Config) defaults() {
 	if c.Metrics == nil {
 		c.Metrics = NewMetrics(c.Now())
 	}
+	c.Resilience.defaults()
 }
 
 // ShardInfo describes one ring member.
@@ -88,10 +96,13 @@ type ShardInfo struct {
 	BaseURL string `json:"url"`
 }
 
-// shard is one ring member plus its minted counters.
+// shard is one ring member plus its minted counters and health
+// machine. The breaker is fresh per AddShard: a shard that leaves
+// and rejoins starts healthy.
 type shard struct {
 	ShardInfo
 	met *ShardMetrics
+	ctl *breaker
 }
 
 // Router fans the rfprismd HTTP API out across an EPC-sharded fleet.
@@ -104,6 +115,11 @@ type Router struct {
 	log *slog.Logger
 	mux *http.ServeMux
 
+	// instance + streamSeq mint stream IDs for ingest requests that
+	// arrive without one (resilience.go).
+	instance  string
+	streamSeq atomic.Int64
+
 	mu     sync.RWMutex
 	ring   *Ring
 	shards map[string]*shard
@@ -112,13 +128,16 @@ type Router struct {
 // New builds a router with no shards; AddShard populates the ring.
 func New(cfg Config) *Router {
 	cfg.defaults()
+	inst := make([]byte, 6)
+	_, _ = crand.Read(inst)
 	rt := &Router{
-		cfg:    cfg,
-		met:    cfg.Metrics,
-		log:    cfg.Logger,
-		mux:    http.NewServeMux(),
-		ring:   NewRing(cfg.Vnodes),
-		shards: make(map[string]*shard),
+		cfg:      cfg,
+		met:      cfg.Metrics,
+		log:      cfg.Logger,
+		mux:      http.NewServeMux(),
+		instance: hex.EncodeToString(inst),
+		ring:     NewRing(cfg.Vnodes),
+		shards:   make(map[string]*shard),
 	}
 	for _, prefix := range []string{"/v1", ""} {
 		rt.mux.HandleFunc("POST "+prefix+"/ingest", rt.handleIngest)
@@ -158,9 +177,11 @@ func (rt *Router) AddShard(id, baseURL string) error {
 	if _, dup := rt.shards[id]; dup {
 		return fmt.Errorf("router: shard %q already in the ring", id)
 	}
+	met := rt.met.Shard(id)
 	rt.shards[id] = &shard{
 		ShardInfo: ShardInfo{ID: id, BaseURL: strings.TrimRight(baseURL, "/")},
-		met:       rt.met.Shard(id),
+		met:       met,
+		ctl:       newBreaker(rt.cfg.Resilience, rt.cfg.Now, met, id),
 	}
 	rt.ring.Add(id)
 	rt.log.Info("shard added", "shard", id, "url", baseURL, "shards", len(rt.shards))
@@ -273,6 +294,7 @@ type ingestReply struct {
 type pendingLine struct {
 	raw    []byte // the verbatim NDJSON line (forwarded bit-exactly)
 	global int    // 1-based position in the request stream
+	pos    uint64 // position in the logical dedup stream (resilience.go)
 }
 
 // shardBatch accumulates one shard's lines within a chunk.
@@ -319,6 +341,7 @@ func (rt *Router) handleIngest(w http.ResponseWriter, r *http.Request) {
 	chunkLines := make([]pendingLine, 0, rt.cfg.ChunkLines)
 
 	fail := func(status int, code, msg, shardID string, retry time.Duration) {
+		retry = clampRetryAfter(retry)
 		rt.met.ObserveIngest(rt.cfg.Now().Sub(t0))
 		switch code {
 		case ingest.CodeBackpressure:
@@ -328,7 +351,7 @@ func (rt *Router) handleIngest(w http.ResponseWriter, r *http.Request) {
 				secs = 1
 			}
 			w.Header().Set("Retry-After", strconv.Itoa(secs))
-		case ingest.CodeBadReport:
+		case ingest.CodeBadReport, ingest.CodeReportTooLarge:
 			rt.met.IngestBadReport.Inc()
 		default:
 			rt.met.IngestShardErr.Inc()
@@ -338,6 +361,31 @@ func (rt *Router) handleIngest(w http.ResponseWriter, r *http.Request) {
 			Error: msg, Code: code, RetryAfterMS: retry.Milliseconds(),
 			Accepted: committed, Line: committed + 1, Shard: shardID,
 		})
+	}
+
+	// Exactly-once identity: the client's stream headers pass through
+	// so the shards' dedup marks make both router-side sub-batch
+	// retries and client resume overshoot idempotent. A request that
+	// arrives without a stream gets a minted per-request one, scoping
+	// dedup to the router's own retries.
+	streamID := strings.TrimSpace(r.Header.Get(ingest.HeaderStream))
+	var clientPos *ingest.StreamPos
+	if streamID == "" {
+		streamID = rt.mintStream()
+	} else {
+		if len(streamID) > ingest.MaxStreamID {
+			fail(http.StatusBadRequest, ingest.CodeBadParam,
+				fmt.Sprintf("stream ID exceeds %d bytes", ingest.MaxStreamID), "", 0)
+			return
+		}
+		if v := r.Header.Get(ingest.HeaderStreamPos); v != "" {
+			sp, err := ingest.ParseStreamPos(v)
+			if err != nil {
+				fail(http.StatusBadRequest, ingest.CodeBadParam, err.Error(), "", 0)
+				return
+			}
+			clientPos = sp
+		}
 	}
 
 	flush := func(ctx context.Context) (ok bool, status int, code, msg, shardID string, retry time.Duration) {
@@ -354,7 +402,7 @@ func (rt *Router) handleIngest(w http.ResponseWriter, r *http.Request) {
 			wg.Add(1)
 			go func(i int, b *shardBatch) {
 				defer wg.Done()
-				results[i] = rt.sendBatch(ctx, b)
+				results[i] = rt.sendBatch(ctx, b, streamID)
 			}(i, b)
 		}
 		wg.Wait()
@@ -460,8 +508,21 @@ func (rt *Router) handleIngest(w http.ResponseWriter, r *http.Request) {
 			b = &shardBatch{sh: sh}
 			batches[sh.ID] = b
 		}
+		pos := uint64(global)
+		if clientPos != nil {
+			p, err := clientPos.At(global - 1)
+			if err != nil {
+				if ok, status, code, msg, shardID, retry := flush(r.Context()); !ok {
+					fail(status, code, msg, shardID, retry)
+					return
+				}
+				fail(http.StatusBadRequest, ingest.CodeBadParam, err.Error(), "", 0)
+				return
+			}
+			pos = p
+		}
 		// The raw bytes are only valid until the next Scan: copy.
-		pl := pendingLine{raw: append([]byte(nil), raw...), global: global}
+		pl := pendingLine{raw: append([]byte(nil), raw...), global: global, pos: pos}
 		b.lines = append(b.lines, pl)
 		chunkLines = append(chunkLines, pl)
 		if len(chunkLines) >= rt.cfg.ChunkLines {
@@ -472,6 +533,11 @@ func (rt *Router) handleIngest(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	if err := sc.Err(); err != nil {
+		if errors.Is(err, bufio.ErrTooLong) {
+			fail(http.StatusRequestEntityTooLarge, ingest.CodeReportTooLarge,
+				fmt.Sprintf("line %d exceeds the %d-byte report line limit", global+1, maxReportLine), "", 0)
+			return
+		}
 		fail(http.StatusBadRequest, ingest.CodeBadReport, err.Error(), "", 0)
 		return
 	}
@@ -505,30 +571,61 @@ func worse(a, b subResult) bool {
 	return rank(a) > rank(b)
 }
 
-// sendBatch posts one shard's sub-batch and decodes its verdict.
-func (rt *Router) sendBatch(ctx context.Context, b *shardBatch) subResult {
+// sendBatch posts one shard's sub-batch, retrying transport-level
+// failures with jittered backoff. Retries are safe because the
+// sub-request carries the stream's exactly-once identity: a reply
+// lost after the shard offered the lines just deduplicates on the
+// re-send. HTTP-level refusals (backpressure, bad report, 5xx) are
+// never retried here — they propagate to the client, whose resume
+// path owns that recovery.
+func (rt *Router) sendBatch(ctx context.Context, b *shardBatch, streamID string) subResult {
+	for attempt := 0; ; attempt++ {
+		res := rt.sendBatchOnce(ctx, b, streamID)
+		if res.err == nil || errors.Is(res.err, errBreakerOpen) ||
+			attempt >= rt.cfg.Resilience.Retries || ctx.Err() != nil {
+			return res
+		}
+		rt.met.Retries.Inc()
+		if !sleepCtx(ctx, b.sh.ctl.backoff(attempt+1)) {
+			return res
+		}
+	}
+}
+
+// sendBatchOnce is one attempt: breaker-gated, stream-stamped, and
+// its outcome fed back into the shard's health machine.
+func (rt *Router) sendBatchOnce(ctx context.Context, b *shardBatch, streamID string) subResult {
 	res := subResult{sh: b.sh, sent: len(b.lines)}
+	if err := b.sh.ctl.acquire(); err != nil {
+		res.err = fmt.Errorf("shard %s: %w", b.sh.ID, err)
+		rt.met.BreakerFastFail.Inc()
+		return res
+	}
 	b.sh.met.Requests.Inc()
+	start := rt.cfg.Now()
 	var body bytes.Buffer
 	for _, pl := range b.lines {
 		body.Write(pl.raw)
 		body.WriteByte('\n')
 	}
-	ctx, cancel := context.WithTimeout(ctx, rt.cfg.ShardTimeout)
+	tctx, cancel := context.WithTimeout(ctx, rt.cfg.ShardTimeout)
 	defer cancel()
-	req, err := http.NewRequestWithContext(ctx, http.MethodPost, b.sh.BaseURL+"/v1/ingest", &body)
+	req, err := http.NewRequestWithContext(tctx, http.MethodPost, b.sh.BaseURL+"/v1/ingest", &body)
 	if err != nil {
 		res.err = err
 		b.sh.met.Errors.Inc()
-		b.sh.met.Up.Set(0)
+		b.sh.ctl.record(outcomeFail, 0)
 		return res
 	}
 	req.Header.Set("Content-Type", "application/x-ndjson")
+	req.Header.Set(ingest.HeaderStream, streamID)
+	req.Header.Set(ingest.HeaderStreamPos, encodePositions(b.lines))
 	resp, err := rt.cfg.Client.Do(req)
 	if err != nil {
 		res.err = err
 		b.sh.met.Errors.Inc()
 		b.sh.met.Up.Set(0)
+		rt.recordOutcome(b.sh, ctx, err, start)
 		return res
 	}
 	defer resp.Body.Close()
@@ -543,16 +640,36 @@ func (rt *Router) sendBatch(ctx context.Context, b *shardBatch) subResult {
 	if err := json.NewDecoder(io.LimitReader(resp.Body, 1<<20)).Decode(&env); err != nil {
 		res.err = fmt.Errorf("shard %s: unparseable reply (%d): %w", b.sh.ID, resp.StatusCode, err)
 		b.sh.met.Errors.Inc()
+		rt.recordOutcome(b.sh, ctx, err, start)
 		return res
 	}
+	// Any parseable HTTP reply — including 429 and 5xx — means the
+	// wire is healthy: the breaker only tracks transport faults.
+	b.sh.ctl.record(outcomeOK, rt.cfg.Now().Sub(start))
 	res.accepted = env.Accepted
 	if resp.StatusCode < 200 || resp.StatusCode >= 300 {
 		res.code = env.Code
 		res.msg = fmt.Sprintf("shard %s: %s", b.sh.ID, env.Error)
-		res.retry = time.Duration(env.RetryAfterMS) * time.Millisecond
+		res.retry = clampRetryAfter(time.Duration(env.RetryAfterMS) * time.Millisecond)
 		b.sh.met.Errors.Inc()
 	}
 	return res
+}
+
+// recordOutcome classifies a transport error for the breaker. A
+// failure caused by the CLIENT going away (parent context done) says
+// nothing about the shard: the half-open probe slot is released
+// without an outcome.
+func (rt *Router) recordOutcome(s *shard, parent context.Context, err error, start time.Time) {
+	if parent.Err() != nil {
+		s.ctl.release()
+		return
+	}
+	o := outcomeFail
+	if errors.Is(err, context.DeadlineExceeded) {
+		o = outcomeTimeout
+	}
+	s.ctl.record(o, rt.cfg.Now().Sub(start))
 }
 
 // --- scatter-gather reads -------------------------------------------
@@ -581,24 +698,88 @@ func (rt *Router) scatter(ctx context.Context, all []*shard, path string) []shar
 	return out
 }
 
-// fetch GETs one shard path with the per-shard timeout.
+// fetch GETs one shard path with the per-shard timeout, hedging slow
+// answers and retrying transport failures (GETs are idempotent).
 func (rt *Router) fetch(ctx context.Context, s *shard, path string) shardFetch {
-	return rt.fetchTimeout(ctx, s, path, rt.cfg.ShardTimeout)
+	f := rt.fetchHedged(ctx, s, path)
+	for attempt := 1; f.err != nil && !errors.Is(f.err, errBreakerOpen) &&
+		attempt <= rt.cfg.Resilience.Retries && ctx.Err() == nil; attempt++ {
+		rt.met.Retries.Inc()
+		if !sleepCtx(ctx, s.ctl.backoff(attempt)) {
+			break
+		}
+		f = rt.fetchHedged(ctx, s, path)
+	}
+	return f
+}
+
+// fetchHedged races a second identical GET against a slow primary:
+// the hedge fires after the shard's adaptive p99-based delay and the
+// first answer wins (the loser's context is canceled). Hedging a GET
+// is safe — shards serve reads from immutable snapshots.
+func (rt *Router) fetchHedged(ctx context.Context, s *shard, path string) shardFetch {
+	if rt.cfg.Resilience.DisableHedging {
+		return rt.fetchTimeout(ctx, s, path, rt.cfg.ShardTimeout)
+	}
+	hctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	type tagged struct {
+		f     shardFetch
+		hedge bool
+	}
+	results := make(chan tagged, 2) // buffered: the loser must not leak
+	launch := func(hedge bool) {
+		go func() { results <- tagged{rt.fetchTimeout(hctx, s, path, rt.cfg.ShardTimeout), hedge} }()
+	}
+	launch(false)
+	timer := time.NewTimer(s.ctl.hedgeDelay(rt.cfg.ShardTimeout))
+	defer timer.Stop()
+	select {
+	case r := <-results:
+		return r.f
+	case <-timer.C:
+		rt.met.HedgesFired.Inc()
+		launch(true)
+	}
+	first := <-results
+	if first.f.err == nil {
+		if first.hedge {
+			rt.met.HedgesWon.Inc()
+		}
+		return first.f
+	}
+	// The first answer failed (often the hedge fast-failing on a
+	// half-open breaker); give the one still in flight its chance.
+	second := <-results
+	if second.f.err == nil {
+		if second.hedge {
+			rt.met.HedgesWon.Inc()
+		}
+		return second.f
+	}
+	return first.f
 }
 
 // fetchTimeout GETs one shard path with an explicit timeout — a
 // long-poll relay must outlive the shard's parked wait, so it cannot
-// use the plain sub-request budget.
+// use the plain sub-request budget. Every read flows through the
+// shard's breaker: open fails fast, and the outcome feeds back.
 func (rt *Router) fetchTimeout(ctx context.Context, s *shard, path string, timeout time.Duration) shardFetch {
 	f := shardFetch{sh: s}
+	if err := s.ctl.acquire(); err != nil {
+		f.err = fmt.Errorf("shard %s: %w", s.ID, err)
+		rt.met.BreakerFastFail.Inc()
+		return f
+	}
 	s.met.Requests.Inc()
-	ctx, cancel := context.WithTimeout(ctx, timeout)
+	start := rt.cfg.Now()
+	tctx, cancel := context.WithTimeout(ctx, timeout)
 	defer cancel()
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, s.BaseURL+path, nil)
+	req, err := http.NewRequestWithContext(tctx, http.MethodGet, s.BaseURL+path, nil)
 	if err != nil {
 		f.err = err
 		s.met.Errors.Inc()
-		s.met.Up.Set(0)
+		s.ctl.record(outcomeFail, 0)
 		return f
 	}
 	resp, err := rt.cfg.Client.Do(req)
@@ -606,6 +787,7 @@ func (rt *Router) fetchTimeout(ctx context.Context, s *shard, path string, timeo
 		f.err = err
 		s.met.Errors.Inc()
 		s.met.Up.Set(0)
+		rt.recordOutcome(s, ctx, err, start)
 		return f
 	}
 	defer resp.Body.Close()
@@ -615,7 +797,10 @@ func (rt *Router) fetchTimeout(ctx context.Context, s *shard, path string, timeo
 	f.body, f.err = io.ReadAll(io.LimitReader(resp.Body, 16<<20))
 	if f.err != nil {
 		s.met.Errors.Inc()
+		rt.recordOutcome(s, ctx, f.err, start)
+		return f
 	}
+	s.ctl.record(outcomeOK, rt.cfg.Now().Sub(start))
 	return f
 }
 
@@ -755,8 +940,9 @@ func (rt *Router) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 
 // shardHealth is one shard's probed condition.
 type shardHealth struct {
-	ID    string `json:"id"`
-	State string `json:"state"` // ready | not-ready | down
+	ID      string `json:"id"`
+	State   string `json:"state"`   // ready | not-ready | down
+	Breaker string `json:"breaker"` // healthy | suspect | open | half-open
 }
 
 // probeShards checks every shard's /readyz.
@@ -764,7 +950,7 @@ func (rt *Router) probeShards(ctx context.Context, all []*shard) (healths []shar
 	fetches := rt.scatter(ctx, all, "/readyz")
 	healths = make([]shardHealth, len(fetches))
 	for i, f := range fetches {
-		h := shardHealth{ID: f.sh.ID}
+		h := shardHealth{ID: f.sh.ID, Breaker: f.sh.ctl.stateName()}
 		switch {
 		case f.err != nil:
 			h.State = "down"

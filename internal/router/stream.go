@@ -99,11 +99,24 @@ func (rt *Router) handleTagStream(w http.ResponseWriter, r *http.Request) {
 	if id := r.Header.Get("Last-Event-ID"); id != "" {
 		req.Header.Set("Last-Event-ID", id)
 	}
+	// An open breaker fails the subscription fast instead of burning
+	// the dial timeout against a partitioned shard.
+	if err := sh.ctl.acquire(); err != nil {
+		rt.met.BreakerFastFail.Inc()
+		rt.met.StreamErr.Inc()
+		writeJSON(w, http.StatusBadGateway, apiError{
+			Error: fmt.Sprintf("shard %s: %v", sh.ID, err),
+			Code:  CodeShardUnavailable, Shard: sh.ID,
+		})
+		return
+	}
 	sh.met.Requests.Inc()
+	start := rt.cfg.Now()
 	resp, err := rt.cfg.Client.Do(req)
 	if err != nil {
 		sh.met.Errors.Inc()
 		sh.met.Up.Set(0)
+		rt.recordOutcome(sh, r.Context(), err, start)
 		rt.met.StreamErr.Inc()
 		writeJSON(w, http.StatusBadGateway, apiError{
 			Error: fmt.Sprintf("shard %s: %v", sh.ID, err),
@@ -113,6 +126,7 @@ func (rt *Router) handleTagStream(w http.ResponseWriter, r *http.Request) {
 	}
 	defer resp.Body.Close()
 	sh.met.Up.Set(1)
+	sh.ctl.record(outcomeOK, rt.cfg.Now().Sub(start))
 	for _, h := range []string{"Content-Type", "Cache-Control", "X-RFPrism-Epoch", "Retry-After"} {
 		if v := resp.Header.Get(h); v != "" {
 			w.Header().Set(h, v)
@@ -319,7 +333,13 @@ func (rt *Router) openShardStream(ctx context.Context, sh *shard, rawQuery strin
 	if rawQuery != "" {
 		path += "?" + rawQuery
 	}
+	if err := sh.ctl.acquire(); err != nil {
+		rt.met.BreakerFastFail.Inc()
+		out.err = fmt.Errorf("shard %s: %w", sh.ID, err)
+		return out
+	}
 	sh.met.Requests.Inc()
+	start := rt.cfg.Now()
 	connCtx, cancel := context.WithCancel(ctx)
 	req, err := http.NewRequestWithContext(connCtx, http.MethodGet, path, nil)
 	if err != nil {
@@ -344,6 +364,7 @@ func (rt *Router) openShardStream(ctx context.Context, sh *shard, rawQuery strin
 			cancel()
 			sh.met.Errors.Inc()
 			sh.met.Up.Set(0)
+			rt.recordOutcome(sh, ctx, res.err, start)
 			out.err = res.err
 			return out
 		}
@@ -351,10 +372,12 @@ func (rt *Router) openShardStream(ctx context.Context, sh *shard, rawQuery strin
 			res.resp.Body.Close()
 			cancel()
 			sh.met.Errors.Inc()
+			sh.ctl.record(outcomeOK, rt.cfg.Now().Sub(start))
 			out.err = fmt.Errorf("shard %s: stream status %d", sh.ID, res.resp.StatusCode)
 			return out
 		}
 		sh.met.Up.Set(1)
+		sh.ctl.record(outcomeOK, rt.cfg.Now().Sub(start))
 		out.resp = res.resp
 		// cancel is abandoned deliberately: the stream must outlive this
 		// call, and the parent ctx still ends it. Wrap the body so the
@@ -366,6 +389,11 @@ func (rt *Router) openShardStream(ctx context.Context, sh *shard, rawQuery strin
 		<-ch // let the dial goroutine finish
 		sh.met.Errors.Inc()
 		sh.met.Up.Set(0)
+		if ctx.Err() == nil {
+			sh.ctl.record(outcomeTimeout, rt.cfg.Now().Sub(start))
+		} else {
+			sh.ctl.release()
+		}
 		out.err = fmt.Errorf("shard %s: stream connect timed out", sh.ID)
 		return out
 	}
