@@ -202,13 +202,13 @@ func (s *System) processOne(ctx context.Context, i int, w Window) WindowResult {
 		}
 		res, err = s.processWindowGuarded(w, a, readings)
 		if err == nil || !retryable(err) {
-			recordAttempts(res, err, a)
+			err = s.recordAttempts(res, err, a)
 			return WindowResult{Index: i, Tag: w.Tag, Result: res, Err: err}
 		}
 	}
 	// Retry exhaustion (or cancellation mid-retry): surface the last
 	// observed error.
-	recordAttempts(res, err, attempts)
+	err = s.recordAttempts(res, err, attempts)
 	return WindowResult{Index: i, Tag: w.Tag, Result: res, Err: err}
 }
 
@@ -242,14 +242,32 @@ func (s *System) processWindowGuarded(w Window, attempt int, readings []sim.Read
 }
 
 // recordAttempts stamps the consumed attempt count into whichever
-// Health report the outcome carries.
-func recordAttempts(res *Result, err error, attempts int) {
+// Health report the outcome carries. Failures that reached the
+// pipeline but surface without a Health report — the panic fence's
+// WindowError, a Collect error after retry exhaustion — get a
+// full-deployment ledger attached (every antenna unknown/silent), so
+// the attempt count always survives into WindowResult.Attempts,
+// ledger lines and /v1 payloads. Returns the (possibly wrapped) error.
+func (s *System) recordAttempts(res *Result, err error, attempts int) error {
 	if res != nil && res.health != nil {
 		res.health.Attempts = attempts
 	}
+	if err == nil {
+		return nil
+	}
 	if h, ok := HealthFromError(err); ok {
 		h.Attempts = attempts
+		return err
 	}
+	h := newHealth(s.antennas)
+	h.finalize()
+	h.Attempts = attempts
+	var we *WindowError
+	if errors.As(err, &we) {
+		we.Health = h
+		return err
+	}
+	return &WindowError{Health: h, err: err}
 }
 
 // sleepCtx pauses for d unless ctx is cancelled first; it reports

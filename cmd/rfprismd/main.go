@@ -108,6 +108,7 @@ type options struct {
 	traceFile    string
 	warmStart    bool
 	solveCache   int
+	confidence   bool
 	swapInterval time.Duration
 	readRate     float64
 	readBurst    int
@@ -143,6 +144,7 @@ func parseFlags(args []string) (options, error) {
 	fs.StringVar(&o.traceFile, "trace", "", "export per-window pipeline stage spans as NDJSON to this file")
 	fs.BoolVar(&o.warmStart, "warm-start", false, "seed each tag's solve from its previous estimate (guarded cold fallback)")
 	fs.IntVar(&o.solveCache, "solve-cache", 0, "stationary-tag cache size in tags, 0 disables (serves unchanged tags without solving)")
+	fs.BoolVar(&o.confidence, "confidence", false, "run the likelihood layer: soft antenna down-weighting plus a per-result confidence block (covariance CIs, ambiguity margin) on /v1 payloads")
 	fs.DurationVar(&o.swapInterval, "swap-interval", 25*time.Millisecond, "snapshot-store swap interval: the read side's max staleness")
 	fs.Float64Var(&o.readRate, "read-rate", 0, "per-client request rate limit on the API surface, req/s (0: unlimited)")
 	fs.IntVar(&o.readBurst, "read-burst", 0, "per-client token-bucket burst (0: ceil of -read-rate)")
@@ -448,6 +450,9 @@ func buildDeployment(o options) (*sim.Scene, *rfprism.System, error) {
 	}
 	if o.solveCache > 0 {
 		sysOpts = append(sysOpts, rfprism.WithSolveCache(o.solveCache))
+	}
+	if o.confidence {
+		sysOpts = append(sysOpts, rfprism.WithConfidence())
 	}
 	sys, err := rfprism.NewSystem(
 		rfprism.DeploymentFromSim(scene.Antennas),

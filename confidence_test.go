@@ -1,0 +1,268 @@
+package rfprism
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"rfprism/internal/geom"
+	"rfprism/internal/rf"
+	"rfprism/internal/sim"
+)
+
+// TestConfidenceBlockPresent: with WithConfidence every solved window
+// carries a Confidence block whose covariance is symmetric and
+// positive-semidefinite, with finite per-axis CIs and a finite
+// normalized log-likelihood.
+func TestConfidenceBlockPresent(t *testing.T) {
+	scene, sys, tag := newRedundantScene(t, 31)
+	WithConfidence()(sys)
+	none, err := rf.MaterialByName("none")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pos := geom.Vec3{X: 0.8, Y: 1.4}
+	res, err := sys.ProcessWindow(scene.CollectWindow(tag, scene.Place(pos, 0.4, none)))
+	if err != nil {
+		t.Fatalf("ProcessWindow: %v", err)
+	}
+	c := res.Confidence
+	if c == nil {
+		t.Fatal("WithConfidence result lacks Confidence block")
+	}
+	if c.Cov == nil || c.Cov.Rows != 5 || c.Cov.Cols != 5 {
+		t.Fatalf("2D covariance shape %+v, want 5x5", c.Cov)
+	}
+	// Symmetry and PSD: Cov comes from inverting a jittered Cholesky
+	// factor, so x'Cx must be non-negative for any probe direction.
+	for i := 0; i < c.Cov.Rows; i++ {
+		for j := i + 1; j < c.Cov.Cols; j++ {
+			a, b := c.Cov.At(i, j), c.Cov.At(j, i)
+			if math.Abs(a-b) > 1e-9*math.Max(1, math.Abs(a)) {
+				t.Fatalf("Cov[%d,%d]=%g != Cov[%d,%d]=%g", i, j, a, j, i, b)
+			}
+		}
+		if d := c.Cov.At(i, i); !(d >= 0) || math.IsInf(d, 0) {
+			t.Fatalf("Cov[%d,%d]=%g not a finite non-negative variance", i, i, d)
+		}
+	}
+	probes := [][5]float64{
+		{1, 0, 0, 0, 0}, {0, 1, 0, 0, 0}, {1, 1, 1, 1, 1},
+		{1, -1, 2, -2, 1}, {0.3, -0.7, 0.1, 5, -3},
+	}
+	for _, x := range probes {
+		var q float64
+		for i := 0; i < 5; i++ {
+			for j := 0; j < 5; j++ {
+				q += x[i] * c.Cov.At(i, j) * x[j]
+			}
+		}
+		if q < -1e-12 {
+			t.Fatalf("covariance not PSD: x'Cx = %g for x=%v", q, x)
+		}
+	}
+	if len(c.Sigma) != 5 {
+		t.Fatalf("Sigma length %d, want 5", len(c.Sigma))
+	}
+	for i, s := range c.Sigma {
+		if !(s >= 0) || math.IsInf(s, 0) {
+			t.Fatalf("Sigma[%d]=%g", i, s)
+		}
+	}
+	if !(c.PosCI90.X > 0) || !(c.PosCI90.Y > 0) {
+		t.Fatalf("degenerate position CI %+v", c.PosCI90)
+	}
+	if c.PosCI90.Z != 0 {
+		t.Fatalf("2D solve reports Z CI %g", c.PosCI90.Z)
+	}
+	if !(c.RadialCI90() >= c.PosCI90.X) || !(c.RadialCI90() >= c.PosCI90.Y) {
+		t.Fatalf("radial CI %g below axis CIs %+v", c.RadialCI90(), c.PosCI90)
+	}
+	if math.IsNaN(c.NormLogLik) || math.IsInf(c.NormLogLik, 0) || c.NormLogLik > 0 {
+		t.Fatalf("NormLogLik = %g, want finite and <= 0", c.NormLogLik)
+	}
+	if !(c.SigmaPhase > 0) {
+		t.Fatalf("SigmaPhase = %g", c.SigmaPhase)
+	}
+	if c.N == 0 {
+		t.Fatal("Confidence scored zero observations")
+	}
+}
+
+// TestConfidenceOffByDefault: without the option the Confidence
+// pointer stays nil and no confidence stage span is traced.
+func TestConfidenceOffByDefault(t *testing.T) {
+	scene, sys, tag := newRedundantScene(t, 32)
+	none, err := rf.MaterialByName("none")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sys.ProcessWindow(scene.CollectWindow(tag, scene.Place(geom.Vec3{X: 1.1, Y: 1.0}, 0, none)))
+	if err != nil {
+		t.Fatalf("ProcessWindow: %v", err)
+	}
+	if res.Confidence != nil {
+		t.Fatal("Confidence computed without WithConfidence")
+	}
+}
+
+// TestConfidenceCoverage: over a seeded fault sweep the 90% per-axis
+// intervals must actually cover the true coordinate at least 85% of
+// the time — the acceptance bar for the likelihood model being
+// calibrated rather than decorative.
+func TestConfidenceCoverage(t *testing.T) {
+	if testing.Short() {
+		t.Skip("coverage sweep is a statistics test")
+	}
+	scene, sys, tag := newRedundantScene(t, 33)
+	WithConfidence()(sys)
+	none, err := rf.MaterialByName("none")
+	if err != nil {
+		t.Fatal(err)
+	}
+	positions := sweepPositions()
+	hits, trials, withConf := 0, 0, 0
+	for i, pos := range positions {
+		fi, err := sim.NewFaultInjector(scene, sim.FaultConfig{
+			ChannelFadeProb: 0.10,
+			PhaseSpikeProb:  0.002,
+		}, int64(100+i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		win := fi.CollectWindow(tag, scene.Place(pos, 0.3, none))
+		res, err := sys.ProcessWindow(win)
+		if err != nil {
+			continue // rejected windows carry no interval to score
+		}
+		c := res.Confidence
+		if c == nil {
+			continue
+		}
+		withConf++
+		if math.Abs(res.Estimate.Pos.X-pos.X) <= c.PosCI90.X {
+			hits++
+		}
+		if math.Abs(res.Estimate.Pos.Y-pos.Y) <= c.PosCI90.Y {
+			hits++
+		}
+		trials += 2
+	}
+	if withConf < len(positions)/2 {
+		t.Fatalf("only %d/%d windows produced a Confidence block", withConf, len(positions))
+	}
+	cov := float64(hits) / float64(trials)
+	t.Logf("empirical per-axis 90%% coverage: %d/%d = %.1f%% over %d windows",
+		hits, trials, 100*cov, withConf)
+	if cov < 0.85 {
+		t.Fatalf("90%% intervals cover only %.1f%% of true coordinates, want >= 85%%", 100*cov)
+	}
+}
+
+// TestSoftWeightingBeatsHardDrops: in a degraded sweep where a local
+// disturbance pushes one antenna per window past the linearity gate
+// while it still carries signal, keeping it at fractional weight must
+// localize better (median error) than shedding it outright — the
+// justification for replacing hard drops.
+func TestSoftWeightingBeatsHardDrops(t *testing.T) {
+	if testing.Short() {
+		t.Skip("degraded sweep is a statistics test")
+	}
+	scene, err := sim.NewScene(sim.PaperAntennas2DRedundant(nil), rf.CleanSpace(), sim.DefaultConfig(), 34)
+	if err != nil {
+		t.Fatalf("NewScene: %v", err)
+	}
+	none, err := rf.MaterialByName("none")
+	if err != nil {
+		t.Fatal(err)
+	}
+	newSys := func() *System {
+		sys, err := NewSystem(DeploymentFromSim(scene.Antennas), Bounds2D(sim.PaperRegion()))
+		if err != nil {
+			t.Fatalf("NewSystem: %v", err)
+		}
+		return sys
+	}
+	sysSoft, sysHard := newSys(), newSys()
+	WithConfidence()(sysSoft)
+	tag := scene.NewTag("weighting")
+	calPos := geom.Vec3{X: 1.0, Y: 1.5}
+	calWin := scene.CollectWindow(tag, scene.Place(calPos, 0, none))
+	for _, sys := range []*System{sysSoft, sysHard} {
+		if err := sys.CalibrateAntennas(calWin, calPos, 0); err != nil {
+			t.Fatalf("CalibrateAntennas: %v", err)
+		}
+	}
+
+	// One antenna per window (rotating) picks up N(0, 0.8 rad) phase
+	// noise per reading: enough to trip the 0.25 rad linearity gate,
+	// far from drowning the antenna's geometry.
+	const disturbStd = 0.8
+	var errSoft, errHard []float64
+	downweighted := 0
+	for i, pos := range sweepPositions() {
+		rng := rand.New(rand.NewSource(int64(500 + i)))
+		noisy := i % 4
+		win := scene.CollectWindow(tag, scene.Place(pos, 0.3, none))
+		for j := range win {
+			if win[j].Antenna == noisy {
+				win[j].Phase = math.Mod(win[j].Phase+rng.NormFloat64()*disturbStd+2*math.Pi, 2*math.Pi)
+			}
+		}
+		rs, errS := sysSoft.ProcessWindow(win)
+		rh, errH := sysHard.ProcessWindow(win)
+		if errS != nil || errH != nil {
+			continue // compare only windows both pipelines accept
+		}
+		errSoft = append(errSoft, planarErr(rs.Estimate.Pos, pos))
+		errHard = append(errHard, planarErr(rh.Estimate.Pos, pos))
+		if h := rs.Health(); h != nil {
+			for _, a := range h.Antennas {
+				if a.Used && a.Weight > 0 && a.Weight < 1 {
+					downweighted++
+					break
+				}
+			}
+		}
+	}
+	if len(errSoft) < 10 {
+		t.Fatalf("only %d comparable windows survived the sweep", len(errSoft))
+	}
+	if downweighted == 0 {
+		t.Fatal("sweep never engaged soft down-weighting; faults too mild to compare paths")
+	}
+	ms, mh := median(errSoft), median(errHard)
+	t.Logf("median error over %d windows (%d with down-weighted antennas): soft %.3f m, hard-drop %.3f m",
+		len(errSoft), downweighted, ms, mh)
+	// Soft weighting must not lose to hard drops; allow a hair of
+	// slack so an exact tie in a lucky sweep cannot flake.
+	if ms > mh*1.05 {
+		t.Fatalf("soft weighting median error %.3f m worse than hard drops %.3f m", ms, mh)
+	}
+}
+
+// sweepPositions is the deterministic grid both statistics tests walk.
+func sweepPositions() []geom.Vec3 {
+	var out []geom.Vec3
+	for _, x := range []float64{0.5, 0.8, 1.1, 1.4, 1.7} {
+		for _, y := range []float64{0.8, 1.2, 1.6, 2.0, 2.4} {
+			out = append(out, geom.Vec3{X: x, Y: y})
+		}
+	}
+	return out
+}
+
+func planarErr(a, b geom.Vec3) float64 {
+	return math.Hypot(a.X-b.X, a.Y-b.Y)
+}
+
+func median(xs []float64) float64 {
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	n := len(s)
+	if n%2 == 1 {
+		return s[n/2]
+	}
+	return 0.5 * (s[n/2-1] + s[n/2])
+}

@@ -69,6 +69,12 @@ type AntennaHealth struct {
 	ResidStd float64
 	// KeptFraction is the detector's surviving-channel share.
 	KeptFraction float64
+	// Weight is the soft weight the likelihood layer gave this antenna
+	// in the joint objective: 1 for a fully trusted antenna, a
+	// fraction for a noisy one kept under down-weighting instead of
+	// being shed. 0 means the window ran without the likelihood layer
+	// (or the antenna did not contribute at all).
+	Weight float64
 }
 
 // Health is the per-window degradation report: which deployed
@@ -126,8 +132,12 @@ func (h *Health) String() string {
 		fmt.Fprintf(&b, " attempts=%d", h.Attempts)
 	}
 	for _, a := range h.Antennas {
-		fmt.Fprintf(&b, " ant%d=%s(%d/%d ch, resid %.3f)",
+		fmt.Fprintf(&b, " ant%d=%s(%d/%d ch, resid %.3f",
 			a.ID, a.Reason, a.ChannelsKept, a.ChannelsTotal, a.ResidStd)
+		if a.Weight > 0 && a.Weight < 1 {
+			fmt.Fprintf(&b, ", w %.2f", a.Weight)
+		}
+		b.WriteString(")")
 	}
 	b.WriteString("}")
 	return b.String()
@@ -153,11 +163,13 @@ func (h *Health) entry(id int) *AntennaHealth {
 	return nil
 }
 
-// finalize recomputes the Degraded flag from the per-antenna slots.
+// finalize recomputes the Degraded flag from the per-antenna slots: a
+// dropped antenna, or one the likelihood layer kept only at partial
+// weight, both mean the solution did not get the full deployment.
 func (h *Health) finalize() {
 	h.Degraded = false
 	for _, a := range h.Antennas {
-		if !a.Used {
+		if !a.Used || (a.Weight > 0 && a.Weight < 1) {
 			h.Degraded = true
 			return
 		}

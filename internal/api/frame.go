@@ -1,0 +1,44 @@
+package api
+
+import "fmt"
+
+// Frame is one Server-Sent Events wire frame. The serving tier's
+// per-tag and firehose streams, and the router's relay/merge, all
+// render frames through it so the byte layout cannot drift between
+// tiers:
+//
+//	id: <epoch>\n        (only when HasID)
+//	event: <type>\n      (only when Event is set)
+//	data: <payload>\n\n
+type Frame struct {
+	// ID is the frame's `id:` field — the snapshot epoch, which
+	// doubles as the Last-Event-ID resume cursor.
+	ID uint64
+	// HasID gates the id: line (the router's partial frames carry no
+	// epoch — they are per-shard annotations, not resumable events).
+	HasID bool
+	// Event is the SSE event type (result, resync, dropped, partial).
+	Event string
+	// Data is the raw JSON payload.
+	Data []byte
+}
+
+// Append renders the frame onto dst.
+func (f Frame) Append(dst []byte) []byte {
+	if f.HasID {
+		dst = fmt.Appendf(dst, "id: %d\n", f.ID)
+	}
+	if f.Event != "" {
+		dst = fmt.Appendf(dst, "event: %s\n", f.Event)
+	}
+	return fmt.Appendf(dst, "data: %s\n\n", f.Data)
+}
+
+// Bytes renders the frame.
+func (f Frame) Bytes() []byte { return f.Append(nil) }
+
+// Comment renders an SSE comment frame (": <text>\n\n") — the
+// heartbeat keep-alive shape.
+func Comment(text string) []byte {
+	return fmt.Appendf(nil, ": %s\n\n", text)
+}

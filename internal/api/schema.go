@@ -1,0 +1,185 @@
+package api
+
+import (
+	"embed"
+	"encoding/json"
+	"fmt"
+	"math"
+	"strings"
+	"sync"
+)
+
+//go:embed schema/v1.1.json
+var schemaFS embed.FS
+
+// SchemaJSON returns the checked-in JSON Schema document for the
+// current wire revision — the machine-readable /v1 contract.
+func SchemaJSON() []byte {
+	b, err := schemaFS.ReadFile("schema/v1.1.json")
+	if err != nil {
+		panic(err) // embedded at build time; cannot fail
+	}
+	return b
+}
+
+// schemaDoc is the parsed schema, loaded once.
+var schemaDoc = sync.OnceValue(func() map[string]any {
+	var doc map[string]any
+	if err := json.Unmarshal(SchemaJSON(), &doc); err != nil {
+		panic(fmt.Sprintf("api: embedded schema invalid: %v", err))
+	}
+	return doc
+})
+
+// Validate checks a raw JSON payload against one $defs entry of the
+// embedded wire schema ("tagResult", "tagList", "tagHistory",
+// "waitReply", "ingestReply", "error"). It implements the subset of
+// JSON Schema the contract uses — type, properties, required, items,
+// minItems/maxItems, enum, additionalProperties and local $ref — so
+// conformance tests and the CI job need no external validator.
+func Validate(def string, payload []byte) error {
+	root := schemaDoc()
+	defs, _ := root["$defs"].(map[string]any)
+	schema, ok := defs[def].(map[string]any)
+	if !ok {
+		return fmt.Errorf("api: schema has no definition %q", def)
+	}
+	var doc any
+	dec := json.NewDecoder(strings.NewReader(string(payload)))
+	dec.UseNumber()
+	if err := dec.Decode(&doc); err != nil {
+		return fmt.Errorf("api: payload is not JSON: %w", err)
+	}
+	return validate(root, schema, doc, "$")
+}
+
+func validate(root map[string]any, schema map[string]any, doc any, path string) error {
+	if ref, ok := schema["$ref"].(string); ok {
+		resolved, err := resolveRef(root, ref)
+		if err != nil {
+			return err
+		}
+		return validate(root, resolved, doc, path)
+	}
+	if typ, ok := schema["type"].(string); ok {
+		if err := checkType(typ, doc, path); err != nil {
+			return err
+		}
+	}
+	if enum, ok := schema["enum"].([]any); ok {
+		found := false
+		for _, v := range enum {
+			if v == doc {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return fmt.Errorf("%s: value %v not in enum %v", path, doc, enum)
+		}
+	}
+	switch d := doc.(type) {
+	case map[string]any:
+		props, _ := schema["properties"].(map[string]any)
+		if req, ok := schema["required"].([]any); ok {
+			for _, r := range req {
+				name, _ := r.(string)
+				if _, present := d[name]; !present {
+					return fmt.Errorf("%s: missing required property %q", path, name)
+				}
+			}
+		}
+		addl, hasAddl := schema["additionalProperties"]
+		for key, val := range d {
+			sub, known := props[key].(map[string]any)
+			if !known {
+				if b, isBool := addl.(bool); isBool && !b {
+					return fmt.Errorf("%s: unknown property %q", path, key)
+				}
+				if m, isMap := addl.(map[string]any); isMap && hasAddl {
+					if err := validate(root, m, val, path+"."+key); err != nil {
+						return err
+					}
+				}
+				continue
+			}
+			if err := validate(root, sub, val, path+"."+key); err != nil {
+				return err
+			}
+		}
+	case []any:
+		if items, ok := schema["items"].(map[string]any); ok {
+			for i, v := range d {
+				if err := validate(root, items, v, fmt.Sprintf("%s[%d]", path, i)); err != nil {
+					return err
+				}
+			}
+		}
+		if min, ok := schemaInt(schema["minItems"]); ok && len(d) < min {
+			return fmt.Errorf("%s: %d items, need at least %d", path, len(d), min)
+		}
+		if max, ok := schemaInt(schema["maxItems"]); ok && len(d) > max {
+			return fmt.Errorf("%s: %d items, allow at most %d", path, len(d), max)
+		}
+	}
+	return nil
+}
+
+func checkType(typ string, doc any, path string) error {
+	ok := false
+	switch typ {
+	case "object":
+		_, ok = doc.(map[string]any)
+	case "array":
+		_, ok = doc.([]any)
+	case "string":
+		_, ok = doc.(string)
+	case "boolean":
+		_, ok = doc.(bool)
+	case "number":
+		_, ok = doc.(json.Number)
+	case "integer":
+		if n, isNum := doc.(json.Number); isNum {
+			if _, err := n.Int64(); err == nil {
+				ok = true
+			} else if f, err := n.Float64(); err == nil {
+				ok = f == math.Trunc(f)
+			}
+		}
+	case "null":
+		ok = doc == nil
+	default:
+		return fmt.Errorf("%s: schema uses unsupported type %q", path, typ)
+	}
+	if !ok {
+		return fmt.Errorf("%s: %T is not a %s", path, doc, typ)
+	}
+	return nil
+}
+
+func resolveRef(root map[string]any, ref string) (map[string]any, error) {
+	const prefix = "#/$defs/"
+	if !strings.HasPrefix(ref, prefix) {
+		return nil, fmt.Errorf("api: schema $ref %q is not a local $defs reference", ref)
+	}
+	defs, _ := root["$defs"].(map[string]any)
+	target, ok := defs[strings.TrimPrefix(ref, prefix)].(map[string]any)
+	if !ok {
+		return nil, fmt.Errorf("api: schema $ref %q does not resolve", ref)
+	}
+	return target, nil
+}
+
+func schemaInt(v any) (int, bool) {
+	switch n := v.(type) {
+	case float64:
+		return int(n), true
+	case json.Number:
+		i, err := n.Int64()
+		if err != nil {
+			return 0, false
+		}
+		return int(i), true
+	}
+	return 0, false
+}

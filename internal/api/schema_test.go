@@ -1,0 +1,74 @@
+package api
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestSchemaValidatesCodecOutput(t *testing.T) {
+	two := 2
+	cases := []struct {
+		def string
+		v   any
+	}{
+		{"tagResult", TagResult{
+			Schema: Version, EPC: "urn:epc:1", Seq: 3, At: time.Unix(100, 0).UTC(),
+			Reason: "coverage", Readings: 200, Channels: 50, Antennas: 4, LatencyMS: 12.5,
+			Attempts: 1, Degraded: true, DroppedAntennas: []int{2},
+			Estimate: &Estimate{X: 1, Y: 2, AlphaDeg: 30, Kt: 1e-9, Bt0: 0.5},
+			Confidence: &Confidence{
+				SigmaPhase: 0.05, NormLogLik: -0.4, PosCI90: [3]float64{0.02, 0.04, 0},
+				RadialCI90: 0.04, AlphaCI90Deg: 3, Sigma: []float64{1, 2, 3, 4, 5},
+				AmbiguityMargin: 12, AltBasins: 1,
+				Weights: []AntennaWeight{{ID: 2, Weight: 0.2}},
+			},
+			StageMS: map[string]float64{"solve": 4.2},
+		}},
+		{"tagList", TagList{Schema: Version, Tags: []string{"a", "b"}}},
+		{"tagList", TagList{Schema: Version, Tags: []string{"a"}, Count: &two, Next: "b",
+			Partial: true, MissingShards: []string{"s1"}}},
+		{"tagHistory", TagHistory{Schema: Version, EPC: "e", Results: []TagResult{}}},
+		{"waitReply", WaitReply{Schema: Version, Epoch: 7, Changed: false}},
+		{"ingestReply", IngestReply{Schema: Version, Accepted: 42}},
+		{"error", Error{Schema: Version, Error: "bad limit \"x\"", Code: "bad_param"}},
+		{"error", Error{Schema: Version, Error: "backpressure", Code: "backpressure",
+			RetryAfterMS: 1500, Accepted: 7, Line: 8, Shard: "s2"}},
+	}
+	for _, c := range cases {
+		b, err := json.Marshal(c.v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := Validate(c.def, b); err != nil {
+			t.Errorf("%s: codec output rejected by own schema: %v\npayload: %s", c.def, err, b)
+		}
+	}
+}
+
+func TestSchemaRejectsDrift(t *testing.T) {
+	cases := []struct {
+		name, def, payload, wantErr string
+	}{
+		{"missing required", "tagList", `{"schema":"v1.1"}`, `missing required property "tags"`},
+		{"unknown field", "tagList", `{"schema":"v1.1","tags":[],"tag_count":1}`, `unknown property "tag_count"`},
+		{"wrong schema rev", "tagList", `{"schema":"v2.0","tags":[]}`, "not in enum"},
+		{"wrong type", "waitReply", `{"schema":"v1.1","epoch":"7","changed":false}`, "is not a integer"},
+		{"fractional integer", "error", `{"schema":"v1.1","error":"x","code":"y","retry_after_ms":1.5}`, "is not a integer"},
+		{"short ci array", "tagResult", `{"schema":"v1.1","epc":"e","seq":1,"at":"t","closeReason":"r","readings":1,"channels":1,"antennas":1,"latencyMs":1,"confidence":{"sigmaPhase":1,"normLogLik":-1,"posCi90":[1,2],"radialCi90":1,"alphaCi90Deg":1,"ambiguityMargin":1}}`, "need at least 3"},
+		{"nested ref", "tagHistory", `{"schema":"v1.1","epc":"e","results":[{"epc":"e","seq":1,"at":"t","closeReason":"r","readings":1,"channels":1,"antennas":1,"latencyMs":1,"estimate":{"x":1}}]}`, `missing required property "y"`},
+		{"unknown def", "noSuchThing", `{}`, "no definition"},
+		{"not json", "tagList", `{`, "not JSON"},
+	}
+	for _, c := range cases {
+		err := Validate(c.def, []byte(c.payload))
+		if err == nil {
+			t.Errorf("%s: schema accepted invalid payload", c.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.wantErr) {
+			t.Errorf("%s: error %q does not mention %q", c.name, err, c.wantErr)
+		}
+	}
+}

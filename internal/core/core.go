@@ -60,6 +60,23 @@ type Observation struct {
 	Line   fit.Line
 	Freqs  []float64
 	Phases []float64
+	// Weight soft-scales this antenna's residual terms in every
+	// objective (slope and intercept alike). Zero means "unset" and is
+	// treated as 1 so existing constructors keep full weight; the
+	// likelihood layer assigns fractional weights to noisy or
+	// nonlinear antennas instead of hard-dropping them. A weight of
+	// exactly 1 (or 0) leaves every cost bit-identical to the
+	// unweighted objective — the factor multiplies by exactly 1.0.
+	Weight float64
+}
+
+// obsWeight returns the effective soft weight of o: Weight, with the
+// zero value mapped to full weight.
+func obsWeight(o *Observation) float64 {
+	if o.Weight > 0 {
+		return o.Weight
+	}
+	return 1
 }
 
 // Bounds is the rectangular (2D) or box (3D) search region for the
@@ -280,12 +297,13 @@ func slopeCost(obs []Observation, p geom.Vec3, prior ktPrior) (cost, kt float64)
 	// in the second: cheaper than heap-allocating scratch slices in
 	// what is the innermost loop of the grid search.
 	var sw, swe float64
-	for _, o := range obs {
+	for i := range obs {
+		o := &obs[i]
 		d := o.Pos.Dist(p)
 		e := o.Line.K - rf.PropagationSlope(d)
-		w := 1.0
+		w := obsWeight(o)
 		if o.Line.SigmaK > 0 {
-			w = 1 / (o.Line.SigmaK * o.Line.SigmaK)
+			w /= o.Line.SigmaK * o.Line.SigmaK
 		}
 		sw += w
 		swe += w * e
@@ -293,12 +311,13 @@ func slopeCost(obs []Observation, p geom.Vec3, prior ktPrior) (cost, kt float64)
 	// The common offset k_t is profiled analytically, shrunk toward
 	// the physical prior when one is configured.
 	kt = (swe + prior.mean*prior.wp) / (sw + prior.wp)
-	for _, o := range obs {
+	for i := range obs {
+		o := &obs[i]
 		d := o.Pos.Dist(p)
 		e := o.Line.K - rf.PropagationSlope(d)
-		w := 1.0
+		w := obsWeight(o)
 		if o.Line.SigmaK > 0 {
-			w = 1 / (o.Line.SigmaK * o.Line.SigmaK)
+			w /= o.Line.SigmaK * o.Line.SigmaK
 		}
 		r := e - kt
 		cost += w * r * r
@@ -313,14 +332,16 @@ func slopeCost(obs []Observation, p geom.Vec3, prior ktPrior) (cost, kt float64)
 // variance of ψ_i − θorient_i(w). It returns the cost and the
 // profiled b_t (circular mean of the residuals).
 func orientCost(obs []Observation, psi []float64, w geom.Vec3) (cost, bt0 float64) {
-	var s, c float64
-	for i, o := range obs {
+	var s, c, sw float64
+	for i := range obs {
+		o := &obs[i]
 		r := psi[i] - rf.OrientationPhase(o.Frame, w)
-		s += math.Sin(r)
-		c += math.Cos(r)
+		ww := obsWeight(o)
+		s += ww * math.Sin(r)
+		c += ww * math.Cos(r)
+		sw += ww
 	}
-	n := float64(len(obs))
-	resultant := math.Hypot(s/n, c/n)
+	resultant := math.Hypot(s/sw, c/sw)
 	return 1 - resultant, mathx.Wrap2Pi(math.Atan2(s, c))
 }
 
@@ -332,16 +353,18 @@ func jointCost2D(obs []Observation, p []float64, sigmaB float64, prior ktPrior) 
 	w := rf.TagPolarization2D(p[2])
 	kt, bt0 := p[3], p[4]
 	var cost float64
-	for _, o := range obs {
+	for i := range obs {
+		o := &obs[i]
 		d := o.Pos.Dist(pos)
 		rk := o.Line.K - rf.PropagationSlope(d) - kt
-		wk := 1.0
+		wb := obsWeight(o)
+		wk := wb
 		if o.Line.SigmaK > 0 {
-			wk = 1 / (o.Line.SigmaK * o.Line.SigmaK)
+			wk /= o.Line.SigmaK * o.Line.SigmaK
 		}
 		pred := rf.PropagationPhase(d, rf.CenterFrequencyHz) + rf.OrientationPhase(o.Frame, w) + bt0
 		rb := mathx.WrapPi(o.Line.B0 - pred)
-		cost += wk*rk*rk + rb*rb/(sigmaB*sigmaB)
+		cost += wk*rk*rk + wb*rb*rb/(sigmaB*sigmaB)
 	}
 	dp := kt - prior.mean
 	cost += prior.wp * dp * dp

@@ -29,6 +29,8 @@ type solveScratch struct {
 	sigB2  float64 // sigmaB², hoisted out of the intercept residual term
 	wk     []float64
 	sw     float64 // Σ wk, accumulated in observation order
+	wb     []float64 // per-antenna soft weight (Observation.Weight, 1 default)
+	swb    float64   // Σ wb
 	psi    []float64
 	sinPsi []float64
 	cosPsi []float64
@@ -39,7 +41,7 @@ type solveScratch struct {
 // adaptive widening) — the form the exported cost probes use.
 func newCostScratch(obs []Observation, sigmaB float64, prior ktPrior) *solveScratch {
 	n := len(obs)
-	buf := make([]float64, 5*n)
+	buf := make([]float64, 6*n)
 	sc := &solveScratch{
 		obs:    obs,
 		prior:  prior,
@@ -48,14 +50,19 @@ func newCostScratch(obs []Observation, sigmaB float64, prior ktPrior) *solveScra
 		sinPsi: buf[2*n : 3*n : 3*n],
 		cosPsi: buf[3*n : 4*n : 4*n],
 		resids: buf[4*n : 5*n : 5*n],
+		wb:     buf[5*n : 6*n : 6*n],
 	}
-	for i, o := range obs {
-		w := 1.0
+	for i := range obs {
+		o := &obs[i]
+		soft := obsWeight(o)
+		w := soft
 		if o.Line.SigmaK > 0 {
-			w = 1 / (o.Line.SigmaK * o.Line.SigmaK)
+			w /= o.Line.SigmaK * o.Line.SigmaK
 		}
 		sc.wk[i] = w
 		sc.sw += w
+		sc.wb[i] = soft
+		sc.swb += soft
 	}
 	sc.setSigmaB(sigmaB)
 	return sc
@@ -128,7 +135,7 @@ func (sc *solveScratch) jointCost2D(p []float64) float64 {
 		rk := o.Line.K - rf.PropagationSlope(d) - kt
 		pred := rf.PropagationPhase(d, rf.CenterFrequencyHz) + rf.OrientationPhase(o.Frame, w) + bt0
 		rb := mathx.WrapPi(o.Line.B0 - pred)
-		cost += sc.wk[i]*rk*rk + rb*rb/sc.sigB2
+		cost += sc.wk[i]*rk*rk + sc.wb[i]*rb*rb/sc.sigB2
 	}
 	dp := kt - sc.prior.mean
 	cost += sc.prior.wp * dp * dp
@@ -147,7 +154,7 @@ func (sc *solveScratch) jointCost3D(p []float64) float64 {
 		rk := o.Line.K - rf.PropagationSlope(d) - kt
 		pred := rf.PropagationPhase(d, rf.CenterFrequencyHz) + rf.OrientationPhase(o.Frame, w) + bt0
 		rb := mathx.WrapPi(o.Line.B0 - pred)
-		cost += sc.wk[i]*rk*rk + rb*rb/sc.sigB2
+		cost += sc.wk[i]*rk*rk + sc.wb[i]*rb*rb/sc.sigB2
 	}
 	dp := kt - sc.prior.mean
 	cost += sc.prior.wp * dp * dp
@@ -187,15 +194,15 @@ func orientTerm(fr *geom.Frame, w geom.Vec3) (cosT, sinT float64) {
 // so the whole dense scan runs without a single trig call or
 // allocation. Returns the best entry index and its cost.
 func (sc *solveScratch) scanOrient(g *angleGrid) (best int, bestCost float64) {
-	n := float64(len(sc.obs))
+	n := sc.swb
 	bestCost = math.Inf(1)
 	for gi := range g.pol {
 		w := g.pol[gi]
 		var s, c float64
 		for i := range sc.obs {
 			ct, st := orientTerm(&sc.obs[i].Frame, w)
-			s += sc.sinPsi[i]*ct - sc.cosPsi[i]*st
-			c += sc.cosPsi[i]*ct + sc.sinPsi[i]*st
+			s += sc.wb[i] * (sc.sinPsi[i]*ct - sc.cosPsi[i]*st)
+			c += sc.wb[i] * (sc.cosPsi[i]*ct + sc.sinPsi[i]*st)
 		}
 		if cost := 1 - math.Hypot(s/n, c/n); cost < bestCost {
 			bestCost, best = cost, gi

@@ -109,16 +109,18 @@ func jointCost3D(obs []Observation, p []float64, sigmaB float64, prior ktPrior) 
 	w := rf.TagPolarization3D(p[3], p[4])
 	kt, bt0 := p[5], p[6]
 	var cost float64
-	for _, o := range obs {
+	for i := range obs {
+		o := &obs[i]
 		d := o.Pos.Dist(pos)
 		rk := o.Line.K - rf.PropagationSlope(d) - kt
-		wk := 1.0
+		wb := obsWeight(o)
+		wk := wb
 		if o.Line.SigmaK > 0 {
-			wk = 1 / (o.Line.SigmaK * o.Line.SigmaK)
+			wk /= o.Line.SigmaK * o.Line.SigmaK
 		}
 		pred := rf.PropagationPhase(d, rf.CenterFrequencyHz) + rf.OrientationPhase(o.Frame, w) + bt0
 		rb := mathx.WrapPi(o.Line.B0 - pred)
-		cost += wk*rk*rk + rb*rb/(sigmaB*sigmaB)
+		cost += wk*rk*rk + wb*rb*rb/(sigmaB*sigmaB)
 	}
 	dp := kt - prior.mean
 	cost += prior.wp * dp * dp

@@ -397,6 +397,9 @@ func (d *Daemon) resultLoop(results <-chan rfprism.WindowResult) {
 			d.observePanic(m.cw, r.Err, now)
 		}
 		tr := makeTagResult(m.cw, r, now, latency)
+		if tr.Confidence != nil {
+			d.met.ObserveConfidence(tr.Confidence.RadialCI90, tr.Confidence.AmbiguityMargin)
+		}
 		if d.journal != nil {
 			// The ledger line is the durable emission record: recovery
 			// suppresses any window already written here, so it goes

@@ -42,6 +42,7 @@ func TestDaemonTracingEndToEnd(t *testing.T) {
 
 	met := NewMetrics(time.Now())
 	rfprism.WithTracer(met)(sys)
+	rfprism.WithConfidence()(sys) // exercise the likelihood post-pass stage too
 
 	cap := &captureSink{}
 	ring := NewRingSink(4)

@@ -20,6 +20,17 @@ var latencyBounds = []float64{0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 
 // starts three decades lower than latencyBounds.
 var stageBounds = []float64{0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1}
 
+// confRadiusBounds are the bucket upper bounds (meters) for the
+// per-result 90% positional confidence radius: a clean four-antenna
+// window lands in single centimeters, a degraded down-weighted one
+// stretches toward the decimeter buckets.
+var confRadiusBounds = []float64{0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1}
+
+// confMarginBounds are the bucket upper bounds (dimensionless
+// log-likelihood units) for the 2π-ambiguity margin; near-zero means
+// a genuinely ambiguous window.
+var confMarginBounds = []float64{0.5, 1, 2, 4, 8, 16, 32, 64, 128}
+
 // Metrics is the daemon's instrument set, registered on an obs.Registry
 // and exposed as Prometheus text on /metrics. All counters are
 // monotonically increasing and safe for concurrent use; gauges (queue
@@ -60,6 +71,12 @@ type Metrics struct {
 
 	latency *obs.Histogram
 	stages  map[rfprism.Stage]*obs.Histogram
+
+	// Confidence instruments (fed only when the System runs the
+	// likelihood layer, see rfprism.WithConfidence / rfprismd
+	// -confidence; the series render empty otherwise).
+	confRadius *obs.Histogram
+	confMargin *obs.Histogram
 
 	gUptime           *obs.Gauge
 	gQueueDepth       *obs.Gauge
@@ -123,6 +140,11 @@ func NewMetrics(start time.Time) *Metrics {
 		m.stages[st] = r.NewHistogram("rfprismd_stage_latency_seconds", help, stageBounds, obs.L("stage", string(st)))
 	}
 
+	m.confRadius = r.NewHistogram("solver_confidence_ci90_radius_meters",
+		"Per-result 90% positional confidence radius from the likelihood layer.", confRadiusBounds)
+	m.confMargin = r.NewHistogram("solver_confidence_ambiguity_margin",
+		"Log-likelihood margin of the solution over the best 2π-ambiguity alternative.", confMarginBounds)
+
 	m.gUptime = r.NewGauge("rfprismd_uptime_seconds", "Seconds since daemon start.")
 	m.gQueueDepth = r.NewGauge("rfprismd_queue_depth", "Closed windows waiting for a solver.")
 	m.gQueueCap = r.NewGauge("rfprismd_queue_capacity", "Window queue capacity.")
@@ -171,6 +193,13 @@ func (m *Metrics) WindowsClosed(r CloseReason) int64 {
 // ObserveLatency records one window's enqueue→result latency.
 func (m *Metrics) ObserveLatency(d time.Duration) {
 	m.latency.Observe(d.Seconds())
+}
+
+// ObserveConfidence records one confident result's positional CI
+// radius (meters) and 2π-ambiguity margin.
+func (m *Metrics) ObserveConfidence(radiusM, margin float64) {
+	m.confRadius.Observe(radiusM)
+	m.confMargin.Observe(margin)
 }
 
 // RecordWindow implements rfprism.Tracer: each span feeds its stage's

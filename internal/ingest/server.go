@@ -4,7 +4,6 @@ import (
 	"bufio"
 	"bytes"
 	"context"
-	"encoding/json"
 	"errors"
 	"fmt"
 	"log/slog"
@@ -14,6 +13,8 @@ import (
 	"sort"
 	"strconv"
 	"time"
+
+	"rfprism/internal/api"
 )
 
 // maxReportLine bounds one NDJSON report line (a sim.Reading encodes
@@ -99,9 +100,16 @@ func NewServer(d *Daemon, store TagStore) *Server {
 	s := &Server{d: d, store: store, mux: http.NewServeMux(), log: d.Logger(),
 		dedup: newStreamDedup(d.cfg.Now), jitter: rand.Float64}
 	for _, prefix := range []string{"/v1", ""} {
-		s.mux.HandleFunc("POST "+prefix+"/ingest", s.handleIngest)
-		s.mux.HandleFunc("GET "+prefix+"/tags", s.handleTags)
-		s.mux.HandleFunc("GET "+prefix+"/tags/{epc}", s.handleTag)
+		// The unversioned aliases serve byte-identical bodies through
+		// the same handlers, but advertise their successor: responses
+		// carry a Deprecation header and a Link to the /v1 path.
+		wrap := func(h http.HandlerFunc) http.HandlerFunc { return h }
+		if prefix == "" {
+			wrap = api.Deprecated
+		}
+		s.mux.HandleFunc("POST "+prefix+"/ingest", wrap(s.handleIngest))
+		s.mux.HandleFunc("GET "+prefix+"/tags", wrap(s.handleTags))
+		s.mux.HandleFunc("GET "+prefix+"/tags/{epc}", wrap(s.handleTag))
 	}
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /readyz", s.handleReadyz)
@@ -128,31 +136,22 @@ const (
 	CodeReportTooLarge = "report_too_large" // one NDJSON line exceeds maxReportLine (413)
 )
 
-// apiError is the uniform JSON error envelope. Every non-2xx response
-// from every endpoint carries it; "retry_after_ms" is non-zero only
-// under backpressure. Ingest errors add "accepted"/"line" so clients
-// resume from the first unaccepted report.
-type apiError struct {
-	Error        string `json:"error"`
-	Code         string `json:"code"`
-	RetryAfterMS int64  `json:"retry_after_ms"`
-	Accepted     int    `json:"accepted,omitempty"`
-	Line         int    `json:"line,omitempty"`
-}
+// apiError is the uniform JSON error envelope (the canonical wire
+// struct; see internal/api). Every non-2xx response from every
+// endpoint carries it; "retry_after_ms" is non-zero only under
+// backpressure. Ingest errors add "accepted"/"line" so clients resume
+// from the first unaccepted report.
+type apiError = api.Error
 
 // ingestReply is the JSON body of a successful ingest.
-type ingestReply struct {
-	Accepted int `json:"accepted"`
-}
+type ingestReply = api.IngestReply
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(status)
-	_ = json.NewEncoder(w).Encode(v)
+	api.WriteJSON(w, status, v)
 }
 
 func (s *Server) writeError(w http.ResponseWriter, status int, code, msg string, retryAfter time.Duration) {
-	writeJSON(w, status, apiError{Error: msg, Code: code, RetryAfterMS: retryAfter.Milliseconds()})
+	api.WriteError(w, status, code, msg, retryAfter)
 }
 
 func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
@@ -163,7 +162,8 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		s.log.Debug("ingest refused", "path", r.URL.Path, "code", code,
 			"accepted", accepted, "line", line, "err", msg)
 		writeJSON(w, status, apiError{
-			Error: msg, Code: code, RetryAfterMS: retryAfter.Milliseconds(),
+			Schema: api.Version,
+			Error:  msg, Code: code, RetryAfterMS: retryAfter.Milliseconds(),
 			Accepted: accepted, Line: line,
 		})
 	}
@@ -243,15 +243,18 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		if errors.Is(err, bufio.ErrTooLong) {
 			// Typed 413: the offending line starts past everything
 			// accepted so far; a client resumes after shrinking it.
+			// "line" is the resume position (the oversized line
+			// itself), matching the router's envelope.
+			line++
 			fail(http.StatusRequestEntityTooLarge, CodeReportTooLarge, 0,
-				fmt.Sprintf("line %d exceeds the %d-byte report line limit", line+1, maxReportLine))
+				fmt.Sprintf("line %d exceeds the %d-byte report line limit", line, maxReportLine))
 			return
 		}
 		fail(http.StatusBadRequest, CodeBadReport, 0, err.Error())
 		return
 	}
 	s.log.Debug("ingest accepted", "path", r.URL.Path, "accepted", accepted)
-	writeJSON(w, http.StatusAccepted, ingestReply{Accepted: accepted})
+	writeJSON(w, http.StatusAccepted, ingestReply{Schema: api.Version, Accepted: accepted})
 }
 
 // setEpochHeader advertises the store's snapshot epoch so a client can
@@ -295,28 +298,23 @@ func (s *Server) handleTags(w http.ResponseWriter, r *http.Request) {
 	epcs := s.store.EPCs()
 	s.setEpochHeader(w)
 	q := r.URL.Query()
-	limitRaw, cursor := q.Get("limit"), q.Get("cursor")
-	if limitRaw == "" && cursor == "" {
-		// Legacy shape, byte-identical to the pre-pagination API.
+	cursor := api.Cursor(q)
+	if q.Get("limit") == "" && cursor == "" {
+		// Unpaged shape: the pre-pagination field set plus the schema
+		// stamp.
 		s.log.Debug("tags listed", "path", r.URL.Path, "count", len(epcs))
-		writeJSON(w, http.StatusOK, map[string]any{"tags": epcs})
+		writeJSON(w, http.StatusOK, api.TagList{Schema: api.Version, Tags: epcs})
 		return
 	}
-	limit := 0
-	if limitRaw != "" {
-		n, err := strconv.Atoi(limitRaw)
-		if err != nil || n < 1 {
-			s.writeError(w, http.StatusBadRequest, CodeBadParam, fmt.Sprintf("bad limit %q", limitRaw), 0)
-			return
-		}
-		limit = n
+	limit, perr := api.ParseLimit(q)
+	if perr != nil {
+		s.writeError(w, http.StatusBadRequest, CodeBadParam, perr.Error(), 0)
+		return
 	}
 	page, next := PageEPCs(epcs, limit, cursor)
-	reply := map[string]any{"tags": page, "count": len(epcs)}
-	if next != "" {
-		reply["next"] = next
-	}
-	s.log.Debug("tags page served", "path", r.URL.Path, "page", len(page), "count", len(epcs))
+	total := len(epcs)
+	reply := api.TagList{Schema: api.Version, Tags: page, Count: &total, Next: next}
+	s.log.Debug("tags page served", "path", r.URL.Path, "page", len(page), "count", total)
 	writeJSON(w, http.StatusOK, reply)
 }
 
@@ -351,16 +349,12 @@ func (s *Server) handleTag(w http.ResponseWriter, r *http.Request) {
 	}
 	s.setEpochHeader(w)
 	s.log.Debug("tag history served", "path", r.URL.Path, "epc", epc, "results", len(history))
-	writeJSON(w, http.StatusOK, map[string]any{"epc": epc, "results": history})
+	writeJSON(w, http.StatusOK, api.TagHistory{Schema: api.Version, EPC: epc, Results: history})
 }
 
 // tagWaitReply is the long-poll response body. result is present only
 // when changed.
-type tagWaitReply struct {
-	Epoch   uint64     `json:"epoch"`
-	Changed bool       `json:"changed"`
-	Result  *TagResult `json:"result,omitempty"`
-}
+type tagWaitReply = api.WaitReply
 
 // handleTagWait serves GET /v1/tags/{epc}?wait=30s&since=<epoch>: it
 // holds the request until the tag changes past since or wait elapses,
@@ -372,22 +366,19 @@ func (s *Server) handleTagWait(w http.ResponseWriter, r *http.Request, epc, wait
 		s.writeError(w, http.StatusBadRequest, CodeBadParam, "long-poll not supported by this store", 0)
 		return
 	}
-	wait, err := time.ParseDuration(waitRaw)
-	if err != nil || wait <= 0 {
-		s.writeError(w, http.StatusBadRequest, CodeBadParam, fmt.Sprintf("bad wait %q", waitRaw), 0)
+	wait, perr := api.ParseWait(waitRaw)
+	if perr != nil {
+		s.writeError(w, http.StatusBadRequest, CodeBadParam, perr.Error(), 0)
 		return
 	}
-	since := uint64(0)
-	if raw := r.URL.Query().Get("since"); raw != "" {
-		since, err = strconv.ParseUint(raw, 10, 64)
-		if err != nil {
-			s.writeError(w, http.StatusBadRequest, CodeBadParam, fmt.Sprintf("bad since %q", raw), 0)
-			return
-		}
+	since, perr := api.ParseSince(r.URL.Query())
+	if perr != nil {
+		s.writeError(w, http.StatusBadRequest, CodeBadParam, perr.Error(), 0)
+		return
 	}
 	res, epoch, changed := tw.WaitTag(r.Context(), epc, since, wait)
 	w.Header().Set("X-RFPrism-Epoch", strconv.FormatUint(epoch, 10))
-	reply := tagWaitReply{Epoch: epoch, Changed: changed}
+	reply := tagWaitReply{Schema: api.Version, Epoch: epoch, Changed: changed}
 	if changed {
 		reply.Result = &res
 	}
@@ -460,7 +451,7 @@ func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
 	g := s.d.Gauges()
 	state, ready := healthState(g)
 	if !ready {
-		writeJSON(w, http.StatusServiceUnavailable, apiError{Error: state, Code: "not_ready"})
+		writeJSON(w, http.StatusServiceUnavailable, apiError{Schema: api.Version, Error: state, Code: "not_ready"})
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]any{"status": state, "ready": true})

@@ -9,56 +9,26 @@ import (
 	"time"
 
 	"rfprism"
+	"rfprism/internal/api"
 	"rfprism/internal/mathx"
 )
 
-// EstimateOut is the JSON shape of a successful disentangled estimate.
-type EstimateOut struct {
-	X        float64 `json:"x"`
-	Y        float64 `json:"y"`
-	Z        float64 `json:"z"`
-	AlphaDeg float64 `json:"alphaDeg"`
-	Kt       float64 `json:"kt"`
-	Bt0      float64 `json:"bt0"`
-}
+// EstimateOut is the JSON shape of a successful disentangled estimate
+// (the canonical wire struct; see internal/api).
+type EstimateOut = api.Estimate
 
 // TagResult is one window's outcome as delivered to sinks: the window
 // assembly metadata, the pipeline health summary and either the
-// estimate or the error.
-type TagResult struct {
-	EPC string `json:"epc"`
-	Seq int    `json:"seq"`
-	// FirstSeq is the journal sequence number of the window's first
-	// report — the durable window identity recovery dedups on. Zero
-	// when the daemon runs without a journal.
-	FirstSeq uint64 `json:"firstSeq,omitempty"`
-	// LastSeq is the journal sequence number of the window's last
-	// report. Recovery uses it to spot a replayed session growing past
-	// the window actually served under this identity (a live deadline,
-	// drain or breaker-shed close that replay cannot reproduce from
-	// report positions alone) and split there instead of swallowing
-	// unserved reports into a suppressed window.
-	LastSeq         uint64       `json:"lastSeq,omitempty"`
-	At              time.Time    `json:"at"`
-	Reason          string       `json:"closeReason"`
-	Readings        int          `json:"readings"`
-	Channels        int          `json:"channels"`
-	Antennas        int          `json:"antennas"`
-	LatencyMS       float64      `json:"latencyMs"`
-	Degraded        bool         `json:"degraded,omitempty"`
-	DroppedAntennas []int        `json:"droppedAntennas,omitempty"`
-	Estimate        *EstimateOut `json:"estimate,omitempty"`
-	Err             string       `json:"error,omitempty"`
-	// StageMS is the per-pipeline-stage time (milliseconds, summed
-	// across antennas and retries). Present only when the System runs
-	// with a tracer installed.
-	StageMS map[string]float64 `json:"stageMs,omitempty"`
-}
+// estimate or the error. It is the canonical /v1 wire struct (see
+// internal/api) — the NDJSON sink, the journal's emission ledger, the
+// snapshot store and every HTTP tier share the one shape.
+type TagResult = api.TagResult
 
 // makeTagResult merges a closed window's assembly metadata with its
 // pipeline outcome.
 func makeTagResult(cw ClosedWindow, r rfprism.WindowResult, at time.Time, latency time.Duration) TagResult {
 	tr := TagResult{
+		Schema:    api.Version,
 		EPC:       cw.EPC,
 		Seq:       cw.Seq,
 		FirstSeq:  cw.FirstSeq,
@@ -69,6 +39,7 @@ func makeTagResult(cw ClosedWindow, r rfprism.WindowResult, at time.Time, latenc
 		Channels:  cw.Channels,
 		Antennas:  cw.Antennas,
 		LatencyMS: float64(latency) / float64(time.Millisecond),
+		Attempts:  r.Attempts(),
 	}
 	if h := r.Health(); h != nil {
 		tr.Degraded = h.Degraded
@@ -93,7 +64,35 @@ func makeTagResult(cw ClosedWindow, r rfprism.WindowResult, at time.Time, latenc
 		Kt:       est.Kt,
 		Bt0:      est.Bt0,
 	}
+	tr.Confidence = makeConfidence(r.Result.Confidence, r.Health())
 	return tr
+}
+
+// makeConfidence converts the solver's confidence block to its wire
+// shape (nil in, nil out — the default pipeline runs without the
+// likelihood layer).
+func makeConfidence(c *rfprism.Confidence, h *rfprism.Health) *api.Confidence {
+	if c == nil {
+		return nil
+	}
+	out := &api.Confidence{
+		SigmaPhase:      c.SigmaPhase,
+		NormLogLik:      c.NormLogLik,
+		PosCI90:         [3]float64{c.PosCI90.X, c.PosCI90.Y, c.PosCI90.Z},
+		RadialCI90:      c.RadialCI90(),
+		AlphaCI90Deg:    mathx.Deg(c.AlphaCI90),
+		Sigma:           append([]float64(nil), c.Sigma...),
+		AmbiguityMargin: c.AmbiguityMargin,
+		AltBasins:       c.AltBasins,
+	}
+	if h != nil {
+		for _, a := range h.Antennas {
+			if a.Weight > 0 && a.Weight < 1 {
+				out.Weights = append(out.Weights, api.AntennaWeight{ID: a.ID, Weight: a.Weight})
+			}
+		}
+	}
+	return out
 }
 
 // Sink consumes per-window results. Emit may be called from the

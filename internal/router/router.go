@@ -19,6 +19,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"rfprism/internal/api"
 	"rfprism/internal/ingest"
 	"rfprism/internal/obs"
 	"rfprism/internal/serve"
@@ -140,11 +141,18 @@ func New(cfg Config) *Router {
 		shards:   make(map[string]*shard),
 	}
 	for _, prefix := range []string{"/v1", ""} {
-		rt.mux.HandleFunc("POST "+prefix+"/ingest", rt.handleIngest)
-		rt.mux.HandleFunc("GET "+prefix+"/tags", rt.handleTags)
-		rt.mux.HandleFunc("GET "+prefix+"/tags/{epc}", rt.handleTag)
-		rt.mux.HandleFunc("GET "+prefix+"/tags/{epc}/stream", rt.handleTagStream)
-		rt.mux.HandleFunc("GET "+prefix+"/stream", rt.handleFirehose)
+		// Unversioned aliases share the handlers but advertise their
+		// /v1 successor (Deprecation + Link headers), matching the
+		// shard daemons' own surface.
+		wrap := func(h http.HandlerFunc) http.HandlerFunc { return h }
+		if prefix == "" {
+			wrap = api.Deprecated
+		}
+		rt.mux.HandleFunc("POST "+prefix+"/ingest", wrap(rt.handleIngest))
+		rt.mux.HandleFunc("GET "+prefix+"/tags", wrap(rt.handleTags))
+		rt.mux.HandleFunc("GET "+prefix+"/tags/{epc}", wrap(rt.handleTag))
+		rt.mux.HandleFunc("GET "+prefix+"/tags/{epc}/stream", wrap(rt.handleTagStream))
+		rt.mux.HandleFunc("GET "+prefix+"/stream", wrap(rt.handleFirehose))
 	}
 	rt.mux.HandleFunc("GET /healthz", rt.handleHealthz)
 	rt.mux.HandleFunc("GET /readyz", rt.handleReadyz)
@@ -254,16 +262,11 @@ func (rt *Router) snapshot() (owner func(string) (*shard, bool), all []*shard) {
 
 // --- error envelope -------------------------------------------------
 
-// apiError mirrors the shard daemon's uniform envelope, extended with
-// the failing shard and partial-result fields the router tier adds.
-type apiError struct {
-	Error        string `json:"error"`
-	Code         string `json:"code"`
-	RetryAfterMS int64  `json:"retry_after_ms"`
-	Accepted     int    `json:"accepted,omitempty"`
-	Line         int    `json:"line,omitempty"`
-	Shard        string `json:"shard,omitempty"`
-}
+// apiError is the uniform envelope shared with the shard daemons (the
+// canonical wire struct; see internal/api). The router stamps the
+// failing shard into the Shard field when one shard's failure decided
+// the answer.
+type apiError = api.Error
 
 // Router-specific error codes (shard codes pass through verbatim).
 const (
@@ -273,22 +276,19 @@ const (
 )
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(status)
-	_ = json.NewEncoder(w).Encode(v)
+	api.WriteJSON(w, status, v)
 }
 
 func (rt *Router) writeError(w http.ResponseWriter, status int, code, msg string, retryAfter time.Duration) {
-	writeJSON(w, status, apiError{Error: msg, Code: code, RetryAfterMS: retryAfter.Milliseconds()})
+	api.WriteError(w, status, code, msg, retryAfter)
 }
 
 // --- ingest fan-out -------------------------------------------------
 
-// ingestReply is the success body, shape-compatible with the shard
-// daemon's so single-daemon clients work against the router unchanged.
-type ingestReply struct {
-	Accepted int `json:"accepted"`
-}
+// ingestReply is the success body, the same wire struct the shard
+// daemons answer with, so single-daemon clients work against the
+// router unchanged.
+type ingestReply = api.IngestReply
 
 // pendingLine is one report line awaiting its shard flush.
 type pendingLine struct {
@@ -358,7 +358,8 @@ func (rt *Router) handleIngest(w http.ResponseWriter, r *http.Request) {
 		}
 		rt.log.Debug("ingest refused", "code", code, "accepted", committed, "shard", shardID, "err", msg)
 		writeJSON(w, status, apiError{
-			Error: msg, Code: code, RetryAfterMS: retry.Milliseconds(),
+			Schema: api.Version,
+			Error:  msg, Code: code, RetryAfterMS: retry.Milliseconds(),
 			Accepted: committed, Line: committed + 1, Shard: shardID,
 		})
 	}
@@ -548,7 +549,7 @@ func (rt *Router) handleIngest(w http.ResponseWriter, r *http.Request) {
 	rt.met.IngestOK.Inc()
 	rt.met.LinesRouted.Add(int64(committed))
 	rt.met.ObserveIngest(rt.cfg.Now().Sub(t0))
-	writeJSON(w, http.StatusAccepted, ingestReply{Accepted: committed})
+	writeJSON(w, http.StatusAccepted, ingestReply{Schema: api.Version, Accepted: committed})
 }
 
 // worse ranks sub-batch failures for the propagated reply: a poisoned
@@ -844,31 +845,24 @@ func (rt *Router) handleTags(w http.ResponseWriter, r *http.Request) {
 		tags = append(tags, epc)
 	}
 	sort.Strings(tags)
-	reply := map[string]any{"tags": tags}
+	reply := api.TagList{Schema: api.Version, Tags: tags}
 	// Pagination mirrors the shard daemon's (?limit=&cursor= over the
 	// merged, sorted union) so clients page the cluster identically.
 	q := r.URL.Query()
-	if limitRaw, cursor := q.Get("limit"), q.Get("cursor"); limitRaw != "" || cursor != "" {
-		limit := 0
-		if limitRaw != "" {
-			n, err := strconv.Atoi(limitRaw)
-			if err != nil || n < 1 {
-				rt.writeError(w, http.StatusBadRequest, ingest.CodeBadParam,
-					fmt.Sprintf("bad limit %q", limitRaw), 0)
-				return
-			}
-			limit = n
+	if cursor := api.Cursor(q); q.Get("limit") != "" || cursor != "" {
+		limit, perr := api.ParseLimit(q)
+		if perr != nil {
+			rt.writeError(w, http.StatusBadRequest, ingest.CodeBadParam, perr.Error(), 0)
+			return
 		}
-		page, next := ingest.PageEPCs(tags, limit, cursor)
-		reply = map[string]any{"tags": page, "count": len(tags)}
-		if next != "" {
-			reply["next"] = next
-		}
+		total := len(tags)
+		reply.Tags, reply.Next = ingest.PageEPCs(tags, limit, cursor)
+		reply.Count = &total
 	}
 	if len(missing) > 0 {
 		sort.Strings(missing)
-		reply["partial"] = true
-		reply["missingShards"] = missing
+		reply.Partial = true
+		reply.MissingShards = missing
 		w.Header().Set("X-RFPrism-Partial", "1")
 		rt.met.ScatterPartial.Inc()
 	} else {
@@ -898,7 +892,9 @@ func (rt *Router) handleTag(w http.ResponseWriter, r *http.Request) {
 	// router does not cut the poll short.
 	timeout := rt.cfg.ShardTimeout
 	if waitRaw := r.URL.Query().Get("wait"); waitRaw != "" {
-		if wait, err := time.ParseDuration(waitRaw); err == nil && wait > 0 {
+		// The shared parser clamps the hold the same way the shard
+		// will, so the relay budget and the shard's park agree.
+		if wait, perr := api.ParseWait(waitRaw); perr == nil {
 			timeout += wait
 		}
 	}
@@ -906,8 +902,9 @@ func (rt *Router) handleTag(w http.ResponseWriter, r *http.Request) {
 	if f.err != nil {
 		rt.met.ScatterErr.Inc()
 		writeJSON(w, http.StatusBadGateway, apiError{
-			Error: fmt.Sprintf("shard %s: %v", sh.ID, f.err),
-			Code:  CodeShardUnavailable, Shard: sh.ID,
+			Schema: api.Version,
+			Error:  fmt.Sprintf("shard %s: %v", sh.ID, f.err),
+			Code:   CodeShardUnavailable, Shard: sh.ID,
 		})
 		return
 	}

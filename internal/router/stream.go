@@ -11,6 +11,7 @@ import (
 	"sync"
 	"time"
 
+	"rfprism/internal/api"
 	"rfprism/internal/serve"
 )
 
@@ -42,7 +43,7 @@ const streamConnectTimeout = 5 * time.Second
 // shard.
 func partialFrame(shardID string) []byte {
 	data, _ := json.Marshal(map[string]string{"shard": shardID})
-	return fmt.Appendf(nil, "event: partial\ndata: %s\n\n", data)
+	return api.Frame{Event: "partial", Data: data}.Bytes()
 }
 
 // acquireStream claims a per-client stream slot when a limiter is
@@ -57,7 +58,8 @@ func (rt *Router) acquireStream(w http.ResponseWriter, r *http.Request) (release
 		rt.met.StreamErr.Inc()
 		w.Header().Set("Retry-After", "1")
 		writeJSON(w, http.StatusTooManyRequests, apiError{
-			Error: "concurrent stream quota exceeded", Code: serve.CodeStreamQuota,
+			Schema: api.Version,
+			Error:  "concurrent stream quota exceeded", Code: serve.CodeStreamQuota,
 			RetryAfterMS: 1000,
 		})
 		return nil, false
@@ -105,8 +107,9 @@ func (rt *Router) handleTagStream(w http.ResponseWriter, r *http.Request) {
 		rt.met.BreakerFastFail.Inc()
 		rt.met.StreamErr.Inc()
 		writeJSON(w, http.StatusBadGateway, apiError{
-			Error: fmt.Sprintf("shard %s: %v", sh.ID, err),
-			Code:  CodeShardUnavailable, Shard: sh.ID,
+			Schema: api.Version,
+			Error:  fmt.Sprintf("shard %s: %v", sh.ID, err),
+			Code:   CodeShardUnavailable, Shard: sh.ID,
 		})
 		return
 	}
@@ -119,8 +122,9 @@ func (rt *Router) handleTagStream(w http.ResponseWriter, r *http.Request) {
 		rt.recordOutcome(sh, r.Context(), err, start)
 		rt.met.StreamErr.Inc()
 		writeJSON(w, http.StatusBadGateway, apiError{
-			Error: fmt.Sprintf("shard %s: %v", sh.ID, err),
-			Code:  CodeShardUnavailable, Shard: sh.ID,
+			Schema: api.Version,
+			Error:  fmt.Sprintf("shard %s: %v", sh.ID, err),
+			Code:   CodeShardUnavailable, Shard: sh.ID,
 		})
 		return
 	}

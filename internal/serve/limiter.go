@@ -1,7 +1,6 @@
 package serve
 
 import (
-	"encoding/json"
 	"math"
 	"net"
 	"net/http"
@@ -9,6 +8,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"rfprism/internal/api"
 )
 
 // CodeRateLimited is the envelope code for a refused request; the
@@ -218,11 +219,5 @@ func writeThrottled(w http.ResponseWriter, code, msg string, retryAfter time.Dur
 		secs = 1
 	}
 	w.Header().Set("Retry-After", strconv.Itoa(secs))
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(http.StatusTooManyRequests)
-	_ = json.NewEncoder(w).Encode(map[string]any{
-		"error":          msg,
-		"code":           code,
-		"retry_after_ms": retryAfter.Milliseconds(),
-	})
+	api.WriteError(w, http.StatusTooManyRequests, code, msg, retryAfter)
 }

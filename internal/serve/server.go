@@ -9,6 +9,8 @@ import (
 	"strconv"
 	"sync/atomic"
 	"time"
+
+	"rfprism/internal/api"
 )
 
 // Server adds the streaming read surface on top of an inner /v1 API
@@ -61,8 +63,14 @@ func (s *Server) Streams() int64 { return s.streams.Load() }
 func (s *Server) Wrap(inner http.Handler) http.Handler {
 	mux := http.NewServeMux()
 	for _, prefix := range []string{"/v1", ""} {
-		mux.HandleFunc("GET "+prefix+"/tags/{epc}/stream", s.handleTagStream)
-		mux.HandleFunc("GET "+prefix+"/stream", s.handleFirehose)
+		// Unversioned aliases share the handlers but advertise their
+		// /v1 successor (Deprecation + Link headers).
+		wrap := func(h http.HandlerFunc) http.HandlerFunc { return h }
+		if prefix == "" {
+			wrap = api.Deprecated
+		}
+		mux.HandleFunc("GET "+prefix+"/tags/{epc}/stream", wrap(s.handleTagStream))
+		mux.HandleFunc("GET "+prefix+"/stream", wrap(s.handleFirehose))
 	}
 	mux.Handle("/", inner)
 	return s.lim.Middleware(mux)
@@ -81,28 +89,14 @@ func (s *Server) handleFirehose(w http.ResponseWriter, r *http.Request) {
 // whether the client asked to resume at all (a fresh subscriber
 // starts live; it is not replayed history it never saw).
 func parseSince(r *http.Request) (since uint64, ok bool) {
-	raw := r.Header.Get("Last-Event-ID")
-	if raw == "" {
-		raw = r.URL.Query().Get("since")
-	}
-	if raw == "" {
-		return 0, false
-	}
-	n, err := strconv.ParseUint(raw, 10, 64)
-	if err != nil {
-		return 0, false
-	}
-	return n, true
+	return api.SSEResume(r)
 }
 
 func (s *Server) stream(w http.ResponseWriter, r *http.Request, f Filter) {
 	flusher, canFlush := w.(http.Flusher)
 	if !canFlush {
-		w.Header().Set("Content-Type", "application/json")
-		w.WriteHeader(http.StatusInternalServerError)
-		_ = json.NewEncoder(w).Encode(map[string]any{
-			"error": "streaming unsupported by connection", "code": "no_stream", "retry_after_ms": 0,
-		})
+		api.WriteError(w, http.StatusInternalServerError, "no_stream",
+			"streaming unsupported by connection", 0)
 		return
 	}
 	key := ClientKey(r)
@@ -236,8 +230,8 @@ func (s *sseWriter) event(id uint64, event string, data []byte) {
 	if s.err != nil {
 		return
 	}
-	_, err := fmt.Fprintf(s.w, "id: %d\nevent: %s\ndata: %s\n\n", id, event, data)
-	if err != nil {
+	frame := api.Frame{ID: id, HasID: true, Event: event, Data: data}
+	if _, err := s.w.Write(frame.Bytes()); err != nil {
 		s.err = err
 	}
 }
@@ -246,7 +240,7 @@ func (s *sseWriter) comment(text string) {
 	if s.err != nil {
 		return
 	}
-	if _, err := fmt.Fprintf(s.w, ": %s\n\n", text); err != nil {
+	if _, err := s.w.Write(api.Comment(text)); err != nil {
 		s.err = err
 	}
 }

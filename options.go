@@ -36,6 +36,14 @@ type PipelineConfig struct {
 	NoChannelSelection bool
 	// NoErrorDetector disables the mobility error detector (§V-C).
 	NoErrorDetector bool
+	// Confidence turns on the likelihood layer: the detector's hard
+	// antenna drops above the solver minimum become soft down-weights
+	// (Observation.Weight) derived from the fit residuals, and every
+	// successful Result carries a Confidence block (covariance,
+	// per-axis CIs, normalized log-likelihood, 2π-ambiguity margin)
+	// from a Hessian evaluation at the optimum. Off by default; the
+	// default pipeline's outputs are bit-identical with it off.
+	Confidence bool
 }
 
 // RuntimeConfig groups the knobs that change *how* the pipeline runs:
@@ -129,6 +137,16 @@ func WithoutChannelSelection() Option {
 // WithoutErrorDetector disables the mobility error detector (§V-C).
 func WithoutErrorDetector() Option {
 	return func(s *System) { s.cfg.Pipeline.NoErrorDetector = true }
+}
+
+// WithConfidence turns on the likelihood layer: noisy antennas are
+// softly down-weighted instead of hard-dropped (as long as enough
+// clean antennas remain to anchor the solve), and every successful
+// Result carries a Confidence block — parameter covariance, per-axis
+// 90% confidence intervals, a normalized log-likelihood and the
+// explicit 2π-ambiguity margin. See PipelineConfig.Confidence.
+func WithConfidence() Option {
+	return func(s *System) { s.cfg.Pipeline.Confidence = true }
 }
 
 // WithParallelism bounds the worker count of ProcessWindows and

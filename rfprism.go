@@ -68,6 +68,11 @@ func Bounds2D(r sim.WorkingRegion) Bounds {
 // Estimate re-exports the disentangled state of one window.
 type Estimate = core.Estimate
 
+// Confidence re-exports the likelihood-level quality block of one
+// estimate (covariance, per-axis CIs, normalized log-likelihood,
+// 2π-ambiguity margin); see core.Confidence and WithConfidence.
+type Confidence = core.Confidence
+
 // Result is the full output of processing one window.
 type Result struct {
 	// Estimate is the disentangled tag state.
@@ -85,6 +90,9 @@ type Result struct {
 	// Spans are the per-stage trace spans of the attempt that produced
 	// this result (nil unless the System has a Tracer, see WithTracer).
 	Spans []Span
+	// Confidence is the likelihood-level quality block (nil unless the
+	// System runs WithConfidence and the post-pass succeeded).
+	Confidence *Confidence
 
 	health *Health
 }
@@ -393,14 +401,20 @@ func (s *System) processWindowStages(tb *traceBuf, tag string, readings []sim.Re
 				}
 			}
 		}
-		// Enough clean antennas remain: shed the non-linear ones
-		// (per-antenna multipath or local disturbance) and solve on
-		// the subset.
+		// Enough clean antennas remain. Under the likelihood layer the
+		// non-linear antennas stay in the solve at a fractional weight
+		// derived from their fit residuals; otherwise they are shed
+		// outright (per-antenna multipath or local disturbance) and the
+		// solver runs on the subset.
 		shed := 0
-		for i := len(wo.reports) - 1; i >= 0; i-- {
-			if !wo.reports[i].Linear {
-				wo.dropObserved(i, DropDetector)
-				shed++
+		if s.cfg.Pipeline.Confidence {
+			shed = softWeightObserved(wo)
+		} else {
+			for i := len(wo.reports) - 1; i >= 0; i-- {
+				if !wo.reports[i].Linear {
+					wo.dropObserved(i, DropDetector)
+					shed++
+				}
 			}
 		}
 		h.finalize()
@@ -421,11 +435,89 @@ func (s *System) processWindowStages(tb *traceBuf, tag string, readings []sim.Re
 	if err != nil {
 		return nil, &WindowError{Health: h, err: fmt.Errorf("rfprism: solve: %w", err)}
 	}
+	var conf *Confidence
+	if s.cfg.Pipeline.Confidence {
+		if tb != nil {
+			t0 = time.Now()
+		}
+		c, cerr := core.EvaluateConfidence(obs, est, s.cfg.Pipeline.Mode3D, s.bounds, s.cfg.Pipeline.Solver)
+		if cerr == nil {
+			conf = c
+		}
+		if tb != nil {
+			tb.add(Span{Stage: StageConfidence, Antenna: -1, Start: t0, Duration: time.Since(t0), Err: errString(cerr)})
+		}
+	}
 	lines := make([]fit.Line, len(obs))
 	for i, o := range obs {
 		lines[i] = o.Line
 	}
-	return &Result{Estimate: est, Lines: lines, Linearity: wo.reports, Spectra: wo.spectra, health: h}, nil
+	return &Result{Estimate: est, Lines: lines, Linearity: wo.reports, Spectra: wo.spectra, Confidence: conf, health: h}, nil
+}
+
+// Soft-weight bounds: a detector-flagged antenna never outweighs half
+// a clean one, and never vanishes entirely (it still anchors the
+// geometry it uniquely observes).
+const (
+	minSoftWeight = 0.02
+	maxSoftWeight = 0.5
+)
+
+// softWeightObserved implements the likelihood layer's replacement for
+// detector shedding: every surviving antenna keeps contributing, with
+// the non-linear ones down-weighted by how far their fit residual
+// sits above the clean antennas' median — the per-antenna noise model
+// σ_i from the linearity reports turned into relative weights
+// (σ_ref/σ_i)², scaled by the surviving-channel fraction. Returns how
+// many antennas were down-weighted (the detector span's Shed count).
+func softWeightObserved(wo *windowObs) (down int) {
+	ref := 0.0
+	n := 0
+	resids := make([]float64, 0, len(wo.reports))
+	for _, rep := range wo.reports {
+		if rep.Linear {
+			resids = append(resids, rep.ResidStd)
+			n++
+		}
+	}
+	if n > 0 {
+		ref = mathx.Median(resids)
+	}
+	if ref < 0.04 {
+		ref = 0.04 // the solver's default σ_B floor
+	}
+	for i := range wo.obs {
+		rep := wo.reports[i]
+		slot := wo.health.entry(wo.obs[i].ID)
+		if rep.Linear {
+			wo.obs[i].Weight = 1
+			if slot != nil {
+				slot.Weight = 1
+			}
+			continue
+		}
+		w := maxSoftWeight
+		if rep.ResidStd > ref {
+			r := ref / rep.ResidStd
+			w = r * r
+		}
+		if rep.KeptFraction > 0 && rep.KeptFraction < 1 {
+			w *= rep.KeptFraction
+		}
+		if w < minSoftWeight {
+			w = minSoftWeight
+		}
+		if w > maxSoftWeight {
+			w = maxSoftWeight
+		}
+		wo.obs[i].Weight = w
+		if slot != nil {
+			slot.Weight = w
+			slot.Reason = DropDetector // records *why* the weight is partial
+		}
+		down++
+	}
+	return down
 }
 
 // CalibrateAntennas performs the pre-deployment antenna correction of

@@ -35,6 +35,10 @@ const (
 	StageDetector Stage = "detector"
 	// StageSolve is the phase disentangler (Solve2D/Solve3D).
 	StageSolve Stage = "solve"
+	// StageConfidence is the likelihood post-pass (numerical Hessian,
+	// covariance, ambiguity probes); present only when the System runs
+	// WithConfidence.
+	StageConfidence Stage = "confidence"
 	// StageWindow is the whole window: its duration is the end-to-end
 	// ProcessWindow latency of one attempt, and it carries the attempt
 	// number and the degraded flag.
@@ -44,7 +48,7 @@ const (
 // Stages lists every stage a window trace can contain, in pipeline
 // order (per-antenna stages listed once).
 func Stages() []Stage {
-	return []Stage{StageSpectra, StageFit, StageSelect, StageObserve, StageDetector, StageSolve, StageWindow}
+	return []Stage{StageSpectra, StageFit, StageSelect, StageObserve, StageDetector, StageSolve, StageConfidence, StageWindow}
 }
 
 // stageOrder ranks stages for sorted reporting; unknown stages sort
